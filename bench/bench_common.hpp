@@ -1,0 +1,142 @@
+#pragma once
+// Shared scaffolding for the figure-reproduction harnesses: experiment
+// scaling (laptop defaults vs --full paper scale), design stand-in mapping,
+// and the incremental training loop used by Figures 4-7.
+//
+// Scaling philosophy (see EXPERIMENTS.md): the paper's absolute sizes
+// (50 000 flow samples, 10 000 labeled flows, 100 000-flow pools, 200 conv
+// filters, days of wall-clock) are reproduced in *shape* at laptop scale by
+// default; every knob can be raised via CLI flags or --full.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/classifier.hpp"
+#include "core/evaluator.hpp"
+#include "core/flow_space.hpp"
+#include "core/labeler.hpp"
+#include "core/selection.hpp"
+#include "designs/registry.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace flowgen::bench {
+
+/// Paper design -> generator name at the current scale.
+inline std::string design_for(const std::string& paper_name,
+                              bool full_scale) {
+  if (paper_name == "aes") return full_scale ? "aes128" : "aes32";
+  if (paper_name == "alu") return full_scale ? "alu64" : "alu16";
+  if (paper_name == "mont") return full_scale ? "mont64" : "mont:8";
+  return paper_name;
+}
+
+struct ExperimentScale {
+  std::size_t labeled_flows;    ///< paper: 10 000
+  std::size_t pool_flows;       ///< paper: 100 000
+  std::size_t initial_labeled;  ///< paper: 1 000
+  std::size_t retrain_every;    ///< paper: 500
+  std::size_t per_side;         ///< paper: 200 angel + 200 devil
+  std::size_t steps_per_round;  ///< paper: ~100 000 total steps
+  std::size_t conv_filters;     ///< paper: 200
+  std::size_t batch_size = 5;   ///< paper: 5
+  double learning_rate = 1e-4;  ///< paper: 1e-4
+};
+
+inline ExperimentScale experiment_scale(const util::Cli& cli) {
+  ExperimentScale s;
+  const bool full = cli.full_scale();
+  s.labeled_flows =
+      static_cast<std::size_t>(cli.get_int("flows", full ? 10000 : 120));
+  s.pool_flows =
+      static_cast<std::size_t>(cli.get_int("pool", full ? 100000 : 400));
+  s.initial_labeled = static_cast<std::size_t>(
+      cli.get_int("initial", full ? 1000 : s.labeled_flows / 3));
+  s.retrain_every = static_cast<std::size_t>(
+      cli.get_int("retrain", full ? 500 : s.labeled_flows / 3));
+  s.per_side =
+      static_cast<std::size_t>(cli.get_int("select", full ? 200 : 12));
+  s.steps_per_round =
+      static_cast<std::size_t>(cli.get_int("steps", full ? 10000 : 200));
+  s.conv_filters =
+      static_cast<std::size_t>(cli.get_int("filters", full ? 200 : 16));
+  s.batch_size = static_cast<std::size_t>(cli.get_int("batch", 5));
+  s.learning_rate = cli.get_double("lr", 1e-4);
+  return s;
+}
+
+/// One point of an accuracy-vs-progress curve (Figures 4-7).
+struct CurvePoint {
+  std::size_t labeled = 0;
+  double elapsed_s = 0.0;
+  double accuracy = 0.0;  ///< the paper metric
+  double loss = 0.0;
+};
+
+/// Reproduces the incremental protocol of Section 3.1 for one (classifier,
+/// optimizer) configuration over a pre-labeled dataset, probing the paper
+/// accuracy after every (re)training round. The evaluator's cache is shared
+/// by all probes, mirroring how the paper amortises dataset collection.
+inline std::vector<CurvePoint> run_training_curve(
+    const core::SynthesisEvaluator& evaluator,
+    const std::vector<core::Flow>& labeled_flows,
+    const std::vector<map::QoR>& labeled_qor,
+    const std::vector<core::Flow>& pool, const core::LabelerConfig& lcfg,
+    const core::ClassifierConfig& ccfg, const std::string& optimizer_name,
+    const ExperimentScale& scale, util::ThreadPool& threads,
+    util::Rng& rng) {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::CnnFlowClassifier classifier(ccfg);
+  core::Labeler labeler(lcfg);
+  auto optimizer = nn::make_optimizer(optimizer_name, scale.learning_rate);
+
+  std::vector<CurvePoint> curve;
+  std::size_t labeled = 0;
+  while (labeled < labeled_flows.size()) {
+    const std::size_t target =
+        labeled == 0
+            ? std::min(labeled_flows.size(), scale.initial_labeled)
+            : std::min(labeled_flows.size(), labeled + scale.retrain_every);
+    labeled = target;
+
+    labeler.fit(std::span<const map::QoR>(labeled_qor.data(), labeled));
+    const auto labels = labeler.classify_all(
+        std::span<const map::QoR>(labeled_qor.data(), labeled));
+
+    double loss_sum = 0.0;
+    for (std::size_t step = 0; step < scale.steps_per_round; ++step) {
+      std::vector<core::Flow> batch;
+      std::vector<std::uint32_t> batch_labels;
+      for (std::size_t b = 0; b < scale.batch_size; ++b) {
+        const auto pick = static_cast<std::size_t>(rng.below(labeled));
+        batch.push_back(labeled_flows[pick]);
+        batch_labels.push_back(labels[pick]);
+      }
+      loss_sum += classifier.train_batch(batch, batch_labels, *optimizer);
+    }
+
+    const core::SelectionProbe probe = core::probe_selection_accuracy(
+        classifier, labeler, pool, evaluator, scale.per_side, &threads);
+    CurvePoint pt;
+    pt.labeled = labeled;
+    pt.elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    pt.accuracy = probe.accuracy;
+    pt.loss = scale.steps_per_round
+                  ? loss_sum / static_cast<double>(scale.steps_per_round)
+                  : 0.0;
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+inline void print_banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace flowgen::bench

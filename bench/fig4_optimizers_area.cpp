@@ -1,0 +1,11 @@
+// Figure 4 reproduction: gradient-descent algorithm comparison for
+// generating AREA-driven angel/devil flows on the Montgomery multiplier,
+// AES core and ALU. See fig_optimizers.hpp for the shared harness and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+
+#include "fig_optimizers.hpp"
+
+int main(int argc, char** argv) {
+  return flowgen::bench::run_optimizer_figure(
+      argc, argv, flowgen::core::Objective::kArea, "fig4");
+}

@@ -1,0 +1,63 @@
+// Figure 7 reproduction: comparison of the eight activation functions
+// (ReLU, ReLU6, ELU, SELU, Softplus, Softsign, Sigmoid, Tanh) for
+// generating delay-driven flows on the AES core, with RMSProp and the 6x12
+// kernel. The paper finds the saturating nonlinearities (ELU, SELU,
+// Softsign, Tanh) ahead, with SELU the most reliable.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flowgen;
+  util::Cli cli(argc, argv);
+  const bench::ExperimentScale scale = bench::experiment_scale(cli);
+  util::ThreadPool threads(
+      static_cast<std::size_t>(cli.get_int("threads", 0)));
+
+  const std::string design = bench::design_for("aes", cli.full_scale());
+  bench::print_banner(
+      "Fig.7 activation-function study, delay-driven, design aes (" +
+      design + ")");
+
+  core::SynthesisEvaluator evaluator(designs::make_design(design));
+  core::FlowSpace space(4);
+  util::Rng rng(707);
+  const auto all =
+      space.sample_unique(scale.labeled_flows + scale.pool_flows, rng);
+  const std::vector<core::Flow> labeled_flows(
+      all.begin(),
+      all.begin() + static_cast<std::ptrdiff_t>(scale.labeled_flows));
+  const std::vector<core::Flow> pool(
+      all.begin() + static_cast<std::ptrdiff_t>(scale.labeled_flows),
+      all.end());
+  const auto labeled_qor = evaluator.evaluate_many(labeled_flows, &threads);
+
+  core::LabelerConfig lcfg;
+  lcfg.objective = core::Objective::kDelay;
+
+  util::CsvWriter csv("fig7_activations.csv", {"activation", "accuracy"});
+  std::printf("  %-10s final accuracy (bar chart of Fig. 7)\n",
+              "activation");
+  for (std::size_t i = 0; i < nn::kNumActivations; ++i) {
+    const nn::ActivationKind kind = nn::activation_by_index(i);
+    core::ClassifierConfig ccfg;
+    ccfg.conv_filters = scale.conv_filters;
+    ccfg.kernel_h = 6;
+    ccfg.kernel_w = 12;
+    ccfg.local_filters = 16;
+    ccfg.dense_units = 48;
+    ccfg.activation = kind;
+    ccfg.seed = 99;
+    util::Rng train_rng(4242);
+    const auto curve = bench::run_training_curve(
+        evaluator, labeled_flows, labeled_qor, pool, lcfg, ccfg, "RMSProp",
+        scale, threads, train_rng);
+    const double acc = curve.back().accuracy;
+    const auto bar = static_cast<std::size_t>(acc * 40.0);
+    std::printf("  %-10s %.2f %s\n", nn::activation_name(kind), acc,
+                std::string(bar, '#').c_str());
+    csv.row({nn::activation_name(kind), std::to_string(acc)});
+  }
+  std::puts("\n  [paper: ELU/SELU/Softsign/Tanh outperform; SELU most"
+            " reliable]\n  series written to fig7_activations.csv");
+  return 0;
+}

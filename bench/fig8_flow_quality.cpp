@@ -1,0 +1,145 @@
+// Figure 8 reproduction: quality of the generated flows. For each of the
+// three designs, the full autonomous pipeline (Figure 2) runs twice — once
+// area-driven, once delay-driven — and the selected angel/devil flows are
+// plotted against the sample-pool QoR cloud. The paper's claim: area-angel
+// flows are bounded at the low-area edge of the cloud, delay-angel flows at
+// the low-delay edge, and devil flows sit at the opposite extremes.
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "util/ascii_plot.hpp"
+
+namespace {
+
+using namespace flowgen;
+
+struct ObjectiveResult {
+  core::PipelineResult res;
+};
+
+void run_design(const std::string& paper_name, const std::string& design,
+                const bench::ExperimentScale& scale, std::size_t threads,
+                util::CsvWriter& csv) {
+  bench::print_banner("Fig.8 flows generated for design " + paper_name +
+                      " (" + design + ")");
+
+  std::vector<util::Series> series;
+
+  // Shared cloud: evaluate a slice of random flows for the background.
+  core::SynthesisEvaluator cloud_eval(designs::make_design(design));
+  core::FlowSpace space(4);
+  util::Rng cloud_rng(808);
+  const auto cloud_flows =
+      space.sample_unique(std::min<std::size_t>(scale.pool_flows, 300),
+                          cloud_rng);
+  util::ThreadPool pool_threads(threads);
+  const auto cloud_qor = cloud_eval.evaluate_many(cloud_flows, &pool_threads);
+  util::Series cloud;
+  cloud.name = "sample flows";
+  cloud.glyph = '.';
+  for (const auto& q : cloud_qor) {
+    cloud.xs.push_back(q.area_um2);
+    cloud.ys.push_back(q.delay_ps);
+  }
+  series.push_back(cloud);
+
+  struct Run {
+    core::Objective objective;
+    char angel_glyph, devil_glyph;
+  };
+  for (const Run& run : {Run{core::Objective::kArea, 'A', 'a'},
+                         Run{core::Objective::kDelay, 'D', 'd'}}) {
+    core::PipelineConfig cfg;
+    cfg.training_flows = scale.labeled_flows;
+    cfg.sample_flows = scale.pool_flows;
+    cfg.initial_labeled = scale.initial_labeled;
+    cfg.retrain_every = scale.retrain_every;
+    cfg.num_angel = cfg.num_devil = scale.per_side;
+    cfg.steps_per_round = scale.steps_per_round;
+    cfg.batch_size = scale.batch_size;
+    cfg.learning_rate = scale.learning_rate;
+    cfg.classifier.conv_filters = scale.conv_filters;
+    cfg.classifier.local_filters = 16;
+    cfg.classifier.dense_units = 48;
+    cfg.labeler.objective = run.objective;
+    cfg.seed = 4242;
+    cfg.threads = threads;
+
+    core::FlowGenPipeline pipeline(designs::make_design(design), cfg);
+    const core::PipelineResult res = pipeline.run();
+
+    const char* obj = core::objective_name(run.objective);
+    std::vector<double> angel_metric, devil_metric, cloud_metric;
+    for (const auto& q : res.angel_qor) {
+      angel_metric.push_back(core::metric_value(run.objective, q));
+    }
+    for (const auto& q : res.devil_qor) {
+      devil_metric.push_back(core::metric_value(run.objective, q));
+    }
+    for (const auto& q : cloud_qor) {
+      cloud_metric.push_back(core::metric_value(run.objective, q));
+    }
+    std::printf(
+        "  %s-driven: accuracy=%.2f  angel %s: best=%.1f mean=%.1f |"
+        " devil %s: worst=%.1f mean=%.1f | cloud mean=%.1f\n",
+        obj, res.paper_accuracy, obj, util::min_of(angel_metric),
+        util::mean(angel_metric), obj, util::max_of(devil_metric),
+        util::mean(devil_metric), util::mean(cloud_metric));
+    std::printf("  best %s angel-flow: %s\n", obj,
+                res.angel_flows.front().to_string().c_str());
+
+    util::Series angel;
+    angel.name = std::string(obj) + ":angel-flows";
+    angel.glyph = run.angel_glyph;
+    for (const auto& q : res.angel_qor) {
+      angel.xs.push_back(q.area_um2);
+      angel.ys.push_back(q.delay_ps);
+    }
+    util::Series devil;
+    devil.name = std::string(obj) + ":devil-flows";
+    devil.glyph = run.devil_glyph;
+    for (const auto& q : res.devil_qor) {
+      devil.xs.push_back(q.area_um2);
+      devil.ys.push_back(q.delay_ps);
+    }
+    series.push_back(angel);
+    series.push_back(devil);
+
+    for (std::size_t i = 0; i < res.angel_qor.size(); ++i) {
+      csv.row({paper_name, obj, "angel", std::to_string(
+                   res.angel_qor[i].area_um2),
+               std::to_string(res.angel_qor[i].delay_ps)});
+    }
+    for (std::size_t i = 0; i < res.devil_qor.size(); ++i) {
+      csv.row({paper_name, obj, "devil", std::to_string(
+                   res.devil_qor[i].area_um2),
+               std::to_string(res.devil_qor[i].delay_ps)});
+    }
+  }
+
+  util::PlotOptions opt;
+  opt.title = "  area/delay plane (cf. Fig. 8): '.' cloud, A/a area-angel/"
+              "devil, D/d delay-angel/devil";
+  opt.x_label = "area um^2";
+  opt.y_label = "delay ps";
+  std::fputs(util::scatter_plot(series, opt).c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bench::ExperimentScale scale = bench::experiment_scale(cli);
+  const auto threads =
+      static_cast<std::size_t>(cli.get_int("threads", 0));
+
+  util::CsvWriter csv("fig8_flows.csv",
+                      {"design", "objective", "kind", "area_um2",
+                       "delay_ps"});
+  for (const std::string& paper_name : {"mont", "aes", "alu"}) {
+    run_design(paper_name, bench::design_for(paper_name, cli.full_scale()),
+               scale, threads, csv);
+  }
+  std::puts("\nseries written to fig8_flows.csv");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// google-benchmark microbenchmarks for the synthesis substrate: per-pass
+// transform cost, cut enumeration, technology mapping and full-flow
+// evaluation. These are the per-iteration costs behind the "collecting the
+// training dataset takes most of the runtime" observation in the paper.
+
+#include <benchmark/benchmark.h>
+
+#include "aig/cuts.hpp"
+#include "core/evaluator.hpp"
+#include "core/flow_space.hpp"
+#include "designs/registry.hpp"
+#include "map/mapper.hpp"
+#include "opt/transform.hpp"
+
+namespace {
+
+using namespace flowgen;
+
+const aig::Aig& cached_design(const std::string& name) {
+  static std::map<std::string, aig::Aig> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, designs::make_design(name)).first;
+  }
+  return it->second;
+}
+
+void BM_DesignElaboration(benchmark::State& state,
+                          const std::string& name) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(designs::make_design(name));
+  }
+}
+BENCHMARK_CAPTURE(BM_DesignElaboration, alu16, std::string("alu16"));
+BENCHMARK_CAPTURE(BM_DesignElaboration, mont8, std::string("mont:8"));
+
+void BM_Transform(benchmark::State& state, const std::string& design,
+                  const std::string& transform) {
+  const aig::Aig& g = cached_design(design);
+  const opt::TransformKind kind = opt::transform_from_name(transform);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::apply_transform(g, kind));
+  }
+  state.counters["and_nodes"] = static_cast<double>(g.num_ands());
+}
+BENCHMARK_CAPTURE(BM_Transform, alu16_balance, std::string("alu16"),
+                  std::string("balance"));
+BENCHMARK_CAPTURE(BM_Transform, alu16_rewrite, std::string("alu16"),
+                  std::string("rewrite"));
+BENCHMARK_CAPTURE(BM_Transform, alu16_refactor, std::string("alu16"),
+                  std::string("refactor"));
+BENCHMARK_CAPTURE(BM_Transform, alu16_restructure, std::string("alu16"),
+                  std::string("restructure"));
+BENCHMARK_CAPTURE(BM_Transform, mont8_rewrite, std::string("mont:8"),
+                  std::string("rewrite"));
+
+void BM_CutEnumeration(benchmark::State& state) {
+  const aig::Aig& g = cached_design("alu16");
+  aig::CutParams params;
+  params.cut_size = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    aig::CutManager cuts(g, params);
+    benchmark::DoNotOptimize(cuts.cuts(g.num_nodes() - 1).size());
+  }
+}
+BENCHMARK(BM_CutEnumeration)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_TechnologyMapping(benchmark::State& state,
+                          const std::string& design) {
+  const aig::Aig& g = cached_design(design);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map::evaluate_qor(g));
+  }
+}
+BENCHMARK_CAPTURE(BM_TechnologyMapping, alu16, std::string("alu16"));
+BENCHMARK_CAPTURE(BM_TechnologyMapping, mont8, std::string("mont:8"));
+
+void BM_FullFlowEvaluation(benchmark::State& state) {
+  // One length-24 flow end to end: the unit of work the pipeline pays per
+  // labeled training flow.
+  core::SynthesisEvaluator evaluator(cached_design("alu16"));
+  core::FlowSpace space(4);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const core::Flow flow = space.random_flow(rng);
+    benchmark::DoNotOptimize(evaluator.evaluate(flow));
+  }
+}
+BENCHMARK(BM_FullFlowEvaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

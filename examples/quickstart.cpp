@@ -1,0 +1,49 @@
+// Quickstart: the 60-second tour of the public API.
+//
+//   1. elaborate a design into an AIG,
+//   2. run a synthesis flow (a sequence of ABC-style transforms),
+//   3. map it onto the builtin 14nm-class cell library,
+//   4. compare the QoR of two different flows — the whole premise of the
+//      paper is that ORDER matters.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "aig/writer.hpp"
+#include "core/evaluator.hpp"
+#include "designs/registry.hpp"
+#include "opt/transform.hpp"
+
+int main() {
+  using namespace flowgen;
+
+  // 1. A 16-bit ALU, elaborated directly into an and-inverter graph.
+  aig::Aig design = designs::make_design("alu16");
+  std::printf("design   : %s\n", aig::stats_line(design).c_str());
+
+  // 2. Two flows over the same transform multiset, different order.
+  core::Flow flow_a = core::Flow::from_key("024135024135");  // interleaved
+  core::Flow flow_b = core::Flow::from_key("001122334455");  // grouped
+  std::printf("flow A   : %s\nflow B   : %s\n",
+              flow_a.to_string().c_str(), flow_b.to_string().c_str());
+
+  // 3./4. Evaluate both: synthesis + technology mapping, QoR out.
+  core::SynthesisEvaluator evaluator(design);
+  const map::QoR base = evaluator.baseline();
+  const map::QoR qa = evaluator.evaluate(flow_a);
+  const map::QoR qb = evaluator.evaluate(flow_b);
+
+  std::printf("baseline : %s\n", base.to_string().c_str());
+  std::printf("flow A   : %s\n", qa.to_string().c_str());
+  std::printf("flow B   : %s\n", qb.to_string().c_str());
+
+  const double darea = 100.0 * (qb.area_um2 - qa.area_um2) / qa.area_um2;
+  const double ddelay = 100.0 * (qb.delay_ps - qa.delay_ps) / qa.delay_ps;
+  std::printf(
+      "\nsame transforms, different order: area differs by %+.1f%%, "
+      "delay by %+.1f%%.\nThat spread is what the FlowGen pipeline "
+      "learns to navigate -- see examples/angel_flows.cpp.\n",
+      darea, ddelay);
+  return 0;
+}

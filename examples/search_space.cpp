@@ -1,0 +1,53 @@
+// Section 2.1 of the paper, executable: the search space of m-repetition
+// synthesis flows. Reproduces Examples 1 and 2, Remark 3's counting
+// function f(n, L, m), and shows why exhaustive human testing is hopeless
+// (the paper's 6-transform, 4-repetition space holds ~3.2e15 flows).
+//
+//   ./build/examples/search_space
+
+#include <cstdio>
+
+#include "core/flow_space.hpp"
+#include "opt/transform.hpp"
+
+int main() {
+  using namespace flowgen;
+
+  std::puts("The transform set S of the paper (Section 2.2):");
+  for (auto kind : opt::paper_transform_set()) {
+    std::printf("  p%u = %s\n", static_cast<unsigned>(kind),
+                opt::transform_name(kind).c_str());
+  }
+
+  std::puts("\nExample 1: non-repetition flows over |S| = 3 -> 3! = 6:");
+  std::printf("  f(3, 3, 1) = %s\n",
+              core::u128_to_string(core::count_limited_permutations(3, 3, 1))
+                  .c_str());
+
+  std::puts("\nExample 2: 2-repetition flows over |S| = 2 -> 6 flows:");
+  std::printf("  f(2, 4, 2) = %s\n",
+              core::u128_to_string(core::count_limited_permutations(2, 4, 2))
+                  .c_str());
+
+  std::puts("\nRemark 3: f(n, L, m) for the paper's n = 6 as m grows:");
+  std::printf("  %-4s %-6s %s\n", "m", "L", "f(6, L, m)");
+  for (unsigned m = 1; m <= 6; ++m) {
+    const core::FlowSpace space(m);
+    std::printf("  %-4u %-6u %s\n", m, space.length(),
+                core::u128_to_string(space.size()).c_str());
+  }
+
+  std::puts(
+      "\nAt m = 4 (the paper's setting) the space holds ~3.2e15 flows;"
+      "\nat one flow per second, exhausting it would take ~100 million"
+      " years.\nSampling + learning is the only way through -- which is"
+      " the paper's point.");
+
+  std::puts("\nA few uniform random draws from the m = 4 space:");
+  core::FlowSpace space(4);
+  util::Rng rng(2718);
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %s\n", space.random_flow(rng).to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,200 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace flowgen::aig {
+
+Aig::Aig() {
+  nodes_.push_back(Node{});  // node 0: constant false
+}
+
+Lit Aig::add_pi() {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  pis_.push_back(id);
+  return make_lit(id, false);
+}
+
+std::vector<Lit> Aig::add_pis(std::size_t n) {
+  std::vector<Lit> lits;
+  lits.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) lits.push_back(add_pi());
+  return lits;
+}
+
+Lit Aig::land(Lit a, Lit b) {
+  // Trivial simplifications keep the graph free of degenerate nodes.
+  if (a == kLitFalse || b == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (b == kLitTrue) return a;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+  if (a > b) std::swap(a, b);
+
+  const std::uint64_t key = strash_key(a, b);
+  if (const auto it = strash_.find(key); it != strash_.end()) {
+    return make_lit(it->second, false);
+  }
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  Node n;
+  n.fanin0 = a;
+  n.fanin1 = b;
+  n.level = std::max(nodes_[lit_node(a)].level, nodes_[lit_node(b)].level) + 1;
+  nodes_.push_back(n);
+  strash_.emplace(key, id);
+  return make_lit(id, false);
+}
+
+Lit Aig::lor(Lit a, Lit b) { return lit_not(land(lit_not(a), lit_not(b))); }
+
+Lit Aig::lxor(Lit a, Lit b) {
+  // a ^ b = (a | b) & ~(a & b) expressed with two ANDs + inverters:
+  // ~( ~(a & ~b) & ~(~a & b) )
+  return lor(land(a, lit_not(b)), land(lit_not(a), b));
+}
+
+Lit Aig::lxnor(Lit a, Lit b) { return lit_not(lxor(a, b)); }
+Lit Aig::lnand(Lit a, Lit b) { return lit_not(land(a, b)); }
+Lit Aig::lnor(Lit a, Lit b) { return lit_not(lor(a, b)); }
+
+Lit Aig::lmux(Lit sel, Lit t, Lit e) {
+  return lor(land(sel, t), land(lit_not(sel), e));
+}
+
+Lit Aig::lmaj(Lit a, Lit b, Lit c) {
+  return lor(land(a, b), lor(land(a, c), land(b, c)));
+}
+
+namespace {
+
+template <typename Combine>
+Lit reduce_chain(std::vector<Lit>& ops, Lit identity, Combine&& combine) {
+  // Left-fold into a linear chain. This is deliberately NOT balanced: it is
+  // how naive elaboration (and classic factored-form construction) builds
+  // n-ary gates, leaving depth minimisation to the `balance` transform —
+  // the interplay the paper's synthesis flows exploit.
+  Lit acc = identity;
+  bool first = true;
+  for (Lit op : ops) {
+    acc = first ? op : combine(acc, op);
+    first = false;
+  }
+  return ops.empty() ? identity : acc;
+}
+
+}  // namespace
+
+Lit Aig::land_n(std::vector<Lit> ops) {
+  return reduce_chain(ops, kLitTrue,
+                      [this](Lit a, Lit b) { return land(a, b); });
+}
+
+Lit Aig::lor_n(std::vector<Lit> ops) {
+  return reduce_chain(ops, kLitFalse,
+                      [this](Lit a, Lit b) { return lor(a, b); });
+}
+
+Lit Aig::lxor_n(std::vector<Lit> ops) {
+  return reduce_chain(ops, kLitFalse,
+                      [this](Lit a, Lit b) { return lxor(a, b); });
+}
+
+std::size_t Aig::add_po(Lit l) {
+  pos_.push_back(l);
+  return pos_.size() - 1;
+}
+
+std::uint32_t Aig::depth() const {
+  std::uint32_t d = 0;
+  for (Lit po : pos_) d = std::max(d, nodes_[lit_node(po)].level);
+  return d;
+}
+
+std::vector<std::uint32_t> Aig::topo_order() const {
+  std::vector<std::uint32_t> order(nodes_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  return order;
+}
+
+void Aig::rollback(std::size_t checkpoint) {
+  assert(checkpoint >= pis_.size() + 1);
+  for (std::size_t id = checkpoint; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    strash_.erase(strash_key(n.fanin0, n.fanin1));
+  }
+  nodes_.resize(checkpoint);
+}
+
+Aig Aig::cleanup() const {
+  Aig out;
+  out.name = name;
+  std::vector<Lit> map(nodes_.size(), kLitInvalid);
+  map[0] = kLitFalse;
+  for (std::uint32_t pi : pis_) map[pi] = out.add_pi();
+
+  // Mark reachable cone from POs.
+  std::vector<char> reach(nodes_.size(), 0);
+  std::vector<std::uint32_t> stack;
+  for (Lit po : pos_) stack.push_back(lit_node(po));
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (reach[id]) continue;
+    reach[id] = 1;
+    if (is_and(id)) {
+      stack.push_back(lit_node(nodes_[id].fanin0));
+      stack.push_back(lit_node(nodes_[id].fanin1));
+    }
+  }
+
+  // Ids are topological, so a single forward sweep rebuilds the cone.
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    if (!reach[id] || !is_and(id)) continue;
+    const Node& n = nodes_[id];
+    const Lit f0 = map[lit_node(n.fanin0)] ^ (n.fanin0 & 1u);
+    const Lit f1 = map[lit_node(n.fanin1)] ^ (n.fanin1 & 1u);
+    map[id] = out.land(f0, f1);
+  }
+  for (Lit po : pos_) {
+    out.add_po(map[lit_node(po)] ^ (po & 1u));
+  }
+  return out;
+}
+
+std::string Aig::check() const {
+  std::ostringstream err;
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    if (!is_and(id)) continue;
+    const Node& n = nodes_[id];
+    if (lit_node(n.fanin0) >= id || lit_node(n.fanin1) >= id) {
+      err << "node " << id << ": fanin id not smaller than node id\n";
+    }
+    if (n.fanin0 > n.fanin1) {
+      err << "node " << id << ": fanins not normalised\n";
+    }
+    if (n.fanin0 == n.fanin1 || n.fanin0 == lit_not(n.fanin1)) {
+      err << "node " << id << ": trivial AND\n";
+    }
+    if (lit_node(n.fanin0) == 0 || lit_node(n.fanin1) == 0) {
+      err << "node " << id << ": constant fanin\n";
+    }
+    const auto it = strash_.find(strash_key(n.fanin0, n.fanin1));
+    if (it == strash_.end() || it->second != id) {
+      err << "node " << id << ": missing/duplicate strash entry\n";
+    }
+    const std::uint32_t expect =
+        std::max(nodes_[lit_node(n.fanin0)].level,
+                 nodes_[lit_node(n.fanin1)].level) +
+        1;
+    if (n.level != expect) err << "node " << id << ": wrong level\n";
+  }
+  for (Lit po : pos_) {
+    if (lit_node(po) >= nodes_.size()) err << "PO points past the graph\n";
+  }
+  return err.str();
+}
+
+}  // namespace flowgen::aig

@@ -1,0 +1,136 @@
+#pragma once
+// And-Inverter Graph: the logic-network representation every synthesis
+// transform in this repo operates on, mirroring the data structure at the
+// heart of ABC. Nodes are 2-input ANDs; inversion lives on edges
+// (complemented literals); structural hashing keeps the graph canonical
+// (no duplicate ANDs, no trivial ANDs).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace flowgen::aig {
+
+/// Edge literal: 2*node_id + complement bit. Node 0 is the constant-FALSE
+/// node, so literal 0 = constant 0 and literal 1 = constant 1.
+using Lit = std::uint32_t;
+
+constexpr Lit kLitFalse = 0;
+constexpr Lit kLitTrue = 1;
+constexpr Lit kLitInvalid = 0xFFFFFFFFu;
+
+constexpr Lit make_lit(std::uint32_t node, bool complement) {
+  return (node << 1) | static_cast<Lit>(complement);
+}
+constexpr std::uint32_t lit_node(Lit l) { return l >> 1; }
+constexpr bool lit_is_compl(Lit l) { return (l & 1u) != 0; }
+constexpr Lit lit_not(Lit l) { return l ^ 1u; }
+constexpr Lit lit_regular(Lit l) { return l & ~1u; }
+
+class Aig {
+public:
+  struct Node {
+    Lit fanin0 = kLitInvalid;  ///< kLitInvalid for PIs and the constant node
+    Lit fanin1 = kLitInvalid;
+    std::uint32_t level = 0;  ///< 0 for PIs/constant, max(fanins)+1 for ANDs
+  };
+
+  Aig();
+
+  /// Named construction metadata (optional, used by writers/reports).
+  std::string name;
+
+  // -- construction ---------------------------------------------------------
+
+  /// Append a new primary input; returns its (positive) literal.
+  Lit add_pi();
+  /// Append `n` primary inputs; returns their literals in order.
+  std::vector<Lit> add_pis(std::size_t n);
+
+  /// Structurally hashed AND of two literals. Applies the usual
+  /// simplifications (const absorption, idempotence, a & ~a = 0) and
+  /// normalises operand order, so the graph never contains trivial nodes.
+  Lit land(Lit a, Lit b);
+
+  // Derived gates, all expressed over `land`.
+  Lit lnot(Lit a) const { return lit_not(a); }
+  Lit lor(Lit a, Lit b);
+  Lit lxor(Lit a, Lit b);
+  Lit lxnor(Lit a, Lit b);
+  Lit lnand(Lit a, Lit b);
+  Lit lnor(Lit a, Lit b);
+  /// Multiplexer: sel ? t : e.
+  Lit lmux(Lit sel, Lit t, Lit e);
+  /// Majority-of-three (full-adder carry).
+  Lit lmaj(Lit a, Lit b, Lit c);
+  /// AND / OR / XOR over an operand list, built as a linear chain (empty
+  /// list = identity). Chains are the naive-elaboration shape; run the
+  /// `balance` transform to minimise their depth.
+  Lit land_n(std::vector<Lit> ops);
+  Lit lor_n(std::vector<Lit> ops);
+  Lit lxor_n(std::vector<Lit> ops);
+
+  /// Register a primary output driven by `l`; returns its index.
+  std::size_t add_po(Lit l);
+
+  // -- inspection -----------------------------------------------------------
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_pis() const { return pis_.size(); }
+  std::size_t num_pos() const { return pos_.size(); }
+  /// Number of AND gates (the paper's and ABC's "size" metric).
+  std::size_t num_ands() const { return nodes_.size() - pis_.size() - 1; }
+  /// Logic depth in AND levels (ABC's "lev" metric).
+  std::uint32_t depth() const;
+
+  const Node& node(std::uint32_t id) const { return nodes_[id]; }
+  bool is_const(std::uint32_t id) const { return id == 0; }
+  bool is_pi(std::uint32_t id) const {
+    return id != 0 && nodes_[id].fanin0 == kLitInvalid;
+  }
+  bool is_and(std::uint32_t id) const {
+    return nodes_[id].fanin0 != kLitInvalid;
+  }
+  std::uint32_t level(std::uint32_t id) const { return nodes_[id].level; }
+
+  const std::vector<std::uint32_t>& pis() const { return pis_; }
+  const std::vector<Lit>& pos() const { return pos_; }
+  Lit po(std::size_t i) const { return pos_[i]; }
+  /// Redirect an existing PO (used by rebuild passes).
+  void set_po(std::size_t i, Lit l) { pos_[i] = l; }
+
+  /// Node ids in topological order. The graph is append-only, so ids are
+  /// already topologically sorted; this returns [0, num_nodes).
+  std::vector<std::uint32_t> topo_order() const;
+
+  // -- checkpoint / rollback ------------------------------------------------
+  // Transforms tentatively construct candidate subgraphs to count their true
+  // cost (structural hashing makes already-present nodes free), then roll
+  // back if the candidate loses. Only appended nodes are undone.
+
+  std::size_t checkpoint() const { return nodes_.size(); }
+  void rollback(std::size_t checkpoint);
+
+  // -- maintenance ----------------------------------------------------------
+
+  /// Copy only the logic reachable from the POs into a fresh AIG (dead-node
+  /// elimination). PIs are preserved in order even if unused.
+  Aig cleanup() const;
+
+  /// Structural invariant check (strash consistency, operand order,
+  /// no trivial nodes); returns an error string, empty when healthy.
+  std::string check() const;
+
+private:
+  static std::uint64_t strash_key(Lit a, Lit b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> pis_;
+  std::vector<Lit> pos_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+};
+
+}  // namespace flowgen::aig

@@ -1,0 +1,226 @@
+#include "aig/factor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <map>
+
+namespace flowgen::aig {
+
+std::size_t FactorExpr::num_literals() const {
+  switch (kind) {
+    case Kind::kConst0:
+    case Kind::kConst1:
+      return 0;
+    case Kind::kLiteral:
+      return 1;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::size_t n = 0;
+      for (const auto& c : children) n += c.num_literals();
+      return n;
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+FactorExpr make_literal(unsigned var, bool negated) {
+  FactorExpr e;
+  e.kind = FactorExpr::Kind::kLiteral;
+  e.var = var;
+  e.negated = negated;
+  return e;
+}
+
+FactorExpr make_op(FactorExpr::Kind kind, std::vector<FactorExpr> children) {
+  if (children.size() == 1) return std::move(children.front());
+  FactorExpr e;
+  e.kind = kind;
+  e.children = std::move(children);
+  return e;
+}
+
+/// AND-expression for a single cube.
+FactorExpr cube_expr(const Cube& cube) {
+  std::vector<FactorExpr> lits;
+  for (unsigned v = 0; v < 32; ++v) {
+    if (cube.pos & (1u << v)) lits.push_back(make_literal(v, false));
+    if (cube.neg & (1u << v)) lits.push_back(make_literal(v, true));
+  }
+  if (lits.empty()) {
+    FactorExpr e;
+    e.kind = FactorExpr::Kind::kConst1;
+    return e;
+  }
+  return make_op(FactorExpr::Kind::kAnd, std::move(lits));
+}
+
+/// Most frequent literal among cubes with >= 2 literals; returns false when
+/// no literal occurs in two or more cubes (nothing left to factor).
+bool best_literal(const Sop& sop, unsigned& var, bool& negated) {
+  std::array<unsigned, 32> pos_count{};
+  std::array<unsigned, 32> neg_count{};
+  for (const Cube& c : sop) {
+    if (c.num_literals() < 2) continue;  // factoring it out gains nothing
+    for (unsigned v = 0; v < 32; ++v) {
+      if (c.pos & (1u << v)) ++pos_count[v];
+      if (c.neg & (1u << v)) ++neg_count[v];
+    }
+  }
+  unsigned best = 1;
+  bool found = false;
+  for (unsigned v = 0; v < 32; ++v) {
+    if (pos_count[v] > best) {
+      best = pos_count[v];
+      var = v;
+      negated = false;
+      found = true;
+    }
+    if (neg_count[v] > best) {
+      best = neg_count[v];
+      var = v;
+      negated = true;
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+FactorExpr factor_sop(const Sop& sop) {
+  if (sop.empty()) {
+    FactorExpr e;
+    e.kind = FactorExpr::Kind::kConst0;
+    return e;
+  }
+  if (sop.size() == 1) return cube_expr(sop.front());
+  // Tautology cube swallows everything.
+  for (const Cube& c : sop) {
+    if (c.pos == 0 && c.neg == 0) {
+      FactorExpr e;
+      e.kind = FactorExpr::Kind::kConst1;
+      return e;
+    }
+  }
+
+  unsigned var = 0;
+  bool negated = false;
+  if (!best_literal(sop, var, negated)) {
+    // No shared literal: plain OR of cube ANDs.
+    std::vector<FactorExpr> terms;
+    terms.reserve(sop.size());
+    for (const Cube& c : sop) terms.push_back(cube_expr(c));
+    return make_op(FactorExpr::Kind::kOr, std::move(terms));
+  }
+
+  const std::uint32_t bit = 1u << var;
+  Sop quotient, remainder;
+  for (const Cube& c : sop) {
+    const bool has = negated ? (c.neg & bit) : (c.pos & bit);
+    if (has && c.num_literals() >= 2) {
+      Cube q = c;
+      (negated ? q.neg : q.pos) &= ~bit;
+      quotient.push_back(q);
+    } else {
+      remainder.push_back(c);
+    }
+  }
+  assert(quotient.size() >= 2);
+
+  // F = literal * factor(quotient) + factor(remainder)
+  std::vector<FactorExpr> product;
+  product.push_back(make_literal(var, negated));
+  product.push_back(factor_sop(quotient));
+  FactorExpr left = make_op(FactorExpr::Kind::kAnd, std::move(product));
+  if (remainder.empty()) return left;
+
+  std::vector<FactorExpr> sum;
+  sum.push_back(std::move(left));
+  sum.push_back(factor_sop(remainder));
+  return make_op(FactorExpr::Kind::kOr, std::move(sum));
+}
+
+Lit build_factored(Aig& aig, const FactorExpr& expr,
+                   const std::vector<Lit>& inputs) {
+  switch (expr.kind) {
+    case FactorExpr::Kind::kConst0:
+      return kLitFalse;
+    case FactorExpr::Kind::kConst1:
+      return kLitTrue;
+    case FactorExpr::Kind::kLiteral: {
+      assert(expr.var < inputs.size());
+      const Lit l = inputs[expr.var];
+      return expr.negated ? lit_not(l) : l;
+    }
+    case FactorExpr::Kind::kAnd:
+    case FactorExpr::Kind::kOr: {
+      std::vector<Lit> ops;
+      ops.reserve(expr.children.size());
+      for (const auto& c : expr.children) {
+        ops.push_back(build_factored(aig, c, inputs));
+      }
+      return expr.kind == FactorExpr::Kind::kAnd ? aig.land_n(std::move(ops))
+                                                 : aig.lor_n(std::move(ops));
+    }
+  }
+  return kLitFalse;
+}
+
+namespace {
+
+Lit build_shannon_rec(
+    Aig& aig, const TruthTable& tt, const std::vector<Lit>& inputs,
+    unsigned top_var,
+    std::map<std::vector<std::uint64_t>, Lit>& memo) {
+  if (tt.is_const0()) return kLitFalse;
+  if (tt.is_const1()) return kLitTrue;
+  if (const auto it = memo.find(tt.words()); it != memo.end()) {
+    return it->second;
+  }
+  // Expand on the highest essential variable.
+  unsigned var = 0;
+  bool found = false;
+  for (unsigned v = top_var; v-- > 0;) {
+    if (tt.depends_on(v)) {
+      var = v;
+      found = true;
+      break;
+    }
+  }
+  assert(found);
+  (void)found;
+  const Lit hi = build_shannon_rec(aig, tt.cofactor1(var), inputs, var, memo);
+  const Lit lo = build_shannon_rec(aig, tt.cofactor0(var), inputs, var, memo);
+  const Lit result = aig.lmux(inputs[var], hi, lo);
+  memo.emplace(tt.words(), result);
+  return result;
+}
+
+}  // namespace
+
+Lit build_shannon(Aig& aig, const TruthTable& tt,
+                  const std::vector<Lit>& inputs) {
+  assert(inputs.size() >= tt.num_vars());
+  std::map<std::vector<std::uint64_t>, Lit> memo;
+  return build_shannon_rec(aig, tt, inputs, tt.num_vars(), memo);
+}
+
+Lit build_from_truth(Aig& aig, const TruthTable& tt,
+                     const std::vector<Lit>& inputs) {
+  assert(inputs.size() >= tt.num_vars());
+  if (tt.is_const0()) return kLitFalse;
+  if (tt.is_const1()) return kLitTrue;
+
+  const FactorExpr pos = factor_sop(isop(tt));
+  const FactorExpr neg = factor_sop(isop(~tt));
+  if (pos.num_literals() <= neg.num_literals()) {
+    return build_factored(aig, pos, inputs);
+  }
+  return lit_not(build_factored(aig, neg, inputs));
+}
+
+}  // namespace flowgen::aig

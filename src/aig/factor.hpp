@@ -1,0 +1,48 @@
+#pragma once
+// Algebraic factoring of sum-of-products expressions ("quick factor"), used
+// by rewrite/refactor to turn an ISOP into a small multi-level AIG cone, and
+// by the design generators to elaborate truth-table logic (AES S-box).
+
+#include <cstddef>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/isop.hpp"
+#include "aig/truth.hpp"
+
+namespace flowgen::aig {
+
+/// Factored-form expression tree.
+struct FactorExpr {
+  enum class Kind { kConst0, kConst1, kLiteral, kAnd, kOr };
+  Kind kind = Kind::kConst0;
+  unsigned var = 0;      ///< valid for kLiteral
+  bool negated = false;  ///< valid for kLiteral
+  std::vector<FactorExpr> children;  ///< valid for kAnd / kOr
+
+  /// Literal count of the factored form (the standard cost measure).
+  std::size_t num_literals() const;
+};
+
+/// Algebraic "quick factor": repeatedly divides by the most frequent literal.
+FactorExpr factor_sop(const Sop& sop);
+
+/// Construct the expression in `aig` with cut leaves mapped to `inputs`
+/// (inputs[i] drives variable i). Returns the root literal.
+Lit build_factored(Aig& aig, const FactorExpr& expr,
+                   const std::vector<Lit>& inputs);
+
+/// Full resynthesis helper: ISOP + factoring of both polarities of `tt`,
+/// picking the polarity with fewer literals, built over `inputs`.
+Lit build_from_truth(Aig& aig, const TruthTable& tt,
+                     const std::vector<Lit>& inputs);
+
+/// Naive Shannon (mux-tree) elaboration of `tt` over `inputs`, with
+/// structural sharing of identical cofactors. This mirrors how an RTL
+/// front-end elaborates a `case` statement: correct but unoptimized, which
+/// is exactly what a synthesis flow is supposed to clean up. Design
+/// generators use it so that flows have real optimization headroom.
+Lit build_shannon(Aig& aig, const TruthTable& tt,
+                  const std::vector<Lit>& inputs);
+
+}  // namespace flowgen::aig

@@ -1,0 +1,125 @@
+#include "aig/isop.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace flowgen::aig {
+
+unsigned Cube::num_literals() const {
+  return static_cast<unsigned>(std::popcount(pos) + std::popcount(neg));
+}
+
+namespace {
+
+struct IsopResult {
+  Sop cubes;
+  TruthTable cover;
+};
+
+/// Minato-Morreale: compute an irredundant SOP S with L <= S <= U, together
+/// with the function S actually covers. `num_top_vars` limits the variables
+/// that may still appear in cubes at this recursion depth.
+IsopResult isop_rec(const TruthTable& lower, const TruthTable& upper,
+                    unsigned num_top_vars) {
+  if (lower.is_const0()) {
+    return {Sop{}, TruthTable::constant(lower.num_vars(), false)};
+  }
+  if (upper.is_const1()) {
+    return {Sop{Cube{}}, TruthTable::constant(lower.num_vars(), true)};
+  }
+
+  // Pick the highest variable either bound still depends on.
+  unsigned var = 0;
+  bool found = false;
+  for (unsigned v = num_top_vars; v-- > 0;) {
+    if (lower.depends_on(v) || upper.depends_on(v)) {
+      var = v;
+      found = true;
+      break;
+    }
+  }
+  assert(found && "non-constant bounds must depend on some variable");
+  (void)found;
+
+  const TruthTable l0 = lower.cofactor0(var);
+  const TruthTable l1 = lower.cofactor1(var);
+  const TruthTable u0 = upper.cofactor0(var);
+  const TruthTable u1 = upper.cofactor1(var);
+
+  // Minterms of each cofactor that can only be covered on that side.
+  IsopResult neg_side = isop_rec(l0 & ~u1, u0, var);
+  IsopResult pos_side = isop_rec(l1 & ~u0, u1, var);
+
+  // What remains must be covered by cubes independent of `var`.
+  const TruthTable rest0 = l0 & ~neg_side.cover;
+  const TruthTable rest1 = l1 & ~pos_side.cover;
+  IsopResult both = isop_rec(rest0 | rest1, u0 & u1, var);
+
+  IsopResult out;
+  out.cubes.reserve(neg_side.cubes.size() + pos_side.cubes.size() +
+                    both.cubes.size());
+  for (Cube c : neg_side.cubes) {
+    c.neg |= (1u << var);
+    out.cubes.push_back(c);
+  }
+  for (Cube c : pos_side.cubes) {
+    c.pos |= (1u << var);
+    out.cubes.push_back(c);
+  }
+  for (const Cube& c : both.cubes) out.cubes.push_back(c);
+
+  const TruthTable var_tt = TruthTable::variable(lower.num_vars(), var);
+  out.cover = (neg_side.cover & ~var_tt) | (pos_side.cover & var_tt) |
+              both.cover;
+  return out;
+}
+
+}  // namespace
+
+Sop isop(const TruthTable& tt) {
+  IsopResult r = isop_rec(tt, tt, tt.num_vars());
+  assert(r.cover == tt && "ISOP must cover the function exactly");
+  return std::move(r.cubes);
+}
+
+TruthTable sop_to_truth(const Sop& sop, unsigned num_vars) {
+  TruthTable out = TruthTable::constant(num_vars, false);
+  for (const Cube& c : sop) {
+    TruthTable cube_tt = TruthTable::constant(num_vars, true);
+    for (unsigned v = 0; v < num_vars; ++v) {
+      if (c.pos & (1u << v)) cube_tt = cube_tt & TruthTable::variable(num_vars, v);
+      if (c.neg & (1u << v)) cube_tt = cube_tt & ~TruthTable::variable(num_vars, v);
+    }
+    out = out | cube_tt;
+  }
+  return out;
+}
+
+std::size_t sop_literals(const Sop& sop) {
+  std::size_t n = 0;
+  for (const Cube& c : sop) n += c.num_literals();
+  return n;
+}
+
+std::string sop_to_string(const Sop& sop, unsigned num_vars) {
+  if (sop.empty()) return "0";
+  std::string out;
+  for (std::size_t i = 0; i < sop.size(); ++i) {
+    if (i) out += " + ";
+    const Cube& c = sop[i];
+    if (c.pos == 0 && c.neg == 0) {
+      out += "1";
+      continue;
+    }
+    for (unsigned v = 0; v < num_vars; ++v) {
+      if (c.pos & (1u << v)) out += static_cast<char>('a' + v);
+      if (c.neg & (1u << v)) {
+        out += static_cast<char>('a' + v);
+        out += '\'';
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace flowgen::aig

@@ -1,0 +1,50 @@
+#include "aig/npn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace flowgen::aig {
+
+NpnResult npn_canonicalize(const TruthTable& tt) {
+  const unsigned n = tt.num_vars();
+  assert(n <= 5 && "exhaustive NPN is exponential; capped at 5 vars");
+
+  std::vector<unsigned> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+
+  NpnResult best;
+  best.canonical = tt;
+  best.transform.perm = perm;
+  bool first = true;
+
+  std::vector<unsigned> p = perm;
+  do {
+    for (unsigned flip = 0; flip < (1u << n); ++flip) {
+      for (int out = 0; out < 2; ++out) {
+        TruthTable cand = tt.permute_flip(p, flip, out != 0);
+        if (first || cand < best.canonical) {
+          first = false;
+          best.canonical = std::move(cand);
+          best.transform.perm = p;
+          best.transform.flip_mask = flip;
+          best.transform.out_flip = (out != 0);
+        }
+      }
+    }
+  } while (std::next_permutation(p.begin(), p.end()));
+  return best;
+}
+
+std::size_t known_npn_class_count(unsigned num_vars) {
+  switch (num_vars) {
+    case 0: return 1;
+    case 1: return 2;
+    case 2: return 4;
+    case 3: return 14;
+    case 4: return 222;
+    default: return 0;  // unknown to this table
+  }
+}
+
+}  // namespace flowgen::aig

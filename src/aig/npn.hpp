@@ -1,0 +1,33 @@
+#pragma once
+// NPN canonicalisation (input Negation, input Permutation, output Negation)
+// for functions of up to 5 variables, by exhaustive search over the
+// transform group. Used to index the standard-cell library and to cache
+// rewrite results per function class.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/truth.hpp"
+
+namespace flowgen::aig {
+
+struct NpnTransform {
+  std::vector<unsigned> perm;  ///< canonical input i reads original perm[i]
+  unsigned flip_mask = 0;      ///< inputs complemented before permutation
+  bool out_flip = false;       ///< output complemented
+};
+
+struct NpnResult {
+  TruthTable canonical;
+  NpnTransform transform;  ///< canonical = original.permute_flip(transform)
+};
+
+/// Exhaustive NPN canonical form: the lexicographically smallest truth table
+/// over all 2 * 2^n * n! transforms. Exact for n <= 5 (cost <= 2*32*120).
+NpnResult npn_canonicalize(const TruthTable& tt);
+
+/// Number of distinct NPN classes for n variables (known values up to 4:
+/// 1 var -> 2, 2 -> 4, 3 -> 14, 4 -> 222), used by tests as ground truth.
+std::size_t known_npn_class_count(unsigned num_vars);
+
+}  // namespace flowgen::aig

@@ -1,0 +1,200 @@
+#include "aig/reader.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace flowgen::aig {
+
+namespace {
+
+struct Names {
+  std::vector<std::string> signals;  ///< inputs..., output last
+  std::vector<std::string> cover;    ///< SOP rows like "1-0 1"
+  std::size_t line = 0;
+};
+
+struct BlifFile {
+  std::string model;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<Names> tables;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("read_blif: line " + std::to_string(line) + ": " +
+                           what);
+}
+
+std::vector<std::string> tokenize(const std::string& s) {
+  std::istringstream ss(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+BlifFile parse(std::istream& is) {
+  BlifFile file;
+  std::string raw;
+  std::size_t line_no = 0;
+  Names* current = nullptr;
+
+  std::string logical;
+  std::size_t logical_start = 0;
+  auto next_logical = [&](std::string& out) -> bool {
+    out.clear();
+    while (std::getline(is, raw)) {
+      ++line_no;
+      if (const auto hash = raw.find('#'); hash != std::string::npos) {
+        raw.erase(hash);
+      }
+      if (!out.empty()) out += ' ';
+      out += raw;
+      // '\' continuation joins the next physical line.
+      const auto end = out.find_last_not_of(" \t\r");
+      if (end != std::string::npos && out[end] == '\\') {
+        out.erase(end);
+        continue;
+      }
+      logical_start = line_no;
+      return true;
+    }
+    return !out.empty();
+  };
+
+  while (next_logical(logical)) {
+    const std::vector<std::string> tok = tokenize(logical);
+    if (tok.empty()) continue;
+    if (tok[0] == ".model") {
+      if (tok.size() > 1) file.model = tok[1];
+    } else if (tok[0] == ".inputs") {
+      file.inputs.insert(file.inputs.end(), tok.begin() + 1, tok.end());
+    } else if (tok[0] == ".outputs") {
+      file.outputs.insert(file.outputs.end(), tok.begin() + 1, tok.end());
+    } else if (tok[0] == ".names") {
+      file.tables.push_back(Names{});
+      current = &file.tables.back();
+      current->signals.assign(tok.begin() + 1, tok.end());
+      current->line = logical_start;
+      if (current->signals.empty()) fail(logical_start, ".names needs a signal");
+    } else if (tok[0] == ".end") {
+      break;
+    } else if (tok[0] == ".latch" || tok[0] == ".subckt" ||
+               tok[0] == ".gate") {
+      fail(logical_start, "unsupported construct " + tok[0]);
+    } else if (tok[0][0] == '.') {
+      // Ignore other dot-directives (.default_input_arrival etc.).
+    } else {
+      if (current == nullptr) fail(logical_start, "cover row outside .names");
+      current->cover.push_back(logical);
+    }
+  }
+  return file;
+}
+
+/// Build the function of one SOP table over already-resolved input lits.
+Lit build_cover(Aig& g, const Names& table, const std::vector<Lit>& inputs) {
+  // Constant tables: ".names x" with cover "1" (const1) or empty (const0).
+  std::vector<Lit> terms;
+  bool off_set = false;
+  bool saw_row = false;
+  for (const std::string& row_str : table.cover) {
+    const std::vector<std::string> parts = tokenize(row_str);
+    if (parts.empty()) continue;
+    saw_row = true;
+    std::string in_plane, out_plane;
+    if (parts.size() == 1) {
+      in_plane = "";
+      out_plane = parts[0];
+    } else if (parts.size() == 2) {
+      in_plane = parts[0];
+      out_plane = parts[1];
+    } else {
+      fail(table.line, "malformed cover row '" + row_str + "'");
+    }
+    if (in_plane.size() != inputs.size()) {
+      fail(table.line, "cover arity mismatch");
+    }
+    if (out_plane != "0" && out_plane != "1") {
+      fail(table.line, "output plane must be 0 or 1");
+    }
+    off_set = (out_plane == "0");
+
+    std::vector<Lit> product;
+    for (std::size_t i = 0; i < in_plane.size(); ++i) {
+      if (in_plane[i] == '1') {
+        product.push_back(inputs[i]);
+      } else if (in_plane[i] == '0') {
+        product.push_back(lit_not(inputs[i]));
+      } else if (in_plane[i] != '-') {
+        fail(table.line, "bad cover character");
+      }
+    }
+    terms.push_back(g.land_n(std::move(product)));
+  }
+  if (!saw_row) return kLitFalse;  // empty cover = constant 0
+  const Lit sum = g.lor_n(std::move(terms));
+  // An off-set cover lists the minterms of the COMPLEMENT.
+  return off_set ? lit_not(sum) : sum;
+}
+
+}  // namespace
+
+Aig read_blif(std::istream& is) {
+  const BlifFile file = parse(is);
+  Aig g;
+  g.name = file.model;
+
+  std::map<std::string, Lit> signal;
+  for (const std::string& in : file.inputs) signal[in] = g.add_pi();
+
+  // Tables may be listed out of order; resolve with repeated sweeps
+  // (cheap, and cycles are reported instead of looping forever).
+  std::vector<bool> done(file.tables.size(), false);
+  std::size_t remaining = file.tables.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t t = 0; t < file.tables.size(); ++t) {
+      if (done[t]) continue;
+      const Names& table = file.tables[t];
+      std::vector<Lit> inputs;
+      bool ready = true;
+      for (std::size_t i = 0; i + 1 < table.signals.size(); ++i) {
+        const auto it = signal.find(table.signals[i]);
+        if (it == signal.end()) {
+          ready = false;
+          break;
+        }
+        inputs.push_back(it->second);
+      }
+      if (!ready) continue;
+      const std::string& out_name = table.signals.back();
+      signal[out_name] = build_cover(g, table, inputs);
+      done[t] = true;
+      --remaining;
+      progress = true;
+    }
+    if (!progress) {
+      fail(0, "combinational cycle or undriven signal in .names network");
+    }
+  }
+
+  for (const std::string& out : file.outputs) {
+    const auto it = signal.find(out);
+    if (it == signal.end()) fail(0, "undriven output " + out);
+    g.add_po(it->second);
+  }
+  return g;
+}
+
+Aig read_blif_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_blif_file: cannot open " + path);
+  return read_blif(is);
+}
+
+}  // namespace flowgen::aig

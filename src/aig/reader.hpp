@@ -1,0 +1,24 @@
+#pragma once
+// BLIF reader: loads external combinational netlists (e.g. designs written
+// by other tools, or this project's own BLIF output) into an AIG, so the
+// FlowGen pipeline is usable on circuits beyond the bundled generators.
+//
+// Supported subset: .model/.inputs/.outputs/.names with SOP covers (both
+// on-set "1" and off-set "0" output planes), '\' line continuation, '#'
+// comments, .end. Latches and subcircuits are rejected with an error.
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace flowgen::aig {
+
+/// Parse BLIF from a stream. Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+Aig read_blif(std::istream& is);
+
+/// Parse BLIF from a file.
+Aig read_blif_file(const std::string& path);
+
+}  // namespace flowgen::aig

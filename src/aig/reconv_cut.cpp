@@ -1,0 +1,73 @@
+#include "aig/reconv_cut.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace flowgen::aig {
+
+std::vector<std::uint32_t> reconv_cut(const Aig& aig, std::uint32_t root,
+                                      unsigned max_leaves) {
+  std::vector<std::uint32_t> leaves{root};
+  std::unordered_set<std::uint32_t> leaf_set{root};
+
+  for (;;) {
+    // Pick the expandable leaf with the lowest expansion cost (= number of
+    // fanins not already leaves, minus the leaf it replaces).
+    int best_cost = 3;
+    std::size_t best_idx = leaves.size();
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const std::uint32_t id = leaves[i];
+      if (!aig.is_and(id)) continue;
+      const std::uint32_t f0 = lit_node(aig.node(id).fanin0);
+      const std::uint32_t f1 = lit_node(aig.node(id).fanin1);
+      int cost = -1;  // the leaf itself disappears
+      if (!leaf_set.count(f0)) ++cost;
+      if (f1 != f0 && !leaf_set.count(f1)) ++cost;
+      if (cost < best_cost ||
+          (cost == best_cost && best_idx < leaves.size() &&
+           aig.level(id) > aig.level(leaves[best_idx]))) {
+        best_cost = cost;
+        best_idx = i;
+      }
+    }
+    if (best_idx == leaves.size()) break;  // nothing expandable
+    const auto projected =
+        static_cast<long>(leaves.size()) + best_cost;
+    if (projected > static_cast<long>(max_leaves) && best_cost > 0) break;
+
+    const std::uint32_t id = leaves[best_idx];
+    leaves.erase(leaves.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    leaf_set.erase(id);
+    for (Lit fanin : {aig.node(id).fanin0, aig.node(id).fanin1}) {
+      const std::uint32_t f = lit_node(fanin);
+      if (leaf_set.insert(f).second) leaves.push_back(f);
+    }
+  }
+  std::sort(leaves.begin(), leaves.end());
+  return leaves;
+}
+
+std::vector<std::uint32_t> cone_nodes(
+    const Aig& aig, std::uint32_t root,
+    const std::vector<std::uint32_t>& leaves) {
+  std::unordered_set<std::uint32_t> leaf_set(leaves.begin(), leaves.end());
+  std::unordered_set<std::uint32_t> visited;
+  std::vector<std::uint32_t> order;
+
+  // Iterative post-order DFS; ids are topological, so sorting at the end
+  // yields topological order directly.
+  std::vector<std::uint32_t> stack{root};
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (leaf_set.count(id) || visited.count(id) || !aig.is_and(id)) continue;
+    visited.insert(id);
+    order.push_back(id);
+    stack.push_back(lit_node(aig.node(id).fanin0));
+    stack.push_back(lit_node(aig.node(id).fanin1));
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace flowgen::aig

@@ -1,0 +1,23 @@
+#pragma once
+// Reconvergence-driven cut computation (the cut used by ABC's refactor and
+// resubstitution): grow a cut around a root node by repeatedly expanding the
+// leaf whose fanins add the fewest new leaves, up to a leaf limit.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace flowgen::aig {
+
+/// Returns the sorted leaf node ids of a reconvergence-driven cut of `root`
+/// with at most `max_leaves` leaves.
+std::vector<std::uint32_t> reconv_cut(const Aig& aig, std::uint32_t root,
+                                      unsigned max_leaves);
+
+/// All AND nodes strictly inside the cone of `root` bounded by `leaves`
+/// (excluding the leaves, including the root), in topological order.
+std::vector<std::uint32_t> cone_nodes(const Aig& aig, std::uint32_t root,
+                                      const std::vector<std::uint32_t>& leaves);
+
+}  // namespace flowgen::aig

@@ -1,0 +1,204 @@
+#include "aig/truth.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+namespace flowgen::aig {
+
+namespace {
+
+// Bit masks of the elementary functions x_0..x_5 within one 64-bit word.
+constexpr std::uint64_t kVarMask[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull,
+};
+
+std::size_t words_for(unsigned num_vars) {
+  return num_vars <= 6 ? 1 : (std::size_t{1} << (num_vars - 6));
+}
+
+}  // namespace
+
+TruthTable::TruthTable(unsigned num_vars)
+    : num_vars_(num_vars), words_(words_for(num_vars), 0) {
+  assert(num_vars <= 16);
+}
+
+void TruthTable::mask_tail() {
+  if (num_vars_ < 6) {
+    const std::uint64_t mask =
+        (std::uint64_t{1} << (std::size_t{1} << num_vars_)) - 1;
+    words_[0] &= mask;
+  }
+}
+
+TruthTable TruthTable::constant(unsigned num_vars, bool value) {
+  TruthTable t(num_vars);
+  if (value) {
+    for (auto& w : t.words_) w = ~0ull;
+    t.mask_tail();
+  }
+  return t;
+}
+
+TruthTable TruthTable::variable(unsigned num_vars, unsigned index) {
+  assert(index < num_vars);
+  TruthTable t(num_vars);
+  if (index < 6) {
+    for (auto& w : t.words_) w = kVarMask[index];
+  } else {
+    // Variable >= 6 alternates whole words in blocks of 2^(index-6).
+    const std::size_t block = std::size_t{1} << (index - 6);
+    for (std::size_t w = 0; w < t.words_.size(); ++w) {
+      if ((w / block) & 1) t.words_[w] = ~0ull;
+    }
+  }
+  t.mask_tail();
+  return t;
+}
+
+TruthTable TruthTable::from_bits(unsigned num_vars, std::uint64_t bits) {
+  assert(num_vars <= 6);
+  TruthTable t(num_vars);
+  t.words_[0] = bits;
+  t.mask_tail();
+  return t;
+}
+
+bool TruthTable::bit(std::size_t minterm) const {
+  return (words_[minterm >> 6] >> (minterm & 63)) & 1ull;
+}
+
+void TruthTable::set_bit(std::size_t minterm, bool value) {
+  if (value) {
+    words_[minterm >> 6] |= (1ull << (minterm & 63));
+  } else {
+    words_[minterm >> 6] &= ~(1ull << (minterm & 63));
+  }
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+  assert(num_vars_ == o.num_vars_);
+  TruthTable t(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    t.words_[i] = words_[i] & o.words_[i];
+  }
+  return t;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+  assert(num_vars_ == o.num_vars_);
+  TruthTable t(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    t.words_[i] = words_[i] | o.words_[i];
+  }
+  return t;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+  assert(num_vars_ == o.num_vars_);
+  TruthTable t(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    t.words_[i] = words_[i] ^ o.words_[i];
+  }
+  return t;
+}
+
+TruthTable TruthTable::operator~() const {
+  TruthTable t(num_vars_);
+  for (std::size_t i = 0; i < words_.size(); ++i) t.words_[i] = ~words_[i];
+  t.mask_tail();
+  return t;
+}
+
+bool TruthTable::operator==(const TruthTable& o) const {
+  return num_vars_ == o.num_vars_ && words_ == o.words_;
+}
+
+bool TruthTable::is_const0() const {
+  for (auto w : words_) {
+    if (w) return false;
+  }
+  return true;
+}
+
+bool TruthTable::is_const1() const { return (~*this).is_const0(); }
+
+bool TruthTable::depends_on(unsigned v) const {
+  return cofactor0(v) != cofactor1(v);
+}
+
+std::size_t TruthTable::count_ones() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+TruthTable TruthTable::cofactor0(unsigned v) const {
+  assert(v < num_vars_);
+  TruthTable t(*this);
+  if (v < 6) {
+    const unsigned shift = 1u << v;
+    for (auto& w : t.words_) {
+      const std::uint64_t low = w & ~kVarMask[v];
+      w = low | (low << shift);
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (v - 6);
+    for (std::size_t w = 0; w < t.words_.size(); ++w) {
+      if ((w / block) & 1) t.words_[w] = t.words_[w - block];
+    }
+  }
+  return t;
+}
+
+TruthTable TruthTable::cofactor1(unsigned v) const {
+  assert(v < num_vars_);
+  TruthTable t(*this);
+  if (v < 6) {
+    const unsigned shift = 1u << v;
+    for (auto& w : t.words_) {
+      const std::uint64_t high = w & kVarMask[v];
+      w = high | (high >> shift);
+    }
+  } else {
+    const std::size_t block = std::size_t{1} << (v - 6);
+    for (std::size_t w = 0; w < t.words_.size(); ++w) {
+      if (!((w / block) & 1)) t.words_[w] = t.words_[w + block];
+    }
+  }
+  return t;
+}
+
+TruthTable TruthTable::permute_flip(const std::vector<unsigned>& perm,
+                                    unsigned flip_mask, bool out_flip) const {
+  assert(perm.size() == num_vars_);
+  TruthTable t(num_vars_);
+  const std::size_t n = num_bits();
+  for (std::size_t m = 0; m < n; ++m) {
+    // Minterm m of the result assigns x_i = bit i of m. Input i of the
+    // original function reads variable perm[i], possibly complemented.
+    std::size_t src = 0;
+    for (unsigned i = 0; i < num_vars_; ++i) {
+      bool v = (m >> perm[i]) & 1;
+      if ((flip_mask >> i) & 1) v = !v;
+      if (v) src |= (std::size_t{1} << i);
+    }
+    t.set_bit(m, bit(src) ^ out_flip);
+  }
+  return t;
+}
+
+std::string TruthTable::to_hex() const {
+  std::string out;
+  char buf[20];
+  for (auto it = words_.rbegin(); it != words_.rend(); ++it) {
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(*it));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace flowgen::aig

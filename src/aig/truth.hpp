@@ -1,0 +1,70 @@
+#pragma once
+// Dynamic truth tables over up to 16 variables, bit-packed into 64-bit words.
+// Used for cut functions (rewrite/refactor/resub), library matching in the
+// technology mapper, and the Rijndael S-box elaboration.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flowgen::aig {
+
+class TruthTable {
+public:
+  TruthTable() = default;
+  /// All-zero function of `num_vars` variables.
+  explicit TruthTable(unsigned num_vars);
+
+  static TruthTable constant(unsigned num_vars, bool value);
+  /// Projection x_i of `num_vars` variables.
+  static TruthTable variable(unsigned num_vars, unsigned index);
+  /// From the low 2^num_vars bits of `bits` (num_vars <= 6).
+  static TruthTable from_bits(unsigned num_vars, std::uint64_t bits);
+
+  unsigned num_vars() const { return num_vars_; }
+  std::size_t num_bits() const { return std::size_t{1} << num_vars_; }
+  std::size_t num_words() const { return words_.size(); }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  bool bit(std::size_t minterm) const;
+  void set_bit(std::size_t minterm, bool value);
+
+  TruthTable operator&(const TruthTable& o) const;
+  TruthTable operator|(const TruthTable& o) const;
+  TruthTable operator^(const TruthTable& o) const;
+  TruthTable operator~() const;
+  bool operator==(const TruthTable& o) const;
+  bool operator!=(const TruthTable& o) const { return !(*this == o); }
+  /// Lexicographic comparison of the word vectors (for canonical forms).
+  bool operator<(const TruthTable& o) const { return words_ < o.words_; }
+
+  bool is_const0() const;
+  bool is_const1() const;
+  /// True if the function depends on variable `v`.
+  bool depends_on(unsigned v) const;
+  std::size_t count_ones() const;
+
+  /// Shannon cofactors with respect to variable `v`.
+  TruthTable cofactor0(unsigned v) const;
+  TruthTable cofactor1(unsigned v) const;
+
+  /// Apply input negation mask, input permutation, and output negation:
+  /// result(x_0..x_{n-1}) = f(y_{perm[0]}, ...) with y_i = x_i ^ flip bit.
+  /// Specifically: new_tt(m) = f(transform(m)) where input i of f is taken
+  /// from input perm[i] of the new function, optionally complemented.
+  TruthTable permute_flip(const std::vector<unsigned>& perm,
+                          unsigned flip_mask, bool out_flip) const;
+
+  /// Hex string (MSB-first words) for debugging / hashing.
+  std::string to_hex() const;
+  /// Low 64 bits, padded by repetition for functions with < 6 vars.
+  std::uint64_t low_word() const { return words_.empty() ? 0 : words_[0]; }
+
+private:
+  void mask_tail();
+
+  unsigned num_vars_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace flowgen::aig

@@ -1,0 +1,62 @@
+#include "aig/writer.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowgen::aig {
+
+namespace {
+
+std::string node_name(const Aig& aig, std::uint32_t id) {
+  if (aig.is_const(id)) return "const0";
+  if (aig.is_pi(id)) return "pi" + std::to_string(id);
+  return "n" + std::to_string(id);
+}
+
+}  // namespace
+
+void write_blif(const Aig& aig, std::ostream& os) {
+  os << ".model " << (aig.name.empty() ? "flowgen" : aig.name) << '\n';
+  os << ".inputs";
+  for (std::uint32_t pi : aig.pis()) os << ' ' << node_name(aig, pi);
+  os << '\n';
+  os << ".outputs";
+  for (std::size_t i = 0; i < aig.num_pos(); ++i) os << " po" << i;
+  os << '\n';
+
+  os << ".names const0\n";  // constant-0 source: empty single-output cover
+
+  for (std::uint32_t id = 0; id < aig.num_nodes(); ++id) {
+    if (!aig.is_and(id)) continue;
+    const auto& n = aig.node(id);
+    os << ".names " << node_name(aig, lit_node(n.fanin0)) << ' '
+       << node_name(aig, lit_node(n.fanin1)) << ' ' << node_name(aig, id)
+       << '\n';
+    os << (lit_is_compl(n.fanin0) ? '0' : '1')
+       << (lit_is_compl(n.fanin1) ? '0' : '1') << " 1\n";
+  }
+  for (std::size_t i = 0; i < aig.num_pos(); ++i) {
+    const Lit po = aig.po(i);
+    os << ".names " << node_name(aig, lit_node(po)) << " po" << i << '\n';
+    os << (lit_is_compl(po) ? '0' : '1') << " 1\n";
+  }
+  os << ".end\n";
+}
+
+void write_blif_file(const Aig& aig, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_blif_file: cannot open " + path);
+  write_blif(aig, os);
+}
+
+std::string stats_line(const Aig& aig) {
+  std::ostringstream ss;
+  ss << (aig.name.empty() ? "aig" : aig.name) << ": i/o = " << aig.num_pis()
+     << '/' << aig.num_pos() << "  and = " << aig.num_ands()
+     << "  lev = " << aig.depth();
+  return ss.str();
+}
+
+}  // namespace flowgen::aig

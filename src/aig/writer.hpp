@@ -1,0 +1,20 @@
+#pragma once
+// Netlist export: BLIF (readable by ABC/SIS for cross-checking) and a
+// one-line statistics string matching ABC's `print_stats` spirit.
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace flowgen::aig {
+
+/// Write the AIG as structural BLIF (each AND becomes a .names with the
+/// appropriate input phases; complemented POs get an inverter .names).
+void write_blif(const Aig& aig, std::ostream& os);
+void write_blif_file(const Aig& aig, const std::string& path);
+
+/// e.g. "alu64: i/o = 131/64  and = 2842  lev = 41"
+std::string stats_line(const Aig& aig);
+
+}  // namespace flowgen::aig

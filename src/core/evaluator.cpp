@@ -1,0 +1,51 @@
+#include "core/evaluator.hpp"
+
+#include "opt/transform.hpp"
+
+namespace flowgen::core {
+
+SynthesisEvaluator::SynthesisEvaluator(aig::Aig design,
+                                       const map::CellLibrary& lib,
+                                       map::MapperParams mapper_params)
+    : design_(std::move(design)), lib_(lib), mapper_params_(mapper_params) {}
+
+map::QoR SynthesisEvaluator::evaluate(const Flow& flow) const {
+  const std::string key = flow.key();
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      return it->second;
+    }
+  }
+  const aig::Aig synthesized = opt::apply_flow(design_, flow.steps);
+  const map::QoR qor = map::evaluate_qor(synthesized, lib_, mapper_params_);
+  {
+    std::lock_guard lock(mutex_);
+    ++evaluations_;
+    cache_.emplace(key, qor);
+  }
+  return qor;
+}
+
+std::vector<map::QoR> SynthesisEvaluator::evaluate_many(
+    std::span<const Flow> flows, util::ThreadPool* pool) const {
+  std::vector<map::QoR> out(flows.size());
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      out[i] = evaluate(flows[i]);
+    }
+    return out;
+  }
+  pool->parallel_for(flows.size(),
+                     [&](std::size_t i) { out[i] = evaluate(flows[i]); });
+  return out;
+}
+
+map::QoR SynthesisEvaluator::baseline() const { return evaluate(Flow{}); }
+
+std::size_t SynthesisEvaluator::cache_size() const {
+  std::lock_guard lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace flowgen::core

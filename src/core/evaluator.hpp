@@ -1,0 +1,56 @@
+#pragma once
+// Component (1) of the framework (Figure 2): apply a synthesis flow to the
+// design and collect its QoR after technology mapping. This is by far the
+// dominant runtime of the whole pipeline (as in the paper, where dataset
+// collection is ~95% of wall-clock), so evaluation is parallelised and
+// memoised by flow key.
+
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/flow.hpp"
+#include "map/cell_library.hpp"
+#include "map/mapper.hpp"
+#include "map/qor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace flowgen::core {
+
+class SynthesisEvaluator {
+public:
+  explicit SynthesisEvaluator(
+      aig::Aig design,
+      const map::CellLibrary& lib = map::CellLibrary::builtin(),
+      map::MapperParams mapper_params = {});
+
+  const aig::Aig& design() const { return design_; }
+
+  /// Synthesize (transform sequence) + map + report QoR. Thread-safe;
+  /// results are cached by flow key.
+  map::QoR evaluate(const Flow& flow) const;
+
+  /// Evaluate a batch, optionally across a thread pool.
+  std::vector<map::QoR> evaluate_many(std::span<const Flow> flows,
+                                      util::ThreadPool* pool = nullptr) const;
+
+  /// QoR of the unsynthesized design (empty flow).
+  map::QoR baseline() const;
+
+  std::size_t cache_size() const;
+  /// Total number of flow evaluations that missed the cache.
+  std::size_t evaluations() const { return evaluations_; }
+
+private:
+  aig::Aig design_;
+  const map::CellLibrary& lib_;
+  map::MapperParams mapper_params_;
+
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::string, map::QoR> cache_;
+  mutable std::size_t evaluations_ = 0;
+};
+
+}  // namespace flowgen::core

@@ -1,0 +1,51 @@
+#include "core/flow.hpp"
+
+#include <stdexcept>
+
+namespace flowgen::core {
+
+std::string Flow::key() const {
+  std::string k;
+  k.reserve(steps.size());
+  for (opt::TransformKind t : steps) {
+    k += static_cast<char>('0' + static_cast<unsigned>(t));
+  }
+  return k;
+}
+
+std::string Flow::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i) s += "; ";
+    s += opt::transform_name(steps[i]);
+  }
+  return s;
+}
+
+std::string Flow::to_abc_script() const {
+  std::string s = "strash";
+  for (opt::TransformKind t : steps) {
+    s += "; ";
+    // Our windowed resubstitution is ABC's `resub`.
+    s += (t == opt::TransformKind::kRestructure)
+             ? std::string("resub")
+             : opt::transform_name(t);
+  }
+  s += "; map";
+  return s;
+}
+
+Flow Flow::from_key(const std::string& key) {
+  Flow f;
+  f.steps.reserve(key.size());
+  for (char c : key) {
+    const int v = c - '0';
+    if (v < 0 || v >= static_cast<int>(opt::kNumTransforms)) {
+      throw std::invalid_argument("Flow::from_key: bad digit");
+    }
+    f.steps.push_back(static_cast<opt::TransformKind>(v));
+  }
+  return f;
+}
+
+}  // namespace flowgen::core

@@ -1,0 +1,39 @@
+#pragma once
+// A synthesis flow: an ordered sequence of transforms (Definition 1/2 of the
+// paper). Flows hash and compare by value so sampling can enforce
+// uniqueness.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "opt/transform.hpp"
+
+namespace flowgen::core {
+
+struct Flow {
+  std::vector<opt::TransformKind> steps;
+
+  std::size_t length() const { return steps.size(); }
+  bool operator==(const Flow&) const = default;
+
+  /// Compact digit key ("203514...") for hashing/caching.
+  std::string key() const;
+  /// Human-readable ABC-style script ("balance; rewrite -z; ...").
+  std::string to_string() const;
+  /// Full ABC script for cross-checking the flow with real ABC:
+  /// "strash; <transforms...>; map" (note: our `restructure` corresponds
+  /// to ABC's `resub`).
+  std::string to_abc_script() const;
+
+  static Flow from_key(const std::string& key);
+};
+
+struct FlowHash {
+  std::size_t operator()(const Flow& f) const {
+    return std::hash<std::string>{}(f.key());
+  }
+};
+
+}  // namespace flowgen::core

@@ -1,0 +1,145 @@
+#include "core/flow_space.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace flowgen::core {
+
+std::string u128_to_string(U128 v) {
+  if (v == 0) return "0";
+  std::string s;
+  while (v > 0) {
+    s += static_cast<char>('0' + static_cast<unsigned>(v % 10));
+    v /= 10;
+  }
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+namespace {
+
+U128 checked_mul(U128 a, U128 b) {
+  if (a != 0 && b > static_cast<U128>(-1) / a) {
+    throw std::overflow_error("count_limited_permutations: 128-bit overflow");
+  }
+  return a * b;
+}
+
+U128 binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  U128 result = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    result = checked_mul(result, n - k + i) / i;
+  }
+  return result;
+}
+
+}  // namespace
+
+U128 count_limited_permutations(unsigned n, unsigned length, unsigned m) {
+  if (length == 0) return 1;
+  if (n == 0) return 0;
+  if (static_cast<unsigned long long>(n) * m < length) return 0;
+
+  // f[k][l] = number of l-permutations of k objects, each used <= m times.
+  // Filled with the Remark 3 recursion:
+  //   f(k, l+1) = k f(k, l) - k C(l, m) f(k-1, l-m)
+  std::vector<std::vector<U128>> f(n + 1,
+                                   std::vector<U128>(length + 1, 0));
+  for (unsigned k = 0; k <= n; ++k) f[k][0] = 1;
+  for (unsigned k = 1; k <= n; ++k) {
+    for (unsigned l = 0; l < length; ++l) {
+      // number of (l+1)-permutations
+      U128 value = checked_mul(f[k][l], k);
+      if (l >= m) {
+        const U128 drop =
+            checked_mul(checked_mul(binomial(l, m), f[k - 1][l - m]), k);
+        value -= drop;
+      }
+      f[k][l + 1] = value;
+    }
+  }
+  return f[n][length];
+}
+
+FlowSpace::FlowSpace(unsigned m, std::vector<opt::TransformKind> transforms)
+    : m_(m), transforms_(std::move(transforms)) {
+  if (m_ == 0 || transforms_.empty()) {
+    throw std::invalid_argument("FlowSpace: need m >= 1 and a non-empty S");
+  }
+}
+
+U128 FlowSpace::size() const {
+  return count_limited_permutations(num_transforms(), length(), m_);
+}
+
+bool FlowSpace::satisfies_constraints(const Flow& flow) const {
+  for (const PrecedenceConstraint& c : constraints_) {
+    // Every occurrence of `before` must precede every occurrence of
+    // `after`: last(before) < first(after).
+    std::ptrdiff_t last_before = -1;
+    std::ptrdiff_t first_after = static_cast<std::ptrdiff_t>(flow.length());
+    for (std::size_t i = 0; i < flow.length(); ++i) {
+      if (flow.steps[i] == c.before) {
+        last_before = static_cast<std::ptrdiff_t>(i);
+      }
+      if (flow.steps[i] == c.after &&
+          first_after == static_cast<std::ptrdiff_t>(flow.length())) {
+        first_after = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    if (last_before > first_after) return false;
+  }
+  return true;
+}
+
+Flow FlowSpace::random_flow(util::Rng& rng) const {
+  Flow f;
+  f.steps.reserve(length());
+  for (opt::TransformKind t : transforms_) {
+    for (unsigned r = 0; r < m_; ++r) f.steps.push_back(t);
+  }
+  // Rejection sampling keeps the distribution uniform over the constrained
+  // space; constraint sets in practice keep acceptance high.
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    rng.shuffle(f.steps);
+    if (satisfies_constraints(f)) return f;
+  }
+  throw std::runtime_error(
+      "FlowSpace::random_flow: constraints reject everything");
+}
+
+std::vector<Flow> FlowSpace::sample_unique(std::size_t count,
+                                           util::Rng& rng) const {
+  if (static_cast<U128>(count) > size()) {
+    throw std::invalid_argument("sample_unique: space is smaller than count");
+  }
+  std::vector<Flow> flows;
+  flows.reserve(count);
+  std::unordered_set<std::string> seen;
+  seen.reserve(count * 2);
+  while (flows.size() < count) {
+    Flow f = random_flow(rng);
+    if (seen.insert(f.key()).second) flows.push_back(std::move(f));
+  }
+  return flows;
+}
+
+bool FlowSpace::contains(const Flow& flow) const {
+  if (flow.length() != length()) return false;
+  if (!satisfies_constraints(flow)) return false;
+  std::map<opt::TransformKind, unsigned> counts;
+  for (opt::TransformKind t : flow.steps) ++counts[t];
+  for (opt::TransformKind t : transforms_) {
+    const auto it = counts.find(t);
+    if (it == counts.end() || it->second != m_) return false;
+    counts.erase(it);
+  }
+  return counts.empty();
+}
+
+}  // namespace flowgen::core

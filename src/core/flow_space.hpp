@@ -1,0 +1,81 @@
+#pragma once
+// The search space of Section 2.1: m-repetition flows over a transform set
+// S. Provides uniform sampling of unique flows and the exact counting
+// function f(n, L, m) of Remark 3 (Mendelson's limited-repetition
+// permutations), evaluated in 128-bit arithmetic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "util/rng.hpp"
+
+namespace flowgen::core {
+
+using U128 = unsigned __int128;
+
+std::string u128_to_string(U128 v);
+
+/// Number of L-permutations of n objects where each object may appear at
+/// most m times (Remark 3 recursion):
+///   f(n, L+1, m) = n f(n, L, m) - n C(L, m) f(n-1, L-m, m)
+/// Throws std::overflow_error if the value exceeds 128 bits.
+U128 count_limited_permutations(unsigned n, unsigned length, unsigned m);
+
+/// Remark 1 of the paper: constraints shrink the space below n!. A
+/// constraint (before, after) requires every occurrence of `before` to
+/// precede every occurrence of `after`.
+struct PrecedenceConstraint {
+  opt::TransformKind before;
+  opt::TransformKind after;
+};
+
+class FlowSpace {
+public:
+  /// m-repetition space over `transforms` (defaults to the paper's S).
+  explicit FlowSpace(unsigned m,
+                     std::vector<opt::TransformKind> transforms =
+                         opt::paper_transform_set());
+
+  /// Restrict the space (Remark 1). Sampling honours constraints by
+  /// rejection; `contains` checks them.
+  void add_constraint(PrecedenceConstraint c) {
+    constraints_.push_back(c);
+  }
+  const std::vector<PrecedenceConstraint>& constraints() const {
+    return constraints_;
+  }
+  bool satisfies_constraints(const Flow& flow) const;
+
+  unsigned num_transforms() const {
+    return static_cast<unsigned>(transforms_.size());
+  }
+  unsigned repetitions() const { return m_; }
+  /// L = n * m (Remark 2).
+  unsigned length() const { return num_transforms() * m_; }
+  const std::vector<opt::TransformKind>& transforms() const {
+    return transforms_;
+  }
+
+  /// Exact size of the space: f(n, n*m, m) = (nm)! / (m!)^n.
+  U128 size() const;
+
+  /// Uniformly random m-repetition flow (Fisher-Yates over the multiset).
+  Flow random_flow(util::Rng& rng) const;
+
+  /// `count` distinct random flows. Throws std::invalid_argument when count
+  /// exceeds the space size.
+  std::vector<Flow> sample_unique(std::size_t count, util::Rng& rng) const;
+
+  /// True iff `flow` belongs to this space (right length, each transform
+  /// exactly m times).
+  bool contains(const Flow& flow) const;
+
+private:
+  unsigned m_;
+  std::vector<opt::TransformKind> transforms_;
+  std::vector<PrecedenceConstraint> constraints_;
+};
+
+}  // namespace flowgen::core

@@ -1,0 +1,77 @@
+#include "core/labeler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace flowgen::core {
+
+const char* objective_name(Objective o) {
+  switch (o) {
+    case Objective::kArea: return "area";
+    case Objective::kDelay: return "delay";
+    case Objective::kAreaDelay: return "area+delay";
+  }
+  return "?";
+}
+
+double metric_value(Objective o, const map::QoR& q) {
+  switch (o) {
+    case Objective::kArea: return q.area_um2;
+    case Objective::kDelay: return q.delay_ps;
+    case Objective::kAreaDelay:
+      throw std::invalid_argument("metric_value: multi-metric objective");
+  }
+  return 0.0;
+}
+
+void Labeler::fit(std::span<const map::QoR> qors) {
+  if (qors.empty()) {
+    throw std::invalid_argument("Labeler::fit: empty QoR set");
+  }
+  std::vector<double> primary;
+  std::vector<double> secondary;
+  primary.reserve(qors.size());
+  for (const map::QoR& q : qors) {
+    if (config_.objective == Objective::kAreaDelay) {
+      primary.push_back(q.area_um2);
+      secondary.push_back(q.delay_ps);
+    } else {
+      primary.push_back(metric_value(config_.objective, q));
+    }
+  }
+  dets_primary_ = util::quantiles(primary, config_.quantiles);
+  if (config_.objective == Objective::kAreaDelay) {
+    dets_secondary_ = util::quantiles(secondary, config_.quantiles);
+  }
+}
+
+std::uint32_t Labeler::bucket(double value, std::span<const double> dets) {
+  // Table 1: class 0 iff r <= x0; class i iff x_{i-1} < r <= x_i; class n
+  // iff r > x_{n-1}.
+  std::uint32_t c = 0;
+  while (c < dets.size() && value > dets[c]) ++c;
+  return c;
+}
+
+std::uint32_t Labeler::classify(const map::QoR& q) const {
+  assert(fitted());
+  if (config_.objective == Objective::kAreaDelay) {
+    const std::uint32_t ca = bucket(q.area_um2, dets_primary_);
+    const std::uint32_t cd = bucket(q.delay_ps, dets_secondary_);
+    return std::max(ca, cd);
+  }
+  return bucket(metric_value(config_.objective, q), dets_primary_);
+}
+
+std::vector<std::uint32_t> Labeler::classify_all(
+    std::span<const map::QoR> qors) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(qors.size());
+  for (const map::QoR& q : qors) out.push_back(classify(q));
+  return out;
+}
+
+}  // namespace flowgen::core

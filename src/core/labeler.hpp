@@ -1,0 +1,65 @@
+#pragma once
+// The Table-1 labeling model: QoR values are bucketed into num_classes
+// classes by determinators placed at fixed quantiles of the labeled data
+// ({5, 15, 40, 65, 90, 95}% in the paper, giving 7 classes). Classes are
+// recomputed whenever new labeled flows arrive (the determinators drift as
+// the dataset grows — Section 3.1). Lower class = better QoR; class 0 feeds
+// angel-flows, class n feeds devil-flows.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "map/qor.hpp"
+
+namespace flowgen::core {
+
+/// Which QoR metric(s) drive the labels.
+enum class Objective {
+  kArea,       ///< single-metric: area
+  kDelay,      ///< single-metric: delay
+  kAreaDelay,  ///< multi-metric: both (Table 1 right column)
+};
+
+const char* objective_name(Objective o);
+double metric_value(Objective o, const map::QoR& q);  // single-metric only
+
+struct LabelerConfig {
+  std::vector<double> quantiles = {0.05, 0.15, 0.40, 0.65, 0.90, 0.95};
+  Objective objective = Objective::kDelay;
+};
+
+class Labeler {
+public:
+  explicit Labeler(LabelerConfig config) : config_(std::move(config)) {}
+
+  /// Recompute determinators from the labeled QoR set.
+  void fit(std::span<const map::QoR> qors);
+
+  /// Number of classes = quantiles.size() + 1.
+  std::uint32_t num_classes() const {
+    return static_cast<std::uint32_t>(config_.quantiles.size() + 1);
+  }
+
+  /// Class of one result. For the multi-metric model a flow must satisfy
+  /// both metric ranges; following the conservative reading of Table 1, the
+  /// worse (higher) of the two per-metric classes is assigned.
+  std::uint32_t classify(const map::QoR& q) const;
+  std::vector<std::uint32_t> classify_all(std::span<const map::QoR> qors) const;
+
+  const std::vector<double>& determinators() const { return dets_primary_; }
+  const std::vector<double>& determinators_secondary() const {
+    return dets_secondary_;
+  }
+  const LabelerConfig& config() const { return config_; }
+  bool fitted() const { return !dets_primary_.empty(); }
+
+private:
+  static std::uint32_t bucket(double value, std::span<const double> dets);
+
+  LabelerConfig config_;
+  std::vector<double> dets_primary_;
+  std::vector<double> dets_secondary_;  // delay dets for kAreaDelay
+};
+
+}  // namespace flowgen::core

@@ -1,0 +1,50 @@
+#include "core/one_hot.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flowgen::core {
+
+nn::Tensor one_hot_matrix(const Flow& flow, std::size_t num_transforms) {
+  nn::Tensor t({flow.length(), num_transforms});
+  for (std::size_t j = 0; j < flow.length(); ++j) {
+    const auto col = static_cast<std::size_t>(flow.steps[j]);
+    if (col >= num_transforms) {
+      throw std::invalid_argument("one_hot_matrix: transform out of range");
+    }
+    t.at(j, col) = 1.0;
+  }
+  return t;
+}
+
+void default_reshape(std::size_t length, std::size_t num_transforms,
+                     std::size_t& height, std::size_t& width) {
+  const std::size_t total = length * num_transforms;
+  const auto root = static_cast<std::size_t>(std::lround(std::sqrt(
+      static_cast<double>(total))));
+  if (root * root == total) {
+    height = width = root;
+  } else {
+    height = length;
+    width = num_transforms;
+  }
+}
+
+nn::Tensor one_hot_batch(std::span<const Flow> flows,
+                         std::size_t num_transforms, std::size_t height,
+                         std::size_t width) {
+  nn::Tensor batch({flows.size(), height, width, 1});
+  const std::size_t plane = height * width;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].length() * num_transforms != plane) {
+      throw std::invalid_argument("one_hot_batch: reshape size mismatch");
+    }
+    for (std::size_t j = 0; j < flows[i].length(); ++j) {
+      const auto col = static_cast<std::size_t>(flows[i].steps[j]);
+      batch[i * plane + j * num_transforms + col] = 1.0;
+    }
+  }
+  return batch;
+}
+
+}  // namespace flowgen::core

@@ -1,0 +1,28 @@
+#pragma once
+// One-hot flow representation of Section 3.2.1: a flow of length L over n
+// transforms becomes an L-by-n binary matrix whose j-th row has a single 1
+// in the column of the j-th transform. The paper reshapes 24x6 to 12x12 so
+// two convolution layers fit.
+
+#include <span>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "nn/tensor.hpp"
+
+namespace flowgen::core {
+
+/// (L, n) matrix of a single flow.
+nn::Tensor one_hot_matrix(const Flow& flow, std::size_t num_transforms);
+
+/// Batch tensor (N, H, W, 1) where H*W = L*n; by default H = W = sqrt(L*n)
+/// when square (the paper's 24x6 -> 12x12), else H = L, W = n.
+nn::Tensor one_hot_batch(std::span<const Flow> flows,
+                         std::size_t num_transforms, std::size_t height,
+                         std::size_t width);
+
+/// The paper's reshape rule: square if L*n is a perfect square, else (L, n).
+void default_reshape(std::size_t length, std::size_t num_transforms,
+                     std::size_t& height, std::size_t& width);
+
+}  // namespace flowgen::core

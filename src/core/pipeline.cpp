@@ -1,0 +1,149 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace flowgen::core {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+FlowGenPipeline::FlowGenPipeline(aig::Aig design, PipelineConfig config)
+    : config_(std::move(config)),
+      evaluator_(std::move(design)),
+      space_(config_.repetitions),
+      rng_(config_.seed) {
+  // Derive the classifier geometry from the space; callers only choose the
+  // architecture knobs (filters, kernel, activation).
+  config_.classifier.flow_length = space_.length();
+  config_.classifier.num_transforms = space_.num_transforms();
+  config_.classifier.num_classes =
+      static_cast<std::size_t>(config_.labeler.quantiles.size() + 1);
+  config_.classifier.seed = config_.seed ^ 0x5DEECE66Dull;
+}
+
+PipelineResult FlowGenPipeline::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  util::ThreadPool threads(config_.threads);
+  PipelineResult result;
+  result.baseline = evaluator_.baseline();
+
+  // Sample the training flows and the prediction pool disjointly (the pool
+  // stands in for the paper's "large number of untested sample flows").
+  const std::vector<Flow> all = space_.sample_unique(
+      config_.training_flows + config_.sample_flows, rng_);
+  std::vector<Flow> training(all.begin(),
+                             all.begin() + static_cast<std::ptrdiff_t>(
+                                               config_.training_flows));
+  std::vector<Flow> pool(all.begin() + static_cast<std::ptrdiff_t>(
+                                           config_.training_flows),
+                         all.end());
+
+  Labeler labeler(config_.labeler);
+  CnnFlowClassifier classifier(config_.classifier);
+  std::unique_ptr<nn::Optimizer> optimizer =
+      nn::make_optimizer(config_.optimizer, config_.learning_rate);
+
+  std::size_t labeled = 0;
+  std::size_t round = 0;
+  while (labeled < training.size()) {
+    const std::size_t target =
+        labeled == 0
+            ? std::min(training.size(), config_.initial_labeled)
+            : std::min(training.size(), labeled + config_.retrain_every);
+
+    // (1) Label the next slice of training flows by actual synthesis.
+    RoundStats stats;
+    const auto t_syn = std::chrono::steady_clock::now();
+    const std::span<const Flow> slice(training.data() + labeled,
+                                      target - labeled);
+    const std::vector<map::QoR> qors =
+        evaluator_.evaluate_many(slice, &threads);
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+      result.labeled_flows.push_back(slice[i]);
+      result.labeled_qor.push_back(qors[i]);
+    }
+    labeled = target;
+    stats.synthesis_seconds = seconds_since(t_syn);
+
+    // Class definitions drift as data accumulates (Section 3.1): refit.
+    labeler.fit(result.labeled_qor);
+    const std::vector<std::uint32_t> labels =
+        labeler.classify_all(result.labeled_qor);
+
+    // Hold out a slice for generalisation tracking.
+    const std::size_t holdout =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     static_cast<double>(labeled) *
+                                     config_.holdout_fraction));
+    const std::size_t train_n = labeled - holdout;
+
+    // (2) Re-train on mini-batches of the labeled set (batch size 5).
+    const auto t_train = std::chrono::steady_clock::now();
+    double loss_sum = 0.0;
+    for (std::size_t step = 0; step < config_.steps_per_round; ++step) {
+      std::vector<Flow> batch;
+      std::vector<std::uint32_t> batch_labels;
+      batch.reserve(config_.batch_size);
+      for (std::size_t b = 0; b < config_.batch_size; ++b) {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng_.below(train_n));
+        batch.push_back(result.labeled_flows[pick]);
+        batch_labels.push_back(labels[pick]);
+      }
+      loss_sum += classifier.train_batch(batch, batch_labels, *optimizer);
+    }
+    stats.train_seconds = seconds_since(t_train);
+
+    stats.round = ++round;
+    stats.labeled = labeled;
+    stats.mean_train_loss =
+        config_.steps_per_round
+            ? loss_sum / static_cast<double>(config_.steps_per_round)
+            : 0.0;
+    stats.holdout_accuracy = classifier.accuracy(
+        std::span<const Flow>(result.labeled_flows.data() + train_n,
+                              holdout),
+        std::span<const std::uint32_t>(labels.data() + train_n, holdout));
+    if (config_.probe_accuracy_each_round) {
+      stats.paper_accuracy =
+          probe_selection_accuracy(classifier, labeler, pool, evaluator_,
+                                   config_.num_angel, &threads,
+                                   config_.prediction_chunk)
+              .accuracy;
+    }
+    stats.elapsed_seconds = seconds_since(t0);
+    util::log_info("pipeline round ", stats.round, ": labeled=", labeled,
+                   " loss=", stats.mean_train_loss,
+                   " holdout=", stats.holdout_accuracy,
+                   " paper_acc=", stats.paper_accuracy);
+    if (round_callback_) round_callback_(stats);
+    result.history.push_back(stats);
+  }
+
+  // (3) Final prediction over the pool + angel/devil selection.
+  const SelectionProbe final_probe = probe_selection_accuracy(
+      classifier, labeler, pool, evaluator_, config_.num_angel, &threads,
+      config_.prediction_chunk);
+  result.paper_accuracy = final_probe.accuracy;
+  for (std::size_t i = 0; i < final_probe.angel.size(); ++i) {
+    result.angel_flows.push_back(pool[final_probe.angel[i].index]);
+    result.angel_qor.push_back(final_probe.angel_qor[i]);
+  }
+  for (std::size_t i = 0; i < final_probe.devil.size(); ++i) {
+    result.devil_flows.push_back(pool[final_probe.devil[i].index]);
+    result.devil_qor.push_back(final_probe.devil_qor[i]);
+  }
+  return result;
+}
+
+}  // namespace flowgen::core

@@ -1,0 +1,217 @@
+#include "designs/aes.hpp"
+
+#include <cassert>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aig/factor.hpp"
+#include "aig/isop.hpp"
+#include "aig/truth.hpp"
+
+namespace flowgen::designs {
+
+using aig::Aig;
+using aig::FactorExpr;
+using aig::Lit;
+using aig::TruthTable;
+
+const std::array<std::uint8_t, 256>& aes_sbox_table() {
+  static const std::array<std::uint8_t, 256> table = {
+      0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67,
+      0x2b, 0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59,
+      0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7,
+      0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1,
+      0x71, 0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05,
+      0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83,
+      0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29,
+      0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+      0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa,
+      0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c,
+      0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc,
+      0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+      0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19,
+      0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee,
+      0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+      0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+      0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4,
+      0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6,
+      0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70,
+      0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9,
+      0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e,
+      0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf, 0x8c, 0xa1,
+      0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0,
+      0x54, 0xbb, 0x16,
+  };
+  return table;
+}
+
+namespace {
+
+/// Truth tables of the 8 S-box output bits, computed once.
+const std::vector<TruthTable>& sbox_bit_functions() {
+  static std::vector<TruthTable> bits;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const auto& table = aes_sbox_table();
+    bits.reserve(8);
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      TruthTable tt(8);
+      for (std::size_t x = 0; x < 256; ++x) {
+        tt.set_bit(x, (table[x] >> bit) & 1);
+      }
+      bits.push_back(std::move(tt));
+    }
+  });
+  return bits;
+}
+
+}  // namespace
+
+Word aes_sbox(Aig& g, const Word& in) {
+  assert(in.size() == 8);
+  // Shannon (mux-tree) elaboration: the unoptimized netlist an RTL `case`
+  // statement produces, leaving the optimization work to the flows.
+  const auto& bits = sbox_bit_functions();
+  Word out;
+  out.reserve(8);
+  for (unsigned bit = 0; bit < 8; ++bit) {
+    out.push_back(aig::build_shannon(g, bits[bit], in));
+  }
+  return out;
+}
+
+Word gf_xtime(Aig& g, const Word& in) {
+  assert(in.size() == 8);
+  // (in << 1) xor (0x1B if the top bit was set)
+  Word out(8, aig::kLitFalse);
+  const Lit msb = in[7];
+  for (unsigned i = 1; i < 8; ++i) out[i] = in[i - 1];
+  // 0x1B = bits 0,1,3,4
+  out[0] = msb;  // 0 ^ msb
+  out[1] = g.lxor(out[1], msb);
+  out[3] = g.lxor(out[3], msb);
+  out[4] = g.lxor(out[4], msb);
+  return out;
+}
+
+namespace {
+
+Word gf_mul3(Aig& g, const Word& in) {
+  return word_xor(g, gf_xtime(g, in), in);
+}
+
+/// state is a vector of 4*columns bytes, layout state[row + 4*col].
+using State = std::vector<Word>;
+
+State sub_bytes(Aig& g, const State& s) {
+  State out;
+  out.reserve(s.size());
+  for (const Word& byte : s) out.push_back(aes_sbox(g, byte));
+  return out;
+}
+
+State shift_rows(const State& s, std::size_t columns) {
+  State out(s.size());
+  for (std::size_t row = 0; row < 4; ++row) {
+    for (std::size_t col = 0; col < columns; ++col) {
+      // Row r shifts left cyclically by r positions.
+      const std::size_t src_col = (col + row) % columns;
+      out[row + 4 * col] = s[row + 4 * src_col];
+    }
+  }
+  return out;
+}
+
+State mix_columns(Aig& g, const State& s, std::size_t columns) {
+  State out(s.size());
+  for (std::size_t col = 0; col < columns; ++col) {
+    const Word& a0 = s[0 + 4 * col];
+    const Word& a1 = s[1 + 4 * col];
+    const Word& a2 = s[2 + 4 * col];
+    const Word& a3 = s[3 + 4 * col];
+    out[0 + 4 * col] = word_xor(
+        g, word_xor(g, gf_xtime(g, a0), gf_mul3(g, a1)), word_xor(g, a2, a3));
+    out[1 + 4 * col] = word_xor(
+        g, word_xor(g, a0, gf_xtime(g, a1)), word_xor(g, gf_mul3(g, a2), a3));
+    out[2 + 4 * col] = word_xor(
+        g, word_xor(g, a0, a1), word_xor(g, gf_xtime(g, a2), gf_mul3(g, a3)));
+    out[3 + 4 * col] = word_xor(
+        g, word_xor(g, gf_mul3(g, a0), a1), word_xor(g, a2, gf_xtime(g, a3)));
+  }
+  return out;
+}
+
+State add_round_key(Aig& g, const State& s, const State& key) {
+  State out(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    out[i] = word_xor(g, s[i], key[i]);
+  }
+  return out;
+}
+
+/// AES-style key schedule generalised to Nk = columns: each round key is
+/// derived from the previous one with RotWord + SubWord + Rcon on its first
+/// word.
+std::vector<State> expand_key(Aig& g, const State& key, std::size_t columns,
+                              std::size_t num_round_keys) {
+  std::vector<State> keys{key};
+  std::uint8_t rcon = 0x01;
+  for (std::size_t r = 1; r < num_round_keys; ++r) {
+    const State& prev = keys.back();
+    State next(prev.size());
+    // temp = SubWord(RotWord(last column)) ^ Rcon
+    std::array<Word, 4> temp;
+    for (std::size_t row = 0; row < 4; ++row) {
+      temp[row] = aes_sbox(g, prev[(row + 1) % 4 + 4 * (columns - 1)]);
+    }
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      if ((rcon >> bit) & 1) temp[0][bit] = aig::lit_not(temp[0][bit]);
+    }
+    // xtime on the round constant in GF(2^8)
+    rcon = static_cast<std::uint8_t>((rcon << 1) ^ ((rcon & 0x80) ? 0x1B : 0));
+
+    for (std::size_t col = 0; col < columns; ++col) {
+      for (std::size_t row = 0; row < 4; ++row) {
+        const Word& base = col == 0 ? temp[row] : next[row + 4 * (col - 1)];
+        next[row + 4 * col] = word_xor(g, prev[row + 4 * col], base);
+      }
+    }
+    keys.push_back(std::move(next));
+  }
+  return keys;
+}
+
+}  // namespace
+
+Aig make_aes(std::size_t columns, std::size_t rounds) {
+  assert(columns >= 1 && rounds >= 1);
+  Aig g;
+  g.name = "aes" + std::to_string(32 * columns) + "_r" + std::to_string(rounds);
+
+  const std::size_t num_bytes = 4 * columns;
+  State state(num_bytes);
+  for (auto& byte : state) byte = g.add_pis(8);
+  State key(num_bytes);
+  for (auto& byte : key) byte = g.add_pis(8);
+
+  const std::vector<State> round_keys =
+      expand_key(g, key, columns, rounds + 1);
+
+  state = add_round_key(g, state, round_keys[0]);
+  for (std::size_t r = 1; r <= rounds; ++r) {
+    state = sub_bytes(g, state);
+    state = shift_rows(state, columns);
+    // The standard omits MixColumns in the last round; keep it for the
+    // single-round variant so every layer is exercised.
+    if (r != rounds || rounds == 1) state = mix_columns(g, state, columns);
+    state = add_round_key(g, state, round_keys[r]);
+  }
+
+  for (const Word& byte : state) {
+    for (Lit bit : byte) g.add_po(bit);
+  }
+  return g;
+}
+
+}  // namespace flowgen::designs

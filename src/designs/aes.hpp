@@ -1,0 +1,37 @@
+#pragma once
+// Parametric AES (Rijndael) encryption-core generator, mirroring the
+// OpenCores 128-bit AES core the paper evaluates. The S-box is elaborated
+// from its truth table through the project's own ISOP + algebraic-factoring
+// resynthesis; MixColumns / ShiftRows / AddRoundKey and the key schedule are
+// built structurally over GF(2^8).
+//
+// `columns` is Nb (= Nk here): 4 gives the real AES-128 round function;
+// smaller values give faithful scaled-down variants for fast experiments.
+// `rounds` counts full rounds; the last round omits MixColumns per the
+// standard, and an initial AddRoundKey precedes round 1.
+//
+// PI order: state bits (column-major bytes, LSB first), then key bits.
+// PO order: output state bits in the same layout.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "aig/aig.hpp"
+#include "designs/components.hpp"
+
+namespace flowgen::designs {
+
+/// The Rijndael S-box lookup table.
+const std::array<std::uint8_t, 256>& aes_sbox_table();
+
+/// One S-box instance over an 8-bit word (factored-form logic, ~shared
+/// structure thanks to structural hashing when inputs overlap).
+Word aes_sbox(aig::Aig& g, const Word& in);
+
+/// GF(2^8) xtime (multiplication by {02} modulo x^8+x^4+x^3+x+1).
+Word gf_xtime(aig::Aig& g, const Word& in);
+
+aig::Aig make_aes(std::size_t columns = 4, std::size_t rounds = 1);
+
+}  // namespace flowgen::designs

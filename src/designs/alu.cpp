@@ -1,0 +1,52 @@
+#include "designs/alu.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "designs/components.hpp"
+
+namespace flowgen::designs {
+
+using aig::Aig;
+using aig::Lit;
+
+Aig make_alu(std::size_t width) {
+  assert(width >= 2);
+  Aig g;
+  g.name = "alu" + std::to_string(width);
+
+  const Word a = g.add_pis(width);
+  const Word b = g.add_pis(width);
+  const Word op = g.add_pis(3);
+
+  const AddResult add = ripple_add(g, a, b);
+  const SubResult sub = ripple_sub(g, a, b);
+  const Word land = word_and(g, a, b);
+  const Word lor = word_or(g, a, b);
+  const Word lxor = word_xor(g, a, b);
+  const Word shl = shift_left_var(g, a, b);
+  const Word shr = shift_right_var(g, a, b);
+  Word slt(width, aig::kLitFalse);
+  slt[0] = sub.borrow_out;  // unsigned a < b
+
+  // 8:1 word multiplexer over the opcode bits.
+  const Word r0 = mux_word(g, op[0], sub.diff, add.sum);   // op 0/1
+  const Word r1 = mux_word(g, op[0], lor, land);           // op 2/3
+  const Word r2 = mux_word(g, op[0], shl, lxor);           // op 4/5
+  const Word r3 = mux_word(g, op[0], slt, shr);            // op 6/7
+  const Word r01 = mux_word(g, op[1], r1, r0);
+  const Word r23 = mux_word(g, op[1], r3, r2);
+  const Word result = mux_word(g, op[2], r23, r01);
+
+  for (Lit bit : result) g.add_po(bit);
+  g.add_po(aig::lit_not(reduce_or(g, result)));  // zero flag
+  // Carry for ADD, borrow for SUB, 0 otherwise.
+  const Lit is_add_or_sub =
+      g.land(aig::lit_not(op[2]), aig::lit_not(op[1]));
+  const Lit carry = g.lmux(op[0], sub.borrow_out, add.carry_out);
+  g.add_po(g.land(is_add_or_sub, carry));
+
+  return g;
+}
+
+}  // namespace flowgen::designs

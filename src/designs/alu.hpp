@@ -1,0 +1,28 @@
+#pragma once
+// Parametric ALU generator modelled after the OpenCores 64-bit ALU the paper
+// evaluates: 8 operations selected by a 3-bit opcode, word-width parametric.
+//
+// PI order: a[0..w-1], b[0..w-1], op[0..2].
+// PO order: result[0..w-1], zero-flag, carry/borrow-flag.
+
+#include <cstddef>
+
+#include "aig/aig.hpp"
+
+namespace flowgen::designs {
+
+enum class AluOp : unsigned {
+  kAdd = 0,
+  kSub = 1,
+  kAnd = 2,
+  kOr = 3,
+  kXor = 4,
+  kShl = 5,
+  kShr = 6,
+  kSlt = 7,
+};
+
+/// Build the ALU; `width` >= 2.
+aig::Aig make_alu(std::size_t width);
+
+}  // namespace flowgen::designs

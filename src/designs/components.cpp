@@ -1,0 +1,153 @@
+#include "designs/components.hpp"
+
+#include <cassert>
+
+namespace flowgen::designs {
+
+using aig::Aig;
+using aig::Lit;
+
+AddResult ripple_add(Aig& g, const Word& a, const Word& b, Lit carry_in) {
+  assert(a.size() == b.size());
+  AddResult r;
+  r.sum.reserve(a.size());
+  Lit carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit axb = g.lxor(a[i], b[i]);
+    r.sum.push_back(g.lxor(axb, carry));
+    carry = g.lmaj(a[i], b[i], carry);
+  }
+  r.carry_out = carry;
+  return r;
+}
+
+SubResult ripple_sub(Aig& g, const Word& a, const Word& b) {
+  // a - b = a + ~b + 1; borrow = NOT carry-out.
+  AddResult add = ripple_add(g, a, word_not(b), aig::kLitTrue);
+  SubResult r;
+  r.diff = std::move(add.sum);
+  r.borrow_out = aig::lit_not(add.carry_out);
+  return r;
+}
+
+Word word_and(Aig& g, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word r;
+  r.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r.push_back(g.land(a[i], b[i]));
+  return r;
+}
+
+Word word_or(Aig& g, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word r;
+  r.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r.push_back(g.lor(a[i], b[i]));
+  return r;
+}
+
+Word word_xor(Aig& g, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word r;
+  r.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r.push_back(g.lxor(a[i], b[i]));
+  return r;
+}
+
+Word word_not(const Word& a) {
+  Word r;
+  r.reserve(a.size());
+  for (Lit l : a) r.push_back(aig::lit_not(l));
+  return r;
+}
+
+Word word_gate(Aig& g, const Word& a, Lit s) {
+  Word r;
+  r.reserve(a.size());
+  for (Lit l : a) r.push_back(g.land(l, s));
+  return r;
+}
+
+Word mux_word(Aig& g, Lit sel, const Word& t, const Word& e) {
+  assert(t.size() == e.size());
+  Word r;
+  r.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    r.push_back(g.lmux(sel, t[i], e[i]));
+  }
+  return r;
+}
+
+namespace {
+
+Word shift_by_stages(Aig& g, Word value, const Word& amount, bool left) {
+  const std::size_t w = value.size();
+  std::size_t stages = 0;
+  while ((std::size_t{1} << stages) < w) ++stages;
+
+  for (std::size_t s = 0; s < stages && s < amount.size(); ++s) {
+    const std::size_t dist = std::size_t{1} << s;
+    Word shifted(w, aig::kLitFalse);
+    for (std::size_t i = 0; i < w; ++i) {
+      if (left) {
+        if (i >= dist) shifted[i] = value[i - dist];
+      } else {
+        if (i + dist < w) shifted[i] = value[i + dist];
+      }
+    }
+    value = mux_word(g, amount[s], shifted, value);
+  }
+  // Any high amount bit beyond the barrel range shifts everything out.
+  Word high_bits(amount.begin() + static_cast<std::ptrdiff_t>(
+                                      std::min(stages, amount.size())),
+                 amount.end());
+  if (!high_bits.empty()) {
+    const Lit overflow = reduce_or(g, high_bits);
+    value = word_gate(g, value, aig::lit_not(overflow));
+  }
+  return value;
+}
+
+}  // namespace
+
+Word shift_left_var(Aig& g, const Word& a, const Word& amount) {
+  return shift_by_stages(g, a, amount, /*left=*/true);
+}
+
+Word shift_right_var(Aig& g, const Word& a, const Word& amount) {
+  return shift_by_stages(g, a, amount, /*left=*/false);
+}
+
+Lit reduce_or(Aig& g, const Word& a) { return g.lor_n(a); }
+Lit reduce_and(Aig& g, const Word& a) { return g.land_n(a); }
+
+Lit equals(Aig& g, const Word& a, const Word& b) {
+  assert(a.size() == b.size());
+  Word eq;
+  eq.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    eq.push_back(g.lxnor(a[i], b[i]));
+  }
+  return reduce_and(g, eq);
+}
+
+Lit less_than(Aig& g, const Word& a, const Word& b) {
+  return ripple_sub(g, a, b).borrow_out;
+}
+
+Word constant_word(std::uint64_t value, std::size_t width) {
+  Word r;
+  r.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    r.push_back(((value >> i) & 1) ? aig::kLitTrue : aig::kLitFalse);
+  }
+  return r;
+}
+
+Word resize(const Word& a, std::size_t width) {
+  Word r = a;
+  r.resize(width, aig::kLitFalse);
+  return r;
+}
+
+}  // namespace flowgen::designs

@@ -1,0 +1,61 @@
+#pragma once
+// Structural arithmetic/logic component kit used by the design generators.
+// A `Word` is a little-endian vector of AIG literals (bit 0 first).
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace flowgen::designs {
+
+using Word = std::vector<aig::Lit>;
+
+struct AddResult {
+  Word sum;
+  aig::Lit carry_out = aig::kLitFalse;
+};
+
+struct SubResult {
+  Word diff;
+  aig::Lit borrow_out = aig::kLitFalse;  ///< 1 iff a < b (unsigned)
+};
+
+/// Ripple-carry addition of equal-width words.
+AddResult ripple_add(aig::Aig& g, const Word& a, const Word& b,
+                     aig::Lit carry_in = aig::kLitFalse);
+
+/// a - b via two's complement ripple subtraction.
+SubResult ripple_sub(aig::Aig& g, const Word& a, const Word& b);
+
+/// Bitwise ops over equal-width words.
+Word word_and(aig::Aig& g, const Word& a, const Word& b);
+Word word_or(aig::Aig& g, const Word& a, const Word& b);
+Word word_xor(aig::Aig& g, const Word& a, const Word& b);
+Word word_not(const Word& a);
+/// AND every bit of `a` with scalar `s` (gating).
+Word word_gate(aig::Aig& g, const Word& a, aig::Lit s);
+
+/// sel ? t : e, bitwise.
+Word mux_word(aig::Aig& g, aig::Lit sel, const Word& t, const Word& e);
+
+/// Logical shifts by a variable amount (barrel shifter over the low
+/// log2(width) bits of `amount`; wider amount bits force zero output).
+Word shift_left_var(aig::Aig& g, const Word& a, const Word& amount);
+Word shift_right_var(aig::Aig& g, const Word& a, const Word& amount);
+
+/// OR / AND reduction.
+aig::Lit reduce_or(aig::Aig& g, const Word& a);
+aig::Lit reduce_and(aig::Aig& g, const Word& a);
+
+/// Equality / unsigned less-than comparators.
+aig::Lit equals(aig::Aig& g, const Word& a, const Word& b);
+aig::Lit less_than(aig::Aig& g, const Word& a, const Word& b);
+
+/// Word of constant bits.
+Word constant_word(std::uint64_t value, std::size_t width);
+
+/// Zero-extend / truncate to `width`.
+Word resize(const Word& a, std::size_t width);
+
+}  // namespace flowgen::designs

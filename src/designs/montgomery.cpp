@@ -1,0 +1,48 @@
+#include "designs/montgomery.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "designs/components.hpp"
+
+namespace flowgen::designs {
+
+using aig::Aig;
+using aig::Lit;
+
+Aig make_montgomery(std::size_t width) {
+  assert(width >= 2);
+  Aig g;
+  g.name = "mont" + std::to_string(width);
+
+  const Word a = g.add_pis(width);
+  const Word b = g.add_pis(width);
+  const Word n = g.add_pis(width);
+
+  // The accumulator needs width+2 bits: P < 2N throughout the loop.
+  const std::size_t acc_w = width + 2;
+  const Word b_ext = resize(b, acc_w);
+  const Word n_ext = resize(n, acc_w);
+
+  Word p(acc_w, aig::kLitFalse);
+  for (std::size_t i = 0; i < width; ++i) {
+    // P += a_i * B
+    const Word addend = word_gate(g, b_ext, a[i]);
+    p = ripple_add(g, p, addend).sum;
+    // if odd(P): P += N   (makes P even, so the shift below is exact)
+    const Word n_cond = word_gate(g, n_ext, p[0]);
+    p = ripple_add(g, p, n_cond).sum;
+    // P >>= 1
+    p.erase(p.begin());
+    p.push_back(aig::kLitFalse);
+  }
+
+  // Final conditional subtraction: if P >= N then P -= N.
+  const SubResult sub = ripple_sub(g, p, n_ext);
+  const Word reduced = mux_word(g, sub.borrow_out, p, sub.diff);
+
+  for (std::size_t i = 0; i < width; ++i) g.add_po(reduced[i]);
+  return g;
+}
+
+}  // namespace flowgen::designs

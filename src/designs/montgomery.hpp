@@ -1,0 +1,20 @@
+#pragma once
+// Parametric radix-2 Montgomery multiplier, combinationally unrolled: the
+// classic iterative algorithm
+//     P = 0
+//     for i in 0..w-1:  P += a_i * B;  if odd(P) P += N;  P >>= 1
+//     if P >= N: P -= N
+// computing  a * b * 2^{-w} mod n.
+//
+// PI order: a[0..w-1], b[0..w-1], n[0..w-1].
+// PO order: p[0..w-1].
+
+#include <cstddef>
+
+#include "aig/aig.hpp"
+
+namespace flowgen::designs {
+
+aig::Aig make_montgomery(std::size_t width);
+
+}  // namespace flowgen::designs

@@ -1,0 +1,71 @@
+#include "designs/registry.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "designs/alu.hpp"
+#include "designs/aes.hpp"
+#include "designs/montgomery.hpp"
+#include "designs/spn.hpp"
+
+namespace flowgen::designs {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::size_t parse_size(const std::string& s) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v == 0) {
+    throw std::invalid_argument("bad design parameter: " + s);
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+aig::Aig make_design(const std::string& name) {
+  if (name == "alu16") return make_alu(16);
+  if (name == "alu64") return make_alu(64);
+  if (name == "mont16") return make_montgomery(16);
+  if (name == "mont64") return make_montgomery(64);
+  if (name == "spn16") return make_spn(16, 3);
+  if (name == "spn32") return make_spn(32, 3);
+  if (name == "aes32") return make_aes(1, 1);
+  if (name == "aes128") return make_aes(4, 1);
+
+  const auto parts = split(name, ':');
+  if (parts.size() >= 2) {
+    if (parts[0] == "alu") return make_alu(parse_size(parts[1]));
+    if (parts[0] == "mont") return make_montgomery(parse_size(parts[1]));
+    if (parts[0] == "aes") {
+      const std::size_t cols = parse_size(parts[1]);
+      const std::size_t rounds = parts.size() > 2 ? parse_size(parts[2]) : 1;
+      return make_aes(cols, rounds);
+    }
+    if (parts[0] == "spn") {
+      const std::size_t bits = parse_size(parts[1]);
+      const std::size_t rounds = parts.size() > 2 ? parse_size(parts[2]) : 3;
+      return make_spn(bits, rounds);
+    }
+  }
+  throw std::invalid_argument("unknown design: " + name);
+}
+
+std::vector<std::string> known_designs() {
+  return {"alu16", "alu64", "mont16", "mont64",
+          "spn16", "spn32", "aes32",  "aes128"};
+}
+
+}  // namespace flowgen::designs

@@ -1,0 +1,22 @@
+#pragma once
+// Name-based design factory so benches/examples can select circuits from the
+// command line. Fixed names cover the paper's designs and their scaled
+// stand-ins; the parametric forms "alu:<w>", "mont:<w>", "aes:<cols>:<rounds>"
+// and "spn:<bits>:<rounds>" cover everything else.
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace flowgen::designs {
+
+/// Instantiate a design by name. Throws std::invalid_argument for unknown
+/// names. Known fixed names: alu16, alu64, mont16, mont64, spn16, spn32,
+/// aes32 (1 column), aes128 (4 columns).
+aig::Aig make_design(const std::string& name);
+
+/// Fixed names accepted by make_design.
+std::vector<std::string> known_designs();
+
+}  // namespace flowgen::designs

@@ -1,0 +1,101 @@
+#include "designs/spn.hpp"
+
+#include <cassert>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aig/factor.hpp"
+#include "aig/isop.hpp"
+#include "aig/truth.hpp"
+
+namespace flowgen::designs {
+
+using aig::Aig;
+using aig::FactorExpr;
+using aig::Lit;
+using aig::TruthTable;
+
+const std::array<std::uint8_t, 16>& present_sbox_table() {
+  static const std::array<std::uint8_t, 16> table = {
+      0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+      0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+  };
+  return table;
+}
+
+namespace {
+
+const std::vector<TruthTable>& sbox_bit_functions() {
+  static std::vector<TruthTable> bits;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const auto& table = present_sbox_table();
+    for (unsigned bit = 0; bit < 4; ++bit) {
+      TruthTable tt(4);
+      for (std::size_t x = 0; x < 16; ++x) {
+        tt.set_bit(x, (table[x] >> bit) & 1);
+      }
+      bits.push_back(std::move(tt));
+    }
+  });
+  return bits;
+}
+
+}  // namespace
+
+Word present_sbox(Aig& g, const Word& in) {
+  assert(in.size() == 4);
+  // Shannon elaboration (see aes.cpp): unoptimized on purpose so synthesis
+  // flows have genuine optimization headroom.
+  const auto& bits = sbox_bit_functions();
+  Word out;
+  out.reserve(4);
+  for (unsigned bit = 0; bit < 4; ++bit) {
+    out.push_back(aig::build_shannon(g, bits[bit], in));
+  }
+  return out;
+}
+
+Aig make_spn(std::size_t state_bits, std::size_t rounds) {
+  assert(state_bits >= 4 && state_bits % 4 == 0 && rounds >= 1);
+  Aig g;
+  g.name = "spn" + std::to_string(state_bits);
+
+  Word state = g.add_pis(state_bits);
+  const Word key = g.add_pis(state_bits);
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    // Key XOR with a rotated key plus a round constant (poor man's schedule).
+    Word round_key(state_bits);
+    for (std::size_t i = 0; i < state_bits; ++i) {
+      round_key[i] = key[(i + r) % state_bits];
+    }
+    state = word_xor(g, state, round_key);
+    if (r & 1) state[0] = aig::lit_not(state[0]);  // round constant
+
+    // S-box layer.
+    Word next(state_bits);
+    for (std::size_t nib = 0; nib < state_bits / 4; ++nib) {
+      Word in(state.begin() + static_cast<std::ptrdiff_t>(4 * nib),
+              state.begin() + static_cast<std::ptrdiff_t>(4 * nib + 4));
+      const Word out = present_sbox(g, in);
+      for (std::size_t b = 0; b < 4; ++b) next[4 * nib + b] = out[b];
+    }
+
+    // PRESENT-style bit permutation: p(i) = i * (bits/4) mod (bits - 1).
+    Word permuted(state_bits);
+    for (std::size_t i = 0; i < state_bits; ++i) {
+      const std::size_t dst =
+          (i == state_bits - 1) ? i : (i * (state_bits / 4)) % (state_bits - 1);
+      permuted[dst] = next[i];
+    }
+    state = std::move(permuted);
+  }
+
+  state = word_xor(g, state, key);  // final whitening
+  for (Lit bit : state) g.add_po(bit);
+  return g;
+}
+
+}  // namespace flowgen::designs

@@ -1,0 +1,29 @@
+#pragma once
+// Mini substitution-permutation network ("spn"): a PRESENT-style cipher
+// round function over a parametric state width. This is the laptop-scale
+// stand-in for the 128-bit AES core in the default benchmark configuration
+// (see EXPERIMENTS.md): same circuit character (S-box layer, bit
+// permutation, key XOR), a fraction of the size.
+//
+// PI order: state bits, then key bits (same width).
+// PO order: output state bits.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "aig/aig.hpp"
+#include "designs/components.hpp"
+
+namespace flowgen::designs {
+
+/// The PRESENT cipher 4-bit S-box.
+const std::array<std::uint8_t, 16>& present_sbox_table();
+
+/// One S-box instance over a 4-bit word.
+Word present_sbox(aig::Aig& g, const Word& in);
+
+/// Build the SPN. `state_bits` must be a positive multiple of 4.
+aig::Aig make_spn(std::size_t state_bits = 16, std::size_t rounds = 3);
+
+}  // namespace flowgen::designs

@@ -1,0 +1,254 @@
+#include "map/mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "aig/refs.hpp"
+#include "aig/simulate.hpp"
+
+namespace flowgen::map {
+
+using aig::Aig;
+using aig::Cut;
+using aig::Lit;
+using aig::lit_is_compl;
+using aig::lit_node;
+using aig::make_lit;
+using aig::TruthTable;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A matched cut with precomputed function.
+struct Candidate {
+  const Cut* cut = nullptr;
+  Match match;
+};
+
+struct NodeState {
+  std::vector<Candidate> candidates;
+  int choice = -1;  ///< index into candidates
+  double arrival = 0.0;
+  double area_flow = 0.0;
+  double required = kInf;
+};
+
+double leaf_arrival(const std::vector<NodeState>& state, std::uint32_t leaf,
+                    bool flipped, const CellLibrary& lib) {
+  return state[leaf].arrival + (flipped ? lib.inverter_delay() : 0.0);
+}
+
+double candidate_arrival(const std::vector<NodeState>& state,
+                         const Candidate& cand, const CellLibrary& lib) {
+  double arr = 0.0;
+  for (std::size_t i = 0; i < cand.cut->leaves.size(); ++i) {
+    const bool flip = (cand.match.leaf_flip_mask >> i) & 1;
+    arr = std::max(arr,
+                   leaf_arrival(state, cand.cut->leaves[i], flip, lib));
+  }
+  return arr + cand.match.delay_ps;
+}
+
+double candidate_area_flow(const std::vector<NodeState>& state,
+                           const Candidate& cand, const aig::RefCounts& refs,
+                           std::uint32_t node, const CellLibrary& lib) {
+  double flow = cand.match.area_um2;
+  for (std::uint32_t leaf : cand.cut->leaves) flow += state[leaf].area_flow;
+  const double fanouts = std::max(1u, refs.refs(node));
+  (void)lib;
+  return flow / fanouts;
+}
+
+}  // namespace
+
+MappingResult map_aig(const Aig& aig, const CellLibrary& lib,
+                      const MapperParams& params) {
+  aig::CutParams cut_params;
+  cut_params.cut_size = params.cut_size;
+  cut_params.max_cuts = params.max_cuts_per_node;
+  cut_params.keep_trivial = true;
+  const aig::CutManager cuts(aig, cut_params);
+  const aig::RefCounts refs(aig);
+
+  std::vector<NodeState> state(aig.num_nodes());
+
+  // ---- candidate generation + delay-oriented selection (topo order) ------
+  for (std::uint32_t id = 0; id < aig.num_nodes(); ++id) {
+    if (!aig.is_and(id)) {
+      state[id].arrival = 0.0;
+      state[id].area_flow = 0.0;
+      continue;
+    }
+    NodeState& ns = state[id];
+    for (const Cut& cut : cuts.cuts(id)) {
+      if (cut.leaves.size() == 1 && cut.leaves[0] == id) continue;  // trivial
+      const TruthTable tt =
+          aig::cone_truth(aig, make_lit(id, false), cut.leaves);
+      const std::optional<Match> match = lib.best_match(tt);
+      if (!match) continue;
+      ns.candidates.push_back(Candidate{&cut, *match});
+    }
+    if (ns.candidates.empty()) {
+      throw std::runtime_error("map_aig: unmatchable node " +
+                               std::to_string(id));
+    }
+    double best_arr = kInf;
+    double best_flow = kInf;
+    for (std::size_t c = 0; c < ns.candidates.size(); ++c) {
+      const double arr = candidate_arrival(state, ns.candidates[c], lib);
+      const double flow =
+          candidate_area_flow(state, ns.candidates[c], refs, id, lib);
+      if (arr < best_arr - 1e-9 ||
+          (std::abs(arr - best_arr) <= 1e-9 && flow < best_flow)) {
+        best_arr = arr;
+        best_flow = flow;
+        ns.choice = static_cast<int>(c);
+      }
+    }
+    ns.arrival = best_arr;
+    ns.area_flow = best_flow;
+  }
+
+  // ---- cover extraction helper -------------------------------------------
+  auto extract_cover = [&](std::vector<char>& visible) {
+    std::fill(visible.begin(), visible.end(), 0);
+    std::vector<std::uint32_t> stack;
+    for (Lit po : aig.pos()) {
+      if (aig.is_and(lit_node(po))) stack.push_back(lit_node(po));
+    }
+    while (!stack.empty()) {
+      const std::uint32_t id = stack.back();
+      stack.pop_back();
+      if (visible[id]) continue;
+      visible[id] = 1;
+      const Candidate& cand =
+          state[id].candidates[static_cast<std::size_t>(state[id].choice)];
+      for (std::uint32_t leaf : cand.cut->leaves) {
+        if (aig.is_and(leaf) && !visible[leaf]) stack.push_back(leaf);
+      }
+    }
+  };
+
+  std::vector<char> visible(aig.num_nodes(), 0);
+  extract_cover(visible);
+
+  // ---- area recovery under required times --------------------------------
+  if (params.area_recovery) {
+    double target = 0.0;
+    for (Lit po : aig.pos()) {
+      const double arr = state[lit_node(po)].arrival +
+                         (lit_is_compl(po) ? lib.inverter_delay() : 0.0);
+      target = std::max(target, arr);
+    }
+    for (auto& ns : state) ns.required = kInf;
+    for (Lit po : aig.pos()) {
+      const double slackless =
+          target - (lit_is_compl(po) ? lib.inverter_delay() : 0.0);
+      state[lit_node(po)].required =
+          std::min(state[lit_node(po)].required, slackless);
+    }
+    // Propagate requireds through the current cover (reverse topo), letting
+    // each covered node re-choose the cheapest candidate that still meets
+    // its required time.
+    for (std::uint32_t id = static_cast<std::uint32_t>(aig.num_nodes());
+         id-- > 0;) {
+      if (!visible[id] || !aig.is_and(id)) continue;
+      NodeState& ns = state[id];
+      double best_flow = kInf;
+      double best_arr = kInf;
+      int best = ns.choice;
+      for (std::size_t c = 0; c < ns.candidates.size(); ++c) {
+        const double arr = candidate_arrival(state, ns.candidates[c], lib);
+        if (arr > ns.required + 1e-9) continue;
+        const double flow =
+            candidate_area_flow(state, ns.candidates[c], refs, id, lib);
+        if (flow < best_flow - 1e-12 ||
+            (std::abs(flow - best_flow) <= 1e-12 && arr < best_arr)) {
+          best_flow = flow;
+          best_arr = arr;
+          best = static_cast<int>(c);
+        }
+      }
+      ns.choice = best;
+      ns.arrival = candidate_arrival(
+          state, ns.candidates[static_cast<std::size_t>(best)], lib);
+      const Candidate& cand =
+          ns.candidates[static_cast<std::size_t>(best)];
+      for (std::size_t i = 0; i < cand.cut->leaves.size(); ++i) {
+        const std::uint32_t leaf = cand.cut->leaves[i];
+        if (!aig.is_and(leaf)) continue;
+        const bool flip = (cand.match.leaf_flip_mask >> i) & 1;
+        const double leaf_req = ns.required - cand.match.delay_ps -
+                                (flip ? lib.inverter_delay() : 0.0);
+        state[leaf].required = std::min(state[leaf].required, leaf_req);
+      }
+    }
+    extract_cover(visible);
+
+    // Recovery may have changed choices along non-critical paths; recompute
+    // arrivals forward so the reported delay is exact for the final cover.
+    for (std::uint32_t id = 0; id < aig.num_nodes(); ++id) {
+      if (!visible[id] || !aig.is_and(id)) continue;
+      NodeState& ns = state[id];
+      ns.arrival = candidate_arrival(
+          state, ns.candidates[static_cast<std::size_t>(ns.choice)], lib);
+    }
+  }
+
+  // ---- final accounting ----------------------------------------------------
+  MappingResult result;
+  std::set<std::uint32_t> inverted_signals;  // signals needing an inverter
+  for (std::uint32_t id = 0; id < aig.num_nodes(); ++id) {
+    if (!visible[id]) continue;
+    const Candidate& cand =
+        state[id].candidates[static_cast<std::size_t>(state[id].choice)];
+    CoverEntry entry;
+    entry.node = id;
+    entry.cut = *cand.cut;
+    entry.match = cand.match;
+    entry.arrival_ps = state[id].arrival;
+    result.cover.push_back(entry);
+
+    result.qor.area_um2 += lib.cell(cand.match.cell_id).area_um2;
+    ++result.qor.num_cells;
+    if (cand.match.out_flip) {
+      // The output inverter is private to this gate (its positive output is
+      // what the rest of the cover consumes).
+      result.qor.area_um2 += lib.inverter_area();
+      ++result.qor.num_inverters;
+    }
+    for (std::size_t i = 0; i < cand.cut->leaves.size(); ++i) {
+      if ((cand.match.leaf_flip_mask >> i) & 1) {
+        inverted_signals.insert(cand.cut->leaves[i]);
+      }
+    }
+  }
+  double delay = 0.0;
+  for (Lit po : aig.pos()) {
+    double arr = state[lit_node(po)].arrival;
+    if (lit_is_compl(po) && lit_node(po) != 0) {
+      inverted_signals.insert(lit_node(po));
+      arr += lib.inverter_delay();
+    }
+    delay = std::max(delay, arr);
+  }
+  // Polarity inverters are shared per signal: one inverter serves all
+  // complemented fanouts of a node.
+  result.qor.area_um2 +=
+      static_cast<double>(inverted_signals.size()) * lib.inverter_area();
+  result.qor.num_inverters += inverted_signals.size();
+  result.qor.delay_ps = delay;
+  return result;
+}
+
+QoR evaluate_qor(const Aig& aig, const CellLibrary& lib,
+                 const MapperParams& params) {
+  return map_aig(aig, lib, params).qor;
+}
+
+}  // namespace flowgen::map

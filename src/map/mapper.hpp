@@ -1,0 +1,50 @@
+#pragma once
+// Cut-based standard-cell technology mapper (the ABC `map` stand-in):
+//   1. enumerate 4-feasible priority cuts per node,
+//   2. match every cut function exactly against the library index
+//      (polarity fixes priced as inverters),
+//   3. select matches for minimum arrival time (delay-oriented),
+//   4. recover area off the critical paths under required-time slack,
+//   5. extract the cover and account shared polarity inverters once.
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/cuts.hpp"
+#include "map/cell_library.hpp"
+#include "map/qor.hpp"
+
+namespace flowgen::map {
+
+struct MapperParams {
+  unsigned cut_size = 4;
+  unsigned max_cuts_per_node = 8;
+  bool area_recovery = true;
+};
+
+/// One mapped gate: `node`'s positive function implemented by
+/// `match.cell_id` over `cut.leaves`.
+struct CoverEntry {
+  std::uint32_t node = 0;
+  aig::Cut cut;
+  Match match;
+  double arrival_ps = 0.0;
+};
+
+struct MappingResult {
+  QoR qor;
+  std::vector<CoverEntry> cover;  ///< topological order (by node id)
+};
+
+/// Map `aig` onto `lib`. Throws std::runtime_error if some node has no
+/// matchable cut (cannot happen with the builtin library: every 2-input
+/// function is covered).
+MappingResult map_aig(const aig::Aig& aig, const CellLibrary& lib,
+                      const MapperParams& params = {});
+
+/// Convenience wrapper returning only the QoR.
+QoR evaluate_qor(const aig::Aig& aig,
+                 const CellLibrary& lib = CellLibrary::builtin(),
+                 const MapperParams& params = {});
+
+}  // namespace flowgen::map

@@ -1,0 +1,26 @@
+#pragma once
+// Quality-of-Result record: the two metrics the paper's labeling model
+// consumes (area in um^2 and delay in ps after technology mapping), plus
+// netlist statistics for reports.
+
+#include <cstddef>
+#include <string>
+
+namespace flowgen::map {
+
+struct QoR {
+  double area_um2 = 0.0;
+  double delay_ps = 0.0;
+  std::size_t num_cells = 0;      ///< matched cells (excluding inverters)
+  std::size_t num_inverters = 0;  ///< polarity-fix inverters
+
+  std::string to_string() const {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "area = %.2f um^2  delay = %.1f ps  cells = %zu  inv = %zu",
+                  area_um2, delay_ps, num_cells, num_inverters);
+    return buf;
+  }
+};
+
+}  // namespace flowgen::map

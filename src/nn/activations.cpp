@@ -1,0 +1,103 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace flowgen::nn {
+
+namespace {
+// SELU constants from Klambauer et al., "Self-Normalizing Neural Networks".
+constexpr double kSeluAlpha = 1.6732632423543772;
+constexpr double kSeluScale = 1.0507009873554805;
+}  // namespace
+
+const char* activation_name(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kReLU: return "ReLU";
+    case ActivationKind::kReLU6: return "ReLU6";
+    case ActivationKind::kELU: return "ELU";
+    case ActivationKind::kSELU: return "SELU";
+    case ActivationKind::kSoftplus: return "Softplus";
+    case ActivationKind::kSoftsign: return "Softsign";
+    case ActivationKind::kSigmoid: return "Sigmoid";
+    case ActivationKind::kTanh: return "Tanh";
+  }
+  return "?";
+}
+
+ActivationKind activation_by_index(std::size_t i) {
+  switch (i) {
+    case 0: return ActivationKind::kReLU;
+    case 1: return ActivationKind::kReLU6;
+    case 2: return ActivationKind::kELU;
+    case 3: return ActivationKind::kSELU;
+    case 4: return ActivationKind::kSoftplus;
+    case 5: return ActivationKind::kSoftsign;
+    case 6: return ActivationKind::kSigmoid;
+    case 7: return ActivationKind::kTanh;
+    default: throw std::invalid_argument("activation index out of range");
+  }
+}
+
+ActivationKind activation_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kNumActivations; ++i) {
+    if (name == activation_name(activation_by_index(i))) {
+      return activation_by_index(i);
+    }
+  }
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+double activate(ActivationKind kind, double x) {
+  switch (kind) {
+    case ActivationKind::kReLU:
+      return x > 0 ? x : 0.0;
+    case ActivationKind::kReLU6:
+      return x < 0 ? 0.0 : (x > 6.0 ? 6.0 : x);
+    case ActivationKind::kELU:
+      return x > 0 ? x : std::expm1(x);
+    case ActivationKind::kSELU:
+      return kSeluScale * (x > 0 ? x : kSeluAlpha * std::expm1(x));
+    case ActivationKind::kSoftplus:
+      // log(1+e^x), stable for large x.
+      return x > 30 ? x : std::log1p(std::exp(x));
+    case ActivationKind::kSoftsign:
+      return x / (1.0 + std::abs(x));
+    case ActivationKind::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case ActivationKind::kTanh:
+      return std::tanh(x);
+  }
+  return 0.0;
+}
+
+double activate_grad(ActivationKind kind, double x) {
+  switch (kind) {
+    case ActivationKind::kReLU:
+      return x > 0 ? 1.0 : 0.0;
+    case ActivationKind::kReLU6:
+      return (x > 0 && x < 6.0) ? 1.0 : 0.0;
+    case ActivationKind::kELU:
+      return x > 0 ? 1.0 : std::exp(x);
+    case ActivationKind::kSELU:
+      return kSeluScale * (x > 0 ? 1.0 : kSeluAlpha * std::exp(x));
+    case ActivationKind::kSoftplus:
+      return 1.0 / (1.0 + std::exp(-x));
+    case ActivationKind::kSoftsign: {
+      const double d = 1.0 + std::abs(x);
+      return 1.0 / (d * d);
+    }
+    case ActivationKind::kSigmoid: {
+      const double s = 1.0 / (1.0 + std::exp(-x));
+      return s * (1.0 - s);
+    }
+    case ActivationKind::kTanh: {
+      const double t = std::tanh(x);
+      return 1.0 - t * t;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace flowgen::nn

@@ -1,0 +1,30 @@
+#pragma once
+// The eight activation functions the paper compares in Figure 7, with
+// analytic derivatives for backprop.
+
+#include <string>
+
+namespace flowgen::nn {
+
+enum class ActivationKind {
+  kReLU,
+  kReLU6,
+  kELU,
+  kSELU,
+  kSoftplus,
+  kSoftsign,
+  kSigmoid,
+  kTanh,
+};
+
+/// All kinds, in the order Figure 7 lists them.
+const char* activation_name(ActivationKind kind);
+ActivationKind activation_from_name(const std::string& name);
+constexpr std::size_t kNumActivations = 8;
+ActivationKind activation_by_index(std::size_t i);
+
+double activate(ActivationKind kind, double x);
+/// Derivative d activate / dx evaluated at pre-activation x.
+double activate_grad(ActivationKind kind, double x);
+
+}  // namespace flowgen::nn

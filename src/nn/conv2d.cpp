@@ -1,0 +1,113 @@
+#include "nn/conv2d.hpp"
+
+#include <cassert>
+
+namespace flowgen::nn {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_h, std::size_t kernel_w, util::Rng& rng,
+               std::size_t stride)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kh_(kernel_h),
+      kw_(kernel_w),
+      stride_(stride),
+      weights_({kernel_h, kernel_w, in_channels, out_channels}),
+      bias_({out_channels}),
+      grad_weights_({kernel_h, kernel_w, in_channels, out_channels}),
+      grad_bias_({out_channels}) {
+  weights_.glorot_init(rng, kernel_h * kernel_w * in_channels,
+                       kernel_h * kernel_w * out_channels);
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
+  assert(input.rank() == 4 && input.dim(3) == in_ch_);
+  cached_input_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t oh = (h + stride_ - 1) / stride_;
+  const std::size_t ow = (w + stride_ - 1) / stride_;
+  // 'same' padding: centre the kernel; pad_top/left derived from kernel size.
+  const std::ptrdiff_t pad_t = static_cast<std::ptrdiff_t>(kh_ - 1) / 2;
+  const std::ptrdiff_t pad_l = static_cast<std::ptrdiff_t>(kw_ - 1) / 2;
+
+  Tensor out({n, oh, ow, out_ch_});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        for (std::size_t ky = 0; ky < kh_; ++ky) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride_ + ky) - pad_t;
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+          for (std::size_t kx = 0; kx < kw_; ++kx) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride_ + kx) - pad_l;
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+            for (std::size_t ci = 0; ci < in_ch_; ++ci) {
+              const double x =
+                  input.at(b, static_cast<std::size_t>(iy),
+                           static_cast<std::size_t>(ix), ci);
+              if (x == 0.0) continue;
+              for (std::size_t co = 0; co < out_ch_; ++co) {
+                out.at(b, oy, ox, co) += x * weights_.at(ky, kx, ci, co);
+              }
+            }
+          }
+        }
+        for (std::size_t co = 0; co < out_ch_; ++co) {
+          out.at(b, oy, ox, co) += bias_[co];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const std::size_t n = input.dim(0);
+  const std::size_t h = input.dim(1);
+  const std::size_t w = input.dim(2);
+  const std::size_t oh = grad_output.dim(1);
+  const std::size_t ow = grad_output.dim(2);
+  const std::ptrdiff_t pad_t = static_cast<std::ptrdiff_t>(kh_ - 1) / 2;
+  const std::ptrdiff_t pad_l = static_cast<std::ptrdiff_t>(kw_ - 1) / 2;
+
+  grad_weights_.zero();
+  grad_bias_.zero();
+  Tensor grad_input(input.shape());
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        for (std::size_t co = 0; co < out_ch_; ++co) {
+          const double go = grad_output.at(b, oy, ox, co);
+          if (go == 0.0) continue;
+          grad_bias_[co] += go;
+          for (std::size_t ky = 0; ky < kh_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride_ + ky) - pad_t;
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < kw_; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) - pad_l;
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              for (std::size_t ci = 0; ci < in_ch_; ++ci) {
+                const auto uy = static_cast<std::size_t>(iy);
+                const auto ux = static_cast<std::size_t>(ix);
+                grad_weights_.at(ky, kx, ci, co) +=
+                    input.at(b, uy, ux, ci) * go;
+                grad_input.at(b, uy, ux, ci) +=
+                    weights_.at(ky, kx, ci, co) * go;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace flowgen::nn

@@ -1,0 +1,101 @@
+#include "nn/locally_connected.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace flowgen::nn {
+
+LocallyConnected2D::LocallyConnected2D(std::size_t in_h, std::size_t in_w,
+                                       std::size_t in_channels,
+                                       std::size_t out_channels,
+                                       std::size_t kernel_h,
+                                       std::size_t kernel_w, util::Rng& rng)
+    : in_h_(in_h),
+      in_w_(in_w),
+      in_ch_(in_channels),
+      out_ch_(out_channels),
+      kh_(kernel_h),
+      kw_(kernel_w),
+      oh_(in_h - kernel_h + 1),
+      ow_(in_w - kernel_w + 1) {
+  if (in_h < kernel_h || in_w < kernel_w) {
+    throw std::invalid_argument("LocallyConnected2D: kernel exceeds input");
+  }
+  const std::size_t patch = kh_ * kw_ * in_ch_;
+  weights_ = Tensor({oh_ * ow_, patch, out_ch_});
+  grad_weights_ = Tensor({oh_ * ow_, patch, out_ch_});
+  bias_ = Tensor({oh_ * ow_, out_ch_});
+  grad_bias_ = Tensor({oh_ * ow_, out_ch_});
+  weights_.glorot_init(rng, patch, out_ch_);
+}
+
+Tensor LocallyConnected2D::forward(const Tensor& input, bool /*training*/) {
+  assert(input.rank() == 4 && input.dim(1) == in_h_ &&
+         input.dim(2) == in_w_ && input.dim(3) == in_ch_);
+  cached_input_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t patch = kh_ * kw_ * in_ch_;
+
+  Tensor out({n, oh_, ow_, out_ch_});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oy = 0; oy < oh_; ++oy) {
+      for (std::size_t ox = 0; ox < ow_; ++ox) {
+        const std::size_t pos = oy * ow_ + ox;
+        std::size_t p = 0;
+        for (std::size_t ky = 0; ky < kh_; ++ky) {
+          for (std::size_t kx = 0; kx < kw_; ++kx) {
+            for (std::size_t ci = 0; ci < in_ch_; ++ci, ++p) {
+              const double x = input.at(b, oy + ky, ox + kx, ci);
+              if (x == 0.0) continue;
+              for (std::size_t co = 0; co < out_ch_; ++co) {
+                out.at(b, oy, ox, co) +=
+                    x * weights_[(pos * patch + p) * out_ch_ + co];
+              }
+            }
+          }
+        }
+        for (std::size_t co = 0; co < out_ch_; ++co) {
+          out.at(b, oy, ox, co) += bias_[pos * out_ch_ + co];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor LocallyConnected2D::backward(const Tensor& grad_output) {
+  const Tensor& input = cached_input_;
+  const std::size_t n = input.dim(0);
+  const std::size_t patch = kh_ * kw_ * in_ch_;
+
+  grad_weights_.zero();
+  grad_bias_.zero();
+  Tensor grad_input(input.shape());
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oy = 0; oy < oh_; ++oy) {
+      for (std::size_t ox = 0; ox < ow_; ++ox) {
+        const std::size_t pos = oy * ow_ + ox;
+        for (std::size_t co = 0; co < out_ch_; ++co) {
+          const double go = grad_output.at(b, oy, ox, co);
+          if (go == 0.0) continue;
+          grad_bias_[pos * out_ch_ + co] += go;
+          std::size_t p = 0;
+          for (std::size_t ky = 0; ky < kh_; ++ky) {
+            for (std::size_t kx = 0; kx < kw_; ++kx) {
+              for (std::size_t ci = 0; ci < in_ch_; ++ci, ++p) {
+                grad_weights_[(pos * patch + p) * out_ch_ + co] +=
+                    input.at(b, oy + ky, ox + kx, ci) * go;
+                grad_input.at(b, oy + ky, ox + kx, ci) +=
+                    weights_[(pos * patch + p) * out_ch_ + co] * go;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace flowgen::nn

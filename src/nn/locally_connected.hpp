@@ -1,0 +1,36 @@
+#pragma once
+// Locally connected 2-D layer (the "Local" block in the paper's Figure 3):
+// like a convolution but with an independent kernel at every output
+// position, 'valid' padding, stride 1. Weights are
+// (OH*OW, KH*KW*C_in, C_out); bias is (OH*OW, C_out).
+
+#include "nn/layers.hpp"
+
+namespace flowgen::nn {
+
+class LocallyConnected2D : public Layer {
+public:
+  /// Input spatial size must be fixed at construction (unshared weights).
+  LocallyConnected2D(std::size_t in_h, std::size_t in_w,
+                     std::size_t in_channels, std::size_t out_channels,
+                     std::size_t kernel_h, std::size_t kernel_w,
+                     util::Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> params() override { return {&weights_, &bias_}; }
+  std::vector<Tensor*> grads() override {
+    return {&grad_weights_, &grad_bias_};
+  }
+  std::string name() const override { return "LocallyConnected2D"; }
+
+  std::size_t out_h() const { return oh_; }
+  std::size_t out_w() const { return ow_; }
+
+private:
+  std::size_t in_h_, in_w_, in_ch_, out_ch_, kh_, kw_, oh_, ow_;
+  Tensor weights_, bias_, grad_weights_, grad_bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace flowgen::nn

@@ -1,0 +1,52 @@
+#include "nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace flowgen::nn {
+
+Tensor softmax(const Tensor& logits) {
+  assert(logits.rank() == 2);
+  const std::size_t n = logits.dim(0);
+  const std::size_t c = logits.dim(1);
+  Tensor probs({n, c});
+  for (std::size_t i = 0; i < n; ++i) {
+    double max_logit = logits.at(i, 0);
+    for (std::size_t j = 1; j < c; ++j) {
+      max_logit = std::max(max_logit, logits.at(i, j));
+    }
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      probs.at(i, j) = std::exp(logits.at(i, j) - max_logit);
+      denom += probs.at(i, j);
+    }
+    for (std::size_t j = 0; j < c; ++j) probs.at(i, j) /= denom;
+  }
+  return probs;
+}
+
+LossResult sparse_softmax_cross_entropy(
+    const Tensor& logits, const std::vector<std::uint32_t>& labels) {
+  assert(logits.rank() == 2 && logits.dim(0) == labels.size());
+  const std::size_t n = logits.dim(0);
+  const std::size_t c = logits.dim(1);
+
+  LossResult r;
+  r.probabilities = softmax(logits);
+  r.grad_logits = Tensor({n, c});
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(labels[i] < c);
+    const double p = r.probabilities.at(i, labels[i]);
+    r.loss -= std::log(std::max(p, 1e-300)) * inv_n;
+    for (std::size_t j = 0; j < c; ++j) {
+      const double indicator = (j == labels[i]) ? 1.0 : 0.0;
+      r.grad_logits.at(i, j) =
+          (r.probabilities.at(i, j) - indicator) * inv_n;
+    }
+  }
+  return r;
+}
+
+}  // namespace flowgen::nn

@@ -1,0 +1,24 @@
+#pragma once
+// Sparse softmax cross-entropy, the loss the paper trains with: logits
+// (N, C) against integer class labels, softmax folded into the gradient.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace flowgen::nn {
+
+struct LossResult {
+  double loss = 0.0;       ///< mean cross-entropy over the batch
+  Tensor grad_logits;      ///< d loss / d logits, (N, C)
+  Tensor probabilities;    ///< softmax(logits), (N, C)
+};
+
+LossResult sparse_softmax_cross_entropy(const Tensor& logits,
+                                        const std::vector<std::uint32_t>& labels);
+
+/// Softmax probabilities only (inference path).
+Tensor softmax(const Tensor& logits);
+
+}  // namespace flowgen::nn

@@ -1,0 +1,111 @@
+#include "nn/optimizers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flowgen::nn {
+
+namespace {
+
+void ensure_state(std::vector<Tensor>& state,
+                  const std::vector<Tensor*>& params) {
+  if (state.size() == params.size()) return;
+  state.clear();
+  state.reserve(params.size());
+  for (const Tensor* p : params) state.emplace_back(p->shape());
+}
+
+}  // namespace
+
+void Sgd::step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) {
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    Tensor& w = *params[t];
+    const Tensor& g = *grads[t];
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] -= lr_ * g[i];
+  }
+}
+
+void Momentum::step(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads) {
+  ensure_state(velocity_, params);
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    Tensor& w = *params[t];
+    const Tensor& g = *grads[t];
+    Tensor& v = velocity_[t];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      v[i] = mu_ * v[i] + g[i];
+      w[i] -= lr_ * v[i];
+    }
+  }
+}
+
+void AdaGrad::step(const std::vector<Tensor*>& params,
+                   const std::vector<Tensor*>& grads) {
+  ensure_state(accum_, params);
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    Tensor& w = *params[t];
+    const Tensor& g = *grads[t];
+    Tensor& acc = accum_[t];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      acc[i] += g[i] * g[i];
+      w[i] -= lr_ * g[i] / (std::sqrt(acc[i]) + eps_);
+    }
+  }
+}
+
+void RmsProp::step(const std::vector<Tensor*>& params,
+                   const std::vector<Tensor*>& grads) {
+  ensure_state(accum_, params);
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    Tensor& w = *params[t];
+    const Tensor& g = *grads[t];
+    Tensor& acc = accum_[t];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      acc[i] = decay_ * acc[i] + (1.0 - decay_) * g[i] * g[i];
+      w[i] -= lr_ * g[i] / std::sqrt(acc[i] + eps_);
+    }
+  }
+}
+
+void Ftrl::step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  ensure_state(z_, params);
+  ensure_state(n_, params);
+  const double alpha = lr_;
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    Tensor& w = *params[t];
+    const Tensor& g = *grads[t];
+    Tensor& z = z_[t];
+    Tensor& n = n_[t];
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double g2 = g[i] * g[i];
+      const double sigma = (std::sqrt(n[i] + g2) - std::sqrt(n[i])) / alpha;
+      z[i] += g[i] - sigma * w[i];
+      n[i] += g2;
+      if (std::abs(z[i]) <= l1_) {
+        w[i] = 0.0;
+      } else {
+        const double sign_z = z[i] > 0 ? 1.0 : -1.0;
+        w[i] = -(z[i] - sign_z * l1_) /
+               ((beta_ + std::sqrt(n[i])) / alpha + l2_);
+      }
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          double learning_rate) {
+  if (name == "SGD") return std::make_unique<Sgd>(learning_rate);
+  if (name == "Momentum") return std::make_unique<Momentum>(learning_rate);
+  if (name == "AdaGrad") return std::make_unique<AdaGrad>(learning_rate);
+  if (name == "RMSProp") return std::make_unique<RmsProp>(learning_rate);
+  if (name == "Ftrl") return std::make_unique<Ftrl>(learning_rate);
+  throw std::invalid_argument("unknown optimizer: " + name);
+}
+
+std::vector<std::string> optimizer_names() {
+  return {"SGD", "Momentum", "AdaGrad", "RMSProp", "Ftrl"};
+}
+
+}  // namespace flowgen::nn

@@ -1,0 +1,101 @@
+#pragma once
+// The five gradient-descent algorithms compared in the paper's Figures 4-5:
+// SGD, Momentum, AdaGrad, RMSProp and FTRL(-proximal). Each keeps its own
+// per-parameter state, allocated lazily on the first step.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace flowgen::nn {
+
+class Optimizer {
+public:
+  explicit Optimizer(double learning_rate) : lr_(learning_rate) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update: params[i] -= f(grads[i]). The two vectors must stay
+  /// parallel and stable across calls (state is indexed positionally).
+  virtual void step(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads) = 0;
+
+  virtual std::string name() const = 0;
+  double learning_rate() const { return lr_; }
+
+protected:
+  double lr_;
+};
+
+class Sgd : public Optimizer {
+public:
+  using Optimizer::Optimizer;
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  std::string name() const override { return "SGD"; }
+};
+
+class Momentum : public Optimizer {
+public:
+  explicit Momentum(double learning_rate, double momentum = 0.9)
+      : Optimizer(learning_rate), mu_(momentum) {}
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  std::string name() const override { return "Momentum"; }
+
+private:
+  double mu_;
+  std::vector<Tensor> velocity_;
+};
+
+class AdaGrad : public Optimizer {
+public:
+  explicit AdaGrad(double learning_rate, double epsilon = 1e-8)
+      : Optimizer(learning_rate), eps_(epsilon) {}
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  std::string name() const override { return "AdaGrad"; }
+
+private:
+  double eps_;
+  std::vector<Tensor> accum_;
+};
+
+class RmsProp : public Optimizer {
+public:
+  explicit RmsProp(double learning_rate, double decay = 0.9,
+                   double epsilon = 1e-10)
+      : Optimizer(learning_rate), decay_(decay), eps_(epsilon) {}
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  std::string name() const override { return "RMSProp"; }
+
+private:
+  double decay_, eps_;
+  std::vector<Tensor> accum_;
+};
+
+/// FTRL-Proximal (McMahan et al., KDD'13) with L1/L2 regularisation.
+class Ftrl : public Optimizer {
+public:
+  explicit Ftrl(double learning_rate, double beta = 1.0, double l1 = 0.0,
+                double l2 = 0.0)
+      : Optimizer(learning_rate), beta_(beta), l1_(l1), l2_(l2) {}
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  std::string name() const override { return "Ftrl"; }
+
+private:
+  double beta_, l1_, l2_;
+  std::vector<Tensor> z_, n_;
+};
+
+/// Factory by the names used in the paper's plots:
+/// SGD | Momentum | AdaGrad | RMSProp | Ftrl.
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name,
+                                          double learning_rate);
+/// All five names in figure order.
+std::vector<std::string> optimizer_names();
+
+}  // namespace flowgen::nn

@@ -1,0 +1,62 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowgen::nn {
+
+Tensor::Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+  std::size_t total = 1;
+  for (std::size_t d : shape_) total *= d;
+  data_.assign(total, 0.0);
+}
+
+void Tensor::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::glorot_init(util::Rng& rng, std::size_t fan_in,
+                         std::size_t fan_out) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (double& v : data_) v = rng.uniform(-limit, limit);
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  std::size_t total = 1;
+  for (std::size_t d : shape) total *= d;
+  if (total != size()) {
+    throw std::invalid_argument("Tensor::reshaped: size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  if (o.size() != size()) {
+    throw std::invalid_argument("Tensor::operator+=: size mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream ss;
+  ss << '(';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) ss << ',';
+    ss << shape_[i];
+  }
+  ss << ')';
+  return ss.str();
+}
+
+}  // namespace flowgen::nn

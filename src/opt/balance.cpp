@@ -1,0 +1,137 @@
+#include "opt/balance.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "aig/refs.hpp"
+
+namespace flowgen::opt {
+
+using aig::Aig;
+using aig::Lit;
+using aig::lit_is_compl;
+using aig::lit_node;
+using aig::lit_not;
+
+namespace {
+
+/// Two-phase tree balancing, as in ABC: a positive literal of an AND node
+/// roots an AND-supergate (expanded through non-complemented, single-fanout
+/// AND fanins); a complemented literal roots an OR-supergate (De Morgan:
+/// ~(a & b) = ~a | ~b, expanded through complemented single-fanout AND
+/// literals). Each supergate is rebuilt pairing the two shallowest operands
+/// first, which minimises tree depth.
+class Balancer {
+public:
+  explicit Balancer(const Aig& in) : in_(in), refs_(in) {
+    map_and_.assign(in.num_nodes(), aig::kLitInvalid);
+    map_or_.assign(in.num_nodes(), aig::kLitInvalid);
+  }
+
+  Aig run() {
+    out_.name = in_.name;
+    pi_lookup_.assign(in_.num_nodes(), aig::kLitInvalid);
+    for (std::uint32_t pi : in_.pis()) pi_lookup_[pi] = out_.add_pi();
+    for (Lit po : in_.pos()) out_.add_po(build(po));
+    return std::move(out_);
+  }
+
+private:
+  bool expandable(Lit e, bool or_phase) const {
+    // Delay-driven balancing expands through shared (multi-fanout) nodes
+    // too, duplicating their logic into each supergate: depth drops at the
+    // cost of area — the area/delay trade-off that distinguishes
+    // balance-heavy flow suffixes from rewrite/refactor-heavy ones.
+    const std::uint32_t f = lit_node(e);
+    return lit_is_compl(e) == or_phase && in_.is_and(f);
+  }
+
+  /// Collect the operand literals of the supergate rooted at literal
+  /// `root` in the given phase. For the AND phase operands are AND-ed; for
+  /// the OR phase (root complemented) the *complements* of the collected
+  /// fanins are OR-ed.
+  void collect(Lit edge, bool or_phase, std::vector<Lit>& leaves) {
+    if (expandable(edge, or_phase)) {
+      const auto& n = in_.node(lit_node(edge));
+      collect(or_phase ? lit_not(n.fanin0) : n.fanin0, or_phase, leaves);
+      collect(or_phase ? lit_not(n.fanin1) : n.fanin1, or_phase, leaves);
+    } else {
+      leaves.push_back(edge);
+    }
+  }
+
+  Lit build(Lit old) {
+    const std::uint32_t id = lit_node(old);
+    if (!in_.is_and(id)) {
+      const Lit base = id == 0 ? aig::kLitFalse : pi_of(id);
+      return base ^ (old & 1u);
+    }
+    const bool or_phase = lit_is_compl(old);
+    std::vector<Lit>& memo = or_phase ? map_or_ : map_and_;
+    if (memo[id] != aig::kLitInvalid) return memo[id];
+
+    // Operand list in the *old* graph.
+    std::vector<Lit> old_leaves;
+    const auto& n = in_.node(id);
+    if (or_phase) {
+      collect(lit_not(n.fanin0), true, old_leaves);
+      collect(lit_not(n.fanin1), true, old_leaves);
+    } else {
+      collect(n.fanin0, false, old_leaves);
+      collect(n.fanin1, false, old_leaves);
+    }
+
+    // Simplify the operand multiset.
+    std::sort(old_leaves.begin(), old_leaves.end());
+    old_leaves.erase(std::unique(old_leaves.begin(), old_leaves.end()),
+                     old_leaves.end());
+    bool annihilates = false;
+    for (std::size_t i = 0; i + 1 < old_leaves.size(); ++i) {
+      if (old_leaves[i] == lit_not(old_leaves[i + 1])) {
+        annihilates = true;  // x & ~x = 0  /  x | ~x = 1
+        break;
+      }
+    }
+    if (annihilates) {
+      memo[id] = or_phase ? aig::kLitTrue : aig::kLitFalse;
+      return memo[id];
+    }
+
+    // Build operands recursively, then combine two shallowest first.
+    using Entry = std::pair<std::uint32_t, Lit>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (Lit leaf : old_leaves) {
+      const Lit built = build(leaf);
+      heap.emplace(out_.node(lit_node(built)).level, built);
+    }
+    while (heap.size() > 1) {
+      const Lit a = heap.top().second;
+      heap.pop();
+      const Lit b = heap.top().second;
+      heap.pop();
+      const Lit c = or_phase ? out_.lor(a, b) : out_.land(a, b);
+      heap.emplace(out_.node(lit_node(c)).level, c);
+    }
+    memo[id] = heap.top().second;
+    return memo[id];
+  }
+
+  Lit pi_of(std::uint32_t id) const { return pi_lookup_[id]; }
+
+  const Aig& in_;
+  aig::RefCounts refs_;
+  Aig out_;
+  std::vector<Lit> pi_lookup_;
+  std::vector<Lit> map_and_;
+  std::vector<Lit> map_or_;
+};
+
+}  // namespace
+
+Aig balance(const Aig& in) {
+  Balancer b(in);
+  return b.run();
+}
+
+}  // namespace flowgen::opt

@@ -1,0 +1,13 @@
+#pragma once
+// `balance` (ABC's `b`): collapse maximal AND trees into multi-input
+// supergates and rebuild them as minimum-depth trees, pairing the two
+// shallowest operands first. Reduces logic depth (delay) at equal or lower
+// node count.
+
+#include "aig/aig.hpp"
+
+namespace flowgen::opt {
+
+aig::Aig balance(const aig::Aig& in);
+
+}  // namespace flowgen::opt

@@ -1,0 +1,113 @@
+#include "opt/rebuild.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace flowgen::opt {
+
+using aig::Aig;
+using aig::Lit;
+using aig::lit_node;
+using aig::make_lit;
+
+std::vector<Lit> identity_replacements(std::size_t num_nodes) {
+  std::vector<Lit> repl(num_nodes);
+  for (std::size_t id = 0; id < num_nodes; ++id) {
+    repl[id] = make_lit(static_cast<std::uint32_t>(id), false);
+  }
+  return repl;
+}
+
+Lit resolve(const std::vector<Lit>& repl, Lit l) {
+  for (;;) {
+    const std::uint32_t id = lit_node(l);
+    if (id >= repl.size()) return l;  // appended node: identity by definition
+    const Lit r = repl[id];
+    if (r == make_lit(id, false)) return l;
+    l = r ^ (l & 1u);
+  }
+}
+
+bool cone_contains(const Aig& g, const std::vector<Lit>& repl, Lit root,
+                   std::uint32_t target) {
+  std::vector<std::uint32_t> stack{lit_node(resolve(repl, root))};
+  std::vector<char> visited(g.num_nodes(), 0);
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (id == target) return true;
+    if (visited[id]) continue;
+    visited[id] = 1;
+    if (!g.is_and(id)) continue;
+    stack.push_back(lit_node(resolve(repl, g.node(id).fanin0)));
+    stack.push_back(lit_node(resolve(repl, g.node(id).fanin1)));
+  }
+  return false;
+}
+
+long reuse_cost(const Aig& g, const std::vector<Lit>& repl, Lit root,
+                const std::vector<std::uint32_t>& inputs,
+                const std::vector<std::uint32_t>& mffc) {
+  std::unordered_set<std::uint32_t> input_set(inputs.begin(), inputs.end());
+  std::unordered_set<std::uint32_t> mffc_set(mffc.begin(), mffc.end());
+  std::unordered_set<std::uint32_t> visited;
+  long cost = 0;
+  std::vector<std::uint32_t> stack{lit_node(resolve(repl, root))};
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (!visited.insert(id).second) continue;
+    if (input_set.count(id) || !g.is_and(id)) continue;
+    if (mffc_set.count(id)) ++cost;
+    stack.push_back(lit_node(resolve(repl, g.node(id).fanin0)));
+    stack.push_back(lit_node(resolve(repl, g.node(id).fanin1)));
+  }
+  return cost;
+}
+
+Aig apply_replacements(const Aig& g, const std::vector<Lit>& repl) {
+  Aig out;
+  out.name = g.name;
+  std::vector<Lit> map(g.num_nodes(), aig::kLitInvalid);
+  map[0] = aig::kLitFalse;
+  for (std::uint32_t pi : g.pis()) map[pi] = out.add_pi();
+
+  // Replacement subgraphs carry higher ids than the nodes that alias to
+  // them, so a plain ascending sweep is not topological for the effective
+  // (alias-resolved) graph. Build with an explicit DFS instead; the
+  // effective graph is acyclic because replacements only reference nodes
+  // whose aliases were already final.
+  std::vector<std::uint32_t> stack;
+  auto build_cone = [&](Lit root) {
+    stack.push_back(lit_node(resolve(repl, root)));
+    while (!stack.empty()) {
+      const std::uint32_t id = stack.back();
+      if (map[id] != aig::kLitInvalid) {
+        stack.pop_back();
+        continue;
+      }
+      assert(g.is_and(id));
+      const Lit f0 = resolve(repl, g.node(id).fanin0);
+      const Lit f1 = resolve(repl, g.node(id).fanin1);
+      const Lit r0 = map[lit_node(f0)];
+      const Lit r1 = map[lit_node(f1)];
+      if (r0 != aig::kLitInvalid && r1 != aig::kLitInvalid) {
+        map[id] = out.land(r0 ^ (f0 & 1u), r1 ^ (f1 & 1u));
+        stack.pop_back();
+      } else {
+        if (r0 == aig::kLitInvalid) stack.push_back(lit_node(f0));
+        if (r1 == aig::kLitInvalid) stack.push_back(lit_node(f1));
+      }
+    }
+  };
+
+  for (Lit po : g.pos()) build_cone(po);
+  for (Lit po : g.pos()) {
+    const Lit r = resolve(repl, po);
+    assert(map[lit_node(r)] != aig::kLitInvalid);
+    out.add_po(map[lit_node(r)] ^ (r & 1u));
+  }
+  return out;
+}
+
+}  // namespace flowgen::opt

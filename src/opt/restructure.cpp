@@ -1,0 +1,210 @@
+#include "opt/restructure.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "aig/reconv_cut.hpp"
+#include "aig/refs.hpp"
+#include "aig/simulate.hpp"
+#include "aig/truth.hpp"
+#include "opt/rebuild.hpp"
+
+namespace flowgen::opt {
+
+using aig::Aig;
+using aig::Lit;
+using aig::lit_is_compl;
+using aig::lit_node;
+using aig::make_lit;
+using aig::TruthTable;
+
+namespace {
+
+struct Divisor {
+  std::uint32_t node = 0;
+  TruthTable tt;
+};
+
+/// Fanout adjacency of the original graph, built once per pass so divisor
+/// collection can expand forward from the window leaves.
+std::vector<std::vector<std::uint32_t>> build_fanouts(const Aig& g) {
+  std::vector<std::vector<std::uint32_t>> fanouts(g.num_nodes());
+  for (std::uint32_t id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    fanouts[lit_node(g.node(id).fanin0)].push_back(id);
+    fanouts[lit_node(g.node(id).fanin1)].push_back(id);
+  }
+  return fanouts;
+}
+
+}  // namespace
+
+Aig restructure(const Aig& in, const RestructureParams& params) {
+  Aig g = in;
+  const std::uint32_t num_old = static_cast<std::uint32_t>(g.num_nodes());
+
+  aig::RefCounts refs(g);
+  const auto fanouts = build_fanouts(g);
+  std::vector<Lit> repl = identity_replacements(g.num_nodes());
+  auto grow_repl = [&] {
+    for (std::size_t id = repl.size(); id < g.num_nodes(); ++id) {
+      repl.push_back(make_lit(static_cast<std::uint32_t>(id), false));
+    }
+  };
+
+  for (std::uint32_t id = 1 + static_cast<std::uint32_t>(g.num_pis());
+       id < num_old; ++id) {
+    if (!g.is_and(id) || refs.dead(id) || refs.terminal(id)) continue;
+
+    const std::uint32_t mffc = refs.mffc_size(g, id);
+    if (mffc < 1) continue;
+
+    const std::vector<std::uint32_t> leaves =
+        aig::reconv_cut(g, id, params.max_leaves);
+    if (leaves.size() < 2 || leaves.size() > 16) continue;
+    const auto nv = static_cast<unsigned>(leaves.size());
+
+    // Divisors: the forward closure of the leaves — every (old, live,
+    // non-terminal) node both of whose fanins already have a known
+    // window-local function. This includes side cones outside the TFI of
+    // `id` (how resubstitution finds functional duplicates), and can never
+    // pull in the TFO of `id` because `id` itself is excluded.
+    const std::vector<std::uint32_t> dying = refs.mffc_nodes(g, id);
+    const std::unordered_set<std::uint32_t> mffc_set(dying.begin(),
+                                                     dying.end());
+    std::unordered_map<std::uint32_t, TruthTable> tts;
+    tts.reserve(params.max_divisors * 2 + nv);
+    std::vector<Divisor> divisors;
+    divisors.reserve(params.max_divisors);
+    std::vector<std::uint32_t> frontier;
+    for (unsigned i = 0; i < nv; ++i) {
+      tts.emplace(leaves[i], TruthTable::variable(nv, i));
+      divisors.push_back(Divisor{leaves[i], tts.at(leaves[i])});
+      frontier.push_back(leaves[i]);
+    }
+    while (!frontier.empty() && divisors.size() < params.max_divisors) {
+      const std::uint32_t seed = frontier.back();
+      frontier.pop_back();
+      for (std::uint32_t candidate : fanouts[seed]) {
+        if (candidate >= num_old || candidate == id) continue;
+        if (tts.count(candidate) || refs.dead(candidate) ||
+            refs.terminal(candidate)) {
+          continue;
+        }
+        const auto& n = g.node(candidate);
+        const auto it0 = tts.find(lit_node(n.fanin0));
+        const auto it1 = tts.find(lit_node(n.fanin1));
+        if (it0 == tts.end() || it1 == tts.end()) continue;
+        TruthTable t0 = it0->second;
+        if (lit_is_compl(n.fanin0)) t0 = ~t0;
+        TruthTable t1 = it1->second;
+        if (lit_is_compl(n.fanin1)) t1 = ~t1;
+        tts.emplace(candidate, t0 & t1);
+        frontier.push_back(candidate);
+        if (!mffc_set.count(candidate)) {
+          divisors.push_back(Divisor{candidate, tts.at(candidate)});
+          if (divisors.size() >= params.max_divisors) break;
+        }
+      }
+    }
+
+    // The target function: id's function over the window leaves. Its cone
+    // is inside the window by construction of the reconvergence cut.
+    const auto& root = g.node(id);
+    const auto rt0 = tts.find(lit_node(root.fanin0));
+    const auto rt1 = tts.find(lit_node(root.fanin1));
+    TruthTable target;
+    if (rt0 != tts.end() && rt1 != tts.end()) {
+      TruthTable t0 = rt0->second;
+      if (lit_is_compl(root.fanin0)) t0 = ~t0;
+      TruthTable t1 = rt1->second;
+      if (lit_is_compl(root.fanin1)) t1 = ~t1;
+      target = t0 & t1;
+    } else {
+      // Fanins were pruned from the closure (e.g. inside a terminal's
+      // cone); fall back to exact cone evaluation.
+      try {
+        target = aig::cone_truth(g, make_lit(id, false), leaves);
+      } catch (const std::invalid_argument&) {
+        continue;
+      }
+    }
+
+    Lit replacement = aig::kLitInvalid;
+
+    // 0-resub: an existing divisor already computes the function.
+    for (const Divisor& d : divisors) {
+      if (d.node == id) continue;
+      if (d.tt == target) {
+        replacement = make_lit(d.node, false);
+        break;
+      }
+      if (d.tt == ~target) {
+        replacement = make_lit(d.node, true);
+        break;
+      }
+    }
+
+    // 1-resub: one new AND of two divisors, any phases (OR via De Morgan).
+    long cost = 0;
+    if (replacement == aig::kLitInvalid && mffc >= 2) {
+      for (std::size_t i = 0;
+           i < divisors.size() && replacement == aig::kLitInvalid; ++i) {
+        for (std::size_t j = i + 1;
+             j < divisors.size() && replacement == aig::kLitInvalid; ++j) {
+          for (unsigned phases = 0; phases < 4; ++phases) {
+            TruthTable ta = divisors[i].tt;
+            if (phases & 1) ta = ~ta;
+            TruthTable tb = divisors[j].tt;
+            if (phases & 2) tb = ~tb;
+            const TruthTable conj = ta & tb;
+            bool out_compl = false;
+            if (conj == target) {
+              out_compl = false;
+            } else if (conj == ~target) {
+              out_compl = true;
+            } else {
+              continue;
+            }
+            const Lit la = resolve(
+                repl, make_lit(divisors[i].node, (phases & 1) != 0));
+            const Lit lb = resolve(
+                repl, make_lit(divisors[j].node, (phases & 2) != 0));
+            const std::size_t cp = g.checkpoint();
+            Lit cand = g.land(la, lb);
+            cost = static_cast<long>(g.num_nodes() - cp);
+            if (out_compl) cand = aig::lit_not(cand);
+            if (lit_node(cand) == id ||
+                static_cast<long>(mffc) - cost <= 0) {
+              g.rollback(cp);
+              continue;
+            }
+            replacement = cand;
+            break;
+          }
+        }
+      }
+    }
+
+    if (replacement == aig::kLitInvalid) continue;
+    replacement = resolve(repl, replacement);
+    if (lit_node(replacement) == id ||
+        cone_contains(g, repl, replacement, id)) {
+      continue;  // would create an alias cycle
+    }
+
+    grow_repl();
+    refs.grow(g);
+    repl[id] = replacement;
+    refs.deref_mffc(g, id);
+    refs.set_terminal(id);
+    refs.ref_cone(g, replacement);
+  }
+
+  return apply_replacements(g, repl);
+}
+
+}  // namespace flowgen::opt

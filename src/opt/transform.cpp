@@ -1,0 +1,71 @@
+#include "opt/transform.hpp"
+
+#include <stdexcept>
+
+#include "opt/balance.hpp"
+#include "opt/refactor.hpp"
+#include "opt/restructure.hpp"
+#include "opt/rewrite.hpp"
+
+namespace flowgen::opt {
+
+const std::vector<TransformKind>& paper_transform_set() {
+  static const std::vector<TransformKind> set = {
+      TransformKind::kBalance,  TransformKind::kRestructure,
+      TransformKind::kRewrite,  TransformKind::kRefactor,
+      TransformKind::kRewriteZ, TransformKind::kRefactorZ,
+  };
+  return set;
+}
+
+std::string transform_name(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kBalance: return "balance";
+    case TransformKind::kRestructure: return "restructure";
+    case TransformKind::kRewrite: return "rewrite";
+    case TransformKind::kRefactor: return "refactor";
+    case TransformKind::kRewriteZ: return "rewrite -z";
+    case TransformKind::kRefactorZ: return "refactor -z";
+  }
+  throw std::invalid_argument("unknown transform kind");
+}
+
+TransformKind transform_from_name(const std::string& name) {
+  for (TransformKind kind : paper_transform_set()) {
+    if (transform_name(kind) == name) return kind;
+  }
+  throw std::invalid_argument("unknown transform name: " + name);
+}
+
+aig::Aig apply_transform(const aig::Aig& in, TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kBalance:
+      return balance(in);
+    case TransformKind::kRestructure:
+      return restructure(in);
+    case TransformKind::kRewrite:
+      return rewrite(in);
+    case TransformKind::kRefactor:
+      return refactor(in);
+    case TransformKind::kRewriteZ: {
+      RewriteParams p;
+      p.zero_cost = true;
+      return rewrite(in, p);
+    }
+    case TransformKind::kRefactorZ: {
+      RefactorParams p;
+      p.zero_cost = true;
+      return refactor(in, p);
+    }
+  }
+  throw std::invalid_argument("unknown transform kind");
+}
+
+aig::Aig apply_flow(const aig::Aig& in,
+                    const std::vector<TransformKind>& flow) {
+  aig::Aig g = in;
+  for (TransformKind kind : flow) g = apply_transform(g, kind);
+  return g;
+}
+
+}  // namespace flowgen::opt

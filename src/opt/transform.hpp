@@ -1,0 +1,43 @@
+#pragma once
+// The transform set S of the paper:
+//   S = {balance, restructure, rewrite, refactor, rewrite -z, refactor -z}
+// exposed behind a uniform registry so flows are just sequences of
+// TransformKind (or names, matching the ABC command names as in the paper).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace flowgen::opt {
+
+enum class TransformKind : std::uint8_t {
+  kBalance = 0,
+  kRestructure = 1,
+  kRewrite = 2,
+  kRefactor = 3,
+  kRewriteZ = 4,
+  kRefactorZ = 5,
+};
+
+/// Number of transforms in the paper's set S (n = 6).
+constexpr std::size_t kNumTransforms = 6;
+
+/// The paper's S, in the order it is listed (defines one-hot columns).
+const std::vector<TransformKind>& paper_transform_set();
+
+/// ABC-style command name ("balance", "rewrite -z", ...).
+std::string transform_name(TransformKind kind);
+
+/// Inverse of transform_name; throws std::invalid_argument for unknown names.
+TransformKind transform_from_name(const std::string& name);
+
+/// Run one transform. Always returns a compacted, function-preserving graph.
+aig::Aig apply_transform(const aig::Aig& in, TransformKind kind);
+
+/// Run a whole flow (sequence of transforms) left to right.
+aig::Aig apply_flow(const aig::Aig& in,
+                    const std::vector<TransformKind>& flow);
+
+}  // namespace flowgen::opt

@@ -1,0 +1,107 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace flowgen::util {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double span() const { return hi > lo ? hi - lo : 1.0; }
+};
+
+std::string format_num(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1e5 || (std::abs(v) < 1e-2 && v != 0.0)) {
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string scatter_plot(std::span<const Series> series,
+                         const PlotOptions& options) {
+  Range xr, yr;
+  for (const auto& s : series) {
+    for (double x : s.xs) xr.include(x);
+    for (double y : s.ys) yr.include(y);
+  }
+  if (!std::isfinite(xr.lo) || !std::isfinite(yr.lo)) return "(empty plot)\n";
+
+  const std::size_t w = options.width;
+  const std::size_t h = options.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      auto cx = static_cast<std::size_t>(
+          (s.xs[i] - xr.lo) / xr.span() * static_cast<double>(w - 1) + 0.5);
+      auto cy = static_cast<std::size_t>(
+          (s.ys[i] - yr.lo) / yr.span() * static_cast<double>(h - 1) + 0.5);
+      cx = std::min(cx, w - 1);
+      cy = std::min(cy, h - 1);
+      grid[h - 1 - cy][cx] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  out << format_num(yr.hi) << " +" << std::string(w, '-') << "+\n";
+  for (const auto& line : grid) {
+    out << std::string(format_num(yr.hi).size(), ' ') << " |" << line << "|\n";
+  }
+  out << format_num(yr.lo) << " +" << std::string(w, '-') << "+\n";
+  out << "   x: [" << format_num(xr.lo) << ", " << format_num(xr.hi) << "] "
+      << options.x_label;
+  if (!options.y_label.empty()) out << "   y: " << options.y_label;
+  out << '\n';
+  for (const auto& s : series) {
+    out << "   '" << s.glyph << "' = " << s.name << " (" << s.xs.size()
+        << " pts)\n";
+  }
+  return out.str();
+}
+
+std::string histogram_plot(std::span<const double> xs, std::size_t bins,
+                           const PlotOptions& options) {
+  if (xs.empty()) return "(empty histogram)\n";
+  const double lo = min_of(xs);
+  const double hi = max_of(xs);
+  const auto counts = histogram(xs, lo, hi, bins);
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double left = lo + width * static_cast<double>(b);
+    const auto bar_len = static_cast<std::size_t>(
+        peak == 0 ? 0
+                  : static_cast<double>(counts[b]) /
+                        static_cast<double>(peak) *
+                        static_cast<double>(options.width));
+    char label[64];
+    std::snprintf(label, sizeof label, "%12s |", format_num(left).c_str());
+    out << label << std::string(bar_len, '#') << ' ' << counts[b] << '\n';
+  }
+  out << "   " << options.x_label << '\n';
+  return out.str();
+}
+
+}  // namespace flowgen::util

@@ -1,0 +1,36 @@
+#pragma once
+// Terminal scatter/series plots so every reproduced figure is visible
+// directly in bench output, mirroring the paper's plots in shape.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flowgen::util {
+
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char glyph = '*';
+};
+
+struct PlotOptions {
+  std::size_t width = 72;
+  std::size_t height = 20;
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Render one or more (x, y) series onto a character grid with axis ranges
+/// derived from the data. Later series overwrite earlier glyphs, so draw the
+/// "background cloud" first and highlighted points last.
+std::string scatter_plot(std::span<const Series> series,
+                         const PlotOptions& options);
+
+/// Render a single-variable histogram as a horizontal bar chart.
+std::string histogram_plot(std::span<const double> xs, std::size_t bins,
+                           const PlotOptions& options);
+
+}  // namespace flowgen::util

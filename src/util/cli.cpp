@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string_view>
+
+namespace flowgen::util {
+
+namespace {
+
+std::string env_name(const std::string& flag) {
+  std::string out = "FLOWGEN_";
+  for (char c : flag) {
+    out += (c == '-') ? '_' : static_cast<char>(std::toupper(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) !=
+                                   0) {
+      values_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      values_[std::string(arg)] = "1";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    return it->second;
+  }
+  if (const char* env = std::getenv(env_name(name).c_str())) return env;
+  return fallback;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return fallback;
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const std::string v = get(name, "");
+  if (v.empty()) return fallback;
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  std::string v = get(name, "");
+  if (v.empty()) return fallback;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace flowgen::util

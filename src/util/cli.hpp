@@ -1,0 +1,33 @@
+#pragma once
+// Small flag parser for the bench/example binaries: --flag=value / --flag
+// value / env-var fallbacks, so every experiment knob from EXPERIMENTS.md can
+// be overridden without recompiling.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace flowgen::util {
+
+class Cli {
+public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name was passed (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of --name, env fallback FLOWGEN_<NAME>, else `fallback`.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// True when paper-scale experiments were requested (--full or
+  /// FLOWGEN_FULL=1). Benches use this to switch from laptop-scale defaults.
+  bool full_scale() const { return get_bool("full", false); }
+
+private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace flowgen::util

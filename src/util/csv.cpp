@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace flowgen::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), arity_(header.size()), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  if (values.size() != arity_) {
+    throw std::runtime_error("CsvWriter: row arity mismatch in " + path_);
+  }
+  bool first = true;
+  for (double v : values) {
+    if (!first) out_ << ',';
+    first = false;
+    std::ostringstream ss;
+    ss.precision(10);
+    ss << v;
+    out_ << ss.str();
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (values.size() != arity_) {
+    throw std::runtime_error("CsvWriter: row arity mismatch in " + path_);
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(values[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace flowgen::util

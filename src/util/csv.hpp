@@ -1,0 +1,34 @@
+#pragma once
+// Tiny CSV writer used by the benchmark harness to dump the series behind
+// every reproduced figure (so results can be re-plotted outside the repo).
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flowgen::util {
+
+class CsvWriter {
+public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Append a data row; must match the header arity.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<std::string>& values);
+
+  const std::string& path() const { return path_; }
+
+private:
+  std::string path_;
+  std::size_t arity_;
+  std::ofstream out_;
+};
+
+/// Quote a field per RFC 4180 if it contains separators/quotes.
+std::string csv_escape(std::string_view field);
+
+}  // namespace flowgen::util

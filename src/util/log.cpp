@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace flowgen::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
+
+void init_from_env() {
+  const char* env = std::getenv("FLOWGEN_LOG");
+  if (!env) return;
+  if (!std::strcmp(env, "debug")) g_level = LogLevel::kDebug;
+  else if (!std::strcmp(env, "info")) g_level = LogLevel::kInfo;
+  else if (!std::strcmp(env, "warn")) g_level = LogLevel::kWarn;
+  else if (!std::strcmp(env, "error")) g_level = LogLevel::kError;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+double elapsed_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+std::mutex g_io_mutex;
+
+}  // namespace
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load();
+}
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_io_mutex);
+  std::fprintf(stderr, "[%9.3f] %s %s\n", elapsed_seconds(),
+               level_name(level), message.c_str());
+}
+
+}  // namespace flowgen::util

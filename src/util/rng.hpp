@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation for the whole project.
+//
+// All stochastic components (flow sampling, weight init, dropout, workload
+// generation) take an explicit Rng so experiments are reproducible from a
+// single seed, which the paper's incremental training loop depends on.
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace flowgen::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation re-expressed in C++). Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-initialise state from a 64-bit seed via splitmix64, guaranteeing a
+  /// non-zero state for any seed.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) with Lemire's rejection-free-ish method.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Fork a statistically independent child generator (for thread-local use).
+  Rng fork();
+
+private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace flowgen::util

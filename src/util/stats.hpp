@@ -1,0 +1,51 @@
+#pragma once
+// Order statistics and summary statistics used by the Table-1 labeling model
+// (percentile determinators) and by the experiment reports.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace flowgen::util {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation. Returns 0 for fewer than two samples.
+double stdev(std::span<const double> xs);
+
+/// Minimum / maximum. Preconditions: non-empty.
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Quantile with linear interpolation between closest ranks (the "type 7"
+/// definition used by numpy). q in [0,1]. Precondition: non-empty.
+double quantile(std::span<const double> xs, double q);
+
+/// Quantiles for several q at once; sorts a copy of the data exactly once.
+std::vector<double> quantiles(std::span<const double> xs,
+                              std::span<const double> qs);
+
+/// Equal-width histogram over [lo, hi] with `bins` buckets; values outside the
+/// range are clamped into the first/last bucket.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+/// Pearson correlation coefficient of two equally sized samples.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Summary of a sample in one struct, for compact report rows.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stdev = 0.0;
+  double min = 0.0;
+  double p5 = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace flowgen::util

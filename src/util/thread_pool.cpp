@@ -1,0 +1,62 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace flowgen::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (stopping_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // Dynamic work-stealing via a shared atomic counter: synthesis runtimes per
+  // flow vary by >10x, so static chunking would leave workers idle.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t n_tasks = std::min(count, workers_.size());
+  std::vector<std::future<void>> futs;
+  futs.reserve(n_tasks);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    futs.push_back(submit([next, count, &fn] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace flowgen::util

@@ -1,0 +1,162 @@
+#include "designs/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace flowgen::designs {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+/// Read back the integer value of a word for simulation pattern `bit`.
+std::uint64_t word_value(const aig::Simulator& sim, const Word& w, int bit) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if ((sim.signature(w[i])[0] >> bit) & 1) v |= (1ull << i);
+  }
+  return v;
+}
+
+struct Fixture {
+  Aig g;
+  Word a, b;
+  static constexpr std::size_t kW = 8;
+  Fixture() {
+    a = g.add_pis(kW);
+    b = g.add_pis(kW);
+  }
+  std::uint64_t mask() const { return (1ull << kW) - 1; }
+};
+
+TEST(ComponentsTest, RippleAddMatchesInteger) {
+  Fixture f;
+  const AddResult r = ripple_add(f.g, f.a, f.b);
+  util::Rng rng(1);
+  aig::Simulator sim(f.g, rng, 1);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t av = word_value(sim, f.a, bit);
+    const std::uint64_t bv = word_value(sim, f.b, bit);
+    const std::uint64_t sum = word_value(sim, r.sum, bit);
+    const bool carry = (sim.signature(r.carry_out)[0] >> bit) & 1;
+    EXPECT_EQ(sum, (av + bv) & f.mask());
+    EXPECT_EQ(carry, ((av + bv) >> Fixture::kW) & 1);
+  }
+}
+
+TEST(ComponentsTest, RippleAddWithCarryIn) {
+  Fixture f;
+  const AddResult r = ripple_add(f.g, f.a, f.b, aig::kLitTrue);
+  util::Rng rng(2);
+  aig::Simulator sim(f.g, rng, 1);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t av = word_value(sim, f.a, bit);
+    const std::uint64_t bv = word_value(sim, f.b, bit);
+    EXPECT_EQ(word_value(sim, r.sum, bit), (av + bv + 1) & f.mask());
+  }
+}
+
+TEST(ComponentsTest, RippleSubMatchesInteger) {
+  Fixture f;
+  const SubResult r = ripple_sub(f.g, f.a, f.b);
+  util::Rng rng(3);
+  aig::Simulator sim(f.g, rng, 1);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t av = word_value(sim, f.a, bit);
+    const std::uint64_t bv = word_value(sim, f.b, bit);
+    EXPECT_EQ(word_value(sim, r.diff, bit), (av - bv) & f.mask());
+    EXPECT_EQ((sim.signature(r.borrow_out)[0] >> bit) & 1, av < bv);
+  }
+}
+
+TEST(ComponentsTest, BitwiseOps) {
+  Fixture f;
+  const Word wa = word_and(f.g, f.a, f.b);
+  const Word wo = word_or(f.g, f.a, f.b);
+  const Word wx = word_xor(f.g, f.a, f.b);
+  const Word wn = word_not(f.a);
+  util::Rng rng(4);
+  aig::Simulator sim(f.g, rng, 1);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t av = word_value(sim, f.a, bit);
+    const std::uint64_t bv = word_value(sim, f.b, bit);
+    EXPECT_EQ(word_value(sim, wa, bit), av & bv);
+    EXPECT_EQ(word_value(sim, wo, bit), av | bv);
+    EXPECT_EQ(word_value(sim, wx, bit), av ^ bv);
+    EXPECT_EQ(word_value(sim, wn, bit), (~av) & f.mask());
+  }
+}
+
+TEST(ComponentsTest, MuxWord) {
+  Fixture f;
+  const Lit sel = f.g.add_pi();
+  const Word m = mux_word(f.g, sel, f.a, f.b);
+  util::Rng rng(5);
+  aig::Simulator sim(f.g, rng, 1);
+  for (int bit = 0; bit < 64; ++bit) {
+    const bool s = (sim.signature(sel)[0] >> bit) & 1;
+    EXPECT_EQ(word_value(sim, m, bit),
+              s ? word_value(sim, f.a, bit) : word_value(sim, f.b, bit));
+  }
+}
+
+TEST(ComponentsTest, VariableShifts) {
+  Fixture f;
+  const Word shl = shift_left_var(f.g, f.a, f.b);
+  const Word shr = shift_right_var(f.g, f.a, f.b);
+  util::Rng rng(6);
+  aig::Simulator sim(f.g, rng, 1);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t av = word_value(sim, f.a, bit);
+    const std::uint64_t sv = word_value(sim, f.b, bit);
+    const std::uint64_t expect_l =
+        sv >= Fixture::kW ? 0 : (av << sv) & f.mask();
+    const std::uint64_t expect_r = sv >= Fixture::kW ? 0 : (av >> sv);
+    EXPECT_EQ(word_value(sim, shl, bit), expect_l) << "shift " << sv;
+    EXPECT_EQ(word_value(sim, shr, bit), expect_r) << "shift " << sv;
+  }
+}
+
+TEST(ComponentsTest, Comparators) {
+  Fixture f;
+  const Lit eq = equals(f.g, f.a, f.b);
+  const Lit lt = less_than(f.g, f.a, f.b);
+  util::Rng rng(7);
+  aig::Simulator sim(f.g, rng, 1);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t av = word_value(sim, f.a, bit);
+    const std::uint64_t bv = word_value(sim, f.b, bit);
+    EXPECT_EQ((sim.signature(eq)[0] >> bit) & 1, av == bv);
+    EXPECT_EQ((sim.signature(lt)[0] >> bit) & 1, av < bv);
+  }
+}
+
+TEST(ComponentsTest, ConstantWordAndResize) {
+  const Word w = constant_word(0xB5, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(w[i] == aig::kLitTrue, ((0xB5 >> i) & 1) != 0);
+  }
+  const Word wide = resize(w, 12);
+  EXPECT_EQ(wide.size(), 12u);
+  EXPECT_EQ(wide[11], aig::kLitFalse);
+  const Word narrow = resize(w, 4);
+  EXPECT_EQ(narrow.size(), 4u);
+}
+
+TEST(ComponentsTest, ReduceOps) {
+  Fixture f;
+  const Lit any = reduce_or(f.g, f.a);
+  const Lit all = reduce_and(f.g, f.a);
+  util::Rng rng(8);
+  aig::Simulator sim(f.g, rng, 1);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t av = word_value(sim, f.a, bit);
+    EXPECT_EQ((sim.signature(any)[0] >> bit) & 1, av != 0);
+    EXPECT_EQ((sim.signature(all)[0] >> bit) & 1, av == f.mask());
+  }
+}
+
+}  // namespace
+}  // namespace flowgen::designs

@@ -1,0 +1,126 @@
+#include "aig/cuts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "aig/simulate.hpp"
+#include "designs/alu.hpp"
+
+namespace flowgen::aig {
+namespace {
+
+Cut make_cut(std::vector<std::uint32_t> leaves) {
+  Cut c;
+  c.leaves = std::move(leaves);
+  c.compute_signature();
+  return c;
+}
+
+TEST(CutsTest, MergeWithinLimit) {
+  Cut out;
+  EXPECT_TRUE(merge_cuts(make_cut({1, 3}), make_cut({3, 5}), 4, out));
+  EXPECT_EQ(out.leaves, (std::vector<std::uint32_t>{1, 3, 5}));
+}
+
+TEST(CutsTest, MergeRejectsOversize) {
+  Cut out;
+  EXPECT_FALSE(
+      merge_cuts(make_cut({1, 2, 3}), make_cut({4, 5, 6}), 4, out));
+}
+
+TEST(CutsTest, MergeKeepsSorted) {
+  Cut out;
+  ASSERT_TRUE(merge_cuts(make_cut({2, 9}), make_cut({1, 5}), 4, out));
+  EXPECT_TRUE(std::is_sorted(out.leaves.begin(), out.leaves.end()));
+}
+
+TEST(CutsTest, SubsetDominance) {
+  const Cut small = make_cut({1, 3});
+  const Cut big = make_cut({1, 3, 7});
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(small.subset_of(small));
+}
+
+TEST(CutsTest, EveryNodeHasTrivialOrRealCuts) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit x = g.land(a, b);
+  const Lit y = g.land(x, c);
+  g.add_po(y);
+
+  CutParams p;
+  p.cut_size = 4;
+  CutManager cm(g, p);
+  EXPECT_EQ(cm.cuts(lit_node(a)).size(), 1u);  // PI: trivial only
+  const auto& cuts_y = cm.cuts(lit_node(y));
+  EXPECT_GE(cuts_y.size(), 2u);
+  // The base cut {x, c} and the expanded {a, b, c} must both be present.
+  bool found_base = false, found_leaves = false;
+  for (const Cut& cut : cuts_y) {
+    if (cut.leaves == std::vector<std::uint32_t>{lit_node(x), lit_node(c)} ||
+        cut.leaves == std::vector<std::uint32_t>{lit_node(c), lit_node(x)}) {
+      found_base = true;
+    }
+    if (cut.leaves.size() == 3) found_leaves = true;
+  }
+  EXPECT_TRUE(found_base);
+  EXPECT_TRUE(found_leaves);
+}
+
+TEST(CutsTest, CutsAreRealCuts) {
+  // Property: every enumerated cut supports exact cone evaluation (throws
+  // otherwise) on a real design.
+  const Aig g = designs::make_alu(4);
+  CutParams p;
+  p.cut_size = 4;
+  p.max_cuts = 6;
+  CutManager cm(g, p);
+  for (std::uint32_t id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    for (const Cut& cut : cm.cuts(id)) {
+      EXPECT_LE(cut.leaves.size(), 4u);
+      EXPECT_TRUE(std::is_sorted(cut.leaves.begin(), cut.leaves.end()));
+      EXPECT_NO_THROW(cone_truth(g, make_lit(id, false), cut.leaves));
+    }
+  }
+}
+
+TEST(CutsTest, RespectsMaxCuts) {
+  const Aig g = designs::make_alu(8);
+  CutParams p;
+  p.cut_size = 4;
+  p.max_cuts = 3;
+  p.keep_trivial = true;
+  CutManager cm(g, p);
+  for (std::uint32_t id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    EXPECT_LE(cm.cuts(id).size(), 4u);  // 3 + trivial
+  }
+}
+
+TEST(CutsTest, NoDominatedCutsKept) {
+  const Aig g = designs::make_alu(4);
+  CutParams p;
+  p.cut_size = 4;
+  p.max_cuts = 8;
+  p.keep_trivial = false;
+  CutManager cm(g, p);
+  for (std::uint32_t id = 0; id < g.num_nodes(); ++id) {
+    if (!g.is_and(id)) continue;
+    const auto& cuts = cm.cuts(id);
+    for (std::size_t i = 0; i < cuts.size(); ++i) {
+      for (std::size_t j = 0; j < cuts.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(cuts[i].subset_of(cuts[j]) && cuts[i].leaves != cuts[j].leaves)
+            << "dominated cut kept at node " << id;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flowgen::aig

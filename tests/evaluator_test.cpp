@@ -1,0 +1,84 @@
+#include "core/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/flow_space.hpp"
+#include "designs/registry.hpp"
+
+namespace flowgen::core {
+namespace {
+
+TEST(EvaluatorTest, BaselineMatchesDirectMapping) {
+  const aig::Aig g = designs::make_design("alu:8");
+  SynthesisEvaluator ev(g);
+  const map::QoR direct = map::evaluate_qor(g);
+  const map::QoR base = ev.baseline();
+  EXPECT_DOUBLE_EQ(base.area_um2, direct.area_um2);
+  EXPECT_DOUBLE_EQ(base.delay_ps, direct.delay_ps);
+}
+
+TEST(EvaluatorTest, CacheAvoidsRecomputation) {
+  SynthesisEvaluator ev(designs::make_design("alu:6"));
+  const FlowSpace space(1);
+  util::Rng rng(1);
+  const Flow f = space.random_flow(rng);
+  const map::QoR q1 = ev.evaluate(f);
+  EXPECT_EQ(ev.evaluations(), 1u);
+  const map::QoR q2 = ev.evaluate(f);
+  EXPECT_EQ(ev.evaluations(), 1u);  // cache hit
+  EXPECT_DOUBLE_EQ(q1.area_um2, q2.area_um2);
+  EXPECT_EQ(ev.cache_size(), 1u);
+}
+
+TEST(EvaluatorTest, DifferentFlowsAreDistinctEntries) {
+  SynthesisEvaluator ev(designs::make_design("alu:6"));
+  const FlowSpace space(1);
+  util::Rng rng(2);
+  const auto flows = space.sample_unique(5, rng);
+  for (const Flow& f : flows) ev.evaluate(f);
+  EXPECT_EQ(ev.cache_size(), 5u);
+  EXPECT_EQ(ev.evaluations(), 5u);
+}
+
+TEST(EvaluatorTest, ParallelMatchesSerial) {
+  SynthesisEvaluator ev_serial(designs::make_design("alu:6"));
+  SynthesisEvaluator ev_parallel(designs::make_design("alu:6"));
+  const FlowSpace space(1);
+  util::Rng rng(3);
+  const auto flows = space.sample_unique(8, rng);
+
+  const auto serial = ev_serial.evaluate_many(flows, nullptr);
+  util::ThreadPool pool(4);
+  const auto parallel = ev_parallel.evaluate_many(flows, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].area_um2, parallel[i].area_um2);
+    EXPECT_DOUBLE_EQ(serial[i].delay_ps, parallel[i].delay_ps);
+  }
+}
+
+TEST(EvaluatorTest, EvaluationIsDeterministic) {
+  const FlowSpace space(2);
+  util::Rng rng(4);
+  const Flow f = space.random_flow(rng);
+  SynthesisEvaluator ev1(designs::make_design("spn:8:2"));
+  SynthesisEvaluator ev2(designs::make_design("spn:8:2"));
+  const map::QoR q1 = ev1.evaluate(f);
+  const map::QoR q2 = ev2.evaluate(f);
+  EXPECT_DOUBLE_EQ(q1.area_um2, q2.area_um2);
+  EXPECT_DOUBLE_EQ(q1.delay_ps, q2.delay_ps);
+}
+
+TEST(EvaluatorTest, QorStringFormat) {
+  map::QoR q;
+  q.area_um2 = 12.345;
+  q.delay_ps = 678.9;
+  q.num_cells = 10;
+  q.num_inverters = 3;
+  const std::string s = q.to_string();
+  EXPECT_NE(s.find("12.35"), std::string::npos);
+  EXPECT_NE(s.find("cells = 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowgen::core

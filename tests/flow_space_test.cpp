@@ -1,0 +1,200 @@
+#include "core/flow_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+
+namespace flowgen::core {
+namespace {
+
+/// Brute-force count of L-permutations of n objects with each object used
+/// at most m times.
+std::uint64_t brute_force(unsigned n, unsigned length, unsigned m) {
+  std::vector<unsigned> used(n, 0);
+  std::function<std::uint64_t(unsigned)> rec = [&](unsigned left) {
+    if (left == 0) return std::uint64_t{1};
+    std::uint64_t total = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      if (used[i] < m) {
+        ++used[i];
+        total += rec(left - 1);
+        --used[i];
+      }
+    }
+    return total;
+  };
+  return rec(length);
+}
+
+TEST(FlowSpaceTest, CountMatchesBruteForce) {
+  for (unsigned n = 1; n <= 4; ++n) {
+    for (unsigned m = 1; m <= 3; ++m) {
+      for (unsigned length = 0; length <= std::min(8u, n * m); ++length) {
+        const U128 got = count_limited_permutations(n, length, m);
+        const std::uint64_t expect = brute_force(n, length, m);
+        EXPECT_EQ(static_cast<std::uint64_t>(got), expect)
+            << "n=" << n << " m=" << m << " L=" << length;
+      }
+    }
+  }
+}
+
+TEST(FlowSpaceTest, FullLengthEqualsMultinomial) {
+  // f(n, n*m, m) = (nm)! / (m!)^n; check for the paper's n=6, m=4.
+  U128 numerator = 1;
+  for (unsigned i = 1; i <= 24; ++i) numerator *= i;
+  U128 denom = 1;
+  for (unsigned k = 0; k < 6; ++k) denom *= 24;  // 4! = 24, six times
+  EXPECT_EQ(count_limited_permutations(6, 24, 4), numerator / denom);
+}
+
+TEST(FlowSpaceTest, PaperSearchSpaceIsAstronomical) {
+  // Remark 3: the 4-repetition space over 6 transforms dwarfs 6! and any
+  // human-testable number (the paper quotes > 10^16; the exact multinomial
+  // is 3.2 * 10^15 flows).
+  const FlowSpace space(4);
+  EXPECT_EQ(space.length(), 24u);
+  const U128 size = space.size();
+  U128 factorial = 1;
+  for (unsigned i = 1; i <= 6; ++i) factorial *= i;
+  EXPECT_GT(size, factorial);                         // > n!
+  EXPECT_GT(size, U128(1000) * 1000 * 1000 * 1000);   // > 10^12
+  EXPECT_EQ(u128_to_string(size), "3246670537110000");
+}
+
+TEST(FlowSpaceTest, BoundsFromRemark3) {
+  // n! < f(n, L, m) < n^L for 1 < L < n*m with repetition allowed.
+  const unsigned n = 4, m = 3, length = 8;
+  const U128 f = count_limited_permutations(n, length, m);
+  U128 pow = 1;
+  for (unsigned i = 0; i < length; ++i) pow *= n;
+  EXPECT_LT(f, pow);
+  U128 fact = 1;
+  for (unsigned i = 1; i <= n; ++i) fact *= i;
+  EXPECT_GT(f, fact);
+}
+
+TEST(FlowSpaceTest, ZeroCases) {
+  EXPECT_EQ(count_limited_permutations(0, 0, 1), 1u);
+  EXPECT_EQ(count_limited_permutations(0, 3, 1), 0u);
+  EXPECT_EQ(count_limited_permutations(2, 5, 2), 0u);  // 5 > 2*2
+}
+
+TEST(FlowSpaceTest, U128ToString) {
+  EXPECT_EQ(u128_to_string(0), "0");
+  EXPECT_EQ(u128_to_string(12345), "12345");
+  U128 big = 1;
+  for (int i = 0; i < 4; ++i) big *= 1000000000ull;  // 10^36
+  EXPECT_EQ(u128_to_string(big).size(), 37u);
+}
+
+TEST(FlowSpaceTest, RandomFlowsBelongToSpace) {
+  const FlowSpace space(4);
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Flow f = space.random_flow(rng);
+    EXPECT_EQ(f.length(), 24u);
+    EXPECT_TRUE(space.contains(f));
+  }
+}
+
+TEST(FlowSpaceTest, ContainsRejectsWrongMultiplicity) {
+  const FlowSpace space(2);
+  Flow f;
+  // 12 balances: right length, wrong multiset.
+  f.steps.assign(12, opt::TransformKind::kBalance);
+  EXPECT_FALSE(space.contains(f));
+  Flow short_flow;
+  short_flow.steps.assign(3, opt::TransformKind::kBalance);
+  EXPECT_FALSE(space.contains(short_flow));
+}
+
+TEST(FlowSpaceTest, SampleUniqueIsUnique) {
+  const FlowSpace space(2);
+  util::Rng rng(2);
+  const auto flows = space.sample_unique(500, rng);
+  std::set<std::string> keys;
+  for (const Flow& f : flows) {
+    keys.insert(f.key());
+    EXPECT_TRUE(space.contains(f));
+  }
+  EXPECT_EQ(keys.size(), 500u);
+}
+
+TEST(FlowSpaceTest, SampleUniqueCanExhaustTinySpace) {
+  // m=1 over a 2-transform subset: space size = 2.
+  const FlowSpace space(
+      1, {opt::TransformKind::kBalance, opt::TransformKind::kRewrite});
+  EXPECT_EQ(static_cast<std::uint64_t>(space.size()), 2u);
+  util::Rng rng(3);
+  const auto flows = space.sample_unique(2, rng);
+  EXPECT_EQ(flows.size(), 2u);
+  EXPECT_THROW(space.sample_unique(3, rng), std::invalid_argument);
+}
+
+TEST(FlowSpaceTest, PrecedenceConstraintsFilterSampling) {
+  // Remark 1: with "p1 before p2", only flows where every rewrite precedes
+  // every refactor remain.
+  FlowSpace space(2);
+  space.add_constraint({opt::TransformKind::kRewrite,
+                        opt::TransformKind::kRefactor});
+  util::Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const Flow f = space.random_flow(rng);
+    EXPECT_TRUE(space.satisfies_constraints(f));
+    std::size_t last_rw = 0, first_rf = f.length();
+    for (std::size_t j = 0; j < f.length(); ++j) {
+      if (f.steps[j] == opt::TransformKind::kRewrite) last_rw = j;
+      if (f.steps[j] == opt::TransformKind::kRefactor &&
+          first_rf == f.length()) {
+        first_rf = j;
+      }
+    }
+    EXPECT_LT(last_rw, first_rf);
+  }
+}
+
+TEST(FlowSpaceTest, ConstraintsAffectContains) {
+  FlowSpace space(1, {opt::TransformKind::kBalance,
+                      opt::TransformKind::kRewrite});
+  space.add_constraint({opt::TransformKind::kBalance,
+                        opt::TransformKind::kRewrite});
+  Flow ok;
+  ok.steps = {opt::TransformKind::kBalance, opt::TransformKind::kRewrite};
+  Flow bad;
+  bad.steps = {opt::TransformKind::kRewrite, opt::TransformKind::kBalance};
+  EXPECT_TRUE(space.contains(ok));
+  EXPECT_FALSE(space.contains(bad));
+}
+
+TEST(FlowSpaceTest, Remark1ExampleCount) {
+  // Example 1 + Remark 1: S = {p0, p1, p2} non-repetition has 6 flows;
+  // constraining p1 before p2 leaves exactly 3 (F0, F2, F3).
+  FlowSpace space(1, {opt::TransformKind::kBalance,
+                      opt::TransformKind::kRestructure,
+                      opt::TransformKind::kRewrite});
+  space.add_constraint({opt::TransformKind::kRestructure,
+                        opt::TransformKind::kRewrite});
+  util::Rng rng(6);
+  std::set<std::string> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(space.random_flow(rng).key());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(FlowSpaceTest, FirstPositionIsUniform) {
+  const FlowSpace space(2);
+  util::Rng rng(4);
+  std::map<opt::TransformKind, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    counts[space.random_flow(rng).steps[0]]++;
+  }
+  for (const auto& [kind, count] : counts) {
+    EXPECT_NEAR(count, n / 6, n / 6 * 0.15) << opt::transform_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace flowgen::core

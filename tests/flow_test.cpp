@@ -1,0 +1,60 @@
+#include "core/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace flowgen::core {
+namespace {
+
+using opt::TransformKind;
+
+TEST(FlowTest, KeyRoundTrip) {
+  Flow f;
+  f.steps = {TransformKind::kRewrite, TransformKind::kBalance,
+             TransformKind::kRefactorZ};
+  const std::string key = f.key();
+  EXPECT_EQ(key, "205");
+  EXPECT_EQ(Flow::from_key(key), f);
+}
+
+TEST(FlowTest, ToStringUsesAbcNames) {
+  Flow f;
+  f.steps = {TransformKind::kBalance, TransformKind::kRewriteZ};
+  EXPECT_EQ(f.to_string(), "balance; rewrite -z");
+}
+
+TEST(FlowTest, FromKeyRejectsBadDigits) {
+  EXPECT_THROW(Flow::from_key("09"), std::invalid_argument);
+  EXPECT_THROW(Flow::from_key("x"), std::invalid_argument);
+}
+
+TEST(FlowTest, EmptyFlow) {
+  const Flow f;
+  EXPECT_EQ(f.length(), 0u);
+  EXPECT_EQ(f.key(), "");
+  EXPECT_EQ(Flow::from_key(""), f);
+}
+
+TEST(FlowTest, AbcScriptExport) {
+  Flow f;
+  f.steps = {TransformKind::kBalance, TransformKind::kRestructure,
+             TransformKind::kRewriteZ};
+  EXPECT_EQ(f.to_abc_script(),
+            "strash; balance; resub; rewrite -z; map");
+}
+
+TEST(FlowTest, HashDistinguishesOrders) {
+  Flow f1;
+  f1.steps = {TransformKind::kBalance, TransformKind::kRewrite};
+  Flow f2;
+  f2.steps = {TransformKind::kRewrite, TransformKind::kBalance};
+  std::unordered_set<Flow, FlowHash> set;
+  set.insert(f1);
+  set.insert(f2);
+  set.insert(f1);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace flowgen::core

@@ -1,0 +1,147 @@
+#include "core/labeler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace flowgen::core {
+namespace {
+
+std::vector<map::QoR> uniform_qors(std::size_t n) {
+  std::vector<map::QoR> qors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    qors[i].area_um2 = static_cast<double>(i);
+    qors[i].delay_ps = static_cast<double>(n - 1 - i);
+  }
+  return qors;
+}
+
+TEST(LabelerTest, SevenClassesByDefault) {
+  Labeler labeler{LabelerConfig{}};
+  EXPECT_EQ(labeler.num_classes(), 7u);
+}
+
+TEST(LabelerTest, DeterminatorsAreSortedQuantiles) {
+  LabelerConfig cfg;
+  cfg.objective = Objective::kArea;
+  Labeler labeler(cfg);
+  labeler.fit(uniform_qors(1000));
+  const auto& dets = labeler.determinators();
+  ASSERT_EQ(dets.size(), 6u);
+  // {5,15,40,65,90,95}% of 0..999.
+  EXPECT_NEAR(dets[0], 49.95, 0.1);
+  EXPECT_NEAR(dets[2], 399.6, 0.5);
+  EXPECT_NEAR(dets[5], 949.05, 0.1);
+  for (std::size_t i = 0; i + 1 < dets.size(); ++i) {
+    EXPECT_LT(dets[i], dets[i + 1]);
+  }
+}
+
+TEST(LabelerTest, Table1BoundaryRules) {
+  LabelerConfig cfg;
+  cfg.objective = Objective::kArea;
+  Labeler labeler(cfg);
+  labeler.fit(uniform_qors(1000));
+  const auto& dets = labeler.determinators();
+
+  map::QoR q;
+  q.area_um2 = dets[0] - 1;  // r <= x0 -> class 0
+  EXPECT_EQ(labeler.classify(q), 0u);
+  q.area_um2 = dets[0];  // boundary belongs to the lower class
+  EXPECT_EQ(labeler.classify(q), 0u);
+  q.area_um2 = dets[0] + 0.01;  // x0 < r <= x1 -> class 1
+  EXPECT_EQ(labeler.classify(q), 1u);
+  q.area_um2 = dets[5] + 1;  // r > xn -> class n
+  EXPECT_EQ(labeler.classify(q), 6u);
+}
+
+TEST(LabelerTest, ClassProportionsMatchQuantileGaps) {
+  LabelerConfig cfg;
+  cfg.objective = Objective::kArea;
+  Labeler labeler(cfg);
+  const auto qors = uniform_qors(10000);
+  labeler.fit(qors);
+  const auto labels = labeler.classify_all(qors);
+  std::vector<std::size_t> counts(7, 0);
+  for (auto c : labels) ++counts[c];
+  // Gaps between {0,5,15,40,65,90,95,100}%.
+  const double expected[] = {0.05, 0.10, 0.25, 0.25, 0.25, 0.05, 0.05};
+  for (std::size_t c = 0; c < 7; ++c) {
+    EXPECT_NEAR(static_cast<double>(counts[c]) / 10000.0, expected[c], 0.01)
+        << "class " << c;
+  }
+}
+
+TEST(LabelerTest, DelayObjectiveUsesDelay) {
+  LabelerConfig cfg;
+  cfg.objective = Objective::kDelay;
+  Labeler labeler(cfg);
+  labeler.fit(uniform_qors(100));
+  map::QoR q;
+  q.delay_ps = 0;    // best delay
+  q.area_um2 = 1e9;  // irrelevant
+  EXPECT_EQ(labeler.classify(q), 0u);
+}
+
+TEST(LabelerTest, MultiMetricTakesWorseClass) {
+  LabelerConfig cfg;
+  cfg.objective = Objective::kAreaDelay;
+  Labeler labeler(cfg);
+  labeler.fit(uniform_qors(1000));
+  map::QoR q;
+  q.area_um2 = 0;     // class 0 by area
+  q.delay_ps = 1e9;   // class 6 by delay
+  EXPECT_EQ(labeler.classify(q), 6u);
+  q.delay_ps = 0;     // class 0 by both
+  EXPECT_EQ(labeler.classify(q), 0u);
+}
+
+TEST(LabelerTest, DynamicRefitShiftsClasses) {
+  // Section 3.1: class definitions drift as labeled data accumulates.
+  LabelerConfig cfg;
+  cfg.objective = Objective::kArea;
+  Labeler labeler(cfg);
+  labeler.fit(uniform_qors(100));  // areas 0..99
+  map::QoR q;
+  q.area_um2 = 90;
+  const auto before = labeler.classify(q);
+  // New data an order of magnitude larger: 90 becomes a great result.
+  std::vector<map::QoR> bigger(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    bigger[i].area_um2 = static_cast<double>(i * 10);
+  }
+  labeler.fit(bigger);
+  const auto after = labeler.classify(q);
+  EXPECT_LT(after, before);
+}
+
+TEST(LabelerTest, CustomQuantiles) {
+  LabelerConfig cfg;
+  cfg.quantiles = {0.5};
+  cfg.objective = Objective::kArea;
+  Labeler labeler(cfg);
+  EXPECT_EQ(labeler.num_classes(), 2u);
+  labeler.fit(uniform_qors(100));
+  map::QoR q;
+  q.area_um2 = 10;
+  EXPECT_EQ(labeler.classify(q), 0u);
+  q.area_um2 = 90;
+  EXPECT_EQ(labeler.classify(q), 1u);
+}
+
+TEST(LabelerTest, RejectsEmptyFit) {
+  Labeler labeler{LabelerConfig{}};
+  EXPECT_THROW(labeler.fit({}), std::invalid_argument);
+  EXPECT_FALSE(labeler.fitted());
+}
+
+TEST(LabelerTest, ObjectiveNames) {
+  EXPECT_STREQ(objective_name(Objective::kArea), "area");
+  EXPECT_STREQ(objective_name(Objective::kDelay), "delay");
+  EXPECT_STREQ(objective_name(Objective::kAreaDelay), "area+delay");
+  EXPECT_THROW(metric_value(Objective::kAreaDelay, map::QoR{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flowgen::core

@@ -1,0 +1,143 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+#include "nn/locally_connected.hpp"
+#include "nn/pooling.hpp"
+
+namespace flowgen::nn {
+namespace {
+
+TEST(LayersTest, DenseShapes) {
+  util::Rng rng(1);
+  Dense layer(6, 4, rng);
+  Tensor x({5, 6});
+  const Tensor y = layer.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{5, 4}));
+  EXPECT_EQ(layer.params().size(), 2u);
+}
+
+TEST(LayersTest, DenseComputesAffineMap) {
+  util::Rng rng(2);
+  Dense layer(2, 1, rng);
+  Tensor x({1, 2});
+  x[0] = 3.0;
+  x[1] = -1.0;
+  const Tensor y = layer.forward(x, false);
+  const Tensor& w = layer.weights();
+  EXPECT_NEAR(y[0], 3.0 * w.at(0, 0) - 1.0 * w.at(1, 0), 1e-12);
+}
+
+TEST(LayersTest, FlattenRoundTrip) {
+  Flatten f;
+  Tensor x({2, 3, 4, 5});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  const Tensor flat = f.forward(x, false);
+  EXPECT_EQ(flat.shape(), (std::vector<std::size_t>{2, 60}));
+  const Tensor back = f.backward(flat);
+  EXPECT_EQ(back.shape(), x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(back[i], x[i]);
+}
+
+TEST(LayersTest, Conv2DSamePaddingKeepsSize) {
+  util::Rng rng(3);
+  Conv2D conv(1, 8, 3, 6, rng);
+  Tensor x({2, 12, 12, 1});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 12, 12, 8}));
+}
+
+TEST(LayersTest, MaxPoolStride1Shrinks) {
+  MaxPool2D pool(2, 2, 1);
+  Tensor x({1, 12, 12, 3});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 11, 11, 3}));
+}
+
+TEST(LayersTest, MaxPoolPicksMaximum) {
+  MaxPool2D pool(2, 2, 2);
+  Tensor x({1, 2, 2, 1});
+  x[0] = 1;
+  x[1] = 9;
+  x[2] = 3;
+  x[3] = -4;
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_EQ(y[0], 9);
+  // Gradient routes to the argmax only.
+  Tensor g({1, 1, 1, 1});
+  g[0] = 5;
+  const Tensor gx = pool.backward(g);
+  EXPECT_EQ(gx[1], 5);
+  EXPECT_EQ(gx[0] + gx[2] + gx[3], 0);
+}
+
+TEST(LayersTest, MaxPoolRejectsTooSmallInput) {
+  MaxPool2D pool(4, 4, 1);
+  Tensor x({1, 2, 2, 1});
+  EXPECT_THROW(pool.forward(x, false), std::invalid_argument);
+}
+
+TEST(LayersTest, LocallyConnectedHasPerPositionWeights) {
+  util::Rng rng(4);
+  LocallyConnected2D local(4, 4, 1, 2, 3, 3, rng);
+  EXPECT_EQ(local.out_h(), 2u);
+  EXPECT_EQ(local.out_w(), 2u);
+  // 4 positions x 9 patch x 2 out channels weights + 4 x 2 biases.
+  EXPECT_EQ(local.params()[0]->size(), 4u * 9u * 2u);
+  EXPECT_EQ(local.params()[1]->size(), 4u * 2u);
+}
+
+TEST(LayersTest, DropoutInferenceIsIdentity) {
+  util::Rng rng(5);
+  Dropout drop(0.4, rng);
+  Tensor x({1, 100});
+  x.fill(1.0);
+  const Tensor y = drop.forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], 1.0);
+}
+
+TEST(LayersTest, DropoutTrainingDropsAndRescales) {
+  util::Rng rng(6);
+  Dropout drop(0.4, rng);
+  Tensor x({1, 10000});
+  x.fill(1.0);
+  const Tensor y = drop.forward(x, /*training=*/true);
+  std::size_t zeros = 0;
+  double sum = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y[i], 1.0 / 0.6, 1e-12);  // inverted dropout scale
+    }
+    sum += y[i];
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.4, 0.03);
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.05);  // expectation preserved
+}
+
+TEST(LayersTest, DropoutBackwardUsesSameMask) {
+  util::Rng rng(7);
+  Dropout drop(0.5, rng);
+  Tensor x({1, 50});
+  x.fill(2.0);
+  const Tensor y = drop.forward(x, true);
+  Tensor g({1, 50});
+  g.fill(1.0);
+  const Tensor gx = drop.backward(g);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(gx[i] == 0.0, y[i] == 0.0);  // identical mask
+  }
+}
+
+TEST(LayersTest, LayerNames) {
+  util::Rng rng(8);
+  EXPECT_EQ(Dense(2, 2, rng).name(), "Dense");
+  EXPECT_EQ(Activation(ActivationKind::kSELU).name(), "Activation:SELU");
+  EXPECT_EQ(MaxPool2D(2, 2).name(), "MaxPool2D");
+}
+
+}  // namespace
+}  // namespace flowgen::nn

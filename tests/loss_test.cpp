@@ -1,0 +1,102 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace flowgen::nn {
+namespace {
+
+TEST(LossTest, SoftmaxRowsSumToOne) {
+  Tensor logits({3, 5});
+  util::Rng rng(1);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits[i] = rng.normal(0, 3);
+  }
+  const Tensor p = softmax(logits);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double sum = 0;
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_GT(p.at(i, j), 0.0);
+      sum += p.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(LossTest, SoftmaxShiftInvariant) {
+  Tensor a({1, 3});
+  a[0] = 1;
+  a[1] = 2;
+  a[2] = 3;
+  Tensor b({1, 3});
+  b[0] = 101;
+  b[1] = 102;
+  b[2] = 103;
+  const Tensor pa = softmax(a);
+  const Tensor pb = softmax(b);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(pa[j], pb[j], 1e-12);
+  }
+}
+
+TEST(LossTest, SoftmaxNumericalStabilityLargeLogits) {
+  Tensor logits({1, 2});
+  logits[0] = 10000;
+  logits[1] = 9999;
+  const Tensor p = softmax(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(LossTest, UniformLogitsGiveLogC) {
+  Tensor logits({2, 7});
+  const LossResult r = sparse_softmax_cross_entropy(logits, {0, 6});
+  EXPECT_NEAR(r.loss, std::log(7.0), 1e-12);
+}
+
+TEST(LossTest, PerfectPredictionLowLoss) {
+  Tensor logits({1, 3});
+  logits[1] = 100;
+  const LossResult r = sparse_softmax_cross_entropy(logits, {1});
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(LossTest, GradientIsSoftmaxMinusOneHotOverN) {
+  Tensor logits({2, 3});
+  util::Rng rng(2);
+  for (std::size_t i = 0; i < logits.size(); ++i) logits[i] = rng.normal();
+  const std::vector<std::uint32_t> labels{2, 0};
+  const LossResult r = sparse_softmax_cross_entropy(logits, labels);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double expect =
+          (r.probabilities.at(i, j) - (labels[i] == j ? 1.0 : 0.0)) / 2.0;
+      EXPECT_NEAR(r.grad_logits.at(i, j), expect, 1e-12);
+    }
+  }
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+  util::Rng rng(3);
+  Tensor logits({3, 4});
+  for (std::size_t i = 0; i < logits.size(); ++i) logits[i] = rng.normal();
+  const std::vector<std::uint32_t> labels{1, 3, 0};
+  const LossResult base = sparse_softmax_cross_entropy(logits, labels);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double saved = logits[i];
+    logits[i] = saved + eps;
+    const double hi = sparse_softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved - eps;
+    const double lo = sparse_softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved;
+    EXPECT_NEAR(base.grad_logits[i], (hi - lo) / (2 * eps), 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace flowgen::nn

@@ -1,0 +1,80 @@
+#include "aig/npn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace flowgen::aig {
+namespace {
+
+TEST(NpnTest, KnownClassCounts) {
+  // Exhaustively canonicalize every function of n variables and count
+  // distinct canonical forms; must match the published NPN class counts.
+  for (unsigned nv : {1u, 2u, 3u}) {
+    std::set<std::vector<std::uint64_t>> classes;
+    const std::size_t total = std::size_t{1} << (std::size_t{1} << nv);
+    for (std::size_t bits = 0; bits < total; ++bits) {
+      const TruthTable tt = TruthTable::from_bits(nv, bits);
+      classes.insert(npn_canonicalize(tt).canonical.words());
+    }
+    EXPECT_EQ(classes.size(), known_npn_class_count(nv)) << "nv=" << nv;
+  }
+}
+
+TEST(NpnTest, CanonicalIsInvariantUnderRandomTransforms) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    TruthTable tt(4);
+    for (std::size_t m = 0; m < 16; ++m) tt.set_bit(m, rng.chance(0.5));
+    const NpnResult base = npn_canonicalize(tt);
+
+    // Apply a random NPN transform and re-canonicalize: same class.
+    std::vector<unsigned> perm{0, 1, 2, 3};
+    rng.shuffle(perm);
+    const unsigned flip = static_cast<unsigned>(rng.below(16));
+    const bool out = rng.chance(0.5);
+    const TruthTable transformed = tt.permute_flip(perm, flip, out);
+    const NpnResult again = npn_canonicalize(transformed);
+    EXPECT_EQ(base.canonical, again.canonical) << "trial " << trial;
+  }
+}
+
+TEST(NpnTest, TransformReproducesCanonical) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    TruthTable tt(3);
+    for (std::size_t m = 0; m < 8; ++m) tt.set_bit(m, rng.chance(0.5));
+    const NpnResult r = npn_canonicalize(tt);
+    const TruthTable rebuilt = tt.permute_flip(
+        r.transform.perm, r.transform.flip_mask, r.transform.out_flip);
+    EXPECT_EQ(rebuilt, r.canonical);
+  }
+}
+
+TEST(NpnTest, AndClassContainsAllAndVariants) {
+  // All 2-input AND-like functions (and, or, nand, nor with any input
+  // phases) share one NPN class.
+  const auto canon_of = [](std::uint64_t bits) {
+    return npn_canonicalize(TruthTable::from_bits(2, bits)).canonical;
+  };
+  const TruthTable c_and = canon_of(0x8);
+  EXPECT_EQ(canon_of(0x7), c_and);  // nand
+  EXPECT_EQ(canon_of(0xE), c_and);  // or
+  EXPECT_EQ(canon_of(0x1), c_and);  // nor
+  EXPECT_EQ(canon_of(0x2), c_and);  // a & ~b
+  EXPECT_NE(canon_of(0x6), c_and);  // xor is its own class
+}
+
+TEST(NpnTest, ConstantAndProjectionClasses) {
+  const TruthTable c0 = TruthTable::constant(2, false);
+  const TruthTable c1 = TruthTable::constant(2, true);
+  EXPECT_EQ(npn_canonicalize(c0).canonical, npn_canonicalize(c1).canonical);
+  const TruthTable x0 = TruthTable::variable(2, 0);
+  const TruthTable x1 = TruthTable::variable(2, 1);
+  EXPECT_EQ(npn_canonicalize(x0).canonical, npn_canonicalize(x1).canonical);
+}
+
+}  // namespace
+}  // namespace flowgen::aig

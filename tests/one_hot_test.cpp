@@ -1,0 +1,92 @@
+#include "core/one_hot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/flow_space.hpp"
+
+namespace flowgen::core {
+namespace {
+
+TEST(OneHotTest, Example3FromThePaper) {
+  // S = {p0, p1}, F = p0 -> p0 -> p1 -> p1 gives the 4x2 matrix
+  // [[1,0],[1,0],[0,1],[0,1]].
+  Flow f;
+  f.steps = {opt::TransformKind::kBalance, opt::TransformKind::kBalance,
+             opt::TransformKind::kRestructure,
+             opt::TransformKind::kRestructure};
+  const nn::Tensor m = one_hot_matrix(f, 2);
+  ASSERT_EQ(m.shape(), (std::vector<std::size_t>{4, 2}));
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(0, 1), 0.0);
+  EXPECT_EQ(m.at(1, 0), 1.0);
+  EXPECT_EQ(m.at(2, 1), 1.0);
+  EXPECT_EQ(m.at(3, 1), 1.0);
+}
+
+TEST(OneHotTest, ExactlyOneOnePerRow) {
+  const FlowSpace space(4);
+  util::Rng rng(1);
+  const Flow f = space.random_flow(rng);
+  const nn::Tensor m = one_hot_matrix(f, 6);
+  for (std::size_t row = 0; row < 24; ++row) {
+    double sum = 0;
+    for (std::size_t col = 0; col < 6; ++col) sum += m.at(row, col);
+    EXPECT_EQ(sum, 1.0);
+  }
+}
+
+TEST(OneHotTest, ColumnSumsEqualRepetitions) {
+  const FlowSpace space(4);
+  util::Rng rng(2);
+  const Flow f = space.random_flow(rng);
+  const nn::Tensor m = one_hot_matrix(f, 6);
+  for (std::size_t col = 0; col < 6; ++col) {
+    double sum = 0;
+    for (std::size_t row = 0; row < 24; ++row) sum += m.at(row, col);
+    EXPECT_EQ(sum, 4.0);  // m = 4 repetitions of each transform
+  }
+}
+
+TEST(OneHotTest, DefaultReshapeIsSquareForPaperGeometry) {
+  std::size_t h = 0, w = 0;
+  default_reshape(24, 6, h, w);  // 24*6 = 144 = 12^2
+  EXPECT_EQ(h, 12u);
+  EXPECT_EQ(w, 12u);
+  default_reshape(12, 6, h, w);  // 72 is not a perfect square
+  EXPECT_EQ(h, 12u);
+  EXPECT_EQ(w, 6u);
+}
+
+TEST(OneHotTest, BatchLayoutMatchesRowMajorReshape) {
+  const FlowSpace space(4);
+  util::Rng rng(3);
+  const std::vector<Flow> flows = space.sample_unique(3, rng);
+  const nn::Tensor batch = one_hot_batch(flows, 6, 12, 12);
+  ASSERT_EQ(batch.shape(), (std::vector<std::size_t>{3, 12, 12, 1}));
+  for (std::size_t i = 0; i < 3; ++i) {
+    const nn::Tensor m = one_hot_matrix(flows[i], 6);
+    for (std::size_t j = 0; j < 144; ++j) {
+      EXPECT_EQ(batch[i * 144 + j], m[j]) << "flow " << i << " pos " << j;
+    }
+  }
+}
+
+TEST(OneHotTest, BatchTotalOnesEqualsFlowLength) {
+  const FlowSpace space(4);
+  util::Rng rng(4);
+  const std::vector<Flow> flows = space.sample_unique(5, rng);
+  const nn::Tensor batch = one_hot_batch(flows, 6, 12, 12);
+  double total = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) total += batch[i];
+  EXPECT_EQ(total, 5.0 * 24.0);
+}
+
+TEST(OneHotTest, RejectsGeometryMismatch) {
+  const FlowSpace space(2);
+  util::Rng rng(5);
+  const std::vector<Flow> flows = space.sample_unique(1, rng);
+  EXPECT_THROW(one_hot_batch(flows, 6, 12, 12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flowgen::core

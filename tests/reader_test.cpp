@@ -1,0 +1,119 @@
+#include "aig/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/simulate.hpp"
+#include "aig/writer.hpp"
+#include "designs/registry.hpp"
+
+namespace flowgen::aig {
+namespace {
+
+Aig from_string(const std::string& blif) {
+  std::istringstream is(blif);
+  return read_blif(is);
+}
+
+TEST(ReaderTest, MinimalAndGate) {
+  const Aig g = from_string(
+      ".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n");
+  EXPECT_EQ(g.name, "t");
+  EXPECT_EQ(g.num_pis(), 2u);
+  EXPECT_EQ(g.num_pos(), 1u);
+  EXPECT_EQ(g.num_ands(), 1u);
+}
+
+TEST(ReaderTest, SopWithDontCaresAndMultipleRows) {
+  // y = a&~c | b  (the '-' column is a don't care)
+  const Aig g = from_string(
+      ".model t\n.inputs a b c\n.outputs y\n"
+      ".names a b c y\n1-0 1\n-1- 1\n.end\n");
+  util::Rng rng(1);
+  Simulator sim(g, rng, 2);
+  const auto& pis = g.pis();
+  const auto sa = sim.signature(make_lit(pis[0], false));
+  const auto sb = sim.signature(make_lit(pis[1], false));
+  const auto sc = sim.signature(make_lit(pis[2], false));
+  const auto sy = sim.signature(g.po(0));
+  for (std::size_t w = 0; w < 2; ++w) {
+    EXPECT_EQ(sy[w], (sa[w] & ~sc[w]) | sb[w]);
+  }
+}
+
+TEST(ReaderTest, OffSetCover) {
+  // y written via its complement: ~y = ~a & ~b, i.e. y = a | b.
+  const Aig g = from_string(
+      ".model t\n.inputs a b\n.outputs y\n.names a b y\n00 0\n.end\n");
+  util::Rng rng(2);
+  Simulator sim(g, rng, 1);
+  const auto& pis = g.pis();
+  EXPECT_EQ(sim.signature(g.po(0))[0],
+            sim.signature(make_lit(pis[0], false))[0] |
+                sim.signature(make_lit(pis[1], false))[0]);
+}
+
+TEST(ReaderTest, ConstantsAndComments) {
+  const Aig g = from_string(
+      "# a comment\n.model t\n.inputs a\n.outputs one zero\n"
+      ".names one  # const 1\n1\n"
+      ".names zero\n"
+      ".end\n");
+  EXPECT_EQ(g.po(0), kLitTrue);
+  EXPECT_EQ(g.po(1), kLitFalse);
+}
+
+TEST(ReaderTest, LineContinuation) {
+  const Aig g = from_string(
+      ".model t\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n");
+  EXPECT_EQ(g.num_pis(), 2u);
+}
+
+TEST(ReaderTest, OutOfOrderTables) {
+  // y depends on an internal signal defined after it in the file.
+  const Aig g = from_string(
+      ".model t\n.inputs a b c\n.outputs y\n"
+      ".names mid c y\n11 1\n"
+      ".names a b mid\n11 1\n.end\n");
+  EXPECT_EQ(g.num_ands(), 2u);
+}
+
+TEST(ReaderTest, RejectsLatchesAndCycles) {
+  EXPECT_THROW(
+      from_string(".model t\n.inputs a\n.outputs y\n.latch a y\n.end\n"),
+      std::runtime_error);
+  EXPECT_THROW(from_string(".model t\n.inputs a\n.outputs y\n"
+                           ".names y a y\n11 1\n.end\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      from_string(".model t\n.inputs a\n.outputs nowhere\n.end\n"),
+      std::runtime_error);
+}
+
+class ReaderRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReaderRoundTripTest, WriteThenReadIsEquivalent) {
+  const Aig original = designs::make_design(GetParam());
+  std::ostringstream os;
+  write_blif(original, os);
+  std::istringstream is(os.str());
+  const Aig loaded = read_blif(is);
+  EXPECT_EQ(loaded.num_pis(), original.num_pis());
+  EXPECT_EQ(loaded.num_pos(), original.num_pos());
+  util::Rng rng(7);
+  EXPECT_TRUE(random_equivalent(original, loaded, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, ReaderRoundTripTest,
+                         ::testing::Values("alu:8", "mont:6", "spn:8:2"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == ':') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace flowgen::aig

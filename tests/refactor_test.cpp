@@ -1,0 +1,76 @@
+#include "opt/refactor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aig/factor.hpp"
+#include "aig/simulate.hpp"
+#include "designs/alu.hpp"
+#include "designs/montgomery.hpp"
+#include "designs/spn.hpp"
+
+namespace flowgen::opt {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+using aig::TruthTable;
+
+TEST(RefactorTest, CrunchesNaiveMuxTree) {
+  // A Shannon mux tree of a simple SOP function should shrink a lot.
+  TruthTable tt(6);
+  for (std::size_t m = 0; m < 64; ++m) {
+    tt.set_bit(m, ((m & 3) == 3) || (((m >> 2) & 3) == 3) ||
+                      (((m >> 4) & 3) == 3));
+  }
+  Aig g;
+  const auto in = g.add_pis(6);
+  g.add_po(aig::build_shannon(g, tt, in));
+  const std::size_t before = g.num_ands();
+
+  const Aig r = refactor(g);
+  util::Rng rng(1);
+  EXPECT_TRUE(aig::random_equivalent(g, r, rng));
+  EXPECT_LT(r.num_ands(), before);
+}
+
+class RefactorDesignTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RefactorDesignTest, EquivalentAndWellFormed) {
+  Aig g;
+  const std::string name = GetParam();
+  if (name == "alu") g = designs::make_alu(8);
+  if (name == "mont") g = designs::make_montgomery(6);
+  if (name == "spn") g = designs::make_spn(8, 2);
+
+  const Aig r = refactor(g);
+  util::Rng rng(7);
+  EXPECT_TRUE(aig::random_equivalent(g, r, rng));
+  EXPECT_EQ(r.check(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, RefactorDesignTest,
+                         ::testing::Values("alu", "mont", "spn"));
+
+TEST(RefactorTest, ZeroCostVariantStaysEquivalent) {
+  Aig g = designs::make_montgomery(6);
+  RefactorParams p;
+  p.zero_cost = true;
+  const Aig r = refactor(g, p);
+  util::Rng rng(11);
+  EXPECT_TRUE(aig::random_equivalent(g, r, rng));
+  EXPECT_EQ(r.check(), "");
+}
+
+TEST(RefactorTest, LeafLimitHonored) {
+  Aig g = designs::make_alu(8);
+  for (unsigned leaves : {4u, 6u, 10u}) {
+    RefactorParams p;
+    p.max_leaves = leaves;
+    const Aig r = refactor(g, p);
+    util::Rng rng(13 + leaves);
+    EXPECT_TRUE(aig::random_equivalent(g, r, rng)) << leaves;
+  }
+}
+
+}  // namespace
+}  // namespace flowgen::opt

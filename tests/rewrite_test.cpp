@@ -1,0 +1,96 @@
+#include "opt/rewrite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.hpp"
+#include "designs/alu.hpp"
+#include "designs/montgomery.hpp"
+#include "designs/spn.hpp"
+
+namespace flowgen::opt {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+TEST(RewriteTest, RemovesRedundantMuxStructure) {
+  // mux(s, x, x) built the long way collapses to x under rewriting.
+  Aig g;
+  const Lit s = g.add_pi();
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit x = g.land(a, b);
+  const Lit redundant = g.lor(g.land(s, x), g.land(aig::lit_not(s), x));
+  g.add_po(redundant);
+  const std::size_t before = g.num_ands();
+  const Aig r = rewrite(g);
+  util::Rng rng(1);
+  EXPECT_TRUE(aig::random_equivalent(g, r, rng));
+  EXPECT_LT(r.num_ands(), before);
+  EXPECT_EQ(r.num_ands(), 1u);  // just a & b
+}
+
+TEST(RewriteTest, PreservesIrreducibleLogic) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  g.add_po(g.lxor(a, b));
+  const Aig r = rewrite(g);
+  util::Rng rng(2);
+  EXPECT_TRUE(aig::random_equivalent(g, r, rng));
+  EXPECT_EQ(r.num_ands(), 3u);  // XOR is already minimal
+}
+
+class RewriteDesignTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RewriteDesignTest, EquivalentAndWellFormed) {
+  Aig g;
+  const std::string name = GetParam();
+  if (name == "alu") g = designs::make_alu(8);
+  if (name == "mont") g = designs::make_montgomery(6);
+  if (name == "spn") g = designs::make_spn(8, 2);
+
+  const Aig r = rewrite(g);
+  util::Rng rng(7);
+  EXPECT_TRUE(aig::random_equivalent(g, r, rng));
+  EXPECT_EQ(r.check(), "");
+  EXPECT_EQ(r.num_pis(), g.num_pis());
+  EXPECT_EQ(r.num_pos(), g.num_pos());
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, RewriteDesignTest,
+                         ::testing::Values("alu", "mont", "spn"));
+
+TEST(RewriteTest, ZeroCostVariantStaysEquivalent) {
+  Aig g = designs::make_alu(8);
+  RewriteParams p;
+  p.zero_cost = true;
+  const Aig r = rewrite(g, p);
+  util::Rng rng(11);
+  EXPECT_TRUE(aig::random_equivalent(g, r, rng));
+  EXPECT_EQ(r.check(), "");
+}
+
+TEST(RewriteTest, IteratedRewriteConverges) {
+  Aig g = designs::make_spn(8, 2);
+  Aig r1 = rewrite(g);
+  Aig r2 = rewrite(r1);
+  Aig r3 = rewrite(r2);
+  util::Rng rng(13);
+  EXPECT_TRUE(aig::random_equivalent(g, r3, rng));
+  // Monotone progress followed by a fixed point region.
+  EXPECT_LE(r2.num_ands(), r1.num_ands() + 2);
+  EXPECT_LE(r3.num_ands(), r2.num_ands() + 2);
+}
+
+TEST(RewriteTest, CutSizeParameterHonored) {
+  Aig g = designs::make_alu(6);
+  RewriteParams p;
+  p.cut_size = 3;
+  const Aig r = rewrite(g, p);
+  util::Rng rng(17);
+  EXPECT_TRUE(aig::random_equivalent(g, r, rng));
+}
+
+}  // namespace
+}  // namespace flowgen::opt

@@ -1,0 +1,143 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace flowgen::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(r.next());
+  EXPECT_GT(values.size(), 95u);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.below(bound), bound);
+  }
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng r(11);
+  std::array<int, 10> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng r(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng r(19);
+  const int n = 50000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng r(23);
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += r.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng r(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng r(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  r.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to match
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleUniformFirstElement) {
+  Rng r(37);
+  std::array<int, 5> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    std::array<int, 5> v{0, 1, 2, 3, 4};
+    r.shuffle(v);
+    ++counts[static_cast<std::size_t>(v[0])];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 5 * 0.1);
+}
+
+TEST(RngTest, ForkDiverges) {
+  Rng r(41);
+  Rng child = r.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (r.next() == child.next());
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace flowgen::util

@@ -1,0 +1,72 @@
+#include "core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flowgen::core {
+namespace {
+
+/// The exact prediction matrix of Table 2 in the paper.
+nn::Tensor table2() {
+  nn::Tensor p({5, 7});
+  const double rows[5][7] = {
+      {0.47, 0.13, 0.22, 0.02, 0.03, 0.12, 0.01},  // F0
+      {0.51, 0.12, 0.01, 0.09, 0.17, 0.08, 0.02},  // F1
+      {0.02, 0.45, 0.14, 0.12, 0.11, 0.10, 0.06},  // F2
+      {0.12, 0.03, 0.17, 0.62, 0.01, 0.02, 0.03},  // F3
+      {0.35, 0.23, 0.09, 0.02, 0.13, 0.17, 0.01},  // F4
+  };
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) p.at(i, j) = rows[i][j];
+  }
+  return p;
+}
+
+TEST(SelectionTest, PaperExample4TwoAngelFlows) {
+  // "If two angel-flows are required, F0 and F1 are selected and F4 is
+  // eliminated."
+  const auto top = select_top_flows(table2(), 0, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 1u);  // F1: p0 = 0.51, highest confidence
+  EXPECT_EQ(top[1].index, 0u);  // F0: p0 = 0.47
+}
+
+TEST(SelectionTest, PredictedClassIsArgmax) {
+  const auto top = select_top_flows(table2(), 0, 5);
+  // F0, F1, F4 have argmax class 0; F2 class 1; F3 class 3.
+  EXPECT_EQ(top[0].predicted, 0u);
+  EXPECT_EQ(top[1].predicted, 0u);
+  EXPECT_EQ(top[2].predicted, 0u);
+  EXPECT_EQ(top[2].index, 4u);  // F4 ranks third among class-0 flows
+}
+
+TEST(SelectionTest, FillsFromOutsideTargetClassWhenShort) {
+  // Requesting 4 class-0 flows: only 3 have argmax 0, so the 4th comes
+  // from the remaining flows ranked by p(class 0).
+  const auto top = select_top_flows(table2(), 0, 4);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[3].index, 3u);  // F3 (p0 = 0.12) beats F2 (p0 = 0.02)
+  EXPECT_NE(top[3].predicted, 0u);
+}
+
+TEST(SelectionTest, DevilClassSelection) {
+  // For class 6 nothing has argmax 6; pure-confidence order applies.
+  const auto top = select_top_flows(table2(), 6, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 2u);  // F2: p6 = 0.06 is the largest
+  EXPECT_EQ(top[1].index, 3u);  // F3: p6 = 0.03
+}
+
+TEST(SelectionTest, CountLargerThanPoolReturnsAll) {
+  const auto top = select_top_flows(table2(), 0, 100);
+  EXPECT_EQ(top.size(), 5u);
+}
+
+TEST(SelectionTest, ConfidencesAreTargetClassProbabilities) {
+  const auto top = select_top_flows(table2(), 3, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].index, 3u);
+  EXPECT_DOUBLE_EQ(top[0].confidence, 0.62);
+}
+
+}  // namespace
+}  // namespace flowgen::core

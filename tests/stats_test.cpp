@@ -1,0 +1,103 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace flowgen::util {
+namespace {
+
+TEST(StatsTest, MeanAndStdev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stdev(xs), 2.138, 1e-3);  // unbiased
+}
+
+TEST(StatsTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stdev({}), 0.0);
+  const std::vector<double> one{3.5};
+  EXPECT_DOUBLE_EQ(mean(one), 3.5);
+  EXPECT_DOUBLE_EQ(stdev(one), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> xs{3, -1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1);
+  EXPECT_DOUBLE_EQ(max_of(xs), 5);
+}
+
+TEST(StatsTest, QuantileEndpoints) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(StatsTest, QuantileMedianOddEven) {
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{1, 2, 3}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{1, 2, 3, 4}, 0.5), 2.5);
+}
+
+TEST(StatsTest, QuantileUnsortedInput) {
+  const std::vector<double> xs{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(StatsTest, PaperDeterminators) {
+  // The six determinators of Table 1 over a uniform 0..999 sample should
+  // land at the 5/15/40/65/90/95 percent positions.
+  std::vector<double> xs(1000);
+  for (int i = 0; i < 1000; ++i) xs[static_cast<std::size_t>(i)] = i;
+  const std::vector<double> qs{0.05, 0.15, 0.40, 0.65, 0.90, 0.95};
+  const auto dets = quantiles(xs, qs);
+  ASSERT_EQ(dets.size(), 6u);
+  EXPECT_NEAR(dets[0], 49.95, 0.1);
+  EXPECT_NEAR(dets[5], 949.05, 0.1);
+  for (std::size_t i = 0; i + 1 < dets.size(); ++i) {
+    EXPECT_LT(dets[i], dets[i + 1]);
+  }
+}
+
+TEST(StatsTest, HistogramCountsAndClamping) {
+  const std::vector<double> xs{0.0, 0.1, 0.5, 0.9, 1.0, -5.0, 7.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0] + h[1], xs.size());
+  EXPECT_EQ(h[0], 3u);  // 0.0, 0.1, -5.0 (clamped); 0.5 lands in bin 1
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantSeriesIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(StatsTest, Summarize) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_LT(s.p5, s.median);
+  EXPECT_GT(s.p95, s.median);
+}
+
+}  // namespace
+}  // namespace flowgen::util

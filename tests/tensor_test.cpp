@@ -1,0 +1,80 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flowgen::nn {
+namespace {
+
+TEST(TensorTest, ShapeAndSize) {
+  const Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.shape_string(), "(2,3,4)");
+}
+
+TEST(TensorTest, ZeroInitialised) {
+  const Tensor t({5, 5});
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0);
+}
+
+TEST(TensorTest, Rank2Indexing) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.5;
+  EXPECT_EQ(t[1 * 3 + 2], 7.5);
+  EXPECT_EQ(t.at(1, 2), 7.5);
+}
+
+TEST(TensorTest, Rank4Indexing) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0);
+}
+
+TEST(TensorTest, FillAndScale) {
+  Tensor t({4});
+  t.fill(2.0);
+  t *= 3.0;
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 6.0);
+}
+
+TEST(TensorTest, AddInPlace) {
+  Tensor a({3});
+  Tensor b({3});
+  a.fill(1.0);
+  b.fill(2.5);
+  a += b;
+  EXPECT_EQ(a[0], 3.5);
+  Tensor c({4});
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::size_t i = 0; i < 12; ++i) t[i] = static_cast<double>(i);
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.rank(), 2u);
+  EXPECT_EQ(r.dim(0), 3u);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(r[i], i);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(TensorTest, GlorotInitBounded) {
+  util::Rng rng(1);
+  Tensor t({100, 100});
+  t.glorot_init(rng, 100, 100);
+  const double limit = std::sqrt(6.0 / 200.0);
+  double max_abs = 0;
+  double sum = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(t[i]));
+    sum += t[i];
+  }
+  EXPECT_LE(max_abs, limit);
+  EXPECT_NEAR(sum / static_cast<double>(t.size()), 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace flowgen::nn

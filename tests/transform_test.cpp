@@ -1,0 +1,54 @@
+#include "opt/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.hpp"
+#include "designs/alu.hpp"
+
+namespace flowgen::opt {
+namespace {
+
+TEST(TransformTest, PaperSetHasSixInOrder) {
+  const auto& s = paper_transform_set();
+  ASSERT_EQ(s.size(), kNumTransforms);
+  EXPECT_EQ(transform_name(s[0]), "balance");
+  EXPECT_EQ(transform_name(s[1]), "restructure");
+  EXPECT_EQ(transform_name(s[2]), "rewrite");
+  EXPECT_EQ(transform_name(s[3]), "refactor");
+  EXPECT_EQ(transform_name(s[4]), "rewrite -z");
+  EXPECT_EQ(transform_name(s[5]), "refactor -z");
+}
+
+TEST(TransformTest, NameRoundTrip) {
+  for (TransformKind kind : paper_transform_set()) {
+    EXPECT_EQ(transform_from_name(transform_name(kind)), kind);
+  }
+  EXPECT_THROW(transform_from_name("fraig"), std::invalid_argument);
+}
+
+TEST(TransformTest, ApplyFlowComposesAllTransforms) {
+  const aig::Aig g = designs::make_alu(6);
+  const aig::Aig out = apply_flow(g, paper_transform_set());
+  util::Rng rng(3);
+  EXPECT_TRUE(aig::random_equivalent(g, out, rng));
+  EXPECT_EQ(out.check(), "");
+}
+
+TEST(TransformTest, EmptyFlowIsIdentity) {
+  const aig::Aig g = designs::make_alu(4);
+  const aig::Aig out = apply_flow(g, {});
+  EXPECT_EQ(out.num_ands(), g.num_ands());
+}
+
+TEST(TransformTest, EveryTransformRunsStandalone) {
+  const aig::Aig g = designs::make_alu(6);
+  for (TransformKind kind : paper_transform_set()) {
+    const aig::Aig out = apply_transform(g, kind);
+    util::Rng rng(5);
+    EXPECT_TRUE(aig::random_equivalent(g, out, rng))
+        << transform_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace flowgen::opt

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace flowgen::util {
+namespace {
+
+TEST(CliTest, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--flows=500", "--design=alu16"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("flows", 0), 500);
+  EXPECT_EQ(cli.get("design", ""), "alu16");
+}
+
+TEST(CliTest, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--flows", "123"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("flows", 0), 123);
+}
+
+TEST(CliTest, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--full"};
+  Cli cli(2, argv);
+  EXPECT_TRUE(cli.get_bool("full", false));
+  EXPECT_TRUE(cli.full_scale());
+}
+
+TEST(CliTest, FallbackWhenMissing) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("flows", 77), 77);
+  EXPECT_FALSE(cli.has("flows"));
+  EXPECT_DOUBLE_EQ(cli.get_double("lr", 0.5), 0.5);
+}
+
+TEST(CliTest, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=YES", "--d=off"};
+  Cli cli(5, argv);
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/csv_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.row({1.0, 2.5});
+    csv.row({3.0, 4.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+}
+
+TEST(CsvTest, RejectsArityMismatch) {
+  const std::string path = testing::TempDir() + "/csv_arity.csv";
+  CsvWriter csv(path, {"a", "b", "c"});
+  EXPECT_THROW(csv.row({1.0}), std::runtime_error);
+}
+
+TEST(AsciiPlotTest, ScatterContainsGlyphsAndLegend) {
+  Series s;
+  s.name = "cloud";
+  s.glyph = 'o';
+  s.xs = {0, 1, 2, 3};
+  s.ys = {0, 1, 4, 9};
+  PlotOptions opt;
+  opt.title = "test plot";
+  const std::string out = scatter_plot(std::vector<Series>{s}, opt);
+  EXPECT_NE(out.find("test plot"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("cloud"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptySeries) {
+  PlotOptions opt;
+  EXPECT_EQ(scatter_plot({}, opt), "(empty plot)\n");
+}
+
+TEST(AsciiPlotTest, HistogramBarsSumToCount) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(i % 10);
+  PlotOptions opt;
+  const std::string out = histogram_plot(xs, 5, opt);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flowgen::util

@@ -1,0 +1,53 @@
+#include "aig/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace flowgen::aig {
+namespace {
+
+Aig tiny() {
+  Aig g;
+  g.name = "tiny";
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  g.add_po(g.land(a, lit_not(b)));
+  g.add_po(lit_not(a));
+  return g;
+}
+
+TEST(WriterTest, BlifStructure) {
+  std::ostringstream os;
+  write_blif(tiny(), os);
+  const std::string blif = os.str();
+  EXPECT_NE(blif.find(".model tiny"), std::string::npos);
+  EXPECT_NE(blif.find(".inputs pi1 pi2"), std::string::npos);
+  EXPECT_NE(blif.find(".outputs po0 po1"), std::string::npos);
+  EXPECT_NE(blif.find(".end"), std::string::npos);
+  // The AND with a complemented second fanin: cover row "10 1".
+  EXPECT_NE(blif.find("10 1"), std::string::npos);
+  // The complemented PO: inverter cover "0 1".
+  EXPECT_NE(blif.find("0 1"), std::string::npos);
+}
+
+TEST(WriterTest, StatsLine) {
+  const std::string s = stats_line(tiny());
+  EXPECT_NE(s.find("tiny"), std::string::npos);
+  EXPECT_NE(s.find("i/o = 2/2"), std::string::npos);
+  EXPECT_NE(s.find("and = 1"), std::string::npos);
+}
+
+TEST(WriterTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/writer_test.blif";
+  write_blif_file(tiny(), path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, ".model tiny");
+}
+
+}  // namespace
+}  // namespace flowgen::aig
