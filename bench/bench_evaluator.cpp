@@ -1,0 +1,140 @@
+// Throughput benchmark for the prefix-sharing flow-evaluation engine.
+// Labels the same batch of m-repetition flows twice — once per-flow from
+// scratch (prefix cache and mapping dedup off), once through the full
+// engine — at equal thread count, and reports flows/sec, cache hit rate and
+// speedup as machine-readable JSON (stdout + optional --json file). The
+// paper's dataset-collection step is exactly this workload.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/flow_space.hpp"
+#include "designs/registry.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace flowgen;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double flows_per_sec = 0.0;
+  core::EvaluatorStats stats;
+  std::vector<map::QoR> qor;
+};
+
+RunResult run(const aig::Aig& design, const std::vector<core::Flow>& flows,
+              const core::EvaluatorConfig& config, std::size_t threads) {
+  core::SynthesisEvaluator evaluator(design, map::CellLibrary::builtin(), {},
+                                     config);
+  util::ThreadPool pool(threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.qor = evaluator.evaluate_many(flows, threads > 1 ? &pool : nullptr);
+  r.seconds = seconds_since(t0);
+  r.flows_per_sec =
+      r.seconds > 0 ? static_cast<double>(flows.size()) / r.seconds : 0.0;
+  r.stats = evaluator.stats();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const std::string design_name = cli.get("design", "alu16");
+  const unsigned m = static_cast<unsigned>(cli.get_int("m", 2));
+  const std::size_t num_flows =
+      static_cast<std::size_t>(cli.get_int("flows", 1000));
+  const std::size_t threads =
+      static_cast<std::size_t>(cli.get_int("threads", 1));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::size_t budget_mb =
+      static_cast<std::size_t>(cli.get_int("budget-mb", 256));
+  const bool skip_naive = cli.get_bool("skip-naive", false);
+
+  const aig::Aig design = designs::make_design(design_name);
+  const core::FlowSpace space(m);
+  util::Rng rng(seed);
+  const std::vector<core::Flow> flows = space.sample_unique(num_flows, rng);
+
+  std::printf("bench_evaluator: design=%s (|AND|=%zu) m=%u L=%u flows=%zu "
+              "threads=%zu\n",
+              design_name.c_str(), design.num_ands(), m, space.length(),
+              num_flows, threads);
+
+  core::EvaluatorConfig naive_cfg;
+  naive_cfg.use_prefix_cache = false;
+  naive_cfg.dedup_mappings = false;
+
+  core::EvaluatorConfig engine_cfg;
+  engine_cfg.prefix_cache.byte_budget = budget_mb << 20;
+
+  RunResult naive;
+  if (!skip_naive) {
+    naive = run(design, flows, naive_cfg, threads);
+    std::printf("  naive : %.2fs  %.1f flows/s\n", naive.seconds,
+                naive.flows_per_sec);
+  }
+  const RunResult engine = run(design, flows, engine_cfg, threads);
+  std::printf("  engine: %.2fs  %.1f flows/s\n", engine.seconds,
+              engine.flows_per_sec);
+
+  bool identical = true;
+  if (!skip_naive) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (naive.qor[i].area_um2 != engine.qor[i].area_um2 ||
+          naive.qor[i].delay_ps != engine.qor[i].delay_ps ||
+          naive.qor[i].num_cells != engine.qor[i].num_cells ||
+          naive.qor[i].num_inverters != engine.qor[i].num_inverters) {
+        identical = false;
+        std::printf("  MISMATCH at flow %zu\n", i);
+        break;
+      }
+    }
+  }
+
+  const double speedup =
+      skip_naive || engine.seconds <= 0 ? 0.0 : naive.seconds / engine.seconds;
+  const auto& st = engine.stats;
+  char json[2048];
+  std::snprintf(
+      json, sizeof json,
+      "{\"design\": \"%s\", \"m\": %u, \"flows\": %zu, \"threads\": %zu,\n"
+      " \"naive_seconds\": %.3f, \"engine_seconds\": %.3f,\n"
+      " \"naive_flows_per_sec\": %.2f, \"engine_flows_per_sec\": %.2f,\n"
+      " \"speedup\": %.2f, \"bit_identical\": %s,\n"
+      " \"prefix_hit_rate\": %.4f, \"prefix_entries\": %zu,"
+      " \"prefix_bytes\": %zu, \"prefix_evictions\": %zu,\n"
+      " \"transforms_applied\": %zu, \"transforms_skipped\": %zu,\n"
+      " \"mappings\": %zu, \"mappings_deduped\": %zu}",
+      design_name.c_str(), m, num_flows, threads, naive.seconds,
+      engine.seconds, naive.flows_per_sec, engine.flows_per_sec, speedup,
+      skip_naive ? "null" : (identical ? "true" : "false"),
+      st.prefix.hit_rate(), st.prefix.entries, st.prefix.bytes,
+      st.prefix.evictions, st.transforms_applied, st.transforms_skipped,
+      st.mappings, st.mappings_deduped);
+  std::printf("%s\n", json);
+
+  const std::string json_path = cli.get("json", "");
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", json);
+      std::fclose(f);
+    }
+  }
+  return (!skip_naive && !identical) ? 1 : 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "bench_evaluator: %s\n", e.what());
+  return 1;
+}

@@ -136,7 +136,7 @@ int main(int argc, char** argv) {
   util::CsvWriter csv("fig8_flows.csv",
                       {"design", "objective", "kind", "area_um2",
                        "delay_ps"});
-  for (const std::string& paper_name : {"mont", "aes", "alu"}) {
+  for (const std::string paper_name : {"mont", "aes", "alu"}) {
     run_design(paper_name, bench::design_for(paper_name, cli.full_scale()),
                scale, threads, csv);
   }

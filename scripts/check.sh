@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Strict gate: configure + build with -Wall -Wextra -Werror, then run the
+# full ctest suite. Optionally under a sanitizer:
+#   SANITIZE=thread  ./scripts/check.sh   # TSan (evaluator determinism etc.)
+#   SANITIZE=address ./scripts/check.sh   # ASan/LSan
+# A sanitizer build uses its own build directory so artifacts never mix.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZE="${SANITIZE:-}"
+BUILD_DIR="${BUILD_DIR:-build-check${SANITIZE:+-$SANITIZE}}"
+JOBS="$(nproc)"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DFLOWGEN_WERROR=ON \
+  ${SANITIZE:+-DSANITIZE="$SANITIZE"} \
+  "$@"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+  ${CTEST_ARGS:-}

@@ -197,4 +197,41 @@ std::string Aig::check() const {
   return err.str();
 }
 
+std::size_t Aig::memory_bytes() const {
+  // Buckets + one heap node per element is the libstdc++ unordered_map
+  // shape; close enough for budget accounting.
+  const std::size_t strash_bytes =
+      strash_.bucket_count() * sizeof(void*) +
+      strash_.size() * (sizeof(std::pair<std::uint64_t, std::uint32_t>) +
+                        2 * sizeof(void*));
+  return sizeof(Aig) + nodes_.capacity() * sizeof(Node) +
+         pis_.capacity() * sizeof(std::uint32_t) +
+         pos_.capacity() * sizeof(Lit) + strash_bytes;
+}
+
+std::array<std::uint64_t, 2> Aig::fingerprint() const {
+  // Two structurally different hash lanes over the full structure: FNV-1a
+  // and a splitmix64-style mixer, so the lanes do not share a multiplier
+  // (correlated lanes would weaken the 128-bit collision claim). The graph
+  // is append-only and normalised, so the node array is a canonical
+  // description: equal sequences <=> equal graphs.
+  std::uint64_t h0 = 1469598103934665603ull;
+  std::uint64_t h1 = 0x9e3779b97f4a7c15ull;
+  auto mix = [&](std::uint64_t v) {
+    h0 = (h0 ^ v) * 1099511628211ull;
+    h1 += v + 0x9e3779b97f4a7c15ull;
+    h1 = (h1 ^ (h1 >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h1 = (h1 ^ (h1 >> 27)) * 0x94d049bb133111ebull;
+    h1 ^= h1 >> 31;
+  };
+  mix(nodes_.size());
+  mix(pis_.size());
+  mix(pos_.size());
+  for (const Node& n : nodes_) {
+    mix((static_cast<std::uint64_t>(n.fanin0) << 32) | n.fanin1);
+  }
+  for (Lit po : pos_) mix(po);
+  return {h0, h1};
+}
+
 }  // namespace flowgen::aig

@@ -5,6 +5,7 @@
 // (complemented literals); structural hashing keeps the graph canonical
 // (no duplicate ANDs, no trivial ANDs).
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -121,6 +122,16 @@ public:
   /// Structural invariant check (strash consistency, operand order,
   /// no trivial nodes); returns an error string, empty when healthy.
   std::string check() const;
+
+  /// Approximate heap footprint of this graph (nodes, PI/PO lists and the
+  /// structural-hash table). Used by byte-budgeted caches of AIG snapshots.
+  std::size_t memory_bytes() const;
+
+  /// 128-bit structural fingerprint: equal graphs (same nodes, fanins, PIs
+  /// and POs in order) always produce equal fingerprints, and distinct
+  /// graphs collide with probability ~2^-128. Lets evaluation caches dedup
+  /// work keyed by graph content instead of by the flow that produced it.
+  std::array<std::uint64_t, 2> fingerprint() const;
 
 private:
   static std::uint64_t strash_key(Lit a, Lit b) {

@@ -18,10 +18,14 @@ bool Cut::subset_of(const Cut& other) const {
 }
 
 bool merge_cuts(const Cut& a, const Cut& b, unsigned k, Cut& out) {
-  // Quick reject: the union has at least popcount(sig_a | sig_b) distinct
-  // leaves only when ids do not alias modulo 64, so this is a safe bound
-  // solely when both cuts are within one 64-id window; keep it conservative
-  // and rely on the exact merge below for correctness.
+  // Quick reject: every set bit of sig_a | sig_b is contributed by at least
+  // one distinct leaf id, so popcount(sig_a | sig_b) is a *lower bound* on
+  // the union's leaf count whatever the ids are — aliasing modulo 64 can
+  // only drop bits, never add them. The exact merge below still handles the
+  // aliased cases the signature cannot see.
+  if (static_cast<unsigned>(std::popcount(a.signature | b.signature)) > k) {
+    return false;
+  }
   out.leaves.clear();
   out.leaves.reserve(a.leaves.size() + b.leaves.size());
   std::size_t i = 0, j = 0;
@@ -46,6 +50,12 @@ bool merge_cuts(const Cut& a, const Cut& b, unsigned k, Cut& out) {
 
 CutManager::CutManager(const Aig& aig, const CutParams& params)
     : params_(params), cuts_(aig.num_nodes()) {
+  // Scratch buffers live across the node loop: `merged`'s spine and the
+  // candidate's leaf array are reused instead of reallocated per node.
+  std::vector<Cut> merged;
+  merged.reserve(params_.max_cuts * 4);
+  Cut candidate;
+  candidate.leaves.reserve(2 * params_.cut_size);
   for (std::uint32_t id = 0; id < aig.num_nodes(); ++id) {
     std::vector<Cut>& set = cuts_[id];
     if (!aig.is_and(id)) {
@@ -59,8 +69,7 @@ CutManager::CutManager(const Aig& aig, const CutParams& params)
     const auto& set_a = cuts_[lit_node(n.fanin0)];
     const auto& set_b = cuts_[lit_node(n.fanin1)];
 
-    std::vector<Cut> merged;
-    Cut candidate;
+    merged.clear();
     for (const Cut& ca : set_a) {
       for (const Cut& cb : set_b) {
         if (!merge_cuts(ca, cb, params_.cut_size, candidate)) continue;
@@ -86,13 +95,14 @@ CutManager::CutManager(const Aig& aig, const CutParams& params)
                        return a.leaves.size() < b.leaves.size();
                      });
     if (merged.size() > params_.max_cuts) merged.resize(params_.max_cuts);
+    set.reserve(merged.size() + (params_.keep_trivial ? 1 : 0));
+    for (Cut& c : merged) set.push_back(std::move(c));
     if (params_.keep_trivial) {
       Cut trivial;
       trivial.leaves = {id};
       trivial.compute_signature();
-      merged.push_back(std::move(trivial));
+      set.push_back(std::move(trivial));
     }
-    set = std::move(merged);
   }
 }
 

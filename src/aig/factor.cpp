@@ -175,10 +175,10 @@ namespace {
 Lit build_shannon_rec(
     Aig& aig, const TruthTable& tt, const std::vector<Lit>& inputs,
     unsigned top_var,
-    std::map<std::vector<std::uint64_t>, Lit>& memo) {
+    std::map<TruthTable, Lit>& memo) {
   if (tt.is_const0()) return kLitFalse;
   if (tt.is_const1()) return kLitTrue;
-  if (const auto it = memo.find(tt.words()); it != memo.end()) {
+  if (const auto it = memo.find(tt); it != memo.end()) {
     return it->second;
   }
   // Expand on the highest essential variable.
@@ -196,7 +196,7 @@ Lit build_shannon_rec(
   const Lit hi = build_shannon_rec(aig, tt.cofactor1(var), inputs, var, memo);
   const Lit lo = build_shannon_rec(aig, tt.cofactor0(var), inputs, var, memo);
   const Lit result = aig.lmux(inputs[var], hi, lo);
-  memo.emplace(tt.words(), result);
+  memo.emplace(tt, result);
   return result;
 }
 
@@ -205,7 +205,7 @@ Lit build_shannon_rec(
 Lit build_shannon(Aig& aig, const TruthTable& tt,
                   const std::vector<Lit>& inputs) {
   assert(inputs.size() >= tt.num_vars());
-  std::map<std::vector<std::uint64_t>, Lit> memo;
+  std::map<TruthTable, Lit> memo;
   return build_shannon_rec(aig, tt, inputs, tt.num_vars(), memo);
 }
 

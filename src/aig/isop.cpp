@@ -47,13 +47,13 @@ IsopResult isop_rec(const TruthTable& lower, const TruthTable& upper,
   const TruthTable u1 = upper.cofactor1(var);
 
   // Minterms of each cofactor that can only be covered on that side.
-  IsopResult neg_side = isop_rec(l0 & ~u1, u0, var);
-  IsopResult pos_side = isop_rec(l1 & ~u0, u1, var);
+  IsopResult neg_side = isop_rec(TruthTable::and_compl(l0, u1), u0, var);
+  IsopResult pos_side = isop_rec(TruthTable::and_compl(l1, u0), u1, var);
 
   // What remains must be covered by cubes independent of `var`.
-  const TruthTable rest0 = l0 & ~neg_side.cover;
-  const TruthTable rest1 = l1 & ~pos_side.cover;
-  IsopResult both = isop_rec(rest0 | rest1, u0 & u1, var);
+  TruthTable rest = TruthTable::and_compl(l0, neg_side.cover);
+  rest |= TruthTable::and_compl(l1, pos_side.cover);
+  IsopResult both = isop_rec(rest, u0 & u1, var);
 
   IsopResult out;
   out.cubes.reserve(neg_side.cubes.size() + pos_side.cubes.size() +
@@ -68,9 +68,8 @@ IsopResult isop_rec(const TruthTable& lower, const TruthTable& upper,
   }
   for (const Cube& c : both.cubes) out.cubes.push_back(c);
 
-  const TruthTable var_tt = TruthTable::variable(lower.num_vars(), var);
-  out.cover = (neg_side.cover & ~var_tt) | (pos_side.cover & var_tt) |
-              both.cover;
+  out.cover = TruthTable::mux_var(var, pos_side.cover, neg_side.cover);
+  out.cover |= both.cover;
   return out;
 }
 

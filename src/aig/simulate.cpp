@@ -80,11 +80,8 @@ TruthTable cone_truth(const Aig& aig, Lit root,
     const bool have_a = tt.count(a) > 0;
     const bool have_b = tt.count(b) > 0;
     if (have_a && have_b) {
-      TruthTable ta = tt.at(a);
-      if (lit_is_compl(n.fanin0)) ta = ~ta;
-      TruthTable tb = tt.at(b);
-      if (lit_is_compl(n.fanin1)) tb = ~tb;
-      tt.emplace(id, ta & tb);
+      tt.emplace(id, TruthTable::and_phase(tt.at(a), lit_is_compl(n.fanin0),
+                                           tt.at(b), lit_is_compl(n.fanin1)));
       stack.pop_back();
     } else {
       if (!have_a) stack.push_back(a);

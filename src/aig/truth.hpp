@@ -2,8 +2,17 @@
 // Dynamic truth tables over up to 16 variables, bit-packed into 64-bit words.
 // Used for cut functions (rewrite/refactor/resub), library matching in the
 // technology mapper, and the Rijndael S-box elaboration.
+//
+// Storage: tables of up to 8 variables (4 words) live inline — no heap
+// traffic. The synthesis inner loops (ISOP, resubstitution, cut matching)
+// construct millions of such tables per pass, so this is the difference
+// between allocator-bound and compute-bound transforms. Larger tables
+// (9..16 vars) fall back to a heap block.
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,6 +24,12 @@ public:
   /// All-zero function of `num_vars` variables.
   explicit TruthTable(unsigned num_vars);
 
+  TruthTable(const TruthTable& o);
+  TruthTable(TruthTable&& o) noexcept;
+  TruthTable& operator=(const TruthTable& o);
+  TruthTable& operator=(TruthTable&& o) noexcept;
+  ~TruthTable() = default;
+
   static TruthTable constant(unsigned num_vars, bool value);
   /// Projection x_i of `num_vars` variables.
   static TruthTable variable(unsigned num_vars, unsigned index);
@@ -23,8 +38,10 @@ public:
 
   unsigned num_vars() const { return num_vars_; }
   std::size_t num_bits() const { return std::size_t{1} << num_vars_; }
-  std::size_t num_words() const { return words_.size(); }
-  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::size_t num_words() const { return num_words_; }
+  std::span<const std::uint64_t> words() const {
+    return {data(), num_words_};
+  }
 
   bool bit(std::size_t minterm) const;
   void set_bit(std::size_t minterm, bool value);
@@ -35,8 +52,32 @@ public:
   TruthTable operator~() const;
   bool operator==(const TruthTable& o) const;
   bool operator!=(const TruthTable& o) const { return !(*this == o); }
-  /// Lexicographic comparison of the word vectors (for canonical forms).
-  bool operator<(const TruthTable& o) const { return words_ < o.words_; }
+  /// Lexicographic comparison of the word arrays (for canonical forms).
+  bool operator<(const TruthTable& o) const;
+
+  // Allocation-free kernels for the resubstitution/ISOP inner loops, which
+  // used to materialise millions of temporary tables per pass (the dominant
+  // cost of `restructure`/`refactor` on paper-scale designs).
+
+  /// *this == ~o without building ~o.
+  bool equals_compl(const TruthTable& o) const;
+  /// ((a ^ ca) & (b ^ cb)) == (*this ^ ct) without temporaries; early-exits
+  /// on the first mismatching word.
+  bool matches_and(const TruthTable& a, bool ca, const TruthTable& b, bool cb,
+                   bool ct) const;
+  /// (a ^ ca) & (b ^ cb) in a single construction.
+  static TruthTable and_phase(const TruthTable& a, bool ca,
+                              const TruthTable& b, bool cb);
+  /// a & ~b in a single construction (the ISOP recursion's workhorse).
+  static TruthTable and_compl(const TruthTable& a, const TruthTable& b) {
+    return and_phase(a, false, b, true);
+  }
+  /// var ? t1 : t0 in a single construction (merging ISOP cofactor covers).
+  static TruthTable mux_var(unsigned var, const TruthTable& t1,
+                            const TruthTable& t0);
+
+  TruthTable& operator|=(const TruthTable& o);
+  TruthTable& operator&=(const TruthTable& o);
 
   bool is_const0() const;
   bool is_const1() const;
@@ -58,13 +99,23 @@ public:
   /// Hex string (MSB-first words) for debugging / hashing.
   std::string to_hex() const;
   /// Low 64 bits, padded by repetition for functions with < 6 vars.
-  std::uint64_t low_word() const { return words_.empty() ? 0 : words_[0]; }
+  std::uint64_t low_word() const { return num_words_ ? data()[0] : 0; }
 
 private:
+  static constexpr std::uint32_t kInlineWords = 4;  // up to 8 variables
+
+  const std::uint64_t* data() const {
+    return num_words_ <= kInlineWords ? inline_.data() : heap_.get();
+  }
+  std::uint64_t* data() {
+    return num_words_ <= kInlineWords ? inline_.data() : heap_.get();
+  }
   void mask_tail();
 
   unsigned num_vars_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::uint32_t num_words_ = 0;
+  std::array<std::uint64_t, kInlineWords> inline_{};
+  std::unique_ptr<std::uint64_t[]> heap_;
 };
 
 }  // namespace flowgen::aig

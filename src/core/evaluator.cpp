@@ -1,28 +1,103 @@
 #include "core/evaluator.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
 #include "opt/transform.hpp"
 
 namespace flowgen::core {
 
 SynthesisEvaluator::SynthesisEvaluator(aig::Aig design,
                                        const map::CellLibrary& lib,
-                                       map::MapperParams mapper_params)
-    : design_(std::move(design)), lib_(lib), mapper_params_(mapper_params) {}
+                                       map::MapperParams mapper_params,
+                                       EvaluatorConfig config)
+    : design_(std::move(design)),
+      lib_(lib),
+      mapper_params_(mapper_params),
+      config_(config) {
+  const std::size_t n = round_up_shards(config_.qor_shards);
+  shard_mask_ = n - 1;
+  shards_ = std::vector<QorShard>(n);
+  if (config_.use_prefix_cache) {
+    prefix_cache_ = std::make_unique<PrefixFlowCache>(config_.prefix_cache);
+  }
+}
 
 map::QoR SynthesisEvaluator::evaluate(const Flow& flow) const {
-  const std::string key = flow.key();
+  const StepsView steps(flow.steps);
+  QorShard& shard = shard_for_flow(steps);
   {
-    std::lock_guard lock(mutex_);
-    if (const auto it = cache_.find(key); it != cache_.end()) {
+    std::lock_guard lock(shard.mutex);
+    if (const auto it = shard.by_flow.find(steps);
+        it != shard.by_flow.end()) {
       return it->second;
     }
   }
-  const aig::Aig synthesized = opt::apply_flow(design_, flow.steps);
-  const map::QoR qor = map::evaluate_qor(synthesized, lib_, mapper_params_);
+  const map::QoR qor = evaluate_uncached(steps);
   {
-    std::lock_guard lock(mutex_);
-    ++evaluations_;
-    cache_.emplace(key, qor);
+    std::lock_guard lock(shard.mutex);
+    if (shard.by_flow.emplace(StepsKey(steps.begin(), steps.end()), qor)
+            .second) {
+      evaluations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return qor;
+}
+
+map::QoR SynthesisEvaluator::evaluate_uncached(StepsView steps) const {
+  if (steps.empty()) return map_deduped(design_);
+  if (!prefix_cache_) {
+    // First step reads design_ directly — no upfront copy of the base
+    // graph (apply_transform builds a fresh one anyway).
+    aig::Aig g = opt::apply_transform(design_, steps[0]);
+    opt::apply_flow_inplace(g, steps.subspan(1));
+    transforms_applied_.fetch_add(steps.size(), std::memory_order_relaxed);
+    return map_deduped(g);
+  }
+  // Resume from the deepest cached prefix (design_ itself when nothing is
+  // cached), then share every intermediate graph with the cache as
+  // evaluation produces it. Snapshots are the evaluation's own results
+  // moved into shared_ptrs — caching costs no graph copies, only retention.
+  std::size_t depth = 0;
+  std::shared_ptr<const aig::Aig> cur;  // null = still at design_
+  if (const auto hit = prefix_cache_->longest_prefix(steps); hit.aig) {
+    depth = hit.depth;
+    cur = hit.aig;
+    transforms_skipped_.fetch_add(depth, std::memory_order_relaxed);
+  }
+  for (std::size_t i = depth; i < steps.size(); ++i) {
+    cur = std::make_shared<const aig::Aig>(
+        opt::apply_transform(cur ? *cur : design_, steps[i]));
+    transforms_applied_.fetch_add(1, std::memory_order_relaxed);
+    // The full flow's graph is not a prefix of anything: skip the last step.
+    if (i + 1 < steps.size()) {
+      prefix_cache_->insert(steps.subspan(0, i + 1), cur);
+    }
+  }
+  return map_deduped(*cur);
+}
+
+map::QoR SynthesisEvaluator::map_deduped(const aig::Aig& g) const {
+  if (!config_.dedup_mappings) {
+    mappings_.fetch_add(1, std::memory_order_relaxed);
+    return map::evaluate_qor(g, lib_, mapper_params_);
+  }
+  const Fingerprint fp = g.fingerprint();
+  QorShard& shard = shard_for_fp(fp);
+  {
+    std::lock_guard lock(shard.mutex);
+    if (const auto it = shard.by_fingerprint.find(fp);
+        it != shard.by_fingerprint.end()) {
+      mappings_deduped_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  const map::QoR qor = map::evaluate_qor(g, lib_, mapper_params_);
+  mappings_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.by_fingerprint.emplace(fp, qor);
   }
   return qor;
 }
@@ -30,22 +105,52 @@ map::QoR SynthesisEvaluator::evaluate(const Flow& flow) const {
 std::vector<map::QoR> SynthesisEvaluator::evaluate_many(
     std::span<const Flow> flows, util::ThreadPool* pool) const {
   std::vector<map::QoR> out(flows.size());
-  if (pool == nullptr) {
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-      out[i] = evaluate(flows[i]);
-    }
+  // Lexicographic step order puts flows sharing a prefix back to back, so
+  // each one resumes from the snapshot its predecessor just wrote.
+  std::vector<std::size_t> order(flows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return flows[a].steps < flows[b].steps;
+  });
+  if (pool == nullptr || pool->size() <= 1 || flows.size() <= 1) {
+    for (const std::size_t idx : order) out[idx] = evaluate(flows[idx]);
     return out;
   }
-  pool->parallel_for(flows.size(),
-                     [&](std::size_t i) { out[i] = evaluate(flows[i]); });
+  // Contiguous groups of the sorted order keep prefix locality within one
+  // worker; a few groups per worker give the dynamic scheduler slack for
+  // uneven flow runtimes.
+  const std::size_t groups =
+      std::min(flows.size(), pool->size() * 4);
+  pool->parallel_for(groups, [&](std::size_t gi) {
+    const std::size_t begin = gi * order.size() / groups;
+    const std::size_t end = (gi + 1) * order.size() / groups;
+    for (std::size_t i = begin; i < end; ++i) {
+      out[order[i]] = evaluate(flows[order[i]]);
+    }
+  });
   return out;
 }
 
 map::QoR SynthesisEvaluator::baseline() const { return evaluate(Flow{}); }
 
 std::size_t SynthesisEvaluator::cache_size() const {
-  std::lock_guard lock(mutex_);
-  return cache_.size();
+  std::size_t total = 0;
+  for (const QorShard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.by_flow.size();
+  }
+  return total;
+}
+
+EvaluatorStats SynthesisEvaluator::stats() const {
+  EvaluatorStats s;
+  s.evaluations = evaluations_.load(std::memory_order_relaxed);
+  s.transforms_applied = transforms_applied_.load(std::memory_order_relaxed);
+  s.transforms_skipped = transforms_skipped_.load(std::memory_order_relaxed);
+  s.mappings = mappings_.load(std::memory_order_relaxed);
+  s.mappings_deduped = mappings_deduped_.load(std::memory_order_relaxed);
+  if (prefix_cache_) s.prefix = prefix_cache_->stats();
+  return s;
 }
 
 }  // namespace flowgen::core

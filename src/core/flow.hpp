@@ -3,8 +3,11 @@
 // paper). Flows hash and compare by value so sampling can enforce
 // uniqueness.
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,13 +15,53 @@
 
 namespace flowgen::core {
 
+/// A flow prefix/key in its packed form: TransformKind is a uint8 enum, so
+/// the step sequence itself is the byte encoding — no string materialised.
+using StepsView = std::span<const opt::TransformKind>;
+using StepsKey = std::vector<opt::TransformKind>;
+
+/// FNV-1a over the packed steps; hashes any prefix without allocating.
+/// Transparent so unordered containers keyed by StepsKey can be probed with
+/// a borrowed StepsView (C++20 heterogeneous lookup).
+struct StepsHash {
+  using is_transparent = void;
+  std::size_t operator()(StepsView s) const noexcept {
+    std::uint64_t h = 1469598103934665603ull;
+    for (opt::TransformKind t : s) {
+      h = (h ^ static_cast<std::uint8_t>(t)) * 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+  std::size_t operator()(const StepsKey& v) const noexcept {
+    return (*this)(StepsView(v));
+  }
+};
+
+struct StepsEqual {
+  using is_transparent = void;
+  bool operator()(StepsView a, StepsView b) const noexcept {
+    return a.size() == b.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+  bool operator()(const StepsKey& a, const StepsKey& b) const noexcept {
+    return a == b;
+  }
+  bool operator()(const StepsKey& a, StepsView b) const noexcept {
+    return (*this)(StepsView(a), b);
+  }
+  bool operator()(StepsView a, const StepsKey& b) const noexcept {
+    return (*this)(a, StepsView(b));
+  }
+};
+
 struct Flow {
   std::vector<opt::TransformKind> steps;
 
   std::size_t length() const { return steps.size(); }
   bool operator==(const Flow&) const = default;
 
-  /// Compact digit key ("203514...") for hashing/caching.
+  /// Compact digit key ("203514...") for I/O and reports. Hot paths hash
+  /// the packed `steps` directly (StepsHash) instead of materialising this.
   std::string key() const;
   /// Human-readable ABC-style script ("balance; rewrite -z; ...").
   std::string to_string() const;
@@ -31,8 +74,8 @@ struct Flow {
 };
 
 struct FlowHash {
-  std::size_t operator()(const Flow& f) const {
-    return std::hash<std::string>{}(f.key());
+  std::size_t operator()(const Flow& f) const noexcept {
+    return StepsHash{}(StepsView(f.steps));
   }
 };
 

@@ -1,0 +1,82 @@
+#include "core/flow_cache.hpp"
+
+namespace flowgen::core {
+
+PrefixFlowCache::PrefixFlowCache(FlowCacheConfig config)
+    : config_(config) {
+  const std::size_t n = round_up_shards(config_.shards);
+  shard_mask_ = n - 1;
+  budget_per_shard_ = config_.byte_budget / n;
+  shards_ = std::vector<Shard>(n);
+}
+
+PrefixFlowCache::Hit PrefixFlowCache::longest_prefix(StepsView steps) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t start =
+      std::min(steps.size(), config_.max_snapshot_depth);
+  for (std::size_t len = start; len > 0; --len) {
+    const StepsView prefix = steps.subspan(0, len);
+    Shard& shard = shard_for(prefix);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.index.find(prefix);
+    if (it == shard.index.end()) continue;
+    // Touch: move to the front of the LRU list.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    steps_saved_.fetch_add(len, std::memory_order_relaxed);
+    return Hit{len, it->second->aig};
+  }
+  return {};
+}
+
+void PrefixFlowCache::insert(StepsView steps,
+                             std::shared_ptr<const aig::Aig> aig) {
+  if (!aig || steps.empty() || steps.size() > config_.max_snapshot_depth) {
+    return;
+  }
+  const std::size_t bytes = aig->memory_bytes() +
+                            steps.size() * sizeof(opt::TransformKind) +
+                            sizeof(Entry);
+  if (bytes > budget_per_shard_) return;  // would evict the whole shard
+  Shard& shard = shard_for(steps);
+  std::lock_guard lock(shard.mutex);
+  if (shard.index.contains(steps)) return;  // first snapshot wins
+  shard.lru.push_front(
+      Entry{StepsKey(steps.begin(), steps.end()), std::move(aig), bytes});
+  shard.index.emplace(shard.lru.front().key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++shard.insertions;
+  while (shard.bytes > budget_per_shard_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+FlowCacheStats PrefixFlowCache::stats() const {
+  FlowCacheStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.steps_saved = steps_saved_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    s.entries += shard.index.size();
+    s.bytes += shard.bytes;
+    s.evictions += shard.evictions;
+    s.insertions += shard.insertions;
+  }
+  return s;
+}
+
+void PrefixFlowCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+}  // namespace flowgen::core

@@ -25,7 +25,7 @@ namespace {
 
 struct Divisor {
   std::uint32_t node = 0;
-  TruthTable tt;
+  const TruthTable* tt = nullptr;  ///< stable pointer into the window map
 };
 
 /// Fanout adjacency of the original graph, built once per pass so divisor
@@ -81,8 +81,8 @@ Aig restructure(const Aig& in, const RestructureParams& params) {
     divisors.reserve(params.max_divisors);
     std::vector<std::uint32_t> frontier;
     for (unsigned i = 0; i < nv; ++i) {
-      tts.emplace(leaves[i], TruthTable::variable(nv, i));
-      divisors.push_back(Divisor{leaves[i], tts.at(leaves[i])});
+      const auto it = tts.emplace(leaves[i], TruthTable::variable(nv, i));
+      divisors.push_back(Divisor{leaves[i], &it.first->second});
       frontier.push_back(leaves[i]);
     }
     while (!frontier.empty() && divisors.size() < params.max_divisors) {
@@ -98,14 +98,13 @@ Aig restructure(const Aig& in, const RestructureParams& params) {
         const auto it0 = tts.find(lit_node(n.fanin0));
         const auto it1 = tts.find(lit_node(n.fanin1));
         if (it0 == tts.end() || it1 == tts.end()) continue;
-        TruthTable t0 = it0->second;
-        if (lit_is_compl(n.fanin0)) t0 = ~t0;
-        TruthTable t1 = it1->second;
-        if (lit_is_compl(n.fanin1)) t1 = ~t1;
-        tts.emplace(candidate, t0 & t1);
+        const auto it = tts.emplace(
+            candidate,
+            TruthTable::and_phase(it0->second, lit_is_compl(n.fanin0),
+                                  it1->second, lit_is_compl(n.fanin1)));
         frontier.push_back(candidate);
         if (!mffc_set.count(candidate)) {
-          divisors.push_back(Divisor{candidate, tts.at(candidate)});
+          divisors.push_back(Divisor{candidate, &it.first->second});
           if (divisors.size() >= params.max_divisors) break;
         }
       }
@@ -118,11 +117,8 @@ Aig restructure(const Aig& in, const RestructureParams& params) {
     const auto rt1 = tts.find(lit_node(root.fanin1));
     TruthTable target;
     if (rt0 != tts.end() && rt1 != tts.end()) {
-      TruthTable t0 = rt0->second;
-      if (lit_is_compl(root.fanin0)) t0 = ~t0;
-      TruthTable t1 = rt1->second;
-      if (lit_is_compl(root.fanin1)) t1 = ~t1;
-      target = t0 & t1;
+      target = TruthTable::and_phase(rt0->second, lit_is_compl(root.fanin0),
+                                     rt1->second, lit_is_compl(root.fanin1));
     } else {
       // Fanins were pruned from the closure (e.g. inside a terminal's
       // cone); fall back to exact cone evaluation.
@@ -138,17 +134,18 @@ Aig restructure(const Aig& in, const RestructureParams& params) {
     // 0-resub: an existing divisor already computes the function.
     for (const Divisor& d : divisors) {
       if (d.node == id) continue;
-      if (d.tt == target) {
+      if (*d.tt == target) {
         replacement = make_lit(d.node, false);
         break;
       }
-      if (d.tt == ~target) {
+      if (d.tt->equals_compl(target)) {
         replacement = make_lit(d.node, true);
         break;
       }
     }
 
     // 1-resub: one new AND of two divisors, any phases (OR via De Morgan).
+    // matches_and keeps this O(divisors^2) scan allocation-free.
     long cost = 0;
     if (replacement == aig::kLitInvalid && mffc >= 2) {
       for (std::size_t i = 0;
@@ -156,15 +153,14 @@ Aig restructure(const Aig& in, const RestructureParams& params) {
         for (std::size_t j = i + 1;
              j < divisors.size() && replacement == aig::kLitInvalid; ++j) {
           for (unsigned phases = 0; phases < 4; ++phases) {
-            TruthTable ta = divisors[i].tt;
-            if (phases & 1) ta = ~ta;
-            TruthTable tb = divisors[j].tt;
-            if (phases & 2) tb = ~tb;
-            const TruthTable conj = ta & tb;
             bool out_compl = false;
-            if (conj == target) {
+            if (target.matches_and(*divisors[i].tt, (phases & 1) != 0,
+                                   *divisors[j].tt, (phases & 2) != 0,
+                                   false)) {
               out_compl = false;
-            } else if (conj == ~target) {
+            } else if (target.matches_and(*divisors[i].tt, (phases & 1) != 0,
+                                          *divisors[j].tt, (phases & 2) != 0,
+                                          true)) {
               out_compl = true;
             } else {
               continue;

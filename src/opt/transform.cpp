@@ -61,11 +61,14 @@ aig::Aig apply_transform(const aig::Aig& in, TransformKind kind) {
   throw std::invalid_argument("unknown transform kind");
 }
 
-aig::Aig apply_flow(const aig::Aig& in,
-                    const std::vector<TransformKind>& flow) {
+aig::Aig apply_flow(const aig::Aig& in, std::span<const TransformKind> flow) {
   aig::Aig g = in;
-  for (TransformKind kind : flow) g = apply_transform(g, kind);
+  apply_flow_inplace(g, flow);
   return g;
+}
+
+void apply_flow_inplace(aig::Aig& g, std::span<const TransformKind> flow) {
+  for (TransformKind kind : flow) g = apply_transform(g, kind);
 }
 
 }  // namespace flowgen::opt

@@ -5,6 +5,7 @@
 // TransformKind (or names, matching the ABC command names as in the paper).
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,7 +38,11 @@ TransformKind transform_from_name(const std::string& name);
 aig::Aig apply_transform(const aig::Aig& in, TransformKind kind);
 
 /// Run a whole flow (sequence of transforms) left to right.
-aig::Aig apply_flow(const aig::Aig& in,
-                    const std::vector<TransformKind>& flow);
+aig::Aig apply_flow(const aig::Aig& in, std::span<const TransformKind> flow);
+
+/// Flow application on a mutable working graph: skips the upfront copy of
+/// the input that `apply_flow` pays; each step rebuilds into a fresh graph
+/// and move-assigns it over `g`.
+void apply_flow_inplace(aig::Aig& g, std::span<const TransformKind> flow);
 
 }  // namespace flowgen::opt

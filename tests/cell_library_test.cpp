@@ -15,7 +15,6 @@ const CellLibrary& lib() { return CellLibrary::builtin(); }
 /// binding and polarity fixes; must reproduce `tt` exactly.
 void expect_match_implements(const Match& m, const TruthTable& tt) {
   const Cell& cell = lib().cell(m.cell_id);
-  const unsigned nv = tt.num_vars();
   for (std::size_t minterm = 0; minterm < tt.num_bits(); ++minterm) {
     std::size_t cell_input = 0;
     for (unsigned pin = 0; pin < cell.num_inputs; ++pin) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 
 #include "aig/simulate.hpp"
 #include "designs/alu.hpp"
@@ -33,6 +34,32 @@ TEST(CutsTest, MergeKeepsSorted) {
   Cut out;
   ASSERT_TRUE(merge_cuts(make_cut({2, 9}), make_cut({1, 5}), 4, out));
   EXPECT_TRUE(std::is_sorted(out.leaves.begin(), out.leaves.end()));
+}
+
+TEST(CutsTest, MergeRejectsOversizeWithAliasedSignatures) {
+  // All four ids in each cut alias to one signature bit (id & 63), so
+  // popcount(sig_a | sig_b) = 2 <= k even though the union has 8 distinct
+  // leaves. The exact merge must still reject; only the signature
+  // quick-reject is allowed to be optimistic, never the final answer.
+  Cut out;
+  EXPECT_FALSE(merge_cuts(make_cut({0, 64, 128, 192}),
+                          make_cut({1, 65, 129, 193}), 4, out));
+}
+
+TEST(CutsTest, QuickRejectBoundIsSafeUnderAliasing) {
+  // {1, 65} alias to the same bit: signature popcount underestimates the
+  // leaf count, which is the safe direction for the popcount > k reject.
+  const Cut a = make_cut({1, 65});
+  EXPECT_EQ(std::popcount(a.signature), 1);
+  Cut out;
+  ASSERT_TRUE(merge_cuts(a, make_cut({2, 66}), 4, out));
+  EXPECT_EQ(out.leaves, (std::vector<std::uint32_t>{1, 2, 65, 66}));
+}
+
+TEST(CutsTest, QuickRejectFiresOnDisjointSignatures) {
+  // 6 distinct signature bits with k = 4: rejected before any merging.
+  Cut out;
+  EXPECT_FALSE(merge_cuts(make_cut({1, 2, 3}), make_cut({4, 5, 6}), 4, out));
 }
 
 TEST(CutsTest, SubsetDominance) {

@@ -69,6 +69,110 @@ TEST(EvaluatorTest, EvaluationIsDeterministic) {
   EXPECT_DOUBLE_EQ(q1.delay_ps, q2.delay_ps);
 }
 
+// --- prefix-sharing engine ---------------------------------------------
+
+EvaluatorConfig naive_config() {
+  EvaluatorConfig cfg;
+  cfg.use_prefix_cache = false;
+  cfg.dedup_mappings = false;
+  return cfg;
+}
+
+std::vector<Flow> sample_flows(std::size_t count, std::uint64_t seed,
+                               unsigned m = 2) {
+  const FlowSpace space(m);
+  util::Rng rng(seed);
+  return space.sample_unique(count, rng);
+}
+
+void expect_identical(const std::vector<map::QoR>& a,
+                      const std::vector<map::QoR>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bit-identical, not approximately equal: every path must compute the
+    // exact same mapping of the exact same graph.
+    EXPECT_EQ(a[i].area_um2, b[i].area_um2) << "flow " << i;
+    EXPECT_EQ(a[i].delay_ps, b[i].delay_ps) << "flow " << i;
+    EXPECT_EQ(a[i].num_cells, b[i].num_cells) << "flow " << i;
+    EXPECT_EQ(a[i].num_inverters, b[i].num_inverters) << "flow " << i;
+  }
+}
+
+TEST(EvaluatorEngineTest, PrefixEngineMatchesFromScratch) {
+  const aig::Aig g = designs::make_design("alu:4");
+  SynthesisEvaluator naive(g, map::CellLibrary::builtin(), {},
+                           naive_config());
+  SynthesisEvaluator engine(g);
+  const auto flows = sample_flows(10, 7);
+  expect_identical(naive.evaluate_many(flows),
+                   engine.evaluate_many(flows));
+  // The engine actually reused prefixes while doing it.
+  EXPECT_GT(engine.stats().transforms_skipped, 0u);
+  EXPECT_GT(engine.stats().prefix.hit_rate(), 0.0);
+}
+
+TEST(EvaluatorEngineTest, SerialParallelAndWarmAreBitIdentical) {
+  const aig::Aig g = designs::make_design("alu:4");
+  SynthesisEvaluator serial(g);
+  SynthesisEvaluator parallel(g);
+  const auto flows = sample_flows(12, 8);
+
+  const auto serial_cold = serial.evaluate_many(flows, nullptr);
+  util::ThreadPool pool(4);
+  const auto parallel_cold = parallel.evaluate_many(flows, &pool);
+  const auto parallel_warm = parallel.evaluate_many(flows, &pool);
+  const auto serial_warm = serial.evaluate_many(flows, nullptr);
+
+  expect_identical(serial_cold, parallel_cold);
+  expect_identical(serial_cold, parallel_warm);
+  expect_identical(serial_cold, serial_warm);
+  // Warm passes are pure QoR-cache hits.
+  EXPECT_EQ(parallel.evaluations(), flows.size());
+  EXPECT_EQ(serial.evaluations(), flows.size());
+}
+
+TEST(EvaluatorEngineTest, TinyPrefixBudgetStaysExact) {
+  const aig::Aig g = designs::make_design("alu:4");
+  EvaluatorConfig cfg;
+  cfg.prefix_cache.byte_budget = 1 << 16;  // constant eviction pressure
+  cfg.prefix_cache.shards = 2;
+  SynthesisEvaluator tiny(g, map::CellLibrary::builtin(), {}, cfg);
+  SynthesisEvaluator naive(g, map::CellLibrary::builtin(), {},
+                           naive_config());
+  const auto flows = sample_flows(8, 9);
+  expect_identical(naive.evaluate_many(flows), tiny.evaluate_many(flows));
+}
+
+TEST(EvaluatorEngineTest, StatsAccountForEveryStep) {
+  const aig::Aig g = designs::make_design("alu:4");
+  SynthesisEvaluator engine(g);
+  const auto flows = sample_flows(6, 10);
+  // Serial batch: the exact counter invariants below only hold without
+  // concurrent duplicate evaluations (see EvaluatorStats).
+  engine.evaluate_many(flows);
+  std::size_t total_steps = 0;
+  for (const Flow& f : flows) total_steps += f.length();
+  const EvaluatorStats s = engine.stats();
+  EXPECT_EQ(s.transforms_applied + s.transforms_skipped, total_steps);
+  EXPECT_EQ(s.evaluations, flows.size());
+  EXPECT_EQ(s.mappings + s.mappings_deduped, flows.size());
+}
+
+TEST(EvaluatorEngineTest, ConcurrentSharedCacheIsDeterministic) {
+  // Two pools hammer one evaluator; prefix cache and QoR shards are shared.
+  const aig::Aig g = designs::make_design("alu:4");
+  SynthesisEvaluator engine(g);
+  const auto flows = sample_flows(16, 11);
+  util::ThreadPool pool(4);
+  const auto first = engine.evaluate_many(flows, &pool);
+  const auto second = engine.evaluate_many(flows, &pool);
+  SynthesisEvaluator reference(g, map::CellLibrary::builtin(), {},
+                               naive_config());
+  const auto expected = reference.evaluate_many(flows, nullptr);
+  expect_identical(expected, first);
+  expect_identical(expected, second);
+}
+
 TEST(EvaluatorTest, QorStringFormat) {
   map::QoR q;
   q.area_um2 = 12.345;

@@ -34,6 +34,18 @@ TEST(TransformTest, ApplyFlowComposesAllTransforms) {
   EXPECT_EQ(out.check(), "");
 }
 
+TEST(TransformTest, InplaceFlowMatchesCopyingFlow) {
+  const aig::Aig g = designs::make_alu(6);
+  const auto& flow = paper_transform_set();
+  const aig::Aig copied = apply_flow(g, flow);
+  aig::Aig inplace = g;
+  apply_flow_inplace(inplace, flow);
+  EXPECT_EQ(inplace.num_ands(), copied.num_ands());
+  EXPECT_EQ(inplace.depth(), copied.depth());
+  EXPECT_EQ(inplace.fingerprint(), copied.fingerprint());
+  EXPECT_EQ(inplace.check(), "");
+}
+
 TEST(TransformTest, EmptyFlowIsIdentity) {
   const aig::Aig g = designs::make_alu(4);
   const aig::Aig out = apply_flow(g, {});
