@@ -1,0 +1,139 @@
+// Distributed-labeling benchmark: the same 1000-flow m=2 batch the
+// evaluator bench labels, pushed through the evaluation service at
+// increasing loopback worker counts, against the in-process engine as the
+// reference. Emits machine-readable JSON (BENCH_service_<design>.json) so
+// the perf trajectory captures distributed scaling alongside single-process
+// numbers. Results are cross-checked bit-identical against in-process
+// evaluation — a wrong answer fails the bench, not just the speedup.
+//
+// Note: worker processes only help wall-clock when the host has cores for
+// them (each loopback worker is a full synthesis process). On a 1-core
+// host the curve is flat and the bench says so in the JSON (host_cores).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/flow_space.hpp"
+#include "designs/registry.hpp"
+#include "service/remote_evaluator.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace flowgen;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Run {
+  std::size_t workers = 0;  ///< 0 = in-process
+  double seconds = 0.0;
+  double flows_per_sec = 0.0;
+  bool identical = true;
+  std::size_t shards = 0;
+  std::size_t requeues = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const std::string design_name = cli.get("design", "alu16");
+  const unsigned m = static_cast<unsigned>(cli.get_int("m", 2));
+  const std::size_t num_flows =
+      static_cast<std::size_t>(cli.get_int("flows", 1000));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::size_t max_workers =
+      static_cast<std::size_t>(cli.get_int("max-workers", 8));
+
+  const core::FlowSpace space(m);
+  util::Rng rng(seed);
+  const std::vector<core::Flow> flows = space.sample_unique(num_flows, rng);
+
+  std::printf("bench_service: design=%s m=%u flows=%zu host_cores=%u\n",
+              design_name.c_str(), m, num_flows,
+              std::thread::hardware_concurrency());
+
+  // In-process reference (single thread) — also the bit-identity oracle.
+  core::SynthesisEvaluator in_process(designs::make_design(design_name));
+  Run reference;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto qor = in_process.evaluate_many(flows);
+    reference.seconds = seconds_since(t0);
+    reference.flows_per_sec =
+        static_cast<double>(num_flows) / reference.seconds;
+    std::printf("  in-process      : %.2fs  %.1f flows/s\n",
+                reference.seconds, reference.flows_per_sec);
+  }
+  const std::vector<map::QoR> oracle = in_process.evaluate_many(flows);
+
+  std::vector<Run> runs;
+  for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+    auto remote = service::RemoteEvaluator::loopback(design_name, workers);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<map::QoR> qor = remote->evaluate_many(flows);
+    Run r;
+    r.workers = workers;
+    r.seconds = seconds_since(t0);
+    r.flows_per_sec = static_cast<double>(num_flows) / r.seconds;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (qor[i] != oracle[i]) {
+        r.identical = false;
+        std::printf("  MISMATCH at flow %zu with %zu workers\n", i, workers);
+        break;
+      }
+    }
+    const auto stats = remote->stats();
+    r.shards = stats.shards;
+    r.requeues = stats.requeues;
+    std::printf("  %zu worker(s)%s    : %.2fs  %.1f flows/s  (%s)\n", workers,
+                workers >= 10 ? "" : " ", r.seconds, r.flows_per_sec,
+                r.identical ? "bit-identical" : "MISMATCH");
+    runs.push_back(r);
+  }
+
+  std::string json = "{\"design\": \"" + design_name + "\", \"m\": " +
+                     std::to_string(m) + ", \"flows\": " +
+                     std::to_string(num_flows) + ",\n \"host_cores\": " +
+                     std::to_string(std::thread::hardware_concurrency()) +
+                     ",\n \"in_process_seconds\": " +
+                     std::to_string(reference.seconds) + ",\n \"runs\": [";
+  bool all_identical = true;
+  const double single_worker_seconds = runs.empty() ? 0.0 : runs[0].seconds;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    all_identical = all_identical && r.identical;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "%s\n  {\"workers\": %zu, \"seconds\": %.3f, "
+                  "\"flows_per_sec\": %.2f, \"speedup_vs_one_worker\": %.2f, "
+                  "\"bit_identical\": %s, \"shards\": %zu, \"requeues\": %zu}",
+                  i ? "," : "", r.workers, r.seconds, r.flows_per_sec,
+                  r.seconds > 0 ? single_worker_seconds / r.seconds : 0.0,
+                  r.identical ? "true" : "false", r.shards, r.requeues);
+    json += buf;
+  }
+  json += "\n]}";
+  std::printf("%s\n", json.c_str());
+
+  const std::string json_path =
+      cli.get("json", "BENCH_service_" + design_name + ".json");
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+  }
+  return all_identical ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "bench_service: %s\n", e.what());
+  return 1;
+}

@@ -4,17 +4,29 @@
 #   SANITIZE=thread  ./scripts/check.sh   # TSan (evaluator determinism etc.)
 #   SANITIZE=address ./scripts/check.sh   # ASan/LSan
 # A sanitizer build uses its own build directory so artifacts never mix.
+#
+# Env knobs:
+#   JOBS=N        parallelism for build and ctest (default: nproc)
+#   BUILD_DIR=d   override the build directory
+#   CTEST_ARGS=…  extra ctest arguments (e.g. "-R service" or "-E pipeline")
+#
+# The script exits with ctest's status, so CI can gate on it directly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZE="${SANITIZE:-}"
 BUILD_DIR="${BUILD_DIR:-build-check${SANITIZE:+-$SANITIZE}}"
-JOBS="$(nproc)"
+JOBS="${JOBS:-$(nproc)}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DFLOWGEN_WERROR=ON \
   ${SANITIZE:+-DSANITIZE="$SANITIZE"} \
   "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# Capture ctest's status explicitly (|| keeps set -e from aborting first)
+# and exit with exactly that code.
+status=0
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-  ${CTEST_ARGS:-}
+  ${CTEST_ARGS:-} || status=$?
+exit "$status"

@@ -16,11 +16,110 @@ struct IsopResult {
   TruthTable cover;
 };
 
+// Bit masks of the elementary functions x_0..x_5 within one 64-bit word
+// (same layout as truth.cpp).
+constexpr std::uint64_t kWordVarMask[6] = {
+    0xAAAAAAAAAAAAAAAAull, 0xCCCCCCCCCCCCCCCCull, 0xF0F0F0F0F0F0F0F0ull,
+    0xFF00FF00FF00FF00ull, 0xFFFF0000FFFF0000ull, 0xFFFFFFFF00000000ull,
+};
+
+/// Word-parallel Minato-Morreale over functions of at most 6 live
+/// variables, packed into a single uint64 — no TruthTable temporaries, no
+/// allocation except the output cubes. `full` is the valid-bit mask
+/// (tail_mask of the function width, all-ones for >= 6 vars). Cubes are
+/// appended to `out` in exactly the order the generic recursion emits them;
+/// the caller patches the split literal into its range (see below), which
+/// keeps cube order — and therefore downstream factoring and QoR —
+/// bit-identical to the multi-word path. Returns the cover word.
+std::uint64_t isop_word_rec(std::uint64_t lower, std::uint64_t upper,
+                            std::uint64_t full, unsigned num_top_vars,
+                            Sop& out) {
+  if (lower == 0) return 0;
+  if (upper == full) {
+    out.push_back(Cube{});
+    return full;
+  }
+
+  // Pick the highest variable either bound still depends on.
+  unsigned var = 0;
+  bool found = false;
+  for (unsigned v = num_top_vars; v-- > 0;) {
+    const unsigned shift = 1u << v;
+    const std::uint64_t off = ~kWordVarMask[v];
+    if ((((lower >> shift) ^ lower) & off) ||
+        (((upper >> shift) ^ upper) & off)) {
+      var = v;
+      found = true;
+      break;
+    }
+  }
+  assert(found && "non-constant bounds must depend on some variable");
+  (void)found;
+
+  const unsigned shift = 1u << var;
+  const std::uint64_t mask = kWordVarMask[var];
+  const auto cof0 = [&](std::uint64_t t) {
+    const std::uint64_t low = t & ~mask;
+    return low | (low << shift);
+  };
+  const auto cof1 = [&](std::uint64_t t) {
+    const std::uint64_t high = t & mask;
+    return high | (high >> shift);
+  };
+  const std::uint64_t l0 = cof0(lower);
+  const std::uint64_t l1 = cof1(lower);
+  const std::uint64_t u0 = cof0(upper);
+  const std::uint64_t u1 = cof1(upper);
+
+  // Minterms of each cofactor that can only be covered on that side. The
+  // recursion appends each side's cubes contiguously; the split literal is
+  // OR-ed into exactly that range afterwards.
+  const std::size_t neg_begin = out.size();
+  const std::uint64_t neg_cover = isop_word_rec(l0 & ~u1, u0, full, var, out);
+  const std::size_t pos_begin = out.size();
+  const std::uint64_t pos_cover = isop_word_rec(l1 & ~u0, u1, full, var, out);
+  const std::size_t both_begin = out.size();
+  for (std::size_t i = neg_begin; i < pos_begin; ++i) {
+    out[i].neg |= (1u << var);
+  }
+  for (std::size_t i = pos_begin; i < both_begin; ++i) {
+    out[i].pos |= (1u << var);
+  }
+
+  // What remains must be covered by cubes independent of `var`.
+  const std::uint64_t rest = (l0 & ~neg_cover) | (l1 & ~pos_cover);
+  const std::uint64_t both_cover =
+      isop_word_rec(rest, u0 & u1, full, var, out);
+
+  return (mask & pos_cover) | (~mask & neg_cover) | both_cover;
+}
+
+/// Entry to the word kernel from multi-word bounds. Callable whenever the
+/// bounds are independent of x_6.. (every word equals word 0), which the
+/// recursion guarantees once num_top_vars <= 6 — so even 16-var refactor
+/// cones spend the bulk of their recursion tree in here.
+IsopResult isop_word(const TruthTable& lower, const TruthTable& upper,
+                     unsigned num_top_vars) {
+  const unsigned n = lower.num_vars();
+  const std::uint64_t full =
+      n >= 6 ? ~0ull : (std::uint64_t{1} << (std::size_t{1} << n)) - 1;
+  IsopResult out;
+  const std::uint64_t cover = isop_word_rec(
+      lower.low_word(), upper.low_word(), full, num_top_vars, out.cubes);
+  out.cover = TruthTable::broadcast(n, cover);
+  return out;
+}
+
 /// Minato-Morreale: compute an irredundant SOP S with L <= S <= U, together
 /// with the function S actually covers. `num_top_vars` limits the variables
 /// that may still appear in cubes at this recursion depth.
 IsopResult isop_rec(const TruthTable& lower, const TruthTable& upper,
                     unsigned num_top_vars) {
+  if (num_top_vars <= 6) {
+    // All live variables fit one word: switch to the allocation-free
+    // single-uint64 kernel (identical recursion, identical cube order).
+    return isop_word(lower, upper, num_top_vars);
+  }
   if (lower.is_const0()) {
     return {Sop{}, TruthTable::constant(lower.num_vars(), false)};
   }

@@ -28,6 +28,7 @@
 #include "aig/aig.hpp"
 #include "core/flow.hpp"
 #include "core/flow_cache.hpp"
+#include "core/flow_evaluator.hpp"
 #include "map/cell_library.hpp"
 #include "map/mapper.hpp"
 #include "map/qor.hpp"
@@ -62,7 +63,7 @@ struct EvaluatorStats {
   FlowCacheStats prefix;              ///< prefix-cache internals
 };
 
-class SynthesisEvaluator {
+class SynthesisEvaluator : public FlowEvaluator {
 public:
   explicit SynthesisEvaluator(
       aig::Aig design,
@@ -74,16 +75,17 @@ public:
 
   /// Synthesize (transform sequence) + map + report QoR. Thread-safe;
   /// results are cached by packed flow key.
-  map::QoR evaluate(const Flow& flow) const;
+  map::QoR evaluate(const Flow& flow) const override;
 
   /// Evaluate a batch, optionally across a thread pool. The batch is
   /// processed in lexicographic step order (results keep caller order) so
   /// flows sharing a prefix run back to back against a warm cache.
-  std::vector<map::QoR> evaluate_many(std::span<const Flow> flows,
-                                      util::ThreadPool* pool = nullptr) const;
+  std::vector<map::QoR> evaluate_many(
+      std::span<const Flow> flows,
+      util::ThreadPool* pool = nullptr) const override;
 
   /// QoR of the unsynthesized design (empty flow).
-  map::QoR baseline() const;
+  map::QoR baseline() const override;
 
   std::size_t cache_size() const;
   /// Total number of flow evaluations that missed the QoR cache.

@@ -1,0 +1,41 @@
+#pragma once
+// The evaluation seam of the framework: everything downstream of component
+// (1) — labeling, selection probes, the pipeline — consumes flow QoRs
+// through this interface and never cares *where* synthesis ran. Two
+// implementations exist:
+//
+//  * core::SynthesisEvaluator — in-process, the prefix-sharing engine,
+//  * service::RemoteEvaluator — a client that shards batches across
+//    evald worker processes over unix/tcp sockets.
+//
+// Both are exact (synthesis and mapping are pure functions of the design
+// and the step sequence), so callers may switch between them freely and
+// expect bit-identical QoR.
+
+#include <span>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "map/qor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace flowgen::core {
+
+class FlowEvaluator {
+public:
+  virtual ~FlowEvaluator() = default;
+
+  /// Synthesize + map one flow and report its QoR.
+  virtual map::QoR evaluate(const Flow& flow) const = 0;
+
+  /// Evaluate a batch; results keep caller order. `pool` is advisory — the
+  /// in-process engine fans out across it, a remote evaluator (whose
+  /// parallelism is its worker processes) may ignore it.
+  virtual std::vector<map::QoR> evaluate_many(
+      std::span<const Flow> flows, util::ThreadPool* pool = nullptr) const = 0;
+
+  /// QoR of the unsynthesized design (empty flow).
+  virtual map::QoR baseline() const { return evaluate(Flow{}); }
+};
+
+}  // namespace flowgen::core

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "designs/registry.hpp"
+#include "service/remote_evaluator.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::core {
@@ -15,11 +17,39 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+/// The config switch between in-process and distributed labeling. Loopback
+/// workers are forked here, before the pipeline spawns any threads.
+std::unique_ptr<FlowEvaluator> make_evaluator(
+    aig::Aig design, const service::EvalServiceConfig& svc) {
+  if (!svc.distributed()) {
+    return std::make_unique<SynthesisEvaluator>(std::move(design));
+  }
+  if (svc.design_id.empty()) {
+    throw std::invalid_argument(
+        "PipelineConfig.service: distributed evaluation needs design_id");
+  }
+  // Workers elaborate design_id from the registry; labeling the wrong
+  // circuit must be a loud failure, not a silent one, so verify the id
+  // reproduces the design the caller actually passed.
+  if (designs::make_design(svc.design_id).fingerprint() !=
+      design.fingerprint()) {
+    throw std::invalid_argument(
+        "PipelineConfig.service.design_id '" + svc.design_id +
+        "' does not elaborate to the design passed to FlowGenPipeline");
+  }
+  if (!svc.worker_addresses.empty()) {
+    return service::RemoteEvaluator::connect(svc.worker_addresses,
+                                             svc.design_id);
+  }
+  return service::RemoteEvaluator::loopback(svc.design_id,
+                                            svc.loopback_workers);
+}
+
 }  // namespace
 
 FlowGenPipeline::FlowGenPipeline(aig::Aig design, PipelineConfig config)
     : config_(std::move(config)),
-      evaluator_(std::move(design)),
+      evaluator_(make_evaluator(std::move(design), config_.service)),
       space_(config_.repetitions),
       rng_(config_.seed) {
   // Derive the classifier geometry from the space; callers only choose the
@@ -35,7 +65,7 @@ PipelineResult FlowGenPipeline::run() {
   const auto t0 = std::chrono::steady_clock::now();
   util::ThreadPool threads(config_.threads);
   PipelineResult result;
-  result.baseline = evaluator_.baseline();
+  result.baseline = evaluator_->baseline();
 
   // Sample the training flows and the prediction pool disjointly (the pool
   // stands in for the paper's "large number of untested sample flows").
@@ -67,7 +97,7 @@ PipelineResult FlowGenPipeline::run() {
     const std::span<const Flow> slice(training.data() + labeled,
                                       target - labeled);
     const std::vector<map::QoR> qors =
-        evaluator_.evaluate_many(slice, &threads);
+        evaluator_->evaluate_many(slice, &threads);
     for (std::size_t i = 0; i < slice.size(); ++i) {
       result.labeled_flows.push_back(slice[i]);
       result.labeled_qor.push_back(qors[i]);
@@ -116,7 +146,7 @@ PipelineResult FlowGenPipeline::run() {
         std::span<const std::uint32_t>(labels.data() + train_n, holdout));
     if (config_.probe_accuracy_each_round) {
       stats.paper_accuracy =
-          probe_selection_accuracy(classifier, labeler, pool, evaluator_,
+          probe_selection_accuracy(classifier, labeler, pool, *evaluator_,
                                    config_.num_angel, &threads,
                                    config_.prediction_chunk)
               .accuracy;
@@ -132,7 +162,7 @@ PipelineResult FlowGenPipeline::run() {
 
   // (3) Final prediction over the pool + angel/devil selection.
   const SelectionProbe final_probe = probe_selection_accuracy(
-      classifier, labeler, pool, evaluator_, config_.num_angel, &threads,
+      classifier, labeler, pool, *evaluator_, config_.num_angel, &threads,
       config_.prediction_chunk);
   result.paper_accuracy = final_probe.accuracy;
   for (std::size_t i = 0; i < final_probe.angel.size(); ++i) {

@@ -20,9 +20,11 @@
 #include "aig/aig.hpp"
 #include "core/classifier.hpp"
 #include "core/evaluator.hpp"
+#include "core/flow_evaluator.hpp"
 #include "core/flow_space.hpp"
 #include "core/labeler.hpp"
 #include "core/selection.hpp"
+#include "service/service_config.hpp"
 #include "util/thread_pool.hpp"
 
 namespace flowgen::core {
@@ -57,6 +59,10 @@ struct PipelineConfig {
   /// progress curves of Figures 4-7. The evaluator cache keeps this cheap.
   bool probe_accuracy_each_round = false;
   std::size_t prediction_chunk = 256;
+
+  /// Where labeling synthesis runs: in-process by default; loopback worker
+  /// processes or a remote evald fleet when configured (set `design_id`).
+  service::EvalServiceConfig service;
 };
 
 struct RoundStats {
@@ -88,6 +94,11 @@ struct PipelineResult {
 
 class FlowGenPipeline {
 public:
+  /// `design` feeds the in-process evaluator. When `config.service`
+  /// selects distributed evaluation, workers rebuild the design from
+  /// `config.service.design_id` via the registry instead; `design` is then
+  /// only fingerprint-checked against that id (mismatch throws) and
+  /// dropped.
   FlowGenPipeline(aig::Aig design, PipelineConfig config);
 
   /// Observe per-round statistics as they are produced.
@@ -97,12 +108,12 @@ public:
 
   PipelineResult run();
 
-  const SynthesisEvaluator& evaluator() const { return evaluator_; }
+  const FlowEvaluator& evaluator() const { return *evaluator_; }
   const FlowSpace& space() const { return space_; }
 
 private:
   PipelineConfig config_;
-  SynthesisEvaluator evaluator_;
+  std::unique_ptr<FlowEvaluator> evaluator_;
   FlowSpace space_;
   util::Rng rng_;
   std::function<void(const RoundStats&)> round_callback_;

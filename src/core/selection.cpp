@@ -37,7 +37,7 @@ std::vector<RankedFlow> select_top_flows(const nn::Tensor& probabilities,
 SelectionProbe probe_selection_accuracy(CnnFlowClassifier& classifier,
                                         const Labeler& labeler,
                                         const std::vector<Flow>& pool,
-                                        const SynthesisEvaluator& evaluator,
+                                        const FlowEvaluator& evaluator,
                                         std::size_t per_side,
                                         util::ThreadPool* threads,
                                         std::size_t chunk) {

@@ -48,7 +48,7 @@ struct SelectionProbe {
 SelectionProbe probe_selection_accuracy(CnnFlowClassifier& classifier,
                                         const Labeler& labeler,
                                         const std::vector<Flow>& pool,
-                                        const SynthesisEvaluator& evaluator,
+                                        const FlowEvaluator& evaluator,
                                         std::size_t per_side,
                                         util::ThreadPool* threads = nullptr,
                                         std::size_t chunk = 256);

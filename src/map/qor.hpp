@@ -14,6 +14,10 @@ struct QoR {
   std::size_t num_cells = 0;      ///< matched cells (excluding inverters)
   std::size_t num_inverters = 0;  ///< polarity-fix inverters
 
+  /// Field-exact comparison — the "bit-identical QoR" checks in tests and
+  /// benches are spelled with this.
+  bool operator==(const QoR&) const = default;
+
   std::string to_string() const {
     char buf[128];
     std::snprintf(buf, sizeof buf,

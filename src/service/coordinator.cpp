@@ -1,0 +1,299 @@
+#include "service/coordinator.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "service/wire.hpp"
+#include "util/log.hpp"
+
+namespace flowgen::service {
+
+namespace {
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
+                                 std::string design_id,
+                                 CoordinatorConfig config)
+    : design_id_(std::move(design_id)), config_(config) {
+  config_.max_inflight_per_worker =
+      std::max<std::size_t>(1, config_.max_inflight_per_worker);
+  config_.shards_per_worker =
+      std::max<std::size_t>(1, config_.shards_per_worker);
+
+  const auto hello = encode_hello({kProtocolVersion, design_id_});
+  for (Worker& w : workers) {
+    WorkerState state;
+    state.sock = std::move(w.sock);
+    state.name = std::move(w.name);
+    try {
+      send_frame(state.sock, MsgType::kHello, hello,
+                 config_.request_timeout_ms);
+      const auto ack =
+          recv_frame(state.sock, config_.request_timeout_ms);
+      if (ack && ack->type == MsgType::kHelloAck) {
+        // The ack names the design the worker actually serves; a mismatch
+        // would mean silently labeling the wrong circuit — drop the worker.
+        const std::string acked = decode_hello_ack(ack->payload);
+        if (acked == design_id_) {
+          state.alive = true;
+        } else {
+          util::log_warn("coordinator: worker ", state.name,
+                         " serves design '", acked, "', want '", design_id_,
+                         "' — dropped");
+        }
+      } else if (ack && ack->type == MsgType::kError) {
+        const ErrorMsg err = decode_error(ack->payload);
+        util::log_warn("coordinator: worker ", state.name,
+                       " rejected handshake: ", err.message);
+      } else {
+        util::log_warn("coordinator: worker ", state.name,
+                       " failed handshake");
+      }
+    } catch (const std::exception& e) {
+      util::log_warn("coordinator: worker ", state.name,
+                     " unreachable: ", e.what());
+    }
+    workers_.push_back(std::move(state));
+  }
+  if (num_workers_alive() == 0) {
+    throw ServiceError("no worker completed the handshake for design '" +
+                       design_id_ + "'");
+  }
+}
+
+std::vector<EvalCoordinator::Worker> connect_workers(
+    const std::vector<std::string>& specs, int timeout_ms) {
+  std::vector<EvalCoordinator::Worker> workers;
+  workers.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    try {
+      workers.push_back(EvalCoordinator::Worker{
+          connect_to(Address::parse(spec), timeout_ms), spec});
+    } catch (const TransportError& e) {
+      util::log_warn("connect_workers: skipping ", spec, ": ", e.what());
+    }
+  }
+  return workers;
+}
+
+std::size_t EvalCoordinator::num_workers_alive() const {
+  std::size_t n = 0;
+  for (const WorkerState& w : workers_) n += w.alive ? 1 : 0;
+  return n;
+}
+
+void EvalCoordinator::shutdown_workers() {
+  for (WorkerState& w : workers_) {
+    if (!w.alive) continue;
+    try {
+      send_frame(w.sock, MsgType::kShutdown, {});
+    } catch (const std::exception&) {
+      // Worker already gone; nothing to do.
+    }
+    w.alive = false;
+    w.sock.close();
+  }
+}
+
+void EvalCoordinator::lose_worker(std::size_t w,
+                                  std::deque<std::size_t>& pending,
+                                  const char* why) {
+  WorkerState& worker = workers_[w];
+  if (!worker.alive) return;
+  worker.alive = false;
+  worker.sock.close();
+  ++stats_.workers_lost;
+  util::log_warn("coordinator: lost worker ", worker.name, " (", why, "), ",
+                 worker.inflight.size(), " shard(s) requeued");
+  // Front of the queue so the lost work reruns before fresh shards — those
+  // results gate batch completion.
+  for (const auto& [request_id, shard_idx] : worker.inflight) {
+    (void)request_id;
+    pending.push_front(shard_idx);
+    ++stats_.requeues;
+  }
+  worker.inflight.clear();
+}
+
+bool EvalCoordinator::dispatch(std::size_t w, std::size_t shard_idx,
+                               std::span<const core::Flow> flows,
+                               const std::vector<Shard>& shards) {
+  WorkerState& worker = workers_[w];
+  EvalRequestMsg req;
+  req.request_id = next_request_id_++;
+  req.flows.reserve(shards[shard_idx].indices.size());
+  for (const std::size_t i : shards[shard_idx].indices) {
+    req.flows.push_back(flows[i].steps);
+  }
+  try {
+    // Bounded send: a worker that stopped *reading* must become "lost +
+    // requeued", not wedge the whole dispatch loop once its socket buffer
+    // fills.
+    send_frame(worker.sock, MsgType::kEvalRequest, encode_eval_request(req),
+               config_.request_timeout_ms);
+  } catch (const std::exception&) {
+    return false;
+  }
+  worker.inflight.emplace_back(req.request_id, shard_idx);
+  if (worker.inflight.size() == 1) {
+    worker.deadline_ms = now_ms() + config_.request_timeout_ms;
+  }
+  ++stats_.requests_sent;
+  return true;
+}
+
+std::vector<map::QoR> EvalCoordinator::evaluate_many(
+    std::span<const core::Flow> flows) {
+  ++stats_.batches;
+  std::vector<map::QoR> out(flows.size());
+  if (flows.empty()) return out;
+
+  // Prefix-affinity order: identical to the in-process engine's batch
+  // schedule, so a shard is a run of sibling flows.
+  std::vector<std::size_t> order(flows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return flows[a].steps < flows[b].steps;
+  });
+
+  const std::size_t num_shards = std::min(
+      flows.size(),
+      std::max<std::size_t>(1, num_workers_alive() *
+                                   config_.shards_per_worker));
+  std::vector<Shard> shards(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t begin = s * order.size() / num_shards;
+    const std::size_t end = (s + 1) * order.size() / num_shards;
+    shards[s].indices.assign(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                             order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  stats_.shards += num_shards;
+
+  std::deque<std::size_t> pending(num_shards);
+  std::iota(pending.begin(), pending.end(), 0);
+  std::size_t shards_done = 0;
+
+  while (shards_done < num_shards) {
+    // Fill every live worker up to its backpressure limit.
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      WorkerState& worker = workers_[w];
+      while (worker.alive && !pending.empty() &&
+             worker.inflight.size() < config_.max_inflight_per_worker) {
+        const std::size_t shard_idx = pending.front();
+        pending.pop_front();
+        if (!dispatch(w, shard_idx, flows, shards)) {
+          pending.push_front(shard_idx);
+          ++stats_.requeues;
+          lose_worker(w, pending, "send failed");
+        }
+      }
+    }
+
+    // Wait for the next response or the earliest deadline.
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_worker;
+    std::int64_t earliest = 0;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      const WorkerState& worker = workers_[w];
+      if (!worker.alive || worker.inflight.empty()) continue;
+      fds.push_back(pollfd{worker.sock.fd(), POLLIN, 0});
+      fd_worker.push_back(w);
+      if (earliest == 0 || worker.deadline_ms < earliest) {
+        earliest = worker.deadline_ms;
+      }
+    }
+    if (fds.empty()) {
+      throw ServiceError(
+          "batch stalled: all workers lost with " +
+          std::to_string(num_shards - shards_done) + " shard(s) unfinished");
+    }
+    const std::int64_t wait =
+        std::max<std::int64_t>(0, earliest - now_ms());
+    const int rc = ::poll(fds.data(), fds.size(),
+                          static_cast<int>(std::min<std::int64_t>(
+                              wait, 60 * 60 * 1000)));
+    if (rc < 0 && errno != EINTR) {
+      throw ServiceError("poll failed in coordinator loop");
+    }
+
+    const std::int64_t now = now_ms();
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const std::size_t w = fd_worker[i];
+      WorkerState& worker = workers_[w];
+      if (!worker.alive || worker.inflight.empty()) continue;
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        if (now >= worker.deadline_ms) {
+          lose_worker(w, pending, "request timeout");
+        }
+        continue;
+      }
+      std::optional<Frame> frame;
+      try {
+        frame = recv_frame(worker.sock, config_.request_timeout_ms);
+      } catch (const std::exception&) {
+        lose_worker(w, pending, "read failed");
+        continue;
+      }
+      if (!frame) {
+        lose_worker(w, pending, "peer closed");
+        continue;
+      }
+      if (frame->type == MsgType::kError) {
+        // An erroring worker is dropped rather than retried in place: its
+        // shards rerun elsewhere, and if every worker errors the batch
+        // fails loudly below.
+        try {
+          const ErrorMsg err = decode_error(frame->payload);
+          util::log_warn("coordinator: worker ", worker.name,
+                         " reported: ", err.message);
+        } catch (const std::exception&) {
+        }
+        lose_worker(w, pending, "worker error");
+        continue;
+      }
+      if (frame->type != MsgType::kEvalResponse) {
+        lose_worker(w, pending, "unexpected frame");
+        continue;
+      }
+      EvalResponseMsg resp;
+      try {
+        resp = decode_eval_response(frame->payload);
+      } catch (const std::exception&) {
+        lose_worker(w, pending, "undecodable response");
+        continue;
+      }
+      const auto it = std::find_if(
+          worker.inflight.begin(), worker.inflight.end(),
+          [&](const auto& entry) { return entry.first == resp.request_id; });
+      if (it == worker.inflight.end()) {
+        lose_worker(w, pending, "response for unknown request");
+        continue;
+      }
+      const Shard& shard = shards[it->second];
+      if (resp.results.size() != shard.indices.size()) {
+        lose_worker(w, pending, "response size mismatch");
+        continue;
+      }
+      for (std::size_t k = 0; k < shard.indices.size(); ++k) {
+        out[shard.indices[k]] = resp.results[k];
+      }
+      worker.inflight.erase(it);
+      worker.deadline_ms = now + config_.request_timeout_ms;
+      ++shards_done;
+      if (response_observer_) response_observer_(w);
+    }
+  }
+  return out;
+}
+
+}  // namespace flowgen::service

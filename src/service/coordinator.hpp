@@ -1,0 +1,126 @@
+#pragma once
+// Component (1) at fleet scale: shard a flow batch across N eval workers.
+// The coordinator owns one socket per worker and runs a single-threaded
+// poll loop — no thread pool, no locks — because the expensive work happens
+// in the worker processes; its own job is scheduling and fault handling:
+//
+//  * shards are contiguous ranges of the lexicographically sorted batch,
+//    so each worker sees neighbouring flows and its prefix cache stays hot
+//    (the same affinity trick SynthesisEvaluator::evaluate_many plays with
+//    thread-pool groups),
+//  * backpressure: at most max_inflight_per_worker outstanding shards per
+//    worker — a slow worker never accumulates an unbounded queue, fast
+//    workers steal the remaining shards,
+//  * fault tolerance: a worker that EOFs, errors, or misses its deadline is
+//    declared lost; its in-flight shards go back on the pending queue and
+//    rerun elsewhere. Evaluation is a pure function of (design, steps), so
+//    reruns are bit-identical and requeueing can never corrupt a batch.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "map/qor.hpp"
+#include "service/transport.hpp"
+
+namespace flowgen::service {
+
+/// Raised when a batch cannot complete (every worker lost) or a worker
+/// fleet cannot be assembled at all.
+class ServiceError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CoordinatorConfig {
+  /// Deadline for one shard round-trip. Generous by default: a shard is
+  /// hundreds of full synthesis flows.
+  int request_timeout_ms = 10 * 60 * 1000;
+  /// Outstanding shards per worker (>= 1). One keeps workers strictly
+  /// serial; two hides the request/response gap.
+  std::size_t max_inflight_per_worker = 2;
+  /// Shard granularity: aim for this many shards per worker so requeues
+  /// lose little work and stragglers can be load-balanced around.
+  std::size_t shards_per_worker = 4;
+};
+
+struct CoordinatorStats {
+  std::size_t batches = 0;          ///< evaluate_many calls
+  std::size_t shards = 0;           ///< shards formed across all batches
+  std::size_t requests_sent = 0;    ///< dispatches, including reruns
+  std::size_t requeues = 0;         ///< shards re-queued after a loss
+  std::size_t workers_lost = 0;     ///< crash/EOF/timeout/error declarations
+};
+
+class EvalCoordinator {
+public:
+  struct Worker {
+    Socket sock;
+    std::string name;  ///< for logs/stats; loopback uses "loopback-<i>"
+  };
+
+  /// Handshakes (Hello/HelloAck for `design_id`) with every worker; workers
+  /// that fail the handshake are dropped. Throws ServiceError when none
+  /// survive.
+  EvalCoordinator(std::vector<Worker> workers, std::string design_id,
+                  CoordinatorConfig config = {});
+
+  /// Evaluate a batch across the fleet; results in caller order. Throws
+  /// ServiceError if the batch cannot complete on any worker.
+  std::vector<map::QoR> evaluate_many(std::span<const core::Flow> flows);
+
+  std::size_t num_workers_alive() const;
+  const CoordinatorStats& stats() const { return stats_; }
+  const std::string& design_id() const { return design_id_; }
+
+  /// Best-effort Shutdown frame to every live worker (evald workers exit;
+  /// loopback children reap on destruction either way).
+  void shutdown_workers();
+
+  /// Test hook: invoked after each EvalResponse is applied, with the index
+  /// of the responding worker. Fault-injection tests use it to kill a
+  /// sibling worker at a deterministic point mid-batch.
+  void set_response_observer(std::function<void(std::size_t)> observer) {
+    response_observer_ = std::move(observer);
+  }
+
+private:
+  struct Shard {
+    std::vector<std::size_t> indices;  ///< positions in the caller's batch
+  };
+  struct WorkerState {
+    Socket sock;
+    std::string name;
+    bool alive = false;
+    /// request id -> shard index, send deadline. Sized by
+    /// max_inflight_per_worker.
+    std::vector<std::pair<std::uint64_t, std::size_t>> inflight;
+    std::int64_t deadline_ms = 0;  ///< earliest outstanding deadline
+  };
+
+  void lose_worker(std::size_t w, std::deque<std::size_t>& pending,
+                   const char* why);
+  bool dispatch(std::size_t w, std::size_t shard_idx,
+                std::span<const core::Flow> flows,
+                const std::vector<Shard>& shards);
+
+  std::vector<WorkerState> workers_;
+  std::string design_id_;
+  CoordinatorConfig config_;
+  CoordinatorStats stats_;
+  std::uint64_t next_request_id_ = 1;
+  std::function<void(std::size_t)> response_observer_;
+};
+
+/// Connect to evald workers by address spec ("unix:/path", "tcp:host:p").
+/// Unreachable addresses are logged and skipped — fleet assembly has the
+/// same partial-failure semantics as the coordinator itself, which throws
+/// only when *no* worker survives.
+std::vector<EvalCoordinator::Worker> connect_workers(
+    const std::vector<std::string>& specs, int timeout_ms = 5000);
+
+}  // namespace flowgen::service

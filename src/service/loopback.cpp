@@ -1,0 +1,69 @@
+#include "service/loopback.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+namespace flowgen::service {
+
+LoopbackCluster::LoopbackCluster(std::size_t num_workers,
+                                 WorkerOptions worker) {
+  std::vector<std::pair<Socket, Socket>> pairs;
+  pairs.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    pairs.push_back(socket_pair());
+  }
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw ServiceError("fork failed for loopback worker");
+    }
+    if (pid == 0) {
+      // Child: keep only this worker's own end of its socketpair.
+      Socket mine = std::move(pairs[i].second);
+      pairs.clear();
+      for (Socket& s : parent_side_) s.close();
+      try {
+        EvalWorker w(worker);
+        w.serve(mine);
+      } catch (...) {
+        _exit(1);
+      }
+      _exit(0);
+    }
+    pids_.push_back(pid);
+    parent_side_.push_back(std::move(pairs[i].first));
+    pairs[i].second.close();  // child's end is the child's now
+  }
+}
+
+LoopbackCluster::~LoopbackCluster() {
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (pids_[i] > 0) ::kill(pids_[i], SIGKILL);
+  }
+  for (std::size_t i = 0; i < pids_.size(); ++i) {
+    if (pids_[i] > 0) ::waitpid(pids_[i], nullptr, 0);
+  }
+}
+
+std::vector<EvalCoordinator::Worker> LoopbackCluster::take_workers() {
+  std::vector<EvalCoordinator::Worker> out;
+  out.reserve(parent_side_.size());
+  for (std::size_t i = 0; i < parent_side_.size(); ++i) {
+    out.push_back(EvalCoordinator::Worker{
+        std::move(parent_side_[i]), "loopback-" + std::to_string(i)});
+  }
+  return out;
+}
+
+void LoopbackCluster::kill_worker(std::size_t i) {
+  if (i >= pids_.size() || pids_[i] <= 0) return;
+  ::kill(pids_[i], SIGKILL);
+  ::waitpid(pids_[i], nullptr, 0);
+  pids_[i] = -1;
+}
+
+}  // namespace flowgen::service

@@ -1,0 +1,52 @@
+#pragma once
+// Loopback multi-worker mode: N real worker *processes* forked from the
+// current one, each serving the wire protocol on its end of a socketpair.
+// This is the same code path as a remote evald fleet — frames, coordinator
+// scheduling, crash handling — minus the network, which makes it the
+// substrate for the service tests (SIGKILL a child, watch the coordinator
+// requeue) and for bench_service's scaling curves.
+//
+// Fork discipline: children are forked before the caller spawns any thread
+// pools (construct clusters early), immediately close every parent-side fd
+// they inherited, and leave via _exit so parent atexit state never runs
+// twice. Workers default to 1 evaluation thread — process count is the
+// parallelism knob here.
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "service/coordinator.hpp"
+#include "service/worker.hpp"
+
+namespace flowgen::service {
+
+class LoopbackCluster {
+public:
+  /// Fork `num_workers` children, each running an EvalWorker for
+  /// `worker.design_id`. Throws ServiceError when fork fails.
+  LoopbackCluster(std::size_t num_workers, WorkerOptions worker);
+
+  /// SIGKILLs any child still running and reaps them all.
+  ~LoopbackCluster();
+
+  LoopbackCluster(const LoopbackCluster&) = delete;
+  LoopbackCluster& operator=(const LoopbackCluster&) = delete;
+
+  std::size_t size() const { return pids_.size(); }
+  pid_t pid(std::size_t i) const { return pids_[i]; }
+
+  /// Parent-side connections, one per child, for EvalCoordinator. Callable
+  /// once — the sockets move out.
+  std::vector<EvalCoordinator::Worker> take_workers();
+
+  /// SIGKILL child `i` and reap it — the fault-injection hammer.
+  void kill_worker(std::size_t i);
+
+private:
+  std::vector<pid_t> pids_;
+  std::vector<Socket> parent_side_;
+};
+
+}  // namespace flowgen::service

@@ -1,0 +1,60 @@
+#include "service/remote_evaluator.hpp"
+
+namespace flowgen::service {
+
+RemoteEvaluator::RemoteEvaluator(std::unique_ptr<EvalCoordinator> coordinator,
+                                 std::unique_ptr<LoopbackCluster> cluster)
+    : coordinator_(std::move(coordinator)), cluster_(std::move(cluster)) {}
+
+RemoteEvaluator::~RemoteEvaluator() {
+  // Only a loopback fleet is ours to stop — its children die with this
+  // object anyway. Externally-started evald workers must outlive their
+  // clients (warm caches across connections are the point); closing the
+  // sockets is goodbye enough, and the workers' accept loops carry on.
+  if (coordinator_ && cluster_) coordinator_->shutdown_workers();
+}
+
+std::unique_ptr<RemoteEvaluator> RemoteEvaluator::loopback(
+    const std::string& design_id, std::size_t num_workers,
+    core::EvaluatorConfig evaluator_config,
+    CoordinatorConfig coordinator_config) {
+  WorkerOptions options;
+  options.design_id = design_id;
+  options.evaluator = evaluator_config;
+  auto cluster = std::make_unique<LoopbackCluster>(num_workers, options);
+  auto coordinator = std::make_unique<EvalCoordinator>(
+      cluster->take_workers(), design_id, coordinator_config);
+  return std::make_unique<RemoteEvaluator>(std::move(coordinator),
+                                           std::move(cluster));
+}
+
+std::unique_ptr<RemoteEvaluator> RemoteEvaluator::connect(
+    const std::vector<std::string>& worker_addresses,
+    const std::string& design_id, CoordinatorConfig coordinator_config) {
+  auto coordinator = std::make_unique<EvalCoordinator>(
+      connect_workers(worker_addresses), design_id, coordinator_config);
+  return std::make_unique<RemoteEvaluator>(std::move(coordinator));
+}
+
+map::QoR RemoteEvaluator::evaluate(const core::Flow& flow) const {
+  return evaluate_many({&flow, 1})[0];
+}
+
+std::vector<map::QoR> RemoteEvaluator::evaluate_many(
+    std::span<const core::Flow> flows, util::ThreadPool* pool) const {
+  (void)pool;  // parallelism is the worker fleet, not caller threads
+  std::lock_guard lock(mutex_);
+  return coordinator_->evaluate_many(flows);
+}
+
+CoordinatorStats RemoteEvaluator::stats() const {
+  std::lock_guard lock(mutex_);
+  return coordinator_->stats();
+}
+
+std::size_t RemoteEvaluator::num_workers_alive() const {
+  std::lock_guard lock(mutex_);
+  return coordinator_->num_workers_alive();
+}
+
+}  // namespace flowgen::service

@@ -1,0 +1,56 @@
+#pragma once
+// The client half of the evaluation service: a core::FlowEvaluator whose
+// evaluate_many ships batches to an EvalCoordinator instead of a local
+// SynthesisEvaluator. Labeler/Pipeline/selection code is oblivious — the
+// interface, the result order, and (because evaluation is pure) the exact
+// QoR bits are identical to in-process evaluation.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/flow_evaluator.hpp"
+#include "service/coordinator.hpp"
+#include "service/loopback.hpp"
+
+namespace flowgen::service {
+
+class RemoteEvaluator final : public core::FlowEvaluator {
+public:
+  /// Wrap an already-assembled fleet. `cluster` (optional) ties loopback
+  /// child processes to this evaluator's lifetime.
+  RemoteEvaluator(std::unique_ptr<EvalCoordinator> coordinator,
+                  std::unique_ptr<LoopbackCluster> cluster = nullptr);
+  ~RemoteEvaluator() override;
+
+  /// Fork `num_workers` local worker processes for `design_id`.
+  static std::unique_ptr<RemoteEvaluator> loopback(
+      const std::string& design_id, std::size_t num_workers,
+      core::EvaluatorConfig evaluator_config = {},
+      CoordinatorConfig coordinator_config = {});
+
+  /// Connect to remote evald workers ("unix:/path" / "tcp:host:port").
+  static std::unique_ptr<RemoteEvaluator> connect(
+      const std::vector<std::string>& worker_addresses,
+      const std::string& design_id, CoordinatorConfig coordinator_config = {});
+
+  map::QoR evaluate(const core::Flow& flow) const override;
+  std::vector<map::QoR> evaluate_many(
+      std::span<const core::Flow> flows,
+      util::ThreadPool* pool = nullptr) const override;
+
+  /// The coordinator is single-threaded; calls are serialised on a mutex,
+  /// so stats() observes a quiescent value between batches.
+  CoordinatorStats stats() const;
+  std::size_t num_workers_alive() const;
+  EvalCoordinator& coordinator() { return *coordinator_; }
+
+private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<EvalCoordinator> coordinator_;
+  std::unique_ptr<LoopbackCluster> cluster_;
+};
+
+}  // namespace flowgen::service

@@ -1,0 +1,29 @@
+#pragma once
+// Deliberately include-light config describing where flow evaluation runs,
+// embeddable in PipelineConfig without dragging sockets into core headers.
+// Resolution order: worker_addresses (remote fleet) > loopback_workers
+// (forked local processes) > in-process SynthesisEvaluator.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flowgen::service {
+
+struct EvalServiceConfig {
+  /// Fork this many local worker processes (0 = stay in-process).
+  std::size_t loopback_workers = 0;
+  /// Or connect to running evald workers: "unix:/path", "tcp:host:port".
+  std::vector<std::string> worker_addresses;
+  /// designs::make_design name workers synthesize; required for either
+  /// distributed mode (worker processes rebuild the design from its id —
+  /// the registry is deterministic, so QoR matches in-process evaluation
+  /// of the same design bit for bit).
+  std::string design_id;
+
+  bool distributed() const {
+    return loopback_workers > 0 || !worker_addresses.empty();
+  }
+};
+
+}  // namespace flowgen::service

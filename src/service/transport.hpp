@@ -1,0 +1,111 @@
+#pragma once
+// Socket transport for the flow-evaluation service: a thin RAII layer over
+// Unix-domain and TCP stream sockets with blocking, timeout-aware exact
+// reads/writes. Everything above this file (wire.hpp upward) is
+// transport-agnostic; everything below the Socket API is POSIX.
+//
+// Addresses are spelled "unix:/path/to.sock" or "tcp:host:port" so worker
+// lists stay plain strings in configs and on the evald command line.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace flowgen::service {
+
+/// Any transport-level failure: connect/bind errors, peer death mid-frame,
+/// exceeded timeouts. The coordinator treats these as "worker lost".
+class TransportError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Address {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string host;         ///< unix: filesystem path; tcp: host/IP
+  std::uint16_t port = 0;   ///< tcp only
+
+  /// Parse "unix:/path" or "tcp:host:port"; throws TransportError.
+  static Address parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+/// Move-only owner of a connected stream socket.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Socket& operator=(Socket&& o) noexcept {
+    if (this != &o) {
+      close();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Write exactly `len` bytes; throws TransportError on any failure
+  /// (including EPIPE — SIGPIPE is suppressed). With timeout_ms >= 0 each
+  /// wait for buffer space is bounded, so a peer that stops *reading*
+  /// (wedged, SIGSTOPped) raises TransportError instead of blocking the
+  /// caller forever once the socket buffer fills.
+  void send_all(const void* data, std::size_t len, int timeout_ms = -1);
+
+  /// Read exactly `len` bytes. Returns false on clean EOF before the first
+  /// byte; throws TransportError on errors, timeouts, or EOF mid-record.
+  /// timeout_ms < 0 blocks indefinitely; the timeout applies per poll wait,
+  /// i.e. to gaps in the stream, not to the whole record.
+  bool recv_all(void* data, std::size_t len, int timeout_ms = -1);
+
+  /// Wait until readable; false on timeout, throws on poll error.
+  bool wait_readable(int timeout_ms) const;
+
+private:
+  int fd_ = -1;
+};
+
+/// Connect to a listening worker/server; throws TransportError.
+Socket connect_to(const Address& addr, int timeout_ms = 5000);
+
+/// A bound, listening server socket.
+class Listener {
+public:
+  /// Bind + listen on `addr`. Unix paths are unlinked first so restarts
+  /// work; tcp port 0 picks an ephemeral port (see address()).
+  static Listener bind(const Address& addr);
+
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+  ~Listener();
+
+  /// Accept one connection; throws TransportError on timeout or error.
+  Socket accept(int timeout_ms = -1);
+
+  /// The actual bound address (resolves tcp port 0).
+  const Address& address() const { return addr_; }
+  int fd() const { return sock_.fd(); }
+
+private:
+  Listener(Socket sock, Address addr)
+      : sock_(std::move(sock)), addr_(std::move(addr)) {}
+
+  Socket sock_;
+  Address addr_;
+};
+
+/// A connected AF_UNIX stream pair — the loopback cluster's parent/child
+/// channel (no filesystem path, inherited across fork).
+std::pair<Socket, Socket> socket_pair();
+
+}  // namespace flowgen::service

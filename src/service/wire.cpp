@@ -1,0 +1,267 @@
+#include "service/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace flowgen::service {
+
+namespace {
+
+// Frame header layout (12 bytes, little-endian):
+//   u32 magic, u8 version, u8 type, u16 reserved, u32 payload_len
+constexpr std::size_t kHeaderBytes = 12;
+
+class Writer {
+public:
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    if (s.size() > 0xFFFF) throw WireError("string field too long");
+    u16(static_cast<std::uint16_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint16_t len = u16();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  std::span<const std::uint8_t> bytes(std::size_t len) {
+    need(len);
+    const auto s = data_.subspan(pos_, len);
+    pos_ += len;
+    return s;
+  }
+  void expect_end() const {
+    if (pos_ != data_.size()) throw WireError("trailing bytes in payload");
+  }
+  /// For validating wire-supplied element counts before reserving: a count
+  /// that cannot fit in the remaining bytes is corrupt, and must fail here
+  /// rather than inside a multi-gigabyte reserve().
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw WireError("truncated payload");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void send_frame(Socket& sock, MsgType type,
+                std::span<const std::uint8_t> payload, int timeout_ms) {
+  if (payload.size() > kMaxPayloadBytes) throw WireError("payload too large");
+  // Header and payload leave in one buffer (and one send) so a frame is
+  // never split by a crash between two writes.
+  Writer frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  frame.u32(kFrameMagic);
+  frame.u8(kProtocolVersion);
+  frame.u8(static_cast<std::uint8_t>(type));
+  frame.u16(0);
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  std::vector<std::uint8_t> buf = frame.take();  // keeps the reservation
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  sock.send_all(buf.data(), buf.size(), timeout_ms);
+}
+
+std::optional<Frame> recv_frame(Socket& sock, int timeout_ms) {
+  std::uint8_t header[kHeaderBytes];
+  if (!sock.recv_all(header, sizeof header, timeout_ms)) return std::nullopt;
+  Reader r({header, sizeof header});
+  if (r.u32() != kFrameMagic) throw WireError("bad frame magic");
+  const std::uint8_t version = r.u8();
+  if (version != kProtocolVersion) {
+    throw WireError("protocol version mismatch: got " +
+                    std::to_string(version) + ", want " +
+                    std::to_string(kProtocolVersion));
+  }
+  Frame f;
+  f.type = static_cast<MsgType>(r.u8());
+  r.u16();  // reserved
+  const std::uint32_t len = r.u32();
+  if (len > kMaxPayloadBytes) throw WireError("oversized frame payload");
+  f.payload.resize(len);
+  if (len > 0 && !sock.recv_all(f.payload.data(), len, timeout_ms)) {
+    throw TransportError("peer closed mid-frame");
+  }
+  return f;
+}
+
+std::vector<std::uint8_t> encode_hello(const HelloMsg& m) {
+  Writer w;
+  w.u8(m.version);
+  w.str(m.design_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_hello_ack(const std::string& design_id) {
+  Writer w;
+  w.str(design_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_eval_request(const EvalRequestMsg& m) {
+  Writer w;
+  w.u64(m.request_id);
+  w.u32(static_cast<std::uint32_t>(m.flows.size()));
+  for (const core::StepsKey& steps : m.flows) {
+    if (steps.size() > 0xFFFF) throw WireError("flow too long");
+    w.u16(static_cast<std::uint16_t>(steps.size()));
+    for (const opt::TransformKind s : steps) {
+      w.u8(static_cast<std::uint8_t>(s));
+    }
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_eval_response(const EvalResponseMsg& m) {
+  Writer w;
+  w.u64(m.request_id);
+  w.u32(static_cast<std::uint32_t>(m.results.size()));
+  for (const map::QoR& q : m.results) {
+    w.f64(q.area_um2);
+    w.f64(q.delay_ps);
+    w.u64(q.num_cells);
+    w.u64(q.num_inverters);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorMsg& m) {
+  Writer w;
+  w.u64(m.request_id);
+  w.str(m.message);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_u64(std::uint64_t value) {
+  Writer w;
+  w.u64(value);
+  return w.take();
+}
+
+HelloMsg decode_hello(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  HelloMsg m;
+  m.version = r.u8();
+  m.design_id = r.str();
+  r.expect_end();
+  return m;
+}
+
+std::string decode_hello_ack(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  std::string id = r.str();
+  r.expect_end();
+  return id;
+}
+
+EvalRequestMsg decode_eval_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  EvalRequestMsg m;
+  m.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  if (count > r.remaining() / 2) {  // every flow costs >= 2 length bytes
+    throw WireError("flow count exceeds payload");
+  }
+  m.flows.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint16_t len = r.u16();
+    const auto raw = r.bytes(len);
+    core::StepsKey steps;
+    steps.reserve(len);
+    for (const std::uint8_t b : raw) {
+      steps.push_back(static_cast<opt::TransformKind>(b));
+    }
+    m.flows.push_back(std::move(steps));
+  }
+  r.expect_end();
+  return m;
+}
+
+EvalResponseMsg decode_eval_response(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  EvalResponseMsg m;
+  m.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  if (count > r.remaining() / 32) {  // each QoR is exactly 32 bytes
+    throw WireError("result count exceeds payload");
+  }
+  m.results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    map::QoR q;
+    q.area_um2 = r.f64();
+    q.delay_ps = r.f64();
+    q.num_cells = static_cast<std::size_t>(r.u64());
+    q.num_inverters = static_cast<std::size_t>(r.u64());
+    m.results.push_back(q);
+  }
+  r.expect_end();
+  return m;
+}
+
+ErrorMsg decode_error(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ErrorMsg m;
+  m.request_id = r.u64();
+  m.message = r.str();
+  r.expect_end();
+  return m;
+}
+
+std::uint64_t decode_u64(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const std::uint64_t v = r.u64();
+  r.expect_end();
+  return v;
+}
+
+}  // namespace flowgen::service

@@ -1,0 +1,101 @@
+#pragma once
+// The evald wire protocol: length-prefixed, versioned binary frames. One
+// frame = one message; payloads are little-endian and carry flows in the
+// same packed uint8 step encoding core/flow_cache keys on, so a request is
+// essentially a batch of StepsKeys and a response a batch of QoRs.
+// docs/protocol.md is the normative description of the format.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "map/qor.hpp"
+#include "service/transport.hpp"
+
+namespace flowgen::service {
+
+/// Bumped on any incompatible frame or payload change. Hello carries it;
+/// both sides reject mismatches instead of guessing.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// "FLOW" — rejects stray connections speaking the wrong protocol.
+inline constexpr std::uint32_t kFrameMagic = 0x464C4F57;
+
+/// Upper bound on one payload; a 1M-flow batch is ~20 MB, so 64 MiB leaves
+/// headroom while still catching corrupt length prefixes immediately.
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,         ///< client -> worker: version + design id
+  kHelloAck = 2,      ///< worker -> client: accepted design id
+  kEvalRequest = 3,   ///< client -> worker: request id + packed flows
+  kEvalResponse = 4,  ///< worker -> client: request id + QoRs
+  kError = 5,         ///< either direction: request id (0 = none) + message
+  kShutdown = 6,      ///< client -> worker: drain and exit
+  kPing = 7,          ///< liveness probe: echoes a nonce
+  kPong = 8,
+};
+
+class WireError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize + send one frame (header then payload) as a single buffer.
+/// timeout_ms >= 0 bounds each wait for socket buffer space (see
+/// Socket::send_all) — the coordinator uses this so a worker that stops
+/// reading counts as lost instead of wedging the dispatch loop.
+void send_frame(Socket& sock, MsgType type,
+                std::span<const std::uint8_t> payload, int timeout_ms = -1);
+
+/// Receive one frame. Returns nullopt on clean EOF at a frame boundary;
+/// throws TransportError on socket failure/timeout and WireError on
+/// malformed headers (bad magic/version/length).
+std::optional<Frame> recv_frame(Socket& sock, int timeout_ms = -1);
+
+// --------------------------------------------------------------- payloads --
+
+struct HelloMsg {
+  std::uint8_t version = kProtocolVersion;
+  std::string design_id;  ///< designs::make_design name the worker must serve
+};
+
+struct EvalRequestMsg {
+  std::uint64_t request_id = 0;
+  std::vector<core::StepsKey> flows;
+};
+
+struct EvalResponseMsg {
+  std::uint64_t request_id = 0;
+  std::vector<map::QoR> results;
+};
+
+struct ErrorMsg {
+  std::uint64_t request_id = 0;  ///< 0 when not tied to a request
+  std::string message;
+};
+
+std::vector<std::uint8_t> encode_hello(const HelloMsg& m);
+std::vector<std::uint8_t> encode_hello_ack(const std::string& design_id);
+std::vector<std::uint8_t> encode_eval_request(const EvalRequestMsg& m);
+std::vector<std::uint8_t> encode_eval_response(const EvalResponseMsg& m);
+std::vector<std::uint8_t> encode_error(const ErrorMsg& m);
+std::vector<std::uint8_t> encode_u64(std::uint64_t value);  // ping/pong
+
+/// Decoders throw WireError on truncated or trailing bytes.
+HelloMsg decode_hello(std::span<const std::uint8_t> payload);
+std::string decode_hello_ack(std::span<const std::uint8_t> payload);
+EvalRequestMsg decode_eval_request(std::span<const std::uint8_t> payload);
+EvalResponseMsg decode_eval_response(std::span<const std::uint8_t> payload);
+ErrorMsg decode_error(std::span<const std::uint8_t> payload);
+std::uint64_t decode_u64(std::span<const std::uint8_t> payload);
+
+}  // namespace flowgen::service

@@ -1,0 +1,125 @@
+#include "service/worker.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "designs/registry.hpp"
+#include "service/wire.hpp"
+#include "util/log.hpp"
+
+namespace flowgen::service {
+
+bool serve_frames(Socket& sock, const EvalService& service) {
+  while (true) {
+    std::optional<Frame> frame;
+    try {
+      frame = recv_frame(sock);
+    } catch (const std::exception& e) {
+      util::log_warn("evald: connection lost: ", e.what());
+      return false;
+    }
+    if (!frame) return false;  // clean EOF — client went away
+
+    try {
+      switch (frame->type) {
+        case MsgType::kHello: {
+          const HelloMsg hello = decode_hello(frame->payload);
+          if (hello.version != kProtocolVersion) {
+            send_frame(sock, MsgType::kError,
+                       encode_error({0, "unsupported protocol version " +
+                                            std::to_string(hello.version)}));
+            break;
+          }
+          send_frame(sock, MsgType::kHelloAck,
+                     encode_hello_ack(service.on_hello(hello.design_id)));
+          break;
+        }
+        case MsgType::kEvalRequest: {
+          EvalRequestMsg req = decode_eval_request(frame->payload);
+          std::vector<core::Flow> flows;
+          flows.reserve(req.flows.size());
+          for (core::StepsKey& steps : req.flows) {
+            flows.push_back(core::Flow{std::move(steps)});
+          }
+          EvalResponseMsg resp;
+          resp.request_id = req.request_id;
+          try {
+            resp.results = service.on_eval(std::move(flows));
+          } catch (const std::exception& e) {
+            send_frame(sock, MsgType::kError,
+                       encode_error({req.request_id, e.what()}));
+            break;
+          }
+          send_frame(sock, MsgType::kEvalResponse,
+                     encode_eval_response(resp));
+          break;
+        }
+        case MsgType::kPing:
+          send_frame(sock, MsgType::kPong, frame->payload);
+          break;
+        case MsgType::kShutdown:
+          return true;
+        default:
+          send_frame(sock, MsgType::kError,
+                     encode_error({0, "unexpected message type"}));
+          break;
+      }
+    } catch (const TransportError& e) {
+      util::log_warn("evald: send failed: ", e.what());
+      return false;
+    } catch (const std::exception& e) {
+      // Bad payloads / rejected hellos: report and keep serving. If even
+      // the error report fails the connection is gone.
+      try {
+        send_frame(sock, MsgType::kError, encode_error({0, e.what()}));
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+  }
+}
+
+EvalWorker::EvalWorker(WorkerOptions options) : options_(std::move(options)) {
+  if (!options_.design_id.empty()) ensure_design(options_.design_id);
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+}
+
+void EvalWorker::ensure_design(const std::string& design_id) {
+  if (evaluator_ && design_id == options_.design_id) return;
+  evaluator_ = std::make_unique<core::SynthesisEvaluator>(
+      designs::make_design(design_id), map::CellLibrary::builtin(),
+      map::MapperParams{}, options_.evaluator);
+  options_.design_id = design_id;
+}
+
+bool EvalWorker::serve(Socket& sock) {
+  EvalService service;
+  service.on_hello = [this](const std::string& requested) {
+    ensure_design(requested.empty() ? options_.design_id : requested);
+    if (!evaluator_) {
+      throw std::runtime_error("worker has no design configured");
+    }
+    return options_.design_id;
+  };
+  service.on_eval = [this](std::vector<core::Flow> flows) {
+    if (!evaluator_) throw std::runtime_error("no design configured");
+    return evaluator_->evaluate_many(flows, pool_.get());
+  };
+  return serve_frames(sock, service);
+}
+
+void EvalWorker::serve_forever(Listener& listener) {
+  while (true) {
+    Socket conn = listener.accept();
+    util::log_info("evald worker: client connected");
+    if (serve(conn)) {
+      util::log_info("evald worker: shutdown requested");
+      return;
+    }
+    util::log_info("evald worker: client disconnected");
+  }
+}
+
+}  // namespace flowgen::service

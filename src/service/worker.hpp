@@ -1,0 +1,74 @@
+#pragma once
+// One evaluation worker: a SynthesisEvaluator wrapped in the wire protocol.
+// A worker is a process that serves EvalRequests on a connected socket —
+// spawned by evald --mode worker on its own machine, or forked locally by
+// LoopbackCluster. The evaluator (and with it the prefix/QoR caches) lives
+// as long as the worker, so consecutive requests — and consecutive
+// connections — keep hitting warm snapshots; that is the whole point of
+// sharding batches by prefix affinity on the coordinator side.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "service/transport.hpp"
+#include "util/thread_pool.hpp"
+
+namespace flowgen::service {
+
+/// The server side of the wire protocol, factored out of any particular
+/// evaluator: EvalWorker (one process, one SynthesisEvaluator) and evald's
+/// server mode (a coordinator fronting a fleet) both serve connections
+/// through this, so the frame dispatch — version checks, error framing,
+/// ping, shutdown — exists exactly once.
+struct EvalService {
+  /// Handle Hello. `requested` is the client's design id (may be empty =
+  /// keep current). Return the design id to ack; throw to answer with an
+  /// Error frame instead.
+  std::function<std::string(const std::string& requested)> on_hello;
+  /// Evaluate a batch; results must keep flow order.
+  std::function<std::vector<map::QoR>(std::vector<core::Flow>)> on_eval;
+};
+
+/// Serve frames on `sock` until clean EOF (returns false) or a Shutdown
+/// frame (returns true). Handler exceptions are answered with Error frames
+/// and the connection continues; transport failures end it.
+bool serve_frames(Socket& sock, const EvalService& service);
+
+struct WorkerOptions {
+  /// designs::make_design name built at startup; a Hello naming a different
+  /// design rebuilds the evaluator (and drops its caches).
+  std::string design_id;
+  core::EvaluatorConfig evaluator;
+  /// Threads for evaluate_many inside this worker. Loopback clusters keep
+  /// this at 1 (parallelism comes from processes); a big remote worker can
+  /// raise it to use its whole machine per shard.
+  std::size_t threads = 1;
+};
+
+class EvalWorker {
+public:
+  explicit EvalWorker(WorkerOptions options);
+
+  /// serve_frames over this worker's evaluator. Returns true after
+  /// Shutdown, false on EOF.
+  bool serve(Socket& sock);
+
+  /// Accept loop for the evald binary: serve connections one at a time
+  /// until a client sends Shutdown.
+  void serve_forever(Listener& listener);
+
+  const core::SynthesisEvaluator& evaluator() const { return *evaluator_; }
+
+private:
+  /// (Re)build the evaluator when the served design changes.
+  void ensure_design(const std::string& design_id);
+
+  WorkerOptions options_;
+  std::unique_ptr<core::SynthesisEvaluator> evaluator_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace flowgen::service

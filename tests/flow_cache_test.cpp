@@ -153,6 +153,75 @@ TEST(FlowCacheTest, EvictionKeepsOutstandingSnapshotsAlive) {
   EXPECT_GT(held->num_nodes(), 0u);
 }
 
+TEST(FlowCacheTest, ZeroBudgetRejectsEverythingButStaysUsable) {
+  FlowCacheConfig cfg;
+  cfg.shards = 1;
+  cfg.byte_budget = 0;
+  PrefixFlowCache cache(cfg);
+  const auto g = snapshot("alu:4");
+  for (int i = 0; i < 4; ++i) cache.insert(key({i}), g);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.insertions, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  // Lookups still answer (with misses) instead of crashing.
+  EXPECT_EQ(cache.longest_prefix(key({0})).depth, 0u);
+  EXPECT_EQ(cache.stats().lookups, 1u);
+}
+
+TEST(FlowCacheTest, TinyBudgetChurnNeverExceedsBudget) {
+  // A budget that fits exactly one snapshot per shard, hammered with many
+  // distinct keys: the byte invariant must hold after every insert, and
+  // every insert beyond the first must evict (LRU churn, not growth).
+  const auto g = snapshot("alu:4");
+  std::size_t per_entry = 0;
+  {
+    PrefixFlowCache probe;
+    probe.insert(key({0}), g);
+    per_entry = probe.stats().bytes;
+  }
+  ASSERT_GT(per_entry, 0u);
+
+  FlowCacheConfig cfg;
+  cfg.shards = 1;
+  cfg.byte_budget = per_entry + per_entry / 4;
+  PrefixFlowCache cache(cfg);
+  for (int a = 0; a < 6; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      cache.insert(key({a, b}), g);
+      const auto s = cache.stats();
+      EXPECT_LE(s.bytes, cfg.byte_budget);
+      EXPECT_EQ(s.entries, 1u);  // never more than one fits
+    }
+  }
+  const auto s = cache.stats();
+  EXPECT_EQ(s.insertions, 36u);
+  EXPECT_EQ(s.evictions, 35u);  // every insert after the first evicted one
+  // The final insert is resident; everything older is gone.
+  EXPECT_EQ(cache.longest_prefix(key({5, 5})).depth, 2u);
+  EXPECT_EQ(cache.longest_prefix(key({0, 0})).depth, 0u);
+}
+
+TEST(FlowCacheTest, BudgetIsPerShardSlice) {
+  // The total budget divides across shards: an entry that fits the whole
+  // budget but not budget/shards is rejected, exactly as documented.
+  const auto g = snapshot("alu:4");
+  std::size_t per_entry = 0;
+  {
+    PrefixFlowCache probe;
+    probe.insert(key({0}), g);
+    per_entry = probe.stats().bytes;
+  }
+  FlowCacheConfig cfg;
+  cfg.shards = 4;
+  cfg.byte_budget = 2 * per_entry;  // per-shard slice: per_entry / 2
+  PrefixFlowCache cache(cfg);
+  for (int i = 0; i < 6; ++i) cache.insert(key({i}), g);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
 TEST(FlowCacheTest, ConcurrentInsertsAndLookupsAreSafe) {
   PrefixFlowCache cache;
   const auto g = snapshot("alu:4");

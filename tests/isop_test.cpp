@@ -92,6 +92,73 @@ TEST_P(IsopPropertyTest, IrredundantNoCubeRemovable) {
 INSTANTIATE_TEST_SUITE_P(VariableCounts, IsopPropertyTest,
                          ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u, 10u));
 
+// Reference implementation: the original all-TruthTable Minato-Morreale
+// recursion, kept here to pin down that the word-parallel <=6-var kernel
+// in isop() produces the *same cubes in the same order* — downstream
+// factoring (and with it refactor QoR) depends on the exact SOP, not just
+// on covering the right function.
+struct RefIsop {
+  Sop cubes;
+  TruthTable cover;
+};
+
+RefIsop ref_isop_rec(const TruthTable& lower, const TruthTable& upper,
+                     unsigned num_top_vars) {
+  if (lower.is_const0()) {
+    return {Sop{}, TruthTable::constant(lower.num_vars(), false)};
+  }
+  if (upper.is_const1()) {
+    return {Sop{Cube{}}, TruthTable::constant(lower.num_vars(), true)};
+  }
+  unsigned var = 0;
+  for (unsigned v = num_top_vars; v-- > 0;) {
+    if (lower.depends_on(v) || upper.depends_on(v)) {
+      var = v;
+      break;
+    }
+  }
+  const TruthTable l0 = lower.cofactor0(var);
+  const TruthTable l1 = lower.cofactor1(var);
+  const TruthTable u0 = upper.cofactor0(var);
+  const TruthTable u1 = upper.cofactor1(var);
+  RefIsop neg_side = ref_isop_rec(TruthTable::and_compl(l0, u1), u0, var);
+  RefIsop pos_side = ref_isop_rec(TruthTable::and_compl(l1, u0), u1, var);
+  TruthTable rest = TruthTable::and_compl(l0, neg_side.cover);
+  rest |= TruthTable::and_compl(l1, pos_side.cover);
+  RefIsop both = ref_isop_rec(rest, u0 & u1, var);
+  RefIsop out;
+  for (Cube c : neg_side.cubes) {
+    c.neg |= (1u << var);
+    out.cubes.push_back(c);
+  }
+  for (Cube c : pos_side.cubes) {
+    c.pos |= (1u << var);
+    out.cubes.push_back(c);
+  }
+  for (const Cube& c : both.cubes) out.cubes.push_back(c);
+  out.cover = TruthTable::mux_var(var, pos_side.cover, neg_side.cover);
+  out.cover |= both.cover;
+  return out;
+}
+
+TEST(IsopTest, WordKernelMatchesReferenceCubeForCube) {
+  // Covers the pure word path (nv <= 6) and the generic->word handoff
+  // (nv 7..8, where recursion enters the kernel once <= 6 live vars
+  // remain).
+  for (unsigned nv = 1; nv <= 8; ++nv) {
+    util::Rng rng(7000 + nv);
+    for (int trial = 0; trial < 20; ++trial) {
+      const TruthTable f = random_tt(nv, rng);
+      const Sop got = isop(f);
+      const Sop want = ref_isop_rec(f, f, nv).cubes;
+      ASSERT_EQ(got.size(), want.size()) << "nv=" << nv;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], want[i]) << "nv=" << nv << " cube=" << i;
+      }
+    }
+  }
+}
+
 TEST(IsopTest, SparseAndDenseFunctions) {
   util::Rng rng(42);
   for (double density : {0.05, 0.95}) {

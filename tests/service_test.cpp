@@ -1,0 +1,391 @@
+// Tests for the distributed flow-evaluation service: wire format round
+// trips, transport addressing, coordinator scheduling, and — the part that
+// justifies the subsystem — fault tolerance: a worker SIGKILLed mid-batch
+// must cost nothing but a requeue, and distributed results must be
+// bit-identical to in-process evaluation.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/evaluator.hpp"
+#include "core/flow_space.hpp"
+#include "core/pipeline.hpp"
+#include "designs/registry.hpp"
+#include "service/loopback.hpp"
+#include "service/remote_evaluator.hpp"
+#include "service/wire.hpp"
+#include "util/rng.hpp"
+
+// Fork-based tests are skipped under ThreadSanitizer: TSan's runtime does
+// not support tracking child processes that keep running after fork, and
+// the forked workers would run synthesis at TSan speed anyway. The
+// determinism-relevant concurrency (evaluator, flow cache, thread pool) is
+// covered by the non-fork suites.
+#if defined(__SANITIZE_THREAD__)
+#define FLOWGEN_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FLOWGEN_TSAN 1
+#endif
+#endif
+
+#ifdef FLOWGEN_TSAN
+#define SKIP_UNDER_TSAN() GTEST_SKIP() << "fork-based service test under TSan"
+#else
+#define SKIP_UNDER_TSAN() (void)0
+#endif
+
+namespace flowgen::service {
+namespace {
+
+using core::Flow;
+
+std::vector<Flow> sample_flows(std::size_t n, unsigned m = 2,
+                               std::uint64_t seed = 1) {
+  const core::FlowSpace space(m);
+  util::Rng rng(seed);
+  return space.sample_unique(n, rng);
+}
+
+void expect_bit_identical(const std::vector<map::QoR>& a,
+                          const std::vector<map::QoR>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "QoR diverges at flow " << i;
+  }
+}
+
+// ----------------------------------------------------------------- wire --
+
+TEST(WireTest, AddressParsesUnixAndTcp) {
+  const Address u = Address::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(u.kind, Address::Kind::kUnix);
+  EXPECT_EQ(u.host, "/tmp/x.sock");
+  EXPECT_EQ(u.to_string(), "unix:/tmp/x.sock");
+
+  const Address t = Address::parse("tcp:127.0.0.1:9000");
+  EXPECT_EQ(t.kind, Address::Kind::kTcp);
+  EXPECT_EQ(t.host, "127.0.0.1");
+  EXPECT_EQ(t.port, 9000);
+
+  EXPECT_THROW(Address::parse("http://x"), TransportError);
+  EXPECT_THROW(Address::parse("tcp:nohost"), TransportError);
+  EXPECT_THROW(Address::parse("tcp:host:notaport"), TransportError);
+  EXPECT_THROW(Address::parse("unix:"), TransportError);
+}
+
+TEST(WireTest, EvalRequestRoundTrips) {
+  EvalRequestMsg msg;
+  msg.request_id = 0x1122334455667788ull;
+  msg.flows.push_back({opt::TransformKind::kBalance,
+                       opt::TransformKind::kRefactorZ});
+  msg.flows.push_back({});  // empty flow (baseline) is legal
+  msg.flows.push_back({opt::TransformKind::kRewrite});
+
+  const auto decoded = decode_eval_request(encode_eval_request(msg));
+  EXPECT_EQ(decoded.request_id, msg.request_id);
+  ASSERT_EQ(decoded.flows.size(), 3u);
+  EXPECT_EQ(decoded.flows[0], msg.flows[0]);
+  EXPECT_TRUE(decoded.flows[1].empty());
+  EXPECT_EQ(decoded.flows[2], msg.flows[2]);
+}
+
+TEST(WireTest, EvalResponseRoundTripsExactDoubles) {
+  EvalResponseMsg msg;
+  msg.request_id = 7;
+  msg.results.push_back(map::QoR{123.456789012345, 9876.5432109876, 42, 7});
+  msg.results.push_back(map::QoR{0.0, -1.5, 0, 0});
+
+  const auto decoded = decode_eval_response(encode_eval_response(msg));
+  EXPECT_EQ(decoded.request_id, 7u);
+  ASSERT_EQ(decoded.results.size(), 2u);
+  // Doubles cross the wire as bit patterns, not text: exact equality.
+  EXPECT_EQ(decoded.results[0], msg.results[0]);
+  EXPECT_EQ(decoded.results[1], msg.results[1]);
+}
+
+TEST(WireTest, HelloAndErrorRoundTrip) {
+  const HelloMsg hello = decode_hello(encode_hello({3, "alu16"}));
+  EXPECT_EQ(hello.version, 3);
+  EXPECT_EQ(hello.design_id, "alu16");
+
+  const ErrorMsg err = decode_error(encode_error({99, "boom"}));
+  EXPECT_EQ(err.request_id, 99u);
+  EXPECT_EQ(err.message, "boom");
+}
+
+TEST(WireTest, DecodersRejectTruncatedAndTrailingBytes) {
+  auto bytes = encode_eval_request({1, {{opt::TransformKind::kBalance}}});
+  auto truncated = bytes;
+  truncated.pop_back();
+  EXPECT_THROW(decode_eval_request(truncated), WireError);
+  bytes.push_back(0);
+  EXPECT_THROW(decode_eval_request(bytes), WireError);
+}
+
+TEST(WireTest, DecodersRejectCountsExceedingPayload) {
+  // A corrupt count field must fail validation, not turn into a
+  // multi-gigabyte reserve().
+  EvalResponseMsg msg;
+  msg.request_id = 1;
+  msg.results.push_back(map::QoR{});
+  auto bytes = encode_eval_response(msg);
+  bytes[8] = 0xFF;  // count (little-endian u32 after the u64 request id)
+  bytes[9] = 0xFF;
+  bytes[10] = 0xFF;
+  bytes[11] = 0xFF;
+  EXPECT_THROW(decode_eval_response(bytes), WireError);
+
+  auto req = encode_eval_request({1, {{opt::TransformKind::kBalance}}});
+  req[8] = 0xFF;
+  req[9] = 0xFF;
+  req[10] = 0xFF;
+  req[11] = 0xFF;
+  EXPECT_THROW(decode_eval_request(req), WireError);
+}
+
+TEST(ServiceTest, HandshakeRejectsMismatchedAckDesign) {
+  // A peer that acks the handshake but names a different design (a
+  // misconfigured evald server fleet, say) must be dropped — answering
+  // with QoR of the wrong circuit would silently corrupt labels.
+  auto [coordinator_end, fake_end] = socket_pair();
+  std::thread fake([sock = std::move(fake_end)]() mutable {
+    const auto hello = recv_frame(sock, 10000);
+    if (!hello || hello->type != MsgType::kHello) return;
+    send_frame(sock, MsgType::kHelloAck, encode_hello_ack("mont:8"));
+    recv_frame(sock, 10000);  // linger until the coordinator hangs up
+  });
+  std::vector<EvalCoordinator::Worker> workers;
+  workers.push_back(
+      EvalCoordinator::Worker{std::move(coordinator_end), "fake"});
+  EXPECT_THROW(EvalCoordinator(std::move(workers), "alu:4"), ServiceError);
+  fake.join();
+}
+
+TEST(WireTest, FramesTraverseSocketsAndRejectGarbage) {
+  auto [a, b] = socket_pair();
+  send_frame(a, MsgType::kPing, encode_u64(12345));
+  const auto frame = recv_frame(b, 1000);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::kPing);
+  EXPECT_EQ(decode_u64(frame->payload), 12345u);
+
+  const char junk[] = "GET / HTTP/1.1\r\n";
+  a.send_all(junk, sizeof junk);
+  EXPECT_THROW(recv_frame(b, 1000), WireError);
+
+  // Clean EOF at a frame boundary is a nullopt, not an error.
+  auto [c, d] = socket_pair();
+  c.close();
+  EXPECT_EQ(recv_frame(d, 1000), std::nullopt);
+}
+
+TEST(WireTest, ConnectToDeadEndpointFailsFast) {
+  EXPECT_THROW(
+      connect_to(Address::parse("unix:/tmp/flowgen-no-such.sock"), 500),
+      TransportError);
+}
+
+TEST(ServiceTest, UnixSocketWorkerServesRemoteEvaluator) {
+  // The full socket path without fork: a worker served from a thread on a
+  // real unix listener, driven through RemoteEvaluator::connect.
+  const std::string path = ::testing::TempDir() + "flowgen_worker.sock";
+  Listener listener = Listener::bind(Address::parse("unix:" + path));
+  std::thread server([&listener] {
+    WorkerOptions options;
+    options.design_id = "alu:4";
+    EvalWorker worker(options);
+    Socket conn = listener.accept(20000);
+    worker.serve(conn);  // returns on client disconnect
+  });
+
+  auto remote = RemoteEvaluator::connect({"unix:" + path}, "alu:4");
+  const auto flows = sample_flows(12);
+  const auto remote_qor = remote->evaluate_many(flows);
+  core::SynthesisEvaluator local(designs::make_design("alu:4"));
+  expect_bit_identical(remote_qor, local.evaluate_many(flows));
+  remote.reset();  // hang up; worker's serve() sees EOF
+  server.join();
+}
+
+// -------------------------------------------------------------- service --
+
+TEST(ServiceTest, LoopbackMatchesInProcessBitForBit) {
+  SKIP_UNDER_TSAN();
+  const auto flows = sample_flows(60);
+  auto remote = RemoteEvaluator::loopback("alu:4", 2);
+  const auto remote_qor = remote->evaluate_many(flows);
+
+  core::SynthesisEvaluator local(designs::make_design("alu:4"));
+  expect_bit_identical(remote_qor, local.evaluate_many(flows));
+}
+
+// The acceptance bar: a 1000-flow labeling batch through >= 4 loopback
+// workers, bit-identical to the in-process engine.
+TEST(ServiceTest, ThousandFlowBatchOnFourWorkersIsBitIdentical) {
+  SKIP_UNDER_TSAN();
+  const auto flows = sample_flows(1000);
+  auto remote = RemoteEvaluator::loopback("alu:4", 4);
+  const auto remote_qor = remote->evaluate_many(flows);
+  EXPECT_EQ(remote->num_workers_alive(), 4u);
+
+  core::SynthesisEvaluator local(designs::make_design("alu:4"));
+  expect_bit_identical(remote_qor, local.evaluate_many(flows));
+}
+
+TEST(ServiceTest, EvaluateSingleFlowWorks) {
+  SKIP_UNDER_TSAN();
+  auto remote = RemoteEvaluator::loopback("alu:4", 1);
+  const Flow flow = Flow::from_key("0213");
+  core::SynthesisEvaluator local(designs::make_design("alu:4"));
+  EXPECT_EQ(remote->evaluate(flow), local.evaluate(flow));
+  EXPECT_EQ(remote->baseline(), local.baseline());
+}
+
+TEST(ServiceTest, WorkerCachesStayWarmAcrossRequests) {
+  SKIP_UNDER_TSAN();
+  // Same batch twice: the second pass must be served from the workers' QoR
+  // caches. We can't read child stats directly, but identical results on
+  // the repeat exercise the path.
+  const auto flows = sample_flows(40);
+  auto remote = RemoteEvaluator::loopback("alu:4", 2);
+  const auto first = remote->evaluate_many(flows);
+  const auto second = remote->evaluate_many(flows);
+  expect_bit_identical(first, second);
+  EXPECT_EQ(remote->stats().batches, 2u);
+}
+
+TEST(ServiceTest, WorkerKilledMidBatchIsRequeuedAndBatchCompletes) {
+  SKIP_UNDER_TSAN();
+  const auto flows = sample_flows(240);
+
+  WorkerOptions options;
+  options.design_id = "alu:4";
+  auto cluster = std::make_unique<LoopbackCluster>(2, options);
+  LoopbackCluster* cluster_ptr = cluster.get();
+
+  CoordinatorConfig config;
+  config.shards_per_worker = 8;  // plenty of pending work at kill time
+  auto coordinator = std::make_unique<EvalCoordinator>(
+      cluster->take_workers(), "alu:4", config);
+
+  // SIGKILL worker 0 the moment the first shard response (from either
+  // worker) lands — mid-batch by construction, with most shards pending.
+  bool killed = false;
+  coordinator->set_response_observer([&](std::size_t) {
+    if (!killed) {
+      killed = true;
+      cluster_ptr->kill_worker(0);
+    }
+  });
+
+  const auto remote_qor = coordinator->evaluate_many(flows);
+  EXPECT_TRUE(killed);
+  EXPECT_EQ(coordinator->num_workers_alive(), 1u);
+  EXPECT_EQ(coordinator->stats().workers_lost, 1u);
+  EXPECT_GE(coordinator->stats().requeues, 1u);
+
+  // No lost shards, no corruption: every result bit-identical in-process.
+  core::SynthesisEvaluator local(designs::make_design("alu:4"));
+  expect_bit_identical(remote_qor, local.evaluate_many(flows));
+}
+
+TEST(ServiceTest, UnresponsiveWorkerTimesOutAndBatchCompletes) {
+  SKIP_UNDER_TSAN();
+  // One real loopback worker plus one fake worker that handshakes and then
+  // goes silent: its shards must time out and rerun on the real worker.
+  WorkerOptions options;
+  options.design_id = "alu:4";
+  LoopbackCluster cluster(1, options);
+
+  auto [coordinator_end, fake_end] = socket_pair();
+  std::thread fake_worker([sock = std::move(fake_end)]() mutable {
+    const auto hello = recv_frame(sock, 10000);
+    if (!hello || hello->type != MsgType::kHello) return;
+    send_frame(sock, MsgType::kHelloAck, encode_hello_ack("alu:4"));
+    // Swallow requests without answering until the coordinator hangs up.
+    while (recv_frame(sock, 10000)) {
+    }
+  });
+
+  std::vector<EvalCoordinator::Worker> workers = cluster.take_workers();
+  workers.push_back(
+      EvalCoordinator::Worker{std::move(coordinator_end), "fake"});
+
+  CoordinatorConfig config;
+  config.request_timeout_ms = 500;
+  EvalCoordinator coordinator(std::move(workers), "alu:4", config);
+  ASSERT_EQ(coordinator.num_workers_alive(), 2u);
+
+  const auto flows = sample_flows(80);
+  const auto remote_qor = coordinator.evaluate_many(flows);
+  EXPECT_EQ(coordinator.num_workers_alive(), 1u);
+  EXPECT_EQ(coordinator.stats().workers_lost, 1u);
+  EXPECT_GE(coordinator.stats().requeues, 1u);
+
+  core::SynthesisEvaluator local(designs::make_design("alu:4"));
+  expect_bit_identical(remote_qor, local.evaluate_many(flows));
+  coordinator.shutdown_workers();  // closes the fake's socket too
+  fake_worker.join();
+}
+
+TEST(ServiceTest, BatchFailsLoudlyWhenEveryWorkerDies) {
+  SKIP_UNDER_TSAN();
+  WorkerOptions options;
+  options.design_id = "alu:4";
+  LoopbackCluster cluster(1, options);
+  EvalCoordinator coordinator(cluster.take_workers(), "alu:4");
+  cluster.kill_worker(0);
+  const auto flows = sample_flows(20);
+  EXPECT_THROW(coordinator.evaluate_many(flows), ServiceError);
+}
+
+TEST(ServiceTest, HandshakeRejectsUnknownDesign) {
+  SKIP_UNDER_TSAN();
+  WorkerOptions options;
+  options.design_id = "alu:4";
+  LoopbackCluster cluster(2, options);
+  // Workers cannot elaborate this id; every handshake errors out and the
+  // coordinator refuses to assemble an empty fleet.
+  EXPECT_THROW(
+      EvalCoordinator(cluster.take_workers(), "no-such-design-anywhere"),
+      ServiceError);
+}
+
+TEST(ServiceTest, PipelineRunsDistributedViaConfig) {
+  SKIP_UNDER_TSAN();
+  core::PipelineConfig cfg;
+  cfg.training_flows = 30;
+  cfg.sample_flows = 60;
+  cfg.initial_labeled = 15;
+  cfg.retrain_every = 15;
+  cfg.num_angel = 5;
+  cfg.num_devil = 5;
+  cfg.steps_per_round = 20;
+  cfg.repetitions = 2;
+  cfg.classifier.conv_filters = 4;
+  cfg.classifier.local_filters = 2;
+  cfg.classifier.dense_units = 8;
+  cfg.seed = 3;
+  cfg.threads = 1;
+  cfg.service.loopback_workers = 2;
+  cfg.service.design_id = "alu:4";
+
+  core::FlowGenPipeline pipe(designs::make_design("alu:4"), cfg);
+  const core::PipelineResult res = pipe.run();
+  EXPECT_EQ(res.labeled_flows.size(), 30u);
+  EXPECT_EQ(res.angel_flows.size(), 5u);
+  EXPECT_GT(res.baseline.area_um2, 0.0);
+}
+
+TEST(ServiceTest, PipelineDistributedConfigRequiresDesignId) {
+  core::PipelineConfig cfg;
+  cfg.service.loopback_workers = 2;  // but no design_id
+  EXPECT_THROW(
+      core::FlowGenPipeline(designs::make_design("alu:4"), cfg),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flowgen::service

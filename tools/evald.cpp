@@ -1,0 +1,158 @@
+// evald — the flow-evaluation daemon. Three modes:
+//
+//   worker    Serve synthesis+mapping requests for one design:
+//               evald --mode worker --listen unix:/tmp/w0.sock
+//                     --design alu16 [--threads 4]
+//   server    Front a worker fleet behind a single address. The server
+//             speaks the same protocol as a worker, so clients cannot tell
+//             a coordinator from a big worker — fleets compose:
+//               evald --mode server --listen tcp:0.0.0.0:9000
+//                     --workers unix:/tmp/w0.sock,unix:/tmp/w1.sock
+//                     --design alu16
+//   loopback  Fork N local workers, push a random batch through them, and
+//             print throughput — the zero-setup smoke test:
+//               evald --mode loopback --design alu16 --workers 4 --flows 200
+//
+// Flags are util/cli style (--flag value / --flag=value, FLOWGEN_* env).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/flow_space.hpp"
+#include "service/loopback.hpp"
+#include "service/remote_evaluator.hpp"
+#include "service/wire.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace flowgen;
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int run_worker(const util::Cli& cli) {
+  service::WorkerOptions options;
+  options.design_id = cli.get("design", "");
+  options.threads = static_cast<std::size_t>(cli.get_int("threads", 1));
+  if (options.design_id.empty()) {
+    std::fprintf(stderr, "evald worker: --design is required\n");
+    return 2;
+  }
+  const auto addr = service::Address::parse(
+      cli.get("listen", "unix:/tmp/evald.sock"));
+  service::EvalWorker worker(options);
+  service::Listener listener = service::Listener::bind(addr);
+  util::log_info("evald worker: design=", options.design_id, " listening on ",
+                 listener.address().to_string());
+  worker.serve_forever(listener);
+  return 0;
+}
+
+// Serve one client connection through the shared protocol loop: Hello is
+// answered for the fleet's (fixed) design, every EvalRequest fans out over
+// the workers. A server cannot switch designs like a worker can — its
+// fleet was assembled for one id — so mismatching clients get an Error
+// instead of QoR for the wrong circuit.
+bool serve_client(service::Socket& client,
+                  service::EvalCoordinator& coordinator) {
+  service::EvalService svc;
+  svc.on_hello = [&](const std::string& requested) {
+    if (!requested.empty() && requested != coordinator.design_id()) {
+      throw std::runtime_error("server fleet serves design '" +
+                               coordinator.design_id() + "', not '" +
+                               requested + "'");
+    }
+    return coordinator.design_id();
+  };
+  svc.on_eval = [&](std::vector<core::Flow> flows) {
+    return coordinator.evaluate_many(flows);
+  };
+  return service::serve_frames(client, svc);
+}
+
+int run_server(const util::Cli& cli) {
+  const std::string design = cli.get("design", "");
+  const auto worker_specs = split_list(cli.get("workers", ""));
+  if (design.empty() || worker_specs.empty()) {
+    std::fprintf(stderr,
+                 "evald server: --design and --workers are required\n");
+    return 2;
+  }
+  service::EvalCoordinator coordinator(service::connect_workers(worker_specs),
+                                       design);
+  const auto addr =
+      service::Address::parse(cli.get("listen", "unix:/tmp/evald.sock"));
+  service::Listener listener = service::Listener::bind(addr);
+  util::log_info("evald server: design=", design, " fleet=",
+                 coordinator.num_workers_alive(), " listening on ",
+                 listener.address().to_string());
+  while (true) {
+    service::Socket client = listener.accept();
+    try {
+      if (serve_client(client, coordinator)) {
+        coordinator.shutdown_workers();
+        return 0;
+      }
+    } catch (const std::exception& e) {
+      util::log_warn("evald server: client error: ", e.what());
+    }
+  }
+}
+
+int run_loopback(const util::Cli& cli) {
+  const std::string design = cli.get("design", "alu16");
+  const auto num_workers =
+      static_cast<std::size_t>(cli.get_int("workers", 4));
+  const auto num_flows = static_cast<std::size_t>(cli.get_int("flows", 200));
+  const auto m = static_cast<unsigned>(cli.get_int("m", 2));
+
+  auto remote = service::RemoteEvaluator::loopback(design, num_workers);
+  const core::FlowSpace space(m);
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  const std::vector<core::Flow> flows = space.sample_unique(num_flows, rng);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<map::QoR> qor = remote->evaluate_many(flows);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto stats = remote->stats();
+  std::printf("evald loopback: design=%s workers=%zu flows=%zu\n",
+              design.c_str(), num_workers, num_flows);
+  std::printf("  %.2fs  %.1f flows/s  shards=%zu requeues=%zu\n", seconds,
+              seconds > 0 ? static_cast<double>(num_flows) / seconds : 0.0,
+              stats.shards, stats.requeues);
+  std::printf("  first QoR: %s\n", qor.empty() ? "-" : qor[0].to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const std::string mode = cli.get("mode", "loopback");
+  if (mode == "worker") return run_worker(cli);
+  if (mode == "server") return run_server(cli);
+  if (mode == "loopback") return run_loopback(cli);
+  std::fprintf(stderr, "evald: unknown --mode %s (worker|server|loopback)\n",
+               mode.c_str());
+  return 2;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "evald: %s\n", e.what());
+  return 1;
+}
