@@ -52,6 +52,10 @@ int main(int argc, char** argv) try {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const std::size_t max_workers =
       static_cast<std::size_t>(cli.get_int("max-workers", 8));
+  // --ship-netlist assembles each fleet via protocol v2 LoadDesign (the
+  // off-registry path) instead of a registry id in Hello — same QoR bits,
+  // so the oracle check below also pins the serialization round-trip.
+  const bool ship_netlist = cli.get_bool("ship-netlist", false);
 
   const core::FlowSpace space(m);
   util::Rng rng(seed);
@@ -77,7 +81,11 @@ int main(int argc, char** argv) try {
 
   std::vector<Run> runs;
   for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
-    auto remote = service::RemoteEvaluator::loopback(design_name, workers);
+    auto remote =
+        ship_netlist
+            ? service::RemoteEvaluator::loopback_netlist(in_process.design(),
+                                                         workers)
+            : service::RemoteEvaluator::loopback(design_name, workers);
     const auto t0 = std::chrono::steady_clock::now();
     const std::vector<map::QoR> qor = remote->evaluate_many(flows);
     Run r;

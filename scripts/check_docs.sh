@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Docs gate, run by CI (.github/workflows/ci.yml) and by hand:
+#   1. every relative markdown link in README.md / docs/*.md resolves to a
+#      file that exists,
+#   2. the message-type table in docs/protocol.md matches the MsgType enum
+#      in src/service/wire.hpp, name for name and value for value,
+#   3. the protocol version in the doc title matches kProtocolVersion.
+# Exits non-zero with one line per problem, so the docs cannot drift from
+# the code they describe without failing the build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ----------------------------------------------------- 1. relative links --
+for md in README.md docs/*.md; do
+  dir=$(dirname "$md")
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "check_docs: broken link in $md -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# ------------------------------------- 2. message-type table <-> wire.hpp --
+enum_pairs=$(sed -n '/enum class MsgType/,/};/p' src/service/wire.hpp \
+  | grep -oE 'k[A-Za-z]+ *= *[0-9]+' \
+  | sed -E 's/^k([A-Za-z]+) *= *([0-9]+)$/\2 \1/' | sort -n)
+doc_pairs=$(grep -E '^\|[[:space:]]*[0-9]+[[:space:]]*\|' docs/protocol.md \
+  | awk -F'|' '{gsub(/[[:space:]]/, "", $2); gsub(/[[:space:]]/, "", $3);
+                print $2, $3}' | sort -n)
+if [ "$enum_pairs" != "$doc_pairs" ]; then
+  echo "check_docs: docs/protocol.md message-type table disagrees with" \
+       "the MsgType enum in src/service/wire.hpp:"
+  diff <(echo "$enum_pairs") <(echo "$doc_pairs") \
+    | sed 's/^</  wire.hpp: /; s/^>/  protocol.md: /' | grep -v '^---' || true
+  fail=1
+fi
+
+# --------------------------------------------- 3. protocol version match --
+code_version=$(grep -oE 'kProtocolVersion = [0-9]+' src/service/wire.hpp \
+  | grep -oE '[0-9]+')
+if ! head -1 docs/protocol.md | grep -q "(version ${code_version})"; then
+  echo "check_docs: docs/protocol.md title does not say" \
+       "(version ${code_version}) — kProtocolVersion changed without the doc"
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: OK (links resolve, protocol table and version in sync)"
+fi
+exit "$fail"

@@ -209,7 +209,7 @@ std::size_t Aig::memory_bytes() const {
          pos_.capacity() * sizeof(Lit) + strash_bytes;
 }
 
-std::array<std::uint64_t, 2> Aig::fingerprint() const {
+Fingerprint Aig::fingerprint() const {
   // Two structurally different hash lanes over the full structure: FNV-1a
   // and a splitmix64-style mixer, so the lanes do not share a multiplier
   // (correlated lanes would weaken the 128-bit collision claim). The graph

@@ -17,6 +17,12 @@ namespace flowgen::aig {
 /// node, so literal 0 = constant 0 and literal 1 = constant 1.
 using Lit = std::uint32_t;
 
+/// 128-bit structural content fingerprint (see Aig::fingerprint). Equal
+/// graphs always produce equal fingerprints; distinct graphs collide with
+/// probability ~2^-128, so the service, the QoR store and the evaluation
+/// caches all use it as the identity of a design.
+using Fingerprint = std::array<std::uint64_t, 2>;
+
 constexpr Lit kLitFalse = 0;
 constexpr Lit kLitTrue = 1;
 constexpr Lit kLitInvalid = 0xFFFFFFFFu;
@@ -131,7 +137,7 @@ public:
   /// and POs in order) always produce equal fingerprints, and distinct
   /// graphs collide with probability ~2^-128. Lets evaluation caches dedup
   /// work keyed by graph content instead of by the flow that produced it.
-  std::array<std::uint64_t, 2> fingerprint() const;
+  Fingerprint fingerprint() const;
 
 private:
   static std::uint64_t strash_key(Lit a, Lit b) {

@@ -1,0 +1,207 @@
+#include "aig/serialize.hpp"
+
+#include <cstdio>
+
+namespace flowgen::aig {
+
+namespace {
+
+// Blob layout (all integers little-endian, varints LEB128):
+//   u32 magic, u8 version, u8 flags (0), u16 reserved (0)
+//   str name                  (u16 length + raw bytes)
+//   varint num_nodes          (including the constant node 0)
+//   varint num_pos
+//   per node id = 1 .. num_nodes-1:
+//     varint d0               (0 = primary input)
+//     varint d1               (ANDs only: fanin1 = 2*id - d0,
+//                              fanin0 = fanin1 - d1)
+//   per PO: varint literal
+//   u64 fingerprint[0], u64 fingerprint[1]
+//
+// d0 >= 1 for every AND (fanins reference strictly older nodes, so
+// fanin1 <= 2*id - 1), which is what frees 0 to tag PIs.
+
+class BlobWriter {
+public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void str(const std::string& s) {
+    if (s.size() > 0xFFFF) throw SerializeError("design name too long");
+    u16(static_cast<std::uint16_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class BlobReader {
+public:
+  explicit BlobReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (u8() << 8));
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t byte = u8();
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    throw SerializeError("varint overruns 64 bits");
+  }
+  std::string str() {
+    const std::uint16_t len = u16();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  void expect_end() const {
+    if (pos_ != data_.size()) throw SerializeError("trailing bytes in blob");
+  }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw SerializeError("truncated blob");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_binary(const Aig& g) {
+  BlobWriter w;
+  w.u32(kAigMagic);
+  w.u8(kAigFormatVersion);
+  w.u8(0);   // flags
+  w.u16(0);  // reserved
+  w.str(g.name);
+  w.varint(g.num_nodes());
+  w.varint(g.num_pos());
+  for (std::uint32_t id = 1; id < g.num_nodes(); ++id) {
+    if (g.is_pi(id)) {
+      w.varint(0);
+      continue;
+    }
+    const Aig::Node& n = g.node(id);
+    // land() normalises fanin0 <= fanin1, so delta-against-the-larger keeps
+    // both varints short (AIGER's trick).
+    w.varint(2ull * id - n.fanin1);
+    w.varint(n.fanin1 - n.fanin0);
+  }
+  for (const Lit po : g.pos()) w.varint(po);
+  const Fingerprint fp = g.fingerprint();
+  w.u64(fp[0]);
+  w.u64(fp[1]);
+  return w.take();
+}
+
+Aig decode_binary(std::span<const std::uint8_t> blob) {
+  BlobReader r(blob);
+  if (r.u32() != kAigMagic) throw SerializeError("bad AIG magic");
+  const std::uint8_t version = r.u8();
+  if (version != kAigFormatVersion) {
+    throw SerializeError("unsupported AIG format version " +
+                         std::to_string(version));
+  }
+  if (r.u8() != 0) throw SerializeError("unknown AIG flags");
+  r.u16();  // reserved
+
+  Aig g;
+  g.name = r.str();
+  const std::uint64_t num_nodes = r.varint();
+  const std::uint64_t num_pos = r.varint();
+  // Every node after the constant costs >= 1 byte, every PO >= 1 byte and
+  // the trailer 16: a count that cannot fit is corrupt and must die here,
+  // not inside a multi-gigabyte reconstruction loop.
+  if (num_nodes < 1 || num_nodes - 1 > r.remaining()) {
+    throw SerializeError("node count exceeds blob");
+  }
+  if (num_pos > r.remaining()) throw SerializeError("PO count exceeds blob");
+
+  for (std::uint64_t id = 1; id < num_nodes; ++id) {
+    const std::uint64_t d0 = r.varint();
+    if (d0 == 0) {
+      g.add_pi();
+      continue;
+    }
+    if (d0 > 2 * id) throw SerializeError("fanin reference out of range");
+    const std::uint64_t f1 = 2 * id - d0;  // <= 2*id - 1: strictly older
+    const std::uint64_t d1 = r.varint();
+    if (d1 > f1) throw SerializeError("fanin reference out of range");
+    const std::uint64_t f0 = f1 - d1;
+    // Rebuild through land(): it re-derives levels and the structural hash,
+    // and any constant, trivial or duplicate AND collapses instead of
+    // appending — which the id check below turns into a typed rejection.
+    // A decoded graph therefore always satisfies Aig::check().
+    const Lit lit = g.land(static_cast<Lit>(f0), static_cast<Lit>(f1));
+    if (lit != make_lit(static_cast<std::uint32_t>(id), false)) {
+      throw SerializeError("non-canonical AND node " + std::to_string(id));
+    }
+  }
+  for (std::uint64_t i = 0; i < num_pos; ++i) {
+    const std::uint64_t po = r.varint();
+    if (lit_node(static_cast<Lit>(po)) >= num_nodes || po > 0xFFFFFFFFull) {
+      throw SerializeError("PO literal out of range");
+    }
+    g.add_po(static_cast<Lit>(po));
+  }
+
+  Fingerprint declared;
+  declared[0] = r.u64();
+  declared[1] = r.u64();
+  r.expect_end();
+  if (g.fingerprint() != declared) {
+    throw SerializeError("fingerprint mismatch: blob declares " +
+                         fingerprint_hex(declared) + ", content is " +
+                         fingerprint_hex(g.fingerprint()));
+  }
+  return g;
+}
+
+std::string fingerprint_hex(const Fingerprint& fp) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(fp[0]),
+                static_cast<unsigned long long>(fp[1]));
+  return buf;
+}
+
+}  // namespace flowgen::aig

@@ -4,6 +4,7 @@
 #include <bit>
 #include <numeric>
 
+#include "core/qor_store.hpp"
 #include "opt/transform.hpp"
 
 namespace flowgen::core {
@@ -13,6 +14,7 @@ SynthesisEvaluator::SynthesisEvaluator(aig::Aig design,
                                        map::MapperParams mapper_params,
                                        EvaluatorConfig config)
     : design_(std::move(design)),
+      design_fp_(design_.fingerprint()),
       lib_(lib),
       mapper_params_(mapper_params),
       config_(config) {
@@ -35,14 +37,33 @@ map::QoR SynthesisEvaluator::evaluate(const Flow& flow) const {
     }
   }
   const map::QoR qor = evaluate_uncached(steps);
+  bool first = false;
   {
     std::lock_guard lock(shard.mutex);
     if (shard.by_flow.emplace(StepsKey(steps.begin(), steps.end()), qor)
             .second) {
       evaluations_.fetch_add(1, std::memory_order_relaxed);
+      first = true;
     }
   }
+  // Persist outside the shard lock; QorStore::append dedups, so the rare
+  // two-threads-race-one-flow case writes the record once either way.
+  if (first && store_) store_->append(design_fp_, steps, qor);
   return qor;
+}
+
+void SynthesisEvaluator::warm_qor(StepsView steps, const map::QoR& qor) const {
+  QorShard& shard = shard_for_flow(steps);
+  std::lock_guard lock(shard.mutex);
+  shard.by_flow.emplace(StepsKey(steps.begin(), steps.end()), qor);
+}
+
+void SynthesisEvaluator::attach_store(std::shared_ptr<QorStore> store) {
+  store_ = std::move(store);
+  if (!store_) return;
+  store_->for_design(design_fp_, [this](StepsView steps, const map::QoR& q) {
+    warm_qor(steps, q);
+  });
 }
 
 map::QoR SynthesisEvaluator::evaluate_uncached(StepsView steps) const {

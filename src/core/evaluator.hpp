@@ -36,6 +36,8 @@
 
 namespace flowgen::core {
 
+class QorStore;
+
 struct EvaluatorConfig {
   /// Resume synthesis from cached prefix snapshots. Off = every cache-missing
   /// flow is synthesized from scratch (the pre-engine behaviour).
@@ -72,6 +74,21 @@ public:
 
   const aig::Aig& design() const { return design_; }
   const EvaluatorConfig& config() const { return config_; }
+  /// Content identity of the evaluated design (cached at construction);
+  /// keys this evaluator's records in a QorStore and on the v2 wire.
+  const aig::Fingerprint& design_fingerprint() const { return design_fp_; }
+
+  /// Seed the QoR cache with a known-correct result for `steps` (e.g. a
+  /// QorStore record). Does not count as an evaluation; a later evaluate()
+  /// of the same flow is a pure cache hit. First result wins on duplicate
+  /// keys. Thread-safe.
+  void warm_qor(StepsView steps, const map::QoR& qor) const;
+
+  /// Attach a persistent label store: every record for this design is
+  /// warmed into the QoR cache now, and every future flow-level cache miss
+  /// is appended to the store as it completes. Call before evaluation
+  /// starts; not thread-safe against concurrent evaluate().
+  void attach_store(std::shared_ptr<QorStore> store);
 
   /// Synthesize (transform sequence) + map + report QoR. Thread-safe;
   /// results are cached by packed flow key.
@@ -95,7 +112,7 @@ public:
   EvaluatorStats stats() const;
 
 private:
-  using Fingerprint = std::array<std::uint64_t, 2>;
+  using Fingerprint = aig::Fingerprint;
   struct FingerprintHash {
     std::size_t operator()(const Fingerprint& fp) const noexcept {
       return static_cast<std::size_t>(fp[0] ^ (fp[1] * 0x9e3779b97f4a7c15ull));
@@ -119,9 +136,11 @@ private:
   map::QoR map_deduped(const aig::Aig& g) const;
 
   aig::Aig design_;
+  aig::Fingerprint design_fp_{};
   const map::CellLibrary& lib_;
   map::MapperParams mapper_params_;
   EvaluatorConfig config_;
+  std::shared_ptr<QorStore> store_;
 
   std::size_t shard_mask_ = 0;
   mutable std::vector<QorShard> shards_;

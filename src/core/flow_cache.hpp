@@ -34,6 +34,7 @@ inline std::size_t round_up_shards(std::size_t requested) {
   return std::bit_ceil(std::max<std::size_t>(1, requested));
 }
 
+/// Tuning knobs for PrefixFlowCache; plain data, safe to copy around.
 struct FlowCacheConfig {
   /// Total snapshot budget across all shards.
   std::size_t byte_budget = std::size_t{256} << 20;  // 256 MiB
@@ -45,6 +46,9 @@ struct FlowCacheConfig {
   std::size_t max_snapshot_depth = 64;
 };
 
+/// Monotonic counters plus a point-in-time size snapshot, aggregated
+/// across shards by stats(). Values from a concurrently-mutated cache are
+/// per-shard consistent but not a global atomic snapshot.
 struct FlowCacheStats {
   std::size_t lookups = 0;
   std::size_t hits = 0;        ///< lookups that found a non-empty prefix
@@ -55,32 +59,44 @@ struct FlowCacheStats {
   /// Total transform applications saved (sum of hit depths).
   std::size_t steps_saved = 0;
 
+  /// hits / lookups; 0 when nothing was looked up yet.
   double hit_rate() const {
     return lookups ? static_cast<double>(hits) / static_cast<double>(lookups)
                    : 0.0;
   }
 };
 
+/// Sharded byte-budgeted LRU of AIG snapshots keyed by flow prefix. All
+/// public methods are thread-safe (per-shard mutexes; no lock is held
+/// across graph work) and non-throwing in normal operation — a full shard
+/// evicts, an oversized or over-deep insert is dropped, a miss returns an
+/// empty Hit. Snapshots are immutable and handed out as shared_ptr, so a
+/// reader can keep using one after it is evicted.
 class PrefixFlowCache {
 public:
   explicit PrefixFlowCache(FlowCacheConfig config = {});
 
-  /// Deepest cached prefix of `steps` (possibly all of it). `aig` is null
-  /// and `depth` 0 when no prefix is cached; the returned snapshot is
-  /// immutable and safe to keep after eviction.
+  /// Result of longest_prefix: the snapshot of the deepest cached prefix
+  /// and how many steps it covers. `aig` is null and `depth` 0 on a miss.
   struct Hit {
     std::size_t depth = 0;
     std::shared_ptr<const aig::Aig> aig;
   };
+  /// Deepest cached prefix of `steps` (possibly all of it). Refreshes the
+  /// hit entry's LRU position. Thread-safe; never throws.
   Hit longest_prefix(StepsView steps) const;
 
   /// Store `aig` as the snapshot for the exact prefix `steps`. No-op when
   /// the prefix is deeper than max_snapshot_depth or wider than a shard's
   /// whole budget. Keeps the first snapshot on duplicate insert (all
-  /// inserts for one key are value-identical by construction).
+  /// inserts for one key are value-identical by construction). May evict
+  /// LRU entries to honour the shard budget. Thread-safe.
   void insert(StepsView steps, std::shared_ptr<const aig::Aig> aig);
 
+  /// Aggregate counters + current entries/bytes across shards. Thread-safe.
   FlowCacheStats stats() const;
+  /// Drop every snapshot (budgets/config unchanged). Thread-safe, but the
+  /// caller owns the question of who is still evaluating.
   void clear();
 
   const FlowCacheConfig& config() const { return config_; }

@@ -21,20 +21,31 @@
 
 namespace flowgen::core {
 
+/// Abstract producer of flow QoRs. Contract for every implementation:
+/// evaluation is deterministic and *pure* — the result depends only on
+/// (design, steps) — so repeated calls, any batch decomposition, and any
+/// implementation swap yield bit-identical QoR. Implementations are
+/// thread-safe for concurrent calls through this interface, and report
+/// failure by throwing (std::exception subtypes; e.g. ServiceError when a
+/// remote fleet cannot complete a batch) — never by returning partial or
+/// default results.
 class FlowEvaluator {
 public:
   virtual ~FlowEvaluator() = default;
 
-  /// Synthesize + map one flow and report its QoR.
+  /// Synthesize + map one flow and report its QoR. Deterministic; throws
+  /// on evaluation failure.
   virtual map::QoR evaluate(const Flow& flow) const = 0;
 
-  /// Evaluate a batch; results keep caller order. `pool` is advisory — the
+  /// Evaluate a batch; results keep caller order (result[i] belongs to
+  /// flows[i] regardless of internal scheduling). `pool` is advisory — the
   /// in-process engine fans out across it, a remote evaluator (whose
-  /// parallelism is its worker processes) may ignore it.
+  /// parallelism is its worker processes) may ignore it. Throws if any
+  /// flow cannot be evaluated; never returns a partially-filled batch.
   virtual std::vector<map::QoR> evaluate_many(
       std::span<const Flow> flows, util::ThreadPool* pool = nullptr) const = 0;
 
-  /// QoR of the unsynthesized design (empty flow).
+  /// QoR of the unsynthesized design (= the empty flow, by definition).
   virtual map::QoR baseline() const { return evaluate(Flow{}); }
 };
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "core/qor_store.hpp"
 #include "designs/registry.hpp"
 #include "service/remote_evaluator.hpp"
 #include "util/log.hpp"
@@ -18,31 +19,51 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }
 
 /// The config switch between in-process and distributed labeling. Loopback
-/// workers are forked here, before the pipeline spawns any threads.
+/// workers are forked here, before the pipeline spawns any threads. A
+/// configured qor_store_dir attaches the persistent label store to
+/// whichever evaluator is built, so labeling runs resume across restarts.
 std::unique_ptr<FlowEvaluator> make_evaluator(
     aig::Aig design, const service::EvalServiceConfig& svc) {
+  std::shared_ptr<QorStore> store;
+  if (!svc.qor_store_dir.empty()) {
+    QorStoreConfig store_config;
+    store_config.dir = svc.qor_store_dir;
+    store = std::make_shared<QorStore>(std::move(store_config));
+  }
   if (!svc.distributed()) {
-    return std::make_unique<SynthesisEvaluator>(std::move(design));
+    auto local = std::make_unique<SynthesisEvaluator>(std::move(design));
+    if (store) local->attach_store(std::move(store));
+    return local;
   }
+  std::unique_ptr<service::RemoteEvaluator> remote;
   if (svc.design_id.empty()) {
-    throw std::invalid_argument(
-        "PipelineConfig.service: distributed evaluation needs design_id");
+    // Off-registry design: ship the netlist itself to every worker
+    // (protocol v2 LoadDesign). The serialization embeds the content
+    // fingerprint, so a worker can never silently evaluate a different
+    // circuit than the one passed here.
+    remote = !svc.worker_addresses.empty()
+                 ? service::RemoteEvaluator::connect_netlist(
+                       svc.worker_addresses, design)
+                 : service::RemoteEvaluator::loopback_netlist(
+                       design, svc.loopback_workers);
+  } else {
+    // Workers elaborate design_id from the registry; labeling the wrong
+    // circuit must be a loud failure, not a silent one, so verify the id
+    // reproduces the design the caller actually passed.
+    if (designs::make_design(svc.design_id).fingerprint() !=
+        design.fingerprint()) {
+      throw std::invalid_argument(
+          "PipelineConfig.service.design_id '" + svc.design_id +
+          "' does not elaborate to the design passed to FlowGenPipeline");
+    }
+    remote = !svc.worker_addresses.empty()
+                 ? service::RemoteEvaluator::connect(svc.worker_addresses,
+                                                     svc.design_id)
+                 : service::RemoteEvaluator::loopback(svc.design_id,
+                                                      svc.loopback_workers);
   }
-  // Workers elaborate design_id from the registry; labeling the wrong
-  // circuit must be a loud failure, not a silent one, so verify the id
-  // reproduces the design the caller actually passed.
-  if (designs::make_design(svc.design_id).fingerprint() !=
-      design.fingerprint()) {
-    throw std::invalid_argument(
-        "PipelineConfig.service.design_id '" + svc.design_id +
-        "' does not elaborate to the design passed to FlowGenPipeline");
-  }
-  if (!svc.worker_addresses.empty()) {
-    return service::RemoteEvaluator::connect(svc.worker_addresses,
-                                             svc.design_id);
-  }
-  return service::RemoteEvaluator::loopback(svc.design_id,
-                                            svc.loopback_workers);
+  if (store) remote->attach_store(std::move(store));
+  return remote;
 }
 
 }  // namespace

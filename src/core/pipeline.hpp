@@ -95,10 +95,12 @@ struct PipelineResult {
 class FlowGenPipeline {
 public:
   /// `design` feeds the in-process evaluator. When `config.service`
-  /// selects distributed evaluation, workers rebuild the design from
-  /// `config.service.design_id` via the registry instead; `design` is then
-  /// only fingerprint-checked against that id (mismatch throws) and
-  /// dropped.
+  /// selects distributed evaluation, workers either rebuild the design
+  /// from `config.service.design_id` via the registry (`design` is then
+  /// only fingerprint-checked against that id — mismatch throws — and
+  /// dropped), or, when design_id is empty, receive `design` itself as a
+  /// serialized netlist (protocol v2 LoadDesign) — the path for circuits
+  /// no registry knows.
   FlowGenPipeline(aig::Aig design, PipelineConfig config);
 
   /// Observe per-round statistics as they are produced.

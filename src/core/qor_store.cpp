@@ -1,0 +1,285 @@
+#include "core/qor_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/crc32.hpp"
+#include "util/log.hpp"
+
+namespace flowgen::core {
+
+namespace {
+
+// On-disk layout (little-endian; docs/qor-store.md is the normative spec):
+//   file header (8 bytes): u32 magic "FQOR", u8 version, u8 0, u16 0
+//   record:  u32 crc32(payload), u32 payload_len, payload
+//   payload: u64 fp[0], u64 fp[1], u16 num_steps, steps bytes,
+//            u64 bits(area_um2), u64 bits(delay_ps),
+//            u64 num_cells, u64 num_inverters
+constexpr std::uint32_t kStoreMagic = 0x46514F52;  // "FQOR"
+constexpr std::uint8_t kStoreVersion = 1;
+constexpr std::size_t kFileHeaderBytes = 8;
+constexpr std::size_t kRecordHeaderBytes = 8;
+/// A payload is 50 bytes + one per step and steps are capped at 64Ki, so
+/// 1 MiB rejects corrupt lengths without bounding real records.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  put_u16(b, static_cast<std::uint16_t>(v));
+  put_u16(b, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v));
+  put_u32(b, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(get_u16(p)) |
+         (static_cast<std::uint32_t>(get_u16(p + 2)) << 16);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+QorStore::QorStore(QorStoreConfig config) : config_(std::move(config)) {
+  namespace fs = std::filesystem;
+  if (config_.dir.empty()) {
+    throw QorStoreError("QorStore: empty store directory");
+  }
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  if (ec) {
+    throw QorStoreError("QorStore: cannot create '" + config_.dir +
+                        "': " + ec.message());
+  }
+  if (config_.writer_name.empty()) {
+    // Unique per process *and* per instance: several stores in one
+    // process (e.g. two pipelines sharing a directory) must never share a
+    // log file — one file, one writer is the whole multi-writer protocol.
+    static std::atomic<unsigned> instance{0};
+    config_.writer_name = "w" + std::to_string(::getpid()) + "-" +
+                          std::to_string(instance.fetch_add(1));
+  }
+  writer_path_ = config_.dir + "/" + config_.writer_name + ".qorlog";
+
+  // Load every log in deterministic (sorted) order; ours may be among them
+  // when a writer name is reused across runs.
+  std::vector<std::string> logs;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    if (entry.path().extension() == ".qorlog") {
+      logs.push_back(entry.path().string());
+    }
+  }
+  std::sort(logs.begin(), logs.end());
+  std::uint64_t own_valid_bytes = 0;
+  for (const std::string& path : logs) {
+    const std::uint64_t valid = load_file(path);
+    if (path == writer_path_) own_valid_bytes = valid;
+  }
+
+  // O_APPEND as defense in depth: even a buggy second writer on this file
+  // could then only interleave whole-ish records at the end, not overwrite
+  // earlier ones. ftruncate (healing, below and in append) still works.
+  fd_ = ::open(writer_path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw QorStoreError("QorStore: cannot open '" + writer_path_ +
+                        "': " + std::strerror(errno));
+  }
+  // Heal our own log: drop any torn tail so the next reader never has to,
+  // then position at the end. Foreign files are never modified.
+  if (own_valid_bytes > 0) {
+    if (::ftruncate(fd_, static_cast<off_t>(own_valid_bytes)) != 0 ||
+        ::lseek(fd_, 0, SEEK_END) < 0) {
+      throw QorStoreError("QorStore: cannot truncate '" + writer_path_ + "'");
+    }
+  } else {
+    // Fresh (or unreadably corrupt) file: start it over with a header.
+    std::vector<std::uint8_t> header;
+    put_u32(header, kStoreMagic);
+    header.push_back(kStoreVersion);
+    header.push_back(0);
+    put_u16(header, 0);
+    if (::ftruncate(fd_, 0) != 0 ||
+        ::write(fd_, header.data(), header.size()) !=
+            static_cast<ssize_t>(header.size())) {
+      throw QorStoreError("QorStore: cannot initialise '" + writer_path_ +
+                          "'");
+    }
+  }
+}
+
+QorStore::~QorStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t QorStore::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    util::log_warn("QorStore: cannot read ", path, " — skipped");
+    return 0;
+  }
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  if (data.size() < kFileHeaderBytes || get_u32(data.data()) != kStoreMagic ||
+      data[4] != kStoreVersion) {
+    util::log_warn("QorStore: ", path, " has no valid header — skipped");
+    stats_.tail_bytes_dropped += data.size();
+    return 0;
+  }
+  ++stats_.files_loaded;
+
+  std::size_t pos = kFileHeaderBytes;
+  while (true) {
+    if (data.size() - pos < kRecordHeaderBytes) break;  // torn/EOF
+    const std::uint32_t crc = get_u32(data.data() + pos);
+    const std::uint32_t len = get_u32(data.data() + pos + 4);
+    if (len > kMaxPayloadBytes || len > data.size() - pos - kRecordHeaderBytes)
+      break;
+    const std::uint8_t* payload = data.data() + pos + kRecordHeaderBytes;
+    if (util::crc32({payload, len}) != crc) break;
+    // CRC-valid: decode. A structurally short payload still stops the scan
+    // (it cannot be a boundary confusion — CRC already matched — but a
+    // foreign writer bug must not crash this process).
+    if (len < 50) break;
+    Key key;
+    key.design[0] = get_u64(payload);
+    key.design[1] = get_u64(payload + 8);
+    const std::uint16_t num_steps = get_u16(payload + 16);
+    if (len != 50u + num_steps) break;
+    key.steps.reserve(num_steps);
+    for (std::uint16_t i = 0; i < num_steps; ++i) {
+      key.steps.push_back(static_cast<opt::TransformKind>(payload[18 + i]));
+    }
+    const std::uint8_t* q = payload + 18 + num_steps;
+    map::QoR qor;
+    qor.area_um2 = std::bit_cast<double>(get_u64(q));
+    qor.delay_ps = std::bit_cast<double>(get_u64(q + 8));
+    qor.num_cells = static_cast<std::size_t>(get_u64(q + 16));
+    qor.num_inverters = static_cast<std::size_t>(get_u64(q + 24));
+    // First record wins on duplicates; evaluation is pure, so any
+    // conflicting duplicate means a corrupt store and the earliest record
+    // is as good a pick as any.
+    index_.emplace(std::move(key), qor);
+    ++stats_.records_loaded;
+    pos += kRecordHeaderBytes + len;
+  }
+  if (pos < data.size()) {
+    stats_.tail_bytes_dropped += data.size() - pos;
+    util::log_warn("QorStore: ", path, ": dropped ", data.size() - pos,
+                   " byte(s) of torn tail at offset ", pos);
+  }
+  return pos;
+}
+
+std::optional<map::QoR> QorStore::lookup(const aig::Fingerprint& design,
+                                         StepsView steps) const {
+  std::lock_guard lock(mutex_);
+  ++stats_.lookups;
+  Key key{design, StepsKey(steps.begin(), steps.end())};
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  ++stats_.hits;
+  return it->second;
+}
+
+bool QorStore::append(const aig::Fingerprint& design, StepsView steps,
+                      const map::QoR& qor) {
+  if (steps.size() > 0xFFFF) throw QorStoreError("flow too long for record");
+  std::lock_guard lock(mutex_);
+  Key key{design, StepsKey(steps.begin(), steps.end())};
+  if (index_.contains(key)) return false;
+
+  std::vector<std::uint8_t> payload;
+  payload.reserve(50 + steps.size());
+  put_u64(payload, design[0]);
+  put_u64(payload, design[1]);
+  put_u16(payload, static_cast<std::uint16_t>(steps.size()));
+  for (const opt::TransformKind s : steps) {
+    payload.push_back(static_cast<std::uint8_t>(s));
+  }
+  put_u64(payload, std::bit_cast<std::uint64_t>(qor.area_um2));
+  put_u64(payload, std::bit_cast<std::uint64_t>(qor.delay_ps));
+  put_u64(payload, static_cast<std::uint64_t>(qor.num_cells));
+  put_u64(payload, static_cast<std::uint64_t>(qor.num_inverters));
+
+  std::vector<std::uint8_t> record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  put_u32(record, util::crc32(payload));
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+
+  // Normally one write syscall per record: a *crash* leaves at worst one
+  // torn record at the tail, which reload detects (CRC) and truncates
+  // away. A short write or error while the process lives is different —
+  // later appends would land after the torn bytes and be unreachable past
+  // the CRC stop on reload — so roll the file back to the record boundary
+  // before giving up or retrying.
+  const off_t start = ::lseek(fd_, 0, SEEK_END);
+  std::size_t written = 0;
+  while (written < record.size()) {
+    const ssize_t n =
+        ::write(fd_, record.data() + written, record.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const int err = errno;
+    if (start >= 0) ::ftruncate(fd_, start);  // drop the partial record
+    throw QorStoreError("QorStore: write to '" + writer_path_ +
+                        "' failed: " + std::strerror(err));
+  }
+  if (config_.fsync_each_append) ::fsync(fd_);
+  index_.emplace(std::move(key), qor);
+  ++stats_.appends;
+  return true;
+}
+
+void QorStore::for_design(
+    const aig::Fingerprint& design,
+    const std::function<void(StepsView, const map::QoR&)>& fn) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [key, qor] : index_) {
+    if (key.design == design) fn(StepsView(key.steps), qor);
+  }
+}
+
+std::size_t QorStore::size() const {
+  std::lock_guard lock(mutex_);
+  return index_.size();
+}
+
+QorStoreStats QorStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void QorStore::flush() {
+  std::lock_guard lock(mutex_);
+  if (fd_ >= 0) ::fsync(fd_);
+}
+
+}  // namespace flowgen::core

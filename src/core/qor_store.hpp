@@ -1,0 +1,131 @@
+#pragma once
+// Persistent labeled-QoR store: an append-only on-disk log of
+// (design fingerprint, packed flow key) -> QoR records, so labeling runs
+// survive process restarts and multiple coordinators can share one label
+// set. The paper's framework spends ~95% of its wall-clock producing these
+// labels; this store guarantees no (design, flow) pair is ever paid for
+// twice, across restarts, machines and coordinators.
+//
+// Layout: a store is a *directory*; every writer appends to its own
+// `<writer>.qorlog` file and loads every `*.qorlog` file at startup. One
+// file has exactly one writer, which is what makes sharing safe without
+// any locking protocol between processes. Records are CRC-32-stamped and
+// the loader stops at the first invalid record (torn tail from a crash),
+// truncating its own file there so the log heals. docs/qor-store.md is the
+// normative format description.
+//
+// Thread-safety: all public methods are safe to call concurrently; one
+// mutex serialises index and file access (appends are rare and small next
+// to the synthesis work that produces them).
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/flow.hpp"
+#include "map/qor.hpp"
+
+namespace flowgen::core {
+
+/// Raised when the store directory or the writer's own log file cannot be
+/// created/opened/written. Unreadable *foreign* log files are skipped with
+/// a warning instead — a sibling coordinator's crash must not take this
+/// one down.
+class QorStoreError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+struct QorStoreConfig {
+  /// Store directory; created (with parents) when missing.
+  std::string dir;
+  /// Log-file stem this store appends to ("<dir>/<writer_name>.qorlog").
+  /// Empty picks "w<pid>-<k>", unique per process *and* per store
+  /// instance. Two live writers must not share a name; reusing a name
+  /// across runs is fine and resumes that file.
+  std::string writer_name;
+  /// fsync after every append. Off, a crash can lose the last few records
+  /// (the OS flushes eventually); recovery still reads everything flushed.
+  bool fsync_each_append = false;
+};
+
+struct QorStoreStats {
+  std::size_t files_loaded = 0;    ///< *.qorlog files read at startup
+  std::size_t records_loaded = 0;  ///< valid records across those files
+  std::size_t tail_bytes_dropped = 0;  ///< bytes discarded at torn tails
+  std::size_t appends = 0;         ///< records this process wrote
+  std::size_t lookups = 0;
+  std::size_t hits = 0;
+};
+
+class QorStore {
+public:
+  /// Open (creating if needed) the store at `config.dir` and load every
+  /// `*.qorlog` into the in-memory index. Throws QorStoreError when the
+  /// directory or the writer file cannot be set up.
+  explicit QorStore(QorStoreConfig config);
+  ~QorStore();
+
+  QorStore(const QorStore&) = delete;
+  QorStore& operator=(const QorStore&) = delete;
+
+  /// QoR recorded for (design, flow), or nullopt. Never touches disk.
+  std::optional<map::QoR> lookup(const aig::Fingerprint& design,
+                                 StepsView steps) const;
+
+  /// Record one label: appended to this writer's log (one write syscall,
+  /// CRC-stamped) and indexed. Returns false without writing when the key
+  /// is already present — evaluation is pure, so a duplicate carries no
+  /// new information. Throws QorStoreError if the write fails.
+  bool append(const aig::Fingerprint& design, StepsView steps,
+              const map::QoR& qor);
+
+  /// Invoke `fn(steps, qor)` for every stored record of `design` (order
+  /// unspecified). Used to pre-warm evaluator QoR caches at startup.
+  void for_design(const aig::Fingerprint& design,
+                  const std::function<void(StepsView, const map::QoR&)>& fn)
+      const;
+
+  /// Total records indexed (loaded + appended, deduplicated).
+  std::size_t size() const;
+  QorStoreStats stats() const;
+
+  /// fsync the writer's log file.
+  void flush();
+
+  /// Full path of the log file this process appends to.
+  const std::string& writer_path() const { return writer_path_; }
+
+private:
+  struct Key {
+    aig::Fingerprint design;
+    StepsKey steps;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(k.design[0] ^
+                                      (k.design[1] * 0x9e3779b97f4a7c15ull) ^
+                                      StepsHash{}(k.steps));
+    }
+  };
+
+  /// Load one log file; returns bytes of valid data (header + records).
+  /// Invalid tails are counted, not fatal.
+  std::uint64_t load_file(const std::string& path);
+
+  mutable std::mutex mutex_;
+  QorStoreConfig config_;
+  std::string writer_path_;
+  int fd_ = -1;
+  std::unordered_map<Key, map::QoR, KeyHash> index_;
+  mutable QorStoreStats stats_;  ///< lookups/hits tick under the mutex
+};
+
+}  // namespace flowgen::core

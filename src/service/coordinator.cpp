@@ -6,7 +6,7 @@
 #include <chrono>
 #include <numeric>
 
-#include "service/wire.hpp"
+#include "aig/serialize.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::service {
@@ -19,10 +19,28 @@ std::int64_t now_ms() {
       .count();
 }
 
+std::string netlist_label(const aig::Aig& design) {
+  if (!design.name.empty()) return design.name;
+  return "netlist:" + aig::fingerprint_hex(design.fingerprint()).substr(0, 16);
+}
+
 }  // namespace
 
 EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
                                  std::string design_id,
+                                 CoordinatorConfig config)
+    : EvalCoordinator(std::move(workers), std::move(design_id), nullptr,
+                      config) {}
+
+EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
+                                 const aig::Aig& design,
+                                 CoordinatorConfig config)
+    : EvalCoordinator(std::move(workers), netlist_label(design), &design,
+                      config) {}
+
+EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
+                                 std::string design_id,
+                                 const aig::Aig* netlist,
                                  CoordinatorConfig config)
     : design_id_(std::move(design_id)), config_(config) {
   config_.max_inflight_per_worker =
@@ -30,7 +48,16 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
   config_.shards_per_worker =
       std::max<std::size_t>(1, config_.shards_per_worker);
 
-  const auto hello = encode_hello({kProtocolVersion, design_id_});
+  // Netlist mode: serialize once, ship to every worker after its Hello.
+  std::vector<std::uint8_t> blob;
+  aig::Fingerprint want = kNoDesign;
+  if (netlist) {
+    blob = aig::encode_binary(*netlist);
+    want = netlist->fingerprint();
+  }
+  const bool registry = !netlist && !design_id_.empty();
+  const auto hello =
+      encode_hello({kProtocolVersion, registry ? design_id_ : ""});
   for (Worker& w : workers) {
     WorkerState state;
     state.sock = std::move(w.sock);
@@ -38,18 +65,35 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
     try {
       send_frame(state.sock, MsgType::kHello, hello,
                  config_.request_timeout_ms);
-      const auto ack =
-          recv_frame(state.sock, config_.request_timeout_ms);
+      const auto ack = recv_frame(state.sock, config_.request_timeout_ms);
       if (ack && ack->type == MsgType::kHelloAck) {
-        // The ack names the design the worker actually serves; a mismatch
-        // would mean silently labeling the wrong circuit — drop the worker.
-        const std::string acked = decode_hello_ack(ack->payload);
-        if (acked == design_id_) {
-          state.alive = true;
-        } else {
+        const HelloAckMsg acked = decode_hello_ack(ack->payload);
+        if (acked.version != kProtocolVersion) {
           util::log_warn("coordinator: worker ", state.name,
-                         " serves design '", acked, "', want '", design_id_,
+                         " speaks protocol v",
+                         static_cast<int>(acked.version), ", want v",
+                         static_cast<int>(kProtocolVersion), " — dropped");
+        } else if (netlist) {
+          state.alive = ship_design(state, blob, want);
+        } else if (!registry) {
+          state.alive = true;  // deferred fleet: design arrives later
+        } else if (acked.design_id != design_id_) {
+          // The ack names the design the worker actually serves; a mismatch
+          // would mean silently labeling the wrong circuit — drop the worker.
+          util::log_warn("coordinator: worker ", state.name,
+                         " serves design '", acked.design_id, "', want '",
+                         design_id_, "' — dropped");
+        } else if (design_fp_ != kNoDesign &&
+                   acked.fingerprint != design_fp_) {
+          // Same id, different content: a stale registry on that machine.
+          // Fingerprint consensus keeps "bit-identical across the fleet"
+          // true by construction.
+          util::log_warn("coordinator: worker ", state.name,
+                         " disagrees on the fingerprint of '", design_id_,
                          "' — dropped");
+        } else {
+          design_fp_ = acked.fingerprint;
+          state.alive = true;
         }
       } else if (ack && ack->type == MsgType::kError) {
         const ErrorMsg err = decode_error(ack->payload);
@@ -65,10 +109,64 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
     }
     workers_.push_back(std::move(state));
   }
+  if (netlist) design_fp_ = want;
   if (num_workers_alive() == 0) {
     throw ServiceError("no worker completed the handshake for design '" +
                        design_id_ + "'");
   }
+}
+
+bool EvalCoordinator::ship_design(WorkerState& worker,
+                                  std::span<const std::uint8_t> blob,
+                                  const aig::Fingerprint& fp) {
+  try {
+    send_frame(worker.sock, MsgType::kLoadDesign, blob,
+               config_.request_timeout_ms);
+    const auto ack = recv_frame(worker.sock, config_.request_timeout_ms);
+    if (ack && ack->type == MsgType::kLoadDesignAck) {
+      if (decode_load_design_ack(ack->payload) == fp) return true;
+      util::log_warn("coordinator: worker ", worker.name,
+                     " acked the wrong design fingerprint");
+    } else if (ack && ack->type == MsgType::kError) {
+      const ErrorMsg err = decode_error(ack->payload);
+      util::log_warn("coordinator: worker ", worker.name,
+                     " rejected design: ", err.message);
+    } else {
+      util::log_warn("coordinator: worker ", worker.name,
+                     " failed the design load");
+    }
+  } catch (const std::exception& e) {
+    util::log_warn("coordinator: worker ", worker.name,
+                   " lost during design load: ", e.what());
+  }
+  return false;
+}
+
+void EvalCoordinator::load_design(std::span<const std::uint8_t> blob,
+                                  const aig::Fingerprint& fp,
+                                  std::string label) {
+  if (label.empty()) {
+    // An unnamed shipped netlist must still be identifiable in logs and
+    // acks — same fallback the netlist constructor path uses.
+    label = "netlist:" + aig::fingerprint_hex(fp).substr(0, 16);
+  }
+  std::deque<std::size_t> no_pending;  // no batch in flight between batches
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].alive) continue;
+    if (!ship_design(workers_[w], blob, fp)) {
+      lose_worker(w, no_pending, "design load failed");
+    }
+  }
+  if (num_workers_alive() == 0) {
+    throw ServiceError("no worker accepted design '" + label + "'");
+  }
+  design_fp_ = fp;
+  design_id_ = std::move(label);
+}
+
+void EvalCoordinator::load_design(const aig::Aig& design) {
+  load_design(aig::encode_binary(design), design.fingerprint(),
+              netlist_label(design));
 }
 
 std::vector<EvalCoordinator::Worker> connect_workers(
@@ -131,6 +229,7 @@ bool EvalCoordinator::dispatch(std::size_t w, std::size_t shard_idx,
   WorkerState& worker = workers_[w];
   EvalRequestMsg req;
   req.request_id = next_request_id_++;
+  req.design = design_fp_;
   req.flows.reserve(shards[shard_idx].indices.size());
   for (const std::size_t i : shards[shard_idx].indices) {
     req.flows.push_back(flows[i].steps);
@@ -157,17 +256,38 @@ std::vector<map::QoR> EvalCoordinator::evaluate_many(
   ++stats_.batches;
   std::vector<map::QoR> out(flows.size());
   if (flows.empty()) return out;
+  if (design_fp_ == kNoDesign) {
+    throw ServiceError(
+        "evaluate_many on a deferred fleet: load a design first");
+  }
+
+  // Labels already in the store never cross the wire: answer them locally
+  // and dispatch only the remainder.
+  std::vector<std::size_t> order;
+  order.reserve(flows.size());
+  if (store_) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (const auto hit = store_->lookup(design_fp_, flows[i].steps)) {
+        out[i] = *hit;
+      } else {
+        order.push_back(i);
+      }
+    }
+    stats_.store_hits += flows.size() - order.size();
+    if (order.empty()) return out;
+  } else {
+    order.resize(flows.size());
+    std::iota(order.begin(), order.end(), 0);
+  }
 
   // Prefix-affinity order: identical to the in-process engine's batch
   // schedule, so a shard is a run of sibling flows.
-  std::vector<std::size_t> order(flows.size());
-  std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return flows[a].steps < flows[b].steps;
   });
 
   const std::size_t num_shards = std::min(
-      flows.size(),
+      order.size(),
       std::max<std::size_t>(1, num_workers_alive() *
                                    config_.shards_per_worker));
   std::vector<Shard> shards(num_shards);
@@ -285,7 +405,14 @@ std::vector<map::QoR> EvalCoordinator::evaluate_many(
         continue;
       }
       for (std::size_t k = 0; k < shard.indices.size(); ++k) {
-        out[shard.indices[k]] = resp.results[k];
+        const std::size_t idx = shard.indices[k];
+        out[idx] = resp.results[k];
+        // Persist as results land, not at batch end: a coordinator crash
+        // mid-batch loses only un-arrived labels.
+        if (store_ &&
+            store_->append(design_fp_, flows[idx].steps, resp.results[k])) {
+          ++stats_.store_appends;
+        }
       }
       worker.inflight.erase(it);
       worker.deadline_ms = now + config_.request_timeout_ms;

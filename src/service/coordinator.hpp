@@ -15,22 +15,33 @@
 //    declared lost; its in-flight shards go back on the pending queue and
 //    rerun elsewhere. Evaluation is a pure function of (design, steps), so
 //    reruns are bit-identical and requeueing can never corrupt a batch.
+//
+// Protocol v2 additions: the fleet's design can be an off-registry netlist
+// (shipped once per worker connection via LoadDesign), every request is
+// tagged with the design's content fingerprint, and an attached QorStore
+// short-circuits already-labeled flows before any frame is sent — and
+// persists every fresh response as it arrives.
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "aig/aig.hpp"
 #include "core/flow.hpp"
+#include "core/qor_store.hpp"
 #include "map/qor.hpp"
 #include "service/transport.hpp"
+#include "service/wire.hpp"
 
 namespace flowgen::service {
 
-/// Raised when a batch cannot complete (every worker lost) or a worker
-/// fleet cannot be assembled at all.
+/// Raised when a batch cannot complete (every worker lost), a worker
+/// fleet cannot be assembled at all, or evaluation is requested before
+/// any design is configured.
 class ServiceError : public std::runtime_error {
 public:
   using std::runtime_error::runtime_error;
@@ -48,14 +59,23 @@ struct CoordinatorConfig {
   std::size_t shards_per_worker = 4;
 };
 
+/// Monotonic scheduling/fault counters. Read via EvalCoordinator::stats()
+/// between batches (the coordinator is single-threaded, so values are
+/// quiescent whenever evaluate_many is not executing).
 struct CoordinatorStats {
   std::size_t batches = 0;          ///< evaluate_many calls
   std::size_t shards = 0;           ///< shards formed across all batches
   std::size_t requests_sent = 0;    ///< dispatches, including reruns
   std::size_t requeues = 0;         ///< shards re-queued after a loss
   std::size_t workers_lost = 0;     ///< crash/EOF/timeout/error declarations
+  std::size_t store_hits = 0;       ///< flows answered from the QorStore
+  std::size_t store_appends = 0;    ///< fresh labels persisted to the store
 };
 
+/// Not thread-safe: one thread drives a coordinator (RemoteEvaluator
+/// serialises callers on a mutex). All methods throw ServiceError as
+/// documented; transport/wire failures on individual workers are absorbed
+/// into "worker lost" accounting instead of escaping.
 class EvalCoordinator {
 public:
   struct Worker {
@@ -63,19 +83,51 @@ public:
     std::string name;  ///< for logs/stats; loopback uses "loopback-<i>"
   };
 
-  /// Handshakes (Hello/HelloAck for `design_id`) with every worker; workers
-  /// that fail the handshake are dropped. Throws ServiceError when none
-  /// survive.
+  /// Registry mode: handshakes (Hello/HelloAck for `design_id`) with every
+  /// worker; workers that fail the handshake, ack a different design, or
+  /// disagree on the design's fingerprint are dropped. An empty design_id
+  /// assembles the fleet *deferred* — no design yet; call load_design (or
+  /// let an evald server client ship one) before evaluating. Throws
+  /// ServiceError when no worker survives.
   EvalCoordinator(std::vector<Worker> workers, std::string design_id,
                   CoordinatorConfig config = {});
 
-  /// Evaluate a batch across the fleet; results in caller order. Throws
-  /// ServiceError if the batch cannot complete on any worker.
+  /// Netlist mode: same handshake, then ships `design` to every worker via
+  /// LoadDesign — the fleet serves a circuit no registry knows. Workers
+  /// whose LoadDesignAck fingerprint mismatches are dropped. Throws
+  /// ServiceError when no worker survives.
+  EvalCoordinator(std::vector<Worker> workers, const aig::Aig& design,
+                  CoordinatorConfig config = {});
+
+  /// Evaluate a batch across the fleet; results in caller order. Flows
+  /// found in the attached QorStore are answered locally; the rest are
+  /// sharded, dispatched, and persisted to the store as responses arrive.
+  /// Throws ServiceError if no design is loaded or the remaining batch
+  /// cannot complete on any worker.
   std::vector<map::QoR> evaluate_many(std::span<const core::Flow> flows);
+
+  /// Switch the fleet to a new design: broadcast its serialized form to
+  /// every live worker and verify each LoadDesignAck against `fp` (which
+  /// must be the blob's true fingerprint — callers hold the decoded graph).
+  /// Workers that fail are dropped; throws ServiceError when none survive.
+  void load_design(std::span<const std::uint8_t> blob,
+                   const aig::Fingerprint& fp, std::string label);
+  /// Convenience overload: encodes `design` and derives fp/label from it.
+  void load_design(const aig::Aig& design);
+
+  /// Share labels across runs/coordinators: consult `store` before
+  /// dispatching and append fresh results to it. Call between batches.
+  void attach_store(std::shared_ptr<core::QorStore> store) {
+    store_ = std::move(store);
+  }
 
   std::size_t num_workers_alive() const;
   const CoordinatorStats& stats() const { return stats_; }
+  /// Human label of the current design: the registry id, the netlist's
+  /// name, or "netlist:<fp-prefix>"; empty in a deferred fleet.
   const std::string& design_id() const { return design_id_; }
+  /// Content fingerprint of the current design (kNoDesign when deferred).
+  const aig::Fingerprint& design_fingerprint() const { return design_fp_; }
 
   /// Best-effort Shutdown frame to every live worker (evald workers exit;
   /// loopback children reap on destruction either way).
@@ -102,16 +154,24 @@ private:
     std::int64_t deadline_ms = 0;  ///< earliest outstanding deadline
   };
 
+  EvalCoordinator(std::vector<Worker> workers, std::string design_id,
+                  const aig::Aig* netlist, CoordinatorConfig config);
+
   void lose_worker(std::size_t w, std::deque<std::size_t>& pending,
                    const char* why);
+  /// LoadDesign/LoadDesignAck round-trip with one worker; false = failed.
+  bool ship_design(WorkerState& worker, std::span<const std::uint8_t> blob,
+                   const aig::Fingerprint& fp);
   bool dispatch(std::size_t w, std::size_t shard_idx,
                 std::span<const core::Flow> flows,
                 const std::vector<Shard>& shards);
 
   std::vector<WorkerState> workers_;
   std::string design_id_;
+  aig::Fingerprint design_fp_ = kNoDesign;
   CoordinatorConfig config_;
   CoordinatorStats stats_;
+  std::shared_ptr<core::QorStore> store_;
   std::uint64_t next_request_id_ = 1;
   std::function<void(std::size_t)> response_observer_;
 };

@@ -28,12 +28,38 @@ std::unique_ptr<RemoteEvaluator> RemoteEvaluator::loopback(
                                            std::move(cluster));
 }
 
+std::unique_ptr<RemoteEvaluator> RemoteEvaluator::loopback_netlist(
+    const aig::Aig& design, std::size_t num_workers,
+    core::EvaluatorConfig evaluator_config,
+    CoordinatorConfig coordinator_config) {
+  WorkerOptions options;  // design-less: the netlist arrives via LoadDesign
+  options.evaluator = evaluator_config;
+  auto cluster = std::make_unique<LoopbackCluster>(num_workers, options);
+  auto coordinator = std::make_unique<EvalCoordinator>(
+      cluster->take_workers(), design, coordinator_config);
+  return std::make_unique<RemoteEvaluator>(std::move(coordinator),
+                                           std::move(cluster));
+}
+
 std::unique_ptr<RemoteEvaluator> RemoteEvaluator::connect(
     const std::vector<std::string>& worker_addresses,
     const std::string& design_id, CoordinatorConfig coordinator_config) {
   auto coordinator = std::make_unique<EvalCoordinator>(
       connect_workers(worker_addresses), design_id, coordinator_config);
   return std::make_unique<RemoteEvaluator>(std::move(coordinator));
+}
+
+std::unique_ptr<RemoteEvaluator> RemoteEvaluator::connect_netlist(
+    const std::vector<std::string>& worker_addresses, const aig::Aig& design,
+    CoordinatorConfig coordinator_config) {
+  auto coordinator = std::make_unique<EvalCoordinator>(
+      connect_workers(worker_addresses), design, coordinator_config);
+  return std::make_unique<RemoteEvaluator>(std::move(coordinator));
+}
+
+void RemoteEvaluator::attach_store(std::shared_ptr<core::QorStore> store) {
+  std::lock_guard lock(mutex_);
+  coordinator_->attach_store(std::move(store));
 }
 
 map::QoR RemoteEvaluator::evaluate(const core::Flow& flow) const {

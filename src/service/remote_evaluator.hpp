@@ -3,7 +3,9 @@
 // evaluate_many ships batches to an EvalCoordinator instead of a local
 // SynthesisEvaluator. Labeler/Pipeline/selection code is oblivious — the
 // interface, the result order, and (because evaluation is pure) the exact
-// QoR bits are identical to in-process evaluation.
+// QoR bits are identical to in-process evaluation. The design can come
+// from the registry (tiny Hello with an id) or be shipped as a serialized
+// netlist (protocol v2 LoadDesign) when no registry knows it.
 
 #include <memory>
 #include <mutex>
@@ -12,6 +14,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/flow_evaluator.hpp"
+#include "core/qor_store.hpp"
 #include "service/coordinator.hpp"
 #include "service/loopback.hpp"
 
@@ -25,21 +28,40 @@ public:
                   std::unique_ptr<LoopbackCluster> cluster = nullptr);
   ~RemoteEvaluator() override;
 
-  /// Fork `num_workers` local worker processes for `design_id`.
+  /// Fork `num_workers` local worker processes for registry design
+  /// `design_id`.
   static std::unique_ptr<RemoteEvaluator> loopback(
       const std::string& design_id, std::size_t num_workers,
       core::EvaluatorConfig evaluator_config = {},
       CoordinatorConfig coordinator_config = {});
 
-  /// Connect to remote evald workers ("unix:/path" / "tcp:host:port").
+  /// Fork `num_workers` design-less local workers and ship `design` to
+  /// them via LoadDesign — distributed evaluation of a netlist no registry
+  /// knows.
+  static std::unique_ptr<RemoteEvaluator> loopback_netlist(
+      const aig::Aig& design, std::size_t num_workers,
+      core::EvaluatorConfig evaluator_config = {},
+      CoordinatorConfig coordinator_config = {});
+
+  /// Connect to remote evald workers ("unix:/path" / "tcp:host:port")
+  /// serving registry design `design_id`.
   static std::unique_ptr<RemoteEvaluator> connect(
       const std::vector<std::string>& worker_addresses,
       const std::string& design_id, CoordinatorConfig coordinator_config = {});
+
+  /// Connect to remote evald workers and ship `design` to each of them.
+  static std::unique_ptr<RemoteEvaluator> connect_netlist(
+      const std::vector<std::string>& worker_addresses, const aig::Aig& design,
+      CoordinatorConfig coordinator_config = {});
 
   map::QoR evaluate(const core::Flow& flow) const override;
   std::vector<map::QoR> evaluate_many(
       std::span<const core::Flow> flows,
       util::ThreadPool* pool = nullptr) const override;
+
+  /// Persist labels across runs: already-stored flows are answered without
+  /// touching the fleet, fresh responses are appended as they arrive.
+  void attach_store(std::shared_ptr<core::QorStore> store);
 
   /// The coordinator is single-threaded; calls are serialised on a mutex,
   /// so stats() observes a quiescent value between batches.

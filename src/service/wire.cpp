@@ -142,15 +142,27 @@ std::vector<std::uint8_t> encode_hello(const HelloMsg& m) {
   return w.take();
 }
 
-std::vector<std::uint8_t> encode_hello_ack(const std::string& design_id) {
+std::vector<std::uint8_t> encode_hello_ack(const HelloAckMsg& m) {
   Writer w;
-  w.str(design_id);
+  w.u8(m.version);
+  w.str(m.design_id);
+  w.u64(m.fingerprint[0]);
+  w.u64(m.fingerprint[1]);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_load_design_ack(const aig::Fingerprint& fp) {
+  Writer w;
+  w.u64(fp[0]);
+  w.u64(fp[1]);
   return w.take();
 }
 
 std::vector<std::uint8_t> encode_eval_request(const EvalRequestMsg& m) {
   Writer w;
   w.u64(m.request_id);
+  w.u64(m.design[0]);
+  w.u64(m.design[1]);
   w.u32(static_cast<std::uint32_t>(m.flows.size()));
   for (const core::StepsKey& steps : m.flows) {
     if (steps.size() > 0xFFFF) throw WireError("flow too long");
@@ -197,17 +209,33 @@ HelloMsg decode_hello(std::span<const std::uint8_t> payload) {
   return m;
 }
 
-std::string decode_hello_ack(std::span<const std::uint8_t> payload) {
+HelloAckMsg decode_hello_ack(std::span<const std::uint8_t> payload) {
   Reader r(payload);
-  std::string id = r.str();
+  HelloAckMsg m;
+  m.version = r.u8();
+  m.design_id = r.str();
+  m.fingerprint[0] = r.u64();
+  m.fingerprint[1] = r.u64();
   r.expect_end();
-  return id;
+  return m;
+}
+
+aig::Fingerprint decode_load_design_ack(
+    std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  aig::Fingerprint fp;
+  fp[0] = r.u64();
+  fp[1] = r.u64();
+  r.expect_end();
+  return fp;
 }
 
 EvalRequestMsg decode_eval_request(std::span<const std::uint8_t> payload) {
   Reader r(payload);
   EvalRequestMsg m;
   m.request_id = r.u64();
+  m.design[0] = r.u64();
+  m.design[1] = r.u64();
   const std::uint32_t count = r.u32();
   if (count > r.remaining() / 2) {  // every flow costs >= 2 length bytes
     throw WireError("flow count exceeds payload");

@@ -3,7 +3,12 @@
 // frame = one message; payloads are little-endian and carry flows in the
 // same packed uint8 step encoding core/flow_cache keys on, so a request is
 // essentially a batch of StepsKeys and a response a batch of QoRs.
-// docs/protocol.md is the normative description of the format.
+//
+// Version 2 makes the fleet design-agnostic: LoadDesign ships a serialized
+// netlist (aig/serialize.hpp) to a worker, every EvalRequest names its
+// design by 128-bit content fingerprint, and HelloAck reports the version
+// and fingerprint the worker actually serves. docs/protocol.md is the
+// normative description of the format.
 
 #include <cstdint>
 #include <optional>
@@ -11,39 +16,53 @@
 #include <string>
 #include <vector>
 
+#include "aig/aig.hpp"
 #include "core/flow.hpp"
 #include "map/qor.hpp"
 #include "service/transport.hpp"
 
 namespace flowgen::service {
 
-/// Bumped on any incompatible frame or payload change. Hello carries it;
-/// both sides reject mismatches instead of guessing.
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Bumped on any incompatible frame or payload change. Carried in every
+/// frame header and in Hello/HelloAck; both sides reject mismatches
+/// instead of guessing (v1 peers are refused at the first frame).
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// "FLOW" — rejects stray connections speaking the wrong protocol.
 inline constexpr std::uint32_t kFrameMagic = 0x464C4F57;
 
-/// Upper bound on one payload; a 1M-flow batch is ~20 MB, so 64 MiB leaves
-/// headroom while still catching corrupt length prefixes immediately.
+/// Upper bound on one payload; a 1M-flow batch is ~20 MB and a serialized
+/// million-gate netlist ~3 MB, so 64 MiB leaves headroom while still
+/// catching corrupt length prefixes immediately.
 inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
 
+/// All-zero fingerprint = "no design"; a worker acks it before any design
+/// is configured, and no real graph fingerprints to it (the constant-only
+/// graph already mixes non-zero lane seeds).
+inline constexpr aig::Fingerprint kNoDesign = {0, 0};
+
 enum class MsgType : std::uint8_t {
-  kHello = 1,         ///< client -> worker: version + design id
-  kHelloAck = 2,      ///< worker -> client: accepted design id
-  kEvalRequest = 3,   ///< client -> worker: request id + packed flows
-  kEvalResponse = 4,  ///< worker -> client: request id + QoRs
-  kError = 5,         ///< either direction: request id (0 = none) + message
-  kShutdown = 6,      ///< client -> worker: drain and exit
-  kPing = 7,          ///< liveness probe: echoes a nonce
+  kHello = 1,          ///< client -> worker: version + registry design id
+  kHelloAck = 2,       ///< worker -> client: version + served id + fp
+  kEvalRequest = 3,    ///< client -> worker: request id + design fp + flows
+  kEvalResponse = 4,   ///< worker -> client: request id + QoRs
+  kError = 5,          ///< either direction: request id (0 = none) + message
+  kShutdown = 6,       ///< client -> worker: drain and exit
+  kPing = 7,           ///< liveness probe: echoes a nonce
   kPong = 8,
+  kLoadDesign = 9,     ///< client -> worker: serialized AIG (v2)
+  kLoadDesignAck = 10, ///< worker -> client: fingerprint now loaded (v2)
 };
 
+/// Malformed frame or payload bytes (bad magic/version/length, truncated
+/// or trailing data, counts exceeding the payload). Distinct from
+/// TransportError: the socket is healthy, the bytes are not.
 class WireError : public std::runtime_error {
 public:
   using std::runtime_error::runtime_error;
 };
 
+/// One received message: its type and the raw (still-encoded) payload.
 struct Frame {
   MsgType type = MsgType::kError;
   std::vector<std::uint8_t> payload;
@@ -52,7 +71,9 @@ struct Frame {
 /// Serialize + send one frame (header then payload) as a single buffer.
 /// timeout_ms >= 0 bounds each wait for socket buffer space (see
 /// Socket::send_all) — the coordinator uses this so a worker that stops
-/// reading counts as lost instead of wedging the dispatch loop.
+/// reading counts as lost instead of wedging the dispatch loop. Throws
+/// WireError on oversized payloads, TransportError on socket failure.
+/// Thread-safety: per-socket external serialisation is the caller's job.
 void send_frame(Socket& sock, MsgType type,
                 std::span<const std::uint8_t> payload, int timeout_ms = -1);
 
@@ -63,39 +84,62 @@ std::optional<Frame> recv_frame(Socket& sock, int timeout_ms = -1);
 
 // --------------------------------------------------------------- payloads --
 
+/// Handshake opener. `design_id` names a designs::make_design circuit the
+/// worker should elaborate; empty means "no registry design" — the client
+/// either ships netlists via LoadDesign or uses whatever the worker has.
 struct HelloMsg {
   std::uint8_t version = kProtocolVersion;
-  std::string design_id;  ///< designs::make_design name the worker must serve
+  std::string design_id;
 };
 
+/// Handshake answer: the protocol version the worker speaks and the
+/// identity (registry id when known, content fingerprint always) of its
+/// current design — kNoDesign and an empty id before any is configured.
+struct HelloAckMsg {
+  std::uint8_t version = kProtocolVersion;
+  std::string design_id;
+  aig::Fingerprint fingerprint = kNoDesign;
+};
+
+/// A batch of flows to evaluate against the design named by `design`.
+/// The worker answers kError if that fingerprint is not loaded.
 struct EvalRequestMsg {
   std::uint64_t request_id = 0;
+  aig::Fingerprint design = kNoDesign;
   std::vector<core::StepsKey> flows;
 };
 
+/// QoRs for one request, in its flow order.
 struct EvalResponseMsg {
   std::uint64_t request_id = 0;
   std::vector<map::QoR> results;
 };
 
+/// Failure report; `request_id` 0 when not tied to a request.
 struct ErrorMsg {
-  std::uint64_t request_id = 0;  ///< 0 when not tied to a request
+  std::uint64_t request_id = 0;
   std::string message;
 };
 
+// Encoders are pure (no I/O); they throw WireError only on unencodable
+// values (strings > 64 KiB, flows > 64Ki steps).
 std::vector<std::uint8_t> encode_hello(const HelloMsg& m);
-std::vector<std::uint8_t> encode_hello_ack(const std::string& design_id);
+std::vector<std::uint8_t> encode_hello_ack(const HelloAckMsg& m);
 std::vector<std::uint8_t> encode_eval_request(const EvalRequestMsg& m);
 std::vector<std::uint8_t> encode_eval_response(const EvalResponseMsg& m);
 std::vector<std::uint8_t> encode_error(const ErrorMsg& m);
 std::vector<std::uint8_t> encode_u64(std::uint64_t value);  // ping/pong
+/// LoadDesign's payload is exactly the aig::encode_binary blob — no extra
+/// wrapping, so this encoder is the identity and is not spelled out.
+std::vector<std::uint8_t> encode_load_design_ack(const aig::Fingerprint& fp);
 
 /// Decoders throw WireError on truncated or trailing bytes.
 HelloMsg decode_hello(std::span<const std::uint8_t> payload);
-std::string decode_hello_ack(std::span<const std::uint8_t> payload);
+HelloAckMsg decode_hello_ack(std::span<const std::uint8_t> payload);
 EvalRequestMsg decode_eval_request(std::span<const std::uint8_t> payload);
 EvalResponseMsg decode_eval_response(std::span<const std::uint8_t> payload);
 ErrorMsg decode_error(std::span<const std::uint8_t> payload);
 std::uint64_t decode_u64(std::span<const std::uint8_t> payload);
+aig::Fingerprint decode_load_design_ack(std::span<const std::uint8_t> payload);
 
 }  // namespace flowgen::service

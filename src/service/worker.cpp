@@ -3,8 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "aig/serialize.hpp"
 #include "designs/registry.hpp"
-#include "service/wire.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::service {
@@ -31,7 +31,17 @@ bool serve_frames(Socket& sock, const EvalService& service) {
             break;
           }
           send_frame(sock, MsgType::kHelloAck,
-                     encode_hello_ack(service.on_hello(hello.design_id)));
+                     encode_hello_ack(service.on_hello(hello)));
+          break;
+        }
+        case MsgType::kLoadDesign: {
+          // decode_binary rejects corrupt/non-canonical netlists with a
+          // typed error, answered as an Error frame below.
+          aig::Aig design = aig::decode_binary(frame->payload);
+          const aig::Fingerprint fp =
+              service.on_load_design(std::move(design), frame->payload);
+          send_frame(sock, MsgType::kLoadDesignAck,
+                     encode_load_design_ack(fp));
           break;
         }
         case MsgType::kEvalRequest: {
@@ -44,7 +54,7 @@ bool serve_frames(Socket& sock, const EvalService& service) {
           EvalResponseMsg resp;
           resp.request_id = req.request_id;
           try {
-            resp.results = service.on_eval(std::move(flows));
+            resp.results = service.on_eval(req.design, std::move(flows));
           } catch (const std::exception& e) {
             send_frame(sock, MsgType::kError,
                        encode_error({req.request_id, e.what()}));
@@ -68,8 +78,8 @@ bool serve_frames(Socket& sock, const EvalService& service) {
       util::log_warn("evald: send failed: ", e.what());
       return false;
     } catch (const std::exception& e) {
-      // Bad payloads / rejected hellos: report and keep serving. If even
-      // the error report fails the connection is gone.
+      // Bad payloads / rejected hellos / rejected designs: report and keep
+      // serving. If even the error report fails the connection is gone.
       try {
         send_frame(sock, MsgType::kError, encode_error({0, e.what()}));
       } catch (const std::exception&) {
@@ -80,32 +90,96 @@ bool serve_frames(Socket& sock, const EvalService& service) {
 }
 
 EvalWorker::EvalWorker(WorkerOptions options) : options_(std::move(options)) {
-  if (!options_.design_id.empty()) ensure_design(options_.design_id);
+  options_.max_designs = std::max<std::size_t>(1, options_.max_designs);
+  if (!options_.qor_store_dir.empty()) {
+    store_ = std::make_shared<core::QorStore>(
+        core::QorStoreConfig{options_.qor_store_dir, "", false});
+  }
+  if (!options_.design_id.empty()) ensure_registry(options_.design_id);
   if (options_.threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
 }
 
-void EvalWorker::ensure_design(const std::string& design_id) {
-  if (evaluator_ && design_id == options_.design_id) return;
-  evaluator_ = std::make_unique<core::SynthesisEvaluator>(
-      designs::make_design(design_id), map::CellLibrary::builtin(),
-      map::MapperParams{}, options_.evaluator);
-  options_.design_id = design_id;
+core::SynthesisEvaluator* EvalWorker::find(const aig::Fingerprint& fp) {
+  for (auto it = designs_.begin(); it != designs_.end(); ++it) {
+    if (it->fp == fp) {
+      designs_.splice(designs_.begin(), designs_, it);
+      return designs_.front().evaluator.get();
+    }
+  }
+  return nullptr;
+}
+
+EvalWorker::DesignEntry& EvalWorker::adopt(aig::Aig design,
+                                           std::string design_id) {
+  DesignEntry entry;
+  entry.fp = design.fingerprint();
+  entry.design_id = std::move(design_id);
+  entry.evaluator = std::make_unique<core::SynthesisEvaluator>(
+      std::move(design), map::CellLibrary::builtin(), map::MapperParams{},
+      options_.evaluator);
+  if (store_) entry.evaluator->attach_store(store_);
+  designs_.push_front(std::move(entry));
+  while (designs_.size() > options_.max_designs) {
+    util::log_info("evald worker: evicting design ",
+                   designs_.back().design_id.empty()
+                       ? aig::fingerprint_hex(designs_.back().fp)
+                       : designs_.back().design_id);
+    designs_.pop_back();
+  }
+  return designs_.front();
+}
+
+EvalWorker::DesignEntry& EvalWorker::ensure_registry(
+    const std::string& design_id) {
+  for (auto it = designs_.begin(); it != designs_.end(); ++it) {
+    if (it->design_id == design_id) {
+      designs_.splice(designs_.begin(), designs_, it);
+      return designs_.front();
+    }
+  }
+  // make_design throws std::invalid_argument for unknown ids; the serve
+  // loop answers that with an Error frame.
+  aig::Aig design = designs::make_design(design_id);
+  return adopt(std::move(design), design_id);
+}
+
+aig::Fingerprint EvalWorker::load_design(aig::Aig design) {
+  const aig::Fingerprint fp = design.fingerprint();
+  if (find(fp)) return fp;  // already instantiated, caches intact
+  adopt(std::move(design), "");
+  return fp;
+}
+
+HelloAckMsg EvalWorker::ack_front() const {
+  HelloAckMsg ack;
+  if (const DesignEntry* front =
+          designs_.empty() ? nullptr : &designs_.front()) {
+    ack.design_id = front->design_id;
+    ack.fingerprint = front->fp;
+  }
+  return ack;
 }
 
 bool EvalWorker::serve(Socket& sock) {
   EvalService service;
-  service.on_hello = [this](const std::string& requested) {
-    ensure_design(requested.empty() ? options_.design_id : requested);
-    if (!evaluator_) {
-      throw std::runtime_error("worker has no design configured");
-    }
-    return options_.design_id;
+  service.on_hello = [this](const HelloMsg& hello) {
+    if (!hello.design_id.empty()) ensure_registry(hello.design_id);
+    return ack_front();
   };
-  service.on_eval = [this](std::vector<core::Flow> flows) {
-    if (!evaluator_) throw std::runtime_error("no design configured");
-    return evaluator_->evaluate_many(flows, pool_.get());
+  service.on_load_design = [this](aig::Aig design,
+                                  std::span<const std::uint8_t>) {
+    return load_design(std::move(design));
+  };
+  service.on_eval = [this](const aig::Fingerprint& fp,
+                           std::vector<core::Flow> flows) {
+    core::SynthesisEvaluator* evaluator = find(fp);
+    if (!evaluator) {
+      throw std::runtime_error("design " + aig::fingerprint_hex(fp) +
+                               " not loaded on this worker");
+    }
+    return evaluator->evaluate_many(flows, pool_.get());
   };
   return serve_frames(sock, service);
 }

@@ -1,35 +1,57 @@
 #pragma once
-// One evaluation worker: a SynthesisEvaluator wrapped in the wire protocol.
+// One evaluation worker: SynthesisEvaluators wrapped in the wire protocol.
 // A worker is a process that serves EvalRequests on a connected socket —
 // spawned by evald --mode worker on its own machine, or forked locally by
-// LoopbackCluster. The evaluator (and with it the prefix/QoR caches) lives
+// LoopbackCluster. Evaluators (and with them the prefix/QoR caches) live
 // as long as the worker, so consecutive requests — and consecutive
 // connections — keep hitting warm snapshots; that is the whole point of
 // sharding batches by prefix affinity on the coordinator side.
+//
+// Since protocol v2 a worker is design-agnostic: it keeps a small LRU of
+// instantiated designs keyed by content fingerprint, populated either from
+// the registry (Hello naming a design id) or over the wire (LoadDesign
+// shipping a serialized netlist), and every EvalRequest names its design
+// by fingerprint — one fleet multiplexes many designs.
 
+#include <cstddef>
 #include <functional>
+#include <list>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "core/qor_store.hpp"
 #include "service/transport.hpp"
+#include "service/wire.hpp"
 #include "util/thread_pool.hpp"
 
 namespace flowgen::service {
 
 /// The server side of the wire protocol, factored out of any particular
-/// evaluator: EvalWorker (one process, one SynthesisEvaluator) and evald's
-/// server mode (a coordinator fronting a fleet) both serve connections
-/// through this, so the frame dispatch — version checks, error framing,
-/// ping, shutdown — exists exactly once.
+/// evaluator: EvalWorker (one process, an LRU of SynthesisEvaluators) and
+/// evald's server mode (a coordinator fronting a fleet) both serve
+/// connections through this, so the frame dispatch — version checks, error
+/// framing, ping, shutdown — exists exactly once. Handlers may throw; the
+/// loop answers with an Error frame and keeps the connection alive.
 struct EvalService {
-  /// Handle Hello. `requested` is the client's design id (may be empty =
-  /// keep current). Return the design id to ack; throw to answer with an
+  /// Handle Hello; `hello.design_id` may be empty (= keep/none). Return
+  /// the ack describing the design now served; throw to answer with an
   /// Error frame instead.
-  std::function<std::string(const std::string& requested)> on_hello;
-  /// Evaluate a batch; results must keep flow order.
-  std::function<std::vector<map::QoR>(std::vector<core::Flow>)> on_eval;
+  std::function<HelloAckMsg(const HelloMsg& hello)> on_hello;
+  /// Handle LoadDesign. `design` is the decoded, validated netlist and
+  /// `blob` its raw serialized bytes (for forwarding without re-encoding).
+  /// Return the fingerprint to ack; throw to answer with an Error frame.
+  std::function<aig::Fingerprint(aig::Aig design,
+                                 std::span<const std::uint8_t> blob)>
+      on_load_design;
+  /// Evaluate a batch against the design with fingerprint `design`;
+  /// results must keep flow order. Throw (e.g. design not loaded) to
+  /// answer with an Error frame carrying the request id.
+  std::function<std::vector<map::QoR>(const aig::Fingerprint& design,
+                                      std::vector<core::Flow> flows)>
+      on_eval;
 };
 
 /// Serve frames on `sock` until clean EOF (returns false) or a Shutdown
@@ -38,21 +60,31 @@ struct EvalService {
 bool serve_frames(Socket& sock, const EvalService& service);
 
 struct WorkerOptions {
-  /// designs::make_design name built at startup; a Hello naming a different
-  /// design rebuilds the evaluator (and drops its caches).
+  /// designs::make_design name elaborated at startup; empty starts the
+  /// worker design-less, waiting for a Hello(design id) or a LoadDesign.
   std::string design_id;
   core::EvaluatorConfig evaluator;
   /// Threads for evaluate_many inside this worker. Loopback clusters keep
   /// this at 1 (parallelism comes from processes); a big remote worker can
   /// raise it to use its whole machine per shard.
   std::size_t threads = 1;
+  /// Instantiated designs kept warm (>= 1). Loading design N+1 evicts the
+  /// least recently evaluated one together with its caches.
+  std::size_t max_designs = 4;
+  /// Optional persistent QoR store directory: every instantiated design
+  /// pre-warms its QoR cache from the store and appends new labels to it,
+  /// so worker restarts (and sibling workers sharing the directory) never
+  /// re-evaluate a (design, flow) pair.
+  std::string qor_store_dir;
 };
 
 class EvalWorker {
 public:
+  /// Elaborates options.design_id (when set) and opens the QoR store
+  /// (when configured). Throws on unknown design id / unusable store.
   explicit EvalWorker(WorkerOptions options);
 
-  /// serve_frames over this worker's evaluator. Returns true after
+  /// serve_frames over this worker's designs. Returns true after
   /// Shutdown, false on EOF.
   bool serve(Socket& sock);
 
@@ -60,14 +92,33 @@ public:
   /// until a client sends Shutdown.
   void serve_forever(Listener& listener);
 
-  const core::SynthesisEvaluator& evaluator() const { return *evaluator_; }
+  /// Designs currently instantiated (most recently used first).
+  std::size_t num_designs() const { return designs_.size(); }
+  /// The most recently used evaluator, or nullptr when design-less.
+  const core::SynthesisEvaluator* current_evaluator() const {
+    return designs_.empty() ? nullptr : designs_.front().evaluator.get();
+  }
 
 private:
-  /// (Re)build the evaluator when the served design changes.
-  void ensure_design(const std::string& design_id);
+  struct DesignEntry {
+    aig::Fingerprint fp;
+    std::string design_id;  ///< registry name when known, else ""
+    std::unique_ptr<core::SynthesisEvaluator> evaluator;
+  };
+
+  /// Evaluator for `fp`, moved to the LRU front; nullptr when not loaded.
+  core::SynthesisEvaluator* find(const aig::Fingerprint& fp);
+  /// Instantiate (or touch) a registry design; returns its entry.
+  DesignEntry& ensure_registry(const std::string& design_id);
+  /// Instantiate (or touch) a shipped netlist; returns its fingerprint.
+  aig::Fingerprint load_design(aig::Aig design);
+  /// Insert at LRU front, evicting beyond max_designs.
+  DesignEntry& adopt(aig::Aig design, std::string design_id);
+  HelloAckMsg ack_front() const;
 
   WorkerOptions options_;
-  std::unique_ptr<core::SynthesisEvaluator> evaluator_;
+  std::list<DesignEntry> designs_;  ///< front = most recently used
+  std::shared_ptr<core::QorStore> store_;
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

@@ -1,0 +1,16 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+// QoR store stamps on every on-disk record so torn or bit-rotted entries
+// are detected on reload instead of silently corrupting labels.
+
+#include <cstdint>
+#include <span>
+
+namespace flowgen::util {
+
+/// CRC-32 of `data`. `seed` chains partial buffers: crc32(b, crc32(a)) ==
+/// crc32(a ++ b). Matches zlib's crc32 for the same bytes. Thread-safe.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+}  // namespace flowgen::util

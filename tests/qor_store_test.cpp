@@ -1,0 +1,192 @@
+// Tests for the persistent labeled-QoR store (core/qor_store.hpp):
+// append/reload round-trips with exact doubles, torn-tail crash recovery,
+// multi-writer directory sharing, and the contract that justifies the
+// subsystem — a second labeling run served entirely from the store, with
+// zero flow evaluations.
+
+#include "core/qor_store.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/evaluator.hpp"
+#include "core/flow_space.hpp"
+#include "designs/registry.hpp"
+#include "util/rng.hpp"
+
+namespace flowgen::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test store directory under the gtest tmp root.
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "flowgen_qor_" + tag + "_" +
+                          std::to_string(::getpid());
+  fs::remove_all(dir);
+  return dir;
+}
+
+StepsKey steps(std::initializer_list<int> kinds) {
+  StepsKey out;
+  for (const int k : kinds) out.push_back(static_cast<opt::TransformKind>(k));
+  return out;
+}
+
+TEST(QorStoreTest, AppendReloadRoundTripsExactly) {
+  const std::string dir = fresh_dir("roundtrip");
+  const aig::Fingerprint design_a = {1, 2};
+  const aig::Fingerprint design_b = {3, 4};
+  const map::QoR qor_a{123.456789012345, 9876.54321098765, 42, 7};
+  const map::QoR qor_b{0.0, -1.5, 0, 0};
+  const map::QoR qor_c{1e-300, 1e300, 1000000, 3};
+  {
+    QorStore store({dir, "writer", false});
+    EXPECT_TRUE(store.append(design_a, steps({0, 3, 5}), qor_a));
+    EXPECT_TRUE(store.append(design_a, steps({}), qor_b));  // empty flow
+    EXPECT_TRUE(store.append(design_b, steps({0, 3, 5}), qor_c));
+    // Same key again: no new record, evaluation is pure.
+    EXPECT_FALSE(store.append(design_a, steps({0, 3, 5}), qor_a));
+    EXPECT_EQ(store.size(), 3u);
+  }
+  QorStore reloaded({dir, "writer", false});
+  EXPECT_EQ(reloaded.size(), 3u);
+  EXPECT_EQ(reloaded.stats().records_loaded, 3u);
+  // Bit patterns survive the disk trip: field-exact equality.
+  const auto a = reloaded.lookup(design_a, steps({0, 3, 5}));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, qor_a);
+  EXPECT_EQ(*reloaded.lookup(design_a, steps({})), qor_b);
+  EXPECT_EQ(*reloaded.lookup(design_b, steps({0, 3, 5})), qor_c);
+  // The same flow under the other design is a distinct key.
+  EXPECT_NE(*reloaded.lookup(design_b, steps({0, 3, 5})), qor_a);
+  EXPECT_FALSE(reloaded.lookup({9, 9}, steps({0, 3, 5})).has_value());
+}
+
+TEST(QorStoreTest, TornFinalRecordIsIgnoredAndHealed) {
+  const std::string dir = fresh_dir("torn");
+  const aig::Fingerprint design = {5, 6};
+  {
+    QorStore store({dir, "writer", false});
+    store.append(design, steps({1}), map::QoR{1.0, 2.0, 3, 4});
+    store.append(design, steps({2}), map::QoR{5.0, 6.0, 7, 8});
+  }
+  const std::string log = dir + "/writer.qorlog";
+  // Simulate a crash mid-append: chop the last record in half.
+  const auto full_size = fs::file_size(log);
+  fs::resize_file(log, full_size - 20);
+
+  {
+    QorStore recovered({dir, "writer", false});
+    EXPECT_EQ(recovered.size(), 1u);
+    EXPECT_TRUE(recovered.lookup(design, steps({1})).has_value());
+    EXPECT_FALSE(recovered.lookup(design, steps({2})).has_value());
+    EXPECT_GT(recovered.stats().tail_bytes_dropped, 0u);
+    // The writer truncated the tear away; appending resumes cleanly.
+    EXPECT_TRUE(recovered.append(design, steps({3}), map::QoR{9.0, 1.0, 1, 1}));
+  }
+  QorStore healed({dir, "writer", false});
+  EXPECT_EQ(healed.size(), 2u);
+  EXPECT_EQ(healed.stats().tail_bytes_dropped, 0u);
+  EXPECT_TRUE(healed.lookup(design, steps({3})).has_value());
+}
+
+TEST(QorStoreTest, CrcCorruptionStopsTheScan) {
+  const std::string dir = fresh_dir("crc");
+  const aig::Fingerprint design = {7, 8};
+  {
+    QorStore store({dir, "writer", false});
+    store.append(design, steps({0}), map::QoR{1.0, 1.0, 1, 1});
+    store.append(design, steps({1}), map::QoR{2.0, 2.0, 2, 2});
+    store.append(design, steps({2}), map::QoR{3.0, 3.0, 3, 3});
+  }
+  const std::string log = dir + "/writer.qorlog";
+  {
+    // Flip one payload byte of the middle record. Each record here is 59
+    // bytes (8-byte record header + 50-byte fixed payload + 1 step), after
+    // the 8-byte file header.
+    std::vector<char> bytes;
+    {
+      std::ifstream in(log, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    ASSERT_EQ(bytes.size(), 8u + 3 * 59u);
+    bytes[8 + 59 + 8 + 30] ^= 0x55;  // mid-payload of record 2
+    std::ofstream out(log, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  // Stop-at-first-invalid semantics: record 1 survives, 2 and 3 do not —
+  // a boundary cannot be trusted past a failed CRC.
+  QorStore recovered({dir, "reader", false});
+  EXPECT_EQ(recovered.size(), 1u);
+  EXPECT_GT(recovered.stats().tail_bytes_dropped, 0u);
+}
+
+TEST(QorStoreTest, TwoWritersShareOneDirectory) {
+  const std::string dir = fresh_dir("shared");
+  const aig::Fingerprint design = {11, 12};
+  {
+    QorStore a({dir, "coord-a", false});
+    a.append(design, steps({0, 1}), map::QoR{1.0, 2.0, 3, 4});
+  }
+  {
+    // A second coordinator starts later and sees a's labels immediately…
+    QorStore b({dir, "coord-b", false});
+    EXPECT_TRUE(b.lookup(design, steps({0, 1})).has_value());
+    b.append(design, steps({2, 3}), map::QoR{5.0, 6.0, 7, 8});
+  }
+  // …and any future reader merges both logs.
+  QorStore merged({dir, "coord-c", false});
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.stats().files_loaded, 2u);
+  EXPECT_TRUE(merged.lookup(design, steps({0, 1})).has_value());
+  EXPECT_TRUE(merged.lookup(design, steps({2, 3})).has_value());
+}
+
+// The acceptance bar: a completed labeling run re-executed against its
+// store performs *zero* flow evaluations and reproduces every label.
+TEST(QorStoreTest, SecondLabelingRunIsServedEntirelyFromStore) {
+  const std::string dir = fresh_dir("warm");
+  const FlowSpace space(2);
+  util::Rng rng(3);
+  const std::vector<Flow> flows = space.sample_unique(60, rng);
+
+  std::vector<map::QoR> first_qor;
+  {
+    SynthesisEvaluator evaluator(designs::make_design("alu:4"));
+    evaluator.attach_store(
+        std::make_shared<QorStore>(QorStoreConfig{dir, "run1", false}));
+    first_qor = evaluator.evaluate_many(flows);
+    EXPECT_EQ(evaluator.evaluations(), flows.size());
+  }
+  // Fresh process (modelled by a fresh evaluator), same store directory.
+  SynthesisEvaluator rerun(designs::make_design("alu:4"));
+  rerun.attach_store(
+      std::make_shared<QorStore>(QorStoreConfig{dir, "run2", false}));
+  const std::vector<map::QoR> second_qor = rerun.evaluate_many(flows);
+  EXPECT_EQ(rerun.evaluations(), 0u) << "labels must come from the store";
+  ASSERT_EQ(second_qor.size(), first_qor.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(second_qor[i], first_qor[i]) << "label diverges at " << i;
+  }
+  // A different design in the same store stays isolated: nothing warms.
+  SynthesisEvaluator other(designs::make_design("mont:8"));
+  other.attach_store(
+      std::make_shared<QorStore>(QorStoreConfig{dir, "run3", false}));
+  other.evaluate(flows[0]);
+  EXPECT_EQ(other.evaluations(), 1u);
+}
+
+TEST(QorStoreTest, RejectsUnusableDirectory) {
+  EXPECT_THROW(QorStore({"", "w", false}), QorStoreError);
+  EXPECT_THROW(QorStore({"/proc/definitely/not/writable", "w", false}),
+               QorStoreError);
+}
+
+}  // namespace
+}  // namespace flowgen::core

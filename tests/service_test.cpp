@@ -5,10 +5,13 @@
 // bit-identical to in-process evaluation.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <thread>
 
+#include "aig/serialize.hpp"
 #include "core/evaluator.hpp"
+#include "core/qor_store.hpp"
 #include "core/flow_space.hpp"
 #include "core/pipeline.hpp"
 #include "designs/registry.hpp"
@@ -78,6 +81,7 @@ TEST(WireTest, AddressParsesUnixAndTcp) {
 TEST(WireTest, EvalRequestRoundTrips) {
   EvalRequestMsg msg;
   msg.request_id = 0x1122334455667788ull;
+  msg.design = {0xDEADBEEFCAFEF00Dull, 0x0123456789ABCDEFull};
   msg.flows.push_back({opt::TransformKind::kBalance,
                        opt::TransformKind::kRefactorZ});
   msg.flows.push_back({});  // empty flow (baseline) is legal
@@ -85,10 +89,25 @@ TEST(WireTest, EvalRequestRoundTrips) {
 
   const auto decoded = decode_eval_request(encode_eval_request(msg));
   EXPECT_EQ(decoded.request_id, msg.request_id);
+  EXPECT_EQ(decoded.design, msg.design);
   ASSERT_EQ(decoded.flows.size(), 3u);
   EXPECT_EQ(decoded.flows[0], msg.flows[0]);
   EXPECT_TRUE(decoded.flows[1].empty());
   EXPECT_EQ(decoded.flows[2], msg.flows[2]);
+}
+
+TEST(WireTest, HelloAckAndLoadDesignAckRoundTrip) {
+  HelloAckMsg ack;
+  ack.version = kProtocolVersion;
+  ack.design_id = "alu16";
+  ack.fingerprint = {7, 9};
+  const HelloAckMsg decoded = decode_hello_ack(encode_hello_ack(ack));
+  EXPECT_EQ(decoded.version, kProtocolVersion);
+  EXPECT_EQ(decoded.design_id, "alu16");
+  EXPECT_EQ(decoded.fingerprint, (aig::Fingerprint{7, 9}));
+
+  const aig::Fingerprint fp = {0xAABBCCDDEEFF0011ull, 42};
+  EXPECT_EQ(decode_load_design_ack(encode_load_design_ack(fp)), fp);
 }
 
 TEST(WireTest, EvalResponseRoundTripsExactDoubles) {
@@ -116,7 +135,10 @@ TEST(WireTest, HelloAndErrorRoundTrip) {
 }
 
 TEST(WireTest, DecodersRejectTruncatedAndTrailingBytes) {
-  auto bytes = encode_eval_request({1, {{opt::TransformKind::kBalance}}});
+  EvalRequestMsg msg;
+  msg.request_id = 1;
+  msg.flows.push_back({opt::TransformKind::kBalance});
+  auto bytes = encode_eval_request(msg);
   auto truncated = bytes;
   truncated.pop_back();
   EXPECT_THROW(decode_eval_request(truncated), WireError);
@@ -137,11 +159,15 @@ TEST(WireTest, DecodersRejectCountsExceedingPayload) {
   bytes[11] = 0xFF;
   EXPECT_THROW(decode_eval_response(bytes), WireError);
 
-  auto req = encode_eval_request({1, {{opt::TransformKind::kBalance}}});
-  req[8] = 0xFF;
-  req[9] = 0xFF;
-  req[10] = 0xFF;
-  req[11] = 0xFF;
+  EvalRequestMsg req_msg;
+  req_msg.request_id = 1;
+  req_msg.flows.push_back({opt::TransformKind::kBalance});
+  auto req = encode_eval_request(req_msg);
+  // count: little-endian u32 after u64 request id + 16-byte fingerprint
+  req[24] = 0xFF;
+  req[25] = 0xFF;
+  req[26] = 0xFF;
+  req[27] = 0xFF;
   EXPECT_THROW(decode_eval_request(req), WireError);
 }
 
@@ -153,7 +179,10 @@ TEST(ServiceTest, HandshakeRejectsMismatchedAckDesign) {
   std::thread fake([sock = std::move(fake_end)]() mutable {
     const auto hello = recv_frame(sock, 10000);
     if (!hello || hello->type != MsgType::kHello) return;
-    send_frame(sock, MsgType::kHelloAck, encode_hello_ack("mont:8"));
+    HelloAckMsg ack;
+    ack.design_id = "mont:8";
+    ack.fingerprint = designs::make_design("mont:8").fingerprint();
+    send_frame(sock, MsgType::kHelloAck, encode_hello_ack(ack));
     recv_frame(sock, 10000);  // linger until the coordinator hangs up
   });
   std::vector<EvalCoordinator::Worker> workers;
@@ -303,7 +332,10 @@ TEST(ServiceTest, UnresponsiveWorkerTimesOutAndBatchCompletes) {
   std::thread fake_worker([sock = std::move(fake_end)]() mutable {
     const auto hello = recv_frame(sock, 10000);
     if (!hello || hello->type != MsgType::kHello) return;
-    send_frame(sock, MsgType::kHelloAck, encode_hello_ack("alu:4"));
+    HelloAckMsg ack;
+    ack.design_id = "alu:4";
+    ack.fingerprint = designs::make_design("alu:4").fingerprint();
+    send_frame(sock, MsgType::kHelloAck, encode_hello_ack(ack));
     // Swallow requests without answering until the coordinator hangs up.
     while (recv_frame(sock, 10000)) {
     }
@@ -379,12 +411,125 @@ TEST(ServiceTest, PipelineRunsDistributedViaConfig) {
   EXPECT_GT(res.baseline.area_um2, 0.0);
 }
 
-TEST(ServiceTest, PipelineDistributedConfigRequiresDesignId) {
-  core::PipelineConfig cfg;
-  cfg.service.loopback_workers = 2;  // but no design_id
-  EXPECT_THROW(
-      core::FlowGenPipeline(designs::make_design("alu:4"), cfg),
-      std::invalid_argument);
+// --------------------------------------------------- protocol v2: designs --
+
+// A circuit deliberately absent from designs::registry — the "customer
+// netlist" case the v2 protocol exists for. Combinational, ~90 ANDs.
+aig::Aig make_off_registry_design() {
+  aig::Aig g;
+  g.name = "offreg8";
+  const std::vector<aig::Lit> x = g.add_pis(8);
+  std::vector<aig::Lit> layer;
+  for (std::size_t i = 0; i < 8; ++i) {
+    layer.push_back(g.lxor(x[i], x[(i + 3) % 8]));
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    layer[i] = g.lmaj(layer[i], x[(i + 1) % 8], layer[(i + 5) % 8]);
+  }
+  aig::Lit parity = g.lxor_n(layer);
+  for (std::size_t i = 0; i < 4; ++i) {
+    g.add_po(g.lmux(parity, layer[i], layer[i + 4]));
+  }
+  g.add_po(parity);
+  return g;
+}
+
+// The acceptance bar for netlist shipping: a design no registry knows,
+// labeled by a 4-worker fleet via LoadDesign, bit-identical to in-process
+// evaluation of the same netlist.
+TEST(ServiceTest, OffRegistryDesignOnFourWorkersViaLoadDesign) {
+  SKIP_UNDER_TSAN();
+  const aig::Aig design = make_off_registry_design();
+  EXPECT_THROW(designs::make_design(design.name), std::invalid_argument);
+
+  const auto flows = sample_flows(200);
+  auto remote = RemoteEvaluator::loopback_netlist(design, 4);
+  const auto remote_qor = remote->evaluate_many(flows);
+  EXPECT_EQ(remote->num_workers_alive(), 4u);
+
+  core::SynthesisEvaluator local{aig::Aig(design)};
+  expect_bit_identical(remote_qor, local.evaluate_many(flows));
+}
+
+TEST(ServiceTest, WorkerMultiplexesDesignsAcrossConnections) {
+  // One long-lived worker (thread, no fork — TSan-safe), three clients in
+  // sequence: registry design, shipped netlist, registry again. The LRU
+  // must keep both designs instantiated and route by fingerprint.
+  const std::string path = ::testing::TempDir() + "flowgen_mux.sock";
+  Listener listener = Listener::bind(Address::parse("unix:" + path));
+  WorkerOptions options;  // design-less until the first Hello
+  EvalWorker worker(options);
+  std::thread server([&] {
+    for (int i = 0; i < 3; ++i) {
+      Socket conn = listener.accept(20000);
+      worker.serve(conn);
+    }
+  });
+
+  const aig::Aig off_registry = make_off_registry_design();
+  const auto flows = sample_flows(10);
+  core::SynthesisEvaluator local_alu(designs::make_design("alu:4"));
+  core::SynthesisEvaluator local_off{aig::Aig(off_registry)};
+
+  auto alu = RemoteEvaluator::connect({"unix:" + path}, "alu:4");
+  expect_bit_identical(alu->evaluate_many(flows),
+                       local_alu.evaluate_many(flows));
+  alu.reset();
+
+  auto off = RemoteEvaluator::connect_netlist({"unix:" + path}, off_registry);
+  expect_bit_identical(off->evaluate_many(flows),
+                       local_off.evaluate_many(flows));
+  off.reset();
+
+  auto alu_again = RemoteEvaluator::connect({"unix:" + path}, "alu:4");
+  expect_bit_identical(alu_again->evaluate_many(flows),
+                       local_alu.evaluate_many(flows));
+  alu_again.reset();
+  server.join();
+  EXPECT_EQ(worker.num_designs(), 2u);
+}
+
+TEST(ServiceTest, DeferredFleetEvaluatesAfterLoadDesign) {
+  SKIP_UNDER_TSAN();
+  WorkerOptions options;  // design-less workers
+  LoopbackCluster cluster(2, options);
+  EvalCoordinator coordinator(cluster.take_workers(), "");  // deferred
+  const auto flows = sample_flows(20);
+  // No design yet: evaluation must fail loudly, not hang or mislabel.
+  EXPECT_THROW(coordinator.evaluate_many(flows), ServiceError);
+
+  const aig::Aig design = make_off_registry_design();
+  coordinator.load_design(design);
+  EXPECT_EQ(coordinator.design_fingerprint(), design.fingerprint());
+  core::SynthesisEvaluator local{aig::Aig(design)};
+  expect_bit_identical(coordinator.evaluate_many(flows),
+                       local.evaluate_many(flows));
+  coordinator.shutdown_workers();
+}
+
+TEST(ServiceTest, CoordinatorStoreShortCircuitsSecondRun) {
+  SKIP_UNDER_TSAN();
+  const std::string dir =
+      ::testing::TempDir() + "flowgen_coord_store_" +
+      std::to_string(::getpid());
+  const auto flows = sample_flows(40);
+  std::vector<map::QoR> first_qor;
+  {
+    auto remote = RemoteEvaluator::loopback("alu:4", 2);
+    remote->attach_store(std::make_shared<core::QorStore>(
+        core::QorStoreConfig{dir, "coord-a", false}));
+    first_qor = remote->evaluate_many(flows);
+    EXPECT_EQ(remote->stats().store_appends, flows.size());
+  }
+  // Fresh fleet, fresh coordinator, same store directory: every label must
+  // come from disk — zero requests cross the wire.
+  auto remote = RemoteEvaluator::loopback("alu:4", 2);
+  remote->attach_store(std::make_shared<core::QorStore>(
+      core::QorStoreConfig{dir, "coord-b", false}));
+  expect_bit_identical(remote->evaluate_many(flows), first_qor);
+  EXPECT_EQ(remote->stats().store_hits, flows.size());
+  EXPECT_EQ(remote->stats().requests_sent, 0u);
+  EXPECT_EQ(remote->stats().shards, 0u);
 }
 
 }  // namespace

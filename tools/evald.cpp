@@ -1,17 +1,26 @@
 // evald — the flow-evaluation daemon. Three modes:
 //
-//   worker    Serve synthesis+mapping requests for one design:
+//   worker    Serve synthesis+mapping requests. Designs come from the
+//             registry (Hello naming an id) or over the wire (protocol v2
+//             LoadDesign shipping a netlist); a small LRU keeps several
+//             instantiated designs warm:
 //               evald --mode worker --listen unix:/tmp/w0.sock
-//                     --design alu16 [--threads 4]
+//                     [--design alu16] [--threads 4] [--max-designs 4]
+//                     [--store /var/lib/flowgen/qor]
 //   server    Front a worker fleet behind a single address. The server
-//             speaks the same protocol as a worker, so clients cannot tell
-//             a coordinator from a big worker — fleets compose:
+//             speaks the same protocol as a worker — including LoadDesign,
+//             which it re-broadcasts to its fleet — so clients cannot tell
+//             a coordinator from a big worker and fleets compose:
 //               evald --mode server --listen tcp:0.0.0.0:9000
 //                     --workers unix:/tmp/w0.sock,unix:/tmp/w1.sock
-//                     --design alu16
+//                     [--design alu16] [--store /var/lib/flowgen/qor]
 //   loopback  Fork N local workers, push a random batch through them, and
 //             print throughput — the zero-setup smoke test:
 //               evald --mode loopback --design alu16 --workers 4 --flows 200
+//
+// --store points at a persistent labeled-QoR directory (docs/qor-store.md):
+// workers pre-warm their caches from it and append fresh labels; a server
+// answers stored flows without bothering its fleet.
 //
 // Flags are util/cli style (--flag value / --flag=value, FLOWGEN_* env).
 
@@ -20,7 +29,10 @@
 #include <string>
 #include <vector>
 
+#include "aig/serialize.hpp"
 #include "core/flow_space.hpp"
+#include "core/qor_store.hpp"
+#include "designs/registry.hpp"
 #include "service/loopback.hpp"
 #include "service/remote_evaluator.hpp"
 #include "service/wire.hpp"
@@ -49,37 +61,58 @@ int run_worker(const util::Cli& cli) {
   service::WorkerOptions options;
   options.design_id = cli.get("design", "");
   options.threads = static_cast<std::size_t>(cli.get_int("threads", 1));
-  if (options.design_id.empty()) {
-    std::fprintf(stderr, "evald worker: --design is required\n");
-    return 2;
-  }
+  options.max_designs =
+      static_cast<std::size_t>(cli.get_int("max-designs", 4));
+  options.qor_store_dir = cli.get("store", "");
   const auto addr = service::Address::parse(
       cli.get("listen", "unix:/tmp/evald.sock"));
   service::EvalWorker worker(options);
   service::Listener listener = service::Listener::bind(addr);
-  util::log_info("evald worker: design=", options.design_id, " listening on ",
-                 listener.address().to_string());
+  util::log_info("evald worker: design=",
+                 options.design_id.empty() ? "<none — awaiting LoadDesign>"
+                                           : options.design_id,
+                 " listening on ", listener.address().to_string());
   worker.serve_forever(listener);
   return 0;
 }
 
-// Serve one client connection through the shared protocol loop: Hello is
-// answered for the fleet's (fixed) design, every EvalRequest fans out over
-// the workers. A server cannot switch designs like a worker can — its
-// fleet was assembled for one id — so mismatching clients get an Error
-// instead of QoR for the wrong circuit.
+// Serve one client connection through the shared protocol loop: Hello with
+// a registry id elaborates + broadcasts that design to the fleet,
+// LoadDesign re-broadcasts the client's blob, and every EvalRequest fans
+// out over the workers — the server is just a worker-shaped coordinator.
 bool serve_client(service::Socket& client,
                   service::EvalCoordinator& coordinator) {
   service::EvalService svc;
-  svc.on_hello = [&](const std::string& requested) {
-    if (!requested.empty() && requested != coordinator.design_id()) {
-      throw std::runtime_error("server fleet serves design '" +
-                               coordinator.design_id() + "', not '" +
-                               requested + "'");
+  svc.on_hello = [&](const service::HelloMsg& hello) {
+    if (!hello.design_id.empty() &&
+        hello.design_id != coordinator.design_id()) {
+      // Unknown ids throw std::invalid_argument -> an Error frame. The
+      // broadcast is labeled with the *requested* id (not the netlist's
+      // own name) so the ack satisfies registry-mode clients, which
+      // require the acked id to equal what they asked for.
+      const aig::Aig design = designs::make_design(hello.design_id);
+      coordinator.load_design(aig::encode_binary(design),
+                              design.fingerprint(), hello.design_id);
     }
-    return coordinator.design_id();
+    service::HelloAckMsg ack;
+    ack.design_id = coordinator.design_id();
+    ack.fingerprint = coordinator.design_fingerprint();
+    return ack;
   };
-  svc.on_eval = [&](std::vector<core::Flow> flows) {
+  svc.on_load_design = [&](aig::Aig design,
+                           std::span<const std::uint8_t> blob) {
+    const aig::Fingerprint fp = design.fingerprint();
+    if (fp != coordinator.design_fingerprint()) {
+      coordinator.load_design(blob, fp, std::move(design.name));
+    }
+    return fp;
+  };
+  svc.on_eval = [&](const aig::Fingerprint& fp,
+                    std::vector<core::Flow> flows) {
+    if (fp != coordinator.design_fingerprint()) {
+      throw std::runtime_error("design " + aig::fingerprint_hex(fp) +
+                               " is not the fleet's current design");
+    }
     return coordinator.evaluate_many(flows);
   };
   return service::serve_frames(client, svc);
@@ -88,17 +121,25 @@ bool serve_client(service::Socket& client,
 int run_server(const util::Cli& cli) {
   const std::string design = cli.get("design", "");
   const auto worker_specs = split_list(cli.get("workers", ""));
-  if (design.empty() || worker_specs.empty()) {
-    std::fprintf(stderr,
-                 "evald server: --design and --workers are required\n");
+  if (worker_specs.empty()) {
+    std::fprintf(stderr, "evald server: --workers is required\n");
     return 2;
   }
+  // No --design starts the fleet deferred: the first client Hello(id) or
+  // LoadDesign decides what it serves.
   service::EvalCoordinator coordinator(service::connect_workers(worker_specs),
                                        design);
+  if (const std::string dir = cli.get("store", ""); !dir.empty()) {
+    core::QorStoreConfig store_config;
+    store_config.dir = dir;
+    coordinator.attach_store(
+        std::make_shared<core::QorStore>(std::move(store_config)));
+  }
   const auto addr =
       service::Address::parse(cli.get("listen", "unix:/tmp/evald.sock"));
   service::Listener listener = service::Listener::bind(addr);
-  util::log_info("evald server: design=", design, " fleet=",
+  util::log_info("evald server: design=",
+                 design.empty() ? "<deferred>" : design, " fleet=",
                  coordinator.num_workers_alive(), " listening on ",
                  listener.address().to_string());
   while (true) {
