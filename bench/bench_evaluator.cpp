@@ -1,18 +1,26 @@
 // Throughput benchmark for the prefix-sharing flow-evaluation engine.
-// Labels the same batch of m-repetition flows twice — once per-flow from
-// scratch (prefix cache and mapping dedup off), once through the full
-// engine — at equal thread count, and reports flows/sec, cache hit rate and
-// speedup as machine-readable JSON (stdout + optional --json file). The
-// paper's dataset-collection step is exactly this workload.
+// Labels the same batch of m-repetition flows three ways — per-flow from
+// scratch (prefix cache, mapping dedup and analysis sharing off), engine
+// without analysis sharing, and the full engine — at equal thread count,
+// and reports flows/sec, cache hit rate and speedup as machine-readable
+// JSON (stdout + optional --json file). The paper's dataset-collection
+// step is exactly this workload.
+//
+// --transforms-json additionally emits per-transform per-pass timings
+// (cold analysis vs warm analysis on the same graph) so the perf
+// trajectory of every pass is tracked PR over PR.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "aig/analysis.hpp"
 #include "core/evaluator.hpp"
 #include "core/flow_space.hpp"
 #include "designs/registry.hpp"
+#include "opt/transform.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -48,6 +56,62 @@ RunResult run(const aig::Aig& design, const std::vector<core::Flow>& flows,
   return r;
 }
 
+/// Median wall-clock of `reps` invocations of `fn` in milliseconds.
+template <typename Fn>
+double median_ms(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Per-transform pass timings on `design`: cold = analysis-cold (a fresh
+/// pass-local AnalysisCache per run; the process-wide factored-form memo
+/// does warm across reps and kinds, deterministically — same order every
+/// run — so columns stay comparable PR over PR, but cold_ms is not
+/// memo-from-scratch cost) vs warm (a shared AnalysisCache filled by the
+/// first run — the state a pass resuming from a cached snapshot sees).
+/// Emits one JSON object.
+std::string bench_transforms(const aig::Aig& design,
+                             const std::string& design_name, int reps) {
+  std::string json = "{\"design\": \"" + design_name + "\", \"ands\": " +
+                     std::to_string(design.num_ands()) +
+                     ", \"transforms\": [\n";
+  bool first = true;
+  for (opt::TransformKind kind : opt::paper_transform_set()) {
+    const double cold_ms = median_ms(reps, [&] {
+      (void)opt::apply_transform(design, kind);  // pass-local analysis
+    });
+    aig::AnalysisCache warm_cache(design);
+    (void)opt::apply_transform_analyzed(design, kind, &warm_cache, false);
+    const double warm_ms = median_ms(reps, [&] {
+      (void)opt::apply_transform_analyzed(design, kind, &warm_cache, false);
+    });
+    const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "  {\"transform\": \"%s\", \"cold_ms\": %.3f, "
+                  "\"warm_ms\": %.3f, \"warm_speedup\": %.2f}",
+                  opt::transform_name(kind).c_str(), cold_ms, warm_ms,
+                  speedup);
+    if (!first) json += ",\n";
+    json += line;
+    first = false;
+    std::printf("  %-14s cold %8.3f ms  warm %8.3f ms  (%.1fx)\n",
+                opt::transform_name(kind).c_str(), cold_ms, warm_ms, speedup);
+  }
+  json += "\n]}";
+  return json;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -62,6 +126,8 @@ int main(int argc, char** argv) try {
   const std::size_t budget_mb =
       static_cast<std::size_t>(cli.get_int("budget-mb", 256));
   const bool skip_naive = cli.get_bool("skip-naive", false);
+  const std::string transforms_json = cli.get("transforms-json", "");
+  const int transform_reps = cli.get_int("transform-reps", 5);
 
   const aig::Aig design = designs::make_design(design_name);
   const core::FlowSpace space(m);
@@ -73,21 +139,44 @@ int main(int argc, char** argv) try {
               design_name.c_str(), design.num_ands(), m, space.length(),
               num_flows, threads);
 
+  // Per-transform pass trajectory (cold vs warm analysis) — before the
+  // batch runs so the memo state at measurement time is the same fixed
+  // sequence every invocation (see bench_transforms on what "cold" means).
+  std::string transforms;
+  if (!transforms_json.empty()) {
+    std::printf("per-transform pass timings (%s):\n", design_name.c_str());
+    transforms = bench_transforms(design, design_name, transform_reps);
+    if (std::FILE* f = std::fopen(transforms_json.c_str(), "w")) {
+      std::fprintf(f, "%s\n", transforms.c_str());
+      std::fclose(f);
+    }
+  }
+
   core::EvaluatorConfig naive_cfg;
   naive_cfg.use_prefix_cache = false;
   naive_cfg.dedup_mappings = false;
+  naive_cfg.share_analysis = false;
 
   core::EvaluatorConfig engine_cfg;
   engine_cfg.prefix_cache.byte_budget = budget_mb << 20;
 
+  core::EvaluatorConfig engine_noan_cfg = engine_cfg;
+  engine_noan_cfg.share_analysis = false;
+
   RunResult naive;
   if (!skip_naive) {
     naive = run(design, flows, naive_cfg, threads);
-    std::printf("  naive : %.2fs  %.1f flows/s\n", naive.seconds,
+    std::printf("  naive        : %.2fs  %.1f flows/s\n", naive.seconds,
                 naive.flows_per_sec);
   }
+  RunResult engine_noan;
+  if (!skip_naive) {
+    engine_noan = run(design, flows, engine_noan_cfg, threads);
+    std::printf("  engine (cold): %.2fs  %.1f flows/s\n", engine_noan.seconds,
+                engine_noan.flows_per_sec);
+  }
   const RunResult engine = run(design, flows, engine_cfg, threads);
-  std::printf("  engine: %.2fs  %.1f flows/s\n", engine.seconds,
+  std::printf("  engine (warm): %.2fs  %.1f flows/s\n", engine.seconds,
               engine.flows_per_sec);
 
   bool identical = true;
@@ -96,7 +185,9 @@ int main(int argc, char** argv) try {
       if (naive.qor[i].area_um2 != engine.qor[i].area_um2 ||
           naive.qor[i].delay_ps != engine.qor[i].delay_ps ||
           naive.qor[i].num_cells != engine.qor[i].num_cells ||
-          naive.qor[i].num_inverters != engine.qor[i].num_inverters) {
+          naive.qor[i].num_inverters != engine.qor[i].num_inverters ||
+          engine_noan.qor[i].area_um2 != engine.qor[i].area_um2 ||
+          engine_noan.qor[i].delay_ps != engine.qor[i].delay_ps) {
         identical = false;
         std::printf("  MISMATCH at flow %zu\n", i);
         break;
@@ -106,24 +197,33 @@ int main(int argc, char** argv) try {
 
   const double speedup =
       skip_naive || engine.seconds <= 0 ? 0.0 : naive.seconds / engine.seconds;
+  const double analysis_speedup =
+      skip_naive || engine.seconds <= 0
+          ? 0.0
+          : engine_noan.seconds / engine.seconds;
   const auto& st = engine.stats;
   char json[2048];
   std::snprintf(
       json, sizeof json,
       "{\"design\": \"%s\", \"m\": %u, \"flows\": %zu, \"threads\": %zu,\n"
-      " \"naive_seconds\": %.3f, \"engine_seconds\": %.3f,\n"
+      " \"naive_seconds\": %.3f, \"engine_cold_analysis_seconds\": %.3f,"
+      " \"engine_seconds\": %.3f,\n"
       " \"naive_flows_per_sec\": %.2f, \"engine_flows_per_sec\": %.2f,\n"
-      " \"speedup\": %.2f, \"bit_identical\": %s,\n"
+      " \"speedup\": %.2f, \"analysis_speedup\": %.2f,"
+      " \"bit_identical\": %s,\n"
       " \"prefix_hit_rate\": %.4f, \"prefix_entries\": %zu,"
       " \"prefix_bytes\": %zu, \"prefix_evictions\": %zu,\n"
+      " \"analysis_bytes\": %zu, \"analysis_evictions\": %zu,\n"
       " \"transforms_applied\": %zu, \"transforms_skipped\": %zu,\n"
       " \"mappings\": %zu, \"mappings_deduped\": %zu}",
       design_name.c_str(), m, num_flows, threads, naive.seconds,
-      engine.seconds, naive.flows_per_sec, engine.flows_per_sec, speedup,
+      engine_noan.seconds, engine.seconds, naive.flows_per_sec,
+      engine.flows_per_sec, speedup, analysis_speedup,
       skip_naive ? "null" : (identical ? "true" : "false"),
       st.prefix.hit_rate(), st.prefix.entries, st.prefix.bytes,
-      st.prefix.evictions, st.transforms_applied, st.transforms_skipped,
-      st.mappings, st.mappings_deduped);
+      st.prefix.evictions, st.prefix.analysis_bytes,
+      st.prefix.analysis_evictions, st.transforms_applied,
+      st.transforms_skipped, st.mappings, st.mappings_deduped);
   std::printf("%s\n", json);
 
   const std::string json_path = cli.get("json", "");

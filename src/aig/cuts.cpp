@@ -48,6 +48,56 @@ bool merge_cuts(const Cut& a, const Cut& b, unsigned k, Cut& out) {
   return true;
 }
 
+void CutManager::enumerate_node(const Aig& aig, std::uint32_t id,
+                                std::vector<Cut>& merged, Cut& candidate) {
+  std::vector<Cut>& set = cuts_[id];
+  if (!aig.is_and(id)) {
+    Cut trivial;
+    trivial.leaves = {id};
+    trivial.compute_signature();
+    set.push_back(std::move(trivial));
+    return;
+  }
+  const auto& n = aig.node(id);
+  const auto& set_a = cuts_[lit_node(n.fanin0)];
+  const auto& set_b = cuts_[lit_node(n.fanin1)];
+
+  merged.clear();
+  for (const Cut& ca : set_a) {
+    for (const Cut& cb : set_b) {
+      if (!merge_cuts(ca, cb, params_.cut_size, candidate)) continue;
+      // Drop candidates dominated by an existing cut, and existing cuts
+      // dominated by the candidate.
+      bool dominated = false;
+      for (const Cut& c : merged) {
+        if (c.subset_of(candidate)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      std::erase_if(merged,
+                    [&](const Cut& c) { return candidate.subset_of(c); });
+      merged.push_back(candidate);
+    }
+  }
+  // Priority: fewer leaves first (cheaper to match / rewrite), stable
+  // beyond that. Keep a bounded number.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Cut& a, const Cut& b) {
+                     return a.leaves.size() < b.leaves.size();
+                   });
+  if (merged.size() > params_.max_cuts) merged.resize(params_.max_cuts);
+  set.reserve(merged.size() + (params_.keep_trivial ? 1 : 0));
+  for (Cut& c : merged) set.push_back(std::move(c));
+  if (params_.keep_trivial) {
+    Cut trivial;
+    trivial.leaves = {id};
+    trivial.compute_signature();
+    set.push_back(std::move(trivial));
+  }
+}
+
 CutManager::CutManager(const Aig& aig, const CutParams& params)
     : params_(params), cuts_(aig.num_nodes()) {
   // Scratch buffers live across the node loop: `merged`'s spine and the
@@ -57,53 +107,50 @@ CutManager::CutManager(const Aig& aig, const CutParams& params)
   Cut candidate;
   candidate.leaves.reserve(2 * params_.cut_size);
   for (std::uint32_t id = 0; id < aig.num_nodes(); ++id) {
-    std::vector<Cut>& set = cuts_[id];
-    if (!aig.is_and(id)) {
-      Cut trivial;
-      trivial.leaves = {id};
-      trivial.compute_signature();
-      set.push_back(std::move(trivial));
+    enumerate_node(aig, id, merged, candidate);
+  }
+}
+
+CutManager::CutManager(const Aig& aig, const CutParams& params,
+                       const CutManager& prev, const CutReuse& reuse)
+    : params_(params), cuts_(aig.num_nodes()) {
+  std::vector<Cut> merged;
+  merged.reserve(params_.max_cuts * 4);
+  Cut candidate;
+  candidate.leaves.reserve(2 * params_.cut_size);
+  for (std::uint32_t id = 0; id < aig.num_nodes(); ++id) {
+    const std::uint32_t old = reuse.old_of[id];
+    if (!aig.is_and(id) || old == CutReuse::kNone || !reuse.tfi_clean[id] ||
+        old >= prev.cuts_.size()) {
+      enumerate_node(aig, id, merged, candidate);
       continue;
     }
-    const auto& n = aig.node(id);
-    const auto& set_a = cuts_[lit_node(n.fanin0)];
-    const auto& set_b = cuts_[lit_node(n.fanin1)];
-
-    merged.clear();
-    for (const Cut& ca : set_a) {
-      for (const Cut& cb : set_b) {
-        if (!merge_cuts(ca, cb, params_.cut_size, candidate)) continue;
-        // Drop candidates dominated by an existing cut, and existing cuts
-        // dominated by the candidate.
-        bool dominated = false;
-        for (const Cut& c : merged) {
-          if (c.subset_of(candidate)) {
-            dominated = true;
-            break;
-          }
-        }
-        if (dominated) continue;
-        std::erase_if(merged,
-                      [&](const Cut& c) { return candidate.subset_of(c); });
-        merged.push_back(candidate);
+    // Clean cone: remap the previous cut set. Leaves live in the clean
+    // cone, so every one has a (positive) counterpart and the remap
+    // preserves their sorted order; only signatures depend on raw ids.
+    std::vector<Cut>& set = cuts_[id];
+    const std::vector<Cut>& prev_set = prev.cuts_[old];
+    set.resize(prev_set.size());
+    for (std::size_t c = 0; c < prev_set.size(); ++c) {
+      set[c].leaves.resize(prev_set[c].leaves.size());
+      for (std::size_t l = 0; l < prev_set[c].leaves.size(); ++l) {
+        set[c].leaves[l] = lit_node(reuse.old_to_new[prev_set[c].leaves[l]]);
       }
+      set[c].compute_signature();
     }
-    // Priority: fewer leaves first (cheaper to match / rewrite), stable
-    // beyond that. Keep a bounded number.
-    std::stable_sort(merged.begin(), merged.end(),
-                     [](const Cut& a, const Cut& b) {
-                       return a.leaves.size() < b.leaves.size();
-                     });
-    if (merged.size() > params_.max_cuts) merged.resize(params_.max_cuts);
-    set.reserve(merged.size() + (params_.keep_trivial ? 1 : 0));
-    for (Cut& c : merged) set.push_back(std::move(c));
-    if (params_.keep_trivial) {
-      Cut trivial;
-      trivial.leaves = {id};
-      trivial.compute_signature();
-      set.push_back(std::move(trivial));
+    ++reused_nodes_;
+  }
+}
+
+std::size_t CutManager::memory_bytes() const {
+  std::size_t bytes = sizeof(CutManager) + cuts_.capacity() * sizeof(cuts_[0]);
+  for (const auto& set : cuts_) {
+    bytes += set.capacity() * sizeof(Cut);
+    for (const Cut& c : set) {
+      bytes += c.leaves.capacity() * sizeof(std::uint32_t);
     }
   }
+  return bytes;
 }
 
 }  // namespace flowgen::aig

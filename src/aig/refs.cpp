@@ -29,6 +29,25 @@ RefCounts::RefCounts(const Aig& aig)
   for (Lit po : aig.pos()) ++refs_[lit_node(po)];
 }
 
+RefCounts RefCounts::pristine(const Aig& aig) {
+  RefCounts rc;
+  rc.refs_.assign(aig.num_nodes(), 0);
+  rc.terminal_.assign(aig.num_nodes(), 0);
+  for (std::uint32_t id = 0; id < aig.num_nodes(); ++id) {
+    if (!aig.is_and(id)) continue;
+    ++rc.refs_[lit_node(aig.node(id).fanin0)];
+    ++rc.refs_[lit_node(aig.node(id).fanin1)];
+  }
+  for (Lit po : aig.pos()) ++rc.refs_[lit_node(po)];
+  // Premise check: with every AND referenced, references can only chain
+  // upward (ids increase) until they hit a PO, so every AND is live and the
+  // all-nodes count equals the live-only count.
+  for (std::uint32_t id = 0; id < aig.num_nodes(); ++id) {
+    if (aig.is_and(id) && rc.refs_[id] == 0) return RefCounts(aig);
+  }
+  return rc;
+}
+
 void RefCounts::grow(const Aig& aig) {
   if (refs_.size() < aig.num_nodes()) {
     refs_.resize(aig.num_nodes(), 0);

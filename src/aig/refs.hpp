@@ -17,6 +17,14 @@ public:
   /// plus one per PO. Nodes with zero references are dead.
   explicit RefCounts(const Aig& aig);
 
+  /// Same counts, skipping the PO-reachability walk when possible: graphs
+  /// rebuilt by a transform (apply_replacements / balance) contain only
+  /// live AND nodes, so counting every AND's fanin edges already equals the
+  /// live-only count. The fast path verifies its own premise (every AND
+  /// referenced at least once) and falls back to the exact constructor
+  /// otherwise, so the result is always identical to RefCounts(aig).
+  static RefCounts pristine(const Aig& aig);
+
   std::uint32_t refs(std::uint32_t node) const { return refs_[node]; }
   bool dead(std::uint32_t node) const { return refs_[node] == 0; }
 
@@ -53,6 +61,8 @@ public:
   std::vector<std::uint32_t> mffc_nodes(const Aig& aig, std::uint32_t node);
 
 private:
+  RefCounts() = default;  ///< for pristine()'s fast path
+
   bool walkable(const Aig& aig, std::uint32_t node) const {
     return aig.is_and(node) && !terminal_[node];
   }

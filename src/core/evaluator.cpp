@@ -24,6 +24,9 @@ SynthesisEvaluator::SynthesisEvaluator(aig::Aig design,
   if (config_.use_prefix_cache) {
     prefix_cache_ = std::make_unique<PrefixFlowCache>(config_.prefix_cache);
   }
+  if (config_.share_analysis) {
+    design_analysis_ = std::make_shared<aig::AnalysisCache>(design_);
+  }
 }
 
 map::QoR SynthesisEvaluator::evaluate(const Flow& flow) const {
@@ -68,32 +71,54 @@ void SynthesisEvaluator::attach_store(std::shared_ptr<QorStore> store) {
 
 map::QoR SynthesisEvaluator::evaluate_uncached(StepsView steps) const {
   if (steps.empty()) return map_deduped(design_);
-  if (!prefix_cache_) {
-    // First step reads design_ directly — no upfront copy of the base
-    // graph (apply_transform builds a fresh one anyway).
-    aig::Aig g = opt::apply_transform(design_, steps[0]);
-    opt::apply_flow_inplace(g, steps.subspan(1));
-    transforms_applied_.fetch_add(steps.size(), std::memory_order_relaxed);
-    return map_deduped(g);
-  }
   // Resume from the deepest cached prefix (design_ itself when nothing is
   // cached), then share every intermediate graph with the cache as
   // evaluation produces it. Snapshots are the evaluation's own results
   // moved into shared_ptrs — caching costs no graph copies, only retention.
+  //
+  // Analysis rides along: the first step consumes the design's shared
+  // AnalysisCache (or the snapshot's, on a warm resume), every later step
+  // the cache derived from the previous step's damage report, and each
+  // snapshot is stored together with its analysis so the N flows branching
+  // off a prefix pay for its analysis once.
   std::size_t depth = 0;
-  std::shared_ptr<const aig::Aig> cur;  // null = still at design_
-  if (const auto hit = prefix_cache_->longest_prefix(steps); hit.aig) {
-    depth = hit.depth;
-    cur = hit.aig;
-    transforms_skipped_.fetch_add(depth, std::memory_order_relaxed);
+  std::shared_ptr<const aig::Aig> cur;          // null = still at design_
+  std::shared_ptr<aig::AnalysisCache> cur_an;   // analysis of *cur
+  if (prefix_cache_) {
+    if (const auto hit = prefix_cache_->longest_prefix(steps); hit.aig) {
+      depth = hit.depth;
+      cur = hit.aig;
+      cur_an = hit.analysis;
+      transforms_skipped_.fetch_add(depth, std::memory_order_relaxed);
+    }
+  }
+  // Deriving pays off through the snapshots that carry it to sibling
+  // flows; when the byte budget has proven too tight to retain attachments
+  // (analysis_retained() collapses), deriving is mostly wasted work and is
+  // throttled to a 1-in-64 probe — enough for the retention sample to
+  // recover once pressure drops, cheap enough to not matter while it
+  // hasn't. A pure performance heuristic: QoR is identical either way
+  // because plans are pure.
+  bool derive_on = config_.share_analysis;
+  if (derive_on && prefix_cache_ && !prefix_cache_->analysis_retained()) {
+    derive_on =
+        derive_probe_.fetch_add(1, std::memory_order_relaxed) % 64 == 0;
   }
   for (std::size_t i = depth; i < steps.size(); ++i) {
-    cur = std::make_shared<const aig::Aig>(
-        opt::apply_transform(cur ? *cur : design_, steps[i]));
+    aig::AnalysisCache* in_analysis =
+        cur ? cur_an.get()
+            : (config_.share_analysis ? design_analysis_.get() : nullptr);
+    // The last graph is mapped, never transformed again, so its analysis
+    // would be dead weight.
+    const bool derive = derive_on && i + 1 < steps.size();
+    opt::AnalyzedTransform r = opt::apply_transform_analyzed(
+        cur ? *cur : design_, steps[i], in_analysis, derive);
+    cur = std::make_shared<const aig::Aig>(std::move(r.graph));
+    cur_an = std::move(r.analysis);
     transforms_applied_.fetch_add(1, std::memory_order_relaxed);
     // The full flow's graph is not a prefix of anything: skip the last step.
-    if (i + 1 < steps.size()) {
-      prefix_cache_->insert(steps.subspan(0, i + 1), cur);
+    if (prefix_cache_ && i + 1 < steps.size()) {
+      prefix_cache_->insert(steps.subspan(0, i + 1), cur, cur_an);
     }
   }
   return map_deduped(*cur);

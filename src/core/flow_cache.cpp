@@ -10,6 +10,40 @@ PrefixFlowCache::PrefixFlowCache(FlowCacheConfig config)
   shards_ = std::vector<Shard>(n);
 }
 
+void PrefixFlowCache::Shard::enforce_budget(
+    std::size_t budget, std::atomic<std::size_t>& stripped_counter) {
+  // Analysis artifacts are cheaper to lose than snapshots (a stripped
+  // attachment is recomputed lazily; an evicted snapshot re-runs whole
+  // transform prefixes), so strip every attachment LRU-first before any
+  // snapshot goes.
+  while (bytes > budget && analysis_bytes > 0) {
+    bool stripped = false;
+    for (auto it = lru.rbegin(); it != lru.rend(); ++it) {
+      if (!it->analysis) continue;
+      bytes -= it->analysis_bytes;
+      analysis_bytes -= it->analysis_bytes;
+      it->analysis.reset();
+      it->analysis_bytes = 0;
+      ++analysis_evictions;
+      stripped_counter.fetch_add(1, std::memory_order_relaxed);
+      stripped = true;
+      break;
+    }
+    if (!stripped) break;
+  }
+  while (bytes > budget && !lru.empty()) {
+    const Entry& victim = lru.back();
+    bytes -= victim.bytes + victim.analysis_bytes;
+    analysis_bytes -= victim.analysis_bytes;
+    if (victim.analysis) {
+      stripped_counter.fetch_add(1, std::memory_order_relaxed);
+    }
+    index.erase(victim.key);
+    lru.pop_back();
+    ++evictions;
+  }
+}
+
 PrefixFlowCache::Hit PrefixFlowCache::longest_prefix(StepsView steps) const {
   lookups_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t start =
@@ -24,13 +58,26 @@ PrefixFlowCache::Hit PrefixFlowCache::longest_prefix(StepsView steps) const {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
     steps_saved_.fetch_add(len, std::memory_order_relaxed);
-    return Hit{len, it->second->aig};
+    Entry& entry = *it->second;
+    Hit hit{len, entry.aig, entry.analysis};
+    // The attachment grows as evaluations fill it lazily; re-poll so the
+    // budget stays honest, and shed load if it no longer holds. The hit
+    // keeps its shared_ptr either way.
+    if (entry.analysis) {
+      const std::size_t polled = entry.analysis->memory_bytes();
+      shard.bytes += polled - entry.analysis_bytes;
+      shard.analysis_bytes += polled - entry.analysis_bytes;
+      entry.analysis_bytes = polled;
+      shard.enforce_budget(budget_per_shard_, analysis_stripped_);
+    }
+    return hit;
   }
   return {};
 }
 
 void PrefixFlowCache::insert(StepsView steps,
-                             std::shared_ptr<const aig::Aig> aig) {
+                             std::shared_ptr<const aig::Aig> aig,
+                             std::shared_ptr<aig::AnalysisCache> analysis) {
   if (!aig || steps.empty() || steps.size() > config_.max_snapshot_depth) {
     return;
   }
@@ -38,21 +85,25 @@ void PrefixFlowCache::insert(StepsView steps,
                             steps.size() * sizeof(opt::TransformKind) +
                             sizeof(Entry);
   if (bytes > budget_per_shard_) return;  // would evict the whole shard
+  std::size_t analysis_bytes = analysis ? analysis->memory_bytes() : 0;
+  if (bytes + analysis_bytes > budget_per_shard_) {
+    analysis.reset();  // keep the snapshot, drop the oversize attachment
+    analysis_bytes = 0;
+  }
   Shard& shard = shard_for(steps);
   std::lock_guard lock(shard.mutex);
   if (shard.index.contains(steps)) return;  // first snapshot wins
-  shard.lru.push_front(
-      Entry{StepsKey(steps.begin(), steps.end()), std::move(aig), bytes});
+  shard.lru.push_front(Entry{StepsKey(steps.begin(), steps.end()),
+                             std::move(aig), std::move(analysis), bytes,
+                             analysis_bytes});
   shard.index.emplace(shard.lru.front().key, shard.lru.begin());
-  shard.bytes += bytes;
-  ++shard.insertions;
-  while (shard.bytes > budget_per_shard_ && !shard.lru.empty()) {
-    const Entry& victim = shard.lru.back();
-    shard.bytes -= victim.bytes;
-    shard.index.erase(victim.key);
-    shard.lru.pop_back();
-    ++shard.evictions;
+  shard.bytes += bytes + analysis_bytes;
+  shard.analysis_bytes += analysis_bytes;
+  if (shard.lru.front().analysis) {
+    analysis_attached_.fetch_add(1, std::memory_order_relaxed);
   }
+  ++shard.insertions;
+  shard.enforce_budget(budget_per_shard_, analysis_stripped_);
 }
 
 FlowCacheStats PrefixFlowCache::stats() const {
@@ -64,7 +115,9 @@ FlowCacheStats PrefixFlowCache::stats() const {
     std::lock_guard lock(shard.mutex);
     s.entries += shard.index.size();
     s.bytes += shard.bytes;
+    s.analysis_bytes += shard.analysis_bytes;
     s.evictions += shard.evictions;
+    s.analysis_evictions += shard.analysis_evictions;
     s.insertions += shard.insertions;
   }
   return s;
@@ -76,6 +129,7 @@ void PrefixFlowCache::clear() {
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
+    shard.analysis_bytes = 0;
   }
 }
 

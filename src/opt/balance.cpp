@@ -4,8 +4,6 @@
 #include <queue>
 #include <vector>
 
-#include "aig/refs.hpp"
-
 namespace flowgen::opt {
 
 using aig::Aig;
@@ -24,7 +22,7 @@ namespace {
 /// first, which minimises tree depth.
 class Balancer {
 public:
-  explicit Balancer(const Aig& in) : in_(in), refs_(in) {
+  explicit Balancer(const Aig& in) : in_(in) {
     map_and_.assign(in.num_nodes(), aig::kLitInvalid);
     map_or_.assign(in.num_nodes(), aig::kLitInvalid);
   }
@@ -120,7 +118,6 @@ private:
   Lit pi_of(std::uint32_t id) const { return pi_lookup_[id]; }
 
   const Aig& in_;
-  aig::RefCounts refs_;
   Aig out_;
   std::vector<Lit> pi_lookup_;
   std::vector<Lit> map_and_;

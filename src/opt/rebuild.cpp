@@ -65,19 +65,64 @@ long reuse_cost(const Aig& g, const std::vector<Lit>& repl, Lit root,
   return cost;
 }
 
-Aig apply_replacements(const Aig& g, const std::vector<Lit>& repl) {
+Aig apply_replacements(const Aig& g, const std::vector<Lit>& repl,
+                       aig::RebuildInfo* info) {
   Aig out;
   out.name = g.name;
   std::vector<Lit> map(g.num_nodes(), aig::kLitInvalid);
   map[0] = aig::kLitFalse;
   for (std::uint32_t pi : g.pis()) map[pi] = out.add_pi();
 
+  // Identity DP: a node is identity when it is unreplaced and its whole
+  // transitive fanin is unreplaced — its effective cone is exactly its
+  // original cone. Ids are topological, so one ascending pass suffices.
+  std::vector<char> identity(g.num_nodes(), 0);
+  identity[0] = 1;
+  for (std::uint32_t id = 0; id < g.num_nodes(); ++id) {
+    if (g.is_pi(id)) {
+      identity[id] = 1;
+    } else if (g.is_and(id)) {
+      const bool unreplaced =
+          id >= repl.size() || repl[id] == make_lit(id, false);
+      const auto& n = g.node(id);
+      identity[id] = unreplaced && identity[lit_node(n.fanin0)] &&
+                     identity[lit_node(n.fanin1)];
+    }
+  }
+
+  // Reachability over the effective (alias-resolved) graph, so the sweep
+  // below emits no dead logic.
+  std::vector<char> needed(g.num_nodes(), 0);
+  std::vector<std::uint32_t> stack;
+  for (Lit po : g.pos()) stack.push_back(lit_node(resolve(repl, po)));
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (needed[id]) continue;
+    needed[id] = 1;
+    if (!g.is_and(id)) continue;
+    stack.push_back(lit_node(resolve(repl, g.node(id).fanin0)));
+    stack.push_back(lit_node(resolve(repl, g.node(id).fanin1)));
+  }
+
+  // Identity sweep: reachable untouched cones keep their relative order.
+  // Their fanins are identity nodes with smaller ids, so the ascending scan
+  // is topological; the original graph is strash-canonical, so every land()
+  // here creates a fresh node (no hits, no simplifications).
+  for (std::uint32_t id = 0; id < g.num_nodes(); ++id) {
+    if (!needed[id] || !identity[id] || !g.is_and(id)) continue;
+    const auto& n = g.node(id);
+    const Lit r0 = map[lit_node(n.fanin0)];
+    const Lit r1 = map[lit_node(n.fanin1)];
+    assert(r0 != aig::kLitInvalid && r1 != aig::kLitInvalid);
+    map[id] = out.land(r0 ^ (n.fanin0 & 1u), r1 ^ (n.fanin1 & 1u));
+  }
+
   // Replacement subgraphs carry higher ids than the nodes that alias to
   // them, so a plain ascending sweep is not topological for the effective
-  // (alias-resolved) graph. Build with an explicit DFS instead; the
-  // effective graph is acyclic because replacements only reference nodes
-  // whose aliases were already final.
-  std::vector<std::uint32_t> stack;
+  // (alias-resolved) graph. Build the remaining (damaged) regions with an
+  // explicit DFS; the effective graph is acyclic because replacements only
+  // reference nodes whose aliases were already final.
   auto build_cone = [&](Lit root) {
     stack.push_back(lit_node(resolve(repl, root)));
     while (!stack.empty()) {
@@ -106,6 +151,12 @@ Aig apply_replacements(const Aig& g, const std::vector<Lit>& repl) {
     const Lit r = resolve(repl, po);
     assert(map[lit_node(r)] != aig::kLitInvalid);
     out.add_po(map[lit_node(r)] ^ (r & 1u));
+  }
+  if (info) {
+    // Identity flags may be set for unreachable nodes too; consumers pair
+    // them with a valid old_to_new entry before trusting a counterpart.
+    info->old_to_new = std::move(map);
+    info->identity = std::move(identity);
   }
   return out;
 }

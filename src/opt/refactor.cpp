@@ -2,12 +2,11 @@
 
 #include "opt/rewrite.hpp"
 
+#include <memory>
 #include <vector>
 
-#include "aig/factor.hpp"
-#include "aig/reconv_cut.hpp"
+#include "aig/analysis.hpp"
 #include "aig/refs.hpp"
-#include "aig/simulate.hpp"
 #include "opt/rebuild.hpp"
 
 namespace flowgen::opt {
@@ -16,13 +15,23 @@ using aig::Aig;
 using aig::Lit;
 using aig::lit_node;
 using aig::make_lit;
-using aig::TruthTable;
 
-Aig refactor(const Aig& in, const RefactorParams& params) {
+// Pure half (reconvergence window, cone truth table, ISOP + factoring of
+// both polarities) lives in AnalysisCache::factor_plan — memoised per graph
+// and deduplicated across graphs by the process-wide factored-form memo.
+// This function replays the winning factored form against the evolving pass
+// state; decisions are identical with or without a warm cache.
+Aig refactor(const Aig& in, const RefactorParams& params,
+             aig::AnalysisCache* analysis, aig::RebuildInfo* rebuild) {
   Aig g = in;
   const std::uint32_t num_old = static_cast<std::uint32_t>(g.num_nodes());
 
-  aig::RefCounts refs(g);
+  std::unique_ptr<aig::AnalysisCache> local;
+  if (analysis == nullptr) {
+    local = std::make_unique<aig::AnalysisCache>(g);
+    analysis = local.get();
+  }
+  aig::RefCounts refs = analysis->pristine_refs(g);  // evolving copy
   std::vector<Lit> repl = identity_replacements(g.num_nodes());
   auto grow_repl = [&] {
     for (std::size_t id = repl.size(); id < g.num_nodes(); ++id) {
@@ -40,27 +49,22 @@ Aig refactor(const Aig& in, const RefactorParams& params) {
     const std::uint32_t mffc = static_cast<std::uint32_t>(mffc_nodes.size());
     if (mffc < min_mffc) continue;
 
-    const std::vector<std::uint32_t> leaves =
-        aig::reconv_cut(g, id, params.max_leaves);
-    if (leaves.size() < 2 || leaves.size() > 16) continue;
-    // A reconvergence-driven cut grown from `id` may still contain `id`
-    // itself if nothing was expandable; skip that degenerate case.
-    bool degenerate = false;
-    for (std::uint32_t leaf : leaves) degenerate |= (leaf == id);
-    if (degenerate) continue;
-
-    const TruthTable tt = aig::cone_truth(g, make_lit(id, false), leaves);
+    const aig::FactorPlan& plan =
+        analysis->factor_plan(g, id, params.max_leaves);
+    if (plan.skip) continue;
+    const aig::ReconvWindow& win =
+        analysis->window(g, id, params.max_leaves);
 
     std::vector<Lit> inputs;
-    inputs.reserve(leaves.size());
-    for (std::uint32_t leaf : leaves) {
+    inputs.reserve(win.leaves.size());
+    for (std::uint32_t leaf : win.leaves) {
       inputs.push_back(resolve(repl, make_lit(leaf, false)));
     }
 
     const std::size_t cp = g.checkpoint();
-    Lit cand = aig::build_from_truth(g, tt, inputs);
+    Lit cand = aig::build_factored_form(g, *plan.form, inputs);
     const long added = static_cast<long>(g.num_nodes() - cp);
-    const long reused = reuse_cost(g, repl, cand, leaves, mffc_nodes);
+    const long reused = reuse_cost(g, repl, cand, win.leaves, mffc_nodes);
     const long gain = static_cast<long>(mffc) - added - reused;
     cand = resolve(repl, cand);
 
@@ -81,7 +85,7 @@ Aig refactor(const Aig& in, const RefactorParams& params) {
     refs.ref_cone(g, cand);
   }
 
-  return apply_replacements(g, repl);
+  return apply_replacements(g, repl, rebuild);
 }
 
 }  // namespace flowgen::opt

@@ -5,6 +5,7 @@
 // when the factored implementation is smaller than the MFFC it frees.
 
 #include "aig/aig.hpp"
+#include "aig/analysis.hpp"
 
 namespace flowgen::opt {
 
@@ -14,6 +15,13 @@ struct RefactorParams {
   bool zero_cost = false;    ///< `refactor -z`
 };
 
-aig::Aig refactor(const aig::Aig& in, const RefactorParams& params = {});
+/// Large-cut resynthesis. Windows and factored forms are pure per input
+/// graph and served from `analysis` when supplied (filled lazily
+/// otherwise); `rebuild`, when non-null, receives the damage report for
+/// AnalysisCache::derive. Decisions are identical with or without a warm
+/// cache. `refactor` and `refactor -z` share the same plan tables.
+aig::Aig refactor(const aig::Aig& in, const RefactorParams& params = {},
+                  aig::AnalysisCache* analysis = nullptr,
+                  aig::RebuildInfo* rebuild = nullptr);
 
 }  // namespace flowgen::opt

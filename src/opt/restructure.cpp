@@ -1,53 +1,43 @@
 #include "opt/restructure.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
-#include "aig/reconv_cut.hpp"
+#include "aig/analysis.hpp"
 #include "aig/refs.hpp"
-#include "aig/simulate.hpp"
-#include "aig/truth.hpp"
 #include "opt/rebuild.hpp"
 
 namespace flowgen::opt {
 
 using aig::Aig;
 using aig::Lit;
-using aig::lit_is_compl;
 using aig::lit_node;
 using aig::make_lit;
-using aig::TruthTable;
 
-namespace {
-
-struct Divisor {
-  std::uint32_t node = 0;
-  const TruthTable* tt = nullptr;  ///< stable pointer into the window map
-};
-
-/// Fanout adjacency of the original graph, built once per pass so divisor
-/// collection can expand forward from the window leaves.
-std::vector<std::vector<std::uint32_t>> build_fanouts(const Aig& g) {
-  std::vector<std::vector<std::uint32_t>> fanouts(g.num_nodes());
-  for (std::uint32_t id = 0; id < g.num_nodes(); ++id) {
-    if (!g.is_and(id)) continue;
-    fanouts[lit_node(g.node(id).fanin0)].push_back(id);
-    fanouts[lit_node(g.node(id).fanin1)].push_back(id);
-  }
-  return fanouts;
-}
-
-}  // namespace
-
-Aig restructure(const Aig& in, const RestructureParams& params) {
-  Aig g = in;
+// The pass is split in two: the *pure* half (reconvergence window, divisor
+// truth tables, the scan for every functionally matching 0-/1-resub
+// candidate) lives in AnalysisCache::resub_plan and is memoised per graph;
+// this function replays the recorded candidates against its own evolving
+// state (reference counts, alias table, incremental node cost). Cold and
+// warm invocations therefore make bit-identical decisions — a warm pass
+// just skips recomputing the plans.
+Aig restructure(const Aig& in, const RestructureParams& params,
+                aig::AnalysisCache* analysis, aig::RebuildInfo* rebuild) {
+  Aig g = in;  // mutable working copy; old node ids stay untouched
   const std::uint32_t num_old = static_cast<std::uint32_t>(g.num_nodes());
 
-  aig::RefCounts refs(g);
-  const auto fanouts = build_fanouts(g);
+  std::unique_ptr<aig::AnalysisCache> local;
+  if (analysis == nullptr) {
+    local = std::make_unique<aig::AnalysisCache>(g);
+    analysis = local.get();
+  }
+  // Materialise the whole-graph artifacts before the pass appends candidate
+  // nodes to `g` (the analysis contract: pristine artifacts describe the
+  // first num_nodes() nodes).
+  aig::RefCounts refs = analysis->pristine_refs(g);  // evolving copy
+  analysis->fanouts(g);
+  aig::RefCounts scratch = refs;  // pristine scratch for plan computation
+
   std::vector<Lit> repl = identity_replacements(g.num_nodes());
   auto grow_repl = [&] {
     for (std::size_t id = repl.size(); id < g.num_nodes(); ++id) {
@@ -62,126 +52,40 @@ Aig restructure(const Aig& in, const RestructureParams& params) {
     const std::uint32_t mffc = refs.mffc_size(g, id);
     if (mffc < 1) continue;
 
-    const std::vector<std::uint32_t> leaves =
-        aig::reconv_cut(g, id, params.max_leaves);
-    if (leaves.size() < 2 || leaves.size() > 16) continue;
-    const auto nv = static_cast<unsigned>(leaves.size());
-
-    // Divisors: the forward closure of the leaves — every (old, live,
-    // non-terminal) node both of whose fanins already have a known
-    // window-local function. This includes side cones outside the TFI of
-    // `id` (how resubstitution finds functional duplicates), and can never
-    // pull in the TFO of `id` because `id` itself is excluded.
-    const std::vector<std::uint32_t> dying = refs.mffc_nodes(g, id);
-    const std::unordered_set<std::uint32_t> mffc_set(dying.begin(),
-                                                     dying.end());
-    std::unordered_map<std::uint32_t, TruthTable> tts;
-    tts.reserve(params.max_divisors * 2 + nv);
-    std::vector<Divisor> divisors;
-    divisors.reserve(params.max_divisors);
-    std::vector<std::uint32_t> frontier;
-    for (unsigned i = 0; i < nv; ++i) {
-      const auto it = tts.emplace(leaves[i], TruthTable::variable(nv, i));
-      divisors.push_back(Divisor{leaves[i], &it.first->second});
-      frontier.push_back(leaves[i]);
-    }
-    while (!frontier.empty() && divisors.size() < params.max_divisors) {
-      const std::uint32_t seed = frontier.back();
-      frontier.pop_back();
-      for (std::uint32_t candidate : fanouts[seed]) {
-        if (candidate >= num_old || candidate == id) continue;
-        if (tts.count(candidate) || refs.dead(candidate) ||
-            refs.terminal(candidate)) {
-          continue;
-        }
-        const auto& n = g.node(candidate);
-        const auto it0 = tts.find(lit_node(n.fanin0));
-        const auto it1 = tts.find(lit_node(n.fanin1));
-        if (it0 == tts.end() || it1 == tts.end()) continue;
-        const auto it = tts.emplace(
-            candidate,
-            TruthTable::and_phase(it0->second, lit_is_compl(n.fanin0),
-                                  it1->second, lit_is_compl(n.fanin1)));
-        frontier.push_back(candidate);
-        if (!mffc_set.count(candidate)) {
-          divisors.push_back(Divisor{candidate, &it.first->second});
-          if (divisors.size() >= params.max_divisors) break;
-        }
-      }
-    }
-
-    // The target function: id's function over the window leaves. Its cone
-    // is inside the window by construction of the reconvergence cut.
-    const auto& root = g.node(id);
-    const auto rt0 = tts.find(lit_node(root.fanin0));
-    const auto rt1 = tts.find(lit_node(root.fanin1));
-    TruthTable target;
-    if (rt0 != tts.end() && rt1 != tts.end()) {
-      target = TruthTable::and_phase(rt0->second, lit_is_compl(root.fanin0),
-                                     rt1->second, lit_is_compl(root.fanin1));
-    } else {
-      // Fanins were pruned from the closure (e.g. inside a terminal's
-      // cone); fall back to exact cone evaluation.
-      try {
-        target = aig::cone_truth(g, make_lit(id, false), leaves);
-      } catch (const std::invalid_argument&) {
-        continue;
-      }
-    }
+    const aig::ResubPlan& plan = analysis->resub_plan(
+        g, id, params.max_leaves, params.max_divisors, scratch);
+    if (plan.skip || (plan.zeros.empty() && plan.ones.empty())) continue;
 
     Lit replacement = aig::kLitInvalid;
 
-    // 0-resub: an existing divisor already computes the function.
-    for (const Divisor& d : divisors) {
-      if (d.node == id) continue;
-      if (*d.tt == target) {
-        replacement = make_lit(d.node, false);
-        break;
-      }
-      if (d.tt->equals_compl(target)) {
-        replacement = make_lit(d.node, true);
-        break;
-      }
+    // 0-resub: an existing divisor computes the function. Divisors whose
+    // cone died earlier in the pass are skipped — resubstituting onto them
+    // would silently revive logic the gain accounting already reclaimed.
+    for (const aig::ZeroMatch& z : plan.zeros) {
+      if (refs.dead(z.div)) continue;
+      replacement = make_lit(z.div, z.compl_ != 0);
+      break;
     }
 
-    // 1-resub: one new AND of two divisors, any phases (OR via De Morgan).
-    // matches_and keeps this O(divisors^2) scan allocation-free.
-    long cost = 0;
+    // 1-resub: one new AND of two divisors. The plan recorded every
+    // functional match in scan order; replay charges each candidate its
+    // true incremental cost (strash makes shared logic free) and takes the
+    // first one that wins.
     if (replacement == aig::kLitInvalid && mffc >= 2) {
-      for (std::size_t i = 0;
-           i < divisors.size() && replacement == aig::kLitInvalid; ++i) {
-        for (std::size_t j = i + 1;
-             j < divisors.size() && replacement == aig::kLitInvalid; ++j) {
-          for (unsigned phases = 0; phases < 4; ++phases) {
-            bool out_compl = false;
-            if (target.matches_and(*divisors[i].tt, (phases & 1) != 0,
-                                   *divisors[j].tt, (phases & 2) != 0,
-                                   false)) {
-              out_compl = false;
-            } else if (target.matches_and(*divisors[i].tt, (phases & 1) != 0,
-                                          *divisors[j].tt, (phases & 2) != 0,
-                                          true)) {
-              out_compl = true;
-            } else {
-              continue;
-            }
-            const Lit la = resolve(
-                repl, make_lit(divisors[i].node, (phases & 1) != 0));
-            const Lit lb = resolve(
-                repl, make_lit(divisors[j].node, (phases & 2) != 0));
-            const std::size_t cp = g.checkpoint();
-            Lit cand = g.land(la, lb);
-            cost = static_cast<long>(g.num_nodes() - cp);
-            if (out_compl) cand = aig::lit_not(cand);
-            if (lit_node(cand) == id ||
-                static_cast<long>(mffc) - cost <= 0) {
-              g.rollback(cp);
-              continue;
-            }
-            replacement = cand;
-            break;
-          }
+      for (const aig::ResubMatch& m : plan.ones) {
+        if (refs.dead(m.div0) || refs.dead(m.div1)) continue;
+        const Lit la = resolve(repl, make_lit(m.div0, m.compl0 != 0));
+        const Lit lb = resolve(repl, make_lit(m.div1, m.compl1 != 0));
+        const std::size_t cp = g.checkpoint();
+        Lit cand = g.land(la, lb);
+        const long cost = static_cast<long>(g.num_nodes() - cp);
+        if (m.out_compl) cand = aig::lit_not(cand);
+        if (lit_node(cand) == id || static_cast<long>(mffc) - cost <= 0) {
+          g.rollback(cp);
+          continue;
         }
+        replacement = cand;
+        break;
       }
     }
 
@@ -200,7 +104,7 @@ Aig restructure(const Aig& in, const RestructureParams& params) {
     refs.ref_cone(g, replacement);
   }
 
-  return apply_replacements(g, repl);
+  return apply_replacements(g, repl, rebuild);
 }
 
 }  // namespace flowgen::opt

@@ -7,6 +7,7 @@
 // Replacing a node this way frees its whole MFFC.
 
 #include "aig/aig.hpp"
+#include "aig/analysis.hpp"
 
 namespace flowgen::opt {
 
@@ -15,6 +16,13 @@ struct RestructureParams {
   unsigned max_divisors = 24; ///< bound on candidate divisors per window
 };
 
-aig::Aig restructure(const aig::Aig& in, const RestructureParams& params = {});
+/// Windowed resubstitution. Windows, divisor functions and the candidate
+/// scan are pure per input graph and served from `analysis` when supplied
+/// (filled lazily otherwise); `rebuild`, when non-null, receives the damage
+/// report for AnalysisCache::derive. Decisions are identical with or
+/// without a warm cache.
+aig::Aig restructure(const aig::Aig& in, const RestructureParams& params = {},
+                     aig::AnalysisCache* analysis = nullptr,
+                     aig::RebuildInfo* rebuild = nullptr);
 
 }  // namespace flowgen::opt

@@ -1,10 +1,11 @@
 #include "opt/rewrite.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "aig/analysis.hpp"
 #include "aig/cuts.hpp"
-#include "aig/factor.hpp"
 #include "aig/refs.hpp"
 #include "aig/simulate.hpp"
 #include "opt/rebuild.hpp"
@@ -18,16 +19,26 @@ using aig::lit_node;
 using aig::make_lit;
 using aig::TruthTable;
 
-Aig rewrite(const Aig& in, const RewriteParams& params) {
+Aig rewrite(const Aig& in, const RewriteParams& params,
+            aig::AnalysisCache* analysis, aig::RebuildInfo* rebuild) {
   Aig g = in;  // mutable working copy; old node ids stay untouched
   const std::uint32_t num_old = static_cast<std::uint32_t>(g.num_nodes());
 
-  aig::RefCounts refs(g);
+  std::unique_ptr<aig::AnalysisCache> local;
+  if (analysis == nullptr) {
+    local = std::make_unique<aig::AnalysisCache>(g);
+    analysis = local.get();
+  }
+  aig::RefCounts refs = analysis->pristine_refs(g);  // evolving copy
   aig::CutParams cut_params;
   cut_params.cut_size = params.cut_size;
   cut_params.max_cuts = params.max_cuts_per_node;
   cut_params.keep_trivial = false;
-  aig::CutManager cuts(g, cut_params);
+  // Shared read-only: the pass never mutates cut sets, so concurrent warm
+  // passes resuming from the same snapshot reuse one enumeration.
+  const std::shared_ptr<const aig::CutManager> cuts_sp =
+      analysis->cuts(g, cut_params);
+  const aig::CutManager& cuts = *cuts_sp;
 
   std::vector<Lit> repl = identity_replacements(g.num_nodes());
   auto grow_repl = [&] {
@@ -45,12 +56,17 @@ Aig rewrite(const Aig& in, const RewriteParams& params) {
 
     long best_gain = params.zero_cost ? -zero_cost_slack(mffc) - 1 : 0;
     const Cut* best_cut = nullptr;
-    TruthTable best_tt;
+    std::shared_ptr<const aig::FactoredForm> best_form;
 
     for (const Cut& cut : cuts.cuts(id)) {
       if (cut.leaves.size() < 2) continue;
       const TruthTable tt =
           aig::cone_truth(g, make_lit(id, false), cut.leaves);
+      // The ISOP + factoring of a cut function is pure: serve it from the
+      // process-wide memo (4-input functions repeat constantly across
+      // nodes, passes and designs).
+      const std::shared_ptr<const aig::FactoredForm> form =
+          aig::factored_form(tt);
       // Tentatively construct the resynthesized cone to measure its true
       // incremental cost (strash hits are free), then roll back.
       std::vector<Lit> inputs;
@@ -59,7 +75,7 @@ Aig rewrite(const Aig& in, const RewriteParams& params) {
         inputs.push_back(resolve(repl, make_lit(leaf, false)));
       }
       const std::size_t cp = g.checkpoint();
-      const Lit cand = aig::build_from_truth(g, tt, inputs);
+      const Lit cand = aig::build_factored_form(g, *form, inputs);
       const long added = static_cast<long>(g.num_nodes() - cp);
       const long reused =
           reuse_cost(g, repl, cand, cut.leaves, mffc_nodes);
@@ -70,7 +86,7 @@ Aig rewrite(const Aig& in, const RewriteParams& params) {
       if (!self && gain > best_gain) {
         best_gain = gain;
         best_cut = &cut;
-        best_tt = tt;
+        best_form = form;
       }
     }
 
@@ -84,7 +100,7 @@ Aig rewrite(const Aig& in, const RewriteParams& params) {
       inputs.push_back(resolve(repl, make_lit(leaf, false)));
     }
     const std::size_t cp = g.checkpoint();
-    Lit replacement = aig::build_from_truth(g, best_tt, inputs);
+    Lit replacement = aig::build_factored_form(g, *best_form, inputs);
     replacement = resolve(repl, replacement);
     if (lit_node(replacement) == id ||
         cone_contains(g, repl, replacement, id)) {
@@ -102,7 +118,7 @@ Aig rewrite(const Aig& in, const RewriteParams& params) {
     refs.ref_cone(g, replacement);
   }
 
-  return apply_replacements(g, repl);
+  return apply_replacements(g, repl, rebuild);
 }
 
 }  // namespace flowgen::opt

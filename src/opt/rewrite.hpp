@@ -9,6 +9,7 @@
 // which perturbs the structure so that later passes find new opportunities.
 
 #include "aig/aig.hpp"
+#include "aig/analysis.hpp"
 
 namespace flowgen::opt {
 
@@ -28,6 +29,14 @@ inline long zero_cost_slack(unsigned mffc) {
   return 1 + static_cast<long>(mffc) / 4;
 }
 
-aig::Aig rewrite(const aig::Aig& in, const RewriteParams& params = {});
+/// Cut-based rewriting. Cut sets come from `analysis` when supplied
+/// (shared read-only across passes and threads; enumerated lazily
+/// otherwise), cut-function factoring from the process-wide memo;
+/// `rebuild`, when non-null, receives the damage report for
+/// AnalysisCache::derive. Decisions are identical with or without a warm
+/// cache. `rewrite` and `rewrite -z` share the same cut sets.
+aig::Aig rewrite(const aig::Aig& in, const RewriteParams& params = {},
+                 aig::AnalysisCache* analysis = nullptr,
+                 aig::RebuildInfo* rebuild = nullptr);
 
 }  // namespace flowgen::opt

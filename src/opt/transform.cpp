@@ -38,27 +38,65 @@ TransformKind transform_from_name(const std::string& name) {
 }
 
 aig::Aig apply_transform(const aig::Aig& in, TransformKind kind) {
+  return apply_transform_analyzed(in, kind, nullptr, false).graph;
+}
+
+AnalyzedTransform apply_transform_analyzed(const aig::Aig& in,
+                                           TransformKind kind,
+                                           aig::AnalysisCache* in_analysis,
+                                           bool derive_output) {
+  AnalyzedTransform result;
+  // Balance rebuilds the whole graph from supergates — no damage report, so
+  // the output starts with an empty (lazily filled) cache.
+  if (kind == TransformKind::kBalance) {
+    result.graph = balance(in);
+    if (derive_output) {
+      result.analysis = std::make_shared<aig::AnalysisCache>(result.graph);
+    }
+    return result;
+  }
+
+  // Deriving needs the input's cache to carry from; make a pass-local one
+  // when the caller has none (it still pays for itself within the pass).
+  std::unique_ptr<aig::AnalysisCache> local;
+  if (in_analysis == nullptr && derive_output) {
+    local = std::make_unique<aig::AnalysisCache>(in);
+    in_analysis = local.get();
+  }
+  aig::RebuildInfo rebuild;
+  aig::RebuildInfo* rb = derive_output ? &rebuild : nullptr;
   switch (kind) {
     case TransformKind::kBalance:
-      return balance(in);
+      break;  // handled above
     case TransformKind::kRestructure:
-      return restructure(in);
+      result.graph = restructure(in, {}, in_analysis, rb);
+      break;
     case TransformKind::kRewrite:
-      return rewrite(in);
+      result.graph = rewrite(in, {}, in_analysis, rb);
+      break;
     case TransformKind::kRefactor:
-      return refactor(in);
+      result.graph = refactor(in, {}, in_analysis, rb);
+      break;
     case TransformKind::kRewriteZ: {
       RewriteParams p;
       p.zero_cost = true;
-      return rewrite(in, p);
+      result.graph = rewrite(in, p, in_analysis, rb);
+      break;
     }
     case TransformKind::kRefactorZ: {
       RefactorParams p;
       p.zero_cost = true;
-      return refactor(in, p);
+      result.graph = refactor(in, p, in_analysis, rb);
+      break;
     }
+    default:
+      throw std::invalid_argument("unknown transform kind");
   }
-  throw std::invalid_argument("unknown transform kind");
+  if (derive_output) {
+    result.analysis =
+        aig::AnalysisCache::derive(in, *in_analysis, rebuild, result.graph);
+  }
+  return result;
 }
 
 aig::Aig apply_flow(const aig::Aig& in, std::span<const TransformKind> flow) {

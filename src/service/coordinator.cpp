@@ -110,7 +110,7 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
     workers_.push_back(std::move(state));
   }
   if (netlist) design_fp_ = want;
-  if (num_workers_alive() == 0) {
+  if (num_alive_unlocked() == 0) {
     throw ServiceError("no worker completed the handshake for design '" +
                        design_id_ + "'");
   }
@@ -145,6 +145,13 @@ bool EvalCoordinator::ship_design(WorkerState& worker,
 void EvalCoordinator::load_design(std::span<const std::uint8_t> blob,
                                   const aig::Fingerprint& fp,
                                   std::string label) {
+  std::lock_guard lock(op_mutex_);
+  load_design_unlocked(blob, fp, std::move(label));
+}
+
+void EvalCoordinator::load_design_unlocked(std::span<const std::uint8_t> blob,
+                                           const aig::Fingerprint& fp,
+                                           std::string label) {
   if (label.empty()) {
     // An unnamed shipped netlist must still be identifiable in logs and
     // acks — same fallback the netlist constructor path uses.
@@ -157,7 +164,7 @@ void EvalCoordinator::load_design(std::span<const std::uint8_t> blob,
       lose_worker(w, no_pending, "design load failed");
     }
   }
-  if (num_workers_alive() == 0) {
+  if (num_alive_unlocked() == 0) {
     throw ServiceError("no worker accepted design '" + label + "'");
   }
   design_fp_ = fp;
@@ -185,12 +192,18 @@ std::vector<EvalCoordinator::Worker> connect_workers(
 }
 
 std::size_t EvalCoordinator::num_workers_alive() const {
+  std::lock_guard lock(op_mutex_);
+  return num_alive_unlocked();
+}
+
+std::size_t EvalCoordinator::num_alive_unlocked() const {
   std::size_t n = 0;
   for (const WorkerState& w : workers_) n += w.alive ? 1 : 0;
   return n;
 }
 
 void EvalCoordinator::shutdown_workers() {
+  std::lock_guard lock(op_mutex_);
   for (WorkerState& w : workers_) {
     if (!w.alive) continue;
     try {
@@ -253,6 +266,22 @@ bool EvalCoordinator::dispatch(std::size_t w, std::size_t shard_idx,
 
 std::vector<map::QoR> EvalCoordinator::evaluate_many(
     std::span<const core::Flow> flows) {
+  std::lock_guard lock(op_mutex_);
+  return evaluate_many_unlocked(flows);
+}
+
+std::vector<map::QoR> EvalCoordinator::evaluate_many_for(
+    const aig::Fingerprint& fp, std::span<const core::Flow> flows) {
+  std::lock_guard lock(op_mutex_);
+  if (fp != design_fp_) {
+    throw ServiceError("design " + aig::fingerprint_hex(fp) +
+                       " is not the fleet's current design");
+  }
+  return evaluate_many_unlocked(flows);
+}
+
+std::vector<map::QoR> EvalCoordinator::evaluate_many_unlocked(
+    std::span<const core::Flow> flows) {
   ++stats_.batches;
   std::vector<map::QoR> out(flows.size());
   if (flows.empty()) return out;
@@ -288,7 +317,7 @@ std::vector<map::QoR> EvalCoordinator::evaluate_many(
 
   const std::size_t num_shards = std::min(
       order.size(),
-      std::max<std::size_t>(1, num_workers_alive() *
+      std::max<std::size_t>(1, num_alive_unlocked() *
                                    config_.shards_per_worker));
   std::vector<Shard> shards(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {

@@ -26,6 +26,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -72,8 +73,10 @@ struct CoordinatorStats {
   std::size_t store_appends = 0;    ///< fresh labels persisted to the store
 };
 
-/// Not thread-safe: one thread drives a coordinator (RemoteEvaluator
-/// serialises callers on a mutex). All methods throw ServiceError as
+/// Thread-safe at the operation level: public methods serialise on one
+/// mutex, so concurrent server connections may share a coordinator — their
+/// batches run one at a time against the whole fleet (fleet parallelism is
+/// per batch, by construction). All methods throw ServiceError as
 /// documented; transport/wire failures on individual workers are absorbed
 /// into "worker lost" accounting instead of escaping.
 class EvalCoordinator {
@@ -106,6 +109,13 @@ public:
   /// cannot complete on any worker.
   std::vector<map::QoR> evaluate_many(std::span<const core::Flow> flows);
 
+  /// evaluate_many that first verifies, under the same lock, that the
+  /// fleet still serves `fp` — the check a concurrent server connection
+  /// needs (a plain fingerprint test followed by evaluate_many races with
+  /// another client's load_design). Throws ServiceError on mismatch.
+  std::vector<map::QoR> evaluate_many_for(const aig::Fingerprint& fp,
+                                          std::span<const core::Flow> flows);
+
   /// Switch the fleet to a new design: broadcast its serialized form to
   /// every live worker and verify each LoadDesignAck against `fp` (which
   /// must be the blob's true fingerprint — callers hold the decoded graph).
@@ -122,12 +132,30 @@ public:
   }
 
   std::size_t num_workers_alive() const;
-  const CoordinatorStats& stats() const { return stats_; }
+  /// Snapshot of the scheduling counters (quiescent between batches).
+  CoordinatorStats stats() const {
+    std::lock_guard lock(op_mutex_);
+    return stats_;
+  }
   /// Human label of the current design: the registry id, the netlist's
   /// name, or "netlist:<fp-prefix>"; empty in a deferred fleet.
-  const std::string& design_id() const { return design_id_; }
+  std::string design_id() const {
+    std::lock_guard lock(op_mutex_);
+    return design_id_;
+  }
   /// Content fingerprint of the current design (kNoDesign when deferred).
-  const aig::Fingerprint& design_fingerprint() const { return design_fp_; }
+  aig::Fingerprint design_fingerprint() const {
+    std::lock_guard lock(op_mutex_);
+    return design_fp_;
+  }
+  /// Both identity fields under one lock — a consistent snapshot. Server
+  /// connections must ack (id, fingerprint) pairs from here: two separate
+  /// reads can interleave with another client's load_design and produce a
+  /// torn ack that silently mislabels.
+  std::pair<std::string, aig::Fingerprint> design_identity() const {
+    std::lock_guard lock(op_mutex_);
+    return {design_id_, design_fp_};
+  }
 
   /// Best-effort Shutdown frame to every live worker (evald workers exit;
   /// loopback children reap on destruction either way).
@@ -157,6 +185,12 @@ private:
   EvalCoordinator(std::vector<Worker> workers, std::string design_id,
                   const aig::Aig* netlist, CoordinatorConfig config);
 
+  std::size_t num_alive_unlocked() const;
+  std::vector<map::QoR> evaluate_many_unlocked(
+      std::span<const core::Flow> flows);
+  void load_design_unlocked(std::span<const std::uint8_t> blob,
+                            const aig::Fingerprint& fp, std::string label);
+
   void lose_worker(std::size_t w, std::deque<std::size_t>& pending,
                    const char* why);
   /// LoadDesign/LoadDesignAck round-trip with one worker; false = failed.
@@ -166,6 +200,8 @@ private:
                 std::span<const core::Flow> flows,
                 const std::vector<Shard>& shards);
 
+  /// Serialises every public operation (see class comment).
+  mutable std::mutex op_mutex_;
   std::vector<WorkerState> workers_;
   std::string design_id_;
   aig::Fingerprint design_fp_ = kNoDesign;

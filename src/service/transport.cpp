@@ -249,7 +249,7 @@ Listener::~Listener() {
 
 Socket Listener::accept(int timeout_ms) {
   if (!sock_.wait_readable(timeout_ms)) {
-    throw TransportError("accept timeout on " + addr_.to_string());
+    throw AcceptTimeout("accept timeout on " + addr_.to_string());
   }
   const int fd = ::accept(sock_.fd(), nullptr, nullptr);
   if (fd < 0) throw_errno("accept");

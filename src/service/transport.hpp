@@ -22,6 +22,15 @@ public:
   using std::runtime_error::runtime_error;
 };
 
+/// Listener::accept ran out its poll window with no pending connection —
+/// the one TransportError that is *not* a failure. Accept loops catch this
+/// to re-check their stop flag; hard accept errors (EMFILE, EBADF, a dead
+/// listener) stay plain TransportError and must propagate, not spin.
+class AcceptTimeout : public TransportError {
+public:
+  using TransportError::TransportError;
+};
+
 struct Address {
   enum class Kind { kUnix, kTcp };
   Kind kind = Kind::kUnix;

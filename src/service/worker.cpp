@@ -1,6 +1,9 @@
 #include "service/worker.hpp"
 
+#include <atomic>
 #include <exception>
+#include <thread>
+#include <tuple>
 #include <utility>
 
 #include "aig/serialize.hpp"
@@ -89,34 +92,95 @@ bool serve_frames(Socket& sock, const EvalService& service) {
   }
 }
 
+void serve_connections(Listener& listener,
+                       const std::function<EvalService()>& make_service) {
+  std::atomic<bool> stop{false};
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections;
+  const auto reap = [&](bool all) {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (all || it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  while (!stop.load(std::memory_order_acquire)) {
+    Socket conn;
+    try {
+      conn = listener.accept(200);  // short poll so Shutdown is noticed
+    } catch (const AcceptTimeout&) {
+      reap(false);
+      continue;  // no pending connection — check the stop flag, poll again
+    } catch (const TransportError&) {
+      // Hard accept failure (fd exhaustion, dead listener): do not spin.
+      // Drain the live connections, then let the caller see the error.
+      reap(true);
+      throw;
+    }
+    util::log_info("evald: client connected");
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    Connection c;
+    c.done = done;
+    c.thread = std::thread([&stop, &make_service, done,
+                            sock = std::move(conn)]() mutable {
+      try {
+        if (serve_frames(sock, make_service())) {
+          util::log_info("evald: shutdown requested");
+          stop.store(true, std::memory_order_release);
+        } else {
+          util::log_info("evald: client disconnected");
+        }
+      } catch (const std::exception& e) {
+        util::log_warn("evald: connection error: ", e.what());
+      }
+      done->store(true, std::memory_order_release);
+    });
+    connections.push_back(std::move(c));
+    reap(false);
+  }
+  // Stop accepting, let connected clients drain.
+  reap(true);
+}
+
 EvalWorker::EvalWorker(WorkerOptions options) : options_(std::move(options)) {
   options_.max_designs = std::max<std::size_t>(1, options_.max_designs);
   if (!options_.qor_store_dir.empty()) {
     store_ = std::make_shared<core::QorStore>(
         core::QorStoreConfig{options_.qor_store_dir, "", false});
   }
-  if (!options_.design_id.empty()) ensure_registry(options_.design_id);
+  if (!options_.design_id.empty()) {
+    std::lock_guard lock(mutex_);
+    ensure_registry_locked(options_.design_id);
+  }
   if (options_.threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
 }
 
-core::SynthesisEvaluator* EvalWorker::find(const aig::Fingerprint& fp) {
+std::shared_ptr<core::SynthesisEvaluator> EvalWorker::find(
+    const aig::Fingerprint& fp) {
+  std::lock_guard lock(mutex_);
   for (auto it = designs_.begin(); it != designs_.end(); ++it) {
     if (it->fp == fp) {
       designs_.splice(designs_.begin(), designs_, it);
-      return designs_.front().evaluator.get();
+      return designs_.front().evaluator;
     }
   }
   return nullptr;
 }
 
-EvalWorker::DesignEntry& EvalWorker::adopt(aig::Aig design,
-                                           std::string design_id) {
+EvalWorker::DesignEntry& EvalWorker::adopt_locked(aig::Aig design,
+                                                  std::string design_id) {
   DesignEntry entry;
   entry.fp = design.fingerprint();
   entry.design_id = std::move(design_id);
-  entry.evaluator = std::make_unique<core::SynthesisEvaluator>(
+  entry.evaluator = std::make_shared<core::SynthesisEvaluator>(
       std::move(design), map::CellLibrary::builtin(), map::MapperParams{},
       options_.evaluator);
   if (store_) entry.evaluator->attach_store(store_);
@@ -131,7 +195,7 @@ EvalWorker::DesignEntry& EvalWorker::adopt(aig::Aig design,
   return designs_.front();
 }
 
-EvalWorker::DesignEntry& EvalWorker::ensure_registry(
+EvalWorker::DesignEntry& EvalWorker::ensure_registry_locked(
     const std::string& design_id) {
   for (auto it = designs_.begin(); it != designs_.end(); ++it) {
     if (it->design_id == design_id) {
@@ -142,17 +206,23 @@ EvalWorker::DesignEntry& EvalWorker::ensure_registry(
   // make_design throws std::invalid_argument for unknown ids; the serve
   // loop answers that with an Error frame.
   aig::Aig design = designs::make_design(design_id);
-  return adopt(std::move(design), design_id);
+  return adopt_locked(std::move(design), design_id);
 }
 
 aig::Fingerprint EvalWorker::load_design(aig::Aig design) {
   const aig::Fingerprint fp = design.fingerprint();
   if (find(fp)) return fp;  // already instantiated, caches intact
-  adopt(std::move(design), "");
+  std::lock_guard lock(mutex_);
+  // Two clients can race the same netlist here; re-check under the lock so
+  // the second shares the first's evaluator instead of replacing it.
+  for (const DesignEntry& e : designs_) {
+    if (e.fp == fp) return fp;
+  }
+  adopt_locked(std::move(design), "");
   return fp;
 }
 
-HelloAckMsg EvalWorker::ack_front() const {
+HelloAckMsg EvalWorker::ack_front_locked() const {
   HelloAckMsg ack;
   if (const DesignEntry* front =
           designs_.empty() ? nullptr : &designs_.front()) {
@@ -162,11 +232,12 @@ HelloAckMsg EvalWorker::ack_front() const {
   return ack;
 }
 
-bool EvalWorker::serve(Socket& sock) {
+EvalService EvalWorker::make_service() {
   EvalService service;
   service.on_hello = [this](const HelloMsg& hello) {
-    if (!hello.design_id.empty()) ensure_registry(hello.design_id);
-    return ack_front();
+    std::lock_guard lock(mutex_);
+    if (!hello.design_id.empty()) ensure_registry_locked(hello.design_id);
+    return ack_front_locked();
   };
   service.on_load_design = [this](aig::Aig design,
                                   std::span<const std::uint8_t>) {
@@ -174,26 +245,63 @@ bool EvalWorker::serve(Socket& sock) {
   };
   service.on_eval = [this](const aig::Fingerprint& fp,
                            std::vector<core::Flow> flows) {
-    core::SynthesisEvaluator* evaluator = find(fp);
+    // Evaluate outside the designs lock: evaluators are thread-safe, so
+    // concurrent connections on the same design share its warm caches.
+    const std::shared_ptr<core::SynthesisEvaluator> evaluator = find(fp);
     if (!evaluator) {
       throw std::runtime_error("design " + aig::fingerprint_hex(fp) +
                                " not loaded on this worker");
     }
     return evaluator->evaluate_many(flows, pool_.get());
   };
-  return serve_frames(sock, service);
+  return service;
+}
+
+bool EvalWorker::serve(Socket& sock) {
+  return serve_frames(sock, make_service());
 }
 
 void EvalWorker::serve_forever(Listener& listener) {
-  while (true) {
-    Socket conn = listener.accept();
-    util::log_info("evald worker: client connected");
-    if (serve(conn)) {
-      util::log_info("evald worker: shutdown requested");
-      return;
+  serve_connections(listener, [this] { return make_service(); });
+}
+
+EvalService make_coordinator_service(EvalCoordinator& coordinator) {
+  EvalService svc;
+  svc.on_hello = [&coordinator](const HelloMsg& hello) {
+    auto [id, fp] = coordinator.design_identity();
+    if (!hello.design_id.empty() && hello.design_id != id) {
+      // Unknown ids throw std::invalid_argument -> an Error frame. The
+      // broadcast is labeled with the *requested* id (not the netlist's
+      // own name) so the ack satisfies registry-mode clients, which
+      // require the acked id to equal what they asked for.
+      const aig::Aig design = designs::make_design(hello.design_id);
+      coordinator.load_design(aig::encode_binary(design),
+                              design.fingerprint(), hello.design_id);
+      std::tie(id, fp) = coordinator.design_identity();
     }
-    util::log_info("evald worker: client disconnected");
-  }
+    // The ack is a consistent (id, fp) snapshot: if another client swapped
+    // the design in between, the client sees a coherent *different* design
+    // and rejects the handshake loudly instead of mislabeling silently.
+    HelloAckMsg ack;
+    ack.design_id = std::move(id);
+    ack.fingerprint = fp;
+    return ack;
+  };
+  svc.on_load_design = [&coordinator](aig::Aig design,
+                                      std::span<const std::uint8_t> blob) {
+    const aig::Fingerprint fp = design.fingerprint();
+    if (fp != coordinator.design_fingerprint()) {
+      coordinator.load_design(blob, fp, std::move(design.name));
+    }
+    return fp;
+  };
+  svc.on_eval = [&coordinator](const aig::Fingerprint& fp,
+                               std::vector<core::Flow> flows) {
+    // Fingerprint check and batch run under one coordinator lock — a plain
+    // check-then-evaluate would race a concurrent client's load_design.
+    return coordinator.evaluate_many_for(fp, flows);
+  };
+  return svc;
 }
 
 }  // namespace flowgen::service

@@ -17,12 +17,14 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/qor_store.hpp"
+#include "service/coordinator.hpp"
 #include "service/transport.hpp"
 #include "service/wire.hpp"
 #include "util/thread_pool.hpp"
@@ -59,6 +61,21 @@ struct EvalService {
 /// and the connection continues; transport failures end it.
 bool serve_frames(Socket& sock, const EvalService& service);
 
+/// Concurrent accept loop: every connection is served on its own thread
+/// (`make_service` is invoked once per connection; its handlers must be
+/// thread-safe — EvalWorker's and make_coordinator_service's are). Returns
+/// once a client sends Shutdown: the loop stops accepting and joins the
+/// remaining connection threads (clients still connected drain first).
+void serve_connections(Listener& listener,
+                       const std::function<EvalService()>& make_service);
+
+/// The evald server mode's protocol glue: a service whose Hello(id)
+/// elaborates + broadcasts registry designs to the fleet, whose LoadDesign
+/// re-broadcasts client netlists, and whose EvalRequests fan out over the
+/// coordinator's workers. Safe for concurrent connections (the coordinator
+/// serialises batches internally).
+EvalService make_coordinator_service(EvalCoordinator& coordinator);
+
 struct WorkerOptions {
   /// designs::make_design name elaborated at startup; empty starts the
   /// worker design-less, waiting for a Hello(design id) or a LoadDesign.
@@ -84,18 +101,27 @@ public:
   /// (when configured). Throws on unknown design id / unusable store.
   explicit EvalWorker(WorkerOptions options);
 
+  /// The worker's protocol service (handlers capture this worker; all are
+  /// thread-safe, so several connections can share one worker — their
+  /// evaluations then share the warm caches).
+  EvalService make_service();
+
   /// serve_frames over this worker's designs. Returns true after
   /// Shutdown, false on EOF.
   bool serve(Socket& sock);
 
-  /// Accept loop for the evald binary: serve connections one at a time
-  /// until a client sends Shutdown.
+  /// Accept loop for the evald binary: serve every connection on its own
+  /// thread until a client sends Shutdown.
   void serve_forever(Listener& listener);
 
   /// Designs currently instantiated (most recently used first).
-  std::size_t num_designs() const { return designs_.size(); }
+  std::size_t num_designs() const {
+    std::lock_guard lock(mutex_);
+    return designs_.size();
+  }
   /// The most recently used evaluator, or nullptr when design-less.
   const core::SynthesisEvaluator* current_evaluator() const {
+    std::lock_guard lock(mutex_);
     return designs_.empty() ? nullptr : designs_.front().evaluator.get();
   }
 
@@ -103,20 +129,23 @@ private:
   struct DesignEntry {
     aig::Fingerprint fp;
     std::string design_id;  ///< registry name when known, else ""
-    std::unique_ptr<core::SynthesisEvaluator> evaluator;
+    /// shared_ptr: a concurrent connection may still be evaluating on an
+    /// evaluator the LRU just evicted.
+    std::shared_ptr<core::SynthesisEvaluator> evaluator;
   };
 
-  /// Evaluator for `fp`, moved to the LRU front; nullptr when not loaded.
-  core::SynthesisEvaluator* find(const aig::Fingerprint& fp);
-  /// Instantiate (or touch) a registry design; returns its entry.
-  DesignEntry& ensure_registry(const std::string& design_id);
+  /// Evaluator for `fp`, moved to the LRU front; null when not loaded.
+  std::shared_ptr<core::SynthesisEvaluator> find(const aig::Fingerprint& fp);
+  /// Instantiate (or touch) a registry design. Requires mutex_ held.
+  DesignEntry& ensure_registry_locked(const std::string& design_id);
   /// Instantiate (or touch) a shipped netlist; returns its fingerprint.
   aig::Fingerprint load_design(aig::Aig design);
-  /// Insert at LRU front, evicting beyond max_designs.
-  DesignEntry& adopt(aig::Aig design, std::string design_id);
-  HelloAckMsg ack_front() const;
+  /// Insert at LRU front, evicting beyond max_designs. Requires mutex_.
+  DesignEntry& adopt_locked(aig::Aig design, std::string design_id);
+  HelloAckMsg ack_front_locked() const;
 
   WorkerOptions options_;
+  mutable std::mutex mutex_;        ///< guards designs_ (LRU order + set)
   std::list<DesignEntry> designs_;  ///< front = most recently used
   std::shared_ptr<core::QorStore> store_;
   std::unique_ptr<util::ThreadPool> pool_;

@@ -507,6 +507,53 @@ TEST(ServiceTest, DeferredFleetEvaluatesAfterLoadDesign) {
   coordinator.shutdown_workers();
 }
 
+TEST(ServiceTest, TwoSimultaneousClientsOnOneFleet) {
+  SKIP_UNDER_TSAN();
+  // A server fronting one fleet must accept concurrent client connections.
+  // Both clients hold their connections open across the whole exchange —
+  // under the old serial accept loop the second client's handshake would
+  // block until the first disconnected (this test would hang).
+  WorkerOptions options;
+  options.design_id = "alu:4";
+  LoopbackCluster cluster(2, options);
+  EvalCoordinator coordinator(cluster.take_workers(), "alu:4");
+
+  const std::string path = ::testing::TempDir() + "flowgen_server_" +
+                           std::to_string(::getpid()) + ".sock";
+  ::unlink(path.c_str());
+  Listener listener = Listener::bind(Address::parse("unix:" + path));
+  std::thread server([&] {
+    serve_connections(listener,
+                      [&] { return make_coordinator_service(coordinator); });
+  });
+
+  // Both clients connect and complete their handshake before either
+  // evaluates, then their batches run concurrently (the coordinator
+  // serialises them internally).
+  auto a = RemoteEvaluator::connect({"unix:" + path}, "alu:4");
+  auto b = RemoteEvaluator::connect({"unix:" + path}, "alu:4");
+  const auto flows_a = sample_flows(24, 2, 1);
+  const auto flows_b = sample_flows(24, 2, 2);
+  std::vector<map::QoR> qa, qb;
+  std::thread ta([&] { qa = a->evaluate_many(flows_a); });
+  std::thread tb([&] { qb = b->evaluate_many(flows_b); });
+  ta.join();
+  tb.join();
+
+  core::SynthesisEvaluator local(designs::make_design("alu:4"));
+  expect_bit_identical(qa, local.evaluate_many(flows_a));
+  expect_bit_identical(qb, local.evaluate_many(flows_b));
+
+  a.reset();
+  b.reset();
+  // A Shutdown frame stops the accept loop; the server thread then joins
+  // cleanly and the fleet is told to exit.
+  Socket stop = connect_to(Address::parse("unix:" + path), 5000);
+  send_frame(stop, MsgType::kShutdown, {});
+  server.join();
+  coordinator.shutdown_workers();
+}
+
 TEST(ServiceTest, CoordinatorStoreShortCircuitsSecondRun) {
   SKIP_UNDER_TSAN();
   const std::string dir =

@@ -76,48 +76,6 @@ int run_worker(const util::Cli& cli) {
   return 0;
 }
 
-// Serve one client connection through the shared protocol loop: Hello with
-// a registry id elaborates + broadcasts that design to the fleet,
-// LoadDesign re-broadcasts the client's blob, and every EvalRequest fans
-// out over the workers — the server is just a worker-shaped coordinator.
-bool serve_client(service::Socket& client,
-                  service::EvalCoordinator& coordinator) {
-  service::EvalService svc;
-  svc.on_hello = [&](const service::HelloMsg& hello) {
-    if (!hello.design_id.empty() &&
-        hello.design_id != coordinator.design_id()) {
-      // Unknown ids throw std::invalid_argument -> an Error frame. The
-      // broadcast is labeled with the *requested* id (not the netlist's
-      // own name) so the ack satisfies registry-mode clients, which
-      // require the acked id to equal what they asked for.
-      const aig::Aig design = designs::make_design(hello.design_id);
-      coordinator.load_design(aig::encode_binary(design),
-                              design.fingerprint(), hello.design_id);
-    }
-    service::HelloAckMsg ack;
-    ack.design_id = coordinator.design_id();
-    ack.fingerprint = coordinator.design_fingerprint();
-    return ack;
-  };
-  svc.on_load_design = [&](aig::Aig design,
-                           std::span<const std::uint8_t> blob) {
-    const aig::Fingerprint fp = design.fingerprint();
-    if (fp != coordinator.design_fingerprint()) {
-      coordinator.load_design(blob, fp, std::move(design.name));
-    }
-    return fp;
-  };
-  svc.on_eval = [&](const aig::Fingerprint& fp,
-                    std::vector<core::Flow> flows) {
-    if (fp != coordinator.design_fingerprint()) {
-      throw std::runtime_error("design " + aig::fingerprint_hex(fp) +
-                               " is not the fleet's current design");
-    }
-    return coordinator.evaluate_many(flows);
-  };
-  return service::serve_frames(client, svc);
-}
-
 int run_server(const util::Cli& cli) {
   const std::string design = cli.get("design", "");
   const auto worker_specs = split_list(cli.get("workers", ""));
@@ -142,17 +100,13 @@ int run_server(const util::Cli& cli) {
                  design.empty() ? "<deferred>" : design, " fleet=",
                  coordinator.num_workers_alive(), " listening on ",
                  listener.address().to_string());
-  while (true) {
-    service::Socket client = listener.accept();
-    try {
-      if (serve_client(client, coordinator)) {
-        coordinator.shutdown_workers();
-        return 0;
-      }
-    } catch (const std::exception& e) {
-      util::log_warn("evald server: client error: ", e.what());
-    }
-  }
+  // Concurrent clients: every connection gets its own service thread (the
+  // Hello(id)-elaborates-and-broadcasts glue lives in
+  // make_coordinator_service; the coordinator serialises batches).
+  service::serve_connections(
+      listener, [&] { return service::make_coordinator_service(coordinator); });
+  coordinator.shutdown_workers();
+  return 0;
 }
 
 int run_loopback(const util::Cli& cli) {
