@@ -20,6 +20,7 @@
 #include "core/evaluator.hpp"
 #include "core/flow_space.hpp"
 #include "designs/registry.hpp"
+#include "opt/registry.hpp"
 #include "opt/transform.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -40,6 +41,15 @@ struct RunResult {
   core::EvaluatorStats stats;
   std::vector<map::QoR> qor;
 };
+
+/// The extended-registry scenario: the paper alphabet + 2 parameterized
+/// variants (8 specs), sampled at the same m, pushed through the full
+/// engine. Emits flow-space sizes (how much larger the scenario space is)
+/// and engine throughput as one JSON object (--registry-json).
+std::string bench_registry(const aig::Aig& design,
+                           const std::string& design_name, unsigned m,
+                           std::size_t num_flows, std::size_t threads,
+                           std::uint64_t seed, std::size_t budget_mb);
 
 RunResult run(const aig::Aig& design, const std::vector<core::Flow>& flows,
               const core::EvaluatorConfig& config, std::size_t threads) {
@@ -112,6 +122,55 @@ std::string bench_transforms(const aig::Aig& design,
   return json;
 }
 
+std::string bench_registry(const aig::Aig& design,
+                           const std::string& design_name, unsigned m,
+                           std::size_t num_flows, std::size_t threads,
+                           std::uint64_t seed, std::size_t budget_mb) {
+  std::vector<opt::TransformSpec> specs =
+      opt::TransformRegistry::paper()->specs();
+  specs.push_back(opt::spec_from_text("rewrite -K 3"));
+  specs.push_back(opt::spec_from_text("restructure -D 12"));
+  const auto registry =
+      std::make_shared<const opt::TransformRegistry>(std::move(specs));
+
+  const core::FlowSpace paper_space(m);
+  const core::FlowSpace space(m, registry);
+  util::Rng rng(seed);
+  const std::vector<core::Flow> flows = space.sample_unique(num_flows, rng);
+
+  core::EvaluatorConfig config;
+  config.registry = registry;
+  config.prefix_cache.byte_budget = budget_mb << 20;
+  const RunResult engine = run(design, flows, config, threads);
+
+  std::printf("extended registry (%zu specs, m=%u, L=%u):\n",
+              registry->size(), m, space.length());
+  std::printf("  space %s flows (paper: %s)  engine %.2fs  %.1f flows/s  "
+              "hit rate %.3f\n",
+              core::u128_to_string(space.size()).c_str(),
+              core::u128_to_string(paper_space.size()).c_str(),
+              engine.seconds, engine.flows_per_sec,
+              engine.stats.prefix.hit_rate());
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof json,
+      "{\"design\": \"%s\", \"m\": %u, \"flows\": %zu, \"threads\": %zu,\n"
+      " \"registry_specs\": %zu, \"registry_fingerprint\": \"%s\",\n"
+      " \"flow_length\": %u, \"space_size\": \"%s\","
+      " \"paper_space_size\": \"%s\",\n"
+      " \"engine_seconds\": %.3f, \"engine_flows_per_sec\": %.2f,\n"
+      " \"prefix_hit_rate\": %.4f, \"transforms_applied\": %zu,"
+      " \"transforms_skipped\": %zu}",
+      design_name.c_str(), m, num_flows, threads, registry->size(),
+      opt::registry_fingerprint_hex(registry->fingerprint()).c_str(),
+      space.length(), core::u128_to_string(space.size()).c_str(),
+      core::u128_to_string(paper_space.size()).c_str(), engine.seconds,
+      engine.flows_per_sec, engine.stats.prefix.hit_rate(),
+      engine.stats.transforms_applied, engine.stats.transforms_skipped);
+  return json;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -127,6 +186,7 @@ int main(int argc, char** argv) try {
       static_cast<std::size_t>(cli.get_int("budget-mb", 256));
   const bool skip_naive = cli.get_bool("skip-naive", false);
   const std::string transforms_json = cli.get("transforms-json", "");
+  const std::string registry_json = cli.get("registry-json", "");
   const int transform_reps = cli.get_int("transform-reps", 5);
 
   const aig::Aig design = designs::make_design(design_name);
@@ -230,6 +290,17 @@ int main(int argc, char** argv) try {
   if (!json_path.empty()) {
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
       std::fprintf(f, "%s\n", json);
+      std::fclose(f);
+    }
+  }
+
+  // Extended-registry scenario run (BENCH_registry_<design>.json).
+  if (!registry_json.empty()) {
+    const std::string registry_report = bench_registry(
+        design, design_name, m, num_flows, threads, seed, budget_mb);
+    std::printf("%s\n", registry_report.c_str());
+    if (std::FILE* f = std::fopen(registry_json.c_str(), "w")) {
+      std::fprintf(f, "%s\n", registry_report.c_str());
       std::fclose(f);
     }
   }

@@ -12,7 +12,7 @@
 #include "aig/writer.hpp"
 #include "designs/registry.hpp"
 #include "map/mapper.hpp"
-#include "opt/transform.hpp"
+#include "opt/registry.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -30,16 +30,25 @@ int main(int argc, char** argv) {
   const map::QoR base = map::evaluate_qor(g);
   std::printf("mapped (14nm-class library): %s\n", base.to_string().c_str());
 
+  // --spec adds parameterized transforms ("rewrite -K 3") next to the
+  // paper set; every entry dispatches through the same typed registry.
+  std::vector<opt::TransformSpec> specs =
+      opt::TransformRegistry::paper()->specs();
+  if (const std::string extra = cli.get("spec", ""); !extra.empty()) {
+    specs.push_back(opt::spec_from_text(extra));
+  }
+  const opt::TransformRegistry registry(std::move(specs));
+
   std::puts("\nper-transform effect (standalone application):");
-  std::printf("  %-14s %8s %6s %12s %10s  %s\n", "transform", "AND", "lev",
+  std::printf("  %-20s %8s %6s %12s %10s  %s\n", "transform", "AND", "lev",
               "area um^2", "delay ps", "equivalent");
-  for (auto kind : opt::paper_transform_set()) {
-    const aig::Aig out = opt::apply_transform(g, kind);
+  for (opt::StepId id = 0; id < registry.size(); ++id) {
+    const aig::Aig out = registry.apply(g, id);
     const map::QoR q = map::evaluate_qor(out);
     util::Rng rng(7);
     const bool eq = aig::random_equivalent(g, out, rng);
-    std::printf("  %-14s %8zu %6u %12.2f %10.1f  %s\n",
-                opt::transform_name(kind).c_str(), out.num_ands(),
+    std::printf("  %-20s %8zu %6u %12.2f %10.1f  %s\n",
+                registry.name(id).c_str(), out.num_ands(),
                 out.depth(), q.area_um2, q.delay_ps, eq ? "yes" : "NO!");
   }
 

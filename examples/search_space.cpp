@@ -6,18 +6,23 @@
 //   ./build/examples/search_space
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "core/flow_space.hpp"
-#include "opt/transform.hpp"
+#include "opt/registry.hpp"
 
 int main() {
   using namespace flowgen;
 
-  std::puts("The transform set S of the paper (Section 2.2):");
-  for (auto kind : opt::paper_transform_set()) {
-    std::printf("  p%u = %s\n", static_cast<unsigned>(kind),
-                opt::transform_name(kind).c_str());
+  const opt::TransformRegistry& registry = *opt::TransformRegistry::paper();
+  std::puts("The transform set S of the paper (Section 2.2), as the");
+  std::puts("default TransformRegistry (opt/registry.hpp):");
+  for (opt::StepId id = 0; id < registry.size(); ++id) {
+    std::printf("  p%u = %s\n", unsigned{id}, registry.name(id).c_str());
   }
+  std::printf("  registry fingerprint: %s\n",
+              opt::registry_fingerprint_hex(registry.fingerprint()).c_str());
 
   std::puts("\nExample 1: non-repetition flows over |S| = 3 -> 3! = 6:");
   std::printf("  f(3, 3, 1) = %s\n",
@@ -48,6 +53,22 @@ int main() {
   util::Rng rng(2718);
   for (int i = 0; i < 3; ++i) {
     std::printf("  %s\n", space.random_flow(rng).to_string().c_str());
+  }
+
+  // Registries are not fixed to the paper's six: add parameterized
+  // variants and the space grows — every consumer (one-hot, classifier,
+  // caches, wire) follows the alphabet automatically.
+  std::vector<opt::TransformSpec> specs = registry.specs();
+  specs.push_back(opt::spec_from_text("rewrite -K 3"));
+  specs.push_back(opt::spec_from_text("restructure -D 12"));
+  const auto extended =
+      std::make_shared<const opt::TransformRegistry>(std::move(specs));
+  std::printf("\nExtended registry (%zu specs, +rewrite -K 3,"
+              " +restructure -D 12):\n", extended->size());
+  for (unsigned m = 1; m <= 4; ++m) {
+    const core::FlowSpace wide(m, extended);
+    std::printf("  m=%u: f(8, %u, %u) = %s flows\n", m, wide.length(), m,
+                core::u128_to_string(wide.size()).c_str());
   }
   return 0;
 }

@@ -18,8 +18,11 @@ SANITIZE="${SANITIZE:-}"
 BUILD_DIR="${BUILD_DIR:-build-check${SANITIZE:+-$SANITIZE}}"
 JOBS="${JOBS:-$(nproc)}"
 
+# Examples are pinned ON: they are the public face of the API, so an API
+# redesign that breaks them must fail this gate, not a user's first build.
 cmake -B "$BUILD_DIR" -S . \
   -DFLOWGEN_WERROR=ON \
+  -DFLOWGEN_BUILD_EXAMPLES=ON \
   ${SANITIZE:+-DSANITIZE="$SANITIZE"} \
   "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"

@@ -3,8 +3,14 @@
 #   1. every relative markdown link in README.md / docs/*.md resolves to a
 #      file that exists,
 #   2. the message-type table in docs/protocol.md matches the MsgType enum
-#      in src/service/wire.hpp, name for name and value for value,
-#   3. the protocol version in the doc title matches kProtocolVersion.
+#      in src/service/wire.hpp, name for name and value for value (new
+#      MsgType entries — LoadRegistry etc. — fail the gate until the table
+#      documents them),
+#   3. the protocol version in the doc title matches kProtocolVersion,
+#   4. the paper registry fingerprint quoted in docs/protocol.md matches
+#      the value pinned in tests/registry_test.cpp,
+#   5. docs/qor-store.md documents every store header version the code
+#      defines (kStoreVersion* in src/core/qor_store.cpp).
 # Exits non-zero with one line per problem, so the docs cannot drift from
 # the code they describe without failing the build.
 set -euo pipefail
@@ -53,7 +59,32 @@ if ! head -1 docs/protocol.md | grep -q "(version ${code_version})"; then
   fail=1
 fi
 
+# ------------------------------ 4. paper registry fingerprint in sync --
+pinned_fp=$(grep -oE '"[0-9a-f]{32}"' tests/registry_test.cpp \
+  | head -1 | tr -d '"')
+if [ -z "$pinned_fp" ]; then
+  echo "check_docs: no pinned registry fingerprint in tests/registry_test.cpp"
+  fail=1
+elif ! grep -q "$pinned_fp" docs/protocol.md; then
+  echo "check_docs: docs/protocol.md does not quote the paper registry" \
+       "fingerprint ${pinned_fp} pinned in tests/registry_test.cpp"
+  fail=1
+fi
+
+# --------------------------------- 5. store header versions documented --
+for v in $(grep -oE 'kStoreVersion[A-Za-z]* = [0-9]+' src/core/qor_store.cpp \
+             | grep -oE '[0-9]+'); do
+  if ! grep -qE "version +1 \(paper registry\) or 2|u8 +version +${v}" \
+         docs/qor-store.md && \
+     ! grep -qE "version.*\b${v}\b" docs/qor-store.md; then
+    echo "check_docs: docs/qor-store.md does not document store header" \
+         "version ${v}"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
-  echo "check_docs: OK (links resolve, protocol table and version in sync)"
+  echo "check_docs: OK (links, protocol table/version, registry fingerprint," \
+       "store versions in sync)"
 fi
 exit "$fail"

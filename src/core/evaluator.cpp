@@ -15,6 +15,8 @@ SynthesisEvaluator::SynthesisEvaluator(aig::Aig design,
                                        EvaluatorConfig config)
     : design_(std::move(design)),
       design_fp_(design_.fingerprint()),
+      registry_(config.registry ? config.registry
+                                : opt::TransformRegistry::paper()),
       lib_(lib),
       mapper_params_(mapper_params),
       config_(config) {
@@ -31,6 +33,10 @@ SynthesisEvaluator::SynthesisEvaluator(aig::Aig design,
 
 map::QoR SynthesisEvaluator::evaluate(const Flow& flow) const {
   const StepsView steps(flow.steps);
+  // Alphabet guard before any cache or dispatch sees the bytes: a stray id
+  // (hand-built flow, hostile wire peer) is a typed RegistryError here, not
+  // undefined dispatch three layers down.
+  registry_->validate_steps(steps);
   QorShard& shard = shard_for_flow(steps);
   {
     std::lock_guard lock(shard.mutex);
@@ -62,6 +68,16 @@ void SynthesisEvaluator::warm_qor(StepsView steps, const map::QoR& qor) const {
 }
 
 void SynthesisEvaluator::attach_store(std::shared_ptr<QorStore> store) {
+  if (store && store->registry_fingerprint() != registry_->fingerprint()) {
+    // A store keyed by a different alphabet would warm this evaluator with
+    // labels whose step bytes mean different transforms — silently wrong
+    // QoR. Typed error instead.
+    throw opt::RegistryError(
+        "attach_store: QorStore registry fingerprint " +
+        opt::registry_fingerprint_hex(store->registry_fingerprint()) +
+        " does not match the evaluator's " +
+        opt::registry_fingerprint_hex(registry_->fingerprint()));
+  }
   store_ = std::move(store);
   if (!store_) return;
   store_->for_design(design_fp_, [this](StepsView steps, const map::QoR& q) {
@@ -111,7 +127,7 @@ map::QoR SynthesisEvaluator::evaluate_uncached(StepsView steps) const {
     // The last graph is mapped, never transformed again, so its analysis
     // would be dead weight.
     const bool derive = derive_on && i + 1 < steps.size();
-    opt::AnalyzedTransform r = opt::apply_transform_analyzed(
+    opt::AnalyzedTransform r = registry_->apply_analyzed(
         cur ? *cur : design_, steps[i], in_analysis, derive);
     cur = std::make_shared<const aig::Aig>(std::move(r.graph));
     cur_an = std::move(r.analysis);

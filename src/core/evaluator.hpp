@@ -39,6 +39,12 @@ namespace flowgen::core {
 class QorStore;
 
 struct EvaluatorConfig {
+  /// The transform alphabet this evaluator dispatches step ids through;
+  /// null = the paper registry. Every flow handed to evaluate() is
+  /// validated against it (out-of-range ids are a typed
+  /// opt::RegistryError), and an attached QorStore must carry the same
+  /// registry fingerprint.
+  std::shared_ptr<const opt::TransformRegistry> registry;
   /// Resume synthesis from cached prefix snapshots. Off = every cache-missing
   /// flow is synthesized from scratch (the pre-engine behaviour).
   bool use_prefix_cache = true;
@@ -82,8 +88,13 @@ public:
   const aig::Aig& design() const { return design_; }
   const EvaluatorConfig& config() const { return config_; }
   /// Content identity of the evaluated design (cached at construction);
-  /// keys this evaluator's records in a QorStore and on the v2 wire.
+  /// keys this evaluator's records in a QorStore and on the wire.
   const aig::Fingerprint& design_fingerprint() const { return design_fp_; }
+  /// The alphabet step ids dispatch through (paper registry by default).
+  const opt::TransformRegistry& registry() const { return *registry_; }
+  const std::shared_ptr<const opt::TransformRegistry>& registry_ptr() const {
+    return registry_;
+  }
 
   /// Seed the QoR cache with a known-correct result for `steps` (e.g. a
   /// QorStore record). Does not count as an evaluation; a later evaluate()
@@ -93,8 +104,11 @@ public:
 
   /// Attach a persistent label store: every record for this design is
   /// warmed into the QoR cache now, and every future flow-level cache miss
-  /// is appended to the store as it completes. Call before evaluation
-  /// starts; not thread-safe against concurrent evaluate().
+  /// is appended to the store as it completes. Throws opt::RegistryError
+  /// when the store's registry fingerprint differs from this evaluator's —
+  /// labels keyed by another alphabet must never warm these caches. Call
+  /// before evaluation starts; not thread-safe against concurrent
+  /// evaluate().
   void attach_store(std::shared_ptr<QorStore> store);
 
   /// Synthesize (transform sequence) + map + report QoR. Thread-safe;
@@ -144,6 +158,7 @@ private:
 
   aig::Aig design_;
   aig::Fingerprint design_fp_{};
+  std::shared_ptr<const opt::TransformRegistry> registry_;
   /// Warm analysis for design_ itself: every flow's first transform runs
   /// against it, so windows/plans/cut sets of the raw design are computed
   /// once per evaluator instead of once per flow.

@@ -1,49 +1,71 @@
 #include "core/flow.hpp"
 
-#include <stdexcept>
-
 namespace flowgen::core {
+
+namespace {
+
+char step_char(opt::StepId id) {
+  if (id < 10) return static_cast<char>('0' + id);
+  if (id < 36) return static_cast<char>('a' + (id - 10));
+  throw opt::RegistryError("Flow::key: step id " +
+                           std::to_string(unsigned{id}) +
+                           " has no single-character form (>= 36)");
+}
+
+}  // namespace
 
 std::string Flow::key() const {
   std::string k;
   k.reserve(steps.size());
-  for (opt::TransformKind t : steps) {
-    k += static_cast<char>('0' + static_cast<unsigned>(t));
-  }
+  for (opt::StepId t : steps) k += step_char(t);
   return k;
 }
 
-std::string Flow::to_string() const {
+std::string Flow::to_string(const opt::TransformRegistry& registry) const {
   std::string s;
   for (std::size_t i = 0; i < steps.size(); ++i) {
     if (i) s += "; ";
-    s += opt::transform_name(steps[i]);
+    s += registry.name(steps[i]);
   }
   return s;
 }
 
-std::string Flow::to_abc_script() const {
+std::string Flow::to_abc_script(const opt::TransformRegistry& registry) const {
   std::string s = "strash";
-  for (opt::TransformKind t : steps) {
+  for (opt::StepId t : steps) {
     s += "; ";
-    // Our windowed resubstitution is ABC's `resub`.
-    s += (t == opt::TransformKind::kRestructure)
-             ? std::string("resub")
-             : opt::transform_name(t);
+    // ABC commands come from the canonical text form, never the free-form
+    // spec name (which may be anything): spec_text of a restructure spec
+    // always starts with "restructure", so the resub rename is safe, and
+    // parameter flags carry over verbatim ("restructure -K 6" ->
+    // "resub -K 6"). Our windowed resubstitution is ABC's `resub`.
+    std::string cmd = opt::spec_text(registry.spec(t));
+    if (registry.spec(t).base == opt::TransformKind::kRestructure) {
+      cmd = "resub" + cmd.substr(std::string("restructure").size());
+    }
+    s += cmd;
   }
   s += "; map";
   return s;
 }
 
-Flow Flow::from_key(const std::string& key) {
+Flow Flow::from_key(const std::string& key,
+                    const opt::TransformRegistry& registry) {
   Flow f;
   f.steps.reserve(key.size());
   for (char c : key) {
-    const int v = c - '0';
-    if (v < 0 || v >= static_cast<int>(opt::kNumTransforms)) {
-      throw std::invalid_argument("Flow::from_key: bad digit");
+    opt::StepId id = 0;
+    if (c >= '0' && c <= '9') {
+      id = static_cast<opt::StepId>(c - '0');
+    } else if (c >= 'a' && c <= 'z') {
+      id = static_cast<opt::StepId>(10 + (c - 'a'));
+    } else {
+      throw opt::RegistryError(std::string("Flow::from_key: bad step "
+                                           "character '") +
+                               c + "'");
     }
-    f.steps.push_back(static_cast<opt::TransformKind>(v));
+    registry.validate_step(id);
+    f.steps.push_back(id);
   }
   return f;
 }

@@ -1,7 +1,10 @@
 #pragma once
 // A synthesis flow: an ordered sequence of transforms (Definition 1/2 of the
-// paper). Flows hash and compare by value so sampling can enforce
-// uniqueness.
+// paper), stored as packed registry step ids. Flows hash and compare by
+// value so sampling can enforce uniqueness. A flow is meaningful only next
+// to a TransformRegistry (which says what each id does); the paper registry
+// is the default everywhere, under which ids 0..5 are the fixed alphabet
+// the pre-registry code used — keys, hashes and packed bytes unchanged.
 
 #include <algorithm>
 #include <cstddef>
@@ -11,14 +14,15 @@
 #include <string>
 #include <vector>
 
-#include "opt/transform.hpp"
+#include "opt/registry.hpp"
 
 namespace flowgen::core {
 
-/// A flow prefix/key in its packed form: TransformKind is a uint8 enum, so
-/// the step sequence itself is the byte encoding — no string materialised.
-using StepsView = std::span<const opt::TransformKind>;
-using StepsKey = std::vector<opt::TransformKind>;
+/// A flow prefix/key in its packed form: one byte per step (the registry
+/// StepId), so the step sequence itself is the byte encoding — no string
+/// materialised.
+using StepsView = std::span<const opt::StepId>;
+using StepsKey = std::vector<opt::StepId>;
 
 /// FNV-1a over the packed steps; hashes any prefix without allocating.
 /// Transparent so unordered containers keyed by StepsKey can be probed with
@@ -27,8 +31,8 @@ struct StepsHash {
   using is_transparent = void;
   std::size_t operator()(StepsView s) const noexcept {
     std::uint64_t h = 1469598103934665603ull;
-    for (opt::TransformKind t : s) {
-      h = (h ^ static_cast<std::uint8_t>(t)) * 1099511628211ull;
+    for (opt::StepId t : s) {
+      h = (h ^ t) * 1099511628211ull;
     }
     return static_cast<std::size_t>(h);
   }
@@ -55,22 +59,33 @@ struct StepsEqual {
 };
 
 struct Flow {
-  std::vector<opt::TransformKind> steps;
+  StepsKey steps;
 
   std::size_t length() const { return steps.size(); }
   bool operator==(const Flow&) const = default;
 
-  /// Compact digit key ("203514...") for I/O and reports. Hot paths hash
-  /// the packed `steps` directly (StepsHash) instead of materialising this.
+  /// Compact text key for I/O and reports: one character per step, base-36
+  /// ('0'-'9' then 'a'-'z'), identical to the old digit keys for registries
+  /// of up to 10 transforms. Throws opt::RegistryError for ids >= 36 (the
+  /// packed byte form has no such limit). Hot paths hash the packed `steps`
+  /// directly (StepsHash) instead of materialising this.
   std::string key() const;
-  /// Human-readable ABC-style script ("balance; rewrite -z; ...").
-  std::string to_string() const;
+  /// Human-readable script over the registry's spec names
+  /// ("balance; rewrite -z; ...").
+  std::string to_string(const opt::TransformRegistry& registry =
+                            *opt::TransformRegistry::paper()) const;
   /// Full ABC script for cross-checking the flow with real ABC:
   /// "strash; <transforms...>; map" (note: our `restructure` corresponds
   /// to ABC's `resub`).
-  std::string to_abc_script() const;
+  std::string to_abc_script(const opt::TransformRegistry& registry =
+                                *opt::TransformRegistry::paper()) const;
 
-  static Flow from_key(const std::string& key);
+  /// Parse a text key, validating every step against `registry` — an
+  /// out-of-range or unparseable character is an opt::RegistryError, so a
+  /// key can never smuggle a step the alphabet does not define.
+  static Flow from_key(const std::string& key,
+                       const opt::TransformRegistry& registry =
+                           *opt::TransformRegistry::paper());
 };
 
 struct FlowHash {

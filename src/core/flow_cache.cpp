@@ -82,7 +82,7 @@ void PrefixFlowCache::insert(StepsView steps,
     return;
   }
   const std::size_t bytes = aig->memory_bytes() +
-                            steps.size() * sizeof(opt::TransformKind) +
+                            steps.size() * sizeof(opt::StepId) +
                             sizeof(Entry);
   if (bytes > budget_per_shard_) return;  // would evict the whole shard
   std::size_t analysis_bytes = analysis ? analysis->memory_bytes() : 0;

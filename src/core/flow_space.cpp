@@ -66,11 +66,31 @@ U128 count_limited_permutations(unsigned n, unsigned length, unsigned m) {
   return f[n][length];
 }
 
-FlowSpace::FlowSpace(unsigned m, std::vector<opt::TransformKind> transforms)
-    : m_(m), transforms_(std::move(transforms)) {
+namespace {
+
+/// The codebase-wide convention (EvaluatorConfig, CoordinatorConfig,
+/// QorStoreConfig, PipelineConfig): a null registry means the paper one.
+std::shared_ptr<const opt::TransformRegistry> or_paper(
+    std::shared_ptr<const opt::TransformRegistry> registry) {
+  return registry ? std::move(registry) : opt::TransformRegistry::paper();
+}
+
+}  // namespace
+
+FlowSpace::FlowSpace(unsigned m,
+                     std::shared_ptr<const opt::TransformRegistry> registry)
+    : FlowSpace(m, or_paper(registry)->all_ids(), or_paper(registry)) {}
+
+FlowSpace::FlowSpace(unsigned m, std::vector<opt::StepId> transforms,
+                     std::shared_ptr<const opt::TransformRegistry> registry)
+    : m_(m), registry_(or_paper(std::move(registry))),
+      transforms_(std::move(transforms)) {
   if (m_ == 0 || transforms_.empty()) {
     throw std::invalid_argument("FlowSpace: need m >= 1 and a non-empty S");
   }
+  // Every id must name a spec — a space over undefined steps would sample
+  // flows nothing can evaluate.
+  registry_->validate_steps(transforms_);
 }
 
 U128 FlowSpace::size() const {
@@ -100,7 +120,7 @@ bool FlowSpace::satisfies_constraints(const Flow& flow) const {
 Flow FlowSpace::random_flow(util::Rng& rng) const {
   Flow f;
   f.steps.reserve(length());
-  for (opt::TransformKind t : transforms_) {
+  for (opt::StepId t : transforms_) {
     for (unsigned r = 0; r < m_; ++r) f.steps.push_back(t);
   }
   // Rejection sampling keeps the distribution uniform over the constrained
@@ -120,11 +140,13 @@ std::vector<Flow> FlowSpace::sample_unique(std::size_t count,
   }
   std::vector<Flow> flows;
   flows.reserve(count);
-  std::unordered_set<std::string> seen;
+  // Dedup on the packed step keys, not text keys: Flow::key() tops out at
+  // 36 single-character ids, the byte form never does.
+  std::unordered_set<StepsKey, StepsHash, StepsEqual> seen;
   seen.reserve(count * 2);
   while (flows.size() < count) {
     Flow f = random_flow(rng);
-    if (seen.insert(f.key()).second) flows.push_back(std::move(f));
+    if (seen.insert(f.steps).second) flows.push_back(std::move(f));
   }
   return flows;
 }
@@ -132,9 +154,9 @@ std::vector<Flow> FlowSpace::sample_unique(std::size_t count,
 bool FlowSpace::contains(const Flow& flow) const {
   if (flow.length() != length()) return false;
   if (!satisfies_constraints(flow)) return false;
-  std::map<opt::TransformKind, unsigned> counts;
-  for (opt::TransformKind t : flow.steps) ++counts[t];
-  for (opt::TransformKind t : transforms_) {
+  std::map<opt::StepId, unsigned> counts;
+  for (opt::StepId t : flow.steps) ++counts[t];
+  for (opt::StepId t : transforms_) {
     const auto it = counts.find(t);
     if (it == counts.end() || it->second != m_) return false;
     counts.erase(it);

@@ -1,10 +1,13 @@
 #pragma once
-// The search space of Section 2.1: m-repetition flows over a transform set
-// S. Provides uniform sampling of unique flows and the exact counting
-// function f(n, L, m) of Remark 3 (Mendelson's limited-repetition
-// permutations), evaluated in 128-bit arithmetic.
+// The search space of Section 2.1: m-repetition flows over a transform
+// alphabet. Provides uniform sampling of unique flows and the exact
+// counting function f(n, L, m) of Remark 3 (Mendelson's limited-repetition
+// permutations), evaluated in 128-bit arithmetic. The alphabet is a
+// TransformRegistry (default: the paper's 6-transform set) or any subset of
+// its step ids, so one registry can back several nested spaces.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,16 +30,23 @@ U128 count_limited_permutations(unsigned n, unsigned length, unsigned m);
 /// constraint (before, after) requires every occurrence of `before` to
 /// precede every occurrence of `after`.
 struct PrecedenceConstraint {
-  opt::TransformKind before;
-  opt::TransformKind after;
+  opt::StepId before;
+  opt::StepId after;
 };
 
 class FlowSpace {
 public:
-  /// m-repetition space over `transforms` (defaults to the paper's S).
+  /// m-repetition space over the whole of `registry` (default: the paper's
+  /// S). Step ids are positions in that registry.
   explicit FlowSpace(unsigned m,
-                     std::vector<opt::TransformKind> transforms =
-                         opt::paper_transform_set());
+                     std::shared_ptr<const opt::TransformRegistry> registry =
+                         opt::TransformRegistry::paper());
+
+  /// m-repetition space over a subset of `registry`'s ids. Throws
+  /// opt::RegistryError when any id is out of range for the registry.
+  FlowSpace(unsigned m, std::vector<opt::StepId> transforms,
+            std::shared_ptr<const opt::TransformRegistry> registry =
+                opt::TransformRegistry::paper());
 
   /// Restrict the space (Remark 1). Sampling honours constraints by
   /// rejection; `contains` checks them.
@@ -54,8 +64,13 @@ public:
   unsigned repetitions() const { return m_; }
   /// L = n * m (Remark 2).
   unsigned length() const { return num_transforms() * m_; }
-  const std::vector<opt::TransformKind>& transforms() const {
+  const std::vector<opt::StepId>& transforms() const {
     return transforms_;
+  }
+  /// The registry whose step ids this space samples.
+  const opt::TransformRegistry& registry() const { return *registry_; }
+  const std::shared_ptr<const opt::TransformRegistry>& registry_ptr() const {
+    return registry_;
   }
 
   /// Exact size of the space: f(n, n*m, m) = (nm)! / (m!)^n.
@@ -74,7 +89,8 @@ public:
 
 private:
   unsigned m_;
-  std::vector<opt::TransformKind> transforms_;
+  std::shared_ptr<const opt::TransformRegistry> registry_;
+  std::vector<opt::StepId> transforms_;
   std::vector<PrecedenceConstraint> constraints_;
 };
 

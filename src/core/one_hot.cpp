@@ -30,6 +30,19 @@ void default_reshape(std::size_t length, std::size_t num_transforms,
   }
 }
 
+nn::Tensor one_hot_matrix(const Flow& flow,
+                          const opt::TransformRegistry& registry) {
+  registry.validate_steps(flow.steps);
+  return one_hot_matrix(flow, registry.size());
+}
+
+nn::Tensor one_hot_batch(std::span<const Flow> flows,
+                         const opt::TransformRegistry& registry,
+                         std::size_t height, std::size_t width) {
+  for (const Flow& f : flows) registry.validate_steps(f.steps);
+  return one_hot_batch(flows, registry.size(), height, width);
+}
+
 nn::Tensor one_hot_batch(std::span<const Flow> flows,
                          std::size_t num_transforms, std::size_t height,
                          std::size_t width) {

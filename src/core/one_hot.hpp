@@ -15,11 +15,22 @@ namespace flowgen::core {
 /// (L, n) matrix of a single flow.
 nn::Tensor one_hot_matrix(const Flow& flow, std::size_t num_transforms);
 
+/// Registry form: the encoding width n is the registry size, so the
+/// classifier input shape follows the alphabet (an 8-spec registry yields
+/// (L, 8) rows with no caller arithmetic).
+nn::Tensor one_hot_matrix(const Flow& flow,
+                          const opt::TransformRegistry& registry);
+
 /// Batch tensor (N, H, W, 1) where H*W = L*n; by default H = W = sqrt(L*n)
 /// when square (the paper's 24x6 -> 12x12), else H = L, W = n.
 nn::Tensor one_hot_batch(std::span<const Flow> flows,
                          std::size_t num_transforms, std::size_t height,
                          std::size_t width);
+
+/// Registry form of the batch encoder (n = registry size).
+nn::Tensor one_hot_batch(std::span<const Flow> flows,
+                         const opt::TransformRegistry& registry,
+                         std::size_t height, std::size_t width);
 
 /// The paper's reshape rule: square if L*n is a perfect square, else (L, n).
 void default_reshape(std::size_t length, std::size_t num_transforms,

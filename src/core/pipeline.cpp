@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "aig/reader.hpp"
 #include "core/qor_store.hpp"
 #include "designs/registry.hpp"
 #include "service/remote_evaluator.hpp"
@@ -22,16 +23,27 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 /// workers are forked here, before the pipeline spawns any threads. A
 /// configured qor_store_dir attaches the persistent label store to
 /// whichever evaluator is built, so labeling runs resume across restarts.
+/// The registry reaches every layer from here: evaluator dispatch, store
+/// keys (QorStore refuses other alphabets) and the fleet handshake.
 std::unique_ptr<FlowEvaluator> make_evaluator(
-    aig::Aig design, const service::EvalServiceConfig& svc) {
+    aig::Aig design, const service::EvalServiceConfig& svc,
+    std::shared_ptr<const opt::TransformRegistry> registry) {
+  if (!registry) registry = opt::TransformRegistry::paper();
   std::shared_ptr<QorStore> store;
   if (!svc.qor_store_dir.empty()) {
     QorStoreConfig store_config;
     store_config.dir = svc.qor_store_dir;
+    store_config.registry = registry;
     store = std::make_shared<QorStore>(std::move(store_config));
   }
+  EvaluatorConfig evaluator_config;
+  evaluator_config.registry = registry;
+  service::CoordinatorConfig coordinator_config;
+  coordinator_config.registry = registry;
   if (!svc.distributed()) {
-    auto local = std::make_unique<SynthesisEvaluator>(std::move(design));
+    auto local = std::make_unique<SynthesisEvaluator>(
+        std::move(design), map::CellLibrary::builtin(), map::MapperParams{},
+        evaluator_config);
     if (store) local->attach_store(std::move(store));
     return local;
   }
@@ -43,9 +55,10 @@ std::unique_ptr<FlowEvaluator> make_evaluator(
     // circuit than the one passed here.
     remote = !svc.worker_addresses.empty()
                  ? service::RemoteEvaluator::connect_netlist(
-                       svc.worker_addresses, design)
+                       svc.worker_addresses, design, coordinator_config)
                  : service::RemoteEvaluator::loopback_netlist(
-                       design, svc.loopback_workers);
+                       design, svc.loopback_workers, evaluator_config,
+                       coordinator_config);
   } else {
     // Workers elaborate design_id from the registry; labeling the wrong
     // circuit must be a loud failure, not a silent one, so verify the id
@@ -58,20 +71,37 @@ std::unique_ptr<FlowEvaluator> make_evaluator(
     }
     remote = !svc.worker_addresses.empty()
                  ? service::RemoteEvaluator::connect(svc.worker_addresses,
-                                                     svc.design_id)
-                 : service::RemoteEvaluator::loopback(svc.design_id,
-                                                      svc.loopback_workers);
+                                                     svc.design_id,
+                                                     coordinator_config)
+                 : service::RemoteEvaluator::loopback(
+                       svc.design_id, svc.loopback_workers, evaluator_config,
+                       coordinator_config);
   }
   if (store) remote->attach_store(std::move(store));
   return remote;
 }
 
+/// Ingest for the file-only constructor; validates before any I/O.
+aig::Aig load_design_file(const PipelineConfig& config) {
+  if (config.design_file.empty()) {
+    throw std::invalid_argument(
+        "FlowGenPipeline: PipelineConfig::design_file is empty");
+  }
+  return aig::read_blif_file(config.design_file);
+}
+
 }  // namespace
+
+FlowGenPipeline::FlowGenPipeline(PipelineConfig config)
+    : FlowGenPipeline(load_design_file(config), config) {}
 
 FlowGenPipeline::FlowGenPipeline(aig::Aig design, PipelineConfig config)
     : config_(std::move(config)),
-      evaluator_(make_evaluator(std::move(design), config_.service)),
-      space_(config_.repetitions),
+      evaluator_(make_evaluator(std::move(design), config_.service,
+                                config_.registry)),
+      space_(config_.repetitions,
+             config_.registry ? config_.registry
+                              : opt::TransformRegistry::paper()),
       rng_(config_.seed) {
   // Derive the classifier geometry from the space; callers only choose the
   // architecture knobs (filters, kernel, activation).

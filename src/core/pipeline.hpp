@@ -48,6 +48,10 @@ struct PipelineConfig {
   double holdout_fraction = 0.1;
 
   unsigned repetitions = 4;  ///< m; L = n * m
+  /// Transform alphabet the whole pipeline runs over: flow space, one-hot
+  /// width, classifier input shape, evaluator dispatch, store keys and the
+  /// wire all follow it. Null = the paper's 6-transform registry.
+  std::shared_ptr<const opt::TransformRegistry> registry;
   LabelerConfig labeler;
   ClassifierConfig classifier;
 
@@ -63,6 +67,12 @@ struct PipelineConfig {
   /// Where labeling synthesis runs: in-process by default; loopback worker
   /// processes or a remote evald fleet when configured (set `design_id`).
   service::EvalServiceConfig service;
+
+  /// Load the design from a netlist file (aig/reader BLIF) instead of
+  /// passing a built graph: the FlowGenPipeline(PipelineConfig) constructor
+  /// reads this path, and distributed modes ship the loaded netlist to the
+  /// fleet via LoadDesign — off-registry designs end to end from files.
+  std::string design_file;
 };
 
 struct RoundStats {
@@ -102,6 +112,12 @@ public:
   /// serialized netlist (protocol v2 LoadDesign) — the path for circuits
   /// no registry knows.
   FlowGenPipeline(aig::Aig design, PipelineConfig config);
+
+  /// File-ingest form: loads `config.design_file` via aig::read_blif_file
+  /// (throws std::invalid_argument when the path is empty, the reader's
+  /// error when it is unreadable) and proceeds as above — the path for
+  /// designs that exist only as netlist files.
+  explicit FlowGenPipeline(PipelineConfig config);
 
   /// Observe per-round statistics as they are produced.
   void set_round_callback(std::function<void(const RoundStats&)> cb) {

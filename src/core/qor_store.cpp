@@ -21,13 +21,20 @@ namespace {
 
 // On-disk layout (little-endian; docs/qor-store.md is the normative spec):
 //   file header (8 bytes): u32 magic "FQOR", u8 version, u8 0, u16 0
+//   v2 header only: u64 registry_fp[0], u64 registry_fp[1] (16 more bytes)
 //   record:  u32 crc32(payload), u32 payload_len, payload
 //   payload: u64 fp[0], u64 fp[1], u16 num_steps, steps bytes,
 //            u64 bits(area_um2), u64 bits(delay_ps),
 //            u64 num_cells, u64 num_inverters
+// Version 1 carries no registry fingerprint and means "the paper alphabet";
+// a store bound to the paper registry keeps writing v1 files bit for bit,
+// so every pre-registry artifact stays valid and every new paper-registry
+// file stays readable by old readers. Any other alphabet writes v2 headers.
 constexpr std::uint32_t kStoreMagic = 0x46514F52;  // "FQOR"
 constexpr std::uint8_t kStoreVersion = 1;
+constexpr std::uint8_t kStoreVersionRegistry = 2;
 constexpr std::size_t kFileHeaderBytes = 8;
+constexpr std::size_t kRegistryHeaderBytes = kFileHeaderBytes + 16;
 constexpr std::size_t kRecordHeaderBytes = 8;
 /// A payload is 50 bytes + one per step and steps are capped at 64Ki, so
 /// 1 MiB rejects corrupt lengths without bounding real records.
@@ -64,7 +71,10 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 }  // namespace
 
-QorStore::QorStore(QorStoreConfig config) : config_(std::move(config)) {
+QorStore::QorStore(QorStoreConfig config)
+    : config_(std::move(config)),
+      registry_(config_.registry ? config_.registry
+                                 : opt::TransformRegistry::paper()) {
   namespace fs = std::filesystem;
   if (config_.dir.empty()) {
     throw QorStoreError("QorStore: empty store directory");
@@ -116,12 +126,21 @@ QorStore::QorStore(QorStoreConfig config) : config_(std::move(config)) {
       throw QorStoreError("QorStore: cannot truncate '" + writer_path_ + "'");
     }
   } else {
-    // Fresh (or unreadably corrupt) file: start it over with a header.
+    // Fresh (or unreadably corrupt) file: start it over with a header. The
+    // paper registry writes the original v1 header (its files stay byte
+    // identical to pre-registry stores); other alphabets stamp their
+    // fingerprint into a v2 header.
     std::vector<std::uint8_t> header;
     put_u32(header, kStoreMagic);
-    header.push_back(kStoreVersion);
+    const bool paper = registry_->is_paper();
+    header.push_back(paper ? kStoreVersion : kStoreVersionRegistry);
     header.push_back(0);
     put_u16(header, 0);
+    if (!paper) {
+      const opt::RegistryFingerprint& fp = registry_->fingerprint();
+      put_u64(header, fp[0]);
+      put_u64(header, fp[1]);
+    }
     if (::ftruncate(fd_, 0) != 0 ||
         ::write(fd_, header.data(), header.size()) !=
             static_cast<ssize_t>(header.size())) {
@@ -144,14 +163,37 @@ std::uint64_t QorStore::load_file(const std::string& path) {
   std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
                                  std::istreambuf_iterator<char>());
   if (data.size() < kFileHeaderBytes || get_u32(data.data()) != kStoreMagic ||
-      data[4] != kStoreVersion) {
+      (data[4] != kStoreVersion && data[4] != kStoreVersionRegistry)) {
     util::log_warn("QorStore: ", path, " has no valid header — skipped");
     stats_.tail_bytes_dropped += data.size();
     return 0;
   }
-  ++stats_.files_loaded;
-
+  // Alphabet check before any record is indexed: v1 files are keyed by the
+  // paper registry by definition, v2 files carry their registry's
+  // fingerprint. A mismatch means the directory mixes alphabets — the step
+  // bytes of those records name different transforms — and loading them
+  // would be silent label corruption, so it is a typed error, never a skip.
+  opt::RegistryFingerprint file_registry = opt::paper_registry_fingerprint();
   std::size_t pos = kFileHeaderBytes;
+  if (data[4] == kStoreVersionRegistry) {
+    if (data.size() < kRegistryHeaderBytes) {
+      util::log_warn("QorStore: ", path, " has a torn v2 header — skipped");
+      stats_.tail_bytes_dropped += data.size();
+      return 0;
+    }
+    file_registry[0] = get_u64(data.data() + kFileHeaderBytes);
+    file_registry[1] = get_u64(data.data() + kFileHeaderBytes + 8);
+    pos = kRegistryHeaderBytes;
+  }
+  if (file_registry != registry_->fingerprint()) {
+    throw QorStoreError(
+        "QorStore: '" + path + "' is keyed by registry " +
+        opt::registry_fingerprint_hex(file_registry) +
+        " but this store uses " +
+        opt::registry_fingerprint_hex(registry_->fingerprint()) +
+        " — refusing to mix alphabets in one directory");
+  }
+  ++stats_.files_loaded;
   while (true) {
     if (data.size() - pos < kRecordHeaderBytes) break;  // torn/EOF
     const std::uint32_t crc = get_u32(data.data() + pos);
@@ -170,9 +212,19 @@ std::uint64_t QorStore::load_file(const std::string& path) {
     const std::uint16_t num_steps = get_u16(payload + 16);
     if (len != 50u + num_steps) break;
     key.steps.reserve(num_steps);
+    bool steps_valid = true;
     for (std::uint16_t i = 0; i < num_steps; ++i) {
-      key.steps.push_back(static_cast<opt::TransformKind>(payload[18 + i]));
+      const opt::StepId s = payload[18 + i];
+      // The file's registry fingerprint matched, so every step byte must
+      // name one of its specs; an out-of-range id is corruption and stops
+      // the scan like any other invalid record.
+      if (s >= registry_->size()) {
+        steps_valid = false;
+        break;
+      }
+      key.steps.push_back(s);
     }
+    if (!steps_valid) break;
     const std::uint8_t* q = payload + 18 + num_steps;
     map::QoR qor;
     qor.area_um2 = std::bit_cast<double>(get_u64(q));
@@ -208,6 +260,7 @@ std::optional<map::QoR> QorStore::lookup(const aig::Fingerprint& design,
 bool QorStore::append(const aig::Fingerprint& design, StepsView steps,
                       const map::QoR& qor) {
   if (steps.size() > 0xFFFF) throw QorStoreError("flow too long for record");
+  registry_->validate_steps(steps);  // no undefined step byte ever persists
   std::lock_guard lock(mutex_);
   Key key{design, StepsKey(steps.begin(), steps.end())};
   if (index_.contains(key)) return false;
@@ -217,9 +270,7 @@ bool QorStore::append(const aig::Fingerprint& design, StepsView steps,
   put_u64(payload, design[0]);
   put_u64(payload, design[1]);
   put_u16(payload, static_cast<std::uint16_t>(steps.size()));
-  for (const opt::TransformKind s : steps) {
-    payload.push_back(static_cast<std::uint8_t>(s));
-  }
+  payload.insert(payload.end(), steps.begin(), steps.end());
   put_u64(payload, std::bit_cast<std::uint64_t>(qor.area_um2));
   put_u64(payload, std::bit_cast<std::uint64_t>(qor.delay_ps));
   put_u64(payload, static_cast<std::uint64_t>(qor.num_cells));

@@ -53,6 +53,13 @@ struct QorStoreConfig {
   /// fsync after every append. Off, a crash can lose the last few records
   /// (the OS flushes eventually); recovery still reads everything flushed.
   bool fsync_each_append = false;
+  /// The transform alphabet whose step ids this store's records are keyed
+  /// by; null = the paper registry. Paper-registry stores write the
+  /// original v1 file format byte for byte; any other alphabet stamps its
+  /// fingerprint into a v2 header. Loading a directory that contains a log
+  /// written under a *different* alphabet throws QorStoreError — labels
+  /// must never silently change meaning.
+  std::shared_ptr<const opt::TransformRegistry> registry;
 };
 
 struct QorStoreStats {
@@ -102,6 +109,14 @@ public:
   /// Full path of the log file this process appends to.
   const std::string& writer_path() const { return writer_path_; }
 
+  /// Fingerprint of the alphabet this store's records are keyed by.
+  const opt::RegistryFingerprint& registry_fingerprint() const {
+    return registry_->fingerprint();
+  }
+  const std::shared_ptr<const opt::TransformRegistry>& registry() const {
+    return registry_;
+  }
+
 private:
   struct Key {
     aig::Fingerprint design;
@@ -122,6 +137,7 @@ private:
 
   mutable std::mutex mutex_;
   QorStoreConfig config_;
+  std::shared_ptr<const opt::TransformRegistry> registry_;
   std::string writer_path_;
   int fd_ = -1;
   std::unordered_map<Key, map::QoR, KeyHash> index_;

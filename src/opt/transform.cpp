@@ -2,10 +2,7 @@
 
 #include <stdexcept>
 
-#include "opt/balance.hpp"
-#include "opt/refactor.hpp"
-#include "opt/restructure.hpp"
-#include "opt/rewrite.hpp"
+#include "opt/registry.hpp"
 
 namespace flowgen::opt {
 
@@ -45,58 +42,15 @@ AnalyzedTransform apply_transform_analyzed(const aig::Aig& in,
                                            TransformKind kind,
                                            aig::AnalysisCache* in_analysis,
                                            bool derive_output) {
-  AnalyzedTransform result;
-  // Balance rebuilds the whole graph from supergates — no damage report, so
-  // the output starts with an empty (lazily filled) cache.
-  if (kind == TransformKind::kBalance) {
-    result.graph = balance(in);
-    if (derive_output) {
-      result.analysis = std::make_shared<aig::AnalysisCache>(result.graph);
-    }
-    return result;
+  // A TransformKind is exactly the paper registry's spec at the same id
+  // (the enum values define the paper alphabet order), so the fixed-set API
+  // is a thin veneer over spec dispatch.
+  const auto id = static_cast<StepId>(kind);
+  if (id >= TransformRegistry::paper()->size()) {
+    throw std::invalid_argument("unknown transform kind");
   }
-
-  // Deriving needs the input's cache to carry from; make a pass-local one
-  // when the caller has none (it still pays for itself within the pass).
-  std::unique_ptr<aig::AnalysisCache> local;
-  if (in_analysis == nullptr && derive_output) {
-    local = std::make_unique<aig::AnalysisCache>(in);
-    in_analysis = local.get();
-  }
-  aig::RebuildInfo rebuild;
-  aig::RebuildInfo* rb = derive_output ? &rebuild : nullptr;
-  switch (kind) {
-    case TransformKind::kBalance:
-      break;  // handled above
-    case TransformKind::kRestructure:
-      result.graph = restructure(in, {}, in_analysis, rb);
-      break;
-    case TransformKind::kRewrite:
-      result.graph = rewrite(in, {}, in_analysis, rb);
-      break;
-    case TransformKind::kRefactor:
-      result.graph = refactor(in, {}, in_analysis, rb);
-      break;
-    case TransformKind::kRewriteZ: {
-      RewriteParams p;
-      p.zero_cost = true;
-      result.graph = rewrite(in, p, in_analysis, rb);
-      break;
-    }
-    case TransformKind::kRefactorZ: {
-      RefactorParams p;
-      p.zero_cost = true;
-      result.graph = refactor(in, p, in_analysis, rb);
-      break;
-    }
-    default:
-      throw std::invalid_argument("unknown transform kind");
-  }
-  if (derive_output) {
-    result.analysis =
-        aig::AnalysisCache::derive(in, *in_analysis, rebuild, result.graph);
-  }
-  return result;
+  return apply_spec_analyzed(in, TransformRegistry::paper()->spec(id),
+                             in_analysis, derive_output);
 }
 
 aig::Aig apply_flow(const aig::Aig& in, std::span<const TransformKind> flow) {

@@ -1,8 +1,11 @@
 #pragma once
 // The transform set S of the paper:
 //   S = {balance, restructure, rewrite, refactor, rewrite -z, refactor -z}
-// exposed behind a uniform registry so flows are just sequences of
-// TransformKind (or names, matching the ABC command names as in the paper).
+// as a fixed enum, kept as the convenience API for the paper alphabet. The
+// general mechanism is opt/registry.hpp: a TransformRegistry of typed,
+// parameterized specs whose default instance reproduces this set
+// bit-identically at ids 0..5 — every function here dispatches through the
+// paper registry's specs.
 
 #include <cstdint>
 #include <memory>

@@ -42,7 +42,10 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
                                  std::string design_id,
                                  const aig::Aig* netlist,
                                  CoordinatorConfig config)
-    : design_id_(std::move(design_id)), config_(config) {
+    : design_id_(std::move(design_id)),
+      registry_(config.registry ? config.registry
+                                : opt::TransformRegistry::paper()),
+      config_(config) {
   config_.max_inflight_per_worker =
       std::max<std::size_t>(1, config_.max_inflight_per_worker);
   config_.shards_per_worker =
@@ -55,9 +58,15 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
     blob = aig::encode_binary(*netlist);
     want = netlist->fingerprint();
   }
+  // Alphabet: encoded once; shipped only to workers whose HelloAck does
+  // not already echo its fingerprint.
+  const std::vector<std::uint8_t> registry_blob = registry_->encode();
+  const opt::RegistryFingerprint registry_fp = registry_->fingerprint();
   const bool registry = !netlist && !design_id_.empty();
-  const auto hello =
-      encode_hello({kProtocolVersion, registry ? design_id_ : ""});
+  HelloMsg hello_msg;
+  hello_msg.design_id = registry ? design_id_ : "";
+  hello_msg.registry = registry_fp;
+  const auto hello = encode_hello(hello_msg);
   for (Worker& w : workers) {
     WorkerState state;
     state.sock = std::move(w.sock);
@@ -73,6 +82,12 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
                          " speaks protocol v",
                          static_cast<int>(acked.version), ", want v",
                          static_cast<int>(kProtocolVersion), " — dropped");
+        } else if (acked.registry != registry_fp &&
+                   !ship_registry(state, registry_blob, registry_fp)) {
+          // Alphabet first — before any design lands — so a shipped
+          // netlist is instantiated under the registry requests will
+          // actually name, not the worker's default. ship_registry logged
+          // the reason for the drop.
         } else if (netlist) {
           state.alive = ship_design(state, blob, want);
         } else if (!registry) {
@@ -114,6 +129,61 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
     throw ServiceError("no worker completed the handshake for design '" +
                        design_id_ + "'");
   }
+}
+
+bool EvalCoordinator::ship_registry(WorkerState& worker,
+                                    std::span<const std::uint8_t> blob,
+                                    const opt::RegistryFingerprint& fp) {
+  try {
+    send_frame(worker.sock, MsgType::kLoadRegistry, blob,
+               config_.request_timeout_ms);
+    const auto ack = recv_frame(worker.sock, config_.request_timeout_ms);
+    if (ack && ack->type == MsgType::kLoadRegistryAck) {
+      if (decode_load_registry_ack(ack->payload) == fp) return true;
+      util::log_warn("coordinator: worker ", worker.name,
+                     " acked the wrong registry fingerprint");
+    } else if (ack && ack->type == MsgType::kError) {
+      const ErrorMsg err = decode_error(ack->payload);
+      util::log_warn("coordinator: worker ", worker.name,
+                     " rejected registry: ", err.message);
+    } else {
+      util::log_warn("coordinator: worker ", worker.name,
+                     " failed the registry load");
+    }
+  } catch (const std::exception& e) {
+    util::log_warn("coordinator: worker ", worker.name,
+                   " lost during registry load: ", e.what());
+  }
+  return false;
+}
+
+void EvalCoordinator::load_registry(
+    std::shared_ptr<const opt::TransformRegistry> registry,
+    std::span<const std::uint8_t> blob) {
+  std::lock_guard lock(op_mutex_);
+  if (registry->fingerprint() == registry_->fingerprint()) return;
+  std::vector<std::uint8_t> encoded;
+  if (blob.empty()) {
+    encoded = registry->encode();
+    blob = encoded;
+  }
+  std::deque<std::size_t> no_pending;  // no batch in flight between batches
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].alive) continue;
+    if (!ship_registry(workers_[w], blob, registry->fingerprint())) {
+      lose_worker(w, no_pending, "registry load failed");
+    }
+  }
+  if (num_alive_unlocked() == 0) {
+    throw ServiceError("no worker accepted registry " +
+                       opt::registry_fingerprint_hex(
+                           registry->fingerprint()));
+  }
+  registry_ = std::move(registry);
+  // Directory-rooted stores follow the alphabet (paper labels in the root,
+  // others in reg-<fp16>/); an explicitly attached store stays put and the
+  // evaluate-time guard turns any mismatch into a typed error.
+  open_store_for_registry_unlocked();
 }
 
 bool EvalCoordinator::ship_design(WorkerState& worker,
@@ -243,6 +313,7 @@ bool EvalCoordinator::dispatch(std::size_t w, std::size_t shard_idx,
   EvalRequestMsg req;
   req.request_id = next_request_id_++;
   req.design = design_fp_;
+  req.registry = registry_->fingerprint();
   req.flows.reserve(shards[shard_idx].indices.size());
   for (const std::size_t i : shards[shard_idx].indices) {
     req.flows.push_back(flows[i].steps);
@@ -271,13 +342,53 @@ std::vector<map::QoR> EvalCoordinator::evaluate_many(
 }
 
 std::vector<map::QoR> EvalCoordinator::evaluate_many_for(
-    const aig::Fingerprint& fp, std::span<const core::Flow> flows) {
+    const aig::Fingerprint& fp, const opt::RegistryFingerprint& registry,
+    std::span<const core::Flow> flows) {
   std::lock_guard lock(op_mutex_);
   if (fp != design_fp_) {
     throw ServiceError("design " + aig::fingerprint_hex(fp) +
                        " is not the fleet's current design");
   }
+  if (registry != registry_->fingerprint()) {
+    throw ServiceError("registry " + opt::registry_fingerprint_hex(registry) +
+                       " is not the fleet's current alphabet");
+  }
   return evaluate_many_unlocked(flows);
+}
+
+void EvalCoordinator::attach_store(std::shared_ptr<core::QorStore> store) {
+  std::lock_guard lock(op_mutex_);
+  if (store &&
+      store->registry_fingerprint() != registry_->fingerprint()) {
+    // Store records are (design fp, packed steps) — under a different
+    // alphabet the same bytes mean different flows. Loud and typed.
+    throw opt::RegistryError(
+        "attach_store: QorStore registry fingerprint " +
+        opt::registry_fingerprint_hex(store->registry_fingerprint()) +
+        " does not match the fleet's " +
+        opt::registry_fingerprint_hex(registry_->fingerprint()));
+  }
+  store_root_.clear();  // explicit store wins over directory mode
+  store_ = std::move(store);
+}
+
+void EvalCoordinator::attach_store_dir(std::string root) {
+  std::lock_guard lock(op_mutex_);
+  store_root_ = std::move(root);
+  open_store_for_registry_unlocked();
+}
+
+void EvalCoordinator::open_store_for_registry_unlocked() {
+  if (store_root_.empty()) return;
+  core::QorStoreConfig config;
+  config.dir =
+      registry_->is_paper()
+          ? store_root_
+          : store_root_ + "/reg-" +
+                opt::registry_fingerprint_hex(registry_->fingerprint())
+                    .substr(0, 16);
+  config.registry = registry_;
+  store_ = std::make_shared<core::QorStore>(std::move(config));
 }
 
 std::vector<map::QoR> EvalCoordinator::evaluate_many_unlocked(
@@ -289,6 +400,19 @@ std::vector<map::QoR> EvalCoordinator::evaluate_many_unlocked(
     throw ServiceError(
         "evaluate_many on a deferred fleet: load a design first");
   }
+  if (store_ &&
+      store_->registry_fingerprint() != registry_->fingerprint()) {
+    // load_registry switched alphabets after the store was attached; its
+    // labels no longer describe these step bytes.
+    throw opt::RegistryError(
+        "evaluate_many: attached QorStore is keyed by registry " +
+        opt::registry_fingerprint_hex(store_->registry_fingerprint()) +
+        " but the fleet now serves " +
+        opt::registry_fingerprint_hex(registry_->fingerprint()));
+  }
+  // Alphabet guard mirroring SynthesisEvaluator::evaluate — a stray id
+  // fails here, typed, before any frame or store write.
+  for (const core::Flow& f : flows) registry_->validate_steps(f.steps);
 
   // Labels already in the store never cross the wire: answer them locally
   // and dispatch only the remainder.

@@ -21,6 +21,13 @@
 // tagged with the design's content fingerprint, and an attached QorStore
 // short-circuits already-labeled flows before any frame is sent — and
 // persists every fresh response as it arrives.
+//
+// Protocol v3 additions: the fleet's transform alphabet is a
+// TransformRegistry (CoordinatorConfig::registry; paper by default).
+// Workers that do not already serve its fingerprint get the specs via
+// LoadRegistry at handshake, every request carries the registry
+// fingerprint next to the design's, and load_registry switches a live
+// fleet to a new alphabet the way load_design switches designs.
 
 #include <cstdint>
 #include <deque>
@@ -49,6 +56,11 @@ public:
 };
 
 struct CoordinatorConfig {
+  /// The transform alphabet this fleet evaluates under; null = the paper
+  /// registry. Workers that do not ack its fingerprint at handshake are
+  /// sent the specs via LoadRegistry (and dropped if they still disagree);
+  /// every EvalRequest carries the fingerprint.
+  std::shared_ptr<const opt::TransformRegistry> registry;
   /// Deadline for one shard round-trip. Generous by default: a shard is
   /// hundreds of full synthesis flows.
   int request_timeout_ms = 10 * 60 * 1000;
@@ -110,10 +122,12 @@ public:
   std::vector<map::QoR> evaluate_many(std::span<const core::Flow> flows);
 
   /// evaluate_many that first verifies, under the same lock, that the
-  /// fleet still serves `fp` — the check a concurrent server connection
-  /// needs (a plain fingerprint test followed by evaluate_many races with
-  /// another client's load_design). Throws ServiceError on mismatch.
+  /// fleet still serves design `fp` under alphabet `registry` — the check
+  /// a concurrent server connection needs (a plain fingerprint test
+  /// followed by evaluate_many races with another client's
+  /// load_design/load_registry). Throws ServiceError on mismatch.
   std::vector<map::QoR> evaluate_many_for(const aig::Fingerprint& fp,
+                                          const opt::RegistryFingerprint& registry,
                                           std::span<const core::Flow> flows);
 
   /// Switch the fleet to a new design: broadcast its serialized form to
@@ -125,11 +139,31 @@ public:
   /// Convenience overload: encodes `design` and derives fp/label from it.
   void load_design(const aig::Aig& design);
 
+  /// Switch the fleet to a new transform alphabet: broadcast `blob` (its
+  /// TransformRegistry::encode form; pass empty to re-encode here) via
+  /// LoadRegistry and verify every ack fingerprint. Workers that fail are
+  /// dropped; throws ServiceError when none survive. The evald server mode
+  /// re-broadcasts client registries through this, the same way LoadDesign
+  /// composes.
+  void load_registry(std::shared_ptr<const opt::TransformRegistry> registry,
+                     std::span<const std::uint8_t> blob = {});
+
   /// Share labels across runs/coordinators: consult `store` before
   /// dispatching and append fresh results to it. Call between batches.
-  void attach_store(std::shared_ptr<core::QorStore> store) {
-    store_ = std::move(store);
-  }
+  /// Throws opt::RegistryError when the store is keyed by a different
+  /// alphabet than the fleet currently serves — for a fleet that switches
+  /// alphabets (an evald server fielding LoadRegistry), use
+  /// attach_store_dir instead.
+  void attach_store(std::shared_ptr<core::QorStore> store);
+
+  /// Directory-rooted variant: open a QorStore for the fleet's *current*
+  /// alphabet (the root itself for the paper registry, a reg-<fp16>
+  /// subdirectory for any other — the same layout evald workers use) and
+  /// re-open automatically whenever load_registry switches alphabets.
+  /// This is how `evald --mode server --store DIR` serves every alphabet
+  /// without ever mixing labels. Throws QorStoreError if the store cannot
+  /// be opened.
+  void attach_store_dir(std::string root);
 
   std::size_t num_workers_alive() const;
   /// Snapshot of the scheduling counters (quiescent between batches).
@@ -147,6 +181,11 @@ public:
   aig::Fingerprint design_fingerprint() const {
     std::lock_guard lock(op_mutex_);
     return design_fp_;
+  }
+  /// Fingerprint of the alphabet the fleet currently evaluates under.
+  opt::RegistryFingerprint registry_fingerprint() const {
+    std::lock_guard lock(op_mutex_);
+    return registry_->fingerprint();
   }
   /// Both identity fields under one lock — a consistent snapshot. Server
   /// connections must ack (id, fingerprint) pairs from here: two separate
@@ -191,11 +230,19 @@ private:
   void load_design_unlocked(std::span<const std::uint8_t> blob,
                             const aig::Fingerprint& fp, std::string label);
 
+  /// (Re)open the per-alphabet store under store_root_; no-op when no
+  /// root is attached. Requires op_mutex_ held.
+  void open_store_for_registry_unlocked();
+
   void lose_worker(std::size_t w, std::deque<std::size_t>& pending,
                    const char* why);
   /// LoadDesign/LoadDesignAck round-trip with one worker; false = failed.
   bool ship_design(WorkerState& worker, std::span<const std::uint8_t> blob,
                    const aig::Fingerprint& fp);
+  /// LoadRegistry/LoadRegistryAck round-trip; false = failed.
+  bool ship_registry(WorkerState& worker,
+                     std::span<const std::uint8_t> blob,
+                     const opt::RegistryFingerprint& fp);
   bool dispatch(std::size_t w, std::size_t shard_idx,
                 std::span<const core::Flow> flows,
                 const std::vector<Shard>& shards);
@@ -205,9 +252,11 @@ private:
   std::vector<WorkerState> workers_;
   std::string design_id_;
   aig::Fingerprint design_fp_ = kNoDesign;
+  std::shared_ptr<const opt::TransformRegistry> registry_;
   CoordinatorConfig config_;
   CoordinatorStats stats_;
   std::shared_ptr<core::QorStore> store_;
+  std::string store_root_;  ///< non-empty = attach_store_dir mode
   std::uint64_t next_request_id_ = 1;
   std::function<void(std::size_t)> response_observer_;
 };

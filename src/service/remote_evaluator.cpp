@@ -21,6 +21,12 @@ std::unique_ptr<RemoteEvaluator> RemoteEvaluator::loopback(
   WorkerOptions options;
   options.design_id = design_id;
   options.evaluator = evaluator_config;
+  // One registry knob is enough for a loopback fleet: the evaluator's
+  // alphabet is the fleet's alphabet (children are then born with it and
+  // the handshake never needs a LoadRegistry).
+  if (!coordinator_config.registry) {
+    coordinator_config.registry = evaluator_config.registry;
+  }
   auto cluster = std::make_unique<LoopbackCluster>(num_workers, options);
   auto coordinator = std::make_unique<EvalCoordinator>(
       cluster->take_workers(), design_id, coordinator_config);
@@ -34,6 +40,9 @@ std::unique_ptr<RemoteEvaluator> RemoteEvaluator::loopback_netlist(
     CoordinatorConfig coordinator_config) {
   WorkerOptions options;  // design-less: the netlist arrives via LoadDesign
   options.evaluator = evaluator_config;
+  if (!coordinator_config.registry) {
+    coordinator_config.registry = evaluator_config.registry;
+  }
   auto cluster = std::make_unique<LoopbackCluster>(num_workers, options);
   auto coordinator = std::make_unique<EvalCoordinator>(
       cluster->take_workers(), design, coordinator_config);

@@ -139,6 +139,8 @@ std::vector<std::uint8_t> encode_hello(const HelloMsg& m) {
   Writer w;
   w.u8(m.version);
   w.str(m.design_id);
+  w.u64(m.registry[0]);
+  w.u64(m.registry[1]);
   return w.take();
 }
 
@@ -148,10 +150,20 @@ std::vector<std::uint8_t> encode_hello_ack(const HelloAckMsg& m) {
   w.str(m.design_id);
   w.u64(m.fingerprint[0]);
   w.u64(m.fingerprint[1]);
+  w.u64(m.registry[0]);
+  w.u64(m.registry[1]);
   return w.take();
 }
 
 std::vector<std::uint8_t> encode_load_design_ack(const aig::Fingerprint& fp) {
+  Writer w;
+  w.u64(fp[0]);
+  w.u64(fp[1]);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_load_registry_ack(
+    const opt::RegistryFingerprint& fp) {
   Writer w;
   w.u64(fp[0]);
   w.u64(fp[1]);
@@ -163,13 +175,13 @@ std::vector<std::uint8_t> encode_eval_request(const EvalRequestMsg& m) {
   w.u64(m.request_id);
   w.u64(m.design[0]);
   w.u64(m.design[1]);
+  w.u64(m.registry[0]);
+  w.u64(m.registry[1]);
   w.u32(static_cast<std::uint32_t>(m.flows.size()));
   for (const core::StepsKey& steps : m.flows) {
     if (steps.size() > 0xFFFF) throw WireError("flow too long");
     w.u16(static_cast<std::uint16_t>(steps.size()));
-    for (const opt::TransformKind s : steps) {
-      w.u8(static_cast<std::uint8_t>(s));
-    }
+    for (const opt::StepId s : steps) w.u8(s);
   }
   return w.take();
 }
@@ -205,6 +217,8 @@ HelloMsg decode_hello(std::span<const std::uint8_t> payload) {
   HelloMsg m;
   m.version = r.u8();
   m.design_id = r.str();
+  m.registry[0] = r.u64();
+  m.registry[1] = r.u64();
   r.expect_end();
   return m;
 }
@@ -216,6 +230,8 @@ HelloAckMsg decode_hello_ack(std::span<const std::uint8_t> payload) {
   m.design_id = r.str();
   m.fingerprint[0] = r.u64();
   m.fingerprint[1] = r.u64();
+  m.registry[0] = r.u64();
+  m.registry[1] = r.u64();
   r.expect_end();
   return m;
 }
@@ -230,12 +246,24 @@ aig::Fingerprint decode_load_design_ack(
   return fp;
 }
 
+opt::RegistryFingerprint decode_load_registry_ack(
+    std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  opt::RegistryFingerprint fp;
+  fp[0] = r.u64();
+  fp[1] = r.u64();
+  r.expect_end();
+  return fp;
+}
+
 EvalRequestMsg decode_eval_request(std::span<const std::uint8_t> payload) {
   Reader r(payload);
   EvalRequestMsg m;
   m.request_id = r.u64();
   m.design[0] = r.u64();
   m.design[1] = r.u64();
+  m.registry[0] = r.u64();
+  m.registry[1] = r.u64();
   const std::uint32_t count = r.u32();
   if (count > r.remaining() / 2) {  // every flow costs >= 2 length bytes
     throw WireError("flow count exceeds payload");
@@ -244,12 +272,7 @@ EvalRequestMsg decode_eval_request(std::span<const std::uint8_t> payload) {
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint16_t len = r.u16();
     const auto raw = r.bytes(len);
-    core::StepsKey steps;
-    steps.reserve(len);
-    for (const std::uint8_t b : raw) {
-      steps.push_back(static_cast<opt::TransformKind>(b));
-    }
-    m.flows.push_back(std::move(steps));
+    m.flows.emplace_back(raw.begin(), raw.end());
   }
   r.expect_end();
   return m;

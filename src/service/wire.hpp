@@ -4,11 +4,16 @@
 // same packed uint8 step encoding core/flow_cache keys on, so a request is
 // essentially a batch of StepsKeys and a response a batch of QoRs.
 //
-// Version 2 makes the fleet design-agnostic: LoadDesign ships a serialized
+// Version 2 made the fleet design-agnostic: LoadDesign ships a serialized
 // netlist (aig/serialize.hpp) to a worker, every EvalRequest names its
 // design by 128-bit content fingerprint, and HelloAck reports the version
-// and fingerprint the worker actually serves. docs/protocol.md is the
-// normative description of the format.
+// and fingerprint the worker actually serves. Version 3 does the same for
+// the transform *alphabet*: LoadRegistry ships a TransformRegistry
+// (opt/registry.hpp) once per connection, Hello/HelloAck carry registry
+// fingerprints, and every EvalRequest names the registry its packed step
+// bytes are ids into — one fleet serves many alphabets the way v2 made it
+// serve many designs. docs/protocol.md is the normative description of the
+// format.
 
 #include <cstdint>
 #include <optional>
@@ -19,14 +24,15 @@
 #include "aig/aig.hpp"
 #include "core/flow.hpp"
 #include "map/qor.hpp"
+#include "opt/registry.hpp"
 #include "service/transport.hpp"
 
 namespace flowgen::service {
 
 /// Bumped on any incompatible frame or payload change. Carried in every
 /// frame header and in Hello/HelloAck; both sides reject mismatches
-/// instead of guessing (v1 peers are refused at the first frame).
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// instead of guessing (v1/v2 peers are refused at the first frame).
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// "FLOW" — rejects stray connections speaking the wrong protocol.
 inline constexpr std::uint32_t kFrameMagic = 0x464C4F57;
@@ -52,6 +58,8 @@ enum class MsgType : std::uint8_t {
   kPong = 8,
   kLoadDesign = 9,     ///< client -> worker: serialized AIG (v2)
   kLoadDesignAck = 10, ///< worker -> client: fingerprint now loaded (v2)
+  kLoadRegistry = 11,  ///< client -> worker: encoded TransformRegistry (v3)
+  kLoadRegistryAck = 12, ///< worker -> client: registry fp now loaded (v3)
 };
 
 /// Malformed frame or payload bytes (bad magic/version/length, truncated
@@ -87,25 +95,36 @@ std::optional<Frame> recv_frame(Socket& sock, int timeout_ms = -1);
 /// Handshake opener. `design_id` names a designs::make_design circuit the
 /// worker should elaborate; empty means "no registry design" — the client
 /// either ships netlists via LoadDesign or uses whatever the worker has.
+/// `registry` is the fingerprint of the transform alphabet the client
+/// intends to evaluate under (the paper registry by default); the ack tells
+/// the client whether it must ship the specs via LoadRegistry.
 struct HelloMsg {
   std::uint8_t version = kProtocolVersion;
   std::string design_id;
+  opt::RegistryFingerprint registry = opt::paper_registry_fingerprint();
 };
 
-/// Handshake answer: the protocol version the worker speaks and the
-/// identity (registry id when known, content fingerprint always) of its
-/// current design — kNoDesign and an empty id before any is configured.
+/// Handshake answer: the protocol version the worker speaks, the identity
+/// (registry id when known, content fingerprint always) of its current
+/// design — kNoDesign and an empty id before any is configured — and
+/// `registry`, which echoes the Hello's registry fingerprint iff the
+/// worker has that alphabet loaded (every worker is born with the paper
+/// registry); otherwise the worker's fallback (paper) fingerprint, telling
+/// the client to ship a LoadRegistry before evaluating.
 struct HelloAckMsg {
   std::uint8_t version = kProtocolVersion;
   std::string design_id;
   aig::Fingerprint fingerprint = kNoDesign;
+  opt::RegistryFingerprint registry = opt::paper_registry_fingerprint();
 };
 
-/// A batch of flows to evaluate against the design named by `design`.
-/// The worker answers kError if that fingerprint is not loaded.
+/// A batch of flows to evaluate against the design named by `design`,
+/// whose packed step bytes are ids into the alphabet named by `registry`.
+/// The worker answers kError if either fingerprint is not loaded.
 struct EvalRequestMsg {
   std::uint64_t request_id = 0;
   aig::Fingerprint design = kNoDesign;
+  opt::RegistryFingerprint registry = opt::paper_registry_fingerprint();
   std::vector<core::StepsKey> flows;
 };
 
@@ -129,9 +148,13 @@ std::vector<std::uint8_t> encode_eval_request(const EvalRequestMsg& m);
 std::vector<std::uint8_t> encode_eval_response(const EvalResponseMsg& m);
 std::vector<std::uint8_t> encode_error(const ErrorMsg& m);
 std::vector<std::uint8_t> encode_u64(std::uint64_t value);  // ping/pong
-/// LoadDesign's payload is exactly the aig::encode_binary blob — no extra
-/// wrapping, so this encoder is the identity and is not spelled out.
+/// LoadDesign's payload is exactly the aig::encode_binary blob, and
+/// LoadRegistry's exactly the TransformRegistry::encode blob — no extra
+/// wrapping, so those encoders are the identity and are not spelled out.
 std::vector<std::uint8_t> encode_load_design_ack(const aig::Fingerprint& fp);
+/// LoadRegistryAck: the 16-byte registry fingerprint now loaded.
+std::vector<std::uint8_t> encode_load_registry_ack(
+    const opt::RegistryFingerprint& fp);
 
 /// Decoders throw WireError on truncated or trailing bytes.
 HelloMsg decode_hello(std::span<const std::uint8_t> payload);
@@ -141,5 +164,7 @@ EvalResponseMsg decode_eval_response(std::span<const std::uint8_t> payload);
 ErrorMsg decode_error(std::span<const std::uint8_t> payload);
 std::uint64_t decode_u64(std::span<const std::uint8_t> payload);
 aig::Fingerprint decode_load_design_ack(std::span<const std::uint8_t> payload);
+opt::RegistryFingerprint decode_load_registry_ack(
+    std::span<const std::uint8_t> payload);
 
 }  // namespace flowgen::service

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <utility>
 
+#include "aig/reader.hpp"
 #include "aig/serialize.hpp"
 #include "designs/registry.hpp"
 #include "util/log.hpp"
@@ -47,6 +48,17 @@ bool serve_frames(Socket& sock, const EvalService& service) {
                      encode_load_design_ack(fp));
           break;
         }
+        case MsgType::kLoadRegistry: {
+          // decode re-validates every spec; malformed alphabets are a typed
+          // RegistryError, answered as an Error frame below.
+          std::shared_ptr<const opt::TransformRegistry> registry =
+              opt::TransformRegistry::decode(frame->payload);
+          const opt::RegistryFingerprint fp =
+              service.on_load_registry(std::move(registry), frame->payload);
+          send_frame(sock, MsgType::kLoadRegistryAck,
+                     encode_load_registry_ack(fp));
+          break;
+        }
         case MsgType::kEvalRequest: {
           EvalRequestMsg req = decode_eval_request(frame->payload);
           std::vector<core::Flow> flows;
@@ -57,7 +69,8 @@ bool serve_frames(Socket& sock, const EvalService& service) {
           EvalResponseMsg resp;
           resp.request_id = req.request_id;
           try {
-            resp.results = service.on_eval(req.design, std::move(flows));
+            resp.results =
+                service.on_eval(req.design, req.registry, std::move(flows));
           } catch (const std::exception& e) {
             send_frame(sock, MsgType::kError,
                        encode_error({req.request_id, e.what()}));
@@ -150,24 +163,73 @@ void serve_connections(Listener& listener,
 
 EvalWorker::EvalWorker(WorkerOptions options) : options_(std::move(options)) {
   options_.max_designs = std::max<std::size_t>(1, options_.max_designs);
-  if (!options_.qor_store_dir.empty()) {
-    store_ = std::make_shared<core::QorStore>(
-        core::QorStoreConfig{options_.qor_store_dir, "", false});
-  }
+  const auto& registry = default_registry();
+  registries_.emplace(registry->fingerprint(), registry);
+  registries_.emplace(opt::paper_registry_fingerprint(),
+                      opt::TransformRegistry::paper());
+  // Open the default store now (no other thread exists yet): an unusable
+  // --store directory should fail worker startup, not the first request.
+  if (!options_.qor_store_dir.empty()) store_locked(registry);
   if (!options_.design_id.empty()) {
     std::lock_guard lock(mutex_);
-    ensure_registry_locked(options_.design_id);
+    ensure_design_locked(options_.design_id, registry);
+  }
+  if (!options_.design_file.empty()) {
+    aig::Aig design = aig::read_blif_file(options_.design_file);
+    std::lock_guard lock(mutex_);
+    adopt_locked(std::move(design), "", registry);
   }
   if (options_.threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
 }
 
+const std::shared_ptr<const opt::TransformRegistry>&
+EvalWorker::default_registry() const {
+  return options_.evaluator.registry ? options_.evaluator.registry
+                                     : opt::TransformRegistry::paper();
+}
+
+std::shared_ptr<const opt::TransformRegistry>
+EvalWorker::find_registry_locked(const opt::RegistryFingerprint& fp) const {
+  const auto it = registries_.find(fp);
+  return it == registries_.end() ? nullptr : it->second;
+}
+
+opt::RegistryFingerprint EvalWorker::load_registry(
+    std::shared_ptr<const opt::TransformRegistry> registry) {
+  const opt::RegistryFingerprint fp = registry->fingerprint();
+  std::lock_guard lock(mutex_);
+  registries_.emplace(fp, std::move(registry));
+  return fp;
+}
+
+std::shared_ptr<core::QorStore> EvalWorker::store_locked(
+    const std::shared_ptr<const opt::TransformRegistry>& registry) {
+  if (options_.qor_store_dir.empty()) return nullptr;
+  const opt::RegistryFingerprint fp = registry->fingerprint();
+  if (const auto it = stores_.find(fp); it != stores_.end()) {
+    return it->second;
+  }
+  // One directory per alphabet: the configured root for the paper registry
+  // (pre-registry stores keep working in place), reg-<fp> below it for any
+  // other — QorStore itself refuses mixed-alphabet directories.
+  core::QorStoreConfig config;
+  config.dir = registry->is_paper()
+                   ? options_.qor_store_dir
+                   : options_.qor_store_dir + "/reg-" +
+                         opt::registry_fingerprint_hex(fp).substr(0, 16);
+  config.registry = registry;
+  auto store = std::make_shared<core::QorStore>(std::move(config));
+  stores_.emplace(fp, store);
+  return store;
+}
+
 std::shared_ptr<core::SynthesisEvaluator> EvalWorker::find(
-    const aig::Fingerprint& fp) {
+    const aig::Fingerprint& fp, const opt::RegistryFingerprint& registry) {
   std::lock_guard lock(mutex_);
   for (auto it = designs_.begin(); it != designs_.end(); ++it) {
-    if (it->fp == fp) {
+    if (it->fp == fp && it->registry == registry) {
       designs_.splice(designs_.begin(), designs_, it);
       return designs_.front().evaluator;
     }
@@ -175,15 +237,21 @@ std::shared_ptr<core::SynthesisEvaluator> EvalWorker::find(
   return nullptr;
 }
 
-EvalWorker::DesignEntry& EvalWorker::adopt_locked(aig::Aig design,
-                                                  std::string design_id) {
+EvalWorker::DesignEntry& EvalWorker::adopt_locked(
+    aig::Aig design, std::string design_id,
+    std::shared_ptr<const opt::TransformRegistry> registry) {
   DesignEntry entry;
   entry.fp = design.fingerprint();
+  entry.registry = registry->fingerprint();
   entry.design_id = std::move(design_id);
+  core::EvaluatorConfig config = options_.evaluator;
+  config.registry = registry;
   entry.evaluator = std::make_shared<core::SynthesisEvaluator>(
       std::move(design), map::CellLibrary::builtin(), map::MapperParams{},
-      options_.evaluator);
-  if (store_) entry.evaluator->attach_store(store_);
+      config);
+  if (const auto store = store_locked(registry)) {
+    entry.evaluator->attach_store(store);
+  }
   designs_.push_front(std::move(entry));
   while (designs_.size() > options_.max_designs) {
     util::log_info("evald worker: evicting design ",
@@ -195,10 +263,12 @@ EvalWorker::DesignEntry& EvalWorker::adopt_locked(aig::Aig design,
   return designs_.front();
 }
 
-EvalWorker::DesignEntry& EvalWorker::ensure_registry_locked(
-    const std::string& design_id) {
+EvalWorker::DesignEntry& EvalWorker::ensure_design_locked(
+    const std::string& design_id,
+    std::shared_ptr<const opt::TransformRegistry> registry) {
   for (auto it = designs_.begin(); it != designs_.end(); ++it) {
-    if (it->design_id == design_id) {
+    if (it->design_id == design_id &&
+        it->registry == registry->fingerprint()) {
       designs_.splice(designs_.begin(), designs_, it);
       return designs_.front();
     }
@@ -206,20 +276,53 @@ EvalWorker::DesignEntry& EvalWorker::ensure_registry_locked(
   // make_design throws std::invalid_argument for unknown ids; the serve
   // loop answers that with an Error frame.
   aig::Aig design = designs::make_design(design_id);
-  return adopt_locked(std::move(design), design_id);
+  return adopt_locked(std::move(design), design_id, std::move(registry));
 }
 
-aig::Fingerprint EvalWorker::load_design(aig::Aig design) {
+aig::Fingerprint EvalWorker::load_design(
+    aig::Aig design, std::shared_ptr<const opt::TransformRegistry> registry) {
   const aig::Fingerprint fp = design.fingerprint();
-  if (find(fp)) return fp;  // already instantiated, caches intact
+  const opt::RegistryFingerprint reg = registry->fingerprint();
+  if (find(fp, reg)) return fp;  // already instantiated, caches intact
   std::lock_guard lock(mutex_);
   // Two clients can race the same netlist here; re-check under the lock so
   // the second shares the first's evaluator instead of replacing it.
   for (const DesignEntry& e : designs_) {
-    if (e.fp == fp) return fp;
+    if (e.fp == fp && e.registry == reg) return fp;
   }
-  adopt_locked(std::move(design), "");
+  adopt_locked(std::move(design), "", std::move(registry));
   return fp;
+}
+
+std::shared_ptr<core::SynthesisEvaluator> EvalWorker::evaluator_for(
+    const aig::Fingerprint& fp, const opt::RegistryFingerprint& registry) {
+  if (auto evaluator = find(fp, registry)) return evaluator;
+  // Pair miss. The design may be instantiated under another alphabet (the
+  // graph is inside that evaluator) and the registry may have arrived via
+  // LoadRegistry — then a fresh evaluator for the pair is one copy away.
+  std::lock_guard lock(mutex_);
+  for (auto it = designs_.begin(); it != designs_.end(); ++it) {
+    if (it->fp == fp && it->registry == registry) {  // raced another client
+      designs_.splice(designs_.begin(), designs_, it);
+      return designs_.front().evaluator;
+    }
+  }
+  std::shared_ptr<const opt::TransformRegistry> reg =
+      find_registry_locked(registry);
+  if (!reg) {
+    throw opt::RegistryError("registry " +
+                             opt::registry_fingerprint_hex(registry) +
+                             " not loaded on this worker");
+  }
+  for (const DesignEntry& e : designs_) {
+    if (e.fp == fp) {
+      aig::Aig design = e.evaluator->design();  // copy under the lock
+      return adopt_locked(std::move(design), e.design_id, std::move(reg))
+          .evaluator;
+    }
+  }
+  throw std::runtime_error("design " + aig::fingerprint_hex(fp) +
+                           " not loaded on this worker");
 }
 
 HelloAckMsg EvalWorker::ack_front_locked() const {
@@ -233,25 +336,49 @@ HelloAckMsg EvalWorker::ack_front_locked() const {
 }
 
 EvalService EvalWorker::make_service() {
+  // Per-connection alphabet: the one the client announced (Hello) or
+  // shipped (LoadRegistry) most recently, so a shipped netlist is
+  // instantiated under the registry the client will actually request with
+  // — not the worker default, which would burn an LRU slot on an
+  // evaluator nobody uses. A connection is served by one thread, so plain
+  // shared state needs no lock.
+  auto conn_registry = std::make_shared<
+      std::shared_ptr<const opt::TransformRegistry>>(default_registry());
   EvalService service;
-  service.on_hello = [this](const HelloMsg& hello) {
+  service.on_hello = [this, conn_registry](const HelloMsg& hello) {
     std::lock_guard lock(mutex_);
-    if (!hello.design_id.empty()) ensure_registry_locked(hello.design_id);
-    return ack_front_locked();
+    // Serve the client's alphabet when we have it; otherwise ack our
+    // default so the client knows to ship a LoadRegistry.
+    std::shared_ptr<const opt::TransformRegistry> registry =
+        find_registry_locked(hello.registry);
+    if (!registry) registry = default_registry();
+    *conn_registry = registry;
+    if (!hello.design_id.empty()) {
+      ensure_design_locked(hello.design_id, registry);
+    }
+    HelloAckMsg ack = ack_front_locked();
+    ack.registry = registry->fingerprint();
+    return ack;
   };
-  service.on_load_design = [this](aig::Aig design,
-                                  std::span<const std::uint8_t>) {
-    return load_design(std::move(design));
+  service.on_load_design = [this, conn_registry](
+                               aig::Aig design,
+                               std::span<const std::uint8_t>) {
+    return load_design(std::move(design), *conn_registry);
   };
+  service.on_load_registry =
+      [this, conn_registry](
+          std::shared_ptr<const opt::TransformRegistry> registry,
+          std::span<const std::uint8_t>) {
+        *conn_registry = registry;
+        return load_registry(std::move(registry));
+      };
   service.on_eval = [this](const aig::Fingerprint& fp,
+                           const opt::RegistryFingerprint& registry,
                            std::vector<core::Flow> flows) {
     // Evaluate outside the designs lock: evaluators are thread-safe, so
     // concurrent connections on the same design share its warm caches.
-    const std::shared_ptr<core::SynthesisEvaluator> evaluator = find(fp);
-    if (!evaluator) {
-      throw std::runtime_error("design " + aig::fingerprint_hex(fp) +
-                               " not loaded on this worker");
-    }
+    const std::shared_ptr<core::SynthesisEvaluator> evaluator =
+        evaluator_for(fp, registry);
     return evaluator->evaluate_many(flows, pool_.get());
   };
   return service;
@@ -282,9 +409,14 @@ EvalService make_coordinator_service(EvalCoordinator& coordinator) {
     // The ack is a consistent (id, fp) snapshot: if another client swapped
     // the design in between, the client sees a coherent *different* design
     // and rejects the handshake loudly instead of mislabeling silently.
+    // The registry field works like the worker's: echo the client's
+    // alphabet iff the fleet already serves it, otherwise answer with the
+    // fleet's current one — the client then ships a LoadRegistry, which is
+    // re-broadcast below.
     HelloAckMsg ack;
     ack.design_id = std::move(id);
     ack.fingerprint = fp;
+    ack.registry = coordinator.registry_fingerprint();
     return ack;
   };
   svc.on_load_design = [&coordinator](aig::Aig design,
@@ -295,11 +427,22 @@ EvalService make_coordinator_service(EvalCoordinator& coordinator) {
     }
     return fp;
   };
+  svc.on_load_registry =
+      [&coordinator](std::shared_ptr<const opt::TransformRegistry> registry,
+                     std::span<const std::uint8_t> blob) {
+        const opt::RegistryFingerprint fp = registry->fingerprint();
+        if (fp != coordinator.registry_fingerprint()) {
+          coordinator.load_registry(std::move(registry), blob);
+        }
+        return fp;
+      };
   svc.on_eval = [&coordinator](const aig::Fingerprint& fp,
+                               const opt::RegistryFingerprint& registry,
                                std::vector<core::Flow> flows) {
-    // Fingerprint check and batch run under one coordinator lock — a plain
-    // check-then-evaluate would race a concurrent client's load_design.
-    return coordinator.evaluate_many_for(fp, flows);
+    // Fingerprint checks and batch run under one coordinator lock — a
+    // plain check-then-evaluate would race a concurrent client's
+    // load_design/load_registry.
+    return coordinator.evaluate_many_for(fp, registry, flows);
   };
   return svc;
 }

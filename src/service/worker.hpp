@@ -12,6 +12,12 @@
 // the registry (Hello naming a design id) or over the wire (LoadDesign
 // shipping a serialized netlist), and every EvalRequest names its design
 // by fingerprint — one fleet multiplexes many designs.
+//
+// Since protocol v3 it is also alphabet-agnostic: transform registries
+// (opt/registry.hpp) arrive over the wire via LoadRegistry, evaluators are
+// keyed by (design fp, registry fp), and every EvalRequest names the
+// alphabet its step bytes are ids into — one fleet multiplexes many
+// alphabets the same way. Every worker is born with the paper registry.
 
 #include <cstddef>
 #include <functional>
@@ -20,7 +26,10 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
+
+#include "opt/registry.hpp"
 
 #include "core/evaluator.hpp"
 #include "core/qor_store.hpp"
@@ -48,10 +57,20 @@ struct EvalService {
   std::function<aig::Fingerprint(aig::Aig design,
                                  std::span<const std::uint8_t> blob)>
       on_load_design;
-  /// Evaluate a batch against the design with fingerprint `design`;
-  /// results must keep flow order. Throw (e.g. design not loaded) to
-  /// answer with an Error frame carrying the request id.
+  /// Handle LoadRegistry. `registry` is the decoded, re-validated alphabet
+  /// and `blob` its raw encoded bytes (for forwarding without
+  /// re-encoding). Return the fingerprint to ack; throw to answer with an
+  /// Error frame.
+  std::function<opt::RegistryFingerprint(
+      std::shared_ptr<const opt::TransformRegistry> registry,
+      std::span<const std::uint8_t> blob)>
+      on_load_registry;
+  /// Evaluate a batch against the design with fingerprint `design`, whose
+  /// step bytes are ids into the alphabet with fingerprint `registry`;
+  /// results must keep flow order. Throw (e.g. design or registry not
+  /// loaded) to answer with an Error frame carrying the request id.
   std::function<std::vector<map::QoR>(const aig::Fingerprint& design,
+                                      const opt::RegistryFingerprint& registry,
                                       std::vector<core::Flow> flows)>
       on_eval;
 };
@@ -80,13 +99,19 @@ struct WorkerOptions {
   /// designs::make_design name elaborated at startup; empty starts the
   /// worker design-less, waiting for a Hello(design id) or a LoadDesign.
   std::string design_id;
+  /// Netlist file (aig/reader BLIF) instantiated at startup — the ingest
+  /// path for designs no generator knows. Combines with design_id (both
+  /// are loaded; the file is the most recently used). Throws on an
+  /// unreadable or malformed file.
+  std::string design_file;
   core::EvaluatorConfig evaluator;
   /// Threads for evaluate_many inside this worker. Loopback clusters keep
   /// this at 1 (parallelism comes from processes); a big remote worker can
   /// raise it to use its whole machine per shard.
   std::size_t threads = 1;
-  /// Instantiated designs kept warm (>= 1). Loading design N+1 evicts the
-  /// least recently evaluated one together with its caches.
+  /// Instantiated (design, registry) evaluators kept warm (>= 1) — the
+  /// same design under two alphabets counts twice. Loading entry N+1
+  /// evicts the least recently evaluated one together with its caches.
   std::size_t max_designs = 4;
   /// Optional persistent QoR store directory: every instantiated design
   /// pre-warms its QoR cache from the store and appends new labels to it,
@@ -128,26 +153,69 @@ public:
 private:
   struct DesignEntry {
     aig::Fingerprint fp;
+    opt::RegistryFingerprint registry;  ///< alphabet the evaluator is bound to
     std::string design_id;  ///< registry name when known, else ""
     /// shared_ptr: a concurrent connection may still be evaluating on an
     /// evaluator the LRU just evicted.
     std::shared_ptr<core::SynthesisEvaluator> evaluator;
   };
+  struct FpHash {
+    std::size_t operator()(const opt::RegistryFingerprint& fp) const noexcept {
+      return static_cast<std::size_t>(fp[0] ^ (fp[1] * 0x9e3779b97f4a7c15ull));
+    }
+  };
 
-  /// Evaluator for `fp`, moved to the LRU front; null when not loaded.
-  std::shared_ptr<core::SynthesisEvaluator> find(const aig::Fingerprint& fp);
-  /// Instantiate (or touch) a registry design. Requires mutex_ held.
-  DesignEntry& ensure_registry_locked(const std::string& design_id);
-  /// Instantiate (or touch) a shipped netlist; returns its fingerprint.
-  aig::Fingerprint load_design(aig::Aig design);
+  /// The worker's default alphabet: options.evaluator.registry or paper.
+  const std::shared_ptr<const opt::TransformRegistry>& default_registry()
+      const;
+  /// Known registry for `fp`, or null. Requires mutex_ held.
+  std::shared_ptr<const opt::TransformRegistry> find_registry_locked(
+      const opt::RegistryFingerprint& fp) const;
+  /// Register an alphabet shipped via LoadRegistry; returns its fp.
+  opt::RegistryFingerprint load_registry(
+      std::shared_ptr<const opt::TransformRegistry> registry);
+  /// Evaluator for the (design, registry) pair, moved to the LRU front;
+  /// null when that exact pair is not instantiated.
+  std::shared_ptr<core::SynthesisEvaluator> find(
+      const aig::Fingerprint& fp, const opt::RegistryFingerprint& registry);
+  /// Evaluator for an EvalRequest: the exact pair if warm, else a fresh
+  /// evaluator for a known design under a known registry. Throws when
+  /// either fingerprint is unknown to this worker.
+  std::shared_ptr<core::SynthesisEvaluator> evaluator_for(
+      const aig::Fingerprint& fp, const opt::RegistryFingerprint& registry);
+  /// Instantiate (or touch) a designs::make_design id under `registry`.
+  /// Requires mutex_ held.
+  DesignEntry& ensure_design_locked(
+      const std::string& design_id,
+      std::shared_ptr<const opt::TransformRegistry> registry);
+  /// Instantiate (or touch) a shipped netlist under `registry` (the
+  /// shipping connection's alphabet); returns its fingerprint.
+  aig::Fingerprint load_design(
+      aig::Aig design, std::shared_ptr<const opt::TransformRegistry> registry);
   /// Insert at LRU front, evicting beyond max_designs. Requires mutex_.
-  DesignEntry& adopt_locked(aig::Aig design, std::string design_id);
+  DesignEntry& adopt_locked(
+      aig::Aig design, std::string design_id,
+      std::shared_ptr<const opt::TransformRegistry> registry);
+  /// Label store for `registry`: the configured directory for the paper
+  /// alphabet, a reg-<fp> subdirectory for any other (one directory never
+  /// mixes alphabets). Null when no store is configured. Requires mutex_.
+  std::shared_ptr<core::QorStore> store_locked(
+      const std::shared_ptr<const opt::TransformRegistry>& registry);
   HelloAckMsg ack_front_locked() const;
 
   WorkerOptions options_;
-  mutable std::mutex mutex_;        ///< guards designs_ (LRU order + set)
+  mutable std::mutex mutex_;        ///< guards designs_/registries_/stores_
   std::list<DesignEntry> designs_;  ///< front = most recently used
-  std::shared_ptr<core::QorStore> store_;
+  /// Alphabets this worker can evaluate under, by fingerprint. Seeded with
+  /// the default registry; grows via LoadRegistry, never shrinks (a
+  /// registry is a few hundred bytes — nothing to evict).
+  std::unordered_map<opt::RegistryFingerprint,
+                     std::shared_ptr<const opt::TransformRegistry>, FpHash>
+      registries_;
+  /// One QorStore per alphabet (lazily opened); see store_locked.
+  std::unordered_map<opt::RegistryFingerprint,
+                     std::shared_ptr<core::QorStore>, FpHash>
+      stores_;
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

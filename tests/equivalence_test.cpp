@@ -27,7 +27,8 @@ TEST_P(FlowEquivalenceTest, RandomFlowPreservesFunction) {
   util::Rng rng(c.seed);
   const core::Flow flow = space.random_flow(rng);
 
-  const aig::Aig out = opt::apply_flow(g, flow.steps);
+  const aig::Aig out =
+      space.registry().apply_steps(g, flow.steps);
   util::Rng sim_rng(c.seed ^ 0xABCDEF);
   EXPECT_TRUE(aig::random_equivalent(g, out, sim_rng, 8))
       << c.design << " flow: " << flow.to_string();
@@ -53,7 +54,8 @@ TEST(FlowEquivalenceTest, LongFlowOnSmallDesign) {
   core::FlowSpace space(4);  // the paper's m = 4, L = 24
   util::Rng rng(99);
   const core::Flow flow = space.random_flow(rng);
-  const aig::Aig out = opt::apply_flow(g, flow.steps);
+  const aig::Aig out =
+      space.registry().apply_steps(g, flow.steps);
   util::Rng sim_rng(1234);
   EXPECT_TRUE(aig::random_equivalent(g, out, sim_rng, 8));
 }

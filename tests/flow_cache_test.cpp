@@ -11,11 +11,9 @@
 namespace flowgen::core {
 namespace {
 
-using opt::TransformKind;
-
 StepsKey key(std::initializer_list<int> steps) {
   StepsKey k;
-  for (int s : steps) k.push_back(static_cast<TransformKind>(s));
+  for (int s : steps) k.push_back(static_cast<opt::StepId>(s));
   return k;
 }
 

@@ -9,6 +9,12 @@
 namespace flowgen::core {
 namespace {
 
+// Step ids of the paper registry (ids 0..5 are the fixed alphabet).
+constexpr opt::StepId kBalance = 0;
+constexpr opt::StepId kRestructure = 1;
+constexpr opt::StepId kRewrite = 2;
+constexpr opt::StepId kRefactor = 3;
+
 /// Brute-force count of L-permutations of n objects with each object used
 /// at most m times.
 std::uint64_t brute_force(unsigned n, unsigned length, unsigned m) {
@@ -104,11 +110,19 @@ TEST(FlowSpaceTest, ContainsRejectsWrongMultiplicity) {
   const FlowSpace space(2);
   Flow f;
   // 12 balances: right length, wrong multiset.
-  f.steps.assign(12, opt::TransformKind::kBalance);
+  f.steps.assign(12, kBalance);
   EXPECT_FALSE(space.contains(f));
   Flow short_flow;
-  short_flow.steps.assign(3, opt::TransformKind::kBalance);
+  short_flow.steps.assign(3, kBalance);
   EXPECT_FALSE(space.contains(short_flow));
+}
+
+TEST(FlowSpaceTest, NullRegistryMeansPaper) {
+  // The convention every config struct follows; a null shared_ptr must
+  // yield the paper space, not a null dereference.
+  const FlowSpace space(2, nullptr);
+  EXPECT_EQ(space.num_transforms(), 6u);
+  EXPECT_TRUE(space.registry().is_paper());
 }
 
 TEST(FlowSpaceTest, SampleUniqueIsUnique) {
@@ -126,7 +140,7 @@ TEST(FlowSpaceTest, SampleUniqueIsUnique) {
 TEST(FlowSpaceTest, SampleUniqueCanExhaustTinySpace) {
   // m=1 over a 2-transform subset: space size = 2.
   const FlowSpace space(
-      1, {opt::TransformKind::kBalance, opt::TransformKind::kRewrite});
+      1, {kBalance, kRewrite});
   EXPECT_EQ(static_cast<std::uint64_t>(space.size()), 2u);
   util::Rng rng(3);
   const auto flows = space.sample_unique(2, rng);
@@ -138,16 +152,16 @@ TEST(FlowSpaceTest, PrecedenceConstraintsFilterSampling) {
   // Remark 1: with "p1 before p2", only flows where every rewrite precedes
   // every refactor remain.
   FlowSpace space(2);
-  space.add_constraint({opt::TransformKind::kRewrite,
-                        opt::TransformKind::kRefactor});
+  space.add_constraint({kRewrite,
+                        kRefactor});
   util::Rng rng(5);
   for (int i = 0; i < 30; ++i) {
     const Flow f = space.random_flow(rng);
     EXPECT_TRUE(space.satisfies_constraints(f));
     std::size_t last_rw = 0, first_rf = f.length();
     for (std::size_t j = 0; j < f.length(); ++j) {
-      if (f.steps[j] == opt::TransformKind::kRewrite) last_rw = j;
-      if (f.steps[j] == opt::TransformKind::kRefactor &&
+      if (f.steps[j] == kRewrite) last_rw = j;
+      if (f.steps[j] == kRefactor &&
           first_rf == f.length()) {
         first_rf = j;
       }
@@ -157,14 +171,14 @@ TEST(FlowSpaceTest, PrecedenceConstraintsFilterSampling) {
 }
 
 TEST(FlowSpaceTest, ConstraintsAffectContains) {
-  FlowSpace space(1, {opt::TransformKind::kBalance,
-                      opt::TransformKind::kRewrite});
-  space.add_constraint({opt::TransformKind::kBalance,
-                        opt::TransformKind::kRewrite});
+  FlowSpace space(1, {kBalance,
+                      kRewrite});
+  space.add_constraint({kBalance,
+                        kRewrite});
   Flow ok;
-  ok.steps = {opt::TransformKind::kBalance, opt::TransformKind::kRewrite};
+  ok.steps = {kBalance, kRewrite};
   Flow bad;
-  bad.steps = {opt::TransformKind::kRewrite, opt::TransformKind::kBalance};
+  bad.steps = {kRewrite, kBalance};
   EXPECT_TRUE(space.contains(ok));
   EXPECT_FALSE(space.contains(bad));
 }
@@ -172,11 +186,11 @@ TEST(FlowSpaceTest, ConstraintsAffectContains) {
 TEST(FlowSpaceTest, Remark1ExampleCount) {
   // Example 1 + Remark 1: S = {p0, p1, p2} non-repetition has 6 flows;
   // constraining p1 before p2 leaves exactly 3 (F0, F2, F3).
-  FlowSpace space(1, {opt::TransformKind::kBalance,
-                      opt::TransformKind::kRestructure,
-                      opt::TransformKind::kRewrite});
-  space.add_constraint({opt::TransformKind::kRestructure,
-                        opt::TransformKind::kRewrite});
+  FlowSpace space(1, {kBalance,
+                      kRestructure,
+                      kRewrite});
+  space.add_constraint({kRestructure,
+                        kRewrite});
   util::Rng rng(6);
   std::set<std::string> seen;
   for (int i = 0; i < 300; ++i) seen.insert(space.random_flow(rng).key());
@@ -186,13 +200,13 @@ TEST(FlowSpaceTest, Remark1ExampleCount) {
 TEST(FlowSpaceTest, FirstPositionIsUniform) {
   const FlowSpace space(2);
   util::Rng rng(4);
-  std::map<opt::TransformKind, int> counts;
+  std::map<opt::StepId, int> counts;
   const int n = 30000;
   for (int i = 0; i < n; ++i) {
     counts[space.random_flow(rng).steps[0]]++;
   }
   for (const auto& [kind, count] : counts) {
-    EXPECT_NEAR(count, n / 6, n / 6 * 0.15) << opt::transform_name(kind);
+    EXPECT_NEAR(count, n / 6, n / 6 * 0.15) << space.registry().name(kind);
   }
 }
 

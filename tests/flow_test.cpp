@@ -4,15 +4,21 @@
 
 #include <unordered_set>
 
+#include "opt/registry.hpp"
+
 namespace flowgen::core {
 namespace {
 
-using opt::TransformKind;
+// Paper-registry step ids (ids 0..5 are the fixed alphabet).
+constexpr opt::StepId kBalance = 0;
+constexpr opt::StepId kRestructure = 1;
+constexpr opt::StepId kRewrite = 2;
+constexpr opt::StepId kRefactorZ = 5;
+constexpr opt::StepId kRewriteZ = 4;
 
 TEST(FlowTest, KeyRoundTrip) {
   Flow f;
-  f.steps = {TransformKind::kRewrite, TransformKind::kBalance,
-             TransformKind::kRefactorZ};
+  f.steps = {kRewrite, kBalance, kRefactorZ};
   const std::string key = f.key();
   EXPECT_EQ(key, "205");
   EXPECT_EQ(Flow::from_key(key), f);
@@ -20,13 +26,49 @@ TEST(FlowTest, KeyRoundTrip) {
 
 TEST(FlowTest, ToStringUsesAbcNames) {
   Flow f;
-  f.steps = {TransformKind::kBalance, TransformKind::kRewriteZ};
+  f.steps = {kBalance, kRewriteZ};
   EXPECT_EQ(f.to_string(), "balance; rewrite -z");
 }
 
-TEST(FlowTest, FromKeyRejectsBadDigits) {
-  EXPECT_THROW(Flow::from_key("09"), std::invalid_argument);
-  EXPECT_THROW(Flow::from_key("x"), std::invalid_argument);
+TEST(FlowTest, FromKeyRejectsOutOfRangeSteps) {
+  // The paper registry has 6 transforms: digits 6..9 (and letters) name no
+  // spec and must be a typed error, never a silent out-of-range id.
+  EXPECT_THROW(Flow::from_key("09"), opt::RegistryError);
+  EXPECT_THROW(Flow::from_key("a"), opt::RegistryError);
+  EXPECT_THROW(Flow::from_key("x"), opt::RegistryError);
+  EXPECT_THROW(Flow::from_key("0 1"), opt::RegistryError);
+}
+
+TEST(FlowTest, FromKeyValidatesAgainstTheGivenRegistry) {
+  // An 8-spec registry accepts digits 6 and 7; id 8 is still out of range.
+  std::vector<opt::TransformSpec> specs =
+      opt::TransformRegistry::paper()->specs();
+  opt::TransformSpec small_rewrite;
+  small_rewrite.base = opt::TransformKind::kRewrite;
+  small_rewrite.cut_size = 3;
+  specs.push_back(small_rewrite);
+  opt::TransformSpec narrow_restructure;
+  narrow_restructure.base = opt::TransformKind::kRestructure;
+  narrow_restructure.max_divisors = 12;
+  specs.push_back(narrow_restructure);
+  const opt::TransformRegistry registry(std::move(specs));
+
+  const Flow f = Flow::from_key("067", registry);
+  EXPECT_EQ(f.steps, (StepsKey{0, 6, 7}));
+  EXPECT_EQ(f.key(), "067");
+  EXPECT_EQ(f.to_string(registry),
+            "balance; rewrite -K 3; restructure -D 12");
+  EXPECT_THROW(Flow::from_key("8", registry), opt::RegistryError);
+}
+
+TEST(FlowTest, KeyUsesBase36BeyondTen) {
+  // Registries can have more than 10 specs; text keys switch to letters.
+  Flow f;
+  f.steps = {11};
+  EXPECT_EQ(f.key(), "b");
+  Flow too_big;
+  too_big.steps = {36};
+  EXPECT_THROW(too_big.key(), opt::RegistryError);
 }
 
 TEST(FlowTest, EmptyFlow) {
@@ -38,17 +80,29 @@ TEST(FlowTest, EmptyFlow) {
 
 TEST(FlowTest, AbcScriptExport) {
   Flow f;
-  f.steps = {TransformKind::kBalance, TransformKind::kRestructure,
-             TransformKind::kRewriteZ};
+  f.steps = {kBalance, kRestructure, kRewriteZ};
   EXPECT_EQ(f.to_abc_script(),
             "strash; balance; resub; rewrite -z; map");
 }
 
+TEST(FlowTest, AbcScriptUsesCanonicalTextNotSpecNames) {
+  // ABC commands come from the canonical spec text; free-form spec names
+  // (here a restructure spec named "rs") must not leak into the script.
+  opt::TransformSpec rs;
+  rs.name = "rs";
+  rs.base = opt::TransformKind::kRestructure;
+  rs.max_divisors = 12;
+  const opt::TransformRegistry registry({rs});
+  Flow f;
+  f.steps = {0};
+  EXPECT_EQ(f.to_abc_script(registry), "strash; resub -D 12; map");
+}
+
 TEST(FlowTest, HashDistinguishesOrders) {
   Flow f1;
-  f1.steps = {TransformKind::kBalance, TransformKind::kRewrite};
+  f1.steps = {kBalance, kRewrite};
   Flow f2;
-  f2.steps = {TransformKind::kRewrite, TransformKind::kBalance};
+  f2.steps = {kRewrite, kBalance};
   std::unordered_set<Flow, FlowHash> set;
   set.insert(f1);
   set.insert(f2);

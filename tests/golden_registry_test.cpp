@@ -1,0 +1,236 @@
+// Golden back-compat suite for the registry redesign. The files under
+// tests/golden/ were produced by the pre-registry (protocol v2 / store v1)
+// code and are never regenerated: these tests pin that the default
+// registry reproduces every byte — store records, flow keys, wire payload
+// layouts — and that labels written before the registry existed still
+// decode to identical QoR. If one of these fails, a cache/store/wire
+// artifact someone has on disk just became unreadable or, worse, silently
+// different. Fix the code, not the golden files.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/evaluator.hpp"
+#include "core/flow.hpp"
+#include "core/qor_store.hpp"
+#include "designs/registry.hpp"
+#include "opt/registry.hpp"
+#include "service/wire.hpp"
+
+namespace flowgen {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Locate tests/golden regardless of the ctest working directory.
+fs::path golden_dir() {
+  for (fs::path dir : {fs::path(FLOWGEN_SOURCE_DIR) / "tests" / "golden"}) {
+    if (fs::exists(dir)) return dir;
+  }
+  throw std::runtime_error("tests/golden not found");
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+fs::path fresh_temp_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("flowgen_golden_" + tag + "_" +
+                        std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// The flows the golden store was built from, in append order.
+const std::vector<std::string>& golden_keys() {
+  static const std::vector<std::string> keys = {
+      "", "0", "5", "012345", "543210", "002244", "112233", "0213"};
+  return keys;
+}
+
+TEST(GoldenRegistryTest, PackedFlowKeysAreUnchanged) {
+  // The digit key <-> packed byte mapping predates the registry; ids 0..5
+  // must keep meaning exactly what they meant.
+  const core::Flow f = core::Flow::from_key("012345");
+  EXPECT_EQ(f.steps, (core::StepsKey{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(f.key(), "012345");
+  EXPECT_EQ(f.to_string(),
+            "balance; restructure; rewrite; refactor; rewrite -z; "
+            "refactor -z");
+}
+
+TEST(GoldenRegistryTest, V2StoreFileLoadsAndYieldsIdenticalQor) {
+  // Copy the golden v1-format log into a scratch store directory and load
+  // it with the registry-era QorStore (paper registry, the default).
+  const fs::path dir = fresh_temp_dir("load");
+  fs::copy_file(golden_dir() / "v2-store" / "golden.qorlog",
+                dir / "golden.qorlog");
+  core::QorStoreConfig config;
+  config.dir = dir.string();
+  config.writer_name = "reader";
+  core::QorStore store(std::move(config));
+  EXPECT_EQ(store.size(), golden_keys().size());
+  EXPECT_EQ(store.stats().tail_bytes_dropped, 0u);
+
+  // Every stored label must equal a fresh registry-era evaluation bit for
+  // bit — pre-registry labels and registry-era synthesis agree exactly.
+  const aig::Aig design = designs::make_design("alu:4");
+  const aig::Fingerprint fp = design.fingerprint();
+  core::SynthesisEvaluator evaluator(design);
+  for (const std::string& key : golden_keys()) {
+    const core::Flow flow = core::Flow::from_key(key);
+    const auto stored = store.lookup(fp, core::StepsView(flow.steps));
+    ASSERT_TRUE(stored.has_value()) << key;
+    const map::QoR fresh = evaluator.evaluate(flow);
+    EXPECT_EQ(*stored, fresh) << key;
+  }
+}
+
+TEST(GoldenRegistryTest, PaperRegistryStoreWritesByteIdenticalFiles) {
+  // Re-append the golden records through the registry-era writer (paper
+  // registry, same order) and require the produced log to be byte for byte
+  // the golden file — "default-registry stored bytes are v2 bytes".
+  const fs::path load_dir = fresh_temp_dir("reload");
+  fs::copy_file(golden_dir() / "v2-store" / "golden.qorlog",
+                load_dir / "golden.qorlog");
+  core::QorStoreConfig load_config;
+  load_config.dir = load_dir.string();
+  load_config.writer_name = "reader";
+  core::QorStore loaded(std::move(load_config));
+
+  const fs::path write_dir = fresh_temp_dir("rewrite");
+  core::QorStoreConfig write_config;
+  write_config.dir = write_dir.string();
+  write_config.writer_name = "golden";  // same stem as the original writer
+  core::QorStore writer(std::move(write_config));
+  const aig::Fingerprint fp =
+      designs::make_design("alu:4").fingerprint();
+  for (const std::string& key : golden_keys()) {
+    const core::Flow flow = core::Flow::from_key(key);
+    const auto qor = loaded.lookup(fp, core::StepsView(flow.steps));
+    ASSERT_TRUE(qor.has_value()) << key;
+    EXPECT_TRUE(writer.append(fp, core::StepsView(flow.steps), *qor));
+  }
+  writer.flush();
+
+  EXPECT_EQ(read_file(write_dir / "golden.qorlog"),
+            read_file(golden_dir() / "v2-store" / "golden.qorlog"));
+}
+
+TEST(GoldenRegistryTest, RegistryFingerprintMismatchIsATypedError) {
+  // A golden (v1 = paper) log in a directory opened under a different
+  // alphabet must be refused loudly: the same step bytes would name
+  // different transforms.
+  const fs::path dir = fresh_temp_dir("mismatch");
+  fs::copy_file(golden_dir() / "v2-store" / "golden.qorlog",
+                dir / "golden.qorlog");
+  std::vector<opt::TransformSpec> specs =
+      opt::TransformRegistry::paper()->specs();
+  opt::TransformSpec extra;
+  extra.base = opt::TransformKind::kRewrite;
+  extra.cut_size = 3;
+  specs.push_back(extra);
+  core::QorStoreConfig config;
+  config.dir = dir.string();
+  config.registry =
+      std::make_shared<const opt::TransformRegistry>(std::move(specs));
+  EXPECT_THROW(core::QorStore{std::move(config)}, core::QorStoreError);
+}
+
+TEST(GoldenRegistryTest, NonPaperStoresRoundTripUnderTheirRegistry) {
+  // v2-header stores: written and reloaded under the same extended
+  // alphabet, and refused by a paper-registry reader.
+  std::vector<opt::TransformSpec> specs =
+      opt::TransformRegistry::paper()->specs();
+  opt::TransformSpec extra;
+  extra.base = opt::TransformKind::kRestructure;
+  extra.max_divisors = 12;
+  specs.push_back(extra);
+  const auto registry =
+      std::make_shared<const opt::TransformRegistry>(std::move(specs));
+
+  const fs::path dir = fresh_temp_dir("v2header");
+  const aig::Fingerprint design_fp = {42, 43};
+  const core::StepsKey steps = {0, 6, 3};  // uses the extended id 6
+  const map::QoR qor{12.5, 90.0, 7, 1};
+  {
+    core::QorStoreConfig config;
+    config.dir = dir.string();
+    config.writer_name = "ext";
+    config.registry = registry;
+    core::QorStore store(std::move(config));
+    EXPECT_TRUE(store.append(design_fp, core::StepsView(steps), qor));
+    store.flush();
+  }
+  {
+    core::QorStoreConfig config;
+    config.dir = dir.string();
+    config.writer_name = "ext";
+    config.registry = registry;
+    core::QorStore reloaded(std::move(config));
+    EXPECT_EQ(reloaded.size(), 1u);
+    const auto hit = reloaded.lookup(design_fp, core::StepsView(steps));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, qor);
+  }
+  core::QorStoreConfig paper_config;
+  paper_config.dir = dir.string();
+  EXPECT_THROW(core::QorStore{std::move(paper_config)},
+               core::QorStoreError);
+}
+
+TEST(GoldenRegistryTest, EvalResponsePayloadBytesAreUnchanged) {
+  // The EvalResponse layout survived the v2 -> v3 bump: the golden payload
+  // (captured from the v2 encoder) must be exactly what today's encoder
+  // produces and what today's decoder reads.
+  const std::vector<std::uint8_t> golden =
+      read_file(golden_dir() / "v2_eval_response.bin");
+  service::EvalResponseMsg msg;
+  msg.request_id = 0x0102030405060708ull;
+  msg.results.push_back(map::QoR{14.5, 102.0, 9, 2});
+  msg.results.push_back(map::QoR{21.25, 140.0, 13, 1});
+  EXPECT_EQ(service::encode_eval_response(msg), golden);
+
+  const service::EvalResponseMsg decoded =
+      service::decode_eval_response(golden);
+  EXPECT_EQ(decoded.request_id, msg.request_id);
+  ASSERT_EQ(decoded.results.size(), 2u);
+  EXPECT_EQ(decoded.results[0], msg.results[0]);
+  EXPECT_EQ(decoded.results[1], msg.results[1]);
+}
+
+TEST(GoldenRegistryTest, V3EvalRequestLayoutIsPinned) {
+  // Fresh golden for the v3 request: byte-level layout pinned inline so
+  // the next protocol change is a conscious version bump.
+  service::EvalRequestMsg msg;
+  msg.request_id = 0x0807060504030201ull;
+  msg.design = {0x1111111111111111ull, 0x2222222222222222ull};
+  msg.registry = {0x3333333333333333ull, 0x4444444444444444ull};
+  msg.flows.push_back({0, 2, 5});
+  const std::vector<std::uint8_t> expect = {
+      0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08,  // request id (LE)
+      0x11, 0x11, 0x11, 0x11, 0x11, 0x11, 0x11, 0x11,  // design fp[0]
+      0x22, 0x22, 0x22, 0x22, 0x22, 0x22, 0x22, 0x22,  // design fp[1]
+      0x33, 0x33, 0x33, 0x33, 0x33, 0x33, 0x33, 0x33,  // registry fp[0]
+      0x44, 0x44, 0x44, 0x44, 0x44, 0x44, 0x44, 0x44,  // registry fp[1]
+      0x01, 0x00, 0x00, 0x00,                          // 1 flow
+      0x03, 0x00,                                      // 3 steps
+      0x00, 0x02, 0x05,                                // packed step ids
+  };
+  EXPECT_EQ(service::encode_eval_request(msg), expect);
+  const service::EvalRequestMsg decoded =
+      service::decode_eval_request(expect);
+  EXPECT_EQ(decoded.registry, msg.registry);
+  EXPECT_EQ(decoded.flows, msg.flows);
+}
+
+}  // namespace
+}  // namespace flowgen

@@ -11,9 +11,7 @@ TEST(OneHotTest, Example3FromThePaper) {
   // S = {p0, p1}, F = p0 -> p0 -> p1 -> p1 gives the 4x2 matrix
   // [[1,0],[1,0],[0,1],[0,1]].
   Flow f;
-  f.steps = {opt::TransformKind::kBalance, opt::TransformKind::kBalance,
-             opt::TransformKind::kRestructure,
-             opt::TransformKind::kRestructure};
+  f.steps = {0, 0, 1, 1};  // balance, balance, restructure, restructure
   const nn::Tensor m = one_hot_matrix(f, 2);
   ASSERT_EQ(m.shape(), (std::vector<std::size_t>{4, 2}));
   EXPECT_EQ(m.at(0, 0), 1.0);
@@ -33,6 +31,30 @@ TEST(OneHotTest, ExactlyOneOnePerRow) {
     for (std::size_t col = 0; col < 6; ++col) sum += m.at(row, col);
     EXPECT_EQ(sum, 1.0);
   }
+}
+
+TEST(OneHotTest, RegistryOverloadDerivesWidthFromAlphabet) {
+  // The encoding width follows the registry: the paper's 6 columns by
+  // default, 7 once a parameterized spec is added — no caller arithmetic.
+  const FlowSpace space(1);
+  util::Rng rng(7);
+  const Flow f = space.random_flow(rng);
+  const nn::Tensor m = one_hot_matrix(f, space.registry());
+  ASSERT_EQ(m.shape(), (std::vector<std::size_t>{6, 6}));
+
+  std::vector<opt::TransformSpec> specs =
+      opt::TransformRegistry::paper()->specs();
+  opt::TransformSpec extra;
+  extra.base = opt::TransformKind::kRewrite;
+  extra.cut_size = 3;
+  specs.push_back(extra);
+  const opt::TransformRegistry wide(std::move(specs));
+  const nn::Tensor wide_m = one_hot_matrix(f, wide);
+  ASSERT_EQ(wide_m.shape(), (std::vector<std::size_t>{6, 7}));
+
+  Flow stray;
+  stray.steps = {9};  // no spec with id 9 in either registry
+  EXPECT_THROW(one_hot_matrix(stray, wide), opt::RegistryError);
 }
 
 TEST(OneHotTest, ColumnSumsEqualRepetitions) {

@@ -33,7 +33,7 @@ std::string fresh_dir(const std::string& tag) {
 
 StepsKey steps(std::initializer_list<int> kinds) {
   StepsKey out;
-  for (const int k : kinds) out.push_back(static_cast<opt::TransformKind>(k));
+  for (const int k : kinds) out.push_back(static_cast<opt::StepId>(k));
   return out;
 }
 
@@ -45,7 +45,7 @@ TEST(QorStoreTest, AppendReloadRoundTripsExactly) {
   const map::QoR qor_b{0.0, -1.5, 0, 0};
   const map::QoR qor_c{1e-300, 1e300, 1000000, 3};
   {
-    QorStore store({dir, "writer", false});
+    QorStore store({dir, "writer", false, nullptr});
     EXPECT_TRUE(store.append(design_a, steps({0, 3, 5}), qor_a));
     EXPECT_TRUE(store.append(design_a, steps({}), qor_b));  // empty flow
     EXPECT_TRUE(store.append(design_b, steps({0, 3, 5}), qor_c));
@@ -53,7 +53,7 @@ TEST(QorStoreTest, AppendReloadRoundTripsExactly) {
     EXPECT_FALSE(store.append(design_a, steps({0, 3, 5}), qor_a));
     EXPECT_EQ(store.size(), 3u);
   }
-  QorStore reloaded({dir, "writer", false});
+  QorStore reloaded({dir, "writer", false, nullptr});
   EXPECT_EQ(reloaded.size(), 3u);
   EXPECT_EQ(reloaded.stats().records_loaded, 3u);
   // Bit patterns survive the disk trip: field-exact equality.
@@ -71,7 +71,7 @@ TEST(QorStoreTest, TornFinalRecordIsIgnoredAndHealed) {
   const std::string dir = fresh_dir("torn");
   const aig::Fingerprint design = {5, 6};
   {
-    QorStore store({dir, "writer", false});
+    QorStore store({dir, "writer", false, nullptr});
     store.append(design, steps({1}), map::QoR{1.0, 2.0, 3, 4});
     store.append(design, steps({2}), map::QoR{5.0, 6.0, 7, 8});
   }
@@ -81,7 +81,7 @@ TEST(QorStoreTest, TornFinalRecordIsIgnoredAndHealed) {
   fs::resize_file(log, full_size - 20);
 
   {
-    QorStore recovered({dir, "writer", false});
+    QorStore recovered({dir, "writer", false, nullptr});
     EXPECT_EQ(recovered.size(), 1u);
     EXPECT_TRUE(recovered.lookup(design, steps({1})).has_value());
     EXPECT_FALSE(recovered.lookup(design, steps({2})).has_value());
@@ -89,7 +89,7 @@ TEST(QorStoreTest, TornFinalRecordIsIgnoredAndHealed) {
     // The writer truncated the tear away; appending resumes cleanly.
     EXPECT_TRUE(recovered.append(design, steps({3}), map::QoR{9.0, 1.0, 1, 1}));
   }
-  QorStore healed({dir, "writer", false});
+  QorStore healed({dir, "writer", false, nullptr});
   EXPECT_EQ(healed.size(), 2u);
   EXPECT_EQ(healed.stats().tail_bytes_dropped, 0u);
   EXPECT_TRUE(healed.lookup(design, steps({3})).has_value());
@@ -99,7 +99,7 @@ TEST(QorStoreTest, CrcCorruptionStopsTheScan) {
   const std::string dir = fresh_dir("crc");
   const aig::Fingerprint design = {7, 8};
   {
-    QorStore store({dir, "writer", false});
+    QorStore store({dir, "writer", false, nullptr});
     store.append(design, steps({0}), map::QoR{1.0, 1.0, 1, 1});
     store.append(design, steps({1}), map::QoR{2.0, 2.0, 2, 2});
     store.append(design, steps({2}), map::QoR{3.0, 3.0, 3, 3});
@@ -122,7 +122,7 @@ TEST(QorStoreTest, CrcCorruptionStopsTheScan) {
   }
   // Stop-at-first-invalid semantics: record 1 survives, 2 and 3 do not —
   // a boundary cannot be trusted past a failed CRC.
-  QorStore recovered({dir, "reader", false});
+  QorStore recovered({dir, "reader", false, nullptr});
   EXPECT_EQ(recovered.size(), 1u);
   EXPECT_GT(recovered.stats().tail_bytes_dropped, 0u);
 }
@@ -131,17 +131,17 @@ TEST(QorStoreTest, TwoWritersShareOneDirectory) {
   const std::string dir = fresh_dir("shared");
   const aig::Fingerprint design = {11, 12};
   {
-    QorStore a({dir, "coord-a", false});
+    QorStore a({dir, "coord-a", false, nullptr});
     a.append(design, steps({0, 1}), map::QoR{1.0, 2.0, 3, 4});
   }
   {
     // A second coordinator starts later and sees a's labels immediately…
-    QorStore b({dir, "coord-b", false});
+    QorStore b({dir, "coord-b", false, nullptr});
     EXPECT_TRUE(b.lookup(design, steps({0, 1})).has_value());
     b.append(design, steps({2, 3}), map::QoR{5.0, 6.0, 7, 8});
   }
   // …and any future reader merges both logs.
-  QorStore merged({dir, "coord-c", false});
+  QorStore merged({dir, "coord-c", false, nullptr});
   EXPECT_EQ(merged.size(), 2u);
   EXPECT_EQ(merged.stats().files_loaded, 2u);
   EXPECT_TRUE(merged.lookup(design, steps({0, 1})).has_value());
@@ -160,14 +160,14 @@ TEST(QorStoreTest, SecondLabelingRunIsServedEntirelyFromStore) {
   {
     SynthesisEvaluator evaluator(designs::make_design("alu:4"));
     evaluator.attach_store(
-        std::make_shared<QorStore>(QorStoreConfig{dir, "run1", false}));
+        std::make_shared<QorStore>(QorStoreConfig{dir, "run1", false, nullptr}));
     first_qor = evaluator.evaluate_many(flows);
     EXPECT_EQ(evaluator.evaluations(), flows.size());
   }
   // Fresh process (modelled by a fresh evaluator), same store directory.
   SynthesisEvaluator rerun(designs::make_design("alu:4"));
   rerun.attach_store(
-      std::make_shared<QorStore>(QorStoreConfig{dir, "run2", false}));
+      std::make_shared<QorStore>(QorStoreConfig{dir, "run2", false, nullptr}));
   const std::vector<map::QoR> second_qor = rerun.evaluate_many(flows);
   EXPECT_EQ(rerun.evaluations(), 0u) << "labels must come from the store";
   ASSERT_EQ(second_qor.size(), first_qor.size());
@@ -177,14 +177,14 @@ TEST(QorStoreTest, SecondLabelingRunIsServedEntirelyFromStore) {
   // A different design in the same store stays isolated: nothing warms.
   SynthesisEvaluator other(designs::make_design("mont:8"));
   other.attach_store(
-      std::make_shared<QorStore>(QorStoreConfig{dir, "run3", false}));
+      std::make_shared<QorStore>(QorStoreConfig{dir, "run3", false, nullptr}));
   other.evaluate(flows[0]);
   EXPECT_EQ(other.evaluations(), 1u);
 }
 
 TEST(QorStoreTest, RejectsUnusableDirectory) {
-  EXPECT_THROW(QorStore({"", "w", false}), QorStoreError);
-  EXPECT_THROW(QorStore({"/proc/definitely/not/writable", "w", false}),
+  EXPECT_THROW(QorStore({"", "w", false, nullptr}), QorStoreError);
+  EXPECT_THROW(QorStore({"/proc/definitely/not/writable", "w", false, nullptr}),
                QorStoreError);
 }
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <filesystem>
 #include <thread>
 
 #include "aig/serialize.hpp"
@@ -37,6 +38,23 @@
 #define SKIP_UNDER_TSAN() GTEST_SKIP() << "fork-based service test under TSan"
 #else
 #define SKIP_UNDER_TSAN() (void)0
+#endif
+
+// Sanitizer builds run synthesis an order of magnitude slower; tests that
+// pick a deliberately short request timeout must scale it or the *healthy*
+// worker's shards also blow the deadline and the whole batch (correctly)
+// fails as all-workers-lost.
+#if defined(__SANITIZE_ADDRESS__)
+#define FLOWGEN_SLOW_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define FLOWGEN_SLOW_SANITIZER 1
+#endif
+#endif
+#ifdef FLOWGEN_SLOW_SANITIZER
+constexpr int kShortRequestTimeoutMs = 20000;
+#else
+constexpr int kShortRequestTimeoutMs = 500;
 #endif
 
 namespace flowgen::service {
@@ -82,10 +100,9 @@ TEST(WireTest, EvalRequestRoundTrips) {
   EvalRequestMsg msg;
   msg.request_id = 0x1122334455667788ull;
   msg.design = {0xDEADBEEFCAFEF00Dull, 0x0123456789ABCDEFull};
-  msg.flows.push_back({opt::TransformKind::kBalance,
-                       opt::TransformKind::kRefactorZ});
+  msg.flows.push_back({0, 5});  // balance, refactor -z
   msg.flows.push_back({});  // empty flow (baseline) is legal
-  msg.flows.push_back({opt::TransformKind::kRewrite});
+  msg.flows.push_back({2});  // rewrite
 
   const auto decoded = decode_eval_request(encode_eval_request(msg));
   EXPECT_EQ(decoded.request_id, msg.request_id);
@@ -137,7 +154,7 @@ TEST(WireTest, HelloAndErrorRoundTrip) {
 TEST(WireTest, DecodersRejectTruncatedAndTrailingBytes) {
   EvalRequestMsg msg;
   msg.request_id = 1;
-  msg.flows.push_back({opt::TransformKind::kBalance});
+  msg.flows.push_back({0});  // balance
   auto bytes = encode_eval_request(msg);
   auto truncated = bytes;
   truncated.pop_back();
@@ -161,13 +178,14 @@ TEST(WireTest, DecodersRejectCountsExceedingPayload) {
 
   EvalRequestMsg req_msg;
   req_msg.request_id = 1;
-  req_msg.flows.push_back({opt::TransformKind::kBalance});
+  req_msg.flows.push_back({0});  // balance
   auto req = encode_eval_request(req_msg);
-  // count: little-endian u32 after u64 request id + 16-byte fingerprint
-  req[24] = 0xFF;
-  req[25] = 0xFF;
-  req[26] = 0xFF;
-  req[27] = 0xFF;
+  // count: little-endian u32 after u64 request id + the two 16-byte
+  // fingerprints (design, registry)
+  req[40] = 0xFF;
+  req[41] = 0xFF;
+  req[42] = 0xFF;
+  req[43] = 0xFF;
   EXPECT_THROW(decode_eval_request(req), WireError);
 }
 
@@ -177,13 +195,16 @@ TEST(ServiceTest, HandshakeRejectsMismatchedAckDesign) {
   // with QoR of the wrong circuit would silently corrupt labels.
   auto [coordinator_end, fake_end] = socket_pair();
   std::thread fake([sock = std::move(fake_end)]() mutable {
-    const auto hello = recv_frame(sock, 10000);
-    if (!hello || hello->type != MsgType::kHello) return;
-    HelloAckMsg ack;
-    ack.design_id = "mont:8";
-    ack.fingerprint = designs::make_design("mont:8").fingerprint();
-    send_frame(sock, MsgType::kHelloAck, encode_hello_ack(ack));
-    recv_frame(sock, 10000);  // linger until the coordinator hangs up
+    try {
+      const auto hello = recv_frame(sock, 10000);
+      if (!hello || hello->type != MsgType::kHello) return;
+      HelloAckMsg ack;
+      ack.design_id = "mont:8";
+      ack.fingerprint = designs::make_design("mont:8").fingerprint();
+      send_frame(sock, MsgType::kHelloAck, encode_hello_ack(ack));
+      recv_frame(sock, 10000);  // linger until the coordinator hangs up
+    } catch (const std::exception&) {
+    }
   });
   std::vector<EvalCoordinator::Worker> workers;
   workers.push_back(
@@ -330,14 +351,21 @@ TEST(ServiceTest, UnresponsiveWorkerTimesOutAndBatchCompletes) {
 
   auto [coordinator_end, fake_end] = socket_pair();
   std::thread fake_worker([sock = std::move(fake_end)]() mutable {
-    const auto hello = recv_frame(sock, 10000);
-    if (!hello || hello->type != MsgType::kHello) return;
-    HelloAckMsg ack;
-    ack.design_id = "alu:4";
-    ack.fingerprint = designs::make_design("alu:4").fingerprint();
-    send_frame(sock, MsgType::kHelloAck, encode_hello_ack(ack));
-    // Swallow requests without answering until the coordinator hangs up.
-    while (recv_frame(sock, 10000)) {
+    // Everything here is best-effort: the coordinator may hang up at any
+    // point (EOF or reset), and a recv timeout in this fake must end the
+    // thread, not std::terminate the test.
+    try {
+      const auto hello = recv_frame(sock, 10000);
+      if (!hello || hello->type != MsgType::kHello) return;
+      HelloAckMsg ack;
+      ack.design_id = "alu:4";
+      ack.fingerprint = designs::make_design("alu:4").fingerprint();
+      send_frame(sock, MsgType::kHelloAck, encode_hello_ack(ack));
+      // Swallow requests without answering until the coordinator hangs up
+      // (it does so only after kShortRequestTimeoutMs of silence).
+      while (recv_frame(sock, kShortRequestTimeoutMs + 10000)) {
+      }
+    } catch (const std::exception&) {
     }
   });
 
@@ -346,7 +374,7 @@ TEST(ServiceTest, UnresponsiveWorkerTimesOutAndBatchCompletes) {
       EvalCoordinator::Worker{std::move(coordinator_end), "fake"});
 
   CoordinatorConfig config;
-  config.request_timeout_ms = 500;
+  config.request_timeout_ms = kShortRequestTimeoutMs;
   EvalCoordinator coordinator(std::move(workers), "alu:4", config);
   ASSERT_EQ(coordinator.num_workers_alive(), 2u);
 
@@ -554,6 +582,177 @@ TEST(ServiceTest, TwoSimultaneousClientsOnOneFleet) {
   coordinator.shutdown_workers();
 }
 
+// ------------------------------------------------ protocol v3: registries --
+
+// The paper alphabet plus two parameterized variants (8 entries) — the
+// acceptance registry for the fleet scenarios.
+std::shared_ptr<const opt::TransformRegistry> extended_registry() {
+  std::vector<opt::TransformSpec> specs =
+      opt::TransformRegistry::paper()->specs();
+  specs.push_back(opt::spec_from_text("rewrite -K 3"));
+  specs.push_back(opt::spec_from_text("restructure -D 12"));
+  return std::make_shared<const opt::TransformRegistry>(std::move(specs));
+}
+
+std::vector<Flow> sample_extended_flows(
+    std::size_t n, const std::shared_ptr<const opt::TransformRegistry>& reg,
+    std::uint64_t seed = 1) {
+  const core::FlowSpace space(1, reg);  // m=1: length-8 flows stay fast
+  util::Rng rng(seed);
+  return space.sample_unique(n, rng);
+}
+
+// The acceptance bar for alphabets: an extended registry served by a
+// 4-worker fleet whose workers were born with only the paper alphabet —
+// LoadRegistry must ship the specs at handshake — bit-identical to
+// in-process evaluation under the same registry.
+TEST(ServiceTest, ExtendedRegistryOnFourWorkersViaLoadRegistry) {
+  SKIP_UNDER_TSAN();
+  const auto registry = extended_registry();
+  const auto flows = sample_extended_flows(120, registry);
+
+  WorkerOptions options;  // paper-default workers: LoadRegistry is forced
+  options.design_id = "alu:4";
+  LoopbackCluster cluster(4, options);
+  CoordinatorConfig config;
+  config.registry = registry;
+  EvalCoordinator coordinator(cluster.take_workers(), "alu:4", config);
+  ASSERT_EQ(coordinator.num_workers_alive(), 4u);
+  EXPECT_EQ(coordinator.registry_fingerprint(), registry->fingerprint());
+  const auto remote_qor = coordinator.evaluate_many(flows);
+
+  core::EvaluatorConfig ecfg;
+  ecfg.registry = registry;
+  core::SynthesisEvaluator local(designs::make_design("alu:4"),
+                                 map::CellLibrary::builtin(), {}, ecfg);
+  expect_bit_identical(remote_qor, local.evaluate_many(flows));
+  // Serial == parallel under the extended alphabet too.
+  util::ThreadPool pool(4);
+  core::SynthesisEvaluator parallel(designs::make_design("alu:4"),
+                                    map::CellLibrary::builtin(), {}, ecfg);
+  expect_bit_identical(remote_qor, parallel.evaluate_many(flows, &pool));
+  coordinator.shutdown_workers();
+}
+
+TEST(ServiceTest, OneWorkerServesTwoAlphabets) {
+  // One long-lived worker (thread, no fork — TSan-safe), two alphabets in
+  // sequence over separate connections: the (design, registry) LRU must
+  // keep both evaluators and answer each client bit-identically to
+  // in-process evaluation under its own registry.
+  const std::string path = ::testing::TempDir() + "flowgen_tworeg.sock";
+  ::unlink(path.c_str());
+  Listener listener = Listener::bind(Address::parse("unix:" + path));
+  WorkerOptions options;
+  options.design_id = "alu:4";
+  EvalWorker worker(options);
+  std::thread server([&] {
+    for (int i = 0; i < 3; ++i) {
+      Socket conn = listener.accept(20000);
+      worker.serve(conn);
+    }
+  });
+
+  const auto registry = extended_registry();
+  const auto paper_flows = sample_flows(10);
+  const auto ext_flows = sample_extended_flows(10, registry);
+
+  core::SynthesisEvaluator local_paper(designs::make_design("alu:4"));
+  core::EvaluatorConfig ecfg;
+  ecfg.registry = registry;
+  core::SynthesisEvaluator local_ext(designs::make_design("alu:4"),
+                                     map::CellLibrary::builtin(), {}, ecfg);
+
+  auto paper_client = RemoteEvaluator::connect({"unix:" + path}, "alu:4");
+  expect_bit_identical(paper_client->evaluate_many(paper_flows),
+                       local_paper.evaluate_many(paper_flows));
+  paper_client.reset();
+
+  CoordinatorConfig ext_config;
+  ext_config.registry = registry;
+  auto ext_client =
+      RemoteEvaluator::connect({"unix:" + path}, "alu:4", ext_config);
+  expect_bit_identical(ext_client->evaluate_many(ext_flows),
+                       local_ext.evaluate_many(ext_flows));
+  ext_client.reset();
+
+  // The paper alphabet is still warm — same fleet, two alphabets.
+  auto paper_again = RemoteEvaluator::connect({"unix:" + path}, "alu:4");
+  expect_bit_identical(paper_again->evaluate_many(paper_flows),
+                       local_paper.evaluate_many(paper_flows));
+  paper_again.reset();
+  server.join();
+  EXPECT_EQ(worker.num_designs(), 2u);  // alu:4 under paper + extended
+}
+
+TEST(ServiceTest, StoreDirFollowsRegistrySwitches) {
+  SKIP_UNDER_TSAN();
+  // A directory-rooted store must serve non-paper alphabets (in their own
+  // reg-<fp16> subdir) instead of wedging on a fingerprint mismatch — and
+  // still short-circuit a rerun.
+  const std::string dir = ::testing::TempDir() + "flowgen_regstore_" +
+                          std::to_string(::getpid());
+  const auto registry = extended_registry();
+  const auto flows = sample_extended_flows(20, registry);
+  CoordinatorConfig config;
+  config.registry = registry;
+  WorkerOptions options;
+  options.design_id = "alu:4";
+  std::vector<map::QoR> first_qor;
+  {
+    LoopbackCluster cluster(2, options);
+    EvalCoordinator coordinator(cluster.take_workers(), "alu:4", config);
+    coordinator.attach_store_dir(dir);
+    first_qor = coordinator.evaluate_many(flows);
+    EXPECT_EQ(coordinator.stats().store_appends, flows.size());
+    coordinator.shutdown_workers();
+  }
+  LoopbackCluster cluster(2, options);
+  EvalCoordinator coordinator(cluster.take_workers(), "alu:4", config);
+  coordinator.attach_store_dir(dir);
+  expect_bit_identical(coordinator.evaluate_many(flows), first_qor);
+  EXPECT_EQ(coordinator.stats().store_hits, flows.size());
+  EXPECT_EQ(coordinator.stats().requests_sent, 0u);
+  // The labels live under the per-alphabet subdirectory, not the root.
+  const std::string sub =
+      dir + "/reg-" +
+      opt::registry_fingerprint_hex(registry->fingerprint()).substr(0, 16);
+  EXPECT_TRUE(std::filesystem::exists(sub));
+  coordinator.shutdown_workers();
+}
+
+TEST(ServiceTest, RequestForUnloadedRegistryIsARoutedError) {
+  // A hand-rolled EvalRequest naming an alphabet the worker never saw must
+  // come back as an Error frame, not undefined dispatch.
+  auto [client, server_sock] = socket_pair();
+  WorkerOptions options;
+  options.design_id = "alu:4";
+  EvalWorker worker(options);
+  std::thread server([&worker, sock = std::move(server_sock)]() mutable {
+    worker.serve(sock);
+  });
+
+  send_frame(client, MsgType::kHello, encode_hello({}));
+  const auto ack = recv_frame(client, 10000);
+  ASSERT_TRUE(ack && ack->type == MsgType::kHelloAck);
+  const HelloAckMsg acked = decode_hello_ack(ack->payload);
+
+  EvalRequestMsg req;
+  req.request_id = 9;
+  req.design = acked.fingerprint;
+  req.registry = {0xBAD, 0xC0DE};  // never loaded
+  req.flows.push_back({0});
+  send_frame(client, MsgType::kEvalRequest, encode_eval_request(req));
+  const auto reply = recv_frame(client, 10000);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kError);
+  const ErrorMsg err = decode_error(reply->payload);
+  EXPECT_EQ(err.request_id, 9u);
+  EXPECT_NE(err.message.find("registry"), std::string::npos);
+
+  send_frame(client, MsgType::kShutdown, {});
+  server.join();
+}
+
 TEST(ServiceTest, CoordinatorStoreShortCircuitsSecondRun) {
   SKIP_UNDER_TSAN();
   const std::string dir =
@@ -564,7 +763,7 @@ TEST(ServiceTest, CoordinatorStoreShortCircuitsSecondRun) {
   {
     auto remote = RemoteEvaluator::loopback("alu:4", 2);
     remote->attach_store(std::make_shared<core::QorStore>(
-        core::QorStoreConfig{dir, "coord-a", false}));
+        core::QorStoreConfig{dir, "coord-a", false, nullptr}));
     first_qor = remote->evaluate_many(flows);
     EXPECT_EQ(remote->stats().store_appends, flows.size());
   }
@@ -572,7 +771,7 @@ TEST(ServiceTest, CoordinatorStoreShortCircuitsSecondRun) {
   // come from disk — zero requests cross the wire.
   auto remote = RemoteEvaluator::loopback("alu:4", 2);
   remote->attach_store(std::make_shared<core::QorStore>(
-      core::QorStoreConfig{dir, "coord-b", false}));
+      core::QorStoreConfig{dir, "coord-b", false, nullptr}));
   expect_bit_identical(remote->evaluate_many(flows), first_qor);
   EXPECT_EQ(remote->stats().store_hits, flows.size());
   EXPECT_EQ(remote->stats().requests_sent, 0u);

@@ -1,22 +1,28 @@
 // evald — the flow-evaluation daemon. Three modes:
 //
 //   worker    Serve synthesis+mapping requests. Designs come from the
-//             registry (Hello naming an id) or over the wire (protocol v2
-//             LoadDesign shipping a netlist); a small LRU keeps several
-//             instantiated designs warm:
+//             design registry (Hello naming an id), from a netlist file
+//             (--design-file, BLIF via aig/reader) or over the wire
+//             (LoadDesign shipping a serialized netlist); transform
+//             alphabets arrive via protocol v3 LoadRegistry; a small LRU
+//             keeps several instantiated (design, alphabet) pairs warm:
 //               evald --mode worker --listen unix:/tmp/w0.sock
-//                     [--design alu16] [--threads 4] [--max-designs 4]
+//                     [--design alu16] [--design-file adder.blif]
+//                     [--threads 4] [--max-designs 4]
 //                     [--store /var/lib/flowgen/qor]
 //   server    Front a worker fleet behind a single address. The server
-//             speaks the same protocol as a worker — including LoadDesign,
-//             which it re-broadcasts to its fleet — so clients cannot tell
-//             a coordinator from a big worker and fleets compose:
+//             speaks the same protocol as a worker — including LoadDesign
+//             and LoadRegistry, which it re-broadcasts to its fleet — so
+//             clients cannot tell a coordinator from a big worker and
+//             fleets compose:
 //               evald --mode server --listen tcp:0.0.0.0:9000
 //                     --workers unix:/tmp/w0.sock,unix:/tmp/w1.sock
-//                     [--design alu16] [--store /var/lib/flowgen/qor]
+//                     [--design alu16 | --design-file adder.blif]
+//                     [--store /var/lib/flowgen/qor]
 //   loopback  Fork N local workers, push a random batch through them, and
 //             print throughput — the zero-setup smoke test:
 //               evald --mode loopback --design alu16 --workers 4 --flows 200
+//               evald --mode loopback --design-file adder.blif --workers 4
 //
 // --store points at a persistent labeled-QoR directory (docs/qor-store.md):
 // workers pre-warm their caches from it and append fresh labels; a server
@@ -26,9 +32,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "aig/reader.hpp"
 #include "aig/serialize.hpp"
 #include "core/flow_space.hpp"
 #include "core/qor_store.hpp"
@@ -60,6 +68,7 @@ std::vector<std::string> split_list(const std::string& csv) {
 int run_worker(const util::Cli& cli) {
   service::WorkerOptions options;
   options.design_id = cli.get("design", "");
+  options.design_file = cli.get("design-file", "");
   options.threads = static_cast<std::size_t>(cli.get_int("threads", 1));
   options.max_designs =
       static_cast<std::size_t>(cli.get_int("max-designs", 4));
@@ -69,8 +78,9 @@ int run_worker(const util::Cli& cli) {
   service::EvalWorker worker(options);
   service::Listener listener = service::Listener::bind(addr);
   util::log_info("evald worker: design=",
-                 options.design_id.empty() ? "<none — awaiting LoadDesign>"
-                                           : options.design_id,
+                 !options.design_file.empty() ? options.design_file
+                 : options.design_id.empty() ? "<none — awaiting LoadDesign>"
+                                             : options.design_id,
                  " listening on ", listener.address().to_string());
   worker.serve_forever(listener);
   return 0;
@@ -78,45 +88,61 @@ int run_worker(const util::Cli& cli) {
 
 int run_server(const util::Cli& cli) {
   const std::string design = cli.get("design", "");
+  const std::string design_file = cli.get("design-file", "");
   const auto worker_specs = split_list(cli.get("workers", ""));
   if (worker_specs.empty()) {
     std::fprintf(stderr, "evald server: --workers is required\n");
     return 2;
   }
-  // No --design starts the fleet deferred: the first client Hello(id) or
-  // LoadDesign decides what it serves.
-  service::EvalCoordinator coordinator(service::connect_workers(worker_specs),
-                                       design);
+  // No --design/--design-file starts the fleet deferred: the first client
+  // Hello(id), LoadDesign or LoadRegistry decides what it serves. A
+  // --design-file fleet ships the loaded netlist to every worker.
+  std::unique_ptr<service::EvalCoordinator> coordinator;
+  if (design_file.empty()) {
+    coordinator = std::make_unique<service::EvalCoordinator>(
+        service::connect_workers(worker_specs), design);
+  } else {
+    coordinator = std::make_unique<service::EvalCoordinator>(
+        service::connect_workers(worker_specs),
+        aig::read_blif_file(design_file));
+  }
   if (const std::string dir = cli.get("store", ""); !dir.empty()) {
-    core::QorStoreConfig store_config;
-    store_config.dir = dir;
-    coordinator.attach_store(
-        std::make_shared<core::QorStore>(std::move(store_config)));
+    // Directory-rooted so the store follows LoadRegistry alphabet
+    // switches (paper labels in DIR, others in DIR/reg-<fp16>).
+    coordinator->attach_store_dir(dir);
   }
   const auto addr =
       service::Address::parse(cli.get("listen", "unix:/tmp/evald.sock"));
   service::Listener listener = service::Listener::bind(addr);
   util::log_info("evald server: design=",
-                 design.empty() ? "<deferred>" : design, " fleet=",
-                 coordinator.num_workers_alive(), " listening on ",
-                 listener.address().to_string());
+                 !design_file.empty() ? design_file
+                 : design.empty()     ? "<deferred>"
+                                      : design,
+                 " fleet=", coordinator->num_workers_alive(),
+                 " listening on ", listener.address().to_string());
   // Concurrent clients: every connection gets its own service thread (the
   // Hello(id)-elaborates-and-broadcasts glue lives in
   // make_coordinator_service; the coordinator serialises batches).
-  service::serve_connections(
-      listener, [&] { return service::make_coordinator_service(coordinator); });
-  coordinator.shutdown_workers();
+  service::serve_connections(listener, [&] {
+    return service::make_coordinator_service(*coordinator);
+  });
+  coordinator->shutdown_workers();
   return 0;
 }
 
 int run_loopback(const util::Cli& cli) {
   const std::string design = cli.get("design", "alu16");
+  const std::string design_file = cli.get("design-file", "");
   const auto num_workers =
       static_cast<std::size_t>(cli.get_int("workers", 4));
   const auto num_flows = static_cast<std::size_t>(cli.get_int("flows", 200));
   const auto m = static_cast<unsigned>(cli.get_int("m", 2));
 
-  auto remote = service::RemoteEvaluator::loopback(design, num_workers);
+  auto remote =
+      design_file.empty()
+          ? service::RemoteEvaluator::loopback(design, num_workers)
+          : service::RemoteEvaluator::loopback_netlist(
+                aig::read_blif_file(design_file), num_workers);
   const core::FlowSpace space(m);
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
   const std::vector<core::Flow> flows = space.sample_unique(num_flows, rng);
@@ -128,7 +154,8 @@ int run_loopback(const util::Cli& cli) {
           .count();
   const auto stats = remote->stats();
   std::printf("evald loopback: design=%s workers=%zu flows=%zu\n",
-              design.c_str(), num_workers, num_flows);
+              design_file.empty() ? design.c_str() : design_file.c_str(),
+              num_workers, num_flows);
   std::printf("  %.2fs  %.1f flows/s  shards=%zu requeues=%zu\n", seconds,
               seconds > 0 ? static_cast<double>(num_flows) / seconds : 0.0,
               stats.shards, stats.requeues);
