@@ -9,7 +9,15 @@
 // Note: worker processes only help wall-clock when the host has cores for
 // them (each loopback worker is a full synthesis process). On a 1-core
 // host the curve is flat and the bench says so in the JSON (host_cores).
+//
+// --stream-bench switches to the v4 streaming A/B: the same batch through
+// the same fleet with per-flow EvalResult streaming on vs the v3
+// whole-shard EvalResponse shape, plus a fault-injection run that SIGKILLs
+// a worker mid-shard to price a requeue under streaming (only the
+// undelivered suffix reruns). Emits BENCH_stream_<design>.json with the
+// shard latency distribution per mode; any bit mismatch fails the bench.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -19,6 +27,7 @@
 #include "core/evaluator.hpp"
 #include "core/flow_space.hpp"
 #include "designs/registry.hpp"
+#include "service/loopback.hpp"
 #include "service/remote_evaluator.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -41,10 +50,177 @@ struct Run {
   std::size_t requeues = 0;
 };
 
+double percentile(std::vector<double> sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+struct StreamRun {
+  std::string mode;
+  double seconds = 0.0;
+  double flows_per_sec = 0.0;
+  bool identical = true;
+  std::size_t shards_done = 0;
+  std::size_t flows_streamed = 0;
+  std::size_t flows_dispatched = 0;
+  std::size_t flows_rescued = 0;
+  std::size_t flows_requeued = 0;
+  std::size_t workers_lost = 0;
+  double shard_ms_mean = 0.0;
+  double shard_ms_p50 = 0.0;
+  double shard_ms_p90 = 0.0;
+  double shard_ms_max = 0.0;
+};
+
+// One A/B leg: a fresh loopback fleet, one timed batch, bit-checked
+// against the oracle, with the shard latency distribution pulled from the
+// coordinator's bounded sample window. `kill_mid_shard` prices a requeue:
+// SIGKILL worker 0 after its 10th streamed flow result.
+StreamRun stream_leg(const std::string& mode, const std::string& design_name,
+                     std::size_t workers, bool stream_results,
+                     bool kill_mid_shard,
+                     const std::vector<core::Flow>& flows,
+                     const std::vector<map::QoR>& oracle) {
+  service::WorkerOptions options;
+  options.design_id = design_name;
+  service::LoopbackCluster cluster(workers, options);
+  service::CoordinatorConfig config;
+  config.stream_results = stream_results;
+  config.shards_per_worker = 8;
+  service::EvalCoordinator coordinator(cluster.take_workers(), design_name,
+                                       config);
+  std::size_t from_worker_zero = 0;
+  if (kill_mid_shard) {
+    coordinator.set_progress_observer([&](std::size_t w) {
+      if (w == 0 && ++from_worker_zero == 10) cluster.kill_worker(0);
+    });
+  }
+
+  StreamRun r;
+  r.mode = mode;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<map::QoR> qor = coordinator.evaluate_many(flows);
+  r.seconds = seconds_since(t0);
+  r.flows_per_sec = static_cast<double>(flows.size()) / r.seconds;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (qor[i] != oracle[i]) {
+      r.identical = false;
+      std::printf("  MISMATCH at flow %zu in %s run\n", i, mode.c_str());
+      break;
+    }
+  }
+  const service::CoordinatorStats stats = coordinator.stats();
+  r.shards_done = stats.shards_done;
+  r.flows_streamed = stats.flows_streamed;
+  r.flows_dispatched = stats.flows_dispatched;
+  r.flows_rescued = stats.flows_rescued;
+  r.flows_requeued = stats.flows_requeued;
+  r.workers_lost = stats.workers_lost;
+  std::vector<double> ms = stats.shard_ms;
+  if (!ms.empty()) {
+    double sum = 0.0;
+    for (const double v : ms) sum += v;
+    r.shard_ms_mean = sum / static_cast<double>(ms.size());
+    std::sort(ms.begin(), ms.end());
+    r.shard_ms_p50 = percentile(ms, 0.5);
+    r.shard_ms_p90 = percentile(ms, 0.9);
+    r.shard_ms_max = ms.back();
+  }
+  std::printf(
+      "  %-16s: %.2fs  %.1f flows/s  shard_ms p50/p90/max %.0f/%.0f/%.0f  "
+      "rescued=%zu requeued=%zu  (%s)\n",
+      mode.c_str(), r.seconds, r.flows_per_sec, r.shard_ms_p50, r.shard_ms_p90,
+      r.shard_ms_max, r.flows_rescued, r.flows_requeued,
+      r.identical ? "bit-identical" : "MISMATCH");
+  return r;
+}
+
+int run_stream_bench(const util::Cli& cli) {
+  const std::string design_name = cli.get("design", "alu16");
+  const unsigned m = static_cast<unsigned>(cli.get_int("m", 2));
+  const std::size_t num_flows =
+      static_cast<std::size_t>(cli.get_int("flows", 1000));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::size_t workers =
+      static_cast<std::size_t>(cli.get_int("stream-workers", 2));
+
+  const core::FlowSpace space(m);
+  util::Rng rng(seed);
+  const std::vector<core::Flow> flows = space.sample_unique(num_flows, rng);
+
+  std::printf(
+      "bench_service --stream-bench: design=%s m=%u flows=%zu workers=%zu "
+      "host_cores=%u\n",
+      design_name.c_str(), m, num_flows, workers,
+      std::thread::hardware_concurrency());
+
+  core::SynthesisEvaluator in_process(designs::make_design(design_name));
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<map::QoR> oracle = in_process.evaluate_many(flows);
+  const double in_process_seconds = seconds_since(t0);
+  std::printf("  in-process      : %.2fs  %.1f flows/s\n", in_process_seconds,
+              static_cast<double>(num_flows) / in_process_seconds);
+
+  std::vector<StreamRun> runs;
+  runs.push_back(stream_leg("whole_shard", design_name, workers,
+                            /*stream_results=*/false, /*kill=*/false, flows,
+                            oracle));
+  runs.push_back(stream_leg("streamed", design_name, workers,
+                            /*stream_results=*/true, /*kill=*/false, flows,
+                            oracle));
+  runs.push_back(stream_leg("streamed_requeue", design_name, workers,
+                            /*stream_results=*/true, /*kill=*/true, flows,
+                            oracle));
+
+  const double ratio =
+      runs[0].seconds > 0 ? runs[1].seconds / runs[0].seconds : 0.0;
+  std::string json =
+      "{\"design\": \"" + design_name + "\", \"m\": " + std::to_string(m) +
+      ", \"flows\": " + std::to_string(num_flows) + ", \"workers\": " +
+      std::to_string(workers) + ",\n \"host_cores\": " +
+      std::to_string(std::thread::hardware_concurrency()) +
+      ",\n \"in_process_seconds\": " + std::to_string(in_process_seconds) +
+      ",\n \"stream_vs_whole_shard_ratio\": " + std::to_string(ratio) +
+      ",\n \"runs\": [";
+  bool all_identical = true;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const StreamRun& r = runs[i];
+    all_identical = all_identical && r.identical;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s\n  {\"mode\": \"%s\", \"seconds\": %.3f, \"flows_per_sec\": %.2f, "
+        "\"bit_identical\": %s, \"shards_done\": %zu, \"flows_streamed\": %zu, "
+        "\"flows_dispatched\": %zu, \"flows_rescued\": %zu, "
+        "\"flows_requeued\": %zu, \"workers_lost\": %zu,\n   \"shard_ms\": "
+        "{\"mean\": %.1f, \"p50\": %.1f, \"p90\": %.1f, \"max\": %.1f}}",
+        i ? "," : "", r.mode.c_str(), r.seconds, r.flows_per_sec,
+        r.identical ? "true" : "false", r.shards_done, r.flows_streamed,
+        r.flows_dispatched, r.flows_rescued, r.flows_requeued, r.workers_lost,
+        r.shard_ms_mean, r.shard_ms_p50, r.shard_ms_p90, r.shard_ms_max);
+    json += buf;
+  }
+  json += "\n]}";
+  std::printf("%s\n", json.c_str());
+
+  const std::string json_path =
+      cli.get("json", "BENCH_stream_" + design_name + ".json");
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+  }
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
+  if (cli.get_bool("stream-bench", false)) return run_stream_bench(cli);
   const std::string design_name = cli.get("design", "alu16");
   const unsigned m = static_cast<unsigned>(cli.get_int("m", 2));
   const std::size_t num_flows =

@@ -1,0 +1,115 @@
+#include "service/admin.hpp"
+
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace flowgen::service {
+
+namespace {
+
+/// Reply body -> wire bytes: ensure a trailing newline, then the blank
+/// line that marks the end of the reply.
+std::string frame_reply(std::string body) {
+  if (body.empty() || body.back() != '\n') body.push_back('\n');
+  body.push_back('\n');
+  return body;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+AdminServer::AdminServer(const Address& addr, Handler handler)
+    : listener_(Listener::bind(addr)), handler_(std::move(handler)) {
+  thread_ = std::thread([this] { serve(); });
+  util::log_info("admin: listening on ", listener_.address().to_string());
+}
+
+AdminServer::~AdminServer() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void AdminServer::serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    Socket client;
+    try {
+      client = listener_.accept(200);  // short poll so stop_ is noticed
+    } catch (const AcceptTimeout&) {
+      continue;
+    } catch (const TransportError& e) {
+      util::log_warn("admin: accept failed: ", e.what());
+      return;
+    }
+    // One client at a time: admin traffic is a human or a probe, and a
+    // serial loop cannot be wedged into unbounded threads by a port scan.
+    serve_client(std::move(client));
+  }
+}
+
+void AdminServer::serve_client(Socket client) {
+  std::string buf;
+  char chunk[512];
+  try {
+    while (!stop_.load(std::memory_order_acquire)) {
+      const std::size_t nl = buf.find('\n');
+      if (nl == std::string::npos) {
+        if (!client.wait_readable(200)) continue;
+        const long n = client.recv_some(chunk, sizeof chunk);
+        if (n < 0) continue;        // spurious wakeup
+        if (n == 0) return;         // client went away
+        buf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      const std::string line = trim(buf.substr(0, nl));
+      buf.erase(0, nl + 1);
+      if (line.empty()) continue;
+      if (line == "quit") return;
+      std::string reply;
+      try {
+        reply = handler_(line);
+      } catch (const std::exception& e) {
+        reply = std::string("err ") + e.what();
+      }
+      const std::string wire = frame_reply(std::move(reply));
+      client.send_all(wire.data(), wire.size(), 5000);
+    }
+  } catch (const TransportError& e) {
+    util::log_warn("admin: client error: ", e.what());
+  }
+}
+
+std::string admin_query(const Address& addr, const std::string& command,
+                        int timeout_ms) {
+  Socket sock = connect_to(addr, timeout_ms);
+  const std::string line = command + "\n";
+  sock.send_all(line.data(), line.size(), timeout_ms);
+  std::string reply;
+  char chunk[1024];
+  while (true) {
+    if (!sock.wait_readable(timeout_ms)) {
+      throw TransportError("admin reply timeout");
+    }
+    const long n = sock.recv_some(chunk, sizeof chunk);
+    if (n < 0) continue;
+    if (n == 0) throw TransportError("admin connection closed mid-reply");
+    reply.append(chunk, static_cast<std::size_t>(n));
+    // Terminator: a blank line — "\n\n" at the end of the accumulated
+    // reply (the body itself never contains one).
+    if (reply.size() >= 2 && reply.compare(reply.size() - 2, 2, "\n\n") == 0) {
+      reply.resize(reply.size() - 2);
+      return reply;
+    }
+  }
+}
+
+}  // namespace flowgen::service

@@ -1,0 +1,57 @@
+#pragma once
+// The admin/introspection socket: a monitor-style line protocol on its own
+// address, completely separate from the binary wire protocol. One command
+// per line in; the reply is lines of text terminated by a single blank
+// line. `evalctl` (tools/evalctl.cpp) is the matching one-shot client;
+// `evald --admin unix:/path` and CoordinatorConfig::admin_addr open one of
+// these next to the serve socket so a running fleet can be inspected —
+// queue depths, per-worker inflight/latency, requeue counts, store hit
+// rates — without touching the data plane.
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "service/transport.hpp"
+
+namespace flowgen::service {
+
+/// Binds `addr` and serves the line protocol on a background thread until
+/// destroyed. `handler` maps one command line (trimmed, e.g. "stats") to
+/// the reply body; it runs on the admin thread and must be thread-safe
+/// against whatever it introspects. Handler exceptions become an
+/// "err <what>" reply. Commands handled here: "quit" closes the
+/// connection; empty lines are ignored.
+class AdminServer {
+public:
+  using Handler = std::function<std::string(const std::string& command)>;
+
+  AdminServer(const Address& addr, Handler handler);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// The bound address (resolves tcp port 0).
+  const Address& address() const { return listener_.address(); }
+
+private:
+  void serve();
+  /// Serve one client until EOF/quit; false-positive errors are logged,
+  /// never fatal to the server.
+  void serve_client(Socket client);
+
+  Listener listener_;
+  Handler handler_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// One admin round-trip, the evalctl core: connect, send `command`, read
+/// until the blank-line terminator, return the reply body. Throws
+/// TransportError on connection failure or a malterminated reply.
+std::string admin_query(const Address& addr, const std::string& command,
+                        int timeout_ms = 5000);
+
+}  // namespace flowgen::service

@@ -4,14 +4,24 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
+#include <iomanip>
 #include <numeric>
+#include <sstream>
 
 #include "aig/serialize.hpp"
+#include "service/admin.hpp"
+#include "util/crc32.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::service {
 
 namespace {
+
+/// Poller tag of the wake pipe; workers use their table index.
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0};
+/// Bound on the retained shard-latency sample window.
+constexpr std::size_t kMaxLatencySamples = 4096;
 
 std::int64_t now_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -24,19 +34,28 @@ std::string netlist_label(const aig::Aig& design) {
   return "netlist:" + aig::fingerprint_hex(design.fingerprint()).substr(0, 16);
 }
 
+bool name_is_address(const std::string& name) {
+  try {
+    (void)Address::parse(name);
+    return true;
+  } catch (const TransportError&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
                                  std::string design_id,
                                  CoordinatorConfig config)
     : EvalCoordinator(std::move(workers), std::move(design_id), nullptr,
-                      config) {}
+                      std::move(config)) {}
 
 EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
                                  const aig::Aig& design,
                                  CoordinatorConfig config)
     : EvalCoordinator(std::move(workers), netlist_label(design), &design,
-                      config) {}
+                      std::move(config)) {}
 
 EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
                                  std::string design_id,
@@ -45,206 +64,1211 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
     : design_id_(std::move(design_id)),
       registry_(config.registry ? config.registry
                                 : opt::TransformRegistry::paper()),
-      config_(config) {
+      config_(std::move(config)) {
   config_.max_inflight_per_worker =
       std::max<std::size_t>(1, config_.max_inflight_per_worker);
   config_.shards_per_worker =
       std::max<std::size_t>(1, config_.shards_per_worker);
-
-  // Netlist mode: serialize once, ship to every worker after its Hello.
-  std::vector<std::uint8_t> blob;
-  aig::Fingerprint want = kNoDesign;
   if (netlist) {
-    blob = aig::encode_binary(*netlist);
-    want = netlist->fingerprint();
+    // Netlist mode: serialize once; qualify() ships the blob to every
+    // worker (and admit_worker re-ships it to returning ones).
+    design_blob_ = aig::encode_binary(*netlist);
+    design_fp_ = netlist->fingerprint();
   }
-  // Alphabet: encoded once; shipped only to workers whose HelloAck does
-  // not already echo its fingerprint.
-  const std::vector<std::uint8_t> registry_blob = registry_->encode();
-  const opt::RegistryFingerprint registry_fp = registry_->fingerprint();
-  const bool registry = !netlist && !design_id_.empty();
-  HelloMsg hello_msg;
-  hello_msg.design_id = registry ? design_id_ : "";
-  hello_msg.registry = registry_fp;
-  const auto hello = encode_hello(hello_msg);
+  registry_blob_ = registry_->encode();
+
+  poller_.add(wake_.read_fd(), /*want_read=*/true, /*want_write=*/false,
+              kWakeTag);
   for (Worker& w : workers) {
     WorkerState state;
-    state.sock = std::move(w.sock);
     state.name = std::move(w.name);
-    try {
-      send_frame(state.sock, MsgType::kHello, hello,
-                 config_.request_timeout_ms);
-      const auto ack = recv_frame(state.sock, config_.request_timeout_ms);
-      if (ack && ack->type == MsgType::kHelloAck) {
-        const HelloAckMsg acked = decode_hello_ack(ack->payload);
-        if (acked.version != kProtocolVersion) {
-          util::log_warn("coordinator: worker ", state.name,
-                         " speaks protocol v",
-                         static_cast<int>(acked.version), ", want v",
-                         static_cast<int>(kProtocolVersion), " — dropped");
-        } else if (acked.registry != registry_fp &&
-                   !ship_registry(state, registry_blob, registry_fp)) {
-          // Alphabet first — before any design lands — so a shipped
-          // netlist is instantiated under the registry requests will
-          // actually name, not the worker's default. ship_registry logged
-          // the reason for the drop.
-        } else if (netlist) {
-          state.alive = ship_design(state, blob, want);
-        } else if (!registry) {
-          state.alive = true;  // deferred fleet: design arrives later
-        } else if (acked.design_id != design_id_) {
-          // The ack names the design the worker actually serves; a mismatch
-          // would mean silently labeling the wrong circuit — drop the worker.
-          util::log_warn("coordinator: worker ", state.name,
-                         " serves design '", acked.design_id, "', want '",
-                         design_id_, "' — dropped");
-        } else if (design_fp_ != kNoDesign &&
-                   acked.fingerprint != design_fp_) {
-          // Same id, different content: a stale registry on that machine.
-          // Fingerprint consensus keeps "bit-identical across the fleet"
-          // true by construction.
-          util::log_warn("coordinator: worker ", state.name,
-                         " disagrees on the fingerprint of '", design_id_,
-                         "' — dropped");
-        } else {
-          design_fp_ = acked.fingerprint;
-          state.alive = true;
-        }
-      } else if (ack && ack->type == MsgType::kError) {
-        const ErrorMsg err = decode_error(ack->payload);
-        util::log_warn("coordinator: worker ", state.name,
-                       " rejected handshake: ", err.message);
-      } else {
-        util::log_warn("coordinator: worker ", state.name,
-                       " failed handshake");
-      }
-    } catch (const std::exception& e) {
-      util::log_warn("coordinator: worker ", state.name,
-                     " unreachable: ", e.what());
+    state.addressable = name_is_address(state.name);
+    WorkerSnapshot snap;
+    snap.name = state.name;
+    if (qualify(state, w.sock, config_.request_timeout_ms)) {
+      state.conn = std::make_unique<FrameConn>(std::move(w.sock));
+      state.alive = true;
+      snap.alive = true;
+      poller_.add(state.conn->fd(), /*want_read=*/true, /*want_write=*/false,
+                  workers_.size());
+    } else if (config_.reconnect_ms > 0 && state.addressable) {
+      state.retry_at_ms = now_ms() + config_.reconnect_ms;
     }
     workers_.push_back(std::move(state));
+    snapshots_.push_back(std::move(snap));
   }
-  if (netlist) design_fp_ = want;
-  if (num_alive_unlocked() == 0) {
+  if (num_alive_loop() == 0) {
     throw ServiceError("no worker completed the handshake for design '" +
                        design_id_ + "'");
   }
+  if (!config_.admin_addr.empty()) {
+    admin_ = std::make_unique<AdminServer>(
+        Address::parse(config_.admin_addr),
+        [this](const std::string& cmd) { return admin_text(cmd); });
+  }
+  loop_thread_ = std::thread([this] { loop(); });
 }
 
-bool EvalCoordinator::ship_registry(WorkerState& worker,
-                                    std::span<const std::uint8_t> blob,
-                                    const opt::RegistryFingerprint& fp) {
+EvalCoordinator::~EvalCoordinator() {
+  admin_.reset();  // stop answering probes before the state goes away
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+// ---------------------------------------------------------------- handshake --
+
+bool EvalCoordinator::qualify(WorkerState& state, Socket& sock,
+                              int timeout_ms) {
+  // Snapshot identity under the lock, handshake without it: qualify runs
+  // blocking I/O (constructor thread before the loop exists, or the loop
+  // thread itself for admit/reconnect) and mu_ is never held across I/O.
+  std::string design_id;
+  aig::Fingerprint design_fp;
+  std::vector<std::uint8_t> design_blob;
+  std::vector<std::uint8_t> registry_blob;
+  opt::RegistryFingerprint registry_fp;
+  {
+    std::lock_guard lock(mu_);
+    design_id = design_id_;
+    design_fp = design_fp_;
+    design_blob = design_blob_;
+    registry_blob = registry_blob_;
+    registry_fp = registry_->fingerprint();
+  }
+  HelloMsg hello;
+  // A shipped-blob design is re-shipped below, so the Hello names no
+  // registry design; a registry-id fleet asks the worker to elaborate it.
+  hello.design_id = design_blob.empty() ? design_id : "";
+  hello.registry = registry_fp;
   try {
-    send_frame(worker.sock, MsgType::kLoadRegistry, blob,
-               config_.request_timeout_ms);
-    const auto ack = recv_frame(worker.sock, config_.request_timeout_ms);
+    send_frame(sock, MsgType::kHello, encode_hello(hello), timeout_ms);
+    const auto ack = recv_frame(sock, timeout_ms);
+    if (ack && ack->type == MsgType::kHelloAck) {
+      const HelloAckMsg acked = decode_hello_ack(ack->payload);
+      if (acked.version != kProtocolVersion) {
+        util::log_warn("coordinator: worker ", state.name,
+                       " speaks protocol v", static_cast<int>(acked.version),
+                       ", want v", static_cast<int>(kProtocolVersion),
+                       " — dropped");
+        return false;
+      }
+      // Alphabet first — before any design lands — so a shipped netlist is
+      // instantiated under the registry requests will actually name, not
+      // the worker's default.
+      if (acked.registry != registry_fp &&
+          !ship_registry(sock, state.name, registry_blob, registry_fp,
+                         timeout_ms)) {
+        return false;
+      }
+      if (!design_blob.empty()) {
+        return ship_design(sock, state.name, design_blob, design_fp,
+                           timeout_ms);
+      }
+      if (design_id.empty()) return true;  // deferred fleet: design later
+      if (acked.design_id != design_id) {
+        // The ack names the design the worker actually serves; a mismatch
+        // would mean silently labeling the wrong circuit.
+        util::log_warn("coordinator: worker ", state.name,
+                       " serves design '", acked.design_id, "', want '",
+                       design_id, "' — dropped");
+        return false;
+      }
+      if (design_fp != kNoDesign && acked.fingerprint != design_fp) {
+        // Same id, different content: a stale registry on that machine.
+        // Fingerprint consensus keeps "bit-identical across the fleet"
+        // true by construction.
+        util::log_warn("coordinator: worker ", state.name,
+                       " disagrees on the fingerprint of '", design_id,
+                       "' — dropped");
+        return false;
+      }
+      if (design_fp == kNoDesign) {
+        // First worker to answer elects the consensus fingerprint.
+        std::lock_guard lock(mu_);
+        if (design_fp_ == kNoDesign) {
+          design_fp_ = acked.fingerprint;
+        } else if (design_fp_ != acked.fingerprint) {
+          util::log_warn("coordinator: worker ", state.name,
+                         " disagrees on the fingerprint of '", design_id,
+                         "' — dropped");
+          return false;
+        }
+      }
+      return true;
+    }
+    if (ack && ack->type == MsgType::kError) {
+      const ErrorMsg err = decode_error(ack->payload);
+      util::log_warn("coordinator: worker ", state.name,
+                     " rejected handshake: ", err.message);
+    } else {
+      util::log_warn("coordinator: worker ", state.name, " failed handshake");
+    }
+  } catch (const std::exception& e) {
+    util::log_warn("coordinator: worker ", state.name,
+                   " unreachable: ", e.what());
+  }
+  return false;
+}
+
+bool EvalCoordinator::ship_registry(Socket& sock, const std::string& name,
+                                    std::span<const std::uint8_t> blob,
+                                    const opt::RegistryFingerprint& fp,
+                                    int timeout_ms) {
+  try {
+    send_frame(sock, MsgType::kLoadRegistry, blob, timeout_ms);
+    const auto ack = recv_frame(sock, timeout_ms);
     if (ack && ack->type == MsgType::kLoadRegistryAck) {
       if (decode_load_registry_ack(ack->payload) == fp) return true;
-      util::log_warn("coordinator: worker ", worker.name,
+      util::log_warn("coordinator: worker ", name,
                      " acked the wrong registry fingerprint");
     } else if (ack && ack->type == MsgType::kError) {
       const ErrorMsg err = decode_error(ack->payload);
-      util::log_warn("coordinator: worker ", worker.name,
+      util::log_warn("coordinator: worker ", name,
                      " rejected registry: ", err.message);
     } else {
-      util::log_warn("coordinator: worker ", worker.name,
+      util::log_warn("coordinator: worker ", name,
                      " failed the registry load");
     }
   } catch (const std::exception& e) {
-    util::log_warn("coordinator: worker ", worker.name,
+    util::log_warn("coordinator: worker ", name,
                    " lost during registry load: ", e.what());
   }
   return false;
 }
 
-void EvalCoordinator::load_registry(
-    std::shared_ptr<const opt::TransformRegistry> registry,
-    std::span<const std::uint8_t> blob) {
-  std::lock_guard lock(op_mutex_);
-  if (registry->fingerprint() == registry_->fingerprint()) return;
-  std::vector<std::uint8_t> encoded;
-  if (blob.empty()) {
-    encoded = registry->encode();
-    blob = encoded;
-  }
-  std::deque<std::size_t> no_pending;  // no batch in flight between batches
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
-    if (!workers_[w].alive) continue;
-    if (!ship_registry(workers_[w], blob, registry->fingerprint())) {
-      lose_worker(w, no_pending, "registry load failed");
-    }
-  }
-  if (num_alive_unlocked() == 0) {
-    throw ServiceError("no worker accepted registry " +
-                       opt::registry_fingerprint_hex(
-                           registry->fingerprint()));
-  }
-  registry_ = std::move(registry);
-  // Directory-rooted stores follow the alphabet (paper labels in the root,
-  // others in reg-<fp16>/); an explicitly attached store stays put and the
-  // evaluate-time guard turns any mismatch into a typed error.
-  open_store_for_registry_unlocked();
-}
-
-bool EvalCoordinator::ship_design(WorkerState& worker,
+bool EvalCoordinator::ship_design(Socket& sock, const std::string& name,
                                   std::span<const std::uint8_t> blob,
-                                  const aig::Fingerprint& fp) {
+                                  const aig::Fingerprint& fp,
+                                  int timeout_ms) {
   try {
-    send_frame(worker.sock, MsgType::kLoadDesign, blob,
-               config_.request_timeout_ms);
-    const auto ack = recv_frame(worker.sock, config_.request_timeout_ms);
+    send_frame(sock, MsgType::kLoadDesign, blob, timeout_ms);
+    const auto ack = recv_frame(sock, timeout_ms);
     if (ack && ack->type == MsgType::kLoadDesignAck) {
       if (decode_load_design_ack(ack->payload) == fp) return true;
-      util::log_warn("coordinator: worker ", worker.name,
+      util::log_warn("coordinator: worker ", name,
                      " acked the wrong design fingerprint");
     } else if (ack && ack->type == MsgType::kError) {
       const ErrorMsg err = decode_error(ack->payload);
-      util::log_warn("coordinator: worker ", worker.name,
+      util::log_warn("coordinator: worker ", name,
                      " rejected design: ", err.message);
     } else {
-      util::log_warn("coordinator: worker ", worker.name,
-                     " failed the design load");
+      util::log_warn("coordinator: worker ", name, " failed the design load");
     }
   } catch (const std::exception& e) {
-    util::log_warn("coordinator: worker ", worker.name,
+    util::log_warn("coordinator: worker ", name,
                    " lost during design load: ", e.what());
   }
   return false;
 }
 
+void EvalCoordinator::activate_worker(std::size_t w, Socket sock) {
+  WorkerState& worker = workers_[w];
+  worker.conn = std::make_unique<FrameConn>(std::move(sock));
+  worker.alive = true;
+  worker.deadline_ms = 0;
+  worker.retry_at_ms = 0;
+  poller_.add(worker.conn->fd(), /*want_read=*/true, /*want_write=*/false, w);
+  {
+    std::lock_guard lock(mu_);
+    snapshots_[w].alive = true;
+    ++stats_.workers_readmitted;
+  }
+  util::log_info("coordinator: worker ", worker.name, " (re)admitted");
+}
+
+bool EvalCoordinator::admit_worker(Worker worker) {
+  bool admitted = false;
+  run_command(
+      [&] {
+        std::size_t w = workers_.size();
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+          if (workers_[i].name != worker.name) continue;
+          if (workers_[i].alive) {
+            util::log_warn("coordinator: worker ", worker.name,
+                           " is already in rotation — candidate rejected");
+            return;
+          }
+          w = i;  // revive the dead slot in place
+          break;
+        }
+        if (w == workers_.size()) {
+          WorkerState state;
+          state.name = worker.name;
+          state.addressable = name_is_address(state.name);
+          WorkerSnapshot snap;
+          snap.name = state.name;
+          workers_.push_back(std::move(state));
+          std::lock_guard lock(mu_);
+          snapshots_.push_back(std::move(snap));
+        }
+        const int timeout = std::min(config_.request_timeout_ms, 5000);
+        if (!qualify(workers_[w], worker.sock, timeout)) {
+          if (config_.reconnect_ms > 0 && workers_[w].addressable) {
+            workers_[w].retry_at_ms = now_ms() + config_.reconnect_ms;
+          }
+          return;
+        }
+        activate_worker(w, std::move(worker.sock));
+        admitted = true;
+      },
+      /*requires_idle=*/false);
+  return admitted;
+}
+
+// ------------------------------------------------------------ caller thread --
+
+void EvalCoordinator::run_command(std::function<void()> fn,
+                                  bool requires_idle) {
+  auto done = std::make_shared<std::promise<void>>();
+  auto fut = done->get_future();
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) throw ServiceError("coordinator is shutting down");
+    commands_.push_back(Command{
+        [fn = std::move(fn), done] {
+          try {
+            fn();
+            done->set_value();
+          } catch (...) {
+            done->set_exception(std::current_exception());
+          }
+        },
+        requires_idle});
+  }
+  wake_.notify();
+  fut.get();
+}
+
+std::vector<map::QoR> EvalCoordinator::evaluate_many(
+    std::span<const core::Flow> flows, ResultCallback on_result) {
+  return evaluate_many_impl(flows, std::move(on_result), nullptr, nullptr);
+}
+
+std::vector<map::QoR> EvalCoordinator::evaluate_many_for(
+    const aig::Fingerprint& fp, const opt::RegistryFingerprint& registry,
+    std::span<const core::Flow> flows, ResultCallback on_result) {
+  return evaluate_many_impl(flows, std::move(on_result), &fp, &registry);
+}
+
+std::vector<map::QoR> EvalCoordinator::evaluate_many_impl(
+    std::span<const core::Flow> flows, ResultCallback on_result,
+    const aig::Fingerprint* want_fp,
+    const opt::RegistryFingerprint* want_registry) {
+  std::vector<map::QoR> out(flows.size());
+  auto batch = std::make_shared<Batch>();
+  std::shared_ptr<const opt::TransformRegistry> registry;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.batches;
+    if (stopping_) throw ServiceError("coordinator is shutting down");
+    // The atomic identity check for server connections: verified under the
+    // same lock the batch later pins its fingerprints from.
+    if (want_fp && *want_fp != design_fp_) {
+      throw ServiceError("design " + aig::fingerprint_hex(*want_fp) +
+                         " is not the fleet's current design");
+    }
+    if (want_registry && *want_registry != registry_->fingerprint()) {
+      throw ServiceError("registry " +
+                         opt::registry_fingerprint_hex(*want_registry) +
+                         " is not the fleet's current alphabet");
+    }
+    if (flows.empty()) return out;
+    if (design_fp_ == kNoDesign) {
+      throw ServiceError(
+          "evaluate_many on a deferred fleet: load a design first");
+    }
+    if (store_ && store_->registry_fingerprint() != registry_->fingerprint()) {
+      // load_registry switched alphabets after the store was attached; its
+      // labels no longer describe these step bytes.
+      throw opt::RegistryError(
+          "evaluate_many: attached QorStore is keyed by registry " +
+          opt::registry_fingerprint_hex(store_->registry_fingerprint()) +
+          " but the fleet now serves " +
+          opt::registry_fingerprint_hex(registry_->fingerprint()));
+    }
+    registry = registry_;
+    batch->design_fp = design_fp_;
+    batch->registry_fp = registry_->fingerprint();
+    batch->store = store_;
+  }
+  // Alphabet guard mirroring SynthesisEvaluator::evaluate — a stray id
+  // fails here, typed, before any frame or store write.
+  for (const core::Flow& f : flows) registry->validate_steps(f.steps);
+
+  batch->flows = flows;
+  batch->out = &out;
+  batch->on_result = std::move(on_result);
+  batch->flow_done.assign(flows.size(), false);
+
+  // Labels already in the store never cross the wire: answer them locally
+  // (callback included — a store hit *is* a completed flow) and dispatch
+  // only the remainder.
+  std::vector<std::size_t> order;
+  order.reserve(flows.size());
+  std::size_t hits = 0;
+  if (batch->store) {
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (const auto hit =
+              batch->store->lookup(batch->design_fp, flows[i].steps)) {
+        out[i] = *hit;
+        batch->flow_done[i] = true;
+        ++hits;
+        if (batch->on_result) batch->on_result(i, *hit);
+      } else {
+        order.push_back(i);
+      }
+    }
+  } else {
+    order.resize(flows.size());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  batch->flows_remaining = order.size();
+  if (hits) {
+    std::lock_guard lock(mu_);
+    stats_.store_hits += hits;
+  }
+  if (order.empty()) return out;
+
+  // Prefix-affinity order: identical to the in-process engine's batch
+  // schedule, so a shard is a run of sibling flows.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return flows[a].steps < flows[b].steps;
+  });
+  const std::size_t alive = std::max<std::size_t>(1, num_workers_alive());
+  const std::size_t num_shards =
+      std::min(order.size(), alive * config_.shards_per_worker);
+  batch->shards.resize(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t begin = s * order.size() / num_shards;
+    const std::size_t end = (s + 1) * order.size() / num_shards;
+    batch->shards[s].indices.assign(
+        order.begin() + static_cast<std::ptrdiff_t>(begin),
+        order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  batch->pending.resize(num_shards);
+  std::iota(batch->pending.begin(), batch->pending.end(), 0);
+
+  {
+    std::unique_lock lock(mu_);
+    if (stopping_) throw ServiceError("coordinator is shutting down");
+    if (batch->design_fp != design_fp_ ||
+        batch->registry_fp != registry_->fingerprint()) {
+      // A load_design/load_registry slipped in while we were doing store
+      // lookups; the hits above are keyed by the old identity.
+      throw ServiceError("fleet identity changed during batch preparation");
+    }
+    stats_.shards += num_shards;
+    submissions_.push_back(batch);
+    wake_.notify();
+    cv_.wait(lock, [&] { return batch->finished; });
+  }
+  if (batch->failed) throw ServiceError(batch->error);
+  return out;
+}
+
+// ----------------------------------------------------------- identity ops --
+
 void EvalCoordinator::load_design(std::span<const std::uint8_t> blob,
                                   const aig::Fingerprint& fp,
                                   std::string label) {
-  std::lock_guard lock(op_mutex_);
-  load_design_unlocked(blob, fp, std::move(label));
+  run_command([&] { load_design_on_loop(blob, fp, std::move(label)); },
+              /*requires_idle=*/true);
 }
 
-void EvalCoordinator::load_design_unlocked(std::span<const std::uint8_t> blob,
-                                           const aig::Fingerprint& fp,
-                                           std::string label) {
+void EvalCoordinator::load_design(const aig::Aig& design) {
+  const auto blob = aig::encode_binary(design);
+  load_design(blob, design.fingerprint(), netlist_label(design));
+}
+
+void EvalCoordinator::load_design_on_loop(std::span<const std::uint8_t> blob,
+                                          const aig::Fingerprint& fp,
+                                          std::string label) {
   if (label.empty()) {
     // An unnamed shipped netlist must still be identifiable in logs and
     // acks — same fallback the netlist constructor path uses.
     label = "netlist:" + aig::fingerprint_hex(fp).substr(0, 16);
   }
-  std::deque<std::size_t> no_pending;  // no batch in flight between batches
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     if (!workers_[w].alive) continue;
-    if (!ship_design(workers_[w], blob, fp)) {
-      lose_worker(w, no_pending, "design load failed");
+    if (!ship_design(workers_[w].conn->socket(), workers_[w].name, blob, fp,
+                     config_.request_timeout_ms)) {
+      lose_worker(w, "design load failed");
     }
   }
-  if (num_alive_unlocked() == 0) {
+  if (num_alive_loop() == 0) {
     throw ServiceError("no worker accepted design '" + label + "'");
   }
+  std::lock_guard lock(mu_);
   design_fp_ = fp;
   design_id_ = std::move(label);
+  design_blob_.assign(blob.begin(), blob.end());
 }
 
-void EvalCoordinator::load_design(const aig::Aig& design) {
-  load_design(aig::encode_binary(design), design.fingerprint(),
-              netlist_label(design));
+void EvalCoordinator::load_registry(
+    std::shared_ptr<const opt::TransformRegistry> registry,
+    std::span<const std::uint8_t> blob) {
+  run_command([&] { load_registry_on_loop(std::move(registry), blob); },
+              /*requires_idle=*/true);
 }
+
+void EvalCoordinator::load_registry_on_loop(
+    std::shared_ptr<const opt::TransformRegistry> registry,
+    std::span<const std::uint8_t> blob) {
+  const opt::RegistryFingerprint fp = registry->fingerprint();
+  {
+    std::lock_guard lock(mu_);
+    if (fp == registry_->fingerprint()) return;
+  }
+  std::vector<std::uint8_t> encoded;
+  if (blob.empty()) {
+    encoded = registry->encode();
+  } else {
+    encoded.assign(blob.begin(), blob.end());
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w].alive) continue;
+    if (!ship_registry(workers_[w].conn->socket(), workers_[w].name, encoded,
+                       fp, config_.request_timeout_ms)) {
+      lose_worker(w, "registry load failed");
+    }
+  }
+  if (num_alive_loop() == 0) {
+    throw ServiceError("no worker accepted registry " +
+                       opt::registry_fingerprint_hex(fp));
+  }
+  std::lock_guard lock(mu_);
+  registry_ = std::move(registry);
+  registry_blob_ = std::move(encoded);
+  // Directory-rooted stores follow the alphabet (paper labels in the root,
+  // others in reg-<fp16>/); an explicitly attached store stays put and the
+  // evaluate-time guard turns any mismatch into a typed error.
+  open_store_for_registry_locked();
+}
+
+void EvalCoordinator::shutdown_workers() {
+  run_command(
+      [&] {
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+          WorkerState& worker = workers_[w];
+          if (!worker.alive) continue;
+          worker.conn->enqueue(MsgType::kShutdown, {});
+          // Best-effort flush: the frame is 12 bytes, so one POLLOUT wait
+          // is plenty; a worker that cannot take it is already gone.
+          while (worker.conn->want_write()) {
+            pollfd pfd{worker.conn->fd(), POLLOUT, 0};
+            if (::poll(&pfd, 1, 1000) <= 0) break;
+            if (worker.conn->on_writable() != FrameConn::Io::kOk) break;
+          }
+          poller_.del(worker.conn->fd());
+          worker.conn.reset();
+          worker.alive = false;
+          worker.retry_at_ms = 0;  // deliberate: do not re-dial
+          std::lock_guard lock(mu_);
+          snapshots_[w].alive = false;
+        }
+      },
+      /*requires_idle=*/true);
+}
+
+void EvalCoordinator::attach_store(std::shared_ptr<core::QorStore> store) {
+  std::lock_guard lock(mu_);
+  if (store && store->registry_fingerprint() != registry_->fingerprint()) {
+    // Store records are (design fp, packed steps) — under a different
+    // alphabet the same bytes mean different flows. Loud and typed.
+    throw opt::RegistryError(
+        "attach_store: QorStore registry fingerprint " +
+        opt::registry_fingerprint_hex(store->registry_fingerprint()) +
+        " does not match the fleet's " +
+        opt::registry_fingerprint_hex(registry_->fingerprint()));
+  }
+  store_root_.clear();  // explicit store wins over directory mode
+  store_ = std::move(store);
+}
+
+void EvalCoordinator::attach_store_dir(std::string root) {
+  std::lock_guard lock(mu_);
+  store_root_ = std::move(root);
+  open_store_for_registry_locked();
+}
+
+void EvalCoordinator::open_store_for_registry_locked() {
+  if (store_root_.empty()) return;
+  core::QorStoreConfig config;
+  config.dir = registry_->is_paper()
+                   ? store_root_
+                   : store_root_ + "/reg-" +
+                         opt::registry_fingerprint_hex(registry_->fingerprint())
+                             .substr(0, 16);
+  config.registry = registry_;
+  store_ = std::make_shared<core::QorStore>(std::move(config));
+}
+
+// ----------------------------------------------------------------- getters --
+
+std::size_t EvalCoordinator::num_workers_alive() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const WorkerSnapshot& s : snapshots_) n += s.alive ? 1 : 0;
+  return n;
+}
+
+std::size_t EvalCoordinator::num_alive_loop() const {
+  std::size_t n = 0;
+  for (const WorkerState& w : workers_) n += w.alive ? 1 : 0;
+  return n;
+}
+
+CoordinatorStats EvalCoordinator::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::vector<WorkerSnapshot> EvalCoordinator::worker_snapshots() const {
+  std::lock_guard lock(mu_);
+  return snapshots_;
+}
+
+const Address& EvalCoordinator::admin_address() const {
+  if (!admin_) throw ServiceError("coordinator has no admin socket");
+  return admin_->address();
+}
+
+void EvalCoordinator::set_response_observer(
+    std::function<void(std::size_t)> observer) {
+  std::lock_guard lock(mu_);
+  response_observer_ = std::make_shared<const std::function<void(std::size_t)>>(
+      std::move(observer));
+}
+
+void EvalCoordinator::set_progress_observer(
+    std::function<void(std::size_t)> observer) {
+  std::lock_guard lock(mu_);
+  progress_observer_ = std::make_shared<const std::function<void(std::size_t)>>(
+      std::move(observer));
+}
+
+std::string EvalCoordinator::admin_text(const std::string& command) const {
+  std::ostringstream os;
+  if (command == "stats") {
+    CoordinatorStats s;
+    std::string id;
+    std::string rfp;
+    std::size_t alive = 0;
+    std::size_t total = 0;
+    {
+      std::lock_guard lock(mu_);
+      s = stats_;
+      id = design_id_;
+      rfp = opt::registry_fingerprint_hex(registry_->fingerprint());
+      total = snapshots_.size();
+      for (const WorkerSnapshot& w : snapshots_) alive += w.alive ? 1 : 0;
+    }
+    os << "design " << (id.empty() ? "-" : id) << '\n';
+    os << "registry " << rfp << '\n';
+    os << "workers_alive " << alive << '\n';
+    os << "workers_total " << total << '\n';
+    os << "batches " << s.batches << '\n';
+    os << "active_batches " << s.active_batches << '\n';
+    os << "queue_depth " << s.queue_depth << '\n';
+    os << "shards " << s.shards << '\n';
+    os << "shards_done " << s.shards_done << '\n';
+    os << "requests_sent " << s.requests_sent << '\n';
+    os << "flows_dispatched " << s.flows_dispatched << '\n';
+    os << "flows_streamed " << s.flows_streamed << '\n';
+    os << "requeues " << s.requeues << '\n';
+    os << "flows_requeued " << s.flows_requeued << '\n';
+    os << "flows_rescued " << s.flows_rescued << '\n';
+    os << "workers_lost " << s.workers_lost << '\n';
+    os << "workers_readmitted " << s.workers_readmitted << '\n';
+    os << "store_hits " << s.store_hits << '\n';
+    os << "store_appends " << s.store_appends << '\n';
+    return os.str();
+  }
+  if (command == "workers") {
+    std::vector<WorkerSnapshot> snaps = worker_snapshots();
+    if (snaps.empty()) return "no workers";
+    os << std::fixed << std::setprecision(1);
+    for (const WorkerSnapshot& w : snaps) {
+      os << w.name << ' ' << (w.alive ? "alive" : "lost")
+         << " inflight_shards=" << w.inflight_shards
+         << " inflight_flows=" << w.inflight_flows
+         << " shards_done=" << w.shards_done << " flows_done=" << w.flows_done
+         << " losses=" << w.losses << " last_shard_ms=" << w.last_shard_ms
+         << " mean_shard_ms=" << w.mean_shard_ms << '\n';
+    }
+    return os.str();
+  }
+  if (command == "help") {
+    return "commands: stats workers help quit";
+  }
+  return "err unknown command '" + command + "' (try help)";
+}
+
+// --------------------------------------------------------------- event loop --
+
+void EvalCoordinator::loop() {
+  for (;;) {
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) break;
+    }
+    drain_submissions_and_commands();
+    pump_dispatch();
+    update_queue_gauges();
+    const auto& events = poller_.wait(loop_wait_ms());
+    for (const Poller::Event& ev : events) {
+      if (ev.tag == kWakeTag) {
+        wake_.drain();
+        continue;
+      }
+      const std::size_t w = static_cast<std::size_t>(ev.tag);
+      if (w >= workers_.size() || !workers_[w].alive) continue;
+      if (ev.error) {
+        lose_worker(w, "socket error");
+        continue;
+      }
+      if (ev.readable) on_worker_readable(w);
+      if (!workers_[w].alive) continue;
+      if (ev.writable) {
+        if (workers_[w].conn->on_writable() == FrameConn::Io::kError) {
+          lose_worker(w, "write failed");
+          continue;
+        }
+        poller_.mod(workers_[w].conn->fd(), /*want_read=*/true,
+                    workers_[w].conn->want_write(), w);
+      }
+    }
+    const std::int64_t now = now_ms();
+    check_deadlines(now);
+    try_reconnects(now);
+  }
+  // Shutting down: everything still queued or open fails loudly, and
+  // leftover commands run so their callers unblock (their fns observe
+  // whatever worker state remains and throw through their promises).
+  fail_active_batches("coordinator shutting down");
+  for (;;) {
+    Command cmd;
+    {
+      std::lock_guard lock(mu_);
+      if (commands_.empty()) break;
+      cmd = std::move(commands_.front());
+      commands_.pop_front();
+    }
+    cmd.fn();
+  }
+}
+
+void EvalCoordinator::drain_submissions_and_commands() {
+  for (;;) {
+    std::vector<std::shared_ptr<Batch>> newly;
+    std::vector<Command> cmds;
+    {
+      std::lock_guard lock(mu_);
+      // An idle-requiring command at the front gates new activations, so a
+      // steady stream of batches cannot starve load_design forever; the
+      // queued batches activate right after it (and fail the identity
+      // check if the command changed the fleet under them).
+      const bool gate = !commands_.empty() && commands_.front().requires_idle;
+      if (!gate) newly.swap(submissions_);
+      while (!commands_.empty()) {
+        if (commands_.front().requires_idle &&
+            !(active_.empty() && newly.empty())) {
+          break;
+        }
+        cmds.push_back(std::move(commands_.front()));
+        commands_.pop_front();
+      }
+    }
+    for (const std::shared_ptr<Batch>& b : newly) activate_batch(b);
+    for (Command& c : cmds) c.fn();
+    if (newly.empty() && cmds.empty()) return;
+  }
+}
+
+void EvalCoordinator::activate_batch(const std::shared_ptr<Batch>& batch) {
+  {
+    std::lock_guard lock(mu_);
+    if (batch->design_fp != design_fp_ ||
+        batch->registry_fp != registry_->fingerprint()) {
+      // An identity op ran between submit and activation; the batch's
+      // store hits and pinned fingerprints describe the old fleet.
+      batch->finished = true;
+      batch->failed = true;
+      batch->error = "fleet identity changed while the batch was queued";
+      cv_.notify_all();
+      return;
+    }
+  }
+  active_.push_back(batch);
+  if (num_alive_loop() == 0 && !reconnect_possible()) {
+    fail_active_batches("no live workers and no reconnect configured");
+  }
+}
+
+bool EvalCoordinator::reconnect_possible() const {
+  if (config_.reconnect_ms <= 0) return false;
+  for (const WorkerState& w : workers_) {
+    if (!w.alive && w.retry_at_ms > 0) return true;
+  }
+  return false;
+}
+
+int EvalCoordinator::loop_wait_ms() const {
+  std::int64_t earliest = -1;
+  for (const WorkerState& w : workers_) {
+    if (w.alive && !w.inflight.empty() && w.deadline_ms > 0) {
+      if (earliest < 0 || w.deadline_ms < earliest) earliest = w.deadline_ms;
+    }
+    if (!w.alive && w.retry_at_ms > 0) {
+      if (earliest < 0 || w.retry_at_ms < earliest) earliest = w.retry_at_ms;
+    }
+  }
+  if (earliest < 0) return 60 * 1000;  // safety heartbeat
+  return static_cast<int>(
+      std::clamp<std::int64_t>(earliest - now_ms(), 0, 60 * 1000));
+}
+
+void EvalCoordinator::update_queue_gauges() {
+  std::size_t depth = 0;
+  for (const std::shared_ptr<Batch>& b : active_) depth += b->pending.size();
+  std::lock_guard lock(mu_);
+  stats_.queue_depth = depth;
+  stats_.active_batches = active_.size();
+}
+
+void EvalCoordinator::update_worker_snapshot(std::size_t w) {
+  std::size_t shards = workers_[w].inflight.size();
+  std::size_t flows = 0;
+  for (const Inflight& fl : workers_[w].inflight) {
+    flows += fl.received.size() - fl.received_count;
+  }
+  std::lock_guard lock(mu_);
+  snapshots_[w].alive = workers_[w].alive;
+  snapshots_[w].inflight_shards = shards;
+  snapshots_[w].inflight_flows = flows;
+}
+
+// ---------------------------------------------------------------- dispatch --
+
+std::size_t EvalCoordinator::pick_worker() const {
+  std::size_t best = workers_.size();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const WorkerState& worker = workers_[w];
+    if (!worker.alive) continue;
+    if (worker.inflight.size() >= config_.max_inflight_per_worker) continue;
+    // Backpressure: a worker whose socket is not draining takes no new
+    // work — its queue would only grow in our memory instead of its.
+    if (worker.conn->want_write()) continue;
+    if (best == workers_.size() ||
+        worker.inflight.size() < workers_[best].inflight.size()) {
+      best = w;
+    }
+  }
+  return best;
+}
+
+void EvalCoordinator::pump_dispatch() {
+  // Fairness: rotating dispatch across open batches, one shard at a time.
+  // The cursor advances on every *dispatch* (not per sweep): however
+  // little capacity the fleet has — even a single slot — consecutive
+  // slots go to consecutive batches. Advancing only after a full sweep
+  // would park the cursor on one batch whenever capacity ran out
+  // mid-sweep, which on a one-slot fleet degenerates to FIFO.
+  while (!active_.empty()) {
+    const std::size_t nb = active_.size();
+    fair_cursor_ %= nb;
+    bool dispatched = false;
+    for (std::size_t t = 0; t < nb; ++t) {
+      const std::size_t bi = (fair_cursor_ + t) % nb;
+      const std::shared_ptr<Batch> batch = active_[bi];
+      if (batch->pending.empty()) continue;
+      const std::size_t w = pick_worker();
+      if (w == workers_.size()) return;  // no capacity anywhere
+      const std::size_t shard_idx = batch->pending.front();
+      batch->pending.pop_front();
+      fair_cursor_ = (bi + 1) % nb;
+      if (!dispatch_to(w, batch, shard_idx)) {
+        batch->pending.push_front(shard_idx);
+        // lose_worker may retire/fail batches and reshuffle active_;
+        // the restarted sweep below runs against the fresh table.
+        lose_worker(w, "send failed");
+      }
+      dispatched = true;
+      break;
+    }
+    if (!dispatched) return;  // no batch has pending work
+  }
+}
+
+bool EvalCoordinator::dispatch_to(std::size_t w,
+                                  const std::shared_ptr<Batch>& batch,
+                                  std::size_t shard_idx) {
+  WorkerState& worker = workers_[w];
+  const Shard& shard = batch->shards[shard_idx];
+  EvalRequestMsg req;
+  req.request_id = next_request_id_++;
+  req.design = batch->design_fp;
+  req.registry = batch->registry_fp;
+  req.flags = config_.stream_results ? kFlagStreamResults : 0;
+  req.flows.reserve(shard.indices.size());
+  for (const std::size_t i : shard.indices) {
+    req.flows.push_back(batch->flows[i].steps);
+  }
+  if (worker.conn->enqueue(MsgType::kEvalRequest, encode_eval_request(req)) ==
+      FrameConn::Io::kError) {
+    return false;
+  }
+  poller_.mod(worker.conn->fd(), /*want_read=*/true, worker.conn->want_write(),
+              w);
+  Inflight fl;
+  fl.request_id = req.request_id;
+  fl.batch = batch;
+  fl.shard_idx = shard_idx;
+  fl.received.assign(shard.indices.size(), false);
+  fl.sent_ms = now_ms();
+  worker.inflight.push_back(std::move(fl));
+  if (worker.inflight.size() == 1) {
+    worker.deadline_ms = now_ms() + config_.request_timeout_ms;
+  }
+  ++batch->shards_inflight;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.requests_sent;
+    stats_.flows_dispatched += shard.indices.size();
+  }
+  update_worker_snapshot(w);
+  return true;
+}
+
+// ------------------------------------------------------------------ intake --
+
+void EvalCoordinator::on_worker_readable(std::size_t w) {
+  std::vector<Frame> frames;
+  const FrameConn::Io io = workers_[w].conn->on_readable(frames);
+  if (!frames.empty()) {
+    // Any frame is proof of life: the deadline bounds *silence*, so a
+    // slow worker streaming a huge shard is never declared dead while it
+    // keeps making progress.
+    workers_[w].deadline_ms = now_ms() + config_.request_timeout_ms;
+    for (Frame& frame : frames) {
+      if (!workers_[w].alive) break;  // a bad frame dropped it mid-batch
+      handle_frame(w, frame);
+    }
+  }
+  if (!workers_[w].alive) return;
+  if (io == FrameConn::Io::kEof) {
+    lose_worker(w, workers_[w].inflight.empty() ? "peer closed"
+                                                : "peer closed mid-shard");
+  } else if (io == FrameConn::Io::kError) {
+    lose_worker(w, "read failed");
+  }
+}
+
+void EvalCoordinator::handle_frame(std::size_t w, Frame& frame) {
+  WorkerState& worker = workers_[w];
+  const auto find_inflight = [&](std::uint64_t id) {
+    for (std::size_t i = 0; i < worker.inflight.size(); ++i) {
+      if (worker.inflight[i].request_id == id) return i;
+    }
+    return worker.inflight.size();
+  };
+
+  switch (frame.type) {
+    case MsgType::kEvalResult: {
+      EvalResultMsg msg;
+      try {
+        msg = decode_eval_result(frame.payload);
+      } catch (const std::exception&) {
+        lose_worker(w, "undecodable streamed result");
+        return;
+      }
+      const std::size_t pos = find_inflight(msg.request_id);
+      if (pos == worker.inflight.size()) {
+        lose_worker(w, "streamed result for unknown request");
+        return;
+      }
+      Inflight& fl = worker.inflight[pos];
+      if (msg.index >= fl.received.size() || fl.received[msg.index]) {
+        lose_worker(w, "duplicate or out-of-range streamed index");
+        return;
+      }
+      fl.received[msg.index] = true;
+      ++fl.received_count;
+      const auto record = qor_record_bytes(msg.result);
+      fl.crc = util::crc32(record, fl.crc);
+      apply_result(w, fl, msg.index, msg.result);
+      std::shared_ptr<const std::function<void(std::size_t)>> obs;
+      {
+        std::lock_guard lock(mu_);
+        ++stats_.flows_streamed;
+        obs = progress_observer_;
+      }
+      if (obs && *obs) (*obs)(w);
+      return;
+    }
+    case MsgType::kShardDone: {
+      ShardDoneMsg msg;
+      try {
+        msg = decode_shard_done(frame.payload);
+      } catch (const std::exception&) {
+        lose_worker(w, "undecodable shard terminator");
+        return;
+      }
+      const std::size_t pos = find_inflight(msg.request_id);
+      if (pos == worker.inflight.size()) {
+        lose_worker(w, "shard terminator for unknown request");
+        return;
+      }
+      const Inflight& fl = worker.inflight[pos];
+      if (msg.count != fl.received.size() ||
+          fl.received_count != fl.received.size() || msg.crc32 != fl.crc) {
+        // Frames lost or corrupted in flight. Individually-applied results
+        // stand (each decoded cleanly and evaluation is pure, so a rerun
+        // reproduces them bit-for-bit); the missing remainder requeues via
+        // the loss path.
+        lose_worker(w, "torn stream (count/CRC mismatch)");
+        return;
+      }
+      retire_shard(w, pos, now_ms());
+      return;
+    }
+    case MsgType::kEvalResponse: {  // stream_results off: whole-shard answer
+      EvalResponseMsg msg;
+      try {
+        msg = decode_eval_response(frame.payload);
+      } catch (const std::exception&) {
+        lose_worker(w, "undecodable response");
+        return;
+      }
+      const std::size_t pos = find_inflight(msg.request_id);
+      if (pos == worker.inflight.size()) {
+        lose_worker(w, "response for unknown request");
+        return;
+      }
+      Inflight& fl = worker.inflight[pos];
+      if (msg.results.size() != fl.received.size()) {
+        lose_worker(w, "response size mismatch");
+        return;
+      }
+      for (std::size_t k = 0; k < msg.results.size(); ++k) {
+        if (fl.received[k]) continue;
+        fl.received[k] = true;
+        ++fl.received_count;
+        apply_result(w, fl, static_cast<std::uint32_t>(k), msg.results[k]);
+      }
+      retire_shard(w, pos, now_ms());
+      return;
+    }
+    case MsgType::kError: {
+      // An erroring worker is dropped rather than retried in place: its
+      // unacked flows rerun elsewhere, and if every worker errors the
+      // batch fails loudly.
+      try {
+        const ErrorMsg err = decode_error(frame.payload);
+        util::log_warn("coordinator: worker ", worker.name,
+                       " reported: ", err.message);
+      } catch (const std::exception&) {
+      }
+      lose_worker(w, "worker error");
+      return;
+    }
+    case MsgType::kPong:
+      return;  // stray liveness echo; harmless
+    default:
+      lose_worker(w, "unexpected frame");
+      return;
+  }
+}
+
+void EvalCoordinator::apply_result(std::size_t w, Inflight& fl,
+                                   std::uint32_t index, const map::QoR& qor) {
+  Batch& b = *fl.batch;
+  const std::size_t idx = b.shards[fl.shard_idx].indices[index];
+  if (b.flow_done[idx]) return;  // a full-shard rerun overlapping old work
+  b.flow_done[idx] = true;
+  --b.flows_remaining;
+  (*b.out)[idx] = qor;
+  // Persist as results land, not at batch end: a coordinator crash
+  // mid-batch loses only un-arrived labels.
+  const bool appended =
+      b.store && b.store->append(b.design_fp, b.flows[idx].steps, qor);
+  {
+    std::lock_guard lock(mu_);
+    if (appended) ++stats_.store_appends;
+    ++snapshots_[w].flows_done;
+  }
+  if (b.on_result) b.on_result(idx, qor);
+}
+
+void EvalCoordinator::retire_shard(std::size_t w, std::size_t inflight_pos,
+                                   std::int64_t now) {
+  WorkerState& worker = workers_[w];
+  Inflight fl = std::move(worker.inflight[inflight_pos]);
+  worker.inflight.erase(worker.inflight.begin() +
+                        static_cast<std::ptrdiff_t>(inflight_pos));
+  if (worker.inflight.empty()) {
+    worker.deadline_ms = 0;
+  } else {
+    worker.deadline_ms = now + config_.request_timeout_ms;
+  }
+  const double ms = static_cast<double>(now - fl.sent_ms);
+  --fl.batch->shards_inflight;
+  std::shared_ptr<const std::function<void(std::size_t)>> obs;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.shards_done;
+    if (stats_.shard_ms.size() >= kMaxLatencySamples) {
+      stats_.shard_ms.erase(stats_.shard_ms.begin());
+    }
+    stats_.shard_ms.push_back(ms);
+    WorkerSnapshot& snap = snapshots_[w];
+    ++snap.shards_done;
+    snap.last_shard_ms = ms;
+    snap.mean_shard_ms += (ms - snap.mean_shard_ms) /
+                          static_cast<double>(snap.shards_done);
+    obs = response_observer_;
+  }
+  update_worker_snapshot(w);
+  if (obs && *obs) (*obs)(w);
+  maybe_finish(fl.batch);
+}
+
+// ------------------------------------------------------------------- faults --
+
+void EvalCoordinator::lose_worker(std::size_t w, const char* why) {
+  WorkerState& worker = workers_[w];
+  if (!worker.alive) return;
+  worker.alive = false;
+  if (worker.conn) {
+    poller_.del(worker.conn->fd());
+    worker.conn.reset();
+  }
+  worker.deadline_ms = 0;
+
+  // Partial-progress requeue: only the flows this worker never delivered
+  // go back on the queue, as a fresh shard at the *front* (lost work gates
+  // batch completion, so it reruns before new shards). Received flows are
+  // already applied and persisted — they are rescued, not rerun.
+  std::size_t rescued = 0;
+  std::size_t requeued_flows = 0;
+  std::size_t requeued_shards = 0;
+  std::vector<std::shared_ptr<Batch>> touched;
+  for (Inflight& fl : worker.inflight) {
+    Batch& b = *fl.batch;
+    --b.shards_inflight;
+    rescued += fl.received_count;
+    const std::vector<std::size_t>& indices = b.shards[fl.shard_idx].indices;
+    std::vector<std::size_t> missing;
+    missing.reserve(indices.size() - fl.received_count);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      if (!fl.received[k]) missing.push_back(indices[k]);
+    }
+    if (missing.empty()) {
+      // Every flow arrived; only the terminator was lost. Nothing reruns.
+      touched.push_back(fl.batch);
+      continue;
+    }
+    requeued_flows += missing.size();
+    ++requeued_shards;
+    b.shards.push_back(Shard{std::move(missing)});
+    b.pending.push_front(b.shards.size() - 1);
+  }
+  worker.inflight.clear();
+  if (config_.reconnect_ms > 0 && worker.addressable) {
+    worker.retry_at_ms = now_ms() + config_.reconnect_ms;
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.workers_lost;
+    stats_.requeues += requeued_shards;
+    stats_.shards += requeued_shards;
+    stats_.flows_requeued += requeued_flows;
+    stats_.flows_rescued += rescued;
+    snapshots_[w].alive = false;
+    ++snapshots_[w].losses;
+  }
+  update_worker_snapshot(w);
+  util::log_warn("coordinator: lost worker ", worker.name, " (", why, "), ",
+                 rescued, " flow(s) rescued, ", requeued_flows, " requeued");
+  for (const std::shared_ptr<Batch>& b : touched) maybe_finish(b);
+  if (num_alive_loop() == 0 && !reconnect_possible() && !active_.empty()) {
+    fail_active_batches("all workers lost with work outstanding");
+  }
+}
+
+void EvalCoordinator::check_deadlines(std::int64_t now) {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const WorkerState& worker = workers_[w];
+    if (worker.alive && !worker.inflight.empty() && worker.deadline_ms > 0 &&
+        now >= worker.deadline_ms) {
+      lose_worker(w, "request timeout");
+    }
+  }
+}
+
+void EvalCoordinator::try_reconnects(std::int64_t now) {
+  if (config_.reconnect_ms <= 0) return;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& worker = workers_[w];
+    if (worker.alive || worker.retry_at_ms == 0 || now < worker.retry_at_ms) {
+      continue;
+    }
+    worker.retry_at_ms = now + config_.reconnect_ms;  // assume failure
+    try {
+      Socket sock = connect_to(Address::parse(worker.name),
+                               std::clamp(config_.reconnect_ms, 100, 2000));
+      const int timeout = std::min(config_.request_timeout_ms, 5000);
+      if (qualify(worker, sock, timeout)) {
+        activate_worker(w, std::move(sock));
+      }
+    } catch (const std::exception&) {
+      // Still down; the retry clock is already re-armed.
+    }
+  }
+}
+
+// ------------------------------------------------------------- completion --
+
+void EvalCoordinator::maybe_finish(const std::shared_ptr<Batch>& batch) {
+  if (batch->flows_remaining == 0 && batch->shards_inflight == 0 &&
+      batch->pending.empty()) {
+    finish_batch(batch, /*failed=*/false, {});
+  }
+}
+
+void EvalCoordinator::finish_batch(const std::shared_ptr<Batch>& batch,
+                                   bool failed, std::string error) {
+  active_.erase(std::remove(active_.begin(), active_.end(), batch),
+                active_.end());
+  {
+    std::lock_guard lock(mu_);
+    if (batch->finished) return;
+    batch->finished = true;
+    batch->failed = failed;
+    batch->error = std::move(error);
+  }
+  cv_.notify_all();
+}
+
+void EvalCoordinator::fail_active_batches(const std::string& why) {
+  std::vector<std::shared_ptr<Batch>> doomed;
+  {
+    std::lock_guard lock(mu_);
+    doomed = std::move(submissions_);
+    submissions_.clear();
+  }
+  doomed.insert(doomed.end(), active_.begin(), active_.end());
+  active_.clear();
+  for (const std::shared_ptr<Batch>& b : doomed) {
+    finish_batch(b, /*failed=*/true, why);
+  }
+}
+
+// --------------------------------------------------------------- assembly --
 
 std::vector<EvalCoordinator::Worker> connect_workers(
     const std::vector<std::string>& specs, int timeout_ms) {
@@ -259,321 +1283,6 @@ std::vector<EvalCoordinator::Worker> connect_workers(
     }
   }
   return workers;
-}
-
-std::size_t EvalCoordinator::num_workers_alive() const {
-  std::lock_guard lock(op_mutex_);
-  return num_alive_unlocked();
-}
-
-std::size_t EvalCoordinator::num_alive_unlocked() const {
-  std::size_t n = 0;
-  for (const WorkerState& w : workers_) n += w.alive ? 1 : 0;
-  return n;
-}
-
-void EvalCoordinator::shutdown_workers() {
-  std::lock_guard lock(op_mutex_);
-  for (WorkerState& w : workers_) {
-    if (!w.alive) continue;
-    try {
-      send_frame(w.sock, MsgType::kShutdown, {});
-    } catch (const std::exception&) {
-      // Worker already gone; nothing to do.
-    }
-    w.alive = false;
-    w.sock.close();
-  }
-}
-
-void EvalCoordinator::lose_worker(std::size_t w,
-                                  std::deque<std::size_t>& pending,
-                                  const char* why) {
-  WorkerState& worker = workers_[w];
-  if (!worker.alive) return;
-  worker.alive = false;
-  worker.sock.close();
-  ++stats_.workers_lost;
-  util::log_warn("coordinator: lost worker ", worker.name, " (", why, "), ",
-                 worker.inflight.size(), " shard(s) requeued");
-  // Front of the queue so the lost work reruns before fresh shards — those
-  // results gate batch completion.
-  for (const auto& [request_id, shard_idx] : worker.inflight) {
-    (void)request_id;
-    pending.push_front(shard_idx);
-    ++stats_.requeues;
-  }
-  worker.inflight.clear();
-}
-
-bool EvalCoordinator::dispatch(std::size_t w, std::size_t shard_idx,
-                               std::span<const core::Flow> flows,
-                               const std::vector<Shard>& shards) {
-  WorkerState& worker = workers_[w];
-  EvalRequestMsg req;
-  req.request_id = next_request_id_++;
-  req.design = design_fp_;
-  req.registry = registry_->fingerprint();
-  req.flows.reserve(shards[shard_idx].indices.size());
-  for (const std::size_t i : shards[shard_idx].indices) {
-    req.flows.push_back(flows[i].steps);
-  }
-  try {
-    // Bounded send: a worker that stopped *reading* must become "lost +
-    // requeued", not wedge the whole dispatch loop once its socket buffer
-    // fills.
-    send_frame(worker.sock, MsgType::kEvalRequest, encode_eval_request(req),
-               config_.request_timeout_ms);
-  } catch (const std::exception&) {
-    return false;
-  }
-  worker.inflight.emplace_back(req.request_id, shard_idx);
-  if (worker.inflight.size() == 1) {
-    worker.deadline_ms = now_ms() + config_.request_timeout_ms;
-  }
-  ++stats_.requests_sent;
-  return true;
-}
-
-std::vector<map::QoR> EvalCoordinator::evaluate_many(
-    std::span<const core::Flow> flows) {
-  std::lock_guard lock(op_mutex_);
-  return evaluate_many_unlocked(flows);
-}
-
-std::vector<map::QoR> EvalCoordinator::evaluate_many_for(
-    const aig::Fingerprint& fp, const opt::RegistryFingerprint& registry,
-    std::span<const core::Flow> flows) {
-  std::lock_guard lock(op_mutex_);
-  if (fp != design_fp_) {
-    throw ServiceError("design " + aig::fingerprint_hex(fp) +
-                       " is not the fleet's current design");
-  }
-  if (registry != registry_->fingerprint()) {
-    throw ServiceError("registry " + opt::registry_fingerprint_hex(registry) +
-                       " is not the fleet's current alphabet");
-  }
-  return evaluate_many_unlocked(flows);
-}
-
-void EvalCoordinator::attach_store(std::shared_ptr<core::QorStore> store) {
-  std::lock_guard lock(op_mutex_);
-  if (store &&
-      store->registry_fingerprint() != registry_->fingerprint()) {
-    // Store records are (design fp, packed steps) — under a different
-    // alphabet the same bytes mean different flows. Loud and typed.
-    throw opt::RegistryError(
-        "attach_store: QorStore registry fingerprint " +
-        opt::registry_fingerprint_hex(store->registry_fingerprint()) +
-        " does not match the fleet's " +
-        opt::registry_fingerprint_hex(registry_->fingerprint()));
-  }
-  store_root_.clear();  // explicit store wins over directory mode
-  store_ = std::move(store);
-}
-
-void EvalCoordinator::attach_store_dir(std::string root) {
-  std::lock_guard lock(op_mutex_);
-  store_root_ = std::move(root);
-  open_store_for_registry_unlocked();
-}
-
-void EvalCoordinator::open_store_for_registry_unlocked() {
-  if (store_root_.empty()) return;
-  core::QorStoreConfig config;
-  config.dir =
-      registry_->is_paper()
-          ? store_root_
-          : store_root_ + "/reg-" +
-                opt::registry_fingerprint_hex(registry_->fingerprint())
-                    .substr(0, 16);
-  config.registry = registry_;
-  store_ = std::make_shared<core::QorStore>(std::move(config));
-}
-
-std::vector<map::QoR> EvalCoordinator::evaluate_many_unlocked(
-    std::span<const core::Flow> flows) {
-  ++stats_.batches;
-  std::vector<map::QoR> out(flows.size());
-  if (flows.empty()) return out;
-  if (design_fp_ == kNoDesign) {
-    throw ServiceError(
-        "evaluate_many on a deferred fleet: load a design first");
-  }
-  if (store_ &&
-      store_->registry_fingerprint() != registry_->fingerprint()) {
-    // load_registry switched alphabets after the store was attached; its
-    // labels no longer describe these step bytes.
-    throw opt::RegistryError(
-        "evaluate_many: attached QorStore is keyed by registry " +
-        opt::registry_fingerprint_hex(store_->registry_fingerprint()) +
-        " but the fleet now serves " +
-        opt::registry_fingerprint_hex(registry_->fingerprint()));
-  }
-  // Alphabet guard mirroring SynthesisEvaluator::evaluate — a stray id
-  // fails here, typed, before any frame or store write.
-  for (const core::Flow& f : flows) registry_->validate_steps(f.steps);
-
-  // Labels already in the store never cross the wire: answer them locally
-  // and dispatch only the remainder.
-  std::vector<std::size_t> order;
-  order.reserve(flows.size());
-  if (store_) {
-    for (std::size_t i = 0; i < flows.size(); ++i) {
-      if (const auto hit = store_->lookup(design_fp_, flows[i].steps)) {
-        out[i] = *hit;
-      } else {
-        order.push_back(i);
-      }
-    }
-    stats_.store_hits += flows.size() - order.size();
-    if (order.empty()) return out;
-  } else {
-    order.resize(flows.size());
-    std::iota(order.begin(), order.end(), 0);
-  }
-
-  // Prefix-affinity order: identical to the in-process engine's batch
-  // schedule, so a shard is a run of sibling flows.
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return flows[a].steps < flows[b].steps;
-  });
-
-  const std::size_t num_shards = std::min(
-      order.size(),
-      std::max<std::size_t>(1, num_alive_unlocked() *
-                                   config_.shards_per_worker));
-  std::vector<Shard> shards(num_shards);
-  for (std::size_t s = 0; s < num_shards; ++s) {
-    const std::size_t begin = s * order.size() / num_shards;
-    const std::size_t end = (s + 1) * order.size() / num_shards;
-    shards[s].indices.assign(order.begin() + static_cast<std::ptrdiff_t>(begin),
-                             order.begin() + static_cast<std::ptrdiff_t>(end));
-  }
-  stats_.shards += num_shards;
-
-  std::deque<std::size_t> pending(num_shards);
-  std::iota(pending.begin(), pending.end(), 0);
-  std::size_t shards_done = 0;
-
-  while (shards_done < num_shards) {
-    // Fill every live worker up to its backpressure limit.
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      WorkerState& worker = workers_[w];
-      while (worker.alive && !pending.empty() &&
-             worker.inflight.size() < config_.max_inflight_per_worker) {
-        const std::size_t shard_idx = pending.front();
-        pending.pop_front();
-        if (!dispatch(w, shard_idx, flows, shards)) {
-          pending.push_front(shard_idx);
-          ++stats_.requeues;
-          lose_worker(w, pending, "send failed");
-        }
-      }
-    }
-
-    // Wait for the next response or the earliest deadline.
-    std::vector<pollfd> fds;
-    std::vector<std::size_t> fd_worker;
-    std::int64_t earliest = 0;
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      const WorkerState& worker = workers_[w];
-      if (!worker.alive || worker.inflight.empty()) continue;
-      fds.push_back(pollfd{worker.sock.fd(), POLLIN, 0});
-      fd_worker.push_back(w);
-      if (earliest == 0 || worker.deadline_ms < earliest) {
-        earliest = worker.deadline_ms;
-      }
-    }
-    if (fds.empty()) {
-      throw ServiceError(
-          "batch stalled: all workers lost with " +
-          std::to_string(num_shards - shards_done) + " shard(s) unfinished");
-    }
-    const std::int64_t wait =
-        std::max<std::int64_t>(0, earliest - now_ms());
-    const int rc = ::poll(fds.data(), fds.size(),
-                          static_cast<int>(std::min<std::int64_t>(
-                              wait, 60 * 60 * 1000)));
-    if (rc < 0 && errno != EINTR) {
-      throw ServiceError("poll failed in coordinator loop");
-    }
-
-    const std::int64_t now = now_ms();
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      const std::size_t w = fd_worker[i];
-      WorkerState& worker = workers_[w];
-      if (!worker.alive || worker.inflight.empty()) continue;
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
-        if (now >= worker.deadline_ms) {
-          lose_worker(w, pending, "request timeout");
-        }
-        continue;
-      }
-      std::optional<Frame> frame;
-      try {
-        frame = recv_frame(worker.sock, config_.request_timeout_ms);
-      } catch (const std::exception&) {
-        lose_worker(w, pending, "read failed");
-        continue;
-      }
-      if (!frame) {
-        lose_worker(w, pending, "peer closed");
-        continue;
-      }
-      if (frame->type == MsgType::kError) {
-        // An erroring worker is dropped rather than retried in place: its
-        // shards rerun elsewhere, and if every worker errors the batch
-        // fails loudly below.
-        try {
-          const ErrorMsg err = decode_error(frame->payload);
-          util::log_warn("coordinator: worker ", worker.name,
-                         " reported: ", err.message);
-        } catch (const std::exception&) {
-        }
-        lose_worker(w, pending, "worker error");
-        continue;
-      }
-      if (frame->type != MsgType::kEvalResponse) {
-        lose_worker(w, pending, "unexpected frame");
-        continue;
-      }
-      EvalResponseMsg resp;
-      try {
-        resp = decode_eval_response(frame->payload);
-      } catch (const std::exception&) {
-        lose_worker(w, pending, "undecodable response");
-        continue;
-      }
-      const auto it = std::find_if(
-          worker.inflight.begin(), worker.inflight.end(),
-          [&](const auto& entry) { return entry.first == resp.request_id; });
-      if (it == worker.inflight.end()) {
-        lose_worker(w, pending, "response for unknown request");
-        continue;
-      }
-      const Shard& shard = shards[it->second];
-      if (resp.results.size() != shard.indices.size()) {
-        lose_worker(w, pending, "response size mismatch");
-        continue;
-      }
-      for (std::size_t k = 0; k < shard.indices.size(); ++k) {
-        const std::size_t idx = shard.indices[k];
-        out[idx] = resp.results[k];
-        // Persist as results land, not at batch end: a coordinator crash
-        // mid-batch loses only un-arrived labels.
-        if (store_ &&
-            store_->append(design_fp_, flows[idx].steps, resp.results[k])) {
-          ++stats_.store_appends;
-        }
-      }
-      worker.inflight.erase(it);
-      worker.deadline_ms = now + config_.request_timeout_ms;
-      ++shards_done;
-      if (response_observer_) response_observer_(w);
-    }
-  }
-  return out;
 }
 
 }  // namespace flowgen::service

@@ -10,7 +10,8 @@
 namespace flowgen::service {
 
 LoopbackCluster::LoopbackCluster(std::size_t num_workers,
-                                 WorkerOptions worker) {
+                                 WorkerOptions worker)
+    : worker_options_(worker) {
   std::vector<std::pair<Socket, Socket>> pairs;
   pairs.reserve(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i) {
@@ -64,6 +65,34 @@ void LoopbackCluster::kill_worker(std::size_t i) {
   ::kill(pids_[i], SIGKILL);
   ::waitpid(pids_[i], nullptr, 0);
   pids_[i] = -1;
+}
+
+EvalCoordinator::Worker LoopbackCluster::respawn_worker(std::size_t i) {
+  if (i >= pids_.size()) {
+    throw ServiceError("respawn_worker: no such loopback slot");
+  }
+  kill_worker(i);
+  auto [parent_end, child_end] = socket_pair();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw ServiceError("fork failed for loopback respawn");
+  }
+  if (pid == 0) {
+    Socket mine = std::move(child_end);
+    parent_end.close();
+    for (Socket& s : parent_side_) s.close();
+    try {
+      EvalWorker w(worker_options_);
+      w.serve(mine);
+    } catch (...) {
+      _exit(1);
+    }
+    _exit(0);
+  }
+  pids_[i] = pid;
+  child_end.close();
+  return EvalCoordinator::Worker{std::move(parent_end),
+                                 "loopback-" + std::to_string(i)};
 }
 
 }  // namespace flowgen::service

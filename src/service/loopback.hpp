@@ -44,9 +44,20 @@ public:
   /// SIGKILL child `i` and reap it — the fault-injection hammer.
   void kill_worker(std::size_t i);
 
+  /// Fork a fresh child in slot `i` (killing any incumbent first) with the
+  /// same WorkerOptions, and return the parent-side connection under the
+  /// slot's original "loopback-<i>" name — exactly what
+  /// EvalCoordinator::admit_worker wants for a mid-run revival. Note the
+  /// recovery caveat: unlike construction-time forks, a respawned child
+  /// inherits whatever fds the parent holds by now (coordinator sockets,
+  /// pollers), so sibling crash detection in long-lived respawn users
+  /// falls back to deadlines instead of instant EOF.
+  EvalCoordinator::Worker respawn_worker(std::size_t i);
+
 private:
   std::vector<pid_t> pids_;
   std::vector<Socket> parent_side_;
+  WorkerOptions worker_options_;
 };
 
 }  // namespace flowgen::service

@@ -67,7 +67,6 @@ std::unique_ptr<RemoteEvaluator> RemoteEvaluator::connect_netlist(
 }
 
 void RemoteEvaluator::attach_store(std::shared_ptr<core::QorStore> store) {
-  std::lock_guard lock(mutex_);
   coordinator_->attach_store(std::move(store));
 }
 
@@ -78,17 +77,14 @@ map::QoR RemoteEvaluator::evaluate(const core::Flow& flow) const {
 std::vector<map::QoR> RemoteEvaluator::evaluate_many(
     std::span<const core::Flow> flows, util::ThreadPool* pool) const {
   (void)pool;  // parallelism is the worker fleet, not caller threads
-  std::lock_guard lock(mutex_);
   return coordinator_->evaluate_many(flows);
 }
 
 CoordinatorStats RemoteEvaluator::stats() const {
-  std::lock_guard lock(mutex_);
   return coordinator_->stats();
 }
 
 std::size_t RemoteEvaluator::num_workers_alive() const {
-  std::lock_guard lock(mutex_);
   return coordinator_->num_workers_alive();
 }
 

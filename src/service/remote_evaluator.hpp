@@ -8,7 +8,6 @@
 // netlist (protocol v2 LoadDesign) when no registry knows it.
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,14 +62,15 @@ public:
   /// touching the fleet, fresh responses are appended as they arrive.
   void attach_store(std::shared_ptr<core::QorStore> store);
 
-  /// The coordinator is single-threaded; calls are serialised on a mutex,
-  /// so stats() observes a quiescent value between batches.
+  /// Live scheduling counters straight from the coordinator — valid
+  /// mid-batch; the event-loop coordinator is internally thread-safe, so
+  /// this evaluator adds no locking of its own (concurrent evaluate_many
+  /// calls interleave fairly across the fleet).
   CoordinatorStats stats() const;
   std::size_t num_workers_alive() const;
   EvalCoordinator& coordinator() { return *coordinator_; }
 
 private:
-  mutable std::mutex mutex_;
   std::unique_ptr<EvalCoordinator> coordinator_;
   std::unique_ptr<LoopbackCluster> cluster_;
 };

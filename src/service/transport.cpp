@@ -104,10 +104,34 @@ void Socket::close() {
   }
 }
 
+void Socket::set_nonblocking(bool on) const {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd_, F_SETFL, want) != 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
+}
+
 void Socket::send_all(const void* data, std::size_t len, int timeout_ms) {
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
-    if (timeout_ms >= 0) {
+    // Attempt first, poll only on EAGAIN: short writes advance `p` and the
+    // loop resumes mid-buffer, so the socket may be blocking *or*
+    // non-blocking (O_NONBLOCK on the fd behaves exactly like the
+    // MSG_DONTWAIT we pass when a timeout bounds each wait).
+    const ssize_t n =
+        ::send(fd_, p, len,
+               MSG_NOSIGNAL | (timeout_ms >= 0 ? MSG_DONTWAIT : 0));
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Buffer full: wait for space (forever when timeout_ms < 0 — the
+      // historical blocking contract) and retry.
       pollfd pfd{fd_, POLLOUT, 0};
       int rc;
       do {
@@ -115,21 +139,29 @@ void Socket::send_all(const void* data, std::size_t len, int timeout_ms) {
       } while (rc < 0 && errno == EINTR);
       if (rc < 0) throw_errno("poll");
       if (rc == 0) throw TransportError("send timeout");
+      continue;
     }
-    const ssize_t n =
-        ::send(fd_, p, len,
-               MSG_NOSIGNAL | (timeout_ms >= 0 ? MSG_DONTWAIT : 0));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      // A racing writer may have refilled the buffer between poll and
-      // send; go back to waiting rather than failing.
-      if (timeout_ms >= 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        continue;
-      }
-      throw_errno("send");
-    }
-    p += n;
-    len -= static_cast<std::size_t>(n);
+    throw_errno("send");
+  }
+}
+
+long Socket::send_some(const void* data, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("send");
+  }
+}
+
+long Socket::recv_some(void* data, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, len, MSG_DONTWAIT);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("recv");
   }
 }
 
@@ -143,6 +175,13 @@ bool Socket::recv_all(void* data, std::size_t len, int timeout_ms) {
     const ssize_t n = ::recv(fd_, p + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // A non-blocking socket (or a spurious poll wakeup) reports EAGAIN;
+      // go back to waiting rather than failing the record. The bounded
+      // case re-enters the wait_readable at the top of the loop.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (timeout_ms < 0) wait_readable(-1);
+        continue;
+      }
       throw_errno("recv");
     }
     if (n == 0) {

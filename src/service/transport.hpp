@@ -64,12 +64,30 @@ public:
   bool valid() const { return fd_ >= 0; }
   void close();
 
+  /// Flip O_NONBLOCK. The event loops put every socket they own in
+  /// non-blocking mode; send_all/recv_all keep working on such sockets
+  /// (they poll for readiness instead of relying on a blocking fd).
+  void set_nonblocking(bool on) const;
+
   /// Write exactly `len` bytes; throws TransportError on any failure
   /// (including EPIPE — SIGPIPE is suppressed). With timeout_ms >= 0 each
   /// wait for buffer space is bounded, so a peer that stops *reading*
   /// (wedged, SIGSTOPped) raises TransportError instead of blocking the
-  /// caller forever once the socket buffer fills.
+  /// caller forever once the socket buffer fills. Correct on blocking and
+  /// non-blocking sockets alike: a short write or EAGAIN means "poll for
+  /// POLLOUT and resume", never a failure.
   void send_all(const void* data, std::size_t len, int timeout_ms = -1);
+
+  /// One non-blocking write attempt. Returns the bytes written (possibly
+  /// short), or -1 if the socket buffer is full right now (EAGAIN). Throws
+  /// TransportError on hard errors. The reactor's buffered writers are
+  /// built on this.
+  long send_some(const void* data, std::size_t len);
+
+  /// One non-blocking read attempt. Returns bytes read, 0 on EOF, or -1
+  /// if nothing is available right now (EAGAIN). Throws TransportError on
+  /// hard errors.
+  long recv_some(void* data, std::size_t len);
 
   /// Read exactly `len` bytes. Returns false on clean EOF before the first
   /// byte; throws TransportError on errors, timeouts, or EOF mid-record.

@@ -95,11 +95,9 @@ private:
 
 }  // namespace
 
-void send_frame(Socket& sock, MsgType type,
-                std::span<const std::uint8_t> payload, int timeout_ms) {
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       std::span<const std::uint8_t> payload) {
   if (payload.size() > kMaxPayloadBytes) throw WireError("payload too large");
-  // Header and payload leave in one buffer (and one send) so a frame is
-  // never split by a crash between two writes.
   Writer frame;
   frame.reserve(kHeaderBytes + payload.size());
   frame.u32(kFrameMagic);
@@ -109,6 +107,14 @@ void send_frame(Socket& sock, MsgType type,
   frame.u32(static_cast<std::uint32_t>(payload.size()));
   std::vector<std::uint8_t> buf = frame.take();  // keeps the reservation
   buf.insert(buf.end(), payload.begin(), payload.end());
+  return buf;
+}
+
+void send_frame(Socket& sock, MsgType type,
+                std::span<const std::uint8_t> payload, int timeout_ms) {
+  // Header and payload leave in one buffer (and one send) so a frame is
+  // never split by a crash between two writes.
+  const std::vector<std::uint8_t> buf = encode_frame(type, payload);
   sock.send_all(buf.data(), buf.size(), timeout_ms);
 }
 
@@ -177,6 +183,7 @@ std::vector<std::uint8_t> encode_eval_request(const EvalRequestMsg& m) {
   w.u64(m.design[1]);
   w.u64(m.registry[0]);
   w.u64(m.registry[1]);
+  w.u8(m.flags);
   w.u32(static_cast<std::uint32_t>(m.flows.size()));
   for (const core::StepsKey& steps : m.flows) {
     if (steps.size() > 0xFFFF) throw WireError("flow too long");
@@ -197,6 +204,37 @@ std::vector<std::uint8_t> encode_eval_response(const EvalResponseMsg& m) {
     w.u64(q.num_inverters);
   }
   return w.take();
+}
+
+std::vector<std::uint8_t> encode_eval_result(const EvalResultMsg& m) {
+  Writer w;
+  w.u64(m.request_id);
+  w.u32(m.index);
+  w.f64(m.result.area_um2);
+  w.f64(m.result.delay_ps);
+  w.u64(m.result.num_cells);
+  w.u64(m.result.num_inverters);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_shard_done(const ShardDoneMsg& m) {
+  Writer w;
+  w.u64(m.request_id);
+  w.u32(m.count);
+  w.u32(m.crc32);
+  return w.take();
+}
+
+std::array<std::uint8_t, 32> qor_record_bytes(const map::QoR& q) {
+  Writer w;
+  w.f64(q.area_um2);
+  w.f64(q.delay_ps);
+  w.u64(q.num_cells);
+  w.u64(q.num_inverters);
+  const std::vector<std::uint8_t> buf = w.take();
+  std::array<std::uint8_t, 32> out{};
+  std::memcpy(out.data(), buf.data(), out.size());
+  return out;
 }
 
 std::vector<std::uint8_t> encode_error(const ErrorMsg& m) {
@@ -264,6 +302,7 @@ EvalRequestMsg decode_eval_request(std::span<const std::uint8_t> payload) {
   m.design[1] = r.u64();
   m.registry[0] = r.u64();
   m.registry[1] = r.u64();
+  m.flags = r.u8();
   const std::uint32_t count = r.u32();
   if (count > r.remaining() / 2) {  // every flow costs >= 2 length bytes
     throw WireError("flow count exceeds payload");
@@ -295,6 +334,29 @@ EvalResponseMsg decode_eval_response(std::span<const std::uint8_t> payload) {
     q.num_inverters = static_cast<std::size_t>(r.u64());
     m.results.push_back(q);
   }
+  r.expect_end();
+  return m;
+}
+
+EvalResultMsg decode_eval_result(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  EvalResultMsg m;
+  m.request_id = r.u64();
+  m.index = r.u32();
+  m.result.area_um2 = r.f64();
+  m.result.delay_ps = r.f64();
+  m.result.num_cells = static_cast<std::size_t>(r.u64());
+  m.result.num_inverters = static_cast<std::size_t>(r.u64());
+  r.expect_end();
+  return m;
+}
+
+ShardDoneMsg decode_shard_done(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ShardDoneMsg m;
+  m.request_id = r.u64();
+  m.count = r.u32();
+  m.crc32 = r.u32();
   r.expect_end();
   return m;
 }

@@ -12,9 +12,15 @@
 // (opt/registry.hpp) once per connection, Hello/HelloAck carry registry
 // fingerprints, and every EvalRequest names the registry its packed step
 // bytes are ids into — one fleet serves many alphabets the way v2 made it
-// serve many designs. docs/protocol.md is the normative description of the
-// format.
+// serve many designs. Version 4 makes results *stream*: a request with the
+// kFlagStreamResults flag set is answered by one EvalResult frame per
+// completed flow plus a terminal ShardDone frame carrying the count and a
+// CRC-32 of the emitted QoR records — the coordinator applies (and
+// persists) results as they land, resets liveness deadlines on every
+// frame, and on worker loss requeues only the flows it never received.
+// docs/protocol.md is the normative description of the format.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -31,8 +37,8 @@ namespace flowgen::service {
 
 /// Bumped on any incompatible frame or payload change. Carried in every
 /// frame header and in Hello/HelloAck; both sides reject mismatches
-/// instead of guessing (v1/v2 peers are refused at the first frame).
-inline constexpr std::uint8_t kProtocolVersion = 3;
+/// instead of guessing (v1–v3 peers are refused at the first frame).
+inline constexpr std::uint8_t kProtocolVersion = 4;
 
 /// "FLOW" — rejects stray connections speaking the wrong protocol.
 inline constexpr std::uint32_t kFrameMagic = 0x464C4F57;
@@ -60,7 +66,14 @@ enum class MsgType : std::uint8_t {
   kLoadDesignAck = 10, ///< worker -> client: fingerprint now loaded (v2)
   kLoadRegistry = 11,  ///< client -> worker: encoded TransformRegistry (v3)
   kLoadRegistryAck = 12, ///< worker -> client: registry fp now loaded (v3)
+  kEvalResult = 13,    ///< worker -> client: one streamed flow QoR (v4)
+  kShardDone = 14,     ///< worker -> client: stream terminator, count + CRC (v4)
 };
+
+/// EvalRequest flag bits (v4).
+/// kFlagStreamResults: answer with one EvalResult frame per flow and a
+/// terminal ShardDone instead of a single whole-shard EvalResponse.
+inline constexpr std::uint8_t kFlagStreamResults = 0x01;
 
 /// Malformed frame or payload bytes (bad magic/version/length, truncated
 /// or trailing data, counts exceeding the payload). Distinct from
@@ -89,6 +102,17 @@ void send_frame(Socket& sock, MsgType type,
 /// throws TransportError on socket failure/timeout and WireError on
 /// malformed headers (bad magic/version/length).
 std::optional<Frame> recv_frame(Socket& sock, int timeout_ms = -1);
+
+/// Header + payload as one contiguous buffer — exactly the bytes
+/// send_frame writes. The event loops enqueue these on their buffered
+/// non-blocking writers instead of calling send_frame directly.
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       std::span<const std::uint8_t> payload);
+
+/// The 32-byte wire record of one QoR (f64 area, f64 delay, u64 cells,
+/// u64 inverters, little-endian) — the unit EvalResponse batches,
+/// EvalResult carries, and ShardDone's CRC-32 chains over.
+std::array<std::uint8_t, 32> qor_record_bytes(const map::QoR& q);
 
 // --------------------------------------------------------------- payloads --
 
@@ -120,11 +144,15 @@ struct HelloAckMsg {
 
 /// A batch of flows to evaluate against the design named by `design`,
 /// whose packed step bytes are ids into the alphabet named by `registry`.
-/// The worker answers kError if either fingerprint is not loaded.
+/// The worker answers kError if either fingerprint is not loaded. `flags`
+/// (v4) selects the answer shape: kFlagStreamResults set streams one
+/// EvalResult per flow + a ShardDone; clear keeps the v3 whole-shard
+/// EvalResponse.
 struct EvalRequestMsg {
   std::uint64_t request_id = 0;
   aig::Fingerprint design = kNoDesign;
   opt::RegistryFingerprint registry = opt::paper_registry_fingerprint();
+  std::uint8_t flags = 0;
   std::vector<core::StepsKey> flows;
 };
 
@@ -132,6 +160,26 @@ struct EvalRequestMsg {
 struct EvalResponseMsg {
   std::uint64_t request_id = 0;
   std::vector<map::QoR> results;
+};
+
+/// One streamed flow result (v4): `index` is the flow's position in its
+/// request. Workers may emit results out of request order (they don't
+/// today, but the index — not arrival order — is normative).
+struct EvalResultMsg {
+  std::uint64_t request_id = 0;
+  std::uint32_t index = 0;
+  map::QoR result;
+};
+
+/// Terminal frame of a streamed request (v4): how many EvalResults were
+/// emitted and a CRC-32 (util::crc32) chained over their 32-byte QoR
+/// records in emission order. A count or CRC mismatch means frames were
+/// lost or corrupted in flight; the coordinator drops the worker and
+/// reruns the shard rather than trusting a torn stream.
+struct ShardDoneMsg {
+  std::uint64_t request_id = 0;
+  std::uint32_t count = 0;
+  std::uint32_t crc32 = 0;
 };
 
 /// Failure report; `request_id` 0 when not tied to a request.
@@ -146,6 +194,8 @@ std::vector<std::uint8_t> encode_hello(const HelloMsg& m);
 std::vector<std::uint8_t> encode_hello_ack(const HelloAckMsg& m);
 std::vector<std::uint8_t> encode_eval_request(const EvalRequestMsg& m);
 std::vector<std::uint8_t> encode_eval_response(const EvalResponseMsg& m);
+std::vector<std::uint8_t> encode_eval_result(const EvalResultMsg& m);
+std::vector<std::uint8_t> encode_shard_done(const ShardDoneMsg& m);
 std::vector<std::uint8_t> encode_error(const ErrorMsg& m);
 std::vector<std::uint8_t> encode_u64(std::uint64_t value);  // ping/pong
 /// LoadDesign's payload is exactly the aig::encode_binary blob, and
@@ -161,6 +211,8 @@ HelloMsg decode_hello(std::span<const std::uint8_t> payload);
 HelloAckMsg decode_hello_ack(std::span<const std::uint8_t> payload);
 EvalRequestMsg decode_eval_request(std::span<const std::uint8_t> payload);
 EvalResponseMsg decode_eval_response(std::span<const std::uint8_t> payload);
+EvalResultMsg decode_eval_result(std::span<const std::uint8_t> payload);
+ShardDoneMsg decode_shard_done(std::span<const std::uint8_t> payload);
 ErrorMsg decode_error(std::span<const std::uint8_t> payload);
 std::uint64_t decode_u64(std::span<const std::uint8_t> payload);
 aig::Fingerprint decode_load_design_ack(std::span<const std::uint8_t> payload);

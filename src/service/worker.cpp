@@ -1,14 +1,19 @@
 #include "service/worker.hpp"
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <thread>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "aig/reader.hpp"
 #include "aig/serialize.hpp"
 #include "designs/registry.hpp"
+#include "service/reactor.hpp"
+#include "util/crc32.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::service {
@@ -66,6 +71,44 @@ bool serve_frames(Socket& sock, const EvalService& service) {
           for (core::StepsKey& steps : req.flows) {
             flows.push_back(core::Flow{std::move(steps)});
           }
+          if ((req.flags & kFlagStreamResults) != 0) {
+            // v4 streamed answer: one EvalResult per flow as it completes,
+            // then ShardDone with the emitted count and a CRC-32 chained
+            // over the 32-byte QoR records in emission order.
+            std::uint32_t count = 0;
+            std::uint32_t crc = 0;
+            const auto emit = [&](std::uint32_t index, const map::QoR& q) {
+              send_frame(sock, MsgType::kEvalResult,
+                         encode_eval_result({req.request_id, index, q}));
+              const auto record = qor_record_bytes(q);
+              crc = util::crc32(record, crc);
+              ++count;
+            };
+            try {
+              if (service.on_eval_stream) {
+                service.on_eval_stream(req.design, req.registry,
+                                       std::move(flows), emit);
+              } else {
+                const std::vector<map::QoR> results = service.on_eval(
+                    req.design, req.registry, std::move(flows));
+                for (std::size_t i = 0; i < results.size(); ++i) {
+                  emit(static_cast<std::uint32_t>(i), results[i]);
+                }
+              }
+            } catch (const TransportError&) {
+              throw;  // stream broken mid-emit — the connection is gone
+            } catch (const std::exception& e) {
+              // Evaluator failure: already-emitted results stand (they are
+              // correct and the client applied them); the error closes the
+              // rest of the stream.
+              send_frame(sock, MsgType::kError,
+                         encode_error({req.request_id, e.what()}));
+              break;
+            }
+            send_frame(sock, MsgType::kShardDone,
+                       encode_shard_done({req.request_id, count, crc}));
+            break;
+          }
           EvalResponseMsg resp;
           resp.request_id = req.request_id;
           try {
@@ -105,60 +148,380 @@ bool serve_frames(Socket& sock, const EvalService& service) {
   }
 }
 
-void serve_connections(Listener& listener,
-                       const std::function<EvalService()>& make_service) {
-  std::atomic<bool> stop{false};
-  struct Connection {
-    std::thread thread;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-  std::vector<Connection> connections;
-  const auto reap = [&](bool all) {
-    for (auto it = connections.begin(); it != connections.end();) {
-      if (all || it->done->load(std::memory_order_acquire)) {
-        it->thread.join();
-        it = connections.erase(it);
-      } else {
-        ++it;
-      }
+namespace {
+
+// --------------------------------------------------------- the serve loop --
+//
+// One reactor thread owns the listener, the wake pipe, and every
+// connection's FrameConn; ServeOptions::eval_threads executor threads run
+// the actual evaluations. Control frames (Hello, LoadDesign, LoadRegistry,
+// Ping, Shutdown) are handled inline on the loop thread — they are cheap —
+// while each EvalRequest becomes an executor task whose result frames
+// (streamed EvalResults + ShardDone, a whole-shard EvalResponse, or an
+// Error) travel back through a mutex-guarded completion queue that wakes
+// the loop via the self-pipe. A slow shard therefore never delays accepts,
+// pings, or another client's frames, and two requests on one connection
+// may evaluate concurrently (their frames interleave; request ids keep
+// them apart — the v4 contract).
+
+class ServeLoop {
+public:
+  ServeLoop(Listener& listener,
+            const std::function<EvalService()>& make_service,
+            const ServeOptions& options)
+      : listener_(listener),
+        make_service_(make_service),
+        stats_(options.stats) {
+    const std::size_t n = std::max<std::size_t>(1, options.eval_threads);
+    executors_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      executors_.emplace_back([this] { executor_main(); });
     }
-  };
-  while (!stop.load(std::memory_order_acquire)) {
-    Socket conn;
-    try {
-      conn = listener.accept(200);  // short poll so Shutdown is noticed
-    } catch (const AcceptTimeout&) {
-      reap(false);
-      continue;  // no pending connection — check the stop flag, poll again
-    } catch (const TransportError&) {
-      // Hard accept failure (fd exhaustion, dead listener): do not spin.
-      // Drain the live connections, then let the caller see the error.
-      reap(true);
-      throw;
-    }
-    util::log_info("evald: client connected");
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    Connection c;
-    c.done = done;
-    c.thread = std::thread([&stop, &make_service, done,
-                            sock = std::move(conn)]() mutable {
-      try {
-        if (serve_frames(sock, make_service())) {
-          util::log_info("evald: shutdown requested");
-          stop.store(true, std::memory_order_release);
-        } else {
-          util::log_info("evald: client disconnected");
-        }
-      } catch (const std::exception& e) {
-        util::log_warn("evald: connection error: ", e.what());
-      }
-      done->store(true, std::memory_order_release);
-    });
-    connections.push_back(std::move(c));
-    reap(false);
   }
-  // Stop accepting, let connected clients drain.
-  reap(true);
+
+  ~ServeLoop() {
+    {
+      std::lock_guard lock(mu_);
+      executors_stop_ = true;
+    }
+    tasks_cv_.notify_all();
+    for (std::thread& t : executors_) t.join();
+  }
+
+  void run() {
+    poller_.add(listener_.fd(), true, false, kListenerTag);
+    poller_.add(wake_.read_fd(), true, false, kWakeTag);
+    while (!(stop_accepting_ && conns_.empty())) {
+      const auto& events = poller_.wait(-1);
+      for (const Poller::Event& ev : events) {
+        if (ev.tag == kWakeTag) {
+          wake_.drain();
+        } else if (ev.tag == kListenerTag) {
+          accept_ready();
+        } else {
+          on_conn_event(ev);
+        }
+      }
+      drain_completions();
+    }
+  }
+
+private:
+  static constexpr std::uint64_t kListenerTag = 0;
+  static constexpr std::uint64_t kWakeTag = 1;
+  static constexpr std::uint64_t kFirstConnId = 2;
+
+  struct Conn {
+    std::uint64_t id = 0;
+    FrameConn frame_conn;
+    std::shared_ptr<EvalService> service;
+    std::size_t evals_pending = 0;
+    /// Executor tasks check this before posting: a dropped connection's
+    /// late results go nowhere instead of to a recycled id.
+    std::shared_ptr<std::atomic<bool>> gone =
+        std::make_shared<std::atomic<bool>>(false);
+
+    Conn(std::uint64_t id_, Socket sock, std::shared_ptr<EvalService> svc)
+        : id(id_), frame_conn(std::move(sock)), service(std::move(svc)) {}
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::vector<std::uint8_t> frame_bytes;  ///< empty for task-done marks
+    bool task_done = false;
+  };
+
+  void accept_ready() {
+    while (true) {
+      Socket sock;
+      try {
+        sock = listener_.accept(0);
+      } catch (const AcceptTimeout&) {
+        return;  // drained the backlog
+      }
+      // TransportError propagates: a hard accept failure (fd exhaustion,
+      // dead listener) must surface, not spin.
+      if (stop_accepting_) continue;  // drop latecomers during drain
+      util::log_info("evald: client connected");
+      const std::uint64_t id = next_conn_id_++;
+      auto conn = std::make_unique<Conn>(
+          id, std::move(sock),
+          std::make_shared<EvalService>(make_service_()));
+      poller_.add(conn->frame_conn.fd(), true, false, id);
+      conns_.emplace(id, std::move(conn));
+      if (stats_) {
+        stats_->connections_total.fetch_add(1, std::memory_order_relaxed);
+        stats_->connections_open.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void on_conn_event(const Poller::Event& ev) {
+    const auto it = conns_.find(ev.tag);
+    if (it == conns_.end()) return;  // raced a drop in this batch of events
+    Conn& conn = *it->second;
+    if (ev.writable) {
+      if (conn.frame_conn.on_writable() == FrameConn::Io::kError) {
+        drop_conn(ev.tag, "write failed");
+        return;
+      }
+    }
+    if (ev.readable || ev.error) {
+      std::vector<Frame> frames;
+      const FrameConn::Io io = conn.frame_conn.on_readable(frames);
+      for (Frame& frame : frames) {
+        if (!handle_frame(conn, frame)) {
+          drop_conn(ev.tag, "shutdown");
+          return;
+        }
+      }
+      if (io == FrameConn::Io::kEof) {
+        util::log_info("evald: client disconnected");
+        drop_conn(ev.tag, nullptr);
+        return;
+      }
+      if (io == FrameConn::Io::kError) {
+        drop_conn(ev.tag, "connection error");
+        return;
+      }
+    }
+    update_interest(conn);
+  }
+
+  /// Returns false when the client requested Shutdown.
+  bool handle_frame(Conn& conn, Frame& frame) {
+    const EvalService& service = *conn.service;
+    try {
+      switch (frame.type) {
+        case MsgType::kHello: {
+          const HelloMsg hello = decode_hello(frame.payload);
+          if (hello.version != kProtocolVersion) {
+            enqueue_error(conn, 0,
+                          "unsupported protocol version " +
+                              std::to_string(hello.version));
+            break;
+          }
+          conn.frame_conn.enqueue(MsgType::kHelloAck,
+                                  encode_hello_ack(service.on_hello(hello)));
+          break;
+        }
+        case MsgType::kLoadDesign: {
+          aig::Aig design = aig::decode_binary(frame.payload);
+          const aig::Fingerprint fp =
+              service.on_load_design(std::move(design), frame.payload);
+          conn.frame_conn.enqueue(MsgType::kLoadDesignAck,
+                                  encode_load_design_ack(fp));
+          break;
+        }
+        case MsgType::kLoadRegistry: {
+          std::shared_ptr<const opt::TransformRegistry> registry =
+              opt::TransformRegistry::decode(frame.payload);
+          const opt::RegistryFingerprint fp =
+              service.on_load_registry(std::move(registry), frame.payload);
+          conn.frame_conn.enqueue(MsgType::kLoadRegistryAck,
+                                  encode_load_registry_ack(fp));
+          break;
+        }
+        case MsgType::kEvalRequest:
+          submit_eval(conn, decode_eval_request(frame.payload));
+          break;
+        case MsgType::kPing:
+          conn.frame_conn.enqueue(MsgType::kPong, frame.payload);
+          break;
+        case MsgType::kShutdown:
+          util::log_info("evald: shutdown requested");
+          stop_accepting_ = true;
+          poller_.del(listener_.fd());
+          return false;
+        default:
+          enqueue_error(conn, 0, "unexpected message type");
+          break;
+      }
+    } catch (const std::exception& e) {
+      // Bad payloads / rejected hellos / rejected designs: report on the
+      // wire and keep the connection.
+      enqueue_error(conn, 0, e.what());
+    }
+    return true;
+  }
+
+  void submit_eval(Conn& conn, EvalRequestMsg req) {
+    if (stats_) {
+      stats_->requests.fetch_add(1, std::memory_order_relaxed);
+      stats_->flows_received.fetch_add(req.flows.size(),
+                                       std::memory_order_relaxed);
+    }
+    ++conn.evals_pending;
+    auto task = [this, service = conn.service, gone = conn.gone,
+                 conn_id = conn.id, req = std::move(req)]() mutable {
+      run_eval(*service, *gone, conn_id, std::move(req));
+    };
+    {
+      std::lock_guard lock(mu_);
+      tasks_.push_back(std::move(task));
+    }
+    tasks_cv_.notify_one();
+  }
+
+  /// Executor-side: evaluate one request and post its answer frames.
+  void run_eval(const EvalService& service, const std::atomic<bool>& gone,
+                std::uint64_t conn_id, EvalRequestMsg req) {
+    std::vector<core::Flow> flows;
+    flows.reserve(req.flows.size());
+    for (core::StepsKey& steps : req.flows) {
+      flows.push_back(core::Flow{std::move(steps)});
+    }
+    const bool streamed = (req.flags & kFlagStreamResults) != 0;
+    try {
+      if (streamed) {
+        std::uint32_t count = 0;
+        std::uint32_t crc = 0;
+        const auto emit = [&](std::uint32_t index, const map::QoR& q) {
+          if (!gone.load(std::memory_order_acquire)) {
+            post(conn_id,
+                 encode_frame(MsgType::kEvalResult,
+                              encode_eval_result({req.request_id, index, q})));
+            if (stats_) {
+              stats_->results_streamed.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            }
+          }
+          const auto record = qor_record_bytes(q);
+          crc = util::crc32(record, crc);
+          ++count;
+        };
+        if (service.on_eval_stream) {
+          service.on_eval_stream(req.design, req.registry, std::move(flows),
+                                 emit);
+        } else {
+          const std::vector<map::QoR> results =
+              service.on_eval(req.design, req.registry, std::move(flows));
+          for (std::size_t i = 0; i < results.size(); ++i) {
+            emit(static_cast<std::uint32_t>(i), results[i]);
+          }
+        }
+        post(conn_id,
+             encode_frame(MsgType::kShardDone,
+                          encode_shard_done({req.request_id, count, crc})));
+      } else {
+        EvalResponseMsg resp;
+        resp.request_id = req.request_id;
+        resp.results =
+            service.on_eval(req.design, req.registry, std::move(flows));
+        post(conn_id, encode_frame(MsgType::kEvalResponse,
+                                   encode_eval_response(resp)));
+        if (stats_) stats_->responses.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const std::exception& e) {
+      post(conn_id, encode_frame(MsgType::kError,
+                                 encode_error({req.request_id, e.what()})));
+      if (stats_) stats_->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    post_task_done(conn_id);
+  }
+
+  void post(std::uint64_t conn_id, std::vector<std::uint8_t> frame_bytes) {
+    {
+      std::lock_guard lock(mu_);
+      completions_.push_back(Completion{conn_id, std::move(frame_bytes),
+                                        false});
+    }
+    wake_.notify();
+  }
+
+  void post_task_done(std::uint64_t conn_id) {
+    {
+      std::lock_guard lock(mu_);
+      completions_.push_back(Completion{conn_id, {}, true});
+    }
+    wake_.notify();
+  }
+
+  void drain_completions() {
+    std::deque<Completion> batch;
+    {
+      std::lock_guard lock(mu_);
+      batch.swap(completions_);
+    }
+    for (Completion& c : batch) {
+      const auto it = conns_.find(c.conn_id);
+      if (it == conns_.end()) continue;  // connection already dropped
+      Conn& conn = *it->second;
+      if (c.task_done) {
+        if (conn.evals_pending > 0) --conn.evals_pending;
+      } else if (conn.frame_conn.enqueue_bytes(std::move(c.frame_bytes)) ==
+                 FrameConn::Io::kError) {
+        drop_conn(c.conn_id, "write failed");
+        continue;
+      }
+      update_interest(conn);
+    }
+  }
+
+  void update_interest(Conn& conn) {
+    poller_.mod(conn.frame_conn.fd(), true, conn.frame_conn.want_write(),
+                conn.id);
+  }
+
+  void drop_conn(std::uint64_t id, const char* why) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    if (why != nullptr) util::log_info("evald: dropping connection: ", why);
+    it->second->gone->store(true, std::memory_order_release);
+    poller_.del(it->second->frame_conn.fd());
+    conns_.erase(it);
+    if (stats_) {
+      stats_->connections_open.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  void executor_main() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mu_);
+        tasks_cv_.wait(lock,
+                       [this] { return executors_stop_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // stopping and drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  Listener& listener_;
+  const std::function<EvalService()>& make_service_;
+  ServeStats* stats_;
+
+  Poller poller_;
+  WakePipe wake_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = kFirstConnId;
+  bool stop_accepting_ = false;
+
+  std::mutex mu_;  ///< guards tasks_, completions_, executors_stop_
+  std::condition_variable tasks_cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::deque<Completion> completions_;
+  bool executors_stop_ = false;
+  std::vector<std::thread> executors_;
+
+  void enqueue_error(Conn& conn, std::uint64_t request_id,
+                     const std::string& message) {
+    conn.frame_conn.enqueue(MsgType::kError,
+                            encode_error({request_id, message}));
+    if (stats_) stats_->errors.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+void serve_connections(Listener& listener,
+                       const std::function<EvalService()>& make_service,
+                       const ServeOptions& options) {
+  ServeLoop loop(listener, make_service, options);
+  loop.run();
 }
 
 EvalWorker::EvalWorker(WorkerOptions options) : options_(std::move(options)) {
@@ -381,6 +744,34 @@ EvalService EvalWorker::make_service() {
         evaluator_for(fp, registry);
     return evaluator->evaluate_many(flows, pool_.get());
   };
+  service.on_eval_stream =
+      [this](const aig::Fingerprint& fp,
+             const opt::RegistryFingerprint& registry,
+             std::vector<core::Flow> flows,
+             const std::function<void(std::uint32_t, const map::QoR&)>&
+                 emit) {
+        const std::shared_ptr<core::SynthesisEvaluator> evaluator =
+            evaluator_for(fp, registry);
+        // Evaluate in chunks of `threads` flows so the pool stays busy yet
+        // every completed flow leaves as its own EvalResult frame — the
+        // coordinator applies (and persists) it immediately, and a crash
+        // between chunks forfeits at most one chunk. The request arrives
+        // pre-sorted (coordinator shards are lexicographic runs), so
+        // chunking keeps the prefix cache exactly as warm as one big
+        // evaluate_many would.
+        const std::size_t chunk = std::max<std::size_t>(1, options_.threads);
+        std::size_t base = 0;
+        while (base < flows.size()) {
+          const std::size_t n = std::min(chunk, flows.size() - base);
+          const std::span<const core::Flow> slice(flows.data() + base, n);
+          const std::vector<map::QoR> qors =
+              evaluator->evaluate_many(slice, pool_.get());
+          for (std::size_t k = 0; k < n; ++k) {
+            emit(static_cast<std::uint32_t>(base + k), qors[k]);
+          }
+          base += n;
+        }
+      };
   return service;
 }
 
@@ -389,7 +780,13 @@ bool EvalWorker::serve(Socket& sock) {
 }
 
 void EvalWorker::serve_forever(Listener& listener) {
-  serve_connections(listener, [this] { return make_service(); });
+  ServeOptions options;
+  options.eval_threads = std::max<std::size_t>(1, options_.serve_threads);
+  options.stats = &serve_stats_;
+  const std::function<EvalService()> factory = [this] {
+    return make_service();
+  };
+  serve_connections(listener, factory, options);
 }
 
 EvalService make_coordinator_service(EvalCoordinator& coordinator) {
@@ -439,11 +836,27 @@ EvalService make_coordinator_service(EvalCoordinator& coordinator) {
   svc.on_eval = [&coordinator](const aig::Fingerprint& fp,
                                const opt::RegistryFingerprint& registry,
                                std::vector<core::Flow> flows) {
-    // Fingerprint checks and batch run under one coordinator lock — a
-    // plain check-then-evaluate would race a concurrent client's
-    // load_design/load_registry.
+    // The fingerprint check and the batch submission are atomic inside the
+    // coordinator — a plain check-then-evaluate would race a concurrent
+    // client's load_design/load_registry.
     return coordinator.evaluate_many_for(fp, registry, flows);
   };
+  svc.on_eval_stream =
+      [&coordinator](const aig::Fingerprint& fp,
+                     const opt::RegistryFingerprint& registry,
+                     std::vector<core::Flow> flows,
+                     const std::function<void(std::uint32_t, const map::QoR&)>&
+                         emit) {
+        // Fleets compose under streaming too: results land from the
+        // coordinator's event loop as its workers stream them, and every
+        // one is forwarded upward immediately (the emit is thread-safe —
+        // it posts to the serve loop's completion queue).
+        coordinator.evaluate_many_for(
+            fp, registry, flows,
+            [&emit](std::size_t index, const map::QoR& q) {
+              emit(static_cast<std::uint32_t>(index), q);
+            });
+      };
   return svc;
 }
 

@@ -19,6 +19,7 @@
 // alphabet its step bytes are ids into — one fleet multiplexes many
 // alphabets the same way. Every worker is born with the paper registry.
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <list>
@@ -73,6 +74,41 @@ struct EvalService {
                                       const opt::RegistryFingerprint& registry,
                                       std::vector<core::Flow> flows)>
       on_eval;
+  /// v4 streamed evaluation: call emit(index, qor) once per flow as results
+  /// complete (index = the flow's position in `flows`; order is free). The
+  /// serve loop turns every emit into an EvalResult frame and closes the
+  /// stream with ShardDone (count + CRC). Throwing mid-stream answers with
+  /// an Error frame; already-emitted results stand and the client requeues
+  /// only the rest. Optional — when unset, streamed requests fall back to
+  /// on_eval and the loop emits the returned batch itself.
+  std::function<void(
+      const aig::Fingerprint& design, const opt::RegistryFingerprint& registry,
+      std::vector<core::Flow> flows,
+      const std::function<void(std::uint32_t, const map::QoR&)>& emit)>
+      on_eval_stream;
+};
+
+/// Live counters of one serve loop, readable from any thread while the
+/// loop runs — the data behind `evald --admin`.
+struct ServeStats {
+  std::atomic<std::size_t> connections_total{0};
+  std::atomic<std::size_t> connections_open{0};
+  std::atomic<std::size_t> requests{0};         ///< EvalRequests accepted
+  std::atomic<std::size_t> flows_received{0};   ///< flows across requests
+  std::atomic<std::size_t> results_streamed{0}; ///< EvalResult frames queued
+  std::atomic<std::size_t> responses{0};        ///< whole-shard responses
+  std::atomic<std::size_t> errors{0};           ///< Error frames queued
+};
+
+/// Knobs of the event-driven accept/serve loop.
+struct ServeOptions {
+  /// Executor threads running EvalRequests. The loop itself never
+  /// evaluates: requests queue to this pool and their result frames flow
+  /// back through a completion queue, so slow shards never block accepts,
+  /// pings, or other clients' frames.
+  std::size_t eval_threads = 2;
+  /// Optional live counters (must outlive the loop).
+  ServeStats* stats = nullptr;
 };
 
 /// Serve frames on `sock` until clean EOF (returns false) or a Shutdown
@@ -80,13 +116,17 @@ struct EvalService {
 /// and the connection continues; transport failures end it.
 bool serve_frames(Socket& sock, const EvalService& service);
 
-/// Concurrent accept loop: every connection is served on its own thread
-/// (`make_service` is invoked once per connection; its handlers must be
-/// thread-safe — EvalWorker's and make_coordinator_service's are). Returns
-/// once a client sends Shutdown: the loop stops accepting and joins the
-/// remaining connection threads (clients still connected drain first).
+/// Concurrent accept/serve loop — a single-threaded poll/epoll reactor
+/// over non-blocking connections (`make_service` is invoked once per
+/// connection; handlers other than on_eval/on_eval_stream run on the loop
+/// thread, evaluations run on ServeOptions::eval_threads executor threads,
+/// so handlers must be thread-safe — EvalWorker's and
+/// make_coordinator_service's are). Returns once a client sends Shutdown:
+/// the loop stops accepting and keeps serving the remaining connections
+/// until they drain.
 void serve_connections(Listener& listener,
-                       const std::function<EvalService()>& make_service);
+                       const std::function<EvalService()>& make_service,
+                       const ServeOptions& options = {});
 
 /// The evald server mode's protocol glue: a service whose Hello(id)
 /// elaborates + broadcasts registry designs to the fleet, whose LoadDesign
@@ -107,8 +147,13 @@ struct WorkerOptions {
   core::EvaluatorConfig evaluator;
   /// Threads for evaluate_many inside this worker. Loopback clusters keep
   /// this at 1 (parallelism comes from processes); a big remote worker can
-  /// raise it to use its whole machine per shard.
+  /// raise it to use its whole machine per shard. Streamed requests
+  /// evaluate in chunks of this size, so per-flow result frames and pool
+  /// parallelism coexist.
   std::size_t threads = 1;
+  /// Executor threads of the accept/serve event loop (serve_forever) —
+  /// how many EvalRequests may evaluate concurrently.
+  std::size_t serve_threads = 2;
   /// Instantiated (design, registry) evaluators kept warm (>= 1) — the
   /// same design under two alphabets counts twice. Loading entry N+1
   /// evicts the least recently evaluated one together with its caches.
@@ -135,9 +180,13 @@ public:
   /// Shutdown, false on EOF.
   bool serve(Socket& sock);
 
-  /// Accept loop for the evald binary: serve every connection on its own
-  /// thread until a client sends Shutdown.
+  /// Accept loop for the evald binary: the event-driven serve loop over
+  /// this worker's service, until a client sends Shutdown.
   void serve_forever(Listener& listener);
+
+  /// Live serve-loop counters (valid during serve_forever) — what the
+  /// worker's admin socket reports.
+  const ServeStats& serve_stats() const { return serve_stats_; }
 
   /// Designs currently instantiated (most recently used first).
   std::size_t num_designs() const {
@@ -217,6 +266,7 @@ private:
                      std::shared_ptr<core::QorStore>, FpHash>
       stores_;
   std::unique_ptr<util::ThreadPool> pool_;
+  ServeStats serve_stats_;
 };
 
 }  // namespace flowgen::service

@@ -207,13 +207,16 @@ TEST(GoldenRegistryTest, EvalResponsePayloadBytesAreUnchanged) {
   EXPECT_EQ(decoded.results[1], msg.results[1]);
 }
 
-TEST(GoldenRegistryTest, V3EvalRequestLayoutIsPinned) {
-  // Fresh golden for the v3 request: byte-level layout pinned inline so
-  // the next protocol change is a conscious version bump.
+TEST(GoldenRegistryTest, V4EvalRequestLayoutIsPinned) {
+  // Fresh golden for the v4 request (the v3 layout plus the flags byte
+  // between the registry fingerprint and the flow count): byte-level
+  // layout pinned inline so the next protocol change is a conscious
+  // version bump.
   service::EvalRequestMsg msg;
   msg.request_id = 0x0807060504030201ull;
   msg.design = {0x1111111111111111ull, 0x2222222222222222ull};
   msg.registry = {0x3333333333333333ull, 0x4444444444444444ull};
+  msg.flags = service::kFlagStreamResults;
   msg.flows.push_back({0, 2, 5});
   const std::vector<std::uint8_t> expect = {
       0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08,  // request id (LE)
@@ -221,6 +224,7 @@ TEST(GoldenRegistryTest, V3EvalRequestLayoutIsPinned) {
       0x22, 0x22, 0x22, 0x22, 0x22, 0x22, 0x22, 0x22,  // design fp[1]
       0x33, 0x33, 0x33, 0x33, 0x33, 0x33, 0x33, 0x33,  // registry fp[0]
       0x44, 0x44, 0x44, 0x44, 0x44, 0x44, 0x44, 0x44,  // registry fp[1]
+      0x01,                                            // flags: stream
       0x01, 0x00, 0x00, 0x00,                          // 1 flow
       0x03, 0x00,                                      // 3 steps
       0x00, 0x02, 0x05,                                // packed step ids
@@ -229,7 +233,44 @@ TEST(GoldenRegistryTest, V3EvalRequestLayoutIsPinned) {
   const service::EvalRequestMsg decoded =
       service::decode_eval_request(expect);
   EXPECT_EQ(decoded.registry, msg.registry);
+  EXPECT_EQ(decoded.flags, service::kFlagStreamResults);
   EXPECT_EQ(decoded.flows, msg.flows);
+}
+
+TEST(GoldenRegistryTest, V4StreamFramePayloadsArePinned) {
+  // EvalResult and ShardDone are new in v4; pin their byte layouts the
+  // same way. The QoR record inside EvalResult is the same 32-byte shape
+  // EvalResponse batches (and qor_record_bytes returns).
+  service::EvalResultMsg res;
+  res.request_id = 0x0102030405060708ull;
+  res.index = 7;
+  res.result = map::QoR{14.5, 102.0, 9, 2};
+  std::vector<std::uint8_t> expect = {
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // request id (LE)
+      0x07, 0x00, 0x00, 0x00,                          // index
+  };
+  const auto record = service::qor_record_bytes(res.result);
+  expect.insert(expect.end(), record.begin(), record.end());
+  EXPECT_EQ(service::encode_eval_result(res), expect);
+  const service::EvalResultMsg back = service::decode_eval_result(expect);
+  EXPECT_EQ(back.request_id, res.request_id);
+  EXPECT_EQ(back.index, res.index);
+  EXPECT_EQ(back.result, res.result);
+
+  service::ShardDoneMsg done;
+  done.request_id = 0x0102030405060708ull;
+  done.count = 2;
+  done.crc32 = 0xA1B2C3D4u;
+  const std::vector<std::uint8_t> done_expect = {
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // request id (LE)
+      0x02, 0x00, 0x00, 0x00,                          // count
+      0xD4, 0xC3, 0xB2, 0xA1,                          // crc32 (LE)
+  };
+  EXPECT_EQ(service::encode_shard_done(done), done_expect);
+  const service::ShardDoneMsg dback = service::decode_shard_done(done_expect);
+  EXPECT_EQ(dback.request_id, done.request_id);
+  EXPECT_EQ(dback.count, done.count);
+  EXPECT_EQ(dback.crc32, done.crc32);
 }
 
 }  // namespace

@@ -181,11 +181,11 @@ TEST(WireTest, DecodersRejectCountsExceedingPayload) {
   req_msg.flows.push_back({0});  // balance
   auto req = encode_eval_request(req_msg);
   // count: little-endian u32 after u64 request id + the two 16-byte
-  // fingerprints (design, registry)
-  req[40] = 0xFF;
+  // fingerprints (design, registry) + the v4 flags byte
   req[41] = 0xFF;
   req[42] = 0xFF;
   req[43] = 0xFF;
+  req[44] = 0xFF;
   EXPECT_THROW(decode_eval_request(req), WireError);
 }
 

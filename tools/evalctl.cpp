@@ -1,0 +1,38 @@
+// evalctl — one-shot client for the evald/coordinator admin socket
+// (service/admin.hpp). Connects to --admin, sends one command, prints the
+// reply body, exits non-zero if the server answered "err ...":
+//
+//   evalctl --admin unix:/tmp/server.admin                 # default: stats
+//   evalctl --admin unix:/tmp/server.admin --cmd workers
+//   evalctl --admin tcp:127.0.0.1:9901 --cmd help
+//
+// The reply is line-oriented "key value" text, so it pipes straight into
+// watch(1)/grep/awk while a batch is running — queue depth, per-worker
+// inflight and latency, requeue counts, store hit rates, live.
+
+#include <cstdio>
+#include <string>
+
+#include "service/admin.hpp"
+#include "service/transport.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace flowgen;
+  const util::Cli cli(argc, argv);
+  const std::string spec = cli.get("admin", "");
+  if (spec.empty()) {
+    std::fprintf(stderr,
+                 "evalctl: --admin <unix:/path|tcp:host:port> is required\n");
+    return 2;
+  }
+  const std::string cmd = cli.get("cmd", "stats");
+  const int timeout_ms = static_cast<int>(cli.get_int("timeout-ms", 5000));
+  const std::string reply =
+      service::admin_query(service::Address::parse(spec), cmd, timeout_ms);
+  std::printf("%s\n", reply.c_str());
+  return reply.rfind("err ", 0) == 0 ? 1 : 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "evalctl: %s\n", e.what());
+  return 1;
+}

@@ -5,11 +5,14 @@
 //             (--design-file, BLIF via aig/reader) or over the wire
 //             (LoadDesign shipping a serialized netlist); transform
 //             alphabets arrive via protocol v3 LoadRegistry; a small LRU
-//             keeps several instantiated (design, alphabet) pairs warm:
+//             keeps several instantiated (design, alphabet) pairs warm.
+//             Serving is the v4 event loop: one reactor thread multiplexes
+//             every connection, --serve-threads executors evaluate:
 //               evald --mode worker --listen unix:/tmp/w0.sock
 //                     [--design alu16] [--design-file adder.blif]
-//                     [--threads 4] [--max-designs 4]
+//                     [--threads 4] [--serve-threads 2] [--max-designs 4]
 //                     [--store /var/lib/flowgen/qor]
+//                     [--admin unix:/tmp/w0.admin]
 //   server    Front a worker fleet behind a single address. The server
 //             speaks the same protocol as a worker — including LoadDesign
 //             and LoadRegistry, which it re-broadcasts to its fleet — so
@@ -19,6 +22,8 @@
 //                     --workers unix:/tmp/w0.sock,unix:/tmp/w1.sock
 //                     [--design alu16 | --design-file adder.blif]
 //                     [--store /var/lib/flowgen/qor]
+//                     [--admin unix:/tmp/server.admin]
+//                     [--reconnect-ms 2000] [--no-stream]
 //   loopback  Fork N local workers, push a random batch through them, and
 //             print throughput — the zero-setup smoke test:
 //               evald --mode loopback --design alu16 --workers 4 --flows 200
@@ -28,11 +33,16 @@
 // workers pre-warm their caches from it and append fresh labels; a server
 // answers stored flows without bothering its fleet.
 //
+// --admin opens the line-oriented introspection socket (tools/evalctl is
+// the matching client): queue depths, per-worker inflight/latency, requeue
+// counts, store hit rates — live, while batches run.
+//
 // Flags are util/cli style (--flag value / --flag=value, FLOWGEN_* env).
 
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -41,6 +51,7 @@
 #include "core/flow_space.hpp"
 #include "core/qor_store.hpp"
 #include "designs/registry.hpp"
+#include "service/admin.hpp"
 #include "service/loopback.hpp"
 #include "service/remote_evaluator.hpp"
 #include "service/wire.hpp"
@@ -65,6 +76,26 @@ std::vector<std::string> split_list(const std::string& csv) {
   return out;
 }
 
+/// The worker-mode admin surface: the serve loop's live counters.
+std::string worker_admin_text(const service::EvalWorker& worker,
+                              const std::string& command) {
+  if (command == "stats") {
+    const service::ServeStats& s = worker.serve_stats();
+    std::ostringstream os;
+    os << "connections_total " << s.connections_total.load() << '\n'
+       << "connections_open " << s.connections_open.load() << '\n'
+       << "requests " << s.requests.load() << '\n'
+       << "flows_received " << s.flows_received.load() << '\n'
+       << "results_streamed " << s.results_streamed.load() << '\n'
+       << "responses " << s.responses.load() << '\n'
+       << "errors " << s.errors.load() << '\n'
+       << "designs_loaded " << worker.num_designs() << '\n';
+    return os.str();
+  }
+  if (command == "help") return "commands: stats help quit";
+  return "err unknown command '" + command + "' (try help)";
+}
+
 int run_worker(const util::Cli& cli) {
   service::WorkerOptions options;
   options.design_id = cli.get("design", "");
@@ -73,10 +104,19 @@ int run_worker(const util::Cli& cli) {
   options.max_designs =
       static_cast<std::size_t>(cli.get_int("max-designs", 4));
   options.qor_store_dir = cli.get("store", "");
+  options.serve_threads =
+      static_cast<std::size_t>(cli.get_int("serve-threads", 2));
   const auto addr = service::Address::parse(
       cli.get("listen", "unix:/tmp/evald.sock"));
   service::EvalWorker worker(options);
   service::Listener listener = service::Listener::bind(addr);
+  std::unique_ptr<service::AdminServer> admin;
+  if (const std::string spec = cli.get("admin", ""); !spec.empty()) {
+    admin = std::make_unique<service::AdminServer>(
+        service::Address::parse(spec), [&worker](const std::string& cmd) {
+          return worker_admin_text(worker, cmd);
+        });
+  }
   util::log_info("evald worker: design=",
                  !options.design_file.empty() ? options.design_file
                  : options.design_id.empty() ? "<none — awaiting LoadDesign>"
@@ -94,17 +134,21 @@ int run_server(const util::Cli& cli) {
     std::fprintf(stderr, "evald server: --workers is required\n");
     return 2;
   }
+  service::CoordinatorConfig config;
+  config.admin_addr = cli.get("admin", "");
+  config.reconnect_ms = static_cast<int>(cli.get_int("reconnect-ms", 0));
+  config.stream_results = !cli.get_bool("no-stream", false);
   // No --design/--design-file starts the fleet deferred: the first client
   // Hello(id), LoadDesign or LoadRegistry decides what it serves. A
   // --design-file fleet ships the loaded netlist to every worker.
   std::unique_ptr<service::EvalCoordinator> coordinator;
   if (design_file.empty()) {
     coordinator = std::make_unique<service::EvalCoordinator>(
-        service::connect_workers(worker_specs), design);
+        service::connect_workers(worker_specs), design, config);
   } else {
     coordinator = std::make_unique<service::EvalCoordinator>(
         service::connect_workers(worker_specs),
-        aig::read_blif_file(design_file));
+        aig::read_blif_file(design_file), config);
   }
   if (const std::string dir = cli.get("store", ""); !dir.empty()) {
     // Directory-rooted so the store follows LoadRegistry alphabet
@@ -120,12 +164,17 @@ int run_server(const util::Cli& cli) {
                                       : design,
                  " fleet=", coordinator->num_workers_alive(),
                  " listening on ", listener.address().to_string());
-  // Concurrent clients: every connection gets its own service thread (the
-  // Hello(id)-elaborates-and-broadcasts glue lives in
-  // make_coordinator_service; the coordinator serialises batches).
-  service::serve_connections(listener, [&] {
-    return service::make_coordinator_service(*coordinator);
-  });
+  // Concurrent clients: one reactor thread multiplexes every connection
+  // (the Hello(id)-elaborates-and-broadcasts glue lives in
+  // make_coordinator_service); the coordinator interleaves their batches
+  // fairly across the fleet.
+  service::ServeOptions serve_options;
+  serve_options.eval_threads =
+      static_cast<std::size_t>(cli.get_int("serve-threads", 2));
+  service::serve_connections(
+      listener,
+      [&] { return service::make_coordinator_service(*coordinator); },
+      serve_options);
   coordinator->shutdown_workers();
   return 0;
 }
