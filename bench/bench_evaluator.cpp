@@ -9,10 +9,20 @@
 // --transforms-json additionally emits per-transform per-pass timings
 // (cold analysis vs warm analysis on the same graph) so the perf
 // trajectory of every pass is tracked PR over PR.
+//
+// --telemetry-json prices the telemetry layer itself: the same labeling
+// batch with metrics off (set_enabled(false) — the A/B the registry was
+// designed for) vs on, plus the per-spec cold/warm pass timings read back
+// out of the flowgen_transform_ms histograms rather than separate timers.
+// --overhead-gate PCT makes the bench exit non-zero when the measured
+// overhead exceeds PCT percent — CI's telemetry budget. --trace FILE
+// additionally captures Chrome trace events for the whole run.
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -22,6 +32,8 @@
 #include "designs/registry.hpp"
 #include "opt/registry.hpp"
 #include "opt/transform.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
@@ -171,6 +183,95 @@ std::string bench_registry(const aig::Aig& design,
   return json;
 }
 
+/// Prices telemetry: median batch time with metrics disabled vs enabled
+/// (same evaluator config, fresh evaluator each run so cache state is
+/// symmetric), QoR equality across the two, and the per-spec cold/warm
+/// pass timings sourced from the flowgen_transform_ms histograms the
+/// evaluator itself filled — no second set of timers.
+std::string bench_telemetry(const aig::Aig& design,
+                            const std::string& design_name,
+                            const std::vector<core::Flow>& flows,
+                            const core::EvaluatorConfig& config,
+                            std::size_t threads, int reps,
+                            double* overhead_out) {
+  const auto registry =
+      config.registry ? config.registry : opt::TransformRegistry::paper();
+  // One warmup (memo/allocator state), then alternating off/on reps so
+  // drift hits both sides equally.
+  telemetry::set_enabled(false);
+  (void)run(design, flows, config, threads);
+  std::vector<double> off_s, on_s;
+  std::vector<map::QoR> off_qor, on_qor;
+  telemetry::reset_all();
+  for (int i = 0; i < reps; ++i) {
+    telemetry::set_enabled(false);
+    RunResult off = run(design, flows, config, threads);
+    off_s.push_back(off.seconds);
+    if (off_qor.empty()) off_qor = std::move(off.qor);
+    telemetry::set_enabled(true);
+    RunResult on = run(design, flows, config, threads);
+    on_s.push_back(on.seconds);
+    if (on_qor.empty()) on_qor = std::move(on.qor);
+  }
+  telemetry::set_enabled(true);
+  std::sort(off_s.begin(), off_s.end());
+  std::sort(on_s.begin(), on_s.end());
+  const double off_med = off_s[off_s.size() / 2];
+  const double on_med = on_s[on_s.size() / 2];
+  const double overhead =
+      off_med > 0 ? (on_med - off_med) / off_med * 100.0 : 0.0;
+  if (overhead_out) *overhead_out = overhead;
+
+  bool identical = off_qor.size() == on_qor.size();
+  for (std::size_t i = 0; identical && i < off_qor.size(); ++i) {
+    identical = off_qor[i].area_um2 == on_qor[i].area_um2 &&
+                off_qor[i].delay_ps == on_qor[i].delay_ps &&
+                off_qor[i].num_cells == on_qor[i].num_cells &&
+                off_qor[i].num_inverters == on_qor[i].num_inverters;
+  }
+
+  std::printf("telemetry overhead: off %.3fs  on %.3fs  %+.2f%%  "
+              "bit_identical=%s\n",
+              off_med, on_med, overhead, identical ? "true" : "false");
+
+  char head[512];
+  std::snprintf(
+      head, sizeof head,
+      "{\"design\": \"%s\", \"flows\": %zu, \"threads\": %zu, \"reps\": %d,\n"
+      " \"telemetry_off_seconds\": %.3f, \"telemetry_on_seconds\": %.3f,\n"
+      " \"overhead_percent\": %.2f, \"bit_identical\": %s,\n"
+      " \"specs\": [\n",
+      design_name.c_str(), flows.size(), threads, reps, off_med, on_med,
+      overhead, identical ? "true" : "false");
+  std::string json = head;
+  // Same (name, labels, bounds) as the evaluator's registration — the
+  // registry hands back the very histograms the on-runs filled.
+  const std::vector<double> fine_ms = telemetry::exp_buckets(0.005, 2.0, 18);
+  for (std::size_t i = 0; i < registry->size(); ++i) {
+    const std::string& spec = registry->name(static_cast<opt::StepId>(i));
+    const auto snap_of = [&](const char* analysis) {
+      return telemetry::histogram("flowgen_transform_ms",
+                                  "Per-transform pass wall time (ms)",
+                                  fine_ms,
+                                  {{"spec", spec}, {"analysis", analysis}})
+          .snapshot();
+    };
+    const telemetry::Histogram::Snapshot cold = snap_of("cold");
+    const telemetry::Histogram::Snapshot warm = snap_of("warm");
+    char line[320];
+    std::snprintf(line, sizeof line,
+                  "  {\"spec\": \"%s\", \"cold_count\": %" PRIu64
+                  ", \"cold_mean_ms\": %.4f, \"warm_count\": %" PRIu64
+                  ", \"warm_mean_ms\": %.4f}%s\n",
+                  spec.c_str(), cold.count, cold.mean(), warm.count,
+                  warm.mean(),
+                  i + 1 < registry->size() ? "," : "");
+    json += line;
+  }
+  json += "]}";
+  return json;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -188,6 +289,16 @@ int main(int argc, char** argv) try {
   const std::string transforms_json = cli.get("transforms-json", "");
   const std::string registry_json = cli.get("registry-json", "");
   const int transform_reps = cli.get_int("transform-reps", 5);
+  const std::string telemetry_json = cli.get("telemetry-json", "");
+  const int overhead_reps =
+      std::max(1, static_cast<int>(cli.get_int("overhead-reps", 3)));
+  const double overhead_gate = [&] {
+    const std::string g = cli.get("overhead-gate", "");
+    return g.empty() ? -1.0 : std::atof(g.c_str());
+  }();
+  if (const std::string trace = cli.get("trace", ""); !trace.empty()) {
+    telemetry::start_tracing(trace);
+  }
 
   const aig::Aig design = designs::make_design(design_name);
   const core::FlowSpace space(m);
@@ -291,6 +402,29 @@ int main(int argc, char** argv) try {
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
       std::fprintf(f, "%s\n", json);
       std::fclose(f);
+    }
+  }
+
+  // Telemetry overhead A/B + per-spec histogram readback
+  // (BENCH_telemetry_<design>.json).
+  if (!telemetry_json.empty() || overhead_gate >= 0) {
+    double overhead = 0.0;
+    const std::string report = bench_telemetry(
+        design, design_name, flows, engine_cfg, threads, overhead_reps,
+        &overhead);
+    std::printf("%s\n", report.c_str());
+    if (!telemetry_json.empty()) {
+      if (std::FILE* f = std::fopen(telemetry_json.c_str(), "w")) {
+        std::fprintf(f, "%s\n", report.c_str());
+        std::fclose(f);
+      }
+    }
+    if (overhead_gate >= 0 && overhead > overhead_gate) {
+      std::fprintf(stderr,
+                   "bench_evaluator: telemetry overhead %.2f%% exceeds gate "
+                   "%.2f%%\n",
+                   overhead, overhead_gate);
+      return 1;
     }
   }
 

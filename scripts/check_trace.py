@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event file written by src/telemetry/trace.
+
+The writer appends events forever (O_APPEND, possibly from several
+processes sharing one file), so the file is the JSON-array flavour of the
+trace-event format: it may end with a trailing comma and no closing `]` —
+both explicitly allowed by the spec and accepted by Perfetto. This script
+normalises that tail, parses the result as strict JSON, and checks the
+complete ("ph":"X") events are well-formed.
+
+usage:
+  check_trace.py FILE [--min-events N] [--min-pids N]
+                      [--require-category CAT ...]
+
+--min-pids 2 asserts the trace interleaves events from at least two
+processes (a coordinator and its forked workers). --require-category
+asserts a given span category ("eval", "serve", "coordinator",
+"pipeline") shows up at all.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read().strip()
+    if not text.startswith("["):
+        sys.exit(f"{path}: does not start with '[' — not a trace array")
+    body = text[1:].strip()
+    if body.endswith("]"):
+        body = body[:-1].rstrip()
+    if body.endswith(","):
+        body = body[:-1]
+    try:
+        return json.loads("[" + body + "]")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: invalid JSON after normalisation: {e}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum number of complete events (default 1)")
+    parser.add_argument("--min-pids", type=int, default=1,
+                        help="minimum number of distinct pids (default 1)")
+    parser.add_argument("--require-category", action="append", default=[],
+                        metavar="CAT",
+                        help="category that must appear (repeatable)")
+    args = parser.parse_args()
+
+    events = load_events(args.file)
+    complete = [e for e in events if isinstance(e, dict) and e.get("ph") == "X"]
+    for e in complete:
+        for key in ("cat", "name", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                sys.exit(f"{args.file}: complete event missing '{key}': {e}")
+        for key in ("ts", "dur", "pid", "tid"):
+            if not isinstance(e[key], int):
+                sys.exit(f"{args.file}: non-integer '{key}': {e}")
+        if e["dur"] < 0 or e["ts"] < 0:
+            sys.exit(f"{args.file}: negative ts/dur: {e}")
+
+    if len(complete) < args.min_events:
+        sys.exit(f"{args.file}: only {len(complete)} complete events "
+                 f"(need >= {args.min_events})")
+    pids = {e["pid"] for e in complete}
+    if len(pids) < args.min_pids:
+        sys.exit(f"{args.file}: events from only {len(pids)} process(es) "
+                 f"(need >= {args.min_pids})")
+    categories = {e["cat"] for e in complete}
+    for cat in args.require_category:
+        if cat not in categories:
+            sys.exit(f"{args.file}: no events in category '{cat}' "
+                     f"(saw: {sorted(categories)})")
+
+    print(f"{args.file}: OK — {len(complete)} complete events, "
+          f"{len(pids)} pid(s), categories {sorted(categories)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,11 @@
 #include "map/qor.hpp"
 #include "util/thread_pool.hpp"
 
+namespace flowgen::telemetry {
+class Counter;
+class Histogram;
+}  // namespace flowgen::telemetry
+
 namespace flowgen::core {
 
 class QorStore;
@@ -171,6 +176,18 @@ private:
   std::size_t shard_mask_ = 0;
   mutable std::vector<QorShard> shards_;
   mutable std::unique_ptr<PrefixFlowCache> prefix_cache_;
+
+  /// Telemetry handles, resolved once at construction so the hot path
+  /// never touches the registry map. Per-spec latency histograms are
+  /// indexed by StepId, split warm (analysis carried in) vs cold.
+  telemetry::Counter* tm_evaluations_ = nullptr;
+  telemetry::Counter* tm_transforms_applied_ = nullptr;
+  telemetry::Counter* tm_transforms_skipped_ = nullptr;
+  telemetry::Counter* tm_mappings_ = nullptr;
+  telemetry::Counter* tm_mappings_deduped_ = nullptr;
+  telemetry::Histogram* tm_mapping_ms_ = nullptr;
+  std::vector<telemetry::Histogram*> tm_spec_ms_warm_;
+  std::vector<telemetry::Histogram*> tm_spec_ms_cold_;
 
   /// Round-robin over analysis-derive probes while retention is down.
   mutable std::atomic<std::size_t> derive_probe_{0};

@@ -1,6 +1,48 @@
 #include "core/flow_cache.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace flowgen::core {
+
+namespace {
+
+/// Process-wide flow-cache telemetry; several evaluators (several caches)
+/// sum into the same series, which matches the fleet view. Byte gauges
+/// track deltas, so they mirror live occupancy across all instances.
+struct CacheMetrics {
+  telemetry::Counter& lookups;
+  telemetry::Counter& hits;
+  telemetry::Counter& steps_saved;
+  telemetry::Counter& insertions;
+  telemetry::Counter& evictions;
+  telemetry::Counter& analysis_evictions;
+  telemetry::Gauge& bytes;
+  telemetry::Gauge& analysis_bytes;
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m{
+      telemetry::counter("flowgen_flow_cache_lookups_total",
+                         "Prefix-cache longest_prefix probes"),
+      telemetry::counter("flowgen_flow_cache_hits_total",
+                         "Probes that resumed from a snapshot"),
+      telemetry::counter("flowgen_flow_cache_steps_saved_total",
+                         "Transform passes skipped via snapshots"),
+      telemetry::counter("flowgen_flow_cache_insertions_total",
+                         "Snapshots inserted"),
+      telemetry::counter("flowgen_flow_cache_evictions_total",
+                         "Snapshots evicted by the byte budget"),
+      telemetry::counter("flowgen_flow_cache_analysis_evictions_total",
+                         "Analysis attachments stripped by the byte budget"),
+      telemetry::gauge("flowgen_flow_cache_bytes",
+                       "Live prefix-cache bytes (snapshots + analysis)"),
+      telemetry::gauge("flowgen_flow_cache_analysis_bytes",
+                       "Live analysis-attachment bytes"),
+  };
+  return m;
+}
+
+}  // namespace
 
 PrefixFlowCache::PrefixFlowCache(FlowCacheConfig config)
     : config_(config) {
@@ -16,12 +58,16 @@ void PrefixFlowCache::Shard::enforce_budget(
   // attachment is recomputed lazily; an evicted snapshot re-runs whole
   // transform prefixes), so strip every attachment LRU-first before any
   // snapshot goes.
+  CacheMetrics& m = cache_metrics();
   while (bytes > budget && analysis_bytes > 0) {
     bool stripped = false;
     for (auto it = lru.rbegin(); it != lru.rend(); ++it) {
       if (!it->analysis) continue;
       bytes -= it->analysis_bytes;
       analysis_bytes -= it->analysis_bytes;
+      m.bytes.sub(static_cast<double>(it->analysis_bytes));
+      m.analysis_bytes.sub(static_cast<double>(it->analysis_bytes));
+      m.analysis_evictions.inc();
       it->analysis.reset();
       it->analysis_bytes = 0;
       ++analysis_evictions;
@@ -35,6 +81,9 @@ void PrefixFlowCache::Shard::enforce_budget(
     const Entry& victim = lru.back();
     bytes -= victim.bytes + victim.analysis_bytes;
     analysis_bytes -= victim.analysis_bytes;
+    m.bytes.sub(static_cast<double>(victim.bytes + victim.analysis_bytes));
+    m.analysis_bytes.sub(static_cast<double>(victim.analysis_bytes));
+    m.evictions.inc();
     if (victim.analysis) {
       stripped_counter.fetch_add(1, std::memory_order_relaxed);
     }
@@ -46,6 +95,8 @@ void PrefixFlowCache::Shard::enforce_budget(
 
 PrefixFlowCache::Hit PrefixFlowCache::longest_prefix(StepsView steps) const {
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics& m = cache_metrics();
+  m.lookups.inc();
   const std::size_t start =
       std::min(steps.size(), config_.max_snapshot_depth);
   for (std::size_t len = start; len > 0; --len) {
@@ -58,6 +109,8 @@ PrefixFlowCache::Hit PrefixFlowCache::longest_prefix(StepsView steps) const {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
     steps_saved_.fetch_add(len, std::memory_order_relaxed);
+    m.hits.inc();
+    m.steps_saved.inc(len);
     Entry& entry = *it->second;
     Hit hit{len, entry.aig, entry.analysis};
     // The attachment grows as evaluations fill it lazily; re-poll so the
@@ -65,6 +118,10 @@ PrefixFlowCache::Hit PrefixFlowCache::longest_prefix(StepsView steps) const {
     // keeps its shared_ptr either way.
     if (entry.analysis) {
       const std::size_t polled = entry.analysis->memory_bytes();
+      const double grown = static_cast<double>(polled) -
+                           static_cast<double>(entry.analysis_bytes);
+      m.bytes.add(grown);
+      m.analysis_bytes.add(grown);
       shard.bytes += polled - entry.analysis_bytes;
       shard.analysis_bytes += polled - entry.analysis_bytes;
       entry.analysis_bytes = polled;
@@ -99,6 +156,10 @@ void PrefixFlowCache::insert(StepsView steps,
   shard.index.emplace(shard.lru.front().key, shard.lru.begin());
   shard.bytes += bytes + analysis_bytes;
   shard.analysis_bytes += analysis_bytes;
+  CacheMetrics& m = cache_metrics();
+  m.insertions.inc();
+  m.bytes.add(static_cast<double>(bytes + analysis_bytes));
+  m.analysis_bytes.add(static_cast<double>(analysis_bytes));
   if (shard.lru.front().analysis) {
     analysis_attached_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -124,8 +185,11 @@ FlowCacheStats PrefixFlowCache::stats() const {
 }
 
 void PrefixFlowCache::clear() {
+  CacheMetrics& m = cache_metrics();
   for (Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);
+    m.bytes.sub(static_cast<double>(shard.bytes));
+    m.analysis_bytes.sub(static_cast<double>(shard.analysis_bytes));
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;

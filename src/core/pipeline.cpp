@@ -8,6 +8,7 @@
 #include "core/qor_store.hpp"
 #include "designs/registry.hpp"
 #include "service/remote_evaluator.hpp"
+#include "telemetry/trace.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::core {
@@ -113,6 +114,9 @@ FlowGenPipeline::FlowGenPipeline(aig::Aig design, PipelineConfig config)
 }
 
 PipelineResult FlowGenPipeline::run() {
+  if (!config_.trace_file.empty() && !telemetry::tracing()) {
+    telemetry::start_tracing(config_.trace_file);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   util::ThreadPool threads(config_.threads);
   PipelineResult result;
@@ -144,11 +148,17 @@ PipelineResult FlowGenPipeline::run() {
 
     // (1) Label the next slice of training flows by actual synthesis.
     RoundStats stats;
+    telemetry::Span round_span("pipeline", "round");
+    round_span.arg("round", static_cast<std::uint64_t>(round + 1));
     const auto t_syn = std::chrono::steady_clock::now();
     const std::span<const Flow> slice(training.data() + labeled,
                                       target - labeled);
-    const std::vector<map::QoR> qors =
-        evaluator_->evaluate_many(slice, &threads);
+    std::vector<map::QoR> qors;
+    {
+      telemetry::Span span("pipeline", "label");
+      span.arg("flows", static_cast<std::uint64_t>(slice.size()));
+      qors = evaluator_->evaluate_many(slice, &threads);
+    }
     for (std::size_t i = 0; i < slice.size(); ++i) {
       result.labeled_flows.push_back(slice[i]);
       result.labeled_qor.push_back(qors[i]);
@@ -171,17 +181,22 @@ PipelineResult FlowGenPipeline::run() {
     // (2) Re-train on mini-batches of the labeled set (batch size 5).
     const auto t_train = std::chrono::steady_clock::now();
     double loss_sum = 0.0;
-    for (std::size_t step = 0; step < config_.steps_per_round; ++step) {
-      std::vector<Flow> batch;
-      std::vector<std::uint32_t> batch_labels;
-      batch.reserve(config_.batch_size);
-      for (std::size_t b = 0; b < config_.batch_size; ++b) {
-        const std::size_t pick =
-            static_cast<std::size_t>(rng_.below(train_n));
-        batch.push_back(result.labeled_flows[pick]);
-        batch_labels.push_back(labels[pick]);
+    {
+      telemetry::Span train_span("pipeline", "train");
+      train_span.arg("steps",
+                     static_cast<std::uint64_t>(config_.steps_per_round));
+      for (std::size_t step = 0; step < config_.steps_per_round; ++step) {
+        std::vector<Flow> batch;
+        std::vector<std::uint32_t> batch_labels;
+        batch.reserve(config_.batch_size);
+        for (std::size_t b = 0; b < config_.batch_size; ++b) {
+          const std::size_t pick =
+              static_cast<std::size_t>(rng_.below(train_n));
+          batch.push_back(result.labeled_flows[pick]);
+          batch_labels.push_back(labels[pick]);
+        }
+        loss_sum += classifier.train_batch(batch, batch_labels, *optimizer);
       }
-      loss_sum += classifier.train_batch(batch, batch_labels, *optimizer);
     }
     stats.train_seconds = seconds_since(t_train);
 

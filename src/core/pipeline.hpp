@@ -73,6 +73,12 @@ struct PipelineConfig {
   /// reads this path, and distributed modes ship the loaded netlist to the
   /// fleet via LoadDesign — off-registry designs end to end from files.
   std::string design_file;
+
+  /// Non-empty enables Chrome-trace-event capture for the run: run() calls
+  /// telemetry::start_tracing(trace_file) and every round emits labeling /
+  /// training / probe spans alongside the evaluator's per-transform spans.
+  /// Load the file in Perfetto (docs/observability.md).
+  std::string trace_file;
 };
 
 struct RoundStats {

@@ -12,12 +12,40 @@
 #include <filesystem>
 #include <fstream>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/crc32.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::core {
 
 namespace {
+
+/// Process-wide store telemetry; several stores sum into one series.
+struct StoreMetrics {
+  telemetry::Counter& appends;
+  telemetry::Counter& lookups;
+  telemetry::Counter& hits;
+  telemetry::Counter& records_loaded;
+  telemetry::Histogram& load_ms;
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics m{
+      telemetry::counter("flowgen_qor_store_appends_total",
+                         "Label records appended to the QoR store"),
+      telemetry::counter("flowgen_qor_store_lookups_total",
+                         "QoR store index lookups"),
+      telemetry::counter("flowgen_qor_store_hits_total",
+                         "QoR store index hits"),
+      telemetry::counter("flowgen_qor_store_records_loaded_total",
+                         "Label records loaded from .qorlog files"),
+      telemetry::histogram("flowgen_qor_store_load_ms",
+                           "Per-file .qorlog load+scan latency (ms)",
+                           telemetry::default_ms_buckets()),
+  };
+  return m;
+}
 
 // On-disk layout (little-endian; docs/qor-store.md is the normative spec):
 //   file header (8 bytes): u32 magic "FQOR", u8 version, u8 0, u16 0
@@ -155,10 +183,24 @@ QorStore::~QorStore() {
 }
 
 std::uint64_t QorStore::load_file(const std::string& path) {
+  telemetry::Span span("store", "load_qorlog");
+  span.arg("path", path);
+  const bool timed = telemetry::enabled();
+  const std::uint64_t t0 = timed ? telemetry::trace_now_us() : 0;
+  const std::size_t loaded_before = stats_.records_loaded;
+  const auto finish = [&](std::uint64_t valid) {
+    StoreMetrics& m = store_metrics();
+    m.records_loaded.inc(stats_.records_loaded - loaded_before);
+    if (timed) {
+      m.load_ms.observe(
+          static_cast<double>(telemetry::trace_now_us() - t0) / 1000.0);
+    }
+    return valid;
+  };
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     util::log_warn("QorStore: cannot read ", path, " — skipped");
-    return 0;
+    return finish(0);
   }
   std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
                                  std::istreambuf_iterator<char>());
@@ -166,7 +208,7 @@ std::uint64_t QorStore::load_file(const std::string& path) {
       (data[4] != kStoreVersion && data[4] != kStoreVersionRegistry)) {
     util::log_warn("QorStore: ", path, " has no valid header — skipped");
     stats_.tail_bytes_dropped += data.size();
-    return 0;
+    return finish(0);
   }
   // Alphabet check before any record is indexed: v1 files are keyed by the
   // paper registry by definition, v2 files carry their registry's
@@ -179,7 +221,7 @@ std::uint64_t QorStore::load_file(const std::string& path) {
     if (data.size() < kRegistryHeaderBytes) {
       util::log_warn("QorStore: ", path, " has a torn v2 header — skipped");
       stats_.tail_bytes_dropped += data.size();
-      return 0;
+      return finish(0);
     }
     file_registry[0] = get_u64(data.data() + kFileHeaderBytes);
     file_registry[1] = get_u64(data.data() + kFileHeaderBytes + 8);
@@ -243,17 +285,19 @@ std::uint64_t QorStore::load_file(const std::string& path) {
     util::log_warn("QorStore: ", path, ": dropped ", data.size() - pos,
                    " byte(s) of torn tail at offset ", pos);
   }
-  return pos;
+  return finish(pos);
 }
 
 std::optional<map::QoR> QorStore::lookup(const aig::Fingerprint& design,
                                          StepsView steps) const {
   std::lock_guard lock(mutex_);
   ++stats_.lookups;
+  store_metrics().lookups.inc();
   Key key{design, StepsKey(steps.begin(), steps.end())};
   const auto it = index_.find(key);
   if (it == index_.end()) return std::nullopt;
   ++stats_.hits;
+  store_metrics().hits.inc();
   return it->second;
 }
 
@@ -306,6 +350,7 @@ bool QorStore::append(const aig::Fingerprint& design, StepsView steps,
   if (config_.fsync_each_append) ::fsync(fd_);
   index_.emplace(std::move(key), qor);
   ++stats_.appends;
+  store_metrics().appends.inc();
   return true;
 }
 

@@ -11,12 +11,48 @@
 
 #include "aig/serialize.hpp"
 #include "service/admin.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/crc32.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::service {
 
 namespace {
+
+struct CoordMetrics {
+  telemetry::Counter& dispatches;
+  telemetry::Counter& shards_done;
+  telemetry::Counter& requeued_shards;
+  telemetry::Counter& requeued_flows;
+  telemetry::Counter& rescued_flows;
+  telemetry::Counter& workers_lost;
+  telemetry::Counter& loop_iterations;
+  telemetry::Histogram& shard_ms;
+};
+
+CoordMetrics& coord_metrics() {
+  static CoordMetrics m{
+      telemetry::counter("flowgen_coordinator_dispatches_total",
+                         "Shard requests dispatched (including reruns)"),
+      telemetry::counter("flowgen_coordinator_shards_done_total",
+                         "Shards retired (ShardDone/EvalResponse)"),
+      telemetry::counter("flowgen_coordinator_requeued_shards_total",
+                         "Requeue shards formed at worker losses"),
+      telemetry::counter("flowgen_coordinator_requeued_flows_total",
+                         "Flows sent back to the queue at worker losses"),
+      telemetry::counter("flowgen_coordinator_rescued_flows_total",
+                         "Flows already received when their worker was lost"),
+      telemetry::counter("flowgen_coordinator_workers_lost_total",
+                         "Worker loss declarations"),
+      telemetry::counter("flowgen_coordinator_loop_iterations_total",
+                         "Coordinator event-loop iterations"),
+      telemetry::histogram("flowgen_coordinator_shard_ms",
+                           "Shard round-trip latency (ms)",
+                           telemetry::default_ms_buckets()),
+  };
+  return m;
+}
 
 /// Poller tag of the wake pipe; workers use their table index.
 constexpr std::uint64_t kWakeTag = ~std::uint64_t{0};
@@ -103,8 +139,11 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
   }
   if (!config_.admin_addr.empty()) {
     admin_ = std::make_unique<AdminServer>(
-        Address::parse(config_.admin_addr),
-        [this](const std::string& cmd) { return admin_text(cmd); });
+        Address::parse(config_.admin_addr), [this](const std::string& cmd) {
+          // `metrics` needs the loop thread (it broadcasts a scrape), so
+          // it cannot share the const read-only admin_text path.
+          return cmd == "metrics" ? fleet_metrics_text() : admin_text(cmd);
+        });
   }
   loop_thread_ = std::thread([this] { loop(); });
 }
@@ -703,7 +742,7 @@ std::string EvalCoordinator::admin_text(const std::string& command) const {
     return os.str();
   }
   if (command == "help") {
-    return "commands: stats workers help quit";
+    return "commands: stats workers metrics help quit";
   }
   return "err unknown command '" + command + "' (try help)";
 }
@@ -712,6 +751,7 @@ std::string EvalCoordinator::admin_text(const std::string& command) const {
 
 void EvalCoordinator::loop() {
   for (;;) {
+    coord_metrics().loop_iterations.inc();
     {
       std::lock_guard lock(mu_);
       if (stopping_) break;
@@ -935,6 +975,7 @@ bool EvalCoordinator::dispatch_to(std::size_t w,
     worker.deadline_ms = now_ms() + config_.request_timeout_ms;
   }
   ++batch->shards_inflight;
+  coord_metrics().dispatches.inc();
   {
     std::lock_guard lock(mu_);
     ++stats_.requests_sent;
@@ -1076,12 +1117,89 @@ void EvalCoordinator::handle_frame(std::size_t w, Frame& frame) {
       lose_worker(w, "worker error");
       return;
     }
+    case MsgType::kMetricsText: {
+      MetricsTextMsg msg;
+      try {
+        msg = decode_metrics_text(frame.payload);
+      } catch (const std::exception&) {
+        lose_worker(w, "undecodable metrics page");
+        return;
+      }
+      const auto it = metrics_scrapes_.find(msg.nonce);
+      if (it != metrics_scrapes_.end()) {
+        const std::shared_ptr<MetricsScrape> scrape = it->second.scrape;
+        bool complete;
+        {
+          std::lock_guard lock(scrape->mu);
+          scrape->texts.push_back(std::move(msg.text));
+          complete = scrape->texts.size() >= scrape->expected;
+        }
+        scrape->cv.notify_all();
+        if (complete) metrics_scrapes_.erase(it);
+      }
+      // Scrapes abandoned by their admin thread (worker died mid-scrape)
+      // purge lazily here and at the next broadcast.
+      const std::int64_t now = now_ms();
+      std::erase_if(metrics_scrapes_, [now](const auto& kv) {
+        return now >= kv.second.expires_ms;
+      });
+      return;
+    }
     case MsgType::kPong:
       return;  // stray liveness echo; harmless
     default:
       lose_worker(w, "unexpected frame");
       return;
   }
+}
+
+// ------------------------------------------------------------ fleet metrics --
+
+std::string EvalCoordinator::fleet_metrics_text() {
+  auto scrape = std::make_shared<MetricsScrape>();
+  run_command(
+      [this, scrape] {
+        const std::uint64_t nonce = next_metrics_nonce_++;
+        const std::int64_t now = now_ms();
+        std::erase_if(metrics_scrapes_, [now](const auto& kv) {
+          return now >= kv.second.expires_ms;
+        });
+        std::size_t sent = 0;
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+          WorkerState& worker = workers_[w];
+          if (!worker.alive) continue;
+          if (worker.conn->enqueue(MsgType::kGetMetrics,
+                                   encode_u64(nonce)) ==
+              FrameConn::Io::kError) {
+            lose_worker(w, "send failed");
+            continue;
+          }
+          poller_.mod(worker.conn->fd(), /*want_read=*/true,
+                      worker.conn->want_write(), w);
+          ++sent;
+        }
+        {
+          std::lock_guard lock(scrape->mu);
+          scrape->expected = sent;
+        }
+        if (sent > 0) {
+          metrics_scrapes_.emplace(nonce,
+                                   PendingScrape{scrape, now + 30 * 1000});
+        }
+      },
+      /*requires_idle=*/false);
+  std::vector<std::string> texts;
+  {
+    std::unique_lock lock(scrape->mu);
+    // Workers answer a scrape inline on their serve loop, so 2s of grace
+    // is generous; a worker lost mid-scrape just misses the page.
+    scrape->cv.wait_for(lock, std::chrono::milliseconds(2000), [&] {
+      return scrape->texts.size() >= scrape->expected;
+    });
+    texts = scrape->texts;
+  }
+  texts.push_back(telemetry::render_prometheus());
+  return telemetry::merge_prometheus(texts);
 }
 
 void EvalCoordinator::apply_result(std::size_t w, Inflight& fl,
@@ -1116,8 +1234,22 @@ void EvalCoordinator::retire_shard(std::size_t w, std::size_t inflight_pos,
     worker.deadline_ms = now + config_.request_timeout_ms;
   }
   const double ms = static_cast<double>(now - fl.sent_ms);
+  if (telemetry::enabled()) coord_metrics().shard_ms.observe(ms);
+  if (telemetry::tracing()) {
+    // now_ms/sent_ms are steady_clock, which is CLOCK_MONOTONIC on Linux —
+    // the same clock Span timestamps use, so shard bars line up with the
+    // workers' evaluate_flow spans on one Perfetto timeline.
+    std::string args;
+    telemetry::detail::append_arg(args, "worker", workers_[w].name);
+    telemetry::detail::append_arg(
+        args, "flows", static_cast<std::int64_t>(fl.received.size()));
+    telemetry::emit_trace_event(
+        "coordinator", "shard", static_cast<std::uint64_t>(fl.sent_ms) * 1000,
+        static_cast<std::uint64_t>(now - fl.sent_ms) * 1000, args);
+  }
   --fl.batch->shards_inflight;
   std::shared_ptr<const std::function<void(std::size_t)>> obs;
+  coord_metrics().shards_done.inc();
   {
     std::lock_guard lock(mu_);
     ++stats_.shards_done;
@@ -1180,6 +1312,13 @@ void EvalCoordinator::lose_worker(std::size_t w, const char* why) {
   worker.inflight.clear();
   if (config_.reconnect_ms > 0 && worker.addressable) {
     worker.retry_at_ms = now_ms() + config_.reconnect_ms;
+  }
+  {
+    CoordMetrics& m = coord_metrics();
+    m.workers_lost.inc();
+    m.requeued_shards.inc(requeued_shards);
+    m.requeued_flows.inc(requeued_flows);
+    m.rescued_flows.inc(rescued);
   }
   {
     std::lock_guard lock(mu_);

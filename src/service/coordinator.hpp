@@ -50,6 +50,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "aig/aig.hpp"
@@ -249,6 +250,12 @@ public:
   /// Render one admin command ("stats", "workers", "help") as the
   /// line-oriented reply text; what the admin socket serves.
   std::string admin_text(const std::string& command) const;
+  /// The fleet-wide `metrics` admin command: broadcast kGetMetrics to every
+  /// live worker, wait (bounded) for their Prometheus pages, and merge them
+  /// with the coordinator's own scrape. Workers that die or stall mid-
+  /// scrape are simply absent from the merge — the page is best-effort by
+  /// design, like any Prometheus target. Callable from any thread.
+  std::string fleet_metrics_text();
   /// Bound admin address; throws ServiceError when admin_addr was not
   /// configured.
   const Address& admin_address() const;
@@ -340,6 +347,20 @@ private:
     std::int64_t deadline_ms = 0;   ///< refreshed by *any* received frame
     std::int64_t retry_at_ms = 0;   ///< next reconnect attempt (0 = none)
     bool addressable = false;       ///< name parses as an Address
+  };
+
+  /// One fleet metrics scrape in flight: the admin thread blocks on `cv`
+  /// while the loop thread appends worker pages as kMetricsText frames
+  /// land. `expected` is fixed (under `mu`) when the broadcast goes out.
+  struct MetricsScrape {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t expected = 0;
+    std::vector<std::string> texts;
+  };
+  struct PendingScrape {
+    std::shared_ptr<MetricsScrape> scrape;
+    std::int64_t expires_ms = 0;  ///< abandoned entries purge past this
   };
 
   struct Command {
@@ -449,6 +470,8 @@ private:
   std::vector<std::shared_ptr<Batch>> active_;
   std::size_t fair_cursor_ = 0;  ///< round-robin position across active_
   std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, PendingScrape> metrics_scrapes_;
+  std::uint64_t next_metrics_nonce_ = 1;
   Poller poller_;
   WakePipe wake_;
 

@@ -13,9 +13,35 @@
 #include <poll.h>
 #endif
 
+#include "telemetry/metrics.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::service {
+
+namespace {
+
+struct FrameMetrics {
+  telemetry::Counter& frames_rx;
+  telemetry::Counter& frames_tx;
+  telemetry::Counter& bytes_rx;
+  telemetry::Counter& bytes_tx;
+};
+
+FrameMetrics& frame_metrics() {
+  static FrameMetrics m{
+      telemetry::counter("flowgen_frames_rx_total",
+                         "Wire frames parsed off event-loop connections"),
+      telemetry::counter("flowgen_frames_tx_total",
+                         "Wire frames enqueued on event-loop connections"),
+      telemetry::counter("flowgen_frame_bytes_rx_total",
+                         "Bytes received on event-loop connections"),
+      telemetry::counter("flowgen_frame_bytes_tx_total",
+                         "Bytes sent on event-loop connections"),
+  };
+  return m;
+}
+
+}  // namespace
 
 // ------------------------------------------------------------------ Poller --
 
@@ -219,6 +245,7 @@ FrameConn::Io FrameConn::on_readable(std::vector<Frame>& frames) {
       return inbuf_.size() == in_consumed_ ? Io::kEof : fail();
     }
     inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+    frame_metrics().bytes_rx.inc(static_cast<std::uint64_t>(n));
     if (static_cast<std::size_t>(n) < sizeof chunk) break;
   }
   // Parse every complete frame out of the accumulator.
@@ -239,6 +266,7 @@ FrameConn::Io FrameConn::on_readable(std::vector<Frame>& frames) {
     f.type = static_cast<MsgType>(h[5]);
     f.payload.assign(h + kHeaderBytes, h + kHeaderBytes + len);
     frames.push_back(std::move(f));
+    frame_metrics().frames_rx.inc();
     in_consumed_ += kHeaderBytes + len;
   }
   // Compact once the parsed prefix dominates the buffer.
@@ -261,6 +289,7 @@ FrameConn::Io FrameConn::on_writable() {
       return fail();
     }
     if (n < 0) return Io::kOk;  // socket buffer full — POLLOUT will resume
+    frame_metrics().bytes_tx.inc(static_cast<std::uint64_t>(n));
     out_offset_ += static_cast<std::size_t>(n);
     outbox_bytes_ -= static_cast<std::size_t>(n);
     if (out_offset_ == buf.size()) {
@@ -278,6 +307,7 @@ FrameConn::Io FrameConn::enqueue(MsgType type,
 
 FrameConn::Io FrameConn::enqueue_bytes(std::vector<std::uint8_t> frame_bytes) {
   if (broken_) return Io::kError;
+  frame_metrics().frames_tx.inc();
   outbox_bytes_ += frame_bytes.size();
   outbox_.push_back(std::move(frame_bytes));
   // Opportunistic flush: most frames leave immediately and POLLOUT

@@ -377,4 +377,25 @@ std::uint64_t decode_u64(std::span<const std::uint8_t> payload) {
   return v;
 }
 
+std::vector<std::uint8_t> encode_metrics_text(const MetricsTextMsg& m) {
+  Writer w;
+  w.u64(m.nonce);
+  std::vector<std::uint8_t> buf = w.take();
+  // The page is the rest of the frame (no u16 length prefix: a fleet
+  // worker's scrape easily exceeds the 64 KiB string cap).
+  buf.insert(buf.end(), m.text.begin(), m.text.end());
+  if (buf.size() > kMaxPayloadBytes) throw WireError("metrics page too large");
+  return buf;
+}
+
+MetricsTextMsg decode_metrics_text(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  MetricsTextMsg m;
+  m.nonce = r.u64();
+  const auto rest = r.bytes(r.remaining());
+  m.text.assign(reinterpret_cast<const char*>(rest.data()), rest.size());
+  r.expect_end();
+  return m;
+}
+
 }  // namespace flowgen::service

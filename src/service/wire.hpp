@@ -68,6 +68,8 @@ enum class MsgType : std::uint8_t {
   kLoadRegistryAck = 12, ///< worker -> client: registry fp now loaded (v3)
   kEvalResult = 13,    ///< worker -> client: one streamed flow QoR (v4)
   kShardDone = 14,     ///< worker -> client: stream terminator, count + CRC (v4)
+  kGetMetrics = 15,    ///< client -> worker: scrape request, echoes a nonce
+  kMetricsText = 16,   ///< worker -> client: nonce + Prometheus text
 };
 
 /// EvalRequest flag bits (v4).
@@ -188,6 +190,17 @@ struct ErrorMsg {
   std::string message;
 };
 
+/// A worker's metrics scrape (answer to kGetMetrics, whose payload is the
+/// encode_u64 nonce echoed back here). `text` is the worker's full
+/// Prometheus text-exposition page; the coordinator merges these with its
+/// own scrape (telemetry::merge_prometheus) into the fleet-wide view.
+/// Added after v4 shipped without a version bump: peers that predate it
+/// answer kGetMetrics with kError, which scrapers treat as "no data".
+struct MetricsTextMsg {
+  std::uint64_t nonce = 0;
+  std::string text;
+};
+
 // Encoders are pure (no I/O); they throw WireError only on unencodable
 // values (strings > 64 KiB, flows > 64Ki steps).
 std::vector<std::uint8_t> encode_hello(const HelloMsg& m);
@@ -205,6 +218,9 @@ std::vector<std::uint8_t> encode_load_design_ack(const aig::Fingerprint& fp);
 /// LoadRegistryAck: the 16-byte registry fingerprint now loaded.
 std::vector<std::uint8_t> encode_load_registry_ack(
     const opt::RegistryFingerprint& fp);
+/// MetricsText: u64 nonce + the Prometheus page (rest of the payload; the
+/// page routinely exceeds the 64 KiB string cap, so it is not length-prefixed).
+std::vector<std::uint8_t> encode_metrics_text(const MetricsTextMsg& m);
 
 /// Decoders throw WireError on truncated or trailing bytes.
 HelloMsg decode_hello(std::span<const std::uint8_t> payload);
@@ -218,5 +234,6 @@ std::uint64_t decode_u64(std::span<const std::uint8_t> payload);
 aig::Fingerprint decode_load_design_ack(std::span<const std::uint8_t> payload);
 opt::RegistryFingerprint decode_load_registry_ack(
     std::span<const std::uint8_t> payload);
+MetricsTextMsg decode_metrics_text(std::span<const std::uint8_t> payload);
 
 }  // namespace flowgen::service

@@ -13,10 +13,34 @@
 #include "aig/serialize.hpp"
 #include "designs/registry.hpp"
 #include "service/reactor.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/crc32.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::service {
+
+namespace {
+
+struct ServeMetrics {
+  telemetry::Counter& loop_iterations;
+  telemetry::Counter& scrapes;
+  telemetry::Gauge& eval_queue_depth;
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m{
+      telemetry::counter("flowgen_serve_loop_iterations_total",
+                         "Serve-loop poll iterations"),
+      telemetry::counter("flowgen_metrics_scrapes_total",
+                         "kGetMetrics scrapes answered"),
+      telemetry::gauge("flowgen_serve_eval_queue_depth",
+                       "EvalRequests submitted but not yet completed"),
+  };
+  return m;
+}
+
+}  // namespace
 
 bool serve_frames(Socket& sock, const EvalService& service) {
   while (true) {
@@ -66,6 +90,9 @@ bool serve_frames(Socket& sock, const EvalService& service) {
         }
         case MsgType::kEvalRequest: {
           EvalRequestMsg req = decode_eval_request(frame->payload);
+          telemetry::Span span("serve", "handle_eval");
+          span.arg("request_id", req.request_id);
+          span.arg("flows", static_cast<std::uint64_t>(req.flows.size()));
           std::vector<core::Flow> flows;
           flows.reserve(req.flows.size());
           for (core::StepsKey& steps : req.flows) {
@@ -126,6 +153,13 @@ bool serve_frames(Socket& sock, const EvalService& service) {
         case MsgType::kPing:
           send_frame(sock, MsgType::kPong, frame->payload);
           break;
+        case MsgType::kGetMetrics: {
+          serve_metrics().scrapes.inc();
+          send_frame(sock, MsgType::kMetricsText,
+                     encode_metrics_text({decode_u64(frame->payload),
+                                          telemetry::render_prometheus()}));
+          break;
+        }
         case MsgType::kShutdown:
           return true;
         default:
@@ -192,6 +226,7 @@ public:
     poller_.add(listener_.fd(), true, false, kListenerTag);
     poller_.add(wake_.read_fd(), true, false, kWakeTag);
     while (!(stop_accepting_ && conns_.empty())) {
+      serve_metrics().loop_iterations.inc();
       const auto& events = poller_.wait(-1);
       for (const Poller::Event& ev : events) {
         if (ev.tag == kWakeTag) {
@@ -328,6 +363,15 @@ private:
         case MsgType::kPing:
           conn.frame_conn.enqueue(MsgType::kPong, frame.payload);
           break;
+        case MsgType::kGetMetrics:
+          // Scrapes render inline on the loop thread: the page is a few
+          // tens of KB of lock-light reads, far below an accept+handshake.
+          serve_metrics().scrapes.inc();
+          conn.frame_conn.enqueue(
+              MsgType::kMetricsText,
+              encode_metrics_text({decode_u64(frame.payload),
+                                   telemetry::render_prometheus()}));
+          break;
         case MsgType::kShutdown:
           util::log_info("evald: shutdown requested");
           stop_accepting_ = true;
@@ -352,6 +396,7 @@ private:
                                        std::memory_order_relaxed);
     }
     ++conn.evals_pending;
+    serve_metrics().eval_queue_depth.add(1.0);
     auto task = [this, service = conn.service, gone = conn.gone,
                  conn_id = conn.id, req = std::move(req)]() mutable {
       run_eval(*service, *gone, conn_id, std::move(req));
@@ -366,6 +411,9 @@ private:
   /// Executor-side: evaluate one request and post its answer frames.
   void run_eval(const EvalService& service, const std::atomic<bool>& gone,
                 std::uint64_t conn_id, EvalRequestMsg req) {
+    telemetry::Span span("serve", "run_eval");
+    span.arg("request_id", req.request_id);
+    span.arg("flows", static_cast<std::uint64_t>(req.flows.size()));
     std::vector<core::Flow> flows;
     flows.reserve(req.flows.size());
     for (core::StepsKey& steps : req.flows) {
@@ -444,6 +492,9 @@ private:
       batch.swap(completions_);
     }
     for (Completion& c : batch) {
+      // Depth counts submitted-but-unfinished tasks, so the task_done mark
+      // decrements it even when its connection is already gone.
+      if (c.task_done) serve_metrics().eval_queue_depth.sub(1.0);
       const auto it = conns_.find(c.conn_id);
       if (it == conns_.end()) continue;  // connection already dropped
       Conn& conn = *it->second;

@@ -1,0 +1,378 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace flowgen::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+namespace detail {
+
+std::size_t stripe_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return idx;
+}
+
+}  // namespace detail
+
+std::uint64_t Gauge::to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::from_bits(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  stripes_ = std::vector<Stripe>(detail::kStripes);
+  for (Stripe& s : stripes_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Stripe& s = stripes_[detail::stripe_index()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = s.sum_bits.load(std::memory_order_relaxed);
+  while (!s.sum_bits.compare_exchange_weak(
+      cur, std::bit_cast<std::uint64_t>(std::bit_cast<double>(cur) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (Stripe& s : stripes_) {
+    for (std::atomic<std::uint64_t>& b : s.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Stripe& s : stripes_) {
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      snap.counts[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum +=
+        std::bit_cast<double>(s.sum_bits.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+std::vector<double> exp_buckets(double start, double factor,
+                                std::size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+std::vector<double> default_ms_buckets() {
+  // 0.01ms .. ~42s in x3.16 (half-decade) steps: transform passes are
+  // tens of us to tens of ms, shards seconds — one grid covers both.
+  return exp_buckets(0.01, 3.1622776601683795, 14);
+}
+
+// --------------------------------------------------------------- registry --
+
+namespace {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct Metric {
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::string help;
+  std::string label_str;  ///< pre-rendered `{k="v",...}` or ""
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Registry {
+  std::mutex mu;
+  /// Keyed by name + label_str; std::map so scrapes come out name-sorted.
+  std::map<std::string, Metric> metrics;
+  std::vector<std::function<std::string()>> collectors;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static teardown
+  return *r;
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string render_labels(Labels labels) {
+  if (labels.empty()) return "";
+  std::sort(labels.begin(), labels.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out.push_back(',');
+    out += labels[i].first + "=\"" + escape_label_value(labels[i].second) +
+           "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Integers render without a decimal point (counters look like counters);
+/// everything else as shortest round-trippable-enough %g.
+std::string format_value(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  return buf;
+}
+
+std::string format_bound(double b) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", b);
+  return buf;
+}
+
+/// Insert `extra` ('le="..."') into a label string ("" or "{...}").
+std::string labels_with(const std::string& label_str,
+                        const std::string& extra) {
+  if (label_str.empty()) return "{" + extra + "}";
+  return label_str.substr(0, label_str.size() - 1) + "," + extra + "}";
+}
+
+Metric& find_or_create(const std::string& name, const std::string& help,
+                       const Labels& labels, Kind kind) {
+  Registry& reg = registry();
+  const std::string label_str = render_labels(labels);
+  const std::string key = name + label_str;
+  std::lock_guard lock(reg.mu);
+  const auto it = reg.metrics.find(key);
+  if (it != reg.metrics.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("telemetry: metric '" + name +
+                             "' re-registered as a different kind");
+    }
+    return it->second;
+  }
+  Metric m;
+  m.kind = kind;
+  m.name = name;
+  m.help = help;
+  m.label_str = label_str;
+  return reg.metrics.emplace(key, std::move(m)).first->second;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name, const std::string& help,
+                 Labels labels) {
+  Metric& m = find_or_create(name, help, labels, Kind::kCounter);
+  if (!m.counter) m.counter = std::make_unique<Counter>();
+  return *m.counter;
+}
+
+Gauge& gauge(const std::string& name, const std::string& help,
+             Labels labels) {
+  Metric& m = find_or_create(name, help, labels, Kind::kGauge);
+  if (!m.gauge) m.gauge = std::make_unique<Gauge>();
+  return *m.gauge;
+}
+
+Histogram& histogram(const std::string& name, const std::string& help,
+                     std::vector<double> bounds, Labels labels) {
+  Metric& m = find_or_create(name, help, labels, Kind::kHistogram);
+  if (!m.histogram) m.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *m.histogram;
+}
+
+void register_collector(std::function<std::string()> fn) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  reg.collectors.push_back(std::move(fn));
+}
+
+std::string render_prometheus() {
+  Registry& reg = registry();
+  std::ostringstream os;
+  std::string last_name;
+  std::vector<std::function<std::string()>> collectors;
+  {
+    std::lock_guard lock(reg.mu);
+    // metrics is name-sorted (map key starts with the name), so label
+    // variants of one metric are contiguous: HELP/TYPE once per name.
+    for (const auto& [key, m] : reg.metrics) {
+      if (m.name != last_name) {
+        const char* type = m.kind == Kind::kCounter   ? "counter"
+                           : m.kind == Kind::kGauge   ? "gauge"
+                                                      : "histogram";
+        os << "# HELP " << m.name << ' ' << m.help << '\n';
+        os << "# TYPE " << m.name << ' ' << type << '\n';
+        last_name = m.name;
+      }
+      switch (m.kind) {
+        case Kind::kCounter:
+          os << m.name << m.label_str << ' ' << m.counter->value() << '\n';
+          break;
+        case Kind::kGauge:
+          os << m.name << m.label_str << ' '
+             << format_value(m.gauge->value()) << '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot snap = m.histogram->snapshot();
+          std::uint64_t cum = 0;
+          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+            cum += snap.counts[i];
+            os << m.name << "_bucket"
+               << labels_with(m.label_str,
+                              "le=\"" + format_bound(snap.bounds[i]) + "\"")
+               << ' ' << cum << '\n';
+          }
+          cum += snap.counts.back();
+          os << m.name << "_bucket"
+             << labels_with(m.label_str, "le=\"+Inf\"") << ' ' << cum << '\n';
+          os << m.name << "_sum" << m.label_str << ' '
+             << format_value(snap.sum) << '\n';
+          os << m.name << "_count" << m.label_str << ' ' << snap.count
+             << '\n';
+          break;
+        }
+      }
+    }
+    collectors = reg.collectors;
+  }
+  // Collectors run outside the registry lock: they may (transitively)
+  // register metrics or take their own locks.
+  for (const auto& fn : collectors) os << fn();
+  return os.str();
+}
+
+std::string merge_prometheus(std::span<const std::string> texts) {
+  // First-seen order of names and of sample keys; values sum numerically.
+  std::vector<std::string> name_order;
+  std::map<std::string, std::pair<std::string, std::string>> headers;
+  std::map<std::string, double> values;
+  std::map<std::string, std::vector<std::string>> samples_of;  // name->keys
+
+  const auto base_name = [](const std::string& sample_name) {
+    // Strip histogram suffixes so _bucket/_sum/_count group under their
+    // metric's HELP/TYPE header.
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::size_t n = std::string(suffix).size();
+      if (sample_name.size() > n &&
+          sample_name.compare(sample_name.size() - n, n, suffix) == 0) {
+        return sample_name.substr(0, sample_name.size() - n);
+      }
+    }
+    return sample_name;
+  };
+
+  for (const std::string& text : texts) {
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        std::istringstream ls(line);
+        std::string hash, kw, name;
+        ls >> hash >> kw >> name;
+        if (kw != "HELP" && kw != "TYPE") continue;
+        auto& hdr = headers[name];
+        std::string& slot = kw == "HELP" ? hdr.first : hdr.second;
+        if (slot.empty()) slot = line;
+        if (std::find(name_order.begin(), name_order.end(), name) ==
+            name_order.end()) {
+          name_order.push_back(name);
+        }
+        continue;
+      }
+      // Sample line: `name{labels} value` or `name value`. The value is
+      // the suffix after the last space outside braces — labels never
+      // contain unescaped spaces in our own output, so last-space works.
+      const std::size_t sp = line.find_last_of(' ');
+      if (sp == std::string::npos) continue;
+      const std::string key = line.substr(0, sp);
+      char* end = nullptr;
+      const double v = std::strtod(line.c_str() + sp + 1, &end);
+      if (end == line.c_str() + sp + 1) continue;  // not numeric
+      const std::size_t brace = key.find('{');
+      const std::string sample_name =
+          brace == std::string::npos ? key : key.substr(0, brace);
+      const std::string group = base_name(sample_name);
+      if (std::find(name_order.begin(), name_order.end(), group) ==
+          name_order.end()) {
+        name_order.push_back(group);
+      }
+      auto [it, fresh] = values.emplace(key, v);
+      if (!fresh) it->second += v;
+      std::vector<std::string>& keys = samples_of[group];
+      if (fresh) keys.push_back(key);
+    }
+  }
+
+  std::ostringstream os;
+  for (const std::string& name : name_order) {
+    if (const auto it = headers.find(name); it != headers.end()) {
+      if (!it->second.first.empty()) os << it->second.first << '\n';
+      if (!it->second.second.empty()) os << it->second.second << '\n';
+    }
+    for (const std::string& key : samples_of[name]) {
+      os << key << ' ' << format_value(values[key]) << '\n';
+    }
+  }
+  return os.str();
+}
+
+void reset_all() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mu);
+  for (auto& [key, m] : reg.metrics) {
+    if (m.counter) m.counter->reset();
+    if (m.gauge) m.gauge->reset();
+    if (m.histogram) m.histogram->reset();
+  }
+}
+
+}  // namespace flowgen::telemetry

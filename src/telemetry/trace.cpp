@@ -1,0 +1,141 @@
+#include "telemetry/trace.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+
+namespace flowgen::telemetry {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<int> g_fd{-1};
+std::mutex g_open_mu;  ///< serialises start/stop; emits never take it
+
+long current_tid() {
+#ifdef __linux__
+  thread_local const long tid = ::syscall(SYS_gettid);
+  return tid;
+#else
+  return 0;
+#endif
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool tracing() { return g_tracing.load(std::memory_order_relaxed); }
+
+std::uint64_t trace_now_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000ull;
+}
+
+bool start_tracing(const std::string& path) {
+  std::lock_guard lock(g_open_mu);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) == 0 && st.st_size == 0) {
+    // First writer opens the array. A race between two fresh processes is
+    // harmless in practice (the loopback forks after start_tracing), and
+    // the validator tolerates a duplicated opener anyway.
+    const char open_bracket[] = "[\n";
+    (void)!::write(fd, open_bracket, sizeof open_bracket - 1);
+  }
+  const int old = g_fd.exchange(fd, std::memory_order_acq_rel);
+  if (old >= 0) ::close(old);
+  g_tracing.store(true, std::memory_order_release);
+  return true;
+}
+
+void stop_tracing() {
+  std::lock_guard lock(g_open_mu);
+  g_tracing.store(false, std::memory_order_release);
+  const int old = g_fd.exchange(-1, std::memory_order_acq_rel);
+  if (old >= 0) ::close(old);
+}
+
+void emit_trace_event(const char* category, const char* name,
+                      std::uint64_t ts_us, std::uint64_t dur_us,
+                      const std::string& args_body) {
+  if (!tracing()) return;
+  const int fd = g_fd.load(std::memory_order_acquire);
+  if (fd < 0) return;
+  char head[512];
+  const int n = std::snprintf(
+      head, sizeof head,
+      "{\"ph\":\"X\",\"cat\":\"%s\",\"name\":\"%s\",\"ts\":%" PRIu64
+      ",\"dur\":%" PRIu64 ",\"pid\":%d,\"tid\":%ld",
+      category, name, ts_us, dur_us, static_cast<int>(::getpid()),
+      current_tid());
+  if (n < 0 || n >= static_cast<int>(sizeof head)) return;
+  std::string event(head, static_cast<std::size_t>(n));
+  if (!args_body.empty()) {
+    // args_ bodies start with ',' (append_arg) — strip it inside {}.
+    event += ",\"args\":{";
+    event.append(args_body, 1, std::string::npos);
+    event += "}";
+  }
+  event += "},\n";
+  // One write() per event: O_APPEND makes concurrent writers (threads and
+  // forked processes sharing the file) interleave at event granularity.
+  (void)!::write(fd, event.data(), event.size());
+}
+
+namespace detail {
+
+void append_arg(std::string& body, const char* key, std::int64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ",\"%s\":%" PRId64, key, v);
+  body += buf;
+}
+
+void append_arg(std::string& body, const char* key, double v) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ",\"%s\":%.6g", key, v);
+  body += buf;
+}
+
+void append_arg(std::string& body, const char* key, const std::string& v) {
+  body += ",\"";
+  body += key;
+  body += "\":\"";
+  body += json_escape(v);
+  body += "\"";
+}
+
+}  // namespace detail
+
+}  // namespace flowgen::telemetry

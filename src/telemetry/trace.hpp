@@ -1,0 +1,105 @@
+#pragma once
+// Chrome trace-event tracing, viewable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. One process-wide trace file; every completed Span (or
+// explicit emit_trace_event) appends one complete event ("ph":"X") as a
+// single O_APPEND write, so several processes — a coordinator and its
+// forked loopback workers — can share one file and their events interleave
+// without tearing. The file is the JSON-array flavour of the format, which
+// by specification tolerates a missing closing `]` and trailing commas
+// exactly so writers can append forever; scripts/check_trace.py normalises
+// and validates it, docs/observability.md walks through loading one.
+//
+// Cost model: with no trace file open, constructing a Span is one relaxed
+// atomic load; compiling with FLOWGEN_NO_SPANS (cmake -DFLOWGEN_SPANS=OFF)
+// removes Span bodies entirely. Timestamps are CLOCK_MONOTONIC
+// microseconds — system-wide on Linux, so spans from different processes
+// on one machine line up on one Perfetto timeline.
+
+#include <cstdint>
+#include <string>
+
+namespace flowgen::telemetry {
+
+/// True while a trace file is open in this process.
+bool tracing();
+
+/// Open (create/append) `path` and start emitting events. Returns false
+/// (and stays off) when the file cannot be opened. Idempotent per path;
+/// a second start replaces the first file handle.
+bool start_tracing(const std::string& path);
+
+/// Stop emitting and close the file. Safe when not tracing.
+void stop_tracing();
+
+/// CLOCK_MONOTONIC in microseconds (0 before the first call's epoch).
+std::uint64_t trace_now_us();
+
+/// Append one complete event. `category`/`name` must not contain `"` or
+/// `\` (they are embedded verbatim); `args_body` is either empty or the
+/// inside of a JSON object (`"k":1,"s":"v"`). No-op while not tracing.
+void emit_trace_event(const char* category, const char* name,
+                      std::uint64_t ts_us, std::uint64_t dur_us,
+                      const std::string& args_body = {});
+
+namespace detail {
+/// Append `,"key":<json-escaped value>` to `body`.
+void append_arg(std::string& body, const char* key, std::int64_t v);
+void append_arg(std::string& body, const char* key, double v);
+void append_arg(std::string& body, const char* key, const std::string& v);
+}  // namespace detail
+
+#ifndef FLOWGEN_NO_SPANS
+
+/// RAII scope timer: constructs cheap (one relaxed load when tracing is
+/// off), emits one complete event covering the scope on destruction.
+class Span {
+public:
+  Span(const char* category, const char* name)
+      : active_(tracing()), category_(category), name_(name) {
+    if (active_) t0_ = trace_now_us();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (active_) {
+      emit_trace_event(category_, name_, t0_, trace_now_us() - t0_, args_);
+    }
+  }
+
+  void arg(const char* key, std::int64_t v) {
+    if (active_) detail::append_arg(args_, key, v);
+  }
+  void arg(const char* key, std::uint64_t v) {
+    if (active_) detail::append_arg(args_, key, static_cast<std::int64_t>(v));
+  }
+  void arg(const char* key, double v) {
+    if (active_) detail::append_arg(args_, key, v);
+  }
+  void arg(const char* key, const std::string& v) {
+    if (active_) detail::append_arg(args_, key, v);
+  }
+
+private:
+  bool active_;
+  const char* category_;
+  const char* name_;
+  std::uint64_t t0_ = 0;
+  std::string args_;
+};
+
+#else  // FLOWGEN_NO_SPANS: spans compile away entirely.
+
+class Span {
+public:
+  Span(const char*, const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void arg(const char*, std::int64_t) {}
+  void arg(const char*, std::uint64_t) {}
+  void arg(const char*, double) {}
+  void arg(const char*, const std::string&) {}
+};
+
+#endif
+
+}  // namespace flowgen::telemetry

@@ -1,5 +1,8 @@
 #include "util/log.hpp"
 
+#include <sys/syscall.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -39,6 +42,14 @@ double elapsed_seconds() {
   return std::chrono::duration<double>(clock::now() - start).count();
 }
 
+long current_tid() {
+  // Kernel tid, not std::this_thread::get_id(): it matches what ps/gdb and
+  // the Chrome-trace "tid" field show, so log lines and trace spans from
+  // the same thread correlate directly. Cached per thread (one syscall).
+  thread_local const long tid = ::syscall(SYS_gettid);
+  return tid;
+}
+
 std::mutex g_io_mutex;
 
 }  // namespace
@@ -51,9 +62,20 @@ LogLevel log_level() {
 void set_log_level(LogLevel level) { g_level = level; }
 
 void log_message(LogLevel level, const std::string& message) {
+  // Format into one buffer and write it with a single fwrite under the
+  // mutex: concurrent loggers (serve executors, the reactor, the admin
+  // thread) never interleave within a line even if stderr is a pipe whose
+  // writes exceed PIPE_BUF.
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[%9.3f] %s [t%ld] ",
+                elapsed_seconds(), level_name(level), current_tid());
+  std::string line;
+  line.reserve(std::strlen(prefix) + message.size() + 1);
+  line += prefix;
+  line += message;
+  line += '\n';
   std::lock_guard lock(g_io_mutex);
-  std::fprintf(stderr, "[%9.3f] %s %s\n", elapsed_seconds(),
-               level_name(level), message.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace flowgen::util

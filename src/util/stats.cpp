@@ -34,7 +34,7 @@ double max_of(std::span<const double> xs) {
 namespace {
 
 double quantile_sorted(std::span<const double> sorted, double q) {
-  assert(!sorted.empty());
+  if (sorted.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

@@ -19,7 +19,8 @@ double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 
 /// Quantile with linear interpolation between closest ranks (the "type 7"
-/// definition used by numpy). q in [0,1]. Precondition: non-empty.
+/// definition used by numpy). q is clamped into [0,1]. Returns 0 for an
+/// empty span; a single-element span returns that element for every q.
 double quantile(std::span<const double> xs, double q);
 
 /// Quantiles for several q at once; sorts a copy of the data exactly once.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace flowgen::util {
@@ -49,6 +50,29 @@ TEST(StatsTest, QuantileUnsortedInput) {
   EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
 }
 
+TEST(StatsTest, QuantileEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 1.0), 0.0);
+  const std::vector<double> qs{0.05, 0.5, 0.95};
+  const auto dets = quantiles({}, qs);
+  ASSERT_EQ(dets.size(), 3u);
+  for (double d : dets) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(StatsTest, QuantileSingleElementForEveryQ) {
+  const std::vector<double> one{42.0};
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(quantile(one, q), 42.0);
+  }
+}
+
+TEST(StatsTest, QuantileClampsOutOfRangeQ) {
+  const std::vector<double> xs{10, 20, 30};
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 30.0);
+}
+
 TEST(StatsTest, PaperDeterminators) {
   // The six determinators of Table 1 over a uniform 0..999 sample should
   // land at the 5/15/40/65/90/95 percent positions.
@@ -70,6 +94,18 @@ TEST(StatsTest, HistogramCountsAndClamping) {
   ASSERT_EQ(h.size(), 2u);
   EXPECT_EQ(h[0] + h[1], xs.size());
   EXPECT_EQ(h[0], 3u);  // 0.0, 0.1, -5.0 (clamped); 0.5 lands in bin 1
+}
+
+TEST(StatsTest, HistogramDegenerateRange) {
+  // lo == hi (and the inverted hi < lo) collapse everything into bin 0
+  // rather than dividing by a zero width.
+  const std::vector<double> xs{1.0, 1.0, 2.0};
+  const auto flat = histogram(xs, 1.0, 1.0, 4);
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_EQ(flat[0], xs.size());
+  EXPECT_EQ(flat[1] + flat[2] + flat[3], 0u);
+  const auto inverted = histogram(xs, 2.0, 1.0, 2);
+  EXPECT_EQ(inverted[0], xs.size());
 }
 
 TEST(StatsTest, PearsonPerfectCorrelation) {
@@ -97,6 +133,16 @@ TEST(StatsTest, Summarize) {
   EXPECT_NEAR(s.median, 50.5, 1e-9);
   EXPECT_LT(s.p5, s.median);
   EXPECT_GT(s.p95, s.median);
+}
+
+TEST(StatsTest, SummarizeEmptyIsAllZerosNoNan) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  for (double field : {s.mean, s.stdev, s.min, s.p5, s.median, s.p95,
+                       s.max}) {
+    EXPECT_FALSE(std::isnan(field));
+    EXPECT_DOUBLE_EQ(field, 0.0);
+  }
 }
 
 }  // namespace

@@ -558,5 +558,45 @@ TEST(StreamServiceTest, AdminSocketServesLiveStatsDuringBatch) {
   coordinator.shutdown_workers();
 }
 
+TEST(StreamServiceTest, FleetMetricsScrapeMergesWorkerPages) {
+  SKIP_UNDER_TSAN();
+  WorkerOptions options;
+  options.design_id = "alu:4";
+  LoopbackCluster cluster(2, options);
+  CoordinatorConfig config;
+  config.admin_addr = "unix:" + ::testing::TempDir() + "flowgen_metrics_" +
+                      std::to_string(::getpid()) + ".sock";
+  EvalCoordinator coordinator(cluster.take_workers(), "alu:4", config);
+  const Address& admin = coordinator.admin_address();
+
+  const auto flows = sample_flows(24);
+  const std::vector<map::QoR> qor = coordinator.evaluate_many(flows);
+  ASSERT_EQ(qor.size(), flows.size());
+
+  // One fleet page: worker samples (evaluator counters, answered over
+  // GetMetrics/MetricsText) merged with the coordinator's own
+  // (coordinator counters) — both families must be present.
+  const std::string page = admin_query(admin, "metrics");
+  EXPECT_NE(page.find("# TYPE flowgen_evaluations_total counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("flowgen_coordinator_dispatches_total"),
+            std::string::npos);
+  EXPECT_NE(page.find("flowgen_coordinator_shard_ms_bucket"),
+            std::string::npos);
+
+  // The two workers' evaluation counts sum to at least the batch (the
+  // coordinator's own page contributes 0 — it evaluates nothing).
+  const std::size_t at = page.find("\nflowgen_evaluations_total ");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_GE(std::strtol(page.c_str() + at + 27, nullptr, 10),
+            static_cast<long>(flows.size()));
+
+  // A second scrape still answers (nonces don't collide or leak).
+  EXPECT_NE(admin_query(admin, "metrics")
+                .find("flowgen_evaluations_total"),
+            std::string::npos);
+  coordinator.shutdown_workers();
+}
+
 }  // namespace
 }  // namespace flowgen::service

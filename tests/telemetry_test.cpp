@@ -1,0 +1,248 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace flowgen::telemetry {
+namespace {
+
+// The registry is process-global, so every test starts from zero and
+// unique metric names keep tests independent of each other.
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset_all();
+  }
+  void TearDown() override {
+    stop_tracing();
+    set_enabled(true);
+    reset_all();
+  }
+};
+
+TEST_F(TelemetryTest, CounterCountsAcrossThreads) {
+  Counter& c = counter("tmt_thread_counter_total", "test");
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8, kIncs = 10000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST_F(TelemetryTest, CounterIdempotentRegistration) {
+  Counter& a = counter("tmt_same_total", "test");
+  Counter& b = counter("tmt_same_total", "test");
+  EXPECT_EQ(&a, &b);
+  Counter& with_labels =
+      counter("tmt_same_total", "test", {{"spec", "rewrite"}});
+  EXPECT_NE(&a, &with_labels);
+}
+
+TEST_F(TelemetryTest, KindConflictThrows) {
+  counter("tmt_kind_total", "test");
+  EXPECT_THROW(gauge("tmt_kind_total", "test"), std::logic_error);
+  EXPECT_THROW(histogram("tmt_kind_total", "test", {1.0}),
+               std::logic_error);
+}
+
+TEST_F(TelemetryTest, DisabledMeansNoIncrements) {
+  Counter& c = counter("tmt_gated_total", "test");
+  Gauge& g = gauge("tmt_gated_gauge", "test");
+  set_enabled(false);
+  c.inc(100);
+  g.set(5.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  set_enabled(true);
+  c.inc(3);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST_F(TelemetryTest, GaugeAddSubFromThreads) {
+  Gauge& g = gauge("tmt_depth", "test");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        g.add(2.0);
+        g.sub(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), 4 * 1000.0);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndSnapshot) {
+  Histogram& h = histogram("tmt_ms", "test", {1.0, 10.0, 100.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive upper bound)
+  h.observe(5.0);   // <= 10
+  h.observe(50.0);  // <= 100
+  h.observe(500.0); // +Inf
+  const Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 556.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 556.5 / 5.0);
+}
+
+TEST_F(TelemetryTest, RenderPrometheusFormat) {
+  counter("tmt_render_total", "a counter").inc(7);
+  gauge("tmt_render_gauge", "a gauge", {{"shard", "0"}}).set(2.5);
+  histogram("tmt_render_ms", "a histogram", {1.0, 10.0}).observe(3.0);
+  const std::string page = render_prometheus();
+  EXPECT_NE(page.find("# HELP tmt_render_total a counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("# TYPE tmt_render_total counter"),
+            std::string::npos);
+  EXPECT_NE(page.find("tmt_render_total 7"), std::string::npos);
+  EXPECT_NE(page.find("tmt_render_gauge{shard=\"0\"} 2.5"),
+            std::string::npos);
+  // Histogram exposition: cumulative buckets, +Inf, _sum and _count.
+  EXPECT_NE(page.find("tmt_render_ms_bucket{le=\"1\"} 0"),
+            std::string::npos);
+  EXPECT_NE(page.find("tmt_render_ms_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(page.find("tmt_render_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(page.find("tmt_render_ms_sum 3"), std::string::npos);
+  EXPECT_NE(page.find("tmt_render_ms_count 1"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, MergePrometheusSumsIdenticalSeries) {
+  // Two worker pages plus a disjoint one: identical name+labels sum,
+  // others pass through.
+  const std::string a =
+      "# HELP w_total reqs\n# TYPE w_total counter\n"
+      "w_total 3\n"
+      "w_ms_bucket{le=\"1\"} 2\nw_ms_bucket{le=\"+Inf\"} 5\n"
+      "w_ms_sum 7.5\nw_ms_count 5\n";
+  const std::string b =
+      "# HELP w_total reqs\n# TYPE w_total counter\n"
+      "w_total 4\n"
+      "w_ms_bucket{le=\"1\"} 1\nw_ms_bucket{le=\"+Inf\"} 2\n"
+      "w_ms_sum 2.5\nw_ms_count 2\n";
+  const std::string c = "only_here_total 1\n";
+  const std::vector<std::string> pages{a, b, c};
+  const std::string merged = merge_prometheus(pages);
+  EXPECT_NE(merged.find("w_total 7"), std::string::npos);
+  EXPECT_NE(merged.find("w_ms_bucket{le=\"1\"} 3"), std::string::npos);
+  EXPECT_NE(merged.find("w_ms_bucket{le=\"+Inf\"} 7"), std::string::npos);
+  EXPECT_NE(merged.find("w_ms_sum 10"), std::string::npos);
+  EXPECT_NE(merged.find("w_ms_count 7"), std::string::npos);
+  EXPECT_NE(merged.find("only_here_total 1"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, CollectorOutputAppearsInScrape) {
+  static int calls = 0;
+  register_collector([] {
+    ++calls;
+    return std::string("# TYPE tmt_collected_total counter\n"
+                       "tmt_collected_total 11\n");
+  });
+  const std::string page = render_prometheus();
+  EXPECT_NE(page.find("tmt_collected_total 11"), std::string::npos);
+  EXPECT_GE(calls, 1);
+}
+
+TEST_F(TelemetryTest, ResetAllZeroesEverything) {
+  Counter& c = counter("tmt_reset_total", "test");
+  Gauge& g = gauge("tmt_reset_gauge", "test");
+  Histogram& h = histogram("tmt_reset_ms", "test", {1.0});
+  c.inc(5);
+  g.set(9.0);
+  h.observe(0.5);
+  reset_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(TelemetryTest, ExpBucketsShape) {
+  const std::vector<double> b = exp_buckets(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+  EXPECT_FALSE(default_ms_buckets().empty());
+}
+
+// ------------------------------------------------------------- tracing --
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(TelemetryTest, SpanWritesCompleteEvents) {
+  const std::string path = ::testing::TempDir() + "/tmt_trace.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(start_tracing(path));
+  ASSERT_TRUE(tracing());
+  {
+    Span span("test", "outer");
+    span.arg("flows", static_cast<std::int64_t>(3));
+    span.arg("design", std::string("alu16"));
+    Span inner("test", "inner");
+  }
+  emit_trace_event("test", "manual", trace_now_us(), 5);
+  stop_tracing();
+  EXPECT_FALSE(tracing());
+  const std::string text = read_file(path);
+  EXPECT_EQ(text.rfind("[", 0), 0u);  // array-flavour header
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"manual\""), std::string::npos);
+  EXPECT_NE(text.find("\"flows\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"design\":\"alu16\""), std::string::npos);
+  // Spans record nothing after stop.
+  { Span late("test", "late"); }
+  EXPECT_EQ(read_file(path).find("\"late\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, TraceAppendsAcrossRestarts) {
+  const std::string path = ::testing::TempDir() + "/tmt_trace2.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(start_tracing(path));
+  { Span s("test", "first"); }
+  stop_tracing();
+  ASSERT_TRUE(start_tracing(path));
+  { Span s("test", "second"); }
+  stop_tracing();
+  const std::string text = read_file(path);
+  EXPECT_NE(text.find("\"first\""), std::string::npos);
+  EXPECT_NE(text.find("\"second\""), std::string::npos);
+  // Exactly one array header despite two sessions.
+  EXPECT_EQ(text.find("[", 1), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, StartTracingUnwritablePathFails) {
+  EXPECT_FALSE(start_tracing("/nonexistent-dir-tmt/trace.json"));
+  EXPECT_FALSE(tracing());
+}
+
+}  // namespace
+}  // namespace flowgen::telemetry

@@ -1,24 +1,180 @@
-// evalctl — one-shot client for the evald/coordinator admin socket
-// (service/admin.hpp). Connects to --admin, sends one command, prints the
-// reply body, exits non-zero if the server answered "err ...":
+// evalctl — client for the evald/coordinator admin socket
+// (service/admin.hpp). Connects to --admin, sends a command, prints the
+// reply body, exits non-zero if the server answered "err ..." or was
+// unreachable:
 //
 //   evalctl --admin unix:/tmp/server.admin                 # default: stats
 //   evalctl --admin unix:/tmp/server.admin --cmd workers
+//   evalctl --admin unix:/tmp/server.admin --cmd metrics   # fleet scrape
+//   evalctl --admin unix:/tmp/w0.admin --cmd stats --watch 2
 //   evalctl --admin tcp:127.0.0.1:9901 --cmd help
 //
-// The reply is line-oriented "key value" text, so it pipes straight into
-// watch(1)/grep/awk while a batch is running — queue depth, per-worker
-// inflight and latency, requeue counts, store hit rates, live.
+// Plain commands reply line-oriented "key value" text that pipes straight
+// into grep/awk. "metrics" replies a Prometheus text page (for a server:
+// the whole fleet's pages merged, docs/observability.md) which evalctl
+// pretty-prints: counters/gauges one per line, histograms folded into
+// count/mean/approximate p50/p90/p99. --raw disables the folding and
+// prints the exposition text verbatim (for piping into a real scraper).
+//
+// --watch N re-issues the command every N seconds and annotates every
+// numeric value with its per-second rate since the previous sample —
+// watch(1) without losing the deltas.
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "service/admin.hpp"
 #include "service/transport.hpp"
 #include "util/cli.hpp"
 
+namespace {
+
+using namespace flowgen;
+
+/// One parsed numeric series: "requests 42" from stats replies or
+/// `name{labels} 42` from Prometheus pages. Non-numeric lines pass
+/// through untouched.
+struct Parsed {
+  std::vector<std::pair<std::string, double>> values;  // in reply order
+};
+
+bool parse_number(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end && *end == '\0';
+}
+
+Parsed parse_numeric_lines(const std::string& reply) {
+  Parsed parsed;
+  std::istringstream is(reply);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    double value = 0.0;
+    if (!parse_number(line.substr(space + 1), value)) continue;
+    parsed.values.emplace_back(line.substr(0, space), value);
+  }
+  return parsed;
+}
+
+// ------------------------------------------------- metrics pretty-print --
+
+struct HistogramAcc {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative count)
+  double sum = 0.0;
+  double count = 0.0;
+};
+
+double approx_quantile(const HistogramAcc& h, double q) {
+  const double target = q * h.count;
+  double lo = 0.0, seen = 0.0;
+  for (const auto& [le, cum] : h.buckets) {
+    if (cum >= target) {
+      // Linear interpolation inside the bucket; +Inf falls back to lo.
+      if (std::isinf(le)) return lo;
+      const double in_bucket = cum - seen;
+      const double frac =
+          in_bucket > 0 ? (target - seen) / in_bucket : 1.0;
+      return lo + (le - lo) * frac;
+    }
+    seen = cum;
+    lo = std::isinf(le) ? lo : le;
+  }
+  return lo;
+}
+
+/// Splits `name{labels}` / `name` into (base, label part incl. braces).
+std::pair<std::string, std::string> split_labels(const std::string& key) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos) return {key, ""};
+  return {key.substr(0, brace), key.substr(brace)};
+}
+
+/// Strips one `le="..."` pair out of a `{...}` label block (histogram
+/// bucket series fold into their parent series).
+std::string drop_le(const std::string& labels, double& le_out) {
+  const std::size_t at = labels.find("le=\"");
+  if (at == std::string::npos) return labels;
+  const std::size_t close = labels.find('"', at + 4);
+  const std::string raw = labels.substr(at + 4, close - at - 4);
+  le_out = raw == "+Inf" ? std::numeric_limits<double>::infinity()
+                         : std::strtod(raw.c_str(), nullptr);
+  // Remove the pair and a neighbouring comma.
+  std::string rest = labels;
+  std::size_t from = at, to = close + 1;
+  if (from > 1 && rest[from - 1] == ',') --from;
+  else if (to < rest.size() && rest[to] == ',') ++to;
+  rest.erase(from, to - from);
+  if (rest == "{}") rest.clear();
+  return rest;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Folds a Prometheus page: histograms become one line with count, mean
+/// and approximate quantiles; everything else prints as `key value`.
+std::string pretty_metrics(const std::string& page) {
+  const Parsed parsed = parse_numeric_lines(page);
+  std::map<std::string, HistogramAcc> histograms;  // keyed base{labels}
+  std::vector<std::pair<std::string, double>> scalars;
+  for (const auto& [key, value] : parsed.values) {
+    auto [base, labels] = split_labels(key);
+    if (ends_with(base, "_bucket")) {
+      double le = std::numeric_limits<double>::infinity();
+      const std::string rest = drop_le(labels, le);
+      histograms[base.substr(0, base.size() - 7) + rest].buckets
+          .emplace_back(le, value);
+      continue;
+    }
+    if (ends_with(base, "_sum") &&
+        histograms.count(base.substr(0, base.size() - 4) + labels)) {
+      histograms[base.substr(0, base.size() - 4) + labels].sum = value;
+      continue;
+    }
+    if (ends_with(base, "_count") &&
+        histograms.count(base.substr(0, base.size() - 6) + labels)) {
+      histograms[base.substr(0, base.size() - 6) + labels].count = value;
+      continue;
+    }
+    scalars.emplace_back(key, value);
+  }
+  std::ostringstream os;
+  for (const auto& [key, value] : scalars) {
+    os << key << ' ' << value << '\n';
+  }
+  for (auto& [key, h] : histograms) {
+    os << key << " count=" << h.count;
+    if (h.count > 0) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    " mean=%.3f p50~%.3f p90~%.3f p99~%.3f",
+                    h.sum / h.count, approx_quantile(h, 0.5),
+                    approx_quantile(h, 0.9), approx_quantile(h, 0.99));
+      os << buf;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) try {
-  using namespace flowgen;
   const util::Cli cli(argc, argv);
   const std::string spec = cli.get("admin", "");
   if (spec.empty()) {
@@ -28,10 +184,69 @@ int main(int argc, char** argv) try {
   }
   const std::string cmd = cli.get("cmd", "stats");
   const int timeout_ms = static_cast<int>(cli.get_int("timeout-ms", 5000));
-  const std::string reply =
-      service::admin_query(service::Address::parse(spec), cmd, timeout_ms);
-  std::printf("%s\n", reply.c_str());
-  return reply.rfind("err ", 0) == 0 ? 1 : 0;
+  const bool raw = cli.get_bool("raw", false);
+  const long watch_s = cli.get_int("watch", 0);
+  const service::Address addr = service::Address::parse(spec);
+
+  const auto query_once = [&]() -> std::string {
+    return service::admin_query(addr, cmd, timeout_ms);
+  };
+
+  if (watch_s <= 0) {
+    const std::string reply = query_once();
+    if (cmd == "metrics" && !raw && reply.rfind("err ", 0) != 0) {
+      std::printf("%s", pretty_metrics(reply).c_str());
+    } else {
+      std::printf("%s\n", reply.c_str());
+    }
+    return reply.rfind("err ", 0) == 0 ? 1 : 0;
+  }
+
+  // Watch mode: poll forever, annotate numeric values with per-second
+  // rates against the previous sample. Any transport error ends the loop
+  // with a non-zero exit so scripts notice a daemon going away.
+  std::map<std::string, double> previous;
+  auto prev_time = std::chrono::steady_clock::now();
+  bool first = true;
+  while (true) {
+    const std::string reply = query_once();
+    if (reply.rfind("err ", 0) == 0) {
+      std::printf("%s\n", reply.c_str());
+      return 1;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - prev_time).count();
+    const std::string body =
+        cmd == "metrics" && !raw ? pretty_metrics(reply) : reply;
+    const Parsed parsed = parse_numeric_lines(body);
+    std::printf("--- %s (every %lds)\n", cmd.c_str(), watch_s);
+    std::istringstream is(body);
+    std::string line;
+    std::size_t next_value = 0;
+    while (std::getline(is, line)) {
+      // Re-walk the lines; annotate those that parsed as numeric.
+      if (next_value < parsed.values.size()) {
+        const auto& [key, value] = parsed.values[next_value];
+        const std::size_t space = line.rfind(' ');
+        if (space != std::string::npos && line.substr(0, space) == key) {
+          ++next_value;
+          const auto it = previous.find(key);
+          if (!first && it != previous.end() && dt > 0) {
+            std::printf("%s  (%+.1f/s)\n", line.c_str(),
+                        (value - it->second) / dt);
+            continue;
+          }
+        }
+      }
+      std::printf("%s\n", line.c_str());
+    }
+    std::fflush(stdout);
+    previous.clear();
+    for (const auto& [key, value] : parsed.values) previous[key] = value;
+    prev_time = now;
+    first = false;
+    std::this_thread::sleep_for(std::chrono::seconds(watch_s));
+  }
 } catch (const std::exception& e) {
   std::fprintf(stderr, "evalctl: %s\n", e.what());
   return 1;

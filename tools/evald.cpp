@@ -35,7 +35,13 @@
 //
 // --admin opens the line-oriented introspection socket (tools/evalctl is
 // the matching client): queue depths, per-worker inflight/latency, requeue
-// counts, store hit rates — live, while batches run.
+// counts, store hit rates — live, while batches run. "metrics" on that
+// socket returns Prometheus text: a worker serves its own page, a server
+// scrapes and merges the whole fleet's.
+//
+// --trace FILE appends Chrome trace events (load in Perfetto). The file is
+// opened O_APPEND, so a server and its workers may share one path; in
+// loopback mode the forked workers inherit the fd and do exactly that.
 //
 // Flags are util/cli style (--flag value / --flag=value, FLOWGEN_* env).
 
@@ -55,6 +61,8 @@
 #include "service/loopback.hpp"
 #include "service/remote_evaluator.hpp"
 #include "service/wire.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -92,11 +100,24 @@ std::string worker_admin_text(const service::EvalWorker& worker,
        << "designs_loaded " << worker.num_designs() << '\n';
     return os.str();
   }
-  if (command == "help") return "commands: stats help quit";
+  // Local scrape surface: evalctl reads a single worker here without going
+  // through a coordinator; the fleet view is the server's "metrics".
+  if (command == "metrics") return telemetry::render_prometheus();
+  if (command == "help") return "commands: stats metrics help quit";
   return "err unknown command '" + command + "' (try help)";
 }
 
+/// Shared --trace handling: all three modes append Chrome trace events to
+/// the given file (O_APPEND — a coordinator and its forked workers can
+/// safely share one file; see docs/observability.md).
+void maybe_start_tracing(const util::Cli& cli) {
+  if (const std::string path = cli.get("trace", ""); !path.empty()) {
+    telemetry::start_tracing(path);
+  }
+}
+
 int run_worker(const util::Cli& cli) {
+  maybe_start_tracing(cli);
   service::WorkerOptions options;
   options.design_id = cli.get("design", "");
   options.design_file = cli.get("design-file", "");
@@ -127,6 +148,7 @@ int run_worker(const util::Cli& cli) {
 }
 
 int run_server(const util::Cli& cli) {
+  maybe_start_tracing(cli);
   const std::string design = cli.get("design", "");
   const std::string design_file = cli.get("design-file", "");
   const auto worker_specs = split_list(cli.get("workers", ""));
@@ -180,6 +202,9 @@ int run_server(const util::Cli& cli) {
 }
 
 int run_loopback(const util::Cli& cli) {
+  // Before the forks: loopback workers inherit the O_APPEND trace fd and
+  // their spans land in the same file as the coordinator's.
+  maybe_start_tracing(cli);
   const std::string design = cli.get("design", "alu16");
   const std::string design_file = cli.get("design-file", "");
   const auto num_workers =
