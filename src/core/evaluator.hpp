@@ -107,13 +107,14 @@ public:
   /// keys. Thread-safe.
   void warm_qor(StepsView steps, const map::QoR& qor) const;
 
-  /// Attach a persistent label store: every record for this design is
-  /// warmed into the QoR cache now, and every future flow-level cache miss
-  /// is appended to the store as it completes. Throws opt::RegistryError
-  /// when the store's registry fingerprint differs from this evaluator's —
-  /// labels keyed by another alphabet must never warm these caches. Call
-  /// before evaluation starts; not thread-safe against concurrent
-  /// evaluate().
+  /// Attach a persistent label store: stored records answer evaluate()
+  /// lazily (a cache miss consults the store before synthesizing — attach
+  /// is O(1) even at 10^6+ records, and only the flows actually requested
+  /// warm the cache), and every genuinely fresh result is appended to the
+  /// store as it completes. Throws opt::RegistryError when the store's
+  /// registry fingerprint differs from this evaluator's — labels keyed by
+  /// another alphabet must never warm these caches. Call before evaluation
+  /// starts; not thread-safe against concurrent evaluate().
   void attach_store(std::shared_ptr<QorStore> store);
 
   /// Synthesize (transform sequence) + map + report QoR. Thread-safe;

@@ -1,6 +1,8 @@
 #include "core/qor_store.hpp"
 
 #include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -11,6 +13,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -28,6 +31,10 @@ struct StoreMetrics {
   telemetry::Counter& hits;
   telemetry::Counter& records_loaded;
   telemetry::Histogram& load_ms;
+  telemetry::Counter& segment_records_loaded;
+  telemetry::Counter& ingests;
+  telemetry::Counter& compactions;
+  telemetry::Histogram& compact_ms;
 };
 
 StoreMetrics& store_metrics() {
@@ -43,11 +50,22 @@ StoreMetrics& store_metrics() {
       telemetry::histogram("flowgen_qor_store_load_ms",
                            "Per-file .qorlog load+scan latency (ms)",
                            telemetry::default_ms_buckets()),
+      telemetry::counter("flowgen_qor_store_segment_records_loaded_total",
+                         "Label records bulk-loaded from .qorseg segments"),
+      telemetry::counter("flowgen_qor_store_ingests_total",
+                         "Label records adopted from peers (kStoreAppend)"),
+      telemetry::counter("flowgen_qor_store_compactions_total",
+                         "Compaction passes committed"),
+      telemetry::histogram("flowgen_qor_store_compact_ms",
+                           "Compaction pass latency (ms)",
+                           telemetry::default_ms_buckets()),
   };
   return m;
 }
 
 // On-disk layout (little-endian; docs/qor-store.md is the normative spec):
+//
+// Per-writer log (<writer>.qorlog):
 //   file header (8 bytes): u32 magic "FQOR", u8 version, u8 0, u16 0
 //   v2 header only: u64 registry_fp[0], u64 registry_fp[1] (16 more bytes)
 //   record:  u32 crc32(payload), u32 payload_len, payload
@@ -58,15 +76,51 @@ StoreMetrics& store_metrics() {
 // a store bound to the paper registry keeps writing v1 files bit for bit,
 // so every pre-registry artifact stays valid and every new paper-registry
 // file stays readable by old readers. Any other alphabet writes v2 headers.
-constexpr std::uint32_t kStoreMagic = 0x46514F52;  // "FQOR"
+//
+// Compacted segment (seg-<epoch>.qorseg):
+//   header (40 bytes): u32 magic "FQSG", u8 version, u8 0, u16 0,
+//                      u64 registry_fp[0], u64 registry_fp[1],
+//                      u64 epoch, u64 record_count
+//   entries: record_count payloads (exact .qorlog payload layout, no
+//            per-record framing), sorted by (design fp, steps), deduped
+//   offset table: record_count u32 file offsets, one per entry in order —
+//            attach validates this table against the entry chain instead
+//            of parsing every entry, and lookups binary-search through it
+//   footer: u32 crc32 over every preceding byte
+// Segments always stamp the registry fingerprint (the paper registry's
+// included) — they are a new format with no pre-registry readers to honor.
+//
+// MANIFEST (committed by rename(MANIFEST.tmp, MANIFEST)):
+//   header (8 bytes): u32 magic "FQMF", u8 version, u8 0, u16 0
+//   u64 registry_fp[0], u64 registry_fp[1], u64 epoch
+//   u32 num_segments, then per segment: u16 name_len, name bytes
+//   u32 num_logs, then per log: u16 name_len, name bytes,
+//                               u64 consumed_bytes
+//   footer: u32 crc32 over every preceding byte
+// `consumed_bytes` is the log prefix already folded into the segments; a
+// reader scans each log from its watermark (records below it would only
+// dedup). No MANIFEST means epoch 0: plain per-writer logs, fully
+// backward compatible.
+constexpr std::uint32_t kStoreMagic = 0x46514F52;    // "FQOR"
+constexpr std::uint32_t kSegmentMagic = 0x46515347;  // "FQSG"
+constexpr std::uint32_t kManifestMagic = 0x46514D46;  // "FQMF"
 constexpr std::uint8_t kStoreVersion = 1;
 constexpr std::uint8_t kStoreVersionRegistry = 2;
+constexpr std::uint8_t kSegmentVersion = 1;
+constexpr std::uint8_t kManifestVersion = 1;
 constexpr std::size_t kFileHeaderBytes = 8;
 constexpr std::size_t kRegistryHeaderBytes = kFileHeaderBytes + 16;
 constexpr std::size_t kRecordHeaderBytes = 8;
+constexpr std::size_t kSegmentHeaderBytes = 40;
+constexpr std::size_t kEntryFixedBytes = 50;
 /// A payload is 50 bytes + one per step and steps are capped at 64Ki, so
 /// 1 MiB rejects corrupt lengths without bounding real records.
 constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+/// Internal: a manifest-listed segment file vanished mid-attach — a
+/// concurrent compactor committed a newer manifest and deleted it. The
+/// attach loop re-reads the manifest and retries; this never escapes.
+struct SegmentMissing {};
 
 void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
   b.push_back(static_cast<std::uint8_t>(v));
@@ -97,6 +151,102 @@ std::uint64_t get_u64(const std::uint8_t* p) {
          (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
 }
 
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Whole-file read via one fstat-sized ::read (logs, MANIFEST). Returns
+/// false when the file does not exist.
+bool read_whole_file(const std::string& path,
+                     std::vector<std::uint8_t>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  out.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::read(fd, out.data() + done, out.size() - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  ::close(fd);
+  out.resize(done);
+  return true;
+}
+
+void write_file_or_throw(const std::string& path,
+                         const std::vector<std::uint8_t>& bytes,
+                         bool sync) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw QorStoreError("QorStore: cannot create '" + path +
+                        "': " + std::strerror(errno));
+  }
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw QorStoreError("QorStore: write to '" + path +
+                        "' failed: " + std::strerror(err));
+  }
+  if (sync) ::fsync(fd);
+  ::close(fd);
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// Three-way compare of the segment entry at `e` against (design, steps),
+/// in segment sort order: design fingerprint, then steps lexicographic.
+int compare_entry(const std::uint8_t* e, const aig::Fingerprint& design,
+                  StepsView steps) {
+  const std::uint64_t d0 = get_u64(e);
+  if (d0 != design[0]) return d0 < design[0] ? -1 : 1;
+  const std::uint64_t d1 = get_u64(e + 8);
+  if (d1 != design[1]) return d1 < design[1] ? -1 : 1;
+  const std::uint16_t n = get_u16(e + 16);
+  const std::size_t common = std::min<std::size_t>(n, steps.size());
+  if (common > 0) {
+    const int c = std::memcmp(e + 18, steps.data(), common);
+    if (c != 0) return c < 0 ? -1 : 1;
+  }
+  if (n != steps.size()) return n < steps.size() ? -1 : 1;
+  return 0;
+}
+
+map::QoR decode_entry_qor(const std::uint8_t* e) {
+  const std::uint8_t* q = e + 18 + get_u16(e + 16);
+  map::QoR qor;
+  qor.area_um2 = std::bit_cast<double>(get_u64(q));
+  qor.delay_ps = std::bit_cast<double>(get_u64(q + 8));
+  qor.num_cells = static_cast<std::size_t>(get_u64(q + 16));
+  qor.num_inverters = static_cast<std::size_t>(get_u64(q + 24));
+  return qor;
+}
+
 }  // namespace
 
 QorStore::QorStore(QorStoreConfig config)
@@ -123,6 +273,38 @@ QorStore::QorStore(QorStoreConfig config)
   }
   writer_path_ = config_.dir + "/" + config_.writer_name + ".qorlog";
 
+  // Manifest + segments first (the bulk of a mature store), then every log
+  // past its watermark. A concurrent compactor may delete a listed segment
+  // between our manifest read and the segment open; the new manifest is
+  // already live then, so re-read and retry — bounded, since each retry
+  // needs another full compaction to race us.
+  std::optional<Manifest> manifest;
+  for (int attempt = 0;; ++attempt) {
+    segments_.clear();  // a failed attempt may have attached some already
+    manifest = read_manifest();
+    try {
+      if (manifest) {
+        for (const std::string& seg : manifest->segments) {
+          load_segment(config_.dir + "/" + seg);
+        }
+        epoch_ = manifest->epoch;
+      }
+      break;
+    } catch (const SegmentMissing&) {
+      if (attempt >= 4) {
+        throw QorStoreError(
+            "QorStore: manifest in '" + config_.dir +
+            "' names segments that keep vanishing — giving up");
+      }
+    }
+  }
+  std::map<std::string, std::uint64_t> watermarks;
+  if (manifest) {
+    for (const auto& [name, consumed] : manifest->logs) {
+      watermarks[name] = consumed;
+    }
+  }
+
   // Load every log in deterministic (sorted) order; ours may be among them
   // when a writer name is reused across runs.
   std::vector<std::string> logs;
@@ -133,9 +315,17 @@ QorStore::QorStore(QorStoreConfig config)
   }
   std::sort(logs.begin(), logs.end());
   std::uint64_t own_valid_bytes = 0;
+  std::uint64_t own_file_size = 0;
   for (const std::string& path : logs) {
-    const std::uint64_t valid = load_file(path);
-    if (path == writer_path_) own_valid_bytes = valid;
+    const std::string name = fs::path(path).filename().string();
+    const auto wm = watermarks.find(name);
+    std::uint64_t file_size = 0;
+    const std::uint64_t valid = load_file(
+        path, wm == watermarks.end() ? 0 : wm->second, &file_size);
+    if (path == writer_path_) {
+      own_valid_bytes = valid;
+      own_file_size = file_size;
+    }
   }
 
   // O_APPEND as defense in depth: even a buggy second writer on this file
@@ -146,35 +336,21 @@ QorStore::QorStore(QorStoreConfig config)
     throw QorStoreError("QorStore: cannot open '" + writer_path_ +
                         "': " + std::strerror(errno));
   }
-  // Heal our own log: drop any torn tail so the next reader never has to,
-  // then position at the end. Foreign files are never modified.
   if (own_valid_bytes > 0) {
-    if (::ftruncate(fd_, static_cast<off_t>(own_valid_bytes)) != 0 ||
-        ::lseek(fd_, 0, SEEK_END) < 0) {
-      throw QorStoreError("QorStore: cannot truncate '" + writer_path_ + "'");
+    // Heal our own log — but only when there is a torn tail to drop. A
+    // clean attach must not write: re-truncating to the unchanged size
+    // would still dirty the inode (mtime) on every startup. Foreign files
+    // are never modified.
+    if (own_valid_bytes < own_file_size) {
+      if (::ftruncate(fd_, static_cast<off_t>(own_valid_bytes)) != 0) {
+        throw QorStoreError("QorStore: cannot truncate '" + writer_path_ +
+                            "'");
+      }
+      ++stats_.log_truncations;
     }
   } else {
-    // Fresh (or unreadably corrupt) file: start it over with a header. The
-    // paper registry writes the original v1 header (its files stay byte
-    // identical to pre-registry stores); other alphabets stamp their
-    // fingerprint into a v2 header.
-    std::vector<std::uint8_t> header;
-    put_u32(header, kStoreMagic);
-    const bool paper = registry_->is_paper();
-    header.push_back(paper ? kStoreVersion : kStoreVersionRegistry);
-    header.push_back(0);
-    put_u16(header, 0);
-    if (!paper) {
-      const opt::RegistryFingerprint& fp = registry_->fingerprint();
-      put_u64(header, fp[0]);
-      put_u64(header, fp[1]);
-    }
-    if (::ftruncate(fd_, 0) != 0 ||
-        ::write(fd_, header.data(), header.size()) !=
-            static_cast<ssize_t>(header.size())) {
-      throw QorStoreError("QorStore: cannot initialise '" + writer_path_ +
-                          "'");
-    }
+    // Fresh (or unreadably corrupt) file: start it over with a header.
+    write_fresh_header_locked();
   }
 }
 
@@ -182,7 +358,41 @@ QorStore::~QorStore() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-std::uint64_t QorStore::load_file(const std::string& path) {
+QorStore::SegmentBuffer::~SegmentBuffer() {
+  if (!data) return;
+  if (mapped) {
+    ::munmap(data, mapped);
+  } else {
+    delete[] data;
+  }
+}
+
+void QorStore::write_fresh_header_locked() {
+  // The paper registry writes the original v1 header (its files stay byte
+  // identical to pre-registry stores); other alphabets stamp their
+  // fingerprint into a v2 header.
+  std::vector<std::uint8_t> header;
+  put_u32(header, kStoreMagic);
+  const bool paper = registry_->is_paper();
+  header.push_back(paper ? kStoreVersion : kStoreVersionRegistry);
+  header.push_back(0);
+  put_u16(header, 0);
+  if (!paper) {
+    const opt::RegistryFingerprint& fp = registry_->fingerprint();
+    put_u64(header, fp[0]);
+    put_u64(header, fp[1]);
+  }
+  if (::ftruncate(fd_, 0) != 0 ||
+      ::write(fd_, header.data(), header.size()) !=
+          static_cast<ssize_t>(header.size())) {
+    throw QorStoreError("QorStore: cannot initialise '" + writer_path_ +
+                        "'");
+  }
+}
+
+std::uint64_t QorStore::load_file(const std::string& path,
+                                  std::uint64_t start,
+                                  std::uint64_t* file_size) {
   telemetry::Span span("store", "load_qorlog");
   span.arg("path", path);
   const bool timed = telemetry::enabled();
@@ -197,13 +407,26 @@ std::uint64_t QorStore::load_file(const std::string& path) {
     }
     return valid;
   };
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  // A log whose manifest watermark covers it exactly is fully folded into
+  // the segments — stat it and move on instead of reading megabytes of
+  // already-consumed records back in. (A *shorter* file was reset by its
+  // owner; a *longer* one has a live tail; both take the read path below.)
+  if (start >= kFileHeaderBytes) {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0 &&
+        static_cast<std::uint64_t>(st.st_size) == start) {
+      if (file_size) *file_size = start;
+      ++stats_.files_loaded;
+      return finish(start);
+    }
+  }
+  std::vector<std::uint8_t> data;
+  if (!read_whole_file(path, data)) {
     util::log_warn("QorStore: cannot read ", path, " — skipped");
+    if (file_size) *file_size = 0;
     return finish(0);
   }
-  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
-                                 std::istreambuf_iterator<char>());
+  if (file_size) *file_size = data.size();
   if (data.size() < kFileHeaderBytes || get_u32(data.data()) != kStoreMagic ||
       (data[4] != kStoreVersion && data[4] != kStoreVersionRegistry)) {
     util::log_warn("QorStore: ", path, " has no valid header — skipped");
@@ -236,6 +459,11 @@ std::uint64_t QorStore::load_file(const std::string& path) {
         " — refusing to mix alphabets in one directory");
   }
   ++stats_.files_loaded;
+  // Skip the manifest watermark: that prefix is already folded into a
+  // segment (records below it would only dedup). A log *shorter* than its
+  // watermark was reset by its owner after a compaction — its records
+  // live in the segment — so scan the whole (usually empty) file instead.
+  if (start > pos && start <= data.size()) pos = start;
   while (true) {
     if (data.size() - pos < kRecordHeaderBytes) break;  // torn/EOF
     const std::uint32_t crc = get_u32(data.data() + pos);
@@ -247,24 +475,21 @@ std::uint64_t QorStore::load_file(const std::string& path) {
     // CRC-valid: decode. A structurally short payload still stops the scan
     // (it cannot be a boundary confusion — CRC already matched — but a
     // foreign writer bug must not crash this process).
-    if (len < 50) break;
-    Key key;
-    key.design[0] = get_u64(payload);
-    key.design[1] = get_u64(payload + 8);
+    if (len < kEntryFixedBytes) break;
+    aig::Fingerprint design;
+    design[0] = get_u64(payload);
+    design[1] = get_u64(payload + 8);
     const std::uint16_t num_steps = get_u16(payload + 16);
-    if (len != 50u + num_steps) break;
-    key.steps.reserve(num_steps);
+    if (len != kEntryFixedBytes + num_steps) break;
     bool steps_valid = true;
     for (std::uint16_t i = 0; i < num_steps; ++i) {
-      const opt::StepId s = payload[18 + i];
       // The file's registry fingerprint matched, so every step byte must
       // name one of its specs; an out-of-range id is corruption and stops
       // the scan like any other invalid record.
-      if (s >= registry_->size()) {
+      if (payload[18 + i] >= registry_->size()) {
         steps_valid = false;
         break;
       }
-      key.steps.push_back(s);
     }
     if (!steps_valid) break;
     const std::uint8_t* q = payload + 18 + num_steps;
@@ -275,8 +500,11 @@ std::uint64_t QorStore::load_file(const std::string& path) {
     qor.num_inverters = static_cast<std::size_t>(get_u64(q + 24));
     // First record wins on duplicates; evaluation is pure, so any
     // conflicting duplicate means a corrupt store and the earliest record
-    // is as good a pick as any.
-    index_.emplace(std::move(key), qor);
+    // is as good a pick as any. A record already in a segment (e.g. our
+    // own pre-reset log re-read after a crash between manifest commit and
+    // log reset) stays segment-resident — index and segments are disjoint.
+    const StepsView steps(payload + 18, num_steps);
+    if (!segment_find_locked(design, steps)) index_.insert(design, steps, qor);
     ++stats_.records_loaded;
     pos += kRecordHeaderBytes + len;
   }
@@ -288,29 +516,225 @@ std::uint64_t QorStore::load_file(const std::string& path) {
   return finish(pos);
 }
 
+void QorStore::load_segment(const std::string& path) {
+  telemetry::Span span("store", "load_segment");
+  span.arg("path", path);
+  // mmap, not read: no 60 MB copy, no page-fault fill, and siblings
+  // attaching the same store share the page-cache pages. Segments are
+  // written once and only ever *unlinked* (never truncated), and an
+  // unlinked mapping stays valid, so the mapping cannot SIGBUS under a
+  // concurrent compactor.
+  Segment segment;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw SegmentMissing{};
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw SegmentMissing{};
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size < kSegmentHeaderBytes + 4) {
+      ::close(fd);
+      throw QorStoreError("QorStore: segment '" + path + "' is truncated");
+    }
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+      throw QorStoreError("QorStore: cannot map segment '" + path +
+                          "': " + std::strerror(errno));
+    }
+    ::madvise(map, size, MADV_WILLNEED);
+    segment.buf.data = static_cast<std::uint8_t*>(map);
+    segment.buf.size = size;
+    segment.buf.mapped = size;
+  }
+  const std::uint8_t* data = segment.data();
+  const std::size_t size = segment.buf.size;
+  // Whole-file CRC before any field is believed: a segment is written once
+  // and never appended to, so *any* mismatch is corruption, not a torn
+  // tail — typed error, never a silent partial load.
+  const std::uint32_t want_crc = get_u32(data + size - 4);
+  if (util::crc32({data, size - 4}) != want_crc) {
+    throw QorStoreError("QorStore: segment '" + path +
+                        "' fails its CRC — corrupt");
+  }
+  if (get_u32(data) != kSegmentMagic || data[4] != kSegmentVersion) {
+    throw QorStoreError("QorStore: segment '" + path +
+                        "' has an unknown header");
+  }
+  opt::RegistryFingerprint seg_registry;
+  seg_registry[0] = get_u64(data + 8);
+  seg_registry[1] = get_u64(data + 16);
+  if (seg_registry != registry_->fingerprint()) {
+    throw QorStoreError(
+        "QorStore: segment '" + path + "' is keyed by registry " +
+        opt::registry_fingerprint_hex(seg_registry) + " but this store uses " +
+        opt::registry_fingerprint_hex(registry_->fingerprint()));
+  }
+  const std::uint64_t record_count = get_u64(data + 32);
+  const std::size_t end = size - 4;
+  // The file carries its own offset table (record_count u32s just before
+  // the CRC footer). Attach validates that the table and the entry chain
+  // agree — each offset continues exactly where the previous entry ended
+  // and every entry fits before the table — but parses no entry bodies:
+  // the CRC already vouches for the bytes, and the writer validated step
+  // ids at append time. This is the whole reason attach stays O(file
+  // read) at 10^6 records. The entries stay in the file's own sorted
+  // layout; `offsets` makes them binary-searchable.
+  if (record_count > (end - kSegmentHeaderBytes) / 4) {
+    throw QorStoreError("QorStore: segment '" + path + "' is truncated");
+  }
+  const std::size_t table_start =
+      end - static_cast<std::size_t>(record_count) * 4;
+  segment.offsets.reserve(static_cast<std::size_t>(record_count));
+  std::size_t expect = kSegmentHeaderBytes;
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    const std::uint32_t off = get_u32(data + table_start + i * 4);
+    if (off != expect || off + kEntryFixedBytes > table_start) {
+      throw QorStoreError("QorStore: segment '" + path +
+                          "' offset table disagrees with its entries — "
+                          "corrupt");
+    }
+    const std::uint16_t num_steps = get_u16(data + off + 16);
+    if (off + kEntryFixedBytes + num_steps > table_start) {
+      throw QorStoreError("QorStore: segment '" + path +
+                          "' ends mid-entry — corrupt");
+    }
+    expect = off + kEntryFixedBytes + num_steps;
+    segment.offsets.push_back(off);
+  }
+  if (expect != table_start) {
+    throw QorStoreError("QorStore: segment '" + path +
+                        "' carries bytes past its last entry — corrupt");
+  }
+  segments_.push_back(std::move(segment));
+  ++stats_.segments_loaded;
+  stats_.segment_records_loaded += static_cast<std::size_t>(record_count);
+  store_metrics().segment_records_loaded.inc(record_count);
+}
+
+std::optional<QorStore::Manifest> QorStore::read_manifest() const {
+  const std::string path = config_.dir + "/MANIFEST";
+  std::vector<std::uint8_t> data;
+  if (!read_whole_file(path, data)) return std::nullopt;
+  // The manifest is rename-committed, so a torn one cannot exist; any
+  // invalid byte is corruption of the store's root pointer — typed error.
+  const auto corrupt = [&](const char* why) {
+    return QorStoreError("QorStore: MANIFEST in '" + config_.dir + "' " +
+                         why);
+  };
+  if (data.size() < 40 + 4) throw corrupt("is truncated");
+  if (util::crc32({data.data(), data.size() - 4}) !=
+      get_u32(data.data() + data.size() - 4)) {
+    throw corrupt("fails its CRC — corrupt");
+  }
+  if (get_u32(data.data()) != kManifestMagic ||
+      data[4] != kManifestVersion) {
+    throw corrupt("has an unknown header");
+  }
+  opt::RegistryFingerprint fp{get_u64(data.data() + 8),
+                              get_u64(data.data() + 16)};
+  if (fp != registry_->fingerprint()) {
+    throw QorStoreError(
+        "QorStore: MANIFEST in '" + config_.dir + "' is keyed by registry " +
+        opt::registry_fingerprint_hex(fp) + " but this store uses " +
+        opt::registry_fingerprint_hex(registry_->fingerprint()) +
+        " — refusing to mix alphabets in one directory");
+  }
+  Manifest m;
+  m.epoch = get_u64(data.data() + 24);
+  std::size_t pos = 32;
+  const std::size_t end = data.size() - 4;
+  const auto read_name = [&](std::string& out) {
+    if (end - pos < 2) throw corrupt("ends mid-name");
+    const std::uint16_t len = get_u16(data.data() + pos);
+    pos += 2;
+    if (end - pos < len) throw corrupt("ends mid-name");
+    out.assign(reinterpret_cast<const char*>(data.data() + pos), len);
+    pos += len;
+    if (out.find('/') != std::string::npos) throw corrupt("names a path");
+  };
+  if (end - pos < 4) throw corrupt("ends mid-list");
+  std::uint32_t num_segments = get_u32(data.data() + pos);
+  pos += 4;
+  for (std::uint32_t i = 0; i < num_segments; ++i) {
+    std::string name;
+    read_name(name);
+    m.segments.push_back(std::move(name));
+  }
+  if (end - pos < 4) throw corrupt("ends mid-list");
+  std::uint32_t num_logs = get_u32(data.data() + pos);
+  pos += 4;
+  for (std::uint32_t i = 0; i < num_logs; ++i) {
+    std::string name;
+    read_name(name);
+    if (end - pos < 8) throw corrupt("ends mid-watermark");
+    m.logs.emplace_back(std::move(name), get_u64(data.data() + pos));
+    pos += 8;
+  }
+  if (pos != end) throw corrupt("carries bytes past its last entry");
+  return m;
+}
+
+const std::uint8_t* QorStore::segment_find_locked(
+    const aig::Fingerprint& design, StepsView steps) const {
+  for (const Segment& s : segments_) {
+    std::size_t lo = 0;
+    std::size_t hi = s.offsets.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const std::uint8_t* e = s.data() + s.offsets[mid];
+      if (compare_entry(e, design, steps) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < s.offsets.size()) {
+      const std::uint8_t* e = s.data() + s.offsets[lo];
+      if (compare_entry(e, design, steps) == 0) return e;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<map::QoR> QorStore::find_locked(const aig::Fingerprint& design,
+                                              StepsView steps) const {
+  // Live (log-resident) records probe the cuckoo index in O(1); compacted
+  // records binary-search their segment. The two sets are kept disjoint,
+  // so order is a fast-path choice, not a correctness one.
+  if (const auto hit = index_.find(design, steps)) return hit;
+  if (const std::uint8_t* e = segment_find_locked(design, steps)) {
+    return decode_entry_qor(e);
+  }
+  return std::nullopt;
+}
+
+std::size_t QorStore::segment_records_locked() const {
+  std::size_t n = 0;
+  for (const Segment& s : segments_) n += s.offsets.size();
+  return n;
+}
+
 std::optional<map::QoR> QorStore::lookup(const aig::Fingerprint& design,
                                          StepsView steps) const {
   std::lock_guard lock(mutex_);
   ++stats_.lookups;
   store_metrics().lookups.inc();
-  Key key{design, StepsKey(steps.begin(), steps.end())};
-  const auto it = index_.find(key);
-  if (it == index_.end()) return std::nullopt;
+  const auto hit = find_locked(design, steps);
+  if (!hit) return std::nullopt;
   ++stats_.hits;
   store_metrics().hits.inc();
-  return it->second;
+  return hit;
 }
 
-bool QorStore::append(const aig::Fingerprint& design, StepsView steps,
-                      const map::QoR& qor) {
-  if (steps.size() > 0xFFFF) throw QorStoreError("flow too long for record");
-  registry_->validate_steps(steps);  // no undefined step byte ever persists
-  std::lock_guard lock(mutex_);
-  Key key{design, StepsKey(steps.begin(), steps.end())};
-  if (index_.contains(key)) return false;
+bool QorStore::append_locked(const aig::Fingerprint& design, StepsView steps,
+                             const map::QoR& qor) {
+  if (find_locked(design, steps)) return false;
 
   std::vector<std::uint8_t> payload;
-  payload.reserve(50 + steps.size());
+  payload.reserve(kEntryFixedBytes + steps.size());
   put_u64(payload, design[0]);
   put_u64(payload, design[1]);
   put_u16(payload, static_cast<std::uint16_t>(steps.size()));
@@ -348,29 +772,348 @@ bool QorStore::append(const aig::Fingerprint& design, StepsView steps,
                         "' failed: " + std::strerror(err));
   }
   if (config_.fsync_each_append) ::fsync(fd_);
-  index_.emplace(std::move(key), qor);
+  index_.insert(design, steps, qor);
+  return true;
+}
+
+void QorStore::notify_listeners_locked(const aig::Fingerprint& design,
+                                       StepsView steps,
+                                       const map::QoR& qor) {
+  for (std::size_t i = 0; i < listeners_.size();) {
+    if (listeners_[i].second(design, steps, qor)) {
+      ++i;
+    } else {
+      listeners_.erase(listeners_.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+bool QorStore::append(const aig::Fingerprint& design, StepsView steps,
+                      const map::QoR& qor) {
+  if (steps.size() > 0xFFFF) throw QorStoreError("flow too long for record");
+  registry_->validate_steps(steps);  // no undefined step byte ever persists
+  std::lock_guard lock(mutex_);
+  if (!append_locked(design, steps, qor)) return false;
   ++stats_.appends;
   store_metrics().appends.inc();
+  notify_listeners_locked(design, steps, qor);
   return true;
+}
+
+bool QorStore::ingest(const aig::Fingerprint& design, StepsView steps,
+                      const map::QoR& qor) {
+  if (steps.size() > 0xFFFF) throw QorStoreError("flow too long for record");
+  registry_->validate_steps(steps);
+  std::lock_guard lock(mutex_);
+  if (!append_locked(design, steps, qor)) return false;
+  ++stats_.ingests;
+  store_metrics().ingests.inc();
+  return true;
+}
+
+std::uint64_t QorStore::subscribe(Listener listener) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t token = next_listener_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void QorStore::unsubscribe(std::uint64_t token) {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < listeners_.size(); ++i) {
+    if (listeners_[i].first == token) {
+      listeners_.erase(listeners_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+QorStore::CompactionResult QorStore::compact() {
+  telemetry::Span span("store", "compact");
+  const bool timed = telemetry::enabled();
+  const std::uint64_t t0 = timed ? telemetry::trace_now_us() : 0;
+  namespace fs = std::filesystem;
+  CompactionResult result;
+
+  // One compactor per directory: flock on a dedicated lock file. A busy
+  // lock means a sibling is already folding this directory — nothing to
+  // wait for, its pass covers our records too.
+  const std::string lock_path = config_.dir + "/COMPACT.lock";
+  const int lock_fd = ::open(lock_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (lock_fd < 0) {
+    throw QorStoreError("QorStore: cannot open '" + lock_path +
+                        "': " + std::strerror(errno));
+  }
+  if (::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd);
+    return result;
+  }
+  struct LockRelease {
+    int fd;
+    ~LockRelease() {
+      ::flock(fd, LOCK_UN);
+      ::close(fd);
+    }
+  } lock_release{lock_fd};
+
+  std::lock_guard lock(mutex_);
+
+  // Catch up with the directory as it is *now*, under the compaction
+  // lock: adopt any segment a sibling committed since attach, then scan
+  // every log past its watermark — the fold must cover records we did not
+  // produce, and the new watermarks must equal exactly what the segment
+  // will contain.
+  std::optional<Manifest> disk = read_manifest();
+  std::uint64_t base_epoch = epoch_;
+  if (disk) {
+    base_epoch = std::max(base_epoch, disk->epoch);
+    if (disk->epoch > epoch_) {
+      for (const std::string& seg : disk->segments) {
+        try {
+          load_segment(config_.dir + "/" + seg);
+        } catch (const SegmentMissing&) {
+          // Cannot happen while we hold the lock — only compactors delete.
+          throw QorStoreError("QorStore: segment '" + seg +
+                              "' vanished under the compaction lock");
+        }
+      }
+      epoch_ = disk->epoch;
+    }
+  }
+  std::map<std::string, std::uint64_t> watermarks;
+  if (disk) {
+    for (const auto& [name, consumed] : disk->logs) {
+      watermarks[name] = consumed;
+    }
+  }
+  std::error_code ec;
+  std::vector<std::string> log_paths;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    if (entry.path().extension() == ".qorlog") {
+      log_paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(log_paths.begin(), log_paths.end());
+  std::vector<std::pair<std::string, std::uint64_t>> new_logs;
+  const std::string own_name = fs::path(writer_path_).filename().string();
+  for (const std::string& path : log_paths) {
+    const std::string name = fs::path(path).filename().string();
+    const auto wm = watermarks.find(name);
+    std::uint64_t file_size = 0;
+    const std::uint64_t valid = load_file(
+        path, wm == watermarks.end() ? 0 : wm->second, &file_size);
+    // Our own log is reset to a bare header below, after the manifest
+    // commit; the manifest therefore claims only that header for it. A
+    // crash between commit and reset re-reads (and dedups) the old bytes
+    // on the next attach — slower, never lossy.
+    new_logs.emplace_back(
+        name, name == own_name
+                  ? (registry_->is_paper() ? kFileHeaderBytes
+                                           : kRegistryHeaderBytes)
+                  : valid);
+  }
+  result.logs_folded = new_logs.size();
+  if (index_.size() + segment_records_locked() == 0) {
+    return result;  // nothing to fold
+  }
+
+  // One sorted, deduped segment carrying every record we hold: the
+  // attached segments plus the live index. Sorting makes the fold
+  // deterministic — the same record set compacts to the same bytes no
+  // matter which logs or segments carried it — and the post-sort unique
+  // pass removes overlap (an adopted sibling segment typically contains
+  // our own earlier appends, folded there from our log). Duplicate keys
+  // always carry identical QoR (evaluation is pure), so which copy
+  // survives is immaterial.
+  struct Entry {
+    aig::Fingerprint design;
+    StepsView steps;
+    map::QoR qor;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(index_.size() + segment_records_locked());
+  for (const Segment& s : segments_) {
+    for (const std::uint32_t off : s.offsets) {
+      const std::uint8_t* e = s.data() + off;
+      aig::Fingerprint design{get_u64(e), get_u64(e + 8)};
+      entries.push_back(Entry{design, StepsView(e + 18, get_u16(e + 16)),
+                              decode_entry_qor(e)});
+    }
+  }
+  index_.for_each([&](const aig::Fingerprint& design, StepsView steps,
+                      const map::QoR& qor) {
+    entries.push_back(Entry{design, steps, qor});
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.design != b.design) return a.design < b.design;
+              return std::lexicographical_compare(
+                  a.steps.begin(), a.steps.end(), b.steps.begin(),
+                  b.steps.end());
+            });
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const Entry& a, const Entry& b) {
+                              return a.design == b.design &&
+                                     a.steps.size() == b.steps.size() &&
+                                     std::equal(a.steps.begin(),
+                                                a.steps.end(),
+                                                b.steps.begin());
+                            }),
+                entries.end());
+  const std::uint64_t new_epoch = base_epoch + 1;
+  const std::string segment_name = "seg-" + hex16(new_epoch) + ".qorseg";
+  std::vector<std::uint8_t> seg;
+  seg.reserve(kSegmentHeaderBytes + entries.size() * 68 + 4);
+  put_u32(seg, kSegmentMagic);
+  seg.push_back(kSegmentVersion);
+  seg.push_back(0);
+  put_u16(seg, 0);
+  const opt::RegistryFingerprint& fp = registry_->fingerprint();
+  put_u64(seg, fp[0]);
+  put_u64(seg, fp[1]);
+  put_u64(seg, new_epoch);
+  put_u64(seg, entries.size());
+  std::vector<std::uint32_t> new_offsets;
+  new_offsets.reserve(entries.size());
+  for (const Entry& e : entries) {
+    new_offsets.push_back(static_cast<std::uint32_t>(seg.size()));
+    put_u64(seg, e.design[0]);
+    put_u64(seg, e.design[1]);
+    put_u16(seg, static_cast<std::uint16_t>(e.steps.size()));
+    seg.insert(seg.end(), e.steps.begin(), e.steps.end());
+    put_u64(seg, std::bit_cast<std::uint64_t>(e.qor.area_um2));
+    put_u64(seg, std::bit_cast<std::uint64_t>(e.qor.delay_ps));
+    put_u64(seg, static_cast<std::uint64_t>(e.qor.num_cells));
+    put_u64(seg, static_cast<std::uint64_t>(e.qor.num_inverters));
+  }
+  // The offset table readers attach by: one u32 per entry, in order,
+  // between the last entry and the CRC footer.
+  for (const std::uint32_t off : new_offsets) put_u32(seg, off);
+  put_u32(seg, util::crc32(seg));
+  // The segment lands under its final name but is invisible until the
+  // manifest names it; a crash from here on leaves at worst a stray file
+  // the next compactor deletes.
+  write_file_or_throw(config_.dir + "/" + segment_name, seg, true);
+  sync_point("segment_written");
+
+  std::vector<std::uint8_t> man;
+  put_u32(man, kManifestMagic);
+  man.push_back(kManifestVersion);
+  man.push_back(0);
+  put_u16(man, 0);
+  put_u64(man, fp[0]);
+  put_u64(man, fp[1]);
+  put_u64(man, new_epoch);
+  put_u32(man, 1);
+  put_u16(man, static_cast<std::uint16_t>(segment_name.size()));
+  man.insert(man.end(), segment_name.begin(), segment_name.end());
+  put_u32(man, static_cast<std::uint32_t>(new_logs.size()));
+  for (const auto& [name, consumed] : new_logs) {
+    put_u16(man, static_cast<std::uint16_t>(name.size()));
+    man.insert(man.end(), name.begin(), name.end());
+    put_u64(man, consumed);
+  }
+  put_u32(man, util::crc32(man));
+  const std::string tmp_path = config_.dir + "/MANIFEST.tmp";
+  write_file_or_throw(tmp_path, man, true);
+  sync_point("manifest_tmp");
+  if (::rename(tmp_path.c_str(), (config_.dir + "/MANIFEST").c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp_path.c_str());
+    ::unlink((config_.dir + "/" + segment_name).c_str());
+    throw QorStoreError("QorStore: cannot commit MANIFEST in '" +
+                        config_.dir + "': " + std::strerror(err));
+  }
+  fsync_dir(config_.dir);
+  sync_point("manifest_committed");
+
+  // The new manifest is the truth now; everything it does not name is
+  // garbage. Only the lock holder deletes, so a reader that loaded the
+  // *previous* manifest either finished already or retries on the new one.
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    if (entry.path().extension() == ".qorseg" &&
+        entry.path().filename().string() != segment_name) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  // Reset our own log: its records live in the segment now. Foreign logs
+  // are never touched — their owners reset them in their own passes.
+  write_fresh_header_locked();
+  sync_point("log_reset");
+
+  // Collapse the in-memory view to match the directory: one segment (the
+  // bytes we just wrote, entries still referenced nowhere) holding every
+  // record, and an empty index for appends to come.
+  const std::size_t record_count = entries.size();
+  entries.clear();  // views into the old segments/arena die before they do
+  Segment fresh;
+  fresh.buf.data = new std::uint8_t[seg.size()];
+  fresh.buf.size = seg.size();
+  std::memcpy(fresh.buf.data, seg.data(), seg.size());
+  fresh.offsets = std::move(new_offsets);
+  segments_.clear();
+  segments_.push_back(std::move(fresh));
+  index_ = CuckooIndex();
+
+  epoch_ = new_epoch;
+  ++stats_.compactions;
+  store_metrics().compactions.inc();
+  if (timed) {
+    store_metrics().compact_ms.observe(
+        static_cast<double>(telemetry::trace_now_us() - t0) / 1000.0);
+  }
+  result.performed = true;
+  result.epoch = new_epoch;
+  result.records = record_count;
+  return result;
 }
 
 void QorStore::for_design(
     const aig::Fingerprint& design,
     const std::function<void(StepsView, const map::QoR&)>& fn) const {
   std::lock_guard lock(mutex_);
-  for (const auto& [key, qor] : index_) {
-    if (key.design == design) fn(StepsView(key.steps), qor);
+  index_.for_design(design, fn);
+  // Segment entries of one design are a contiguous sorted run; find its
+  // start with the empty flow (the minimal key for the design) and walk.
+  for (const Segment& s : segments_) {
+    std::size_t lo = 0;
+    std::size_t hi = s.offsets.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const std::uint8_t* e = s.data() + s.offsets[mid];
+      if (compare_entry(e, design, StepsView{}) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    for (std::size_t i = lo; i < s.offsets.size(); ++i) {
+      const std::uint8_t* e = s.data() + s.offsets[i];
+      if (get_u64(e) != design[0] || get_u64(e + 8) != design[1]) break;
+      fn(StepsView(e + 18, get_u16(e + 16)), decode_entry_qor(e));
+    }
   }
 }
 
 std::size_t QorStore::size() const {
   std::lock_guard lock(mutex_);
-  return index_.size();
+  return index_.size() + segment_records_locked();
 }
 
 QorStoreStats QorStore::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
+}
+
+CuckooIndexStats QorStore::index_stats() const {
+  std::lock_guard lock(mutex_);
+  return index_.stats();
+}
+
+std::uint64_t QorStore::epoch() const {
+  std::lock_guard lock(mutex_);
+  return epoch_;
 }
 
 void QorStore::flush() {

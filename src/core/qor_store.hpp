@@ -1,42 +1,56 @@
 #pragma once
-// Persistent labeled-QoR store: an append-only on-disk log of
-// (design fingerprint, packed flow key) -> QoR records, so labeling runs
-// survive process restarts and multiple coordinators can share one label
-// set. The paper's framework spends ~95% of its wall-clock producing these
-// labels; this store guarantees no (design, flow) pair is ever paid for
-// twice, across restarts, machines and coordinators.
+// Persistent labeled-QoR store: a directory of per-writer append logs plus
+// compacted, CRC-footered segment files. Log records are indexed in memory
+// by a cuckoo hash over (design fingerprint, packed flow key); segment
+// records stay in their sorted on-disk layout and answer lookups by binary
+// search, so attach cost does not grow with catalogue size. Labeling runs
+// survive
+// process restarts and multiple coordinators share one label set. The
+// paper's framework spends ~95% of its wall-clock producing these labels;
+// this store guarantees no (design, flow) pair is ever paid for twice,
+// across restarts, machines and coordinators.
 //
 // Layout: a store is a *directory*; every writer appends to its own
-// `<writer>.qorlog` file and loads every `*.qorlog` file at startup. One
-// file has exactly one writer, which is what makes sharing safe without
-// any locking protocol between processes. Records are CRC-32-stamped and
-// the loader stops at the first invalid record (torn tail from a crash),
-// truncating its own file there so the log heals. docs/qor-store.md is the
-// normative format description.
+// `<writer>.qorlog` file and a `compact()` pass folds every log (and any
+// previous segment) into one sorted `seg-<epoch>.qorseg` segment named by
+// a binary MANIFEST, committed by atomic rename so readers see either the
+// old view or the new one, never half of each. One log file has exactly
+// one writer, which is what makes sharing safe without any locking
+// protocol between writers; compactors serialise on a flock'd lock file.
+// Records are CRC-32-stamped (per record in logs, whole-file in segments)
+// and the log loader stops at the first invalid record (torn tail from a
+// crash), truncating its own file there so the log heals — only when
+// there actually is a torn tail; a clean attach performs no write.
+// docs/qor-store.md is the normative format description.
 //
 // Thread-safety: all public methods are safe to call concurrently; one
 // mutex serialises index and file access (appends are rare and small next
-// to the synthesis work that produces them).
+// to the synthesis work that produces them). Subscription listeners run
+// under that mutex — see subscribe().
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <utility>
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "core/cuckoo_index.hpp"
 #include "core/flow.hpp"
 #include "map/qor.hpp"
 
 namespace flowgen::core {
 
 /// Raised when the store directory or the writer's own log file cannot be
-/// created/opened/written. Unreadable *foreign* log files are skipped with
-/// a warning instead — a sibling coordinator's crash must not take this
-/// one down.
+/// created/opened/written, or when shared state (a segment, the MANIFEST)
+/// is corrupt — shared files are written once and never truncated, so
+/// damage there is never a torn tail to heal but real corruption.
+/// Unreadable *foreign* log files are skipped with a warning instead — a
+/// sibling coordinator's crash must not take this one down.
 class QorStoreError : public std::runtime_error {
 public:
   using std::runtime_error::runtime_error;
@@ -60,6 +74,11 @@ struct QorStoreConfig {
   /// written under a *different* alphabet throws QorStoreError — labels
   /// must never silently change meaning.
   std::shared_ptr<const opt::TransformRegistry> registry;
+  /// Test-only: invoked at named sync points inside compact()
+  /// ("segment_written", "manifest_tmp", "manifest_committed",
+  /// "log_reset") so crash-injection tests can SIGKILL the process at a
+  /// chosen instant. Null in production.
+  std::function<void(const char*)> compaction_sync_hook;
 };
 
 struct QorStoreStats {
@@ -69,13 +88,42 @@ struct QorStoreStats {
   std::size_t appends = 0;         ///< records this process wrote
   std::size_t lookups = 0;
   std::size_t hits = 0;
+  // -- segment/compaction era (appended; aggregate-init of the fields
+  //    above stays source-compatible) --
+  std::size_t segments_loaded = 0;  ///< .qorseg files read at attach
+  std::size_t segment_records_loaded = 0;  ///< records bulk-loaded from them
+  std::size_t log_truncations = 0;  ///< own-log torn tails healed
+  std::size_t compactions = 0;      ///< compact() passes that committed
+  std::size_t ingests = 0;          ///< records adopted via ingest()
 };
 
 class QorStore {
 public:
-  /// Open (creating if needed) the store at `config.dir` and load every
-  /// `*.qorlog` into the in-memory index. Throws QorStoreError when the
-  /// directory or the writer file cannot be set up.
+  /// One compact() outcome. `performed == false` means another process
+  /// held the compaction lock or there was nothing to fold — both benign.
+  struct CompactionResult {
+    bool performed = false;
+    std::uint64_t epoch = 0;      ///< manifest epoch after the pass
+    std::size_t records = 0;      ///< records in the segment written
+    std::size_t logs_folded = 0;  ///< .qorlog files folded/watermarked
+  };
+
+  /// A subscription listener: called once per record appended by *this
+  /// process* (append(), not ingest()), under the store mutex. Return
+  /// false to cancel the subscription. Listeners must not call back into
+  /// the store and should only hand the record off (encode + enqueue).
+  using Listener = std::function<bool(
+      const aig::Fingerprint&, StepsView, const map::QoR&)>;
+
+  /// Open (creating if needed) the store at `config.dir`: read the
+  /// MANIFEST when present, attach its segments, then scan every
+  /// `*.qorlog` past its manifest watermark. Segment attach is CRC +
+  /// structural validation plus an offset scan only — no per-record
+  /// hashing — so it runs at I/O speed regardless of record count;
+  /// segment-resident records answer lookups by binary search (the
+  /// entries are sorted), while log records live in the cuckoo index.
+  /// Throws QorStoreError when the directory or the writer file cannot
+  /// be set up, or when a segment/manifest is corrupt.
   explicit QorStore(QorStoreConfig config);
   ~QorStore();
 
@@ -87,11 +135,35 @@ public:
                                  StepsView steps) const;
 
   /// Record one label: appended to this writer's log (one write syscall,
-  /// CRC-stamped) and indexed. Returns false without writing when the key
-  /// is already present — evaluation is pure, so a duplicate carries no
-  /// new information. Throws QorStoreError if the write fails.
+  /// CRC-stamped), indexed, and announced to subscribers. Returns false
+  /// without writing when the key is already present — evaluation is
+  /// pure, so a duplicate carries no new information. Throws QorStoreError
+  /// if the write fails.
   bool append(const aig::Fingerprint& design, StepsView steps,
               const map::QoR& qor);
+
+  /// Adopt one label received from a peer (kStoreAppend): persisted to
+  /// this writer's log and indexed like append(), but *not* announced to
+  /// subscribers — only locally-produced records propagate, so a ring of
+  /// subscribed stores cannot echo records forever. Returns false when the
+  /// key is already present.
+  bool ingest(const aig::Fingerprint& design, StepsView steps,
+              const map::QoR& qor);
+
+  /// Fold every log (and any previous segment) into one fresh sorted
+  /// segment, commit a new MANIFEST (atomic rename), delete the stale
+  /// segments and reset this writer's log. Serialised across processes by
+  /// flock on `<dir>/COMPACT.lock` — a busy lock returns
+  /// `performed == false` instead of blocking. Also adopts any foreign-log
+  /// records appended since attach (the pre-fold rescan), so a compaction
+  /// doubles as a sibling sync.
+  CompactionResult compact();
+
+  /// Register a listener for future append()s. The returned token cancels
+  /// it via unsubscribe(); after unsubscribe() returns, the listener is
+  /// guaranteed not to be running and never called again.
+  std::uint64_t subscribe(Listener listener);
+  void unsubscribe(std::uint64_t token);
 
   /// Invoke `fn(steps, qor)` for every stored record of `design` (order
   /// unspecified). Used to pre-warm evaluator QoR caches at startup.
@@ -99,9 +171,12 @@ public:
                   const std::function<void(StepsView, const map::QoR&)>& fn)
       const;
 
-  /// Total records indexed (loaded + appended, deduplicated).
+  /// Total records held (segment-resident + indexed, deduplicated).
   std::size_t size() const;
   QorStoreStats stats() const;
+  CuckooIndexStats index_stats() const;
+  /// Manifest epoch this store last loaded or committed (0 = no manifest).
+  std::uint64_t epoch() const;
 
   /// fsync the writer's log file.
   void flush();
@@ -118,29 +193,83 @@ public:
   }
 
 private:
-  struct Key {
-    aig::Fingerprint design;
-    StepsKey steps;
-    bool operator==(const Key&) const = default;
+  struct Manifest {
+    std::uint64_t epoch = 0;
+    std::vector<std::string> segments;  ///< basenames
+    std::vector<std::pair<std::string, std::uint64_t>> logs;  ///< watermarks
   };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      return static_cast<std::size_t>(k.design[0] ^
-                                      (k.design[1] * 0x9e3779b97f4a7c15ull) ^
-                                      StepsHash{}(k.steps));
+
+  /// Owning byte buffer for one attached segment: the mmap'd file on the
+  /// attach path (no copy, no zero-fill; the pages are clean, evictable
+  /// and shared across processes attaching the same store) or a heap copy
+  /// for the segment compact() itself just wrote.
+  struct SegmentBuffer {
+    std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+    std::size_t mapped = 0;  ///< bytes to munmap; 0 = delete[]
+    SegmentBuffer() = default;
+    SegmentBuffer(SegmentBuffer&& other) noexcept { swap(other); }
+    SegmentBuffer& operator=(SegmentBuffer&& other) noexcept {
+      swap(other);
+      return *this;
+    }
+    SegmentBuffer(const SegmentBuffer&) = delete;
+    SegmentBuffer& operator=(const SegmentBuffer&) = delete;
+    ~SegmentBuffer();
+    void swap(SegmentBuffer& other) noexcept {
+      std::swap(data, other.data);
+      std::swap(size, other.size);
+      std::swap(mapped, other.mapped);
     }
   };
 
-  /// Load one log file; returns bytes of valid data (header + records).
+  /// One attached segment file, held verbatim: `buf` is the whole
+  /// CRC-verified file, `offsets` the start of each (sorted) entry, read
+  /// from the file's own offset table. Segments never build index
+  /// entries — a lookup miss in the cuckoo index binary-searches them
+  /// instead, which is what keeps attaching a 10^6-record catalogue at
+  /// CRC speed.
+  struct Segment {
+    SegmentBuffer buf;
+    std::vector<std::uint32_t> offsets;
+    const std::uint8_t* data() const { return buf.data; }
+  };
+
+  /// Load one log file starting at `start` (manifest watermark or header);
+  /// returns bytes of valid data and, via `file_size`, the bytes on disk.
   /// Invalid tails are counted, not fatal.
-  std::uint64_t load_file(const std::string& path);
+  std::uint64_t load_file(const std::string& path, std::uint64_t start,
+                          std::uint64_t* file_size);
+  /// Attach one segment; throws QorStoreError on any corruption.
+  void load_segment(const std::string& path);
+  /// Pointer to the segment entry for (design, steps), or null.
+  const std::uint8_t* segment_find_locked(const aig::Fingerprint& design,
+                                          StepsView steps) const;
+  /// Index first, then every segment — the store-wide point lookup.
+  std::optional<map::QoR> find_locked(const aig::Fingerprint& design,
+                                      StepsView steps) const;
+  std::size_t segment_records_locked() const;
+  /// Parse `<dir>/MANIFEST`; nullopt when absent, throws when corrupt.
+  std::optional<Manifest> read_manifest() const;
+  bool append_locked(const aig::Fingerprint& design, StepsView steps,
+                     const map::QoR& qor);
+  void write_fresh_header_locked();
+  void notify_listeners_locked(const aig::Fingerprint& design,
+                               StepsView steps, const map::QoR& qor);
+  void sync_point(const char* name) const {
+    if (config_.compaction_sync_hook) config_.compaction_sync_hook(name);
+  }
 
   mutable std::mutex mutex_;
   QorStoreConfig config_;
   std::shared_ptr<const opt::TransformRegistry> registry_;
   std::string writer_path_;
   int fd_ = -1;
-  std::unordered_map<Key, map::QoR, KeyHash> index_;
+  CuckooIndex index_;        ///< log-resident records (disjoint from segments)
+  std::vector<Segment> segments_;  ///< compacted records, searched in order
+  std::uint64_t epoch_ = 0;
+  std::vector<std::pair<std::uint64_t, Listener>> listeners_;
+  std::uint64_t next_listener_token_ = 1;
   mutable QorStoreStats stats_;  ///< lookups/hits tick under the mutex
 };
 

@@ -122,6 +122,7 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
     WorkerSnapshot snap;
     snap.name = state.name;
     if (qualify(state, w.sock, config_.request_timeout_ms)) {
+      send_store_subscribe_raw(w.sock, state.name, config_.request_timeout_ms);
       state.conn = std::make_unique<FrameConn>(std::move(w.sock));
       state.alive = true;
       snap.alive = true;
@@ -140,9 +141,12 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
   if (!config_.admin_addr.empty()) {
     admin_ = std::make_unique<AdminServer>(
         Address::parse(config_.admin_addr), [this](const std::string& cmd) {
-          // `metrics` needs the loop thread (it broadcasts a scrape), so
-          // it cannot share the const read-only admin_text path.
-          return cmd == "metrics" ? fleet_metrics_text() : admin_text(cmd);
+          // `metrics` needs the loop thread (it broadcasts a scrape) and
+          // `compact` mutates the store, so neither shares the const
+          // read-only admin_text path.
+          if (cmd == "metrics") return fleet_metrics_text();
+          if (cmd == "compact") return compact_store_text();
+          return admin_text(cmd);
         });
   }
   loop_thread_ = std::thread([this] { loop(); });
@@ -351,6 +355,7 @@ bool EvalCoordinator::admit_worker(Worker worker) {
           }
           return;
         }
+        send_store_subscribe_raw(worker.sock, workers_[w].name, timeout);
         activate_worker(w, std::move(worker.sock));
         admitted = true;
       },
@@ -579,13 +584,18 @@ void EvalCoordinator::load_registry_on_loop(
     throw ServiceError("no worker accepted registry " +
                        opt::registry_fingerprint_hex(fp));
   }
-  std::lock_guard lock(mu_);
-  registry_ = std::move(registry);
-  registry_blob_ = std::move(encoded);
-  // Directory-rooted stores follow the alphabet (paper labels in the root,
-  // others in reg-<fp16>/); an explicitly attached store stays put and the
-  // evaluate-time guard turns any mismatch into a typed error.
-  open_store_for_registry_locked();
+  {
+    std::lock_guard lock(mu_);
+    registry_ = std::move(registry);
+    registry_blob_ = std::move(encoded);
+    // Directory-rooted stores follow the alphabet (paper labels in the
+    // root, others in reg-<fp16>/); an explicitly attached store stays put
+    // and the evaluate-time guard turns any mismatch into a typed error.
+    open_store_for_registry_locked();
+  }
+  // Already on the loop thread here (load_registry runs via run_command):
+  // re-point every worker's label stream at the new alphabet's store.
+  broadcast_store_subscribe();
 }
 
 void EvalCoordinator::shutdown_workers() {
@@ -614,24 +624,35 @@ void EvalCoordinator::shutdown_workers() {
 }
 
 void EvalCoordinator::attach_store(std::shared_ptr<core::QorStore> store) {
-  std::lock_guard lock(mu_);
-  if (store && store->registry_fingerprint() != registry_->fingerprint()) {
-    // Store records are (design fp, packed steps) — under a different
-    // alphabet the same bytes mean different flows. Loud and typed.
-    throw opt::RegistryError(
-        "attach_store: QorStore registry fingerprint " +
-        opt::registry_fingerprint_hex(store->registry_fingerprint()) +
-        " does not match the fleet's " +
-        opt::registry_fingerprint_hex(registry_->fingerprint()));
+  {
+    std::lock_guard lock(mu_);
+    if (store && store->registry_fingerprint() != registry_->fingerprint()) {
+      // Store records are (design fp, packed steps) — under a different
+      // alphabet the same bytes mean different flows. Loud and typed.
+      throw opt::RegistryError(
+          "attach_store: QorStore registry fingerprint " +
+          opt::registry_fingerprint_hex(store->registry_fingerprint()) +
+          " does not match the fleet's " +
+          opt::registry_fingerprint_hex(registry_->fingerprint()));
+    }
+    store_root_.clear();  // explicit store wins over directory mode
+    store_ = std::move(store);
   }
-  store_root_.clear();  // explicit store wins over directory mode
-  store_ = std::move(store);
+  // Workers start streaming their locally-produced labels into the new
+  // store. There is no unsubscribe frame: after a detach (null store) the
+  // pushes keep arriving and handle_frame drops them as stale.
+  run_command([this] { broadcast_store_subscribe(); },
+              /*requires_idle=*/false);
 }
 
 void EvalCoordinator::attach_store_dir(std::string root) {
-  std::lock_guard lock(mu_);
-  store_root_ = std::move(root);
-  open_store_for_registry_locked();
+  {
+    std::lock_guard lock(mu_);
+    store_root_ = std::move(root);
+    open_store_for_registry_locked();
+  }
+  run_command([this] { broadcast_store_subscribe(); },
+              /*requires_idle=*/false);
 }
 
 void EvalCoordinator::open_store_for_registry_locked() {
@@ -644,6 +665,53 @@ void EvalCoordinator::open_store_for_registry_locked() {
                              .substr(0, 16);
   config.registry = registry_;
   store_ = std::make_shared<core::QorStore>(std::move(config));
+}
+
+void EvalCoordinator::send_store_subscribe_raw(Socket& sock,
+                                               const std::string& name,
+                                               int timeout_ms) {
+  std::shared_ptr<core::QorStore> store;
+  {
+    std::lock_guard lock(mu_);
+    store = store_;
+  }
+  if (!store) return;  // nothing to stream into; attach re-subscribes later
+  StoreSubscribeMsg sub;
+  sub.registry = store->registry_fingerprint();
+  try {
+    send_frame(sock, MsgType::kStoreSubscribe, encode_store_subscribe(sub),
+               timeout_ms);
+    std::lock_guard lock(mu_);
+    ++stats_.store_subscribes;
+  } catch (const std::exception& e) {
+    util::log_warn("coordinator: worker ", name,
+                   " store subscribe failed: ", e.what());
+  }
+}
+
+void EvalCoordinator::broadcast_store_subscribe() {
+  std::shared_ptr<core::QorStore> store;
+  {
+    std::lock_guard lock(mu_);
+    store = store_;
+  }
+  if (!store) return;
+  StoreSubscribeMsg sub;
+  sub.registry = store->registry_fingerprint();
+  const std::vector<std::uint8_t> payload = encode_store_subscribe(sub);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& worker = workers_[w];
+    if (!worker.alive) continue;
+    if (worker.conn->enqueue(MsgType::kStoreSubscribe, payload) ==
+        FrameConn::Io::kError) {
+      lose_worker(w, "send failed");
+      continue;
+    }
+    poller_.mod(worker.conn->fd(), /*want_read=*/true,
+                worker.conn->want_write(), w);
+    std::lock_guard lock(mu_);
+    ++stats_.store_subscribes;
+  }
 }
 
 // ----------------------------------------------------------------- getters --
@@ -725,6 +793,35 @@ std::string EvalCoordinator::admin_text(const std::string& command) const {
     os << "workers_readmitted " << s.workers_readmitted << '\n';
     os << "store_hits " << s.store_hits << '\n';
     os << "store_appends " << s.store_appends << '\n';
+    os << "store_ingests " << s.store_ingests << '\n';
+    os << "store_subscribes " << s.store_subscribes << '\n';
+    return os.str();
+  }
+  if (command == "store") {
+    std::shared_ptr<core::QorStore> store;
+    {
+      std::lock_guard lock(mu_);
+      store = store_;
+    }
+    if (!store) return "no store attached";
+    const core::QorStoreStats st = store->stats();
+    const core::CuckooIndexStats ix = store->index_stats();
+    os << "registry "
+       << opt::registry_fingerprint_hex(store->registry_fingerprint()) << '\n';
+    os << "records " << store->size() << '\n';
+    os << "epoch " << store->epoch() << '\n';
+    os << "segments_loaded " << st.segments_loaded << '\n';
+    os << "segment_records_loaded " << st.segment_records_loaded << '\n';
+    os << "logs_loaded " << st.files_loaded << '\n';
+    os << "log_records_loaded " << st.records_loaded << '\n';
+    os << "log_truncations " << st.log_truncations << '\n';
+    os << "appends " << st.appends << '\n';
+    os << "ingests " << st.ingests << '\n';
+    os << "compactions " << st.compactions << '\n';
+    os << "index_buckets " << ix.buckets << '\n';
+    os << "index_stash_entries " << ix.stash_entries << '\n';
+    os << "index_rehashes " << ix.rehashes << '\n';
+    os << "index_arena_bytes " << ix.arena_bytes << '\n';
     return os.str();
   }
   if (command == "workers") {
@@ -742,9 +839,28 @@ std::string EvalCoordinator::admin_text(const std::string& command) const {
     return os.str();
   }
   if (command == "help") {
-    return "commands: stats workers metrics help quit";
+    return "commands: stats workers store compact metrics help quit";
   }
   return "err unknown command '" + command + "' (try help)";
+}
+
+std::string EvalCoordinator::compact_store_text() {
+  std::shared_ptr<core::QorStore> store;
+  {
+    std::lock_guard lock(mu_);
+    store = store_;
+  }
+  if (!store) return "no store attached";
+  try {
+    const core::QorStore::CompactionResult r = store->compact();
+    if (!r.performed) return "skipped (lock busy or store empty)";
+    std::ostringstream os;
+    os << "compacted epoch=" << r.epoch << " records=" << r.records
+       << " logs_folded=" << r.logs_folded;
+    return os.str();
+  } catch (const std::exception& e) {
+    return std::string("err ") + e.what();
+  }
 }
 
 // --------------------------------------------------------------- event loop --
@@ -1145,6 +1261,36 @@ void EvalCoordinator::handle_frame(std::size_t w, Frame& frame) {
       });
       return;
     }
+    case MsgType::kStoreAppend: {
+      // A sibling label streamed by a subscribed worker: adopt it into the
+      // attached store via ingest() (persisted + indexed but never
+      // re-announced, so coordinator⇄worker rings cannot echo records).
+      StoreAppendMsg msg;
+      try {
+        msg = decode_store_append(frame.payload);
+      } catch (const std::exception&) {
+        lose_worker(w, "undecodable store append");
+        return;
+      }
+      std::shared_ptr<core::QorStore> store;
+      {
+        std::lock_guard lock(mu_);
+        store = store_;
+      }
+      // A push racing a detach or an alphabet switch is stale, not
+      // hostile: drop it, keep the worker.
+      if (!store || store->registry_fingerprint() != msg.registry) return;
+      try {
+        const bool fresh =
+            store->ingest(msg.design, core::StepsView(msg.steps), msg.qor);
+        std::lock_guard lock(mu_);
+        if (fresh) ++stats_.store_ingests;
+      } catch (const std::exception& e) {
+        util::log_warn("coordinator: sibling label from ", worker.name,
+                       " not ingested: ", e.what());
+      }
+      return;
+    }
     case MsgType::kPong:
       return;  // stray liveness echo; harmless
     default:
@@ -1362,6 +1508,7 @@ void EvalCoordinator::try_reconnects(std::int64_t now) {
                                std::clamp(config_.reconnect_ms, 100, 2000));
       const int timeout = std::min(config_.request_timeout_ms, 5000);
       if (qualify(worker, sock, timeout)) {
+        send_store_subscribe_raw(sock, worker.name, timeout);
         activate_worker(w, std::move(sock));
       }
     } catch (const std::exception&) {

@@ -125,6 +125,8 @@ struct CoordinatorStats {
   std::size_t flows_requeued = 0;   ///< flows a loss did send back
   std::size_t store_hits = 0;       ///< flows answered from the QorStore
   std::size_t store_appends = 0;    ///< fresh labels persisted to the store
+  std::size_t store_ingests = 0;    ///< sibling labels adopted (StoreAppend)
+  std::size_t store_subscribes = 0; ///< StoreSubscribe frames sent to workers
   /// Completed-shard round-trip latencies in ms, most recent last (bounded
   /// — older samples roll off). bench_service reports the distribution.
   std::vector<double> shard_ms;
@@ -247,9 +249,13 @@ public:
   CoordinatorStats stats() const;
   /// Live per-worker view (inflight, latency, losses) — valid mid-batch.
   std::vector<WorkerSnapshot> worker_snapshots() const;
-  /// Render one admin command ("stats", "workers", "help") as the
+  /// Render one admin command ("stats", "workers", "store", "help") as the
   /// line-oriented reply text; what the admin socket serves.
   std::string admin_text(const std::string& command) const;
+  /// The `compact` admin command: run QorStore::compact() on the attached
+  /// store and report the outcome. Callable from any thread; "no store
+  /// attached" / "busy" are answers, not errors.
+  std::string compact_store_text();
   /// The fleet-wide `metrics` admin command: broadcast kGetMetrics to every
   /// live worker, wait (bounded) for their Prometheus pages, and merge them
   /// with the coordinator's own scrape. Workers that die or stall mid-
@@ -435,6 +441,18 @@ private:
 
   std::size_t num_alive_loop() const;
   void open_store_for_registry_locked();
+  /// Fire-and-forget kStoreSubscribe on a freshly qualified socket when a
+  /// store is attached: the worker streams every label it produces locally
+  /// back as kStoreAppend frames (ingested here, never re-announced, so
+  /// subscription rings cannot echo). Blocking send, no ack; a failure
+  /// only logs — streaming is an optimisation, not part of the handshake
+  /// contract. Used right after every successful qualify().
+  void send_store_subscribe_raw(Socket& sock, const std::string& name,
+                                int timeout_ms);
+  /// Loop thread: (re-)subscribe every live worker to the current store's
+  /// alphabet. Called when attach_store/attach_store_dir/load_registry
+  /// change what the coordinator persists to.
+  void broadcast_store_subscribe();
 
   /// Guards: identity (design/registry/store), stats_, snapshots_,
   /// submissions_/commands_, batch finished/failed flags, observers,

@@ -398,4 +398,55 @@ MetricsTextMsg decode_metrics_text(std::span<const std::uint8_t> payload) {
   return m;
 }
 
+std::vector<std::uint8_t> encode_store_subscribe(const StoreSubscribeMsg& m) {
+  Writer w;
+  w.u64(m.registry[0]);
+  w.u64(m.registry[1]);
+  return w.take();
+}
+
+StoreSubscribeMsg decode_store_subscribe(
+    std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  StoreSubscribeMsg m;
+  m.registry[0] = r.u64();
+  m.registry[1] = r.u64();
+  r.expect_end();
+  return m;
+}
+
+std::vector<std::uint8_t> encode_store_append(const StoreAppendMsg& m) {
+  if (m.steps.size() > 0xFFFF) throw WireError("flow too long");
+  Writer w;
+  w.u64(m.registry[0]);
+  w.u64(m.registry[1]);
+  w.u64(m.design[0]);
+  w.u64(m.design[1]);
+  w.u16(static_cast<std::uint16_t>(m.steps.size()));
+  for (const opt::StepId s : m.steps) w.u8(s);
+  w.f64(m.qor.area_um2);
+  w.f64(m.qor.delay_ps);
+  w.u64(m.qor.num_cells);
+  w.u64(m.qor.num_inverters);
+  return w.take();
+}
+
+StoreAppendMsg decode_store_append(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  StoreAppendMsg m;
+  m.registry[0] = r.u64();
+  m.registry[1] = r.u64();
+  m.design[0] = r.u64();
+  m.design[1] = r.u64();
+  const std::uint16_t len = r.u16();
+  const auto raw = r.bytes(len);
+  m.steps.assign(raw.begin(), raw.end());
+  m.qor.area_um2 = r.f64();
+  m.qor.delay_ps = r.f64();
+  m.qor.num_cells = static_cast<std::size_t>(r.u64());
+  m.qor.num_inverters = static_cast<std::size_t>(r.u64());
+  r.expect_end();
+  return m;
+}
+
 }  // namespace flowgen::service

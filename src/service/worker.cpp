@@ -43,6 +43,25 @@ ServeMetrics& serve_metrics() {
 }  // namespace
 
 bool serve_frames(Socket& sock, const EvalService& service) {
+  // A store subscription pushes kStoreAppend frames from whatever thread
+  // appends to the store (the evaluator pool, during on_eval), racing this
+  // thread's answer frames — so every send on this socket goes through one
+  // mutex. Uncontended when no subscription exists.
+  auto send_mu = std::make_shared<std::mutex>();
+  std::function<void()> unsubscribe;
+  struct Unsubscribe {
+    std::function<void()>* fn;
+    ~Unsubscribe() {
+      // On every exit path: after this, the push closure (which captures
+      // the socket) is guaranteed not running and never called again.
+      if (*fn) (*fn)();
+    }
+  } unsubscribe_guard{&unsubscribe};
+  const auto send = [&sock, &send_mu](MsgType type,
+                                      std::span<const std::uint8_t> payload) {
+    std::lock_guard lock(*send_mu);
+    send_frame(sock, type, payload);
+  };
   while (true) {
     std::optional<Frame> frame;
     try {
@@ -58,12 +77,12 @@ bool serve_frames(Socket& sock, const EvalService& service) {
         case MsgType::kHello: {
           const HelloMsg hello = decode_hello(frame->payload);
           if (hello.version != kProtocolVersion) {
-            send_frame(sock, MsgType::kError,
+            send(MsgType::kError,
                        encode_error({0, "unsupported protocol version " +
                                             std::to_string(hello.version)}));
             break;
           }
-          send_frame(sock, MsgType::kHelloAck,
+          send(MsgType::kHelloAck,
                      encode_hello_ack(service.on_hello(hello)));
           break;
         }
@@ -73,7 +92,7 @@ bool serve_frames(Socket& sock, const EvalService& service) {
           aig::Aig design = aig::decode_binary(frame->payload);
           const aig::Fingerprint fp =
               service.on_load_design(std::move(design), frame->payload);
-          send_frame(sock, MsgType::kLoadDesignAck,
+          send(MsgType::kLoadDesignAck,
                      encode_load_design_ack(fp));
           break;
         }
@@ -84,7 +103,7 @@ bool serve_frames(Socket& sock, const EvalService& service) {
               opt::TransformRegistry::decode(frame->payload);
           const opt::RegistryFingerprint fp =
               service.on_load_registry(std::move(registry), frame->payload);
-          send_frame(sock, MsgType::kLoadRegistryAck,
+          send(MsgType::kLoadRegistryAck,
                      encode_load_registry_ack(fp));
           break;
         }
@@ -105,7 +124,7 @@ bool serve_frames(Socket& sock, const EvalService& service) {
             std::uint32_t count = 0;
             std::uint32_t crc = 0;
             const auto emit = [&](std::uint32_t index, const map::QoR& q) {
-              send_frame(sock, MsgType::kEvalResult,
+              send(MsgType::kEvalResult,
                          encode_eval_result({req.request_id, index, q}));
               const auto record = qor_record_bytes(q);
               crc = util::crc32(record, crc);
@@ -128,11 +147,11 @@ bool serve_frames(Socket& sock, const EvalService& service) {
               // Evaluator failure: already-emitted results stand (they are
               // correct and the client applied them); the error closes the
               // rest of the stream.
-              send_frame(sock, MsgType::kError,
+              send(MsgType::kError,
                          encode_error({req.request_id, e.what()}));
               break;
             }
-            send_frame(sock, MsgType::kShardDone,
+            send(MsgType::kShardDone,
                        encode_shard_done({req.request_id, count, crc}));
             break;
           }
@@ -142,28 +161,56 @@ bool serve_frames(Socket& sock, const EvalService& service) {
             resp.results =
                 service.on_eval(req.design, req.registry, std::move(flows));
           } catch (const std::exception& e) {
-            send_frame(sock, MsgType::kError,
+            send(MsgType::kError,
                        encode_error({req.request_id, e.what()}));
             break;
           }
-          send_frame(sock, MsgType::kEvalResponse,
+          send(MsgType::kEvalResponse,
                      encode_eval_response(resp));
           break;
         }
         case MsgType::kPing:
-          send_frame(sock, MsgType::kPong, frame->payload);
+          send(MsgType::kPong, frame->payload);
           break;
         case MsgType::kGetMetrics: {
           serve_metrics().scrapes.inc();
-          send_frame(sock, MsgType::kMetricsText,
+          send(MsgType::kMetricsText,
                      encode_metrics_text({decode_u64(frame->payload),
                                           telemetry::render_prometheus()}));
+          break;
+        }
+        case MsgType::kStoreSubscribe: {
+          // No ack and never an Error: a subscriber treats silence as "no
+          // live stream" and keeps working off its own store. A repeat
+          // subscribe (the client switched alphabets) replaces the old one.
+          const StoreSubscribeMsg sub = decode_store_subscribe(frame->payload);
+          if (service.on_store_subscribe) {
+            if (unsubscribe) {
+              unsubscribe();
+              unsubscribe = nullptr;
+            }
+            unsubscribe = service.on_store_subscribe(
+                sub.registry,
+                [send_mu, &sock](std::vector<std::uint8_t> frame_bytes) {
+                  std::lock_guard lock(*send_mu);
+                  try {
+                    // Bounded wait: the push runs under the store's mutex,
+                    // so a subscriber that stopped reading must cost a
+                    // cancelled stream, not wedged appends.
+                    sock.send_all(frame_bytes.data(), frame_bytes.size(),
+                                  5000);
+                  } catch (const std::exception&) {
+                    return false;  // connection gone — cancel the stream
+                  }
+                  return true;
+                });
+          }
           break;
         }
         case MsgType::kShutdown:
           return true;
         default:
-          send_frame(sock, MsgType::kError,
+          send(MsgType::kError,
                      encode_error({0, "unexpected message type"}));
           break;
       }
@@ -174,7 +221,7 @@ bool serve_frames(Socket& sock, const EvalService& service) {
       // Bad payloads / rejected hellos / rejected designs: report and keep
       // serving. If even the error report fails the connection is gone.
       try {
-        send_frame(sock, MsgType::kError, encode_error({0, e.what()}));
+        send(MsgType::kError, encode_error({0, e.what()}));
       } catch (const std::exception&) {
         return false;
       }
@@ -214,6 +261,12 @@ public:
   }
 
   ~ServeLoop() {
+    // Cancel surviving subscriptions first (run() can exit with live
+    // connections on a hard accept failure): their listeners capture
+    // `this` and must never fire into a destroyed loop.
+    for (auto& [id, conn] : conns_) {
+      if (conn->store_unsubscribe) conn->store_unsubscribe();
+    }
     {
       std::lock_guard lock(mu_);
       executors_stop_ = true;
@@ -255,6 +308,8 @@ private:
     /// late results go nowhere instead of to a recycled id.
     std::shared_ptr<std::atomic<bool>> gone =
         std::make_shared<std::atomic<bool>>(false);
+    /// Cancels this connection's store subscription (null when none).
+    std::function<void()> store_unsubscribe;
 
     Conn(std::uint64_t id_, Socket sock, std::shared_ptr<EvalService> svc)
         : id(id_), frame_conn(std::move(sock)), service(std::move(svc)) {}
@@ -372,6 +427,31 @@ private:
               encode_metrics_text({decode_u64(frame.payload),
                                    telemetry::render_prometheus()}));
           break;
+        case MsgType::kStoreSubscribe: {
+          // Runs on the loop thread; pushes arrive later from appending
+          // threads and travel through the completion queue like streamed
+          // results. No ack, never an Error (see serve_frames).
+          const StoreSubscribeMsg sub = decode_store_subscribe(frame.payload);
+          if (service.on_store_subscribe) {
+            if (conn.store_unsubscribe) {
+              conn.store_unsubscribe();
+              conn.store_unsubscribe = nullptr;
+            }
+            conn.store_unsubscribe = service.on_store_subscribe(
+                sub.registry,
+                [this, gone = conn.gone, conn_id = conn.id](
+                    std::vector<std::uint8_t> frame_bytes) {
+                  if (gone->load(std::memory_order_acquire)) return false;
+                  if (stats_) {
+                    stats_->store_appends_streamed.fetch_add(
+                        1, std::memory_order_relaxed);
+                  }
+                  post(conn_id, std::move(frame_bytes));
+                  return true;
+                });
+          }
+          break;
+        }
         case MsgType::kShutdown:
           util::log_info("evald: shutdown requested");
           stop_accepting_ = true;
@@ -519,6 +599,10 @@ private:
     if (it == conns_.end()) return;
     if (why != nullptr) util::log_info("evald: dropping connection: ", why);
     it->second->gone->store(true, std::memory_order_release);
+    // Synchronous cancel (mu_ is not held here — the lock order is store
+    // mutex -> mu_, and unsubscribe takes the store mutex): after this no
+    // listener will post() for the dying id.
+    if (it->second->store_unsubscribe) it->second->store_unsubscribe();
     poller_.del(it->second->frame_conn.fd());
     conns_.erase(it);
     if (stats_) {
@@ -823,6 +907,37 @@ EvalService EvalWorker::make_service() {
           base += n;
         }
       };
+  service.on_store_subscribe =
+      [this](const opt::RegistryFingerprint& fp,
+             std::function<bool(std::vector<std::uint8_t>)> push)
+      -> std::function<void()> {
+    std::shared_ptr<core::QorStore> store;
+    try {
+      std::lock_guard lock(mutex_);
+      if (const auto registry = find_registry_locked(fp)) {
+        store = store_locked(registry);
+      }
+    } catch (const std::exception& e) {
+      util::log_warn("evald worker: store subscription refused: ", e.what());
+    }
+    // Unknown alphabet, no store configured, or an unusable store
+    // directory: the subscription is a silent no-op, never an error — the
+    // subscriber just keeps working without a live stream.
+    if (!store) return [] {};
+    const std::uint64_t token = store->subscribe(
+        [fp, push = std::move(push)](const aig::Fingerprint& design,
+                                     core::StepsView steps,
+                                     const map::QoR& qor) {
+          StoreAppendMsg msg;
+          msg.registry = fp;
+          msg.design = design;
+          msg.steps.assign(steps.begin(), steps.end());
+          msg.qor = qor;
+          return push(
+              encode_frame(MsgType::kStoreAppend, encode_store_append(msg)));
+        });
+    return [store, token] { store->unsubscribe(token); };
+  };
   return service;
 }
 

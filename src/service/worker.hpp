@@ -86,6 +86,19 @@ struct EvalService {
       std::vector<core::Flow> flows,
       const std::function<void(std::uint32_t, const map::QoR&)>& emit)>
       on_eval_stream;
+  /// kStoreSubscribe: stream the QoR store's appends for `registry` to this
+  /// connection. `push` takes one fully encoded kStoreAppend frame and
+  /// returns false when the connection is gone (which cancels the
+  /// subscription); it may be called from any thread that appends to the
+  /// store. Return an unsubscribe closure — never null; return a no-op when
+  /// there is no store for that alphabet (subscribing is always safe to
+  /// attempt and never answered with an Error frame). Optional — unset
+  /// means this service has no store to stream from and the request is
+  /// silently ignored.
+  std::function<std::function<void()>(
+      const opt::RegistryFingerprint& registry,
+      std::function<bool(std::vector<std::uint8_t>)> push)>
+      on_store_subscribe;
 };
 
 /// Live counters of one serve loop, readable from any thread while the
@@ -98,6 +111,7 @@ struct ServeStats {
   std::atomic<std::size_t> results_streamed{0}; ///< EvalResult frames queued
   std::atomic<std::size_t> responses{0};        ///< whole-shard responses
   std::atomic<std::size_t> errors{0};           ///< Error frames queued
+  std::atomic<std::size_t> store_appends_streamed{0};  ///< kStoreAppend frames pushed
 };
 
 /// Knobs of the event-driven accept/serve loop.
@@ -197,6 +211,16 @@ public:
   const core::SynthesisEvaluator* current_evaluator() const {
     std::lock_guard lock(mutex_);
     return designs_.empty() ? nullptr : designs_.front().evaluator.get();
+  }
+  /// Label stores currently open — one per alphabet this worker has
+  /// labeled under; empty when --store is unconfigured. The admin
+  /// "store"/"compact" commands report and compact through this.
+  std::vector<std::shared_ptr<core::QorStore>> open_stores() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::shared_ptr<core::QorStore>> out;
+    out.reserve(stores_.size());
+    for (const auto& [fp, store] : stores_) out.push_back(store);
+    return out;
   }
 
 private:

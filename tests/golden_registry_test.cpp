@@ -125,6 +125,104 @@ TEST(GoldenRegistryTest, PaperRegistryStoreWritesByteIdenticalFiles) {
             read_file(golden_dir() / "v2-store" / "golden.qorlog"));
 }
 
+TEST(GoldenRegistryTest, CompactingTheGoldenLogIsByteIdentical) {
+  // Compaction of the golden v1 log must reproduce the committed segment
+  // and manifest byte for byte: entry sort order, header layout, watermark
+  // encoding and the whole-file CRC are all pinned. The fixture was
+  // produced once by the first compaction-capable build and is never
+  // regenerated.
+  const fs::path dir = fresh_temp_dir("compact");
+  fs::copy_file(golden_dir() / "v2-store" / "golden.qorlog",
+                dir / "golden.qorlog");
+  core::QorStoreConfig config;
+  config.dir = dir.string();
+  config.writer_name = "compactor";  // same stem the fixture was built with
+  core::QorStore store(std::move(config));
+  const auto result = store.compact();
+  EXPECT_TRUE(result.performed);
+  EXPECT_EQ(result.epoch, 1u);
+  EXPECT_EQ(result.records, golden_keys().size());
+
+  const fs::path fixture = golden_dir() / "compacted-store";
+  EXPECT_EQ(read_file(dir / "seg-0000000000000001.qorseg"),
+            read_file(fixture / "seg-0000000000000001.qorseg"));
+  EXPECT_EQ(read_file(dir / "MANIFEST"), read_file(fixture / "MANIFEST"));
+}
+
+TEST(GoldenRegistryTest, CommittedSegmentLoadsAndYieldsIdenticalQor) {
+  // A store directory holding only the committed segment + manifest (the
+  // logs the manifest names are long gone — normal after log resets) must
+  // load entirely from the segment and serve every golden label bit for
+  // bit against fresh synthesis.
+  const fs::path dir = fresh_temp_dir("segload");
+  fs::copy_file(golden_dir() / "compacted-store" / "MANIFEST",
+                dir / "MANIFEST");
+  fs::copy_file(golden_dir() / "compacted-store" /
+                    "seg-0000000000000001.qorseg",
+                dir / "seg-0000000000000001.qorseg");
+  core::QorStoreConfig config;
+  config.dir = dir.string();
+  config.writer_name = "reader";
+  core::QorStore store(std::move(config));
+  EXPECT_EQ(store.size(), golden_keys().size());
+  EXPECT_EQ(store.epoch(), 1u);
+  EXPECT_EQ(store.stats().segments_loaded, 1u);
+  EXPECT_EQ(store.stats().segment_records_loaded, golden_keys().size());
+
+  const aig::Aig design = designs::make_design("alu:4");
+  const aig::Fingerprint fp = design.fingerprint();
+  core::SynthesisEvaluator evaluator(design);
+  for (const std::string& key : golden_keys()) {
+    const core::Flow flow = core::Flow::from_key(key);
+    const auto stored = store.lookup(fp, core::StepsView(flow.steps));
+    ASSERT_TRUE(stored.has_value()) << key;
+    EXPECT_EQ(*stored, evaluator.evaluate(flow)) << key;
+  }
+}
+
+TEST(GoldenRegistryTest, CompactingTheV2ExtendedLogIsByteIdentical) {
+  // Same pin for v2-header stores: the committed ext.qorlog (extended
+  // alphabet, id 6 = restructure max_divisors=12) must compact into the
+  // committed segment and manifest exactly.
+  std::vector<opt::TransformSpec> specs =
+      opt::TransformRegistry::paper()->specs();
+  opt::TransformSpec extra;
+  extra.base = opt::TransformKind::kRestructure;
+  extra.max_divisors = 12;
+  specs.push_back(extra);
+  const auto registry =
+      std::make_shared<const opt::TransformRegistry>(std::move(specs));
+
+  const fs::path fixture = golden_dir() / "compacted-store-v2";
+  const fs::path dir = fresh_temp_dir("compact_v2");
+  fs::copy_file(fixture / "ext.qorlog", dir / "ext.qorlog");
+  core::QorStoreConfig config;
+  config.dir = dir.string();
+  config.writer_name = "compactor";
+  config.registry = registry;
+  core::QorStore store(std::move(config));
+  EXPECT_EQ(store.size(), 3u);
+  const auto result = store.compact();
+  EXPECT_TRUE(result.performed);
+  EXPECT_EQ(result.records, 3u);
+
+  EXPECT_EQ(read_file(dir / "seg-0000000000000001.qorseg"),
+            read_file(fixture / "seg-0000000000000001.qorseg"));
+  EXPECT_EQ(read_file(dir / "MANIFEST"), read_file(fixture / "MANIFEST"));
+
+  // The records round-trip through the segment under the same registry.
+  core::QorStoreConfig reload;
+  reload.dir = dir.string();
+  reload.writer_name = "reader";
+  reload.registry = registry;
+  core::QorStore reloaded(std::move(reload));
+  EXPECT_EQ(reloaded.size(), 3u);
+  const core::StepsKey steps = {0, 6, 3};
+  const auto hit = reloaded.lookup({42, 43}, core::StepsView(steps));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (map::QoR{12.5, 90.0, 7, 1}));
+}
+
 TEST(GoldenRegistryTest, RegistryFingerprintMismatchIsATypedError) {
   // A golden (v1 = paper) log in a directory opened under a different
   // alphabet must be refused loudly: the same step bytes would name

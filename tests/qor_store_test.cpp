@@ -6,7 +6,9 @@
 
 #include "core/qor_store.hpp"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -45,7 +47,7 @@ TEST(QorStoreTest, AppendReloadRoundTripsExactly) {
   const map::QoR qor_b{0.0, -1.5, 0, 0};
   const map::QoR qor_c{1e-300, 1e300, 1000000, 3};
   {
-    QorStore store({dir, "writer", false, nullptr});
+    QorStore store({dir, "writer", false, nullptr, {}});
     EXPECT_TRUE(store.append(design_a, steps({0, 3, 5}), qor_a));
     EXPECT_TRUE(store.append(design_a, steps({}), qor_b));  // empty flow
     EXPECT_TRUE(store.append(design_b, steps({0, 3, 5}), qor_c));
@@ -53,7 +55,7 @@ TEST(QorStoreTest, AppendReloadRoundTripsExactly) {
     EXPECT_FALSE(store.append(design_a, steps({0, 3, 5}), qor_a));
     EXPECT_EQ(store.size(), 3u);
   }
-  QorStore reloaded({dir, "writer", false, nullptr});
+  QorStore reloaded({dir, "writer", false, nullptr, {}});
   EXPECT_EQ(reloaded.size(), 3u);
   EXPECT_EQ(reloaded.stats().records_loaded, 3u);
   // Bit patterns survive the disk trip: field-exact equality.
@@ -71,7 +73,7 @@ TEST(QorStoreTest, TornFinalRecordIsIgnoredAndHealed) {
   const std::string dir = fresh_dir("torn");
   const aig::Fingerprint design = {5, 6};
   {
-    QorStore store({dir, "writer", false, nullptr});
+    QorStore store({dir, "writer", false, nullptr, {}});
     store.append(design, steps({1}), map::QoR{1.0, 2.0, 3, 4});
     store.append(design, steps({2}), map::QoR{5.0, 6.0, 7, 8});
   }
@@ -81,7 +83,7 @@ TEST(QorStoreTest, TornFinalRecordIsIgnoredAndHealed) {
   fs::resize_file(log, full_size - 20);
 
   {
-    QorStore recovered({dir, "writer", false, nullptr});
+    QorStore recovered({dir, "writer", false, nullptr, {}});
     EXPECT_EQ(recovered.size(), 1u);
     EXPECT_TRUE(recovered.lookup(design, steps({1})).has_value());
     EXPECT_FALSE(recovered.lookup(design, steps({2})).has_value());
@@ -89,17 +91,61 @@ TEST(QorStoreTest, TornFinalRecordIsIgnoredAndHealed) {
     // The writer truncated the tear away; appending resumes cleanly.
     EXPECT_TRUE(recovered.append(design, steps({3}), map::QoR{9.0, 1.0, 1, 1}));
   }
-  QorStore healed({dir, "writer", false, nullptr});
+  QorStore healed({dir, "writer", false, nullptr, {}});
   EXPECT_EQ(healed.size(), 2u);
   EXPECT_EQ(healed.stats().tail_bytes_dropped, 0u);
   EXPECT_TRUE(healed.lookup(design, steps({3})).has_value());
+}
+
+TEST(QorStoreTest, CleanAttachNeverRewritesTheLog) {
+  // Reattaching to a log whose every byte is valid must be a pure read:
+  // no truncate, no write, mtime untouched. (The old writer truncated to
+  // the consumed prefix on every attach — an fsync-able write per open and
+  // a data hazard if another writer shared the stem.)
+  const std::string dir = fresh_dir("cleanattach");
+  const aig::Fingerprint design = {21, 22};
+  {
+    QorStore store({dir, "writer", false, nullptr, {}});
+    store.append(design, steps({0, 1}), map::QoR{1.0, 2.0, 3, 4});
+    store.append(design, steps({2}), map::QoR{5.0, 6.0, 7, 8});
+  }
+  const std::string log = dir + "/writer.qorlog";
+  // Back-date the log so any write (truncate included) is visible.
+  struct timespec old_times[2];
+  old_times[0].tv_sec = old_times[1].tv_sec = 1000000000;  // 2001
+  old_times[0].tv_nsec = old_times[1].tv_nsec = 0;
+  ASSERT_EQ(::utimensat(AT_FDCWD, log.c_str(), old_times, 0), 0);
+  const auto mtime_before = fs::last_write_time(log);
+  const auto size_before = fs::file_size(log);
+  {
+    QorStore reattached({dir, "writer", false, nullptr, {}});
+    EXPECT_EQ(reattached.size(), 2u);
+    EXPECT_EQ(reattached.stats().log_truncations, 0u);
+  }
+  EXPECT_EQ(fs::last_write_time(log), mtime_before);
+  EXPECT_EQ(fs::file_size(log), size_before);
+
+  // Negative control: a garbage tail must still be truncated away exactly
+  // once, which of course touches the file.
+  {
+    std::ofstream out(log, std::ios::binary | std::ios::app);
+    out.write("garbage!", 8);
+  }
+  ASSERT_EQ(::utimensat(AT_FDCWD, log.c_str(), old_times, 0), 0);
+  {
+    QorStore healed({dir, "writer", false, nullptr, {}});
+    EXPECT_EQ(healed.size(), 2u);
+    EXPECT_EQ(healed.stats().log_truncations, 1u);
+    EXPECT_GT(healed.stats().tail_bytes_dropped, 0u);
+  }
+  EXPECT_EQ(fs::file_size(log), size_before);
 }
 
 TEST(QorStoreTest, CrcCorruptionStopsTheScan) {
   const std::string dir = fresh_dir("crc");
   const aig::Fingerprint design = {7, 8};
   {
-    QorStore store({dir, "writer", false, nullptr});
+    QorStore store({dir, "writer", false, nullptr, {}});
     store.append(design, steps({0}), map::QoR{1.0, 1.0, 1, 1});
     store.append(design, steps({1}), map::QoR{2.0, 2.0, 2, 2});
     store.append(design, steps({2}), map::QoR{3.0, 3.0, 3, 3});
@@ -122,7 +168,7 @@ TEST(QorStoreTest, CrcCorruptionStopsTheScan) {
   }
   // Stop-at-first-invalid semantics: record 1 survives, 2 and 3 do not —
   // a boundary cannot be trusted past a failed CRC.
-  QorStore recovered({dir, "reader", false, nullptr});
+  QorStore recovered({dir, "reader", false, nullptr, {}});
   EXPECT_EQ(recovered.size(), 1u);
   EXPECT_GT(recovered.stats().tail_bytes_dropped, 0u);
 }
@@ -131,17 +177,17 @@ TEST(QorStoreTest, TwoWritersShareOneDirectory) {
   const std::string dir = fresh_dir("shared");
   const aig::Fingerprint design = {11, 12};
   {
-    QorStore a({dir, "coord-a", false, nullptr});
+    QorStore a({dir, "coord-a", false, nullptr, {}});
     a.append(design, steps({0, 1}), map::QoR{1.0, 2.0, 3, 4});
   }
   {
     // A second coordinator starts later and sees a's labels immediately…
-    QorStore b({dir, "coord-b", false, nullptr});
+    QorStore b({dir, "coord-b", false, nullptr, {}});
     EXPECT_TRUE(b.lookup(design, steps({0, 1})).has_value());
     b.append(design, steps({2, 3}), map::QoR{5.0, 6.0, 7, 8});
   }
   // …and any future reader merges both logs.
-  QorStore merged({dir, "coord-c", false, nullptr});
+  QorStore merged({dir, "coord-c", false, nullptr, {}});
   EXPECT_EQ(merged.size(), 2u);
   EXPECT_EQ(merged.stats().files_loaded, 2u);
   EXPECT_TRUE(merged.lookup(design, steps({0, 1})).has_value());
@@ -160,14 +206,14 @@ TEST(QorStoreTest, SecondLabelingRunIsServedEntirelyFromStore) {
   {
     SynthesisEvaluator evaluator(designs::make_design("alu:4"));
     evaluator.attach_store(
-        std::make_shared<QorStore>(QorStoreConfig{dir, "run1", false, nullptr}));
+        std::make_shared<QorStore>(QorStoreConfig{dir, "run1", false, nullptr, {}}));
     first_qor = evaluator.evaluate_many(flows);
     EXPECT_EQ(evaluator.evaluations(), flows.size());
   }
   // Fresh process (modelled by a fresh evaluator), same store directory.
   SynthesisEvaluator rerun(designs::make_design("alu:4"));
   rerun.attach_store(
-      std::make_shared<QorStore>(QorStoreConfig{dir, "run2", false, nullptr}));
+      std::make_shared<QorStore>(QorStoreConfig{dir, "run2", false, nullptr, {}}));
   const std::vector<map::QoR> second_qor = rerun.evaluate_many(flows);
   EXPECT_EQ(rerun.evaluations(), 0u) << "labels must come from the store";
   ASSERT_EQ(second_qor.size(), first_qor.size());
@@ -177,14 +223,14 @@ TEST(QorStoreTest, SecondLabelingRunIsServedEntirelyFromStore) {
   // A different design in the same store stays isolated: nothing warms.
   SynthesisEvaluator other(designs::make_design("mont:8"));
   other.attach_store(
-      std::make_shared<QorStore>(QorStoreConfig{dir, "run3", false, nullptr}));
+      std::make_shared<QorStore>(QorStoreConfig{dir, "run3", false, nullptr, {}}));
   other.evaluate(flows[0]);
   EXPECT_EQ(other.evaluations(), 1u);
 }
 
 TEST(QorStoreTest, RejectsUnusableDirectory) {
-  EXPECT_THROW(QorStore({"", "w", false, nullptr}), QorStoreError);
-  EXPECT_THROW(QorStore({"/proc/definitely/not/writable", "w", false, nullptr}),
+  EXPECT_THROW(QorStore({"", "w", false, nullptr, {}}), QorStoreError);
+  EXPECT_THROW(QorStore({"/proc/definitely/not/writable", "w", false, nullptr, {}}),
                QorStoreError);
 }
 

@@ -763,7 +763,7 @@ TEST(ServiceTest, CoordinatorStoreShortCircuitsSecondRun) {
   {
     auto remote = RemoteEvaluator::loopback("alu:4", 2);
     remote->attach_store(std::make_shared<core::QorStore>(
-        core::QorStoreConfig{dir, "coord-a", false, nullptr}));
+        core::QorStoreConfig{dir, "coord-a", false, nullptr, {}}));
     first_qor = remote->evaluate_many(flows);
     EXPECT_EQ(remote->stats().store_appends, flows.size());
   }
@@ -771,7 +771,7 @@ TEST(ServiceTest, CoordinatorStoreShortCircuitsSecondRun) {
   // come from disk — zero requests cross the wire.
   auto remote = RemoteEvaluator::loopback("alu:4", 2);
   remote->attach_store(std::make_shared<core::QorStore>(
-      core::QorStoreConfig{dir, "coord-b", false, nullptr}));
+      core::QorStoreConfig{dir, "coord-b", false, nullptr, {}}));
   expect_bit_identical(remote->evaluate_many(flows), first_qor);
   EXPECT_EQ(remote->stats().store_hits, flows.size());
   EXPECT_EQ(remote->stats().requests_sent, 0u);

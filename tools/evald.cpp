@@ -97,13 +97,48 @@ std::string worker_admin_text(const service::EvalWorker& worker,
        << "results_streamed " << s.results_streamed.load() << '\n'
        << "responses " << s.responses.load() << '\n'
        << "errors " << s.errors.load() << '\n'
+       << "store_appends_streamed " << s.store_appends_streamed.load() << '\n'
        << "designs_loaded " << worker.num_designs() << '\n';
+    return os.str();
+  }
+  if (command == "store") {
+    const auto stores = worker.open_stores();
+    if (stores.empty()) return "no store configured";
+    std::ostringstream os;
+    for (const auto& store : stores) {
+      const core::QorStoreStats st = store->stats();
+      os << "registry "
+         << opt::registry_fingerprint_hex(store->registry_fingerprint())
+         << " records " << store->size() << " epoch " << store->epoch()
+         << " appends " << st.appends << " ingests " << st.ingests
+         << " compactions " << st.compactions << '\n';
+    }
+    return os.str();
+  }
+  if (command == "compact") {
+    const auto stores = worker.open_stores();
+    if (stores.empty()) return "no store configured";
+    std::ostringstream os;
+    for (const auto& store : stores) {
+      os << opt::registry_fingerprint_hex(store->registry_fingerprint());
+      try {
+        const auto r = store->compact();
+        if (r.performed) {
+          os << " compacted epoch=" << r.epoch << " records=" << r.records
+             << " logs_folded=" << r.logs_folded << '\n';
+        } else {
+          os << " skipped (lock busy or store empty)\n";
+        }
+      } catch (const std::exception& e) {
+        os << " err " << e.what() << '\n';
+      }
+    }
     return os.str();
   }
   // Local scrape surface: evalctl reads a single worker here without going
   // through a coordinator; the fleet view is the server's "metrics".
   if (command == "metrics") return telemetry::render_prometheus();
-  if (command == "help") return "commands: stats metrics help quit";
+  if (command == "help") return "commands: stats store compact metrics help quit";
   return "err unknown command '" + command + "' (try help)";
 }
 
