@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "service/loopback.hpp"
 #include "service/remote_evaluator.hpp"
 #include "util/cli.hpp"
+#include "util/failpoint.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -137,6 +139,101 @@ StreamRun stream_leg(const std::string& mode, const std::string& design_name,
   return r;
 }
 
+// Prices failpoints the way bench_evaluator prices telemetry: median batch
+// time through a loopback fleet with no points armed vs an armed-but-idle
+// keyed point on the hottest site (worker.eval.flow with a key no flow
+// matches — the *worst* idle case: the full registry lookup on every flow,
+// not just the relaxed armed-counter load a quiet process pays). Armed
+// before each fleet's forks so the workers carry it, exactly like a chaos
+// run. --overhead-gate PCT fails the bench when the armed-idle cost
+// exceeds PCT; any QoR mismatch fails it regardless.
+int run_failpoint_overhead(const util::Cli& cli, double gate) {
+  const std::string design_name = cli.get("design", "alu16");
+  const unsigned m = static_cast<unsigned>(cli.get_int("m", 2));
+  const std::size_t num_flows =
+      static_cast<std::size_t>(cli.get_int("flows", 1000));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::size_t workers =
+      static_cast<std::size_t>(cli.get_int("overhead-workers", 2));
+  const int reps = std::max(1, static_cast<int>(cli.get_int("overhead-reps", 3)));
+
+  const core::FlowSpace space(m);
+  util::Rng rng(seed);
+  const std::vector<core::Flow> flows = space.sample_unique(num_flows, rng);
+  core::SynthesisEvaluator in_process(designs::make_design(design_name));
+  const std::vector<map::QoR> oracle = in_process.evaluate_many(flows);
+
+  std::printf(
+      "bench_service failpoint overhead: design=%s m=%u flows=%zu "
+      "workers=%zu reps=%d\n",
+      design_name.c_str(), m, num_flows, workers, reps);
+
+  bool identical = true;
+  const auto leg = [&](bool armed) {
+    if (armed) {
+      // 64 hex chars of no flow's steps: armed, never fires.
+      util::failpoint::configure(
+          "worker.eval.flow",
+          "error(never)@key=" + std::string(64, 'f'));
+    }
+    auto remote = service::RemoteEvaluator::loopback(design_name, workers);
+    util::failpoint::clear_all();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<map::QoR> qor = remote->evaluate_many(flows);
+    const double s = seconds_since(t0);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (qor[i] != oracle[i]) {
+        identical = false;
+        std::printf("  MISMATCH at flow %zu (%s)\n", i,
+                    armed ? "armed" : "off");
+        break;
+      }
+    }
+    return s;
+  };
+
+  // One warmup, then alternating off/armed so drift hits both sides.
+  (void)leg(false);
+  std::vector<double> off_s, on_s;
+  for (int i = 0; i < reps; ++i) {
+    off_s.push_back(leg(false));
+    on_s.push_back(leg(true));
+  }
+  std::sort(off_s.begin(), off_s.end());
+  std::sort(on_s.begin(), on_s.end());
+  const double off_med = off_s[off_s.size() / 2];
+  const double on_med = on_s[on_s.size() / 2];
+  const double overhead =
+      off_med > 0 ? (on_med - off_med) / off_med * 100.0 : 0.0;
+  std::printf("failpoint overhead: off %.3fs  armed-idle %.3fs  %+.2f%%  "
+              "bit_identical=%s\n",
+              off_med, on_med, overhead, identical ? "true" : "false");
+
+  const std::string json_path =
+      cli.get("json", "BENCH_failpoint_" + design_name + ".json");
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(f,
+                   "{\"design\": \"%s\", \"flows\": %zu, \"workers\": %zu, "
+                   "\"reps\": %d,\n \"off_seconds\": %.3f, "
+                   "\"armed_idle_seconds\": %.3f,\n \"overhead_percent\": "
+                   "%.2f, \"bit_identical\": %s}\n",
+                   design_name.c_str(), num_flows, workers, reps, off_med,
+                   on_med, overhead, identical ? "true" : "false");
+      std::fclose(f);
+    }
+  }
+  if (!identical) return 1;
+  if (gate >= 0 && overhead > gate) {
+    std::fprintf(stderr,
+                 "bench_service: armed-idle failpoint overhead %.2f%% "
+                 "exceeds gate %.2f%%\n",
+                 overhead, gate);
+    return 1;
+  }
+  return 0;
+}
+
 int run_stream_bench(const util::Cli& cli) {
   const std::string design_name = cli.get("design", "alu16");
   const unsigned m = static_cast<unsigned>(cli.get_int("m", 2));
@@ -221,6 +318,10 @@ int run_stream_bench(const util::Cli& cli) {
 int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
   if (cli.get_bool("stream-bench", false)) return run_stream_bench(cli);
+  if (const std::string g = cli.get("overhead-gate", "");
+      !g.empty() || cli.get_bool("failpoint-overhead", false)) {
+    return run_failpoint_overhead(cli, g.empty() ? -1.0 : std::atof(g.c_str()));
+  }
   const std::string design_name = cli.get("design", "alu16");
   const unsigned m = static_cast<unsigned>(cli.get_int("m", 2));
   const std::size_t num_flows =

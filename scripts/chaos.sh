@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Chaos harness: run the fault-injection battery (tests/chaos_service_test)
+# repeatedly with rotating seeds, so the randomized kill/delay schedules
+# cover more of the interleaving space than a single CI run.
+#
+# Usage:
+#   scripts/chaos.sh                # 5 rounds from seed 1 against ./build
+#   CHAOS_ROUNDS=50 scripts/chaos.sh
+#   CHAOS_SEED=1234 BUILD_DIR=build-rel scripts/chaos.sh
+#
+# Every failing round prints its seed; replay with
+#   CHAOS_SEED=<seed> ./build/chaos_service_test
+#
+# See docs/fault-model.md for what the battery asserts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+CHAOS_ROUNDS="${CHAOS_ROUNDS:-5}"
+CHAOS_SEED="${CHAOS_SEED:-1}"
+
+if [[ ! -x "$BUILD_DIR/chaos_service_test" ]]; then
+  if [[ ! -d "$BUILD_DIR" ]]; then
+    cmake -B "$BUILD_DIR" -S . >/dev/null
+  fi
+  cmake --build "$BUILD_DIR" -j --target chaos_service_test
+fi
+
+fails=0
+for ((i = 0; i < CHAOS_ROUNDS; i++)); do
+  seed=$((CHAOS_SEED + i))
+  echo "=== chaos round $((i + 1))/$CHAOS_ROUNDS (CHAOS_SEED=$seed) ==="
+  if ! CHAOS_SEED=$seed "$BUILD_DIR/chaos_service_test" \
+      --gtest_brief=1; then
+    echo "chaos: round with CHAOS_SEED=$seed FAILED" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+if ((fails > 0)); then
+  echo "chaos: $fails/$CHAOS_ROUNDS rounds failed" >&2
+  exit 1
+fi
+echo "chaos: all $CHAOS_ROUNDS rounds passed"

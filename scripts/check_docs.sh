@@ -10,7 +10,9 @@
 #   4. the paper registry fingerprint quoted in docs/protocol.md matches
 #      the value pinned in tests/registry_test.cpp,
 #   5. docs/qor-store.md documents every store header version the code
-#      defines (kStoreVersion* in src/core/qor_store.cpp).
+#      defines (kStoreVersion* in src/core/qor_store.cpp),
+#   6. every failpoint site declared in src/ (FLOWGEN_FAILPOINT name
+#      literals) is listed in docs/fault-model.md.
 # Exits non-zero with one line per problem, so the docs cannot drift from
 # the code they describe without failing the build.
 set -euo pipefail
@@ -83,8 +85,23 @@ for v in $(grep -oE 'kStoreVersion[A-Za-z]* = [0-9]+' src/core/qor_store.cpp \
   fi
 done
 
+# ------------------------------- 6. failpoint sites documented by name --
+# Literal names only (FLOWGEN_FAILPOINT("some.name")); the transport layer
+# passes its names through an adapter, so grep the call sites of that too.
+sites=$(grep -rzoE \
+    '(FLOWGEN_FAILPOINT(_KEYED)?|transport_failpoint)\([[:space:]]*"[a-z._]+"' \
+    src \
+  | tr '\0' '\n' | grep -oE '"[a-z._]+"' | tr -d '"' | sort -u)
+for site in $sites; do
+  if ! grep -q "\`$site\`" docs/fault-model.md; then
+    echo "check_docs: failpoint site $site is not listed in" \
+         "docs/fault-model.md"
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "check_docs: OK (links, protocol table/version, registry fingerprint," \
-       "store versions in sync)"
+       "store versions, failpoint sites in sync)"
 fi
 exit "$fail"

@@ -10,6 +10,7 @@
 #include "opt/transform.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "util/log.hpp"
 
 namespace flowgen::core {
 
@@ -154,7 +155,18 @@ map::QoR SynthesisEvaluator::evaluate(const Flow& flow) const {
   }
   // Persist outside the shard lock; QorStore::append dedups, so the rare
   // two-threads-race-one-flow case writes the record once either way.
-  if (first && store_) store_->append(design_fp_, steps, qor);
+  // A failed append (disk full, I/O error) degrades to "not persisted":
+  // the label itself is correct and already cached, so returning it beats
+  // failing the evaluation — the record is simply re-earned next run.
+  if (first && store_) {
+    try {
+      store_->append(design_fp_, steps, qor);
+    } catch (const std::exception& e) {
+      util::log_warn("evaluator: QoR store append failed (label kept "
+                     "in-memory): ",
+                     e.what());
+    }
+  }
   return qor;
 }
 

@@ -791,6 +791,9 @@ void QorStore::notify_listeners_locked(const aig::Fingerprint& design,
 
 bool QorStore::append(const aig::Fingerprint& design, StepsView steps,
                       const map::QoR& qor) {
+  // Chaos runs inject disk-full / I/O errors here; callers must treat a
+  // failed append as "label not persisted", never "label wrong".
+  FLOWGEN_FAILPOINT("store.append");
   if (steps.size() > 0xFFFF) throw QorStoreError("flow too long for record");
   registry_->validate_steps(steps);  // no undefined step byte ever persists
   std::lock_guard lock(mutex_);

@@ -42,6 +42,7 @@
 #include "core/cuckoo_index.hpp"
 #include "core/flow.hpp"
 #include "map/qor.hpp"
+#include "util/failpoint.hpp"
 
 namespace flowgen::core {
 
@@ -184,6 +185,10 @@ public:
   /// Full path of the log file this process appends to.
   const std::string& writer_path() const { return writer_path_; }
 
+  /// The store directory (fleet siblings — QUARANTINE, COMPACT.lock —
+  /// live next to the logs and segments).
+  const std::string& dir() const { return config_.dir; }
+
   /// Fingerprint of the alphabet this store's records are keyed by.
   const opt::RegistryFingerprint& registry_fingerprint() const {
     return registry_->fingerprint();
@@ -256,7 +261,12 @@ private:
   void write_fresh_header_locked();
   void notify_listeners_locked(const aig::Fingerprint& design,
                                StepsView steps, const map::QoR& qor);
+  /// Compaction sync points are failpoints first ("store.compact" keyed by
+  /// the point name, so `store.compact=crash@key=manifest_tmp` kills the
+  /// process at that instant) with the legacy in-process hook kept for
+  /// tests that need same-process synchronisation rather than injection.
   void sync_point(const char* name) const {
+    FLOWGEN_FAILPOINT_KEYED("store.compact", name);
     if (config_.compaction_sync_hook) config_.compaction_sync_hook(name);
   }
 

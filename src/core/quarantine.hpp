@@ -1,0 +1,85 @@
+#pragma once
+// Quarantine list: the flows a fleet has convicted of poisoning workers.
+// The coordinator attributes every worker loss to the flows that were
+// undelivered on it; a flow that keeps losing workers is bisected into a
+// singleton probe shard and, once it dies *alone* (definitive attribution),
+// lands here. Entries are keyed by (design fingerprint, packed flow steps) —
+// the same identity the QoR store uses — so a quarantined flow stays
+// quarantined across coordinator restarts and is answered without ever
+// being dispatched again.
+//
+// Persistence: a plain-text `QUARANTINE` file next to the QoR store, one
+// line per entry ("<design-hex> <steps-hex> <losses> <reason>"), appended
+// with O_APPEND semantics and loaded tolerantly (a torn last line from a
+// crash is skipped, mirroring the store's torn-tail healing). Text, not
+// binary, because operators read this file when a campaign flags a flow.
+// A default-constructed list is memory-only for storeless fleets.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/flow.hpp"
+
+namespace flowgen::core {
+
+struct QuarantineEntry {
+  aig::Fingerprint design{};
+  StepsKey steps;
+  std::uint32_t losses = 0;  ///< worker losses attributed before conviction
+  std::string reason;
+};
+
+class QuarantineList {
+public:
+  /// Memory-only list (no persistence) for storeless coordinators.
+  QuarantineList() = default;
+  /// File-backed list at `<dir>/QUARANTINE`; loads existing entries.
+  /// The directory must exist (it is the QoR store's). Unreadable or
+  /// malformed lines are skipped, never fatal — a half-written entry must
+  /// not take the fleet down.
+  explicit QuarantineList(const std::string& dir);
+
+  QuarantineList(const QuarantineList&) = delete;
+  QuarantineList& operator=(const QuarantineList&) = delete;
+
+  bool contains(const aig::Fingerprint& design, StepsView steps) const;
+
+  /// Record a conviction; persists when file-backed. Returns false (and
+  /// writes nothing) when the flow is already listed. A persistence
+  /// failure keeps the in-memory entry and is reported by log line only:
+  /// quarantine must keep protecting the fleet even on a full disk.
+  bool add(const aig::Fingerprint& design, StepsView steps,
+           std::uint32_t losses, const std::string& reason);
+
+  std::vector<QuarantineEntry> entries() const;
+  std::size_t size() const;
+  /// Path of the backing file; empty for a memory-only list.
+  const std::string& path() const { return path_; }
+
+private:
+  struct Key {
+    aig::Fingerprint design;
+    StepsKey steps;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = StepsHash{}(StepsView(k.steps));
+      h ^= k.design[0] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= k.design[1] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  void load_locked();
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::unordered_map<Key, QuarantineEntry, KeyHash> entries_;
+};
+
+}  // namespace flowgen::core

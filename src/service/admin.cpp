@@ -57,12 +57,21 @@ void AdminServer::serve() {
 }
 
 void AdminServer::serve_client(Socket client) {
+  // No legitimate admin command approaches this; anything longer is a
+  // confused (or hostile) peer streaming garbage, and an uncapped buffer
+  // would grow until the allocator gives out.
+  constexpr std::size_t kMaxLineBytes = 4096;
   std::string buf;
   char chunk[512];
   try {
     while (!stop_.load(std::memory_order_acquire)) {
       const std::size_t nl = buf.find('\n');
       if (nl == std::string::npos) {
+        if (buf.size() > kMaxLineBytes) {
+          const std::string wire = frame_reply("err line too long");
+          client.send_all(wire.data(), wire.size(), 5000);
+          return;
+        }
         if (!client.wait_readable(200)) continue;
         const long n = client.recv_some(chunk, sizeof chunk);
         if (n < 0) continue;        // spurious wakeup

@@ -9,11 +9,14 @@
 #include <numeric>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "aig/serialize.hpp"
 #include "service/admin.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/crc32.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::service {
@@ -79,6 +82,21 @@ bool name_is_address(const std::string& name) {
   }
 }
 
+const char* breaker_name(int b) {
+  switch (b) {
+    case 1:
+      return "open";
+    case 2:
+      return "half-open";
+    default:
+      return "closed";
+  }
+}
+
+/// Bound on the stale-request ring (request ids closed by a typed worker
+/// error whose late frames must not cost the sender its slot).
+constexpr std::size_t kMaxRememberedFailures = 128;
+
 }  // namespace
 
 EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
@@ -105,6 +123,17 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
       std::max<std::size_t>(1, config_.max_inflight_per_worker);
   config_.shards_per_worker =
       std::max<std::size_t>(1, config_.shards_per_worker);
+  if (config_.quarantine_after > 0) {
+    // Isolation must come before conviction: a flow is only convicted
+    // alone, so it needs at least one singleton run-through first.
+    config_.isolate_after = std::clamp<std::size_t>(
+        config_.isolate_after, 1, config_.quarantine_after);
+  }
+  quarantine_ = std::make_shared<core::QuarantineList>();
+  // Jitter only — results never touch this stream, so a wall-clock/pid
+  // seed costs no reproducibility where it matters.
+  reconnect_rng_.reseed(static_cast<std::uint64_t>(::getpid()) * 0x9E3779B9ull ^
+                        static_cast<std::uint64_t>(now_ms()));
   if (netlist) {
     // Netlist mode: serialize once; qualify() ships the blob to every
     // worker (and admit_worker re-ships it to returning ones).
@@ -128,11 +157,10 @@ EvalCoordinator::EvalCoordinator(std::vector<Worker> workers,
       snap.alive = true;
       poller_.add(state.conn->fd(), /*want_read=*/true, /*want_write=*/false,
                   workers_.size());
-    } else if (config_.reconnect_ms > 0 && state.addressable) {
-      state.retry_at_ms = now_ms() + config_.reconnect_ms;
     }
     workers_.push_back(std::move(state));
     snapshots_.push_back(std::move(snap));
+    if (!workers_.back().alive) schedule_retry(workers_.size() - 1, now_ms());
   }
   if (num_alive_loop() == 0) {
     throw ServiceError("no worker completed the handshake for design '" +
@@ -314,13 +342,24 @@ void EvalCoordinator::activate_worker(std::size_t w, Socket sock) {
   worker.alive = true;
   worker.deadline_ms = 0;
   worker.retry_at_ms = 0;
+  worker.backoff_ms = 0;  // a successful handshake resets the backoff
+  if (worker.breaker == Breaker::kOpen) {
+    // Full re-admission has to be earned: the returning worker gets one
+    // probe shard (half-open) and only its completion closes the breaker.
+    worker.breaker = Breaker::kHalfOpen;
+  }
   poller_.add(worker.conn->fd(), /*want_read=*/true, /*want_write=*/false, w);
   {
     std::lock_guard lock(mu_);
     snapshots_[w].alive = true;
+    snapshots_[w].breaker = breaker_name(static_cast<int>(worker.breaker));
+    snapshots_[w].backoff_ms = worker.backoff_ms;
     ++stats_.workers_readmitted;
   }
-  util::log_info("coordinator: worker ", worker.name, " (re)admitted");
+  util::log_info("coordinator: worker ", worker.name, " (re)admitted",
+                 worker.breaker == Breaker::kHalfOpen
+                     ? " (breaker half-open: single probe shard)"
+                     : "");
 }
 
 bool EvalCoordinator::admit_worker(Worker worker) {
@@ -350,9 +389,7 @@ bool EvalCoordinator::admit_worker(Worker worker) {
         }
         const int timeout = std::min(config_.request_timeout_ms, 5000);
         if (!qualify(workers_[w], worker.sock, timeout)) {
-          if (config_.reconnect_ms > 0 && workers_[w].addressable) {
-            workers_[w].retry_at_ms = now_ms() + config_.reconnect_ms;
-          }
+          schedule_retry(w, now_ms());
           return;
         }
         send_store_subscribe_raw(worker.sock, workers_[w].name, timeout);
@@ -388,23 +425,28 @@ void EvalCoordinator::run_command(std::function<void()> fn,
 }
 
 std::vector<map::QoR> EvalCoordinator::evaluate_many(
-    std::span<const core::Flow> flows, ResultCallback on_result) {
-  return evaluate_many_impl(flows, std::move(on_result), nullptr, nullptr);
+    std::span<const core::Flow> flows, ResultCallback on_result,
+    BatchReport* report) {
+  return evaluate_many_impl(flows, std::move(on_result), nullptr, nullptr,
+                            report);
 }
 
 std::vector<map::QoR> EvalCoordinator::evaluate_many_for(
     const aig::Fingerprint& fp, const opt::RegistryFingerprint& registry,
-    std::span<const core::Flow> flows, ResultCallback on_result) {
-  return evaluate_many_impl(flows, std::move(on_result), &fp, &registry);
+    std::span<const core::Flow> flows, ResultCallback on_result,
+    BatchReport* report) {
+  return evaluate_many_impl(flows, std::move(on_result), &fp, &registry,
+                            report);
 }
 
 std::vector<map::QoR> EvalCoordinator::evaluate_many_impl(
     std::span<const core::Flow> flows, ResultCallback on_result,
     const aig::Fingerprint* want_fp,
-    const opt::RegistryFingerprint* want_registry) {
+    const opt::RegistryFingerprint* want_registry, BatchReport* report) {
   std::vector<map::QoR> out(flows.size());
   auto batch = std::make_shared<Batch>();
   std::shared_ptr<const opt::TransformRegistry> registry;
+  std::shared_ptr<const core::QuarantineList> quarantine;
   {
     std::lock_guard lock(mu_);
     ++stats_.batches;
@@ -435,6 +477,7 @@ std::vector<map::QoR> EvalCoordinator::evaluate_many_impl(
           opt::registry_fingerprint_hex(registry_->fingerprint()));
     }
     registry = registry_;
+    quarantine = quarantine_;
     batch->design_fp = design_fp_;
     batch->registry_fp = registry_->fingerprint();
     batch->store = store_;
@@ -450,32 +493,38 @@ std::vector<map::QoR> EvalCoordinator::evaluate_many_impl(
 
   // Labels already in the store never cross the wire: answer them locally
   // (callback included — a store hit *is* a completed flow) and dispatch
-  // only the remainder.
+  // only the remainder. Flows already convicted as poisoned never cross
+  // the wire either — they are surfaced in the batch report, not rerun.
   std::vector<std::size_t> order;
   order.reserve(flows.size());
   std::size_t hits = 0;
-  if (batch->store) {
-    for (std::size_t i = 0; i < flows.size(); ++i) {
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (quarantine && quarantine->contains(batch->design_fp, flows[i].steps)) {
+      batch->flow_done[i] = true;
+      batch->quarantined.push_back(i);
+      continue;
+    }
+    if (batch->store) {
       if (const auto hit =
               batch->store->lookup(batch->design_fp, flows[i].steps)) {
         out[i] = *hit;
         batch->flow_done[i] = true;
         ++hits;
         if (batch->on_result) batch->on_result(i, *hit);
-      } else {
-        order.push_back(i);
+        continue;
       }
     }
-  } else {
-    order.resize(flows.size());
-    std::iota(order.begin(), order.end(), 0);
+    order.push_back(i);
   }
   batch->flows_remaining = order.size();
   if (hits) {
     std::lock_guard lock(mu_);
     stats_.store_hits += hits;
   }
-  if (order.empty()) return out;
+  if (order.empty()) {
+    surface_quarantined(*batch, report);
+    return out;
+  }
 
   // Prefix-affinity order: identical to the in-process engine's batch
   // schedule, so a shard is a run of sibling flows.
@@ -511,7 +560,27 @@ std::vector<map::QoR> EvalCoordinator::evaluate_many_impl(
     cv_.wait(lock, [&] { return batch->finished; });
   }
   if (batch->failed) throw ServiceError(batch->error);
+  surface_quarantined(*batch, report);
   return out;
+}
+
+// Quarantined flows must never be silently dropped: either the caller
+// asked for a report (indices land there, the returned QoRs stay
+// default) or the batch throws typed so the caller can react.
+void EvalCoordinator::surface_quarantined(Batch& b, BatchReport* report) {
+  if (b.quarantined.empty()) return;
+  std::sort(b.quarantined.begin(), b.quarantined.end());
+  if (report) {
+    report->quarantined.insert(report->quarantined.end(),
+                               b.quarantined.begin(), b.quarantined.end());
+    return;
+  }
+  throw FlowQuarantined(
+      std::to_string(b.quarantined.size()) +
+          " flow(s) quarantined as poisoned (first index " +
+          std::to_string(b.quarantined.front()) +
+          "); pass a BatchReport to receive partial results",
+      b.quarantined);
 }
 
 // ----------------------------------------------------------- identity ops --
@@ -637,6 +706,11 @@ void EvalCoordinator::attach_store(std::shared_ptr<core::QorStore> store) {
     }
     store_root_.clear();  // explicit store wins over directory mode
     store_ = std::move(store);
+    // Quarantine verdicts live next to the labels they gate: file-backed
+    // when a store directory exists, memory-only otherwise.
+    quarantine_ = store_
+                      ? std::make_shared<core::QuarantineList>(store_->dir())
+                      : std::make_shared<core::QuarantineList>();
   }
   // Workers start streaming their locally-produced labels into the new
   // store. There is no unsubscribe frame: after a detach (null store) the
@@ -665,6 +739,7 @@ void EvalCoordinator::open_store_for_registry_locked() {
                              .substr(0, 16);
   config.registry = registry_;
   store_ = std::make_shared<core::QorStore>(std::move(config));
+  quarantine_ = std::make_shared<core::QuarantineList>(store_->dir());
 }
 
 void EvalCoordinator::send_store_subscribe_raw(Socket& sock,
@@ -739,6 +814,12 @@ std::vector<WorkerSnapshot> EvalCoordinator::worker_snapshots() const {
   return snapshots_;
 }
 
+std::shared_ptr<const core::QuarantineList> EvalCoordinator::quarantine()
+    const {
+  std::lock_guard lock(mu_);
+  return quarantine_;
+}
+
 const Address& EvalCoordinator::admin_address() const {
   if (!admin_) throw ServiceError("coordinator has no admin socket");
   return admin_->address();
@@ -795,6 +876,10 @@ std::string EvalCoordinator::admin_text(const std::string& command) const {
     os << "store_appends " << s.store_appends << '\n';
     os << "store_ingests " << s.store_ingests << '\n';
     os << "store_subscribes " << s.store_subscribes << '\n';
+    os << "store_errors " << s.store_errors << '\n';
+    os << "eval_errors " << s.eval_errors << '\n';
+    os << "flows_quarantined " << s.flows_quarantined << '\n';
+    os << "breaker_trips " << s.breaker_trips << '\n';
     return os.str();
   }
   if (command == "store") {
@@ -833,13 +918,50 @@ std::string EvalCoordinator::admin_text(const std::string& command) const {
          << " inflight_shards=" << w.inflight_shards
          << " inflight_flows=" << w.inflight_flows
          << " shards_done=" << w.shards_done << " flows_done=" << w.flows_done
-         << " losses=" << w.losses << " last_shard_ms=" << w.last_shard_ms
+         << " losses=" << w.losses << " breaker=" << w.breaker
+         << " recent_failures=" << w.recent_failures
+         << " backoff_ms=" << w.backoff_ms
+         << " last_shard_ms=" << w.last_shard_ms
          << " mean_shard_ms=" << w.mean_shard_ms << '\n';
     }
     return os.str();
   }
+  if (command == "quarantine") {
+    std::shared_ptr<const core::QuarantineList> q;
+    {
+      std::lock_guard lock(mu_);
+      q = quarantine_;
+    }
+    const std::vector<core::QuarantineEntry> entries = q->entries();
+    os << "quarantined " << entries.size() << '\n';
+    if (!q->path().empty()) os << "file " << q->path() << '\n';
+    for (const core::QuarantineEntry& e : entries) {
+      os << aig::fingerprint_hex(e.design).substr(0, 16) << ' '
+         << e.steps.size() << "-step losses=" << e.losses << ' ' << e.reason
+         << '\n';
+    }
+    return os.str();
+  }
+  if (command == "failpoints") return util::failpoint::describe();
+  if (command.rfind("failpoint ", 0) == 0) {
+    // "failpoint <name> <spec>" — arm; "failpoint <name> off" — disarm.
+    const std::string rest = command.substr(10);
+    const std::size_t sp = rest.find(' ');
+    if (sp == std::string::npos) {
+      return "err usage: failpoint <name> <spec>";
+    }
+    const std::string name = rest.substr(0, sp);
+    const std::string spec = rest.substr(sp + 1);
+    try {
+      util::failpoint::configure(name, spec);
+    } catch (const std::exception& e) {
+      return std::string("err ") + e.what();
+    }
+    return "ok " + name + " = " + spec;
+  }
   if (command == "help") {
-    return "commands: stats workers store compact metrics help quit";
+    return "commands: stats workers store quarantine failpoints "
+           "failpoint compact metrics help quit";
   }
   return "err unknown command '" + command + "' (try help)";
 }
@@ -873,6 +995,7 @@ void EvalCoordinator::loop() {
       if (stopping_) break;
     }
     drain_submissions_and_commands();
+    update_breakers(now_ms());
     pump_dispatch();
     update_queue_gauges();
     const auto& events = poller_.wait(loop_wait_ms());
@@ -982,6 +1105,14 @@ int EvalCoordinator::loop_wait_ms() const {
     if (!w.alive && w.retry_at_ms > 0) {
       if (earliest < 0 || w.retry_at_ms < earliest) earliest = w.retry_at_ms;
     }
+    if (w.alive && w.breaker == Breaker::kOpen &&
+        w.breaker_open_until_ms > 0) {
+      // Wake for the open -> half-open transition, else a quiet loop could
+      // sit on the 60 s heartbeat with a probe-ready worker idle.
+      if (earliest < 0 || w.breaker_open_until_ms < earliest) {
+        earliest = w.breaker_open_until_ms;
+      }
+    }
   }
   if (earliest < 0) return 60 * 1000;  // safety heartbeat
   return static_cast<int>(
@@ -1006,16 +1137,38 @@ void EvalCoordinator::update_worker_snapshot(std::size_t w) {
   snapshots_[w].alive = workers_[w].alive;
   snapshots_[w].inflight_shards = shards;
   snapshots_[w].inflight_flows = flows;
+  snapshots_[w].breaker = breaker_name(static_cast<int>(workers_[w].breaker));
+  snapshots_[w].recent_failures = workers_[w].failure_times.size();
+  snapshots_[w].backoff_ms = workers_[w].backoff_ms;
 }
 
 // ---------------------------------------------------------------- dispatch --
 
-std::size_t EvalCoordinator::pick_worker() const {
+std::size_t EvalCoordinator::pick_worker(bool probe) const {
   std::size_t best = workers_.size();
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     const WorkerState& worker = workers_[w];
     if (!worker.alive) continue;
+    // Circuit breaker: an open breaker takes no work at all; a half-open
+    // one gets exactly one probe shard (nothing else inflight).
+    if (worker.breaker == Breaker::kOpen) continue;
+    if (worker.breaker == Breaker::kHalfOpen && !worker.inflight.empty()) {
+      continue;
+    }
     if (worker.inflight.size() >= config_.max_inflight_per_worker) continue;
+    // Probe exclusivity, both directions: a probe shard boards an idle
+    // worker only, and a worker already carrying a probe takes nothing
+    // else. A crash mid-probe then has exactly one undelivered suspect —
+    // the attribution quarantine convictions rest on.
+    if (probe && !worker.inflight.empty()) continue;
+    bool probing = false;
+    for (const Inflight& fl : worker.inflight) {
+      if (fl.batch->shards[fl.shard_idx].probe) {
+        probing = true;
+        break;
+      }
+    }
+    if (probing) continue;
     // Backpressure: a worker whose socket is not draining takes no new
     // work — its queue would only grow in our memory instead of its.
     if (worker.conn->want_write()) continue;
@@ -1042,9 +1195,12 @@ void EvalCoordinator::pump_dispatch() {
       const std::size_t bi = (fair_cursor_ + t) % nb;
       const std::shared_ptr<Batch> batch = active_[bi];
       if (batch->pending.empty()) continue;
-      const std::size_t w = pick_worker();
-      if (w == workers_.size()) return;  // no capacity anywhere
+      // Eligibility is shard-shaped (a probe needs an idle worker), so a
+      // batch whose head shard cannot board yet must not stall the other
+      // batches — skip it, not the whole sweep.
       const std::size_t shard_idx = batch->pending.front();
+      const std::size_t w = pick_worker(batch->shards[shard_idx].probe);
+      if (w == workers_.size()) continue;
       batch->pending.pop_front();
       fair_cursor_ = (bi + 1) % nb;
       if (!dispatch_to(w, batch, shard_idx)) {
@@ -1063,6 +1219,11 @@ void EvalCoordinator::pump_dispatch() {
 bool EvalCoordinator::dispatch_to(std::size_t w,
                                   const std::shared_ptr<Batch>& batch,
                                   std::size_t shard_idx) {
+  try {
+    FLOWGEN_FAILPOINT("coordinator.dispatch");
+  } catch (const util::FailpointError&) {
+    return false;  // chaos: injected dispatch failure == send failed
+  }
   WorkerState& worker = workers_[w];
   const Shard& shard = batch->shards[shard_idx];
   EvalRequestMsg req;
@@ -1133,6 +1294,14 @@ void EvalCoordinator::handle_frame(std::size_t w, Frame& frame) {
     }
     return worker.inflight.size();
   };
+  // Frames for a request the coordinator already closed with a typed error
+  // are stale stragglers (the worker streamed them before noticing the
+  // failure), not protocol violations.
+  const auto is_stale = [&](std::uint64_t id) {
+    return std::find(recently_failed_requests_.begin(),
+                     recently_failed_requests_.end(),
+                     id) != recently_failed_requests_.end();
+  };
 
   switch (frame.type) {
     case MsgType::kEvalResult: {
@@ -1145,6 +1314,7 @@ void EvalCoordinator::handle_frame(std::size_t w, Frame& frame) {
       }
       const std::size_t pos = find_inflight(msg.request_id);
       if (pos == worker.inflight.size()) {
+        if (is_stale(msg.request_id)) return;
         lose_worker(w, "streamed result for unknown request");
         return;
       }
@@ -1177,6 +1347,7 @@ void EvalCoordinator::handle_frame(std::size_t w, Frame& frame) {
       }
       const std::size_t pos = find_inflight(msg.request_id);
       if (pos == worker.inflight.size()) {
+        if (is_stale(msg.request_id)) return;
         lose_worker(w, "shard terminator for unknown request");
         return;
       }
@@ -1203,6 +1374,7 @@ void EvalCoordinator::handle_frame(std::size_t w, Frame& frame) {
       }
       const std::size_t pos = find_inflight(msg.request_id);
       if (pos == worker.inflight.size()) {
+        if (is_stale(msg.request_id)) return;
         lose_worker(w, "response for unknown request");
         return;
       }
@@ -1221,15 +1393,52 @@ void EvalCoordinator::handle_frame(std::size_t w, Frame& frame) {
       return;
     }
     case MsgType::kError: {
-      // An erroring worker is dropped rather than retried in place: its
-      // unacked flows rerun elsewhere, and if every worker errors the
-      // batch fails loudly.
+      ErrorMsg err;
+      bool decoded = false;
       try {
-        const ErrorMsg err = decode_error(frame.payload);
+        err = decode_error(frame.payload);
+        decoded = true;
         util::log_warn("coordinator: worker ", worker.name,
                        " reported: ", err.message);
       } catch (const std::exception&) {
       }
+      // A typed error naming an inflight request is a *surviving* worker
+      // telling us one shard failed (hung transform killed by its budget,
+      // eval threw): requeue just that shard, charge the breaker, keep the
+      // connection. Anything else is a protocol-level failure and the
+      // worker is dropped.
+      if (decoded && err.request_id != 0 && is_stale(err.request_id)) return;
+      if (decoded && err.request_id != 0) {
+        const std::size_t pos = find_inflight(err.request_id);
+        if (pos != worker.inflight.size()) {
+          Inflight fl = std::move(worker.inflight[pos]);
+          worker.inflight.erase(worker.inflight.begin() +
+                                static_cast<std::ptrdiff_t>(pos));
+          // Remember the id: results the worker already streamed for this
+          // shard may still arrive behind the error and must be dropped as
+          // stale, not treated as protocol violations.
+          recently_failed_requests_.push_back(err.request_id);
+          while (recently_failed_requests_.size() > kMaxRememberedFailures) {
+            recently_failed_requests_.pop_front();
+          }
+          std::vector<std::shared_ptr<Batch>> touched;
+          requeue_inflight(fl, "worker eval error", touched);
+          const std::int64_t now = now_ms();
+          record_worker_failure(w, now);
+          worker.deadline_ms =
+              worker.inflight.empty() ? 0 : now + config_.request_timeout_ms;
+          {
+            std::lock_guard lock(mu_);
+            ++stats_.eval_errors;
+          }
+          update_worker_snapshot(w);
+          for (const auto& b : touched) maybe_finish(b);
+          return;
+        }
+      }
+      // An erroring worker is dropped rather than retried in place: its
+      // unacked flows rerun elsewhere, and if every worker errors the
+      // batch fails loudly.
       lose_worker(w, "worker error");
       return;
     }
@@ -1356,13 +1565,31 @@ void EvalCoordinator::apply_result(std::size_t w, Inflight& fl,
   b.flow_done[idx] = true;
   --b.flows_remaining;
   (*b.out)[idx] = qor;
+  // A delivered result exonerates the flow: earlier losses were the
+  // worker's fault (or bad luck), not a poisoned flow.
+  if (!flow_losses_.empty()) {
+    flow_losses_.erase({b.design_fp, core::StepsKey(b.flows[idx].steps.begin(),
+                                                    b.flows[idx].steps.end())});
+  }
   // Persist as results land, not at batch end: a coordinator crash
-  // mid-batch loses only un-arrived labels.
-  const bool appended =
-      b.store && b.store->append(b.design_fp, b.flows[idx].steps, qor);
+  // mid-batch loses only un-arrived labels. A failing store (disk full,
+  // torn segment) must not take the batch down with it — the label is
+  // already in `out`, only durability is lost.
+  bool appended = false;
+  bool store_error = false;
+  if (b.store) {
+    try {
+      appended = b.store->append(b.design_fp, b.flows[idx].steps, qor);
+    } catch (const std::exception& e) {
+      store_error = true;
+      util::log_warn("coordinator: QoR store append failed (label kept "
+                     "in-memory): ", e.what());
+    }
+  }
   {
     std::lock_guard lock(mu_);
     if (appended) ++stats_.store_appends;
+    if (store_error) ++stats_.store_errors;
     ++snapshots_[w].flows_done;
   }
   if (b.on_result) b.on_result(idx, qor);
@@ -1378,6 +1605,15 @@ void EvalCoordinator::retire_shard(std::size_t w, std::size_t inflight_pos,
     worker.deadline_ms = 0;
   } else {
     worker.deadline_ms = now + config_.request_timeout_ms;
+  }
+  if (worker.breaker != Breaker::kClosed) {
+    // A completed shard is the probe succeeding: close the breaker and
+    // forget the old failure window.
+    worker.breaker = Breaker::kClosed;
+    worker.failure_times.clear();
+    worker.breaker_open_until_ms = 0;
+    util::log_info("coordinator: worker ", worker.name,
+                   " breaker closed (probe shard completed)");
   }
   const double ms = static_cast<double>(now - fl.sent_ms);
   if (telemetry::enabled()) coord_metrics().shard_ms.observe(ms);
@@ -1417,6 +1653,155 @@ void EvalCoordinator::retire_shard(std::size_t w, std::size_t inflight_pos,
 
 // ------------------------------------------------------------------- faults --
 
+void EvalCoordinator::requeue_inflight(
+    Inflight& fl, const char* why,
+    std::vector<std::shared_ptr<Batch>>& touched) {
+  Batch& b = *fl.batch;
+  --b.shards_inflight;
+  const std::size_t rescued = fl.received_count;
+  const std::vector<std::size_t>& indices = b.shards[fl.shard_idx].indices;
+  std::vector<std::size_t> missing;
+  missing.reserve(indices.size() - fl.received_count);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (!fl.received[k]) missing.push_back(indices[k]);
+  }
+  touched.push_back(fl.batch);
+  std::size_t requeued_flows = 0;
+  std::size_t requeued_shards = 0;
+  // Loss attribution. Every undelivered flow of the lost shard is charged
+  // one loss; partition the survivors into
+  //   - convicted: lost `quarantine_after` times with the last loss alone
+  //     on a *probe* shard (probes ride exclusively, so the attribution is
+  //     definitive) — quarantined, never rerun;
+  //   - suspects: repeat offenders — each comes back as a singleton probe
+  //     shard, so the next loss (if any) is unambiguous (bisection);
+  //   - the rest: one group shard at the *front* of the queue (lost work
+  //     gates batch completion, so it reruns before new shards).
+  const bool was_alone = b.shards[fl.shard_idx].probe && missing.size() == 1;
+  std::vector<std::size_t> group;
+  group.reserve(missing.size());
+  for (const std::size_t idx : missing) {
+    std::uint32_t losses = 1;
+    if (config_.quarantine_after > 0) {
+      core::StepsKey key(b.flows[idx].steps.begin(), b.flows[idx].steps.end());
+      losses = ++flow_losses_[{b.design_fp, std::move(key)}];
+    }
+    if (config_.quarantine_after > 0 && was_alone &&
+        losses >= config_.quarantine_after) {
+      quarantine_flow(b, idx, losses, why);
+      continue;
+    }
+    if (config_.quarantine_after > 0 && losses >= config_.isolate_after) {
+      b.shards.push_back(Shard{{idx}, /*probe=*/true});
+      b.pending.push_front(b.shards.size() - 1);
+      ++requeued_shards;
+      ++requeued_flows;
+      continue;
+    }
+    group.push_back(idx);
+  }
+  if (!group.empty()) {
+    requeued_flows += group.size();
+    ++requeued_shards;
+    b.shards.push_back(Shard{std::move(group)});
+    b.pending.push_front(b.shards.size() - 1);
+  }
+  {
+    CoordMetrics& m = coord_metrics();
+    m.requeued_shards.inc(requeued_shards);
+    m.requeued_flows.inc(requeued_flows);
+    m.rescued_flows.inc(rescued);
+  }
+  std::lock_guard lock(mu_);
+  stats_.requeues += requeued_shards;
+  stats_.shards += requeued_shards;
+  stats_.flows_requeued += requeued_flows;
+  stats_.flows_rescued += rescued;
+}
+
+void EvalCoordinator::quarantine_flow(Batch& b, std::size_t idx,
+                                      std::uint32_t losses, const char* why) {
+  b.flow_done[idx] = true;
+  --b.flows_remaining;
+  b.quarantined.push_back(idx);
+  std::shared_ptr<core::QuarantineList> q;
+  {
+    std::lock_guard lock(mu_);
+    ++stats_.flows_quarantined;
+    q = quarantine_;
+  }
+  const std::string reason =
+      std::string(why) + " x" + std::to_string(losses);
+  q->add(b.design_fp, b.flows[idx].steps, losses, reason);
+  flow_losses_.erase({b.design_fp, core::StepsKey(b.flows[idx].steps.begin(),
+                                                  b.flows[idx].steps.end())});
+  util::log_warn("coordinator: flow quarantined as poisoned (design ",
+                 aig::fingerprint_hex(b.design_fp).substr(0, 16), ", ",
+                 b.flows[idx].steps.size(), " steps, ", reason, ")");
+}
+
+void EvalCoordinator::record_worker_failure(std::size_t w, std::int64_t now) {
+  WorkerState& worker = workers_[w];
+  if (config_.breaker_failures == 0) return;
+  worker.failure_times.push_back(now);
+  const std::int64_t horizon = now - config_.breaker_window_ms;
+  while (!worker.failure_times.empty() &&
+         worker.failure_times.front() < horizon) {
+    worker.failure_times.pop_front();
+  }
+  const bool probe_failed = worker.breaker == Breaker::kHalfOpen;
+  if (probe_failed ||
+      (worker.breaker == Breaker::kClosed &&
+       worker.failure_times.size() >= config_.breaker_failures)) {
+    worker.breaker = Breaker::kOpen;
+    worker.breaker_open_until_ms = now + config_.breaker_cooldown_ms;
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.breaker_trips;
+    }
+    util::log_warn("coordinator: worker ", worker.name, " breaker tripped (",
+                   probe_failed ? "half-open probe failed"
+                                : "failure threshold reached",
+                   "), cooling down ", config_.breaker_cooldown_ms, " ms");
+  }
+  update_worker_snapshot(w);
+}
+
+void EvalCoordinator::update_breakers(std::int64_t now) {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& worker = workers_[w];
+    if (worker.breaker == Breaker::kOpen &&
+        now >= worker.breaker_open_until_ms) {
+      worker.breaker = Breaker::kHalfOpen;
+      update_worker_snapshot(w);
+      util::log_info("coordinator: worker ", worker.name,
+                     " breaker half-open (probe allowed)");
+    }
+  }
+}
+
+void EvalCoordinator::schedule_retry(std::size_t w, std::int64_t now) {
+  WorkerState& worker = workers_[w];
+  if (config_.reconnect_ms <= 0 || !worker.addressable) return;
+  // Exponential backoff with jitter: doubles from reconnect_ms up to
+  // reconnect_max_ms, each delay drawn uniform from [d/2, d] so a rack of
+  // coordinators dialing one recovered worker doesn't stampede in phase.
+  const int base = std::max(1, config_.reconnect_ms);
+  int next = worker.backoff_ms <= 0
+                 ? base
+                 : std::min(config_.reconnect_max_ms,
+                            worker.backoff_ms > config_.reconnect_max_ms / 2
+                                ? config_.reconnect_max_ms
+                                : worker.backoff_ms * 2);
+  next = std::max(next, base);
+  worker.backoff_ms = next;
+  const int jittered =
+      next / 2 + static_cast<int>(reconnect_rng_.below(
+                     static_cast<std::uint64_t>(next / 2 + 1)));
+  worker.retry_at_ms = now + jittered;
+  update_worker_snapshot(w);
+}
+
 void EvalCoordinator::lose_worker(std::size_t w, const char* why) {
   WorkerState& worker = workers_[w];
   if (!worker.alive) return;
@@ -1428,57 +1813,29 @@ void EvalCoordinator::lose_worker(std::size_t w, const char* why) {
   worker.deadline_ms = 0;
 
   // Partial-progress requeue: only the flows this worker never delivered
-  // go back on the queue, as a fresh shard at the *front* (lost work gates
-  // batch completion, so it reruns before new shards). Received flows are
-  // already applied and persisted — they are rescued, not rerun.
+  // go back on the queue (with loss attribution — see requeue_inflight).
+  // Received flows are already applied and persisted — they are rescued,
+  // not rerun.
   std::size_t rescued = 0;
-  std::size_t requeued_flows = 0;
-  std::size_t requeued_shards = 0;
   std::vector<std::shared_ptr<Batch>> touched;
   for (Inflight& fl : worker.inflight) {
-    Batch& b = *fl.batch;
-    --b.shards_inflight;
     rescued += fl.received_count;
-    const std::vector<std::size_t>& indices = b.shards[fl.shard_idx].indices;
-    std::vector<std::size_t> missing;
-    missing.reserve(indices.size() - fl.received_count);
-    for (std::size_t k = 0; k < indices.size(); ++k) {
-      if (!fl.received[k]) missing.push_back(indices[k]);
-    }
-    if (missing.empty()) {
-      // Every flow arrived; only the terminator was lost. Nothing reruns.
-      touched.push_back(fl.batch);
-      continue;
-    }
-    requeued_flows += missing.size();
-    ++requeued_shards;
-    b.shards.push_back(Shard{std::move(missing)});
-    b.pending.push_front(b.shards.size() - 1);
+    requeue_inflight(fl, why, touched);
   }
   worker.inflight.clear();
-  if (config_.reconnect_ms > 0 && worker.addressable) {
-    worker.retry_at_ms = now_ms() + config_.reconnect_ms;
-  }
-  {
-    CoordMetrics& m = coord_metrics();
-    m.workers_lost.inc();
-    m.requeued_shards.inc(requeued_shards);
-    m.requeued_flows.inc(requeued_flows);
-    m.rescued_flows.inc(rescued);
-  }
+  const std::int64_t now = now_ms();
+  record_worker_failure(w, now);
+  schedule_retry(w, now);
+  coord_metrics().workers_lost.inc();
   {
     std::lock_guard lock(mu_);
     ++stats_.workers_lost;
-    stats_.requeues += requeued_shards;
-    stats_.shards += requeued_shards;
-    stats_.flows_requeued += requeued_flows;
-    stats_.flows_rescued += rescued;
     snapshots_[w].alive = false;
     ++snapshots_[w].losses;
   }
   update_worker_snapshot(w);
   util::log_warn("coordinator: lost worker ", worker.name, " (", why, "), ",
-                 rescued, " flow(s) rescued, ", requeued_flows, " requeued");
+                 rescued, " flow(s) rescued");
   for (const std::shared_ptr<Batch>& b : touched) maybe_finish(b);
   if (num_alive_loop() == 0 && !reconnect_possible() && !active_.empty()) {
     fail_active_batches("all workers lost with work outstanding");
@@ -1502,7 +1859,7 @@ void EvalCoordinator::try_reconnects(std::int64_t now) {
     if (worker.alive || worker.retry_at_ms == 0 || now < worker.retry_at_ms) {
       continue;
     }
-    worker.retry_at_ms = now + config_.reconnect_ms;  // assume failure
+    schedule_retry(w, now);  // assume failure: arm the next (backed-off) try
     try {
       Socket sock = connect_to(Address::parse(worker.name),
                                std::clamp(config_.reconnect_ms, 100, 2000));

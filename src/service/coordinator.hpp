@@ -45,21 +45,25 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "aig/aig.hpp"
 #include "core/flow.hpp"
 #include "core/qor_store.hpp"
+#include "core/quarantine.hpp"
 #include "map/qor.hpp"
 #include "service/reactor.hpp"
 #include "service/transport.hpp"
 #include "service/wire.hpp"
+#include "util/rng.hpp"
 
 namespace flowgen::service {
 
@@ -71,6 +75,30 @@ class AdminServer;
 class ServiceError : public std::runtime_error {
 public:
   using std::runtime_error::runtime_error;
+};
+
+/// Raised by evaluate_many when flows of the batch were quarantined (they
+/// kept killing workers and were convicted by singleton-shard isolation)
+/// and the caller gave no BatchReport to receive them — the FlowEvaluator
+/// contract has no "partial result" shape, so the batch surfaces a typed
+/// error instead of silently dropping or forever re-looping the flows.
+/// `indices()` are positions in the submitted batch; every *other* flow
+/// completed (and was persisted to an attached store) before the throw.
+class FlowQuarantined : public ServiceError {
+public:
+  FlowQuarantined(const std::string& what, std::vector<std::size_t> indices)
+      : ServiceError(what), indices_(std::move(indices)) {}
+  const std::vector<std::size_t>& indices() const { return indices_; }
+
+private:
+  std::vector<std::size_t> indices_;
+};
+
+/// Per-batch outcome detail for callers that can handle partial success:
+/// pass one to evaluate_many and quarantined flows are reported here (their
+/// result slots stay default-initialised) instead of thrown.
+struct BatchReport {
+  std::vector<std::size_t> quarantined;  ///< indices into the batch
 };
 
 struct CoordinatorConfig {
@@ -97,9 +125,34 @@ struct CoordinatorConfig {
   /// deadlines cannot reset on progress.
   bool stream_results = true;
   /// > 0: a lost worker whose name parses as an address ("unix:/path",
-  /// "tcp:host:port") is re-dialed every this-many milliseconds and
-  /// re-admitted through the normal handshake once it answers.
+  /// "tcp:host:port") is re-dialed and re-admitted through the normal
+  /// handshake once it answers. This is the *initial* retry delay: each
+  /// failed attempt doubles it (capped at reconnect_max_ms) and every
+  /// delay is jittered (uniform in [d/2, d]), so a restarted fleet's
+  /// workers never re-dial in lockstep.
   int reconnect_ms = 0;
+  /// Exponential-backoff ceiling for the re-dial delay.
+  int reconnect_max_ms = 30 * 1000;
+  /// Circuit breaker: a worker with this many failures (losses or eval
+  /// errors) inside breaker_window_ms trips open — no dispatch — for
+  /// breaker_cooldown_ms, then half-opens for a single probe shard whose
+  /// success closes it (and whose failure re-opens it). 0 disables.
+  std::size_t breaker_failures = 5;
+  int breaker_window_ms = 60 * 1000;
+  int breaker_cooldown_ms = 5 * 1000;
+  /// Poisoned-flow conviction thresholds. A flow undelivered when its
+  /// worker is lost (or its shard comes back as a typed eval error) is
+  /// charged one loss. At isolate_after losses it is requeued alone — a
+  /// singleton probe shard, the bisection step that separates victims from
+  /// culprits. Probe shards ride a worker *exclusively* (nothing else
+  /// inflight beside them), so a loss while probing is definitively the
+  /// flow's own doing; at quarantine_after losses with the last one on a
+  /// probe it is quarantined: answered as FlowQuarantined, recorded
+  /// in the QUARANTINE file next to the attached store, never dispatched
+  /// again. quarantine_after = 0 disables tracking (a crash requeues
+  /// unconditionally, the pre-survivability behaviour).
+  std::size_t quarantine_after = 3;
+  std::size_t isolate_after = 2;
   /// Non-empty: serve the line-oriented admin protocol (service/admin.hpp)
   /// on this address — live queue depth, per-worker inflight/latency,
   /// requeue and store counters while batches run.
@@ -127,6 +180,10 @@ struct CoordinatorStats {
   std::size_t store_appends = 0;    ///< fresh labels persisted to the store
   std::size_t store_ingests = 0;    ///< sibling labels adopted (StoreAppend)
   std::size_t store_subscribes = 0; ///< StoreSubscribe frames sent to workers
+  std::size_t store_errors = 0;     ///< appends that failed (label kept)
+  std::size_t eval_errors = 0;      ///< typed worker errors (shard requeued)
+  std::size_t flows_quarantined = 0; ///< flows convicted and quarantined
+  std::size_t breaker_trips = 0;    ///< circuit breakers opened
   /// Completed-shard round-trip latencies in ms, most recent last (bounded
   /// — older samples roll off). bench_service reports the distribution.
   std::vector<double> shard_ms;
@@ -143,6 +200,9 @@ struct WorkerSnapshot {
   std::size_t losses = 0;          ///< times this worker was declared lost
   double last_shard_ms = 0.0;
   double mean_shard_ms = 0.0;
+  std::string breaker = "closed";  ///< closed | open | half-open
+  std::size_t recent_failures = 0; ///< failures inside the breaker window
+  int backoff_ms = 0;              ///< current re-dial delay (0 = base)
 };
 
 /// Thread-safe: any number of client threads may call evaluate_many
@@ -187,9 +247,13 @@ public:
   /// sharded, dispatched, and persisted to the store as their results
   /// stream in. `on_result` (optional) sees every flow as it completes.
   /// Throws ServiceError if no design is loaded or the remaining batch
-  /// cannot complete on any worker.
+  /// cannot complete on any worker. Quarantined flows (already-listed or
+  /// convicted during this batch) are reported via `report` when given,
+  /// otherwise surfaced as a FlowQuarantined throw — never silently
+  /// dropped, never re-dispatched.
   std::vector<map::QoR> evaluate_many(std::span<const core::Flow> flows,
-                                      ResultCallback on_result = nullptr);
+                                      ResultCallback on_result = nullptr,
+                                      BatchReport* report = nullptr);
 
   /// evaluate_many that first verifies — atomically with the batch
   /// submission — that the fleet still serves design `fp` under alphabet
@@ -198,7 +262,12 @@ public:
   /// client's load_design/load_registry). Throws ServiceError on mismatch.
   std::vector<map::QoR> evaluate_many_for(
       const aig::Fingerprint& fp, const opt::RegistryFingerprint& registry,
-      std::span<const core::Flow> flows, ResultCallback on_result = nullptr);
+      std::span<const core::Flow> flows, ResultCallback on_result = nullptr,
+      BatchReport* report = nullptr);
+
+  /// The fleet's quarantine list — file-backed next to the attached store,
+  /// memory-only otherwise. Never null.
+  std::shared_ptr<const core::QuarantineList> quarantine() const;
 
   /// Switch the fleet to a new design: broadcast its serialized form to
   /// every live worker and verify each LoadDesignAck against `fp` (which
@@ -310,6 +379,12 @@ public:
 private:
   struct Shard {
     std::vector<std::size_t> indices;  ///< positions in the caller's batch
+    /// Singleton isolation shard for a repeat-offender flow. Probes run
+    /// *exclusively*: dispatched only to a worker with nothing inflight,
+    /// and that worker gets nothing else until the probe retires — so a
+    /// worker that dies probing had exactly one suspect aboard and the
+    /// conviction cannot smear an innocent that merely shared the ride.
+    bool probe = false;
   };
 
   /// One open evaluate_many call. The submitting thread owns `flows` and
@@ -327,6 +402,7 @@ private:
     std::vector<bool> flow_done;            ///< per caller index
     std::size_t flows_remaining = 0;
     std::size_t shards_inflight = 0;
+    std::vector<std::size_t> quarantined;   ///< caller indices convicted
     // Guarded by the coordinator's mu_:
     bool finished = false;
     bool failed = false;
@@ -345,6 +421,8 @@ private:
     std::int64_t sent_ms = 0;
   };
 
+  enum class Breaker { kClosed, kOpen, kHalfOpen };
+
   struct WorkerState {
     std::unique_ptr<FrameConn> conn;  ///< null once lost
     std::string name;
@@ -353,6 +431,10 @@ private:
     std::int64_t deadline_ms = 0;   ///< refreshed by *any* received frame
     std::int64_t retry_at_ms = 0;   ///< next reconnect attempt (0 = none)
     bool addressable = false;       ///< name parses as an Address
+    int backoff_ms = 0;             ///< current re-dial delay; 0 = base
+    std::deque<std::int64_t> failure_times;  ///< breaker window samples
+    Breaker breaker = Breaker::kClosed;
+    std::int64_t breaker_open_until_ms = 0;  ///< open -> half-open instant
   };
 
   /// One fleet metrics scrape in flight: the admin thread blocks on `cv`
@@ -383,7 +465,7 @@ private:
   std::vector<map::QoR> evaluate_many_impl(
       std::span<const core::Flow> flows, ResultCallback on_result,
       const aig::Fingerprint* want_fp,
-      const opt::RegistryFingerprint* want_registry);
+      const opt::RegistryFingerprint* want_registry, BatchReport* report);
   /// Run `fn` on the loop thread and wait; rethrows what it threw.
   void run_command(std::function<void()> fn, bool requires_idle);
 
@@ -395,8 +477,10 @@ private:
   void activate_batch(const std::shared_ptr<Batch>& batch);
   void pump_dispatch();
   /// Least-loaded live worker with a free inflight slot and a drained
-  /// outbox; workers_.size() when none has capacity.
-  std::size_t pick_worker() const;
+  /// outbox; workers_.size() when none is eligible. `probe` asks for a
+  /// fully idle worker (a probe shard boards alone); workers currently
+  /// serving a probe are skipped for everything.
+  std::size_t pick_worker(bool probe) const;
   /// True when a lost address-named worker may yet be re-dialed.
   bool reconnect_possible() const;
   bool dispatch_to(std::size_t w, const std::shared_ptr<Batch>& batch,
@@ -408,6 +492,29 @@ private:
   void retire_shard(std::size_t w, std::size_t inflight_pos,
                     std::int64_t now);
   void lose_worker(std::size_t w, const char* why);
+  /// Requeue the undelivered flows of one inflight shard with loss
+  /// attribution: each flow is charged a loss; repeat offenders come back
+  /// as singleton probe shards (bisection) and flows convicted while alone
+  /// are quarantined. Decrements the batch's shards_inflight and appends
+  /// it to `touched` (caller runs maybe_finish). Shared by worker loss and
+  /// the typed eval-error path.
+  void requeue_inflight(Inflight& fl, const char* why,
+                        std::vector<std::shared_ptr<Batch>>& touched);
+  /// Deliver a finished batch's quarantined indices: into `report` when
+  /// the caller provided one, else as a typed FlowQuarantined throw.
+  static void surface_quarantined(Batch& b, BatchReport* report);
+  /// Convict one flow: mark it done-as-quarantined in its batch, persist
+  /// the entry, count it. Loop thread only.
+  void quarantine_flow(Batch& b, std::size_t idx, std::uint32_t losses,
+                       const char* why);
+  /// Charge one failure to the breaker window; trips it (closed -> open,
+  /// or a failed half-open probe -> open again) when warranted.
+  void record_worker_failure(std::size_t w, std::int64_t now);
+  /// open -> half-open transitions whose cooldown has elapsed.
+  void update_breakers(std::int64_t now);
+  /// Arm the next re-dial: exponential backoff from reconnect_ms, capped
+  /// at reconnect_max_ms, jittered uniform in [d/2, d].
+  void schedule_retry(std::size_t w, std::int64_t now);
   void check_deadlines(std::int64_t now);
   void try_reconnects(std::int64_t now);
   void maybe_finish(const std::shared_ptr<Batch>& batch);
@@ -476,6 +583,10 @@ private:
   std::vector<WorkerSnapshot> snapshots_;
   std::shared_ptr<core::QorStore> store_;
   std::string store_root_;  ///< non-empty = attach_store_dir mode
+  /// Never null: file-backed (QUARANTINE next to the store) when a store
+  /// is attached, memory-only otherwise. Swapped under mu_ alongside
+  /// store_ so a batch snapshots both consistently.
+  std::shared_ptr<core::QuarantineList> quarantine_;
   std::shared_ptr<const std::function<void(std::size_t)>> response_observer_;
   std::shared_ptr<const std::function<void(std::size_t)>> progress_observer_;
   bool stopping_ = false;
@@ -488,6 +599,18 @@ private:
   std::vector<std::shared_ptr<Batch>> active_;
   std::size_t fair_cursor_ = 0;  ///< round-robin position across active_
   std::uint64_t next_request_id_ = 1;
+  /// Loss ledger: losses charged per (design, flow) across batches. Loop
+  /// thread only. Entries are erased on successful delivery, so a flow
+  /// that merely sat next to a culprit is exonerated by its next clean
+  /// run-through instead of accumulating charges forever.
+  std::map<std::pair<aig::Fingerprint, core::StepsKey>, std::uint32_t>
+      flow_losses_;
+  /// Request ids recently closed by a typed worker error: frames still in
+  /// flight for them (a result racing the error) are stale, not protocol
+  /// violations, and must not cost the worker its slot. Bounded ring.
+  std::deque<std::uint64_t> recently_failed_requests_;
+  /// Jitter source for re-dial scheduling (never for results).
+  util::Rng reconnect_rng_;
   std::unordered_map<std::uint64_t, PendingScrape> metrics_scrapes_;
   std::uint64_t next_metrics_nonce_ = 1;
   Poller poller_;

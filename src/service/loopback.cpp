@@ -27,6 +27,9 @@ LoopbackCluster::LoopbackCluster(std::size_t num_workers,
       Socket mine = std::move(pairs[i].second);
       pairs.clear();
       for (Socket& s : parent_side_) s.close();
+      // Self-protection before any evaluator state: a runaway transform
+      // takes down this child, never the coordinator or its siblings.
+      apply_worker_rlimits(worker);
       try {
         EvalWorker w(worker);
         w.serve(mine);
@@ -81,6 +84,7 @@ EvalCoordinator::Worker LoopbackCluster::respawn_worker(std::size_t i) {
     Socket mine = std::move(child_end);
     parent_end.close();
     for (Socket& s : parent_side_) s.close();
+    apply_worker_rlimits(worker_options_);
     try {
       EvalWorker w(worker_options_);
       w.serve(mine);

@@ -195,13 +195,24 @@ WakePipe::~WakePipe() {
 
 void WakePipe::notify() {
   const std::uint8_t byte = 1;
-  // EAGAIN (pipe full) is success: a wakeup is already pending.
-  [[maybe_unused]] const auto n = ::write(write_fd_, &byte, 1);
+  // EAGAIN (pipe full) is success: a wakeup is already pending. EINTR is
+  // not — a swallowed signal here would lose the wakeup and leave the
+  // loop asleep on work that is already queued, so retry.
+  ssize_t n;
+  do {
+    n = ::write(write_fd_, &byte, 1);
+  } while (n < 0 && errno == EINTR);
 }
 
 void WakePipe::drain() {
   std::uint8_t buf[256];
-  while (::read(read_fd_, buf, sizeof buf) > 0) {
+  while (true) {
+    const ssize_t n = ::read(read_fd_, buf, sizeof buf);
+    if (n > 0) continue;
+    // A drain cut short by EINTR would leave pending bytes and make the
+    // next poll() wake immediately for nothing; retry until EAGAIN/empty.
+    if (n < 0 && errno == EINTR) continue;
+    break;
   }
 }
 

@@ -14,12 +14,26 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/failpoint.hpp"
+
 namespace flowgen::service {
 
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw TransportError(what + ": " + std::strerror(errno));
+}
+
+/// Failpoint adapter for transport sites: callers of send/recv catch
+/// TransportError, so an injected `error` action must arrive as one —
+/// otherwise chaos runs would exercise an exception path no real I/O
+/// failure can take.
+void transport_failpoint(const char* name) {
+  try {
+    FLOWGEN_FAILPOINT(name);
+  } catch (const util::FailpointError& e) {
+    throw TransportError(e.what());
+  }
 }
 
 sockaddr_un unix_sockaddr(const std::string& path) {
@@ -114,6 +128,7 @@ void Socket::set_nonblocking(bool on) const {
 }
 
 void Socket::send_all(const void* data, std::size_t len, int timeout_ms) {
+  transport_failpoint("transport.send");
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (len > 0) {
     // Attempt first, poll only on EAGAIN: short writes advance `p` and the
@@ -146,6 +161,7 @@ void Socket::send_all(const void* data, std::size_t len, int timeout_ms) {
 }
 
 long Socket::send_some(const void* data, std::size_t len) {
+  transport_failpoint("transport.send");
   while (true) {
     const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n >= 0) return static_cast<long>(n);
@@ -156,6 +172,7 @@ long Socket::send_some(const void* data, std::size_t len) {
 }
 
 long Socket::recv_some(void* data, std::size_t len) {
+  transport_failpoint("transport.recv");
   while (true) {
     const ssize_t n = ::recv(fd_, data, len, MSG_DONTWAIT);
     if (n >= 0) return static_cast<long>(n);
@@ -166,6 +183,7 @@ long Socket::recv_some(void* data, std::size_t len) {
 }
 
 bool Socket::recv_all(void* data, std::size_t len, int timeout_ms) {
+  transport_failpoint("transport.recv");
   auto* p = static_cast<std::uint8_t*>(data);
   std::size_t got = 0;
   while (got < len) {
@@ -206,6 +224,7 @@ bool Socket::wait_readable(int timeout_ms) const {
 }
 
 Socket connect_to(const Address& addr, int timeout_ms) {
+  transport_failpoint("transport.connect");
   if (addr.kind == Address::Kind::kUnix) {
     Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
     if (!s.valid()) throw_errno("socket(AF_UNIX)");
@@ -287,10 +306,16 @@ Listener::~Listener() {
 }
 
 Socket Listener::accept(int timeout_ms) {
+  transport_failpoint("transport.accept");
   if (!sock_.wait_readable(timeout_ms)) {
     throw AcceptTimeout("accept timeout on " + addr_.to_string());
   }
-  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  // EINTR between the poll and the accept (signal-heavy chaos runs, a
+  // profiler's SIGPROF) is a retry, not a transport failure.
+  int fd;
+  do {
+    fd = ::accept(sock_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) throw_errno("accept");
   if (addr_.kind == Address::Kind::kTcp) {
     const int one = 1;

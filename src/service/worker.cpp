@@ -1,9 +1,15 @@
 #include "service/worker.hpp"
 
+#include <sys/resource.h>
+
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <exception>
+#include <sstream>
 #include <thread>
 #include <tuple>
 #include <unordered_map>
@@ -16,6 +22,7 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/crc32.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 
 namespace flowgen::service {
@@ -39,6 +46,55 @@ ServeMetrics& serve_metrics() {
   };
   return m;
 }
+
+constexpr const char* kBudgetExceededMsg =
+    "evaluation exceeded its wall-clock budget (watchdog)";
+
+/// Arms a per-evaluation wall-clock budget (EvalService::eval_budget_ms).
+/// When the evaluation outlives it, `on_expire` fires once from the
+/// watchdog thread — it must be thread-safe and nonthrowing — and
+/// expired() turns true so the (still running) evaluation's late frames
+/// can be suppressed. budget_ms <= 0 arms nothing. The destructor disarms
+/// and joins, so on_expire never outlives its captures.
+class EvalWatchdog {
+ public:
+  EvalWatchdog(int budget_ms, std::function<void()> on_expire) {
+    if (budget_ms <= 0) return;
+    thread_ = std::thread(
+        [this, budget_ms, on_expire = std::move(on_expire)] {
+          std::unique_lock lock(mu_);
+          if (cv_.wait_for(lock, std::chrono::milliseconds(budget_ms),
+                           [this] { return done_; })) {
+            return;  // evaluation finished inside its budget
+          }
+          expired_.store(true, std::memory_order_release);
+          lock.unlock();
+          on_expire();
+        });
+  }
+
+  EvalWatchdog(const EvalWatchdog&) = delete;
+  EvalWatchdog& operator=(const EvalWatchdog&) = delete;
+
+  ~EvalWatchdog() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  bool expired() const { return expired_.load(std::memory_order_acquire); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::atomic<bool> expired_{false};
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -117,6 +173,20 @@ bool serve_frames(Socket& sock, const EvalService& service) {
           for (core::StepsKey& steps : req.flows) {
             flows.push_back(core::Flow{std::move(steps)});
           }
+          // Watchdog: a hung transform answers the request with a typed
+          // Error *now* (the client requeues the shard elsewhere) instead
+          // of wedging this connection until the client's timeout drops
+          // the whole worker. The expire closure swallows transport errors
+          // — it runs on the watchdog thread, where a throw would
+          // terminate the process.
+          EvalWatchdog watchdog(
+              service.eval_budget_ms, [&send, id = req.request_id] {
+                try {
+                  send(MsgType::kError,
+                       encode_error({id, kBudgetExceededMsg}));
+                } catch (const std::exception&) {
+                }
+              });
           if ((req.flags & kFlagStreamResults) != 0) {
             // v4 streamed answer: one EvalResult per flow as it completes,
             // then ShardDone with the emitted count and a CRC-32 chained
@@ -124,8 +194,10 @@ bool serve_frames(Socket& sock, const EvalService& service) {
             std::uint32_t count = 0;
             std::uint32_t crc = 0;
             const auto emit = [&](std::uint32_t index, const map::QoR& q) {
-              send(MsgType::kEvalResult,
-                         encode_eval_result({req.request_id, index, q}));
+              if (!watchdog.expired()) {
+                send(MsgType::kEvalResult,
+                     encode_eval_result({req.request_id, index, q}));
+              }
               const auto record = qor_record_bytes(q);
               crc = util::crc32(record, crc);
               ++count;
@@ -147,10 +219,15 @@ bool serve_frames(Socket& sock, const EvalService& service) {
               // Evaluator failure: already-emitted results stand (they are
               // correct and the client applied them); the error closes the
               // rest of the stream.
-              send(MsgType::kError,
-                         encode_error({req.request_id, e.what()}));
+              if (!watchdog.expired()) {
+                send(MsgType::kError,
+                     encode_error({req.request_id, e.what()}));
+              }
               break;
             }
+            // Budget blown: the watchdog already answered with an Error;
+            // a trailing ShardDone would be a stale frame.
+            if (watchdog.expired()) break;
             send(MsgType::kShardDone,
                        encode_shard_done({req.request_id, count, crc}));
             break;
@@ -161,10 +238,13 @@ bool serve_frames(Socket& sock, const EvalService& service) {
             resp.results =
                 service.on_eval(req.design, req.registry, std::move(flows));
           } catch (const std::exception& e) {
-            send(MsgType::kError,
-                       encode_error({req.request_id, e.what()}));
+            if (!watchdog.expired()) {
+              send(MsgType::kError,
+                   encode_error({req.request_id, e.what()}));
+            }
             break;
           }
+          if (watchdog.expired()) break;
           send(MsgType::kEvalResponse,
                      encode_eval_response(resp));
           break;
@@ -500,12 +580,23 @@ private:
       flows.push_back(core::Flow{std::move(steps)});
     }
     const bool streamed = (req.flags & kFlagStreamResults) != 0;
+    // Watchdog: a hung transform turns into a typed Error frame while the
+    // evaluation is still running — the executor slot stays busy until the
+    // transform returns, but the client requeues immediately instead of
+    // timing the whole worker out. post() is thread-safe, so the expire
+    // closure needs no extra guarding.
+    EvalWatchdog watchdog(
+        service.eval_budget_ms, [this, conn_id, id = req.request_id] {
+          post(conn_id, encode_frame(MsgType::kError,
+                                     encode_error({id, kBudgetExceededMsg})));
+          if (stats_) stats_->errors.fetch_add(1, std::memory_order_relaxed);
+        });
     try {
       if (streamed) {
         std::uint32_t count = 0;
         std::uint32_t crc = 0;
         const auto emit = [&](std::uint32_t index, const map::QoR& q) {
-          if (!gone.load(std::memory_order_acquire)) {
+          if (!gone.load(std::memory_order_acquire) && !watchdog.expired()) {
             post(conn_id,
                  encode_frame(MsgType::kEvalResult,
                               encode_eval_result({req.request_id, index, q})));
@@ -528,22 +619,30 @@ private:
             emit(static_cast<std::uint32_t>(i), results[i]);
           }
         }
-        post(conn_id,
-             encode_frame(MsgType::kShardDone,
-                          encode_shard_done({req.request_id, count, crc})));
+        if (!watchdog.expired()) {
+          post(conn_id,
+               encode_frame(MsgType::kShardDone,
+                            encode_shard_done({req.request_id, count, crc})));
+        }
       } else {
         EvalResponseMsg resp;
         resp.request_id = req.request_id;
         resp.results =
             service.on_eval(req.design, req.registry, std::move(flows));
-        post(conn_id, encode_frame(MsgType::kEvalResponse,
-                                   encode_eval_response(resp)));
-        if (stats_) stats_->responses.fetch_add(1, std::memory_order_relaxed);
+        if (!watchdog.expired()) {
+          post(conn_id, encode_frame(MsgType::kEvalResponse,
+                                     encode_eval_response(resp)));
+          if (stats_) {
+            stats_->responses.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
       }
     } catch (const std::exception& e) {
-      post(conn_id, encode_frame(MsgType::kError,
-                                 encode_error({req.request_id, e.what()})));
-      if (stats_) stats_->errors.fetch_add(1, std::memory_order_relaxed);
+      if (!watchdog.expired()) {
+        post(conn_id, encode_frame(MsgType::kError,
+                                   encode_error({req.request_id, e.what()})));
+        if (stats_) stats_->errors.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     post_task_done(conn_id);
   }
@@ -870,9 +969,22 @@ EvalService EvalWorker::make_service() {
         *conn_registry = registry;
         return load_registry(std::move(registry));
       };
+  service.eval_budget_ms = options_.eval_budget_ms;
   service.on_eval = [this](const aig::Fingerprint& fp,
                            const opt::RegistryFingerprint& registry,
                            std::vector<core::Flow> flows) {
+    // Chaos hooks: "worker.eval.pre" fires once per request,
+    // "worker.eval.flow" is keyed by the hex of a flow's step bytes so a
+    // *specific* flow can be made poisonous (crash/delay/error follows it
+    // to whichever worker it is requeued on). Both compile out under
+    // -DFLOWGEN_FAILPOINTS=OFF and cost one relaxed load when idle.
+    FLOWGEN_FAILPOINT("worker.eval.pre");
+    for (const core::Flow& f : flows) {
+      FLOWGEN_FAILPOINT_KEYED(
+          "worker.eval.flow",
+          util::failpoint::key_hex(f.steps.data(),
+                                   f.steps.size() * sizeof(opt::StepId)));
+    }
     // Evaluate outside the designs lock: evaluators are thread-safe, so
     // concurrent connections on the same design share its warm caches.
     const std::shared_ptr<core::SynthesisEvaluator> evaluator =
@@ -885,6 +997,13 @@ EvalService EvalWorker::make_service() {
              std::vector<core::Flow> flows,
              const std::function<void(std::uint32_t, const map::QoR&)>&
                  emit) {
+        FLOWGEN_FAILPOINT("worker.eval.pre");
+        for (const core::Flow& f : flows) {
+          FLOWGEN_FAILPOINT_KEYED(
+              "worker.eval.flow",
+              util::failpoint::key_hex(f.steps.data(),
+                                       f.steps.size() * sizeof(opt::StepId)));
+        }
         const std::shared_ptr<core::SynthesisEvaluator> evaluator =
             evaluator_for(fp, registry);
         // Evaluate in chunks of `threads` flows so the pool stays busy yet
@@ -943,6 +1062,105 @@ EvalService EvalWorker::make_service() {
 
 bool EvalWorker::serve(Socket& sock) {
   return serve_frames(sock, make_service());
+}
+
+void apply_worker_rlimits(const WorkerOptions& options) {
+  const auto apply = [](int resource, const char* name, rlim_t limit) {
+    rlimit rl{};
+    rl.rlim_cur = limit;
+    rl.rlim_max = limit;
+    if (::setrlimit(resource, &rl) != 0) {
+      // Best effort: an already-lower hard limit or an unprivileged raise
+      // attempt should not kill a worker that would otherwise serve fine.
+      util::log_warn("evald worker: setrlimit(", name,
+                     ") failed: ", std::strerror(errno));
+    } else {
+      util::log_info("evald worker: ", name, " capped at ",
+                     static_cast<unsigned long long>(limit));
+    }
+  };
+  if (options.rlimit_as_mb > 0) {
+    apply(RLIMIT_AS, "RLIMIT_AS",
+          static_cast<rlim_t>(options.rlimit_as_mb) * 1024 * 1024);
+  }
+  if (options.rlimit_cpu_s > 0) {
+    apply(RLIMIT_CPU, "RLIMIT_CPU",
+          static_cast<rlim_t>(options.rlimit_cpu_s));
+  }
+}
+
+std::string worker_admin_text(const EvalWorker& worker,
+                              const std::string& command) {
+  if (command == "stats") {
+    const ServeStats& s = worker.serve_stats();
+    std::ostringstream os;
+    os << "connections_total " << s.connections_total.load() << '\n'
+       << "connections_open " << s.connections_open.load() << '\n'
+       << "requests " << s.requests.load() << '\n'
+       << "flows_received " << s.flows_received.load() << '\n'
+       << "results_streamed " << s.results_streamed.load() << '\n'
+       << "responses " << s.responses.load() << '\n'
+       << "errors " << s.errors.load() << '\n'
+       << "store_appends_streamed " << s.store_appends_streamed.load() << '\n'
+       << "designs_loaded " << worker.num_designs() << '\n';
+    return os.str();
+  }
+  if (command == "store") {
+    const auto stores = worker.open_stores();
+    if (stores.empty()) return "no store configured";
+    std::ostringstream os;
+    for (const auto& store : stores) {
+      const core::QorStoreStats st = store->stats();
+      os << "registry "
+         << opt::registry_fingerprint_hex(store->registry_fingerprint())
+         << " records " << store->size() << " epoch " << store->epoch()
+         << " appends " << st.appends << " ingests " << st.ingests
+         << " compactions " << st.compactions << '\n';
+    }
+    return os.str();
+  }
+  if (command == "compact") {
+    const auto stores = worker.open_stores();
+    if (stores.empty()) return "no store configured";
+    std::ostringstream os;
+    for (const auto& store : stores) {
+      os << opt::registry_fingerprint_hex(store->registry_fingerprint());
+      try {
+        const auto r = store->compact();
+        if (r.performed) {
+          os << " compacted epoch=" << r.epoch << " records=" << r.records
+             << " logs_folded=" << r.logs_folded << '\n';
+        } else {
+          os << " skipped (lock busy or store empty)\n";
+        }
+      } catch (const std::exception& e) {
+        os << " err " << e.what() << '\n';
+      }
+    }
+    return os.str();
+  }
+  // Local scrape surface: evalctl reads a single worker here without going
+  // through a coordinator; the fleet view is the server's "metrics".
+  if (command == "metrics") return telemetry::render_prometheus();
+  if (command == "failpoints") return util::failpoint::describe();
+  if (command.rfind("failpoint ", 0) == 0) {
+    const std::string rest = command.substr(10);
+    const std::size_t sp = rest.find(' ');
+    if (sp == std::string::npos) return "err usage: failpoint <name> <spec>";
+    const std::string name = rest.substr(0, sp);
+    const std::string spec = rest.substr(sp + 1);
+    try {
+      util::failpoint::configure(name, spec);
+    } catch (const std::exception& e) {
+      return std::string("err ") + e.what();
+    }
+    return "ok " + name + " = " + spec;
+  }
+  if (command == "help") {
+    return "commands: stats store compact metrics failpoints failpoint help "
+           "quit";
+  }
+  return "err unknown command '" + command + "' (try help)";
 }
 
 void EvalWorker::serve_forever(Listener& listener) {

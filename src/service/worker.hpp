@@ -99,6 +99,14 @@ struct EvalService {
       const opt::RegistryFingerprint& registry,
       std::function<bool(std::vector<std::uint8_t>)> push)>
       on_store_subscribe;
+  /// Per-evaluation wall-clock budget in ms (0 = unlimited). When a shard
+  /// evaluation outlives it, a watchdog answers the request with a typed
+  /// Error frame *immediately* — the client requeues the shard elsewhere
+  /// instead of timing the whole worker out — and every frame the late
+  /// evaluation still produces is suppressed. The evaluation itself runs
+  /// to completion (transforms are not interruptible midway); the budget
+  /// bounds the protocol, not the CPU.
+  int eval_budget_ms = 0;
 };
 
 /// Live counters of one serve loop, readable from any thread while the
@@ -177,7 +185,32 @@ struct WorkerOptions {
   /// so worker restarts (and sibling workers sharing the directory) never
   /// re-evaluate a (design, flow) pair.
   std::string qor_store_dir;
+  /// Per-evaluation wall-clock budget (see EvalService::eval_budget_ms);
+  /// 0 disables the watchdog.
+  int eval_budget_ms = 0;
+  /// RLIMIT_AS ceiling in MiB for this worker process (0 = unlimited).
+  /// A runaway transform then dies with a typed allocation failure (or the
+  /// process dies and the coordinator requeues) instead of driving the
+  /// host into swap/OOM and taking sibling workers with it.
+  std::size_t rlimit_as_mb = 0;
+  /// RLIMIT_CPU ceiling in seconds (0 = unlimited): SIGXCPU, the hard
+  /// backstop behind the wall-clock watchdog.
+  int rlimit_cpu_s = 0;
 };
+
+/// Apply WorkerOptions' rlimit_* knobs to the calling process (best
+/// effort: failures log and continue). Call in the worker process itself —
+/// evald --mode worker at startup, or a freshly forked loopback child —
+/// never in the coordinator.
+void apply_worker_rlimits(const WorkerOptions& options);
+
+class EvalWorker;
+
+/// The worker-mode admin surface (what evald --admin serves and evalctl
+/// reads from a single worker): serve-loop counters, per-alphabet store
+/// stats/compaction, Prometheus metrics, failpoint introspection/arming.
+std::string worker_admin_text(const EvalWorker& worker,
+                              const std::string& command);
 
 class EvalWorker {
 public:

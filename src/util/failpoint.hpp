@@ -1,0 +1,113 @@
+#pragma once
+// Failpoints: named, process-wide fault-injection points for chaos testing.
+// A site declares a point with FLOWGEN_FAILPOINT("worker.eval.pre"); when a
+// spec is configured for that name (via env, admin socket or code) the point
+// fires its action — throw a typed error, crash the process, or sleep — on
+// every hit or deterministically on every Nth. Unconfigured, the macro costs
+// one relaxed atomic load (a global armed counter), and under
+// -DFLOWGEN_FAILPOINTS=OFF it compiles to nothing at all, so points can sit
+// on hot paths (transport send/recv, per-flow eval) without a bench tax.
+//
+// Spec grammar (one point):   [1in<N>*]<action>[(<arg>)][@key=<text>]
+//   actions: off | error[(message)] | crash | delay(<ms>)
+//   1in<N>  fires on every Nth (matching) hit — counter-based, not random,
+//           so a seeded chaos schedule replays bit-identically.
+//   @key=   only hits whose key matches fire (see FLOWGEN_FAILPOINT_KEYED);
+//           lets a test poison one specific flow or one compaction
+//           sync point. Keyless hits never match a keyed spec.
+// Multiple points: "name=spec;name=spec" — accepted by configure_from_spec()
+// and by the FLOWGEN_FAILPOINTS environment variable, which is applied once
+// at process start (so forked loopback workers can be armed by the parent
+// before the fork, and a daemon from its launch environment).
+//
+// The `crash` action raises SIGKILL against the current process: the same
+// un-catchable death the QoR-store crash batteries inject by hand, so
+// everything a chaos run proves holds for real SIGKILLs too.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flowgen::util {
+
+/// Thrown by a point whose configured action is `error`. Sites that must
+/// surface a domain-specific type instead (e.g. transport I/O) catch this
+/// and rethrow as their own error.
+class FailpointError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace failpoint {
+
+/// True when at least one point is configured. The only cost a disarmed
+/// process pays at a failpoint site; relaxed is fine — arming a point from
+/// another thread only needs to be seen eventually.
+bool any_armed() noexcept;
+
+/// Slow path behind FLOWGEN_FAILPOINT: look up `name` and apply its action.
+/// Unconfigured names return immediately.
+void hit(const char* name);
+/// Keyed variant: a spec with @key= fires only when `key` matches; a spec
+/// without @key= treats keyed hits like plain ones.
+void hit_keyed(const char* name, std::string_view key);
+
+/// Arm `name` with `spec` ("off" disarms). Throws std::invalid_argument on
+/// a malformed spec. Thread-safe; reconfiguring a live point is allowed.
+void configure(const std::string& name, const std::string& spec);
+/// Arm every "name=spec" in a ';'-separated list; returns points armed.
+std::size_t configure_from_spec(const std::string& multi);
+/// Apply $FLOWGEN_FAILPOINTS (done automatically at process start; exposed
+/// for tests). Malformed entries are reported on stderr, not fatal.
+std::size_t configure_from_env();
+
+void clear(const std::string& name);
+void clear_all();
+
+struct Info {
+  std::string name;
+  std::string spec;      ///< normalized, round-trips through configure()
+  std::uint64_t hits = 0;   ///< times the site executed while armed
+  std::uint64_t fires = 0;  ///< times the action actually ran
+};
+/// Snapshot of every armed point, name-sorted.
+std::vector<Info> list();
+/// Human-readable listing for the admin socket ("none armed" when empty).
+std::string describe();
+
+/// Lower-case hex of a byte range — the canonical key encoding for points
+/// keyed by packed flow steps, shared by injection sites and tests.
+std::string key_hex(const void* data, std::size_t len);
+
+}  // namespace failpoint
+}  // namespace flowgen::util
+
+#if defined(FLOWGEN_NO_FAILPOINTS)
+// Compiled out: name/key are swallowed unevaluated (sizeof does not
+// evaluate), so sites cannot drift into relying on side effects.
+#define FLOWGEN_FAILPOINT(name) \
+  do {                          \
+    (void)sizeof(name);         \
+  } while (0)
+#define FLOWGEN_FAILPOINT_KEYED(name, key) \
+  do {                                     \
+    (void)sizeof(name);                    \
+    (void)sizeof((key));                   \
+  } while (0)
+#else
+#define FLOWGEN_FAILPOINT(name)                    \
+  do {                                             \
+    if (::flowgen::util::failpoint::any_armed())   \
+      ::flowgen::util::failpoint::hit(name);       \
+  } while (0)
+// `key` is only evaluated when some point is armed, so an expensive key
+// expression (hex of a flow key) costs nothing in a quiet process.
+#define FLOWGEN_FAILPOINT_KEYED(name, key)              \
+  do {                                                  \
+    if (::flowgen::util::failpoint::any_armed())        \
+      ::flowgen::util::failpoint::hit_keyed(name, key); \
+  } while (0)
+#endif

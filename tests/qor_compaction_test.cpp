@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/qor_store.hpp"
+#include "util/failpoint.hpp"
 
 #if defined(__SANITIZE_THREAD__)
 #define FLOWGEN_TSAN 1
@@ -180,6 +181,45 @@ TEST(QorCompactionCrashTest, SigkillAtEverySyncPointNeverLosesARecord) {
     EXPECT_GE(after.stats().segments_loaded, 1u);
     EXPECT_EQ(after.stats().segment_records_loaded, records.size());
   }
+}
+
+// Same battery through the failpoint framework: the compaction sync points
+// double as "store.compact" sites keyed by the point name, so the harness
+// path used by chaos runs (`store.compact=crash@key=...`, settable from the
+// command line or admin socket) must kill at exactly the same place the
+// in-process hook does — and recovery must hold just the same.
+TEST(QorCompactionCrashTest, FailpointCrashAtSyncPointNeverLosesARecord) {
+#ifdef FLOWGEN_NO_FAILPOINTS
+  GTEST_SKIP() << "failpoint sites compiled out (-DFLOWGEN_FAILPOINTS=OFF)";
+#else
+  const std::vector<Record> records = seed_records(48);
+  const fs::path dir = fresh_dir("crash_failpoint");
+  write_records(dir.string(), "seed", records);
+
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    try {
+      util::failpoint::configure("store.compact", "crash@key=manifest_tmp");
+      QorStore victim({dir.string(), "compactor", false, nullptr, {}});
+      victim.compact();
+    } catch (...) {
+      ::_exit(2);
+    }
+    ::_exit(1);  // the armed sync point never fired
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited instead of dying";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  QorStore reader({dir.string(), "reader", false, nullptr, {}});
+  expect_all_present(reader, records);
+  const QorStore::CompactionResult done = reader.compact();
+  EXPECT_TRUE(done.performed);
+  EXPECT_EQ(done.records, records.size());
+  expect_all_present(reader, records);
+#endif
 }
 
 // --------------------------------------------------------- byte-flip fuzz --

@@ -13,6 +13,8 @@
 //                     [--threads 4] [--serve-threads 2] [--max-designs 4]
 //                     [--store /var/lib/flowgen/qor]
 //                     [--admin unix:/tmp/w0.admin]
+//                     [--eval-budget-ms 0] [--rlimit-as-mb 0]
+//                     [--rlimit-cpu-s 0]
 //   server    Front a worker fleet behind a single address. The server
 //             speaks the same protocol as a worker — including LoadDesign
 //             and LoadRegistry, which it re-broadcasts to its fleet — so
@@ -23,7 +25,11 @@
 //                     [--design alu16 | --design-file adder.blif]
 //                     [--store /var/lib/flowgen/qor]
 //                     [--admin unix:/tmp/server.admin]
-//                     [--reconnect-ms 2000] [--no-stream]
+//                     [--reconnect-ms 2000] [--reconnect-max-ms 30000]
+//                     [--breaker-failures 5] [--breaker-window-ms 60000]
+//                     [--breaker-cooldown-ms 5000]
+//                     [--quarantine-after 3] [--isolate-after 2]
+//                     [--no-stream]
 //   loopback  Fork N local workers, push a random batch through them, and
 //             print throughput — the zero-setup smoke test:
 //               evald --mode loopback --design alu16 --workers 4 --flows 200
@@ -42,6 +48,11 @@
 // --trace FILE appends Chrome trace events (load in Perfetto). The file is
 // opened O_APPEND, so a server and its workers may share one path; in
 // loopback mode the forked workers inherit the fd and do exactly that.
+//
+// --failpoints "name=spec;name=spec" arms fault-injection points at
+// startup (equivalent to the FLOWGEN_FAILPOINTS env var; see
+// docs/fault-model.md); the admin socket's "failpoint"/"failpoints"
+// commands arm and list them live.
 //
 // Flags are util/cli style (--flag value / --flag=value, FLOWGEN_* env).
 
@@ -64,6 +75,7 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/cli.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -82,64 +94,6 @@ std::vector<std::string> split_list(const std::string& csv) {
     start = comma + 1;
   }
   return out;
-}
-
-/// The worker-mode admin surface: the serve loop's live counters.
-std::string worker_admin_text(const service::EvalWorker& worker,
-                              const std::string& command) {
-  if (command == "stats") {
-    const service::ServeStats& s = worker.serve_stats();
-    std::ostringstream os;
-    os << "connections_total " << s.connections_total.load() << '\n'
-       << "connections_open " << s.connections_open.load() << '\n'
-       << "requests " << s.requests.load() << '\n'
-       << "flows_received " << s.flows_received.load() << '\n'
-       << "results_streamed " << s.results_streamed.load() << '\n'
-       << "responses " << s.responses.load() << '\n'
-       << "errors " << s.errors.load() << '\n'
-       << "store_appends_streamed " << s.store_appends_streamed.load() << '\n'
-       << "designs_loaded " << worker.num_designs() << '\n';
-    return os.str();
-  }
-  if (command == "store") {
-    const auto stores = worker.open_stores();
-    if (stores.empty()) return "no store configured";
-    std::ostringstream os;
-    for (const auto& store : stores) {
-      const core::QorStoreStats st = store->stats();
-      os << "registry "
-         << opt::registry_fingerprint_hex(store->registry_fingerprint())
-         << " records " << store->size() << " epoch " << store->epoch()
-         << " appends " << st.appends << " ingests " << st.ingests
-         << " compactions " << st.compactions << '\n';
-    }
-    return os.str();
-  }
-  if (command == "compact") {
-    const auto stores = worker.open_stores();
-    if (stores.empty()) return "no store configured";
-    std::ostringstream os;
-    for (const auto& store : stores) {
-      os << opt::registry_fingerprint_hex(store->registry_fingerprint());
-      try {
-        const auto r = store->compact();
-        if (r.performed) {
-          os << " compacted epoch=" << r.epoch << " records=" << r.records
-             << " logs_folded=" << r.logs_folded << '\n';
-        } else {
-          os << " skipped (lock busy or store empty)\n";
-        }
-      } catch (const std::exception& e) {
-        os << " err " << e.what() << '\n';
-      }
-    }
-    return os.str();
-  }
-  // Local scrape surface: evalctl reads a single worker here without going
-  // through a coordinator; the fleet view is the server's "metrics".
-  if (command == "metrics") return telemetry::render_prometheus();
-  if (command == "help") return "commands: stats store compact metrics help quit";
-  return "err unknown command '" + command + "' (try help)";
 }
 
 /// Shared --trace handling: all three modes append Chrome trace events to
@@ -162,6 +116,13 @@ int run_worker(const util::Cli& cli) {
   options.qor_store_dir = cli.get("store", "");
   options.serve_threads =
       static_cast<std::size_t>(cli.get_int("serve-threads", 2));
+  options.eval_budget_ms =
+      static_cast<int>(cli.get_int("eval-budget-ms", 0));
+  options.rlimit_as_mb =
+      static_cast<std::size_t>(cli.get_int("rlimit-as-mb", 0));
+  options.rlimit_cpu_s = static_cast<int>(cli.get_int("rlimit-cpu-s", 0));
+  // Self-protection first, before any evaluator state is built.
+  service::apply_worker_rlimits(options);
   const auto addr = service::Address::parse(
       cli.get("listen", "unix:/tmp/evald.sock"));
   service::EvalWorker worker(options);
@@ -170,7 +131,7 @@ int run_worker(const util::Cli& cli) {
   if (const std::string spec = cli.get("admin", ""); !spec.empty()) {
     admin = std::make_unique<service::AdminServer>(
         service::Address::parse(spec), [&worker](const std::string& cmd) {
-          return worker_admin_text(worker, cmd);
+          return service::worker_admin_text(worker, cmd);
         });
   }
   util::log_info("evald worker: design=",
@@ -194,6 +155,18 @@ int run_server(const util::Cli& cli) {
   service::CoordinatorConfig config;
   config.admin_addr = cli.get("admin", "");
   config.reconnect_ms = static_cast<int>(cli.get_int("reconnect-ms", 0));
+  config.reconnect_max_ms = static_cast<int>(
+      cli.get_int("reconnect-max-ms", config.reconnect_max_ms));
+  config.breaker_failures = static_cast<std::size_t>(cli.get_int(
+      "breaker-failures", static_cast<long>(config.breaker_failures)));
+  config.breaker_window_ms = static_cast<int>(
+      cli.get_int("breaker-window-ms", config.breaker_window_ms));
+  config.breaker_cooldown_ms = static_cast<int>(
+      cli.get_int("breaker-cooldown-ms", config.breaker_cooldown_ms));
+  config.quarantine_after = static_cast<std::size_t>(cli.get_int(
+      "quarantine-after", static_cast<long>(config.quarantine_after)));
+  config.isolate_after = static_cast<std::size_t>(
+      cli.get_int("isolate-after", static_cast<long>(config.isolate_after)));
   config.stream_results = !cli.get_bool("no-stream", false);
   // No --design/--design-file starts the fleet deferred: the first client
   // Hello(id), LoadDesign or LoadRegistry decides what it serves. A
@@ -276,6 +249,9 @@ int run_loopback(const util::Cli& cli) {
 
 int main(int argc, char** argv) try {
   const util::Cli cli(argc, argv);
+  if (const std::string spec = cli.get("failpoints", ""); !spec.empty()) {
+    util::failpoint::configure_from_spec(spec);
+  }
   const std::string mode = cli.get("mode", "loopback");
   if (mode == "worker") return run_worker(cli);
   if (mode == "server") return run_server(cli);
